@@ -1,0 +1,41 @@
+#![allow(missing_docs)] // criterion macros expand to undocumented items
+
+//! Construction-cost micro-benchmarks: coarse synopsis extraction, XBUILD
+//! refinement rounds, and CST build+prune.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xtwig_core::coarse_synopsis;
+use xtwig_core::construct::{xbuild, BuildOptions, TruthSource};
+use xtwig_cst::{Cst, CstOptions};
+use xtwig_datagen::{imdb, sprot, ImdbConfig, SprotConfig};
+
+fn bench_construction(c: &mut Criterion) {
+    let doc = imdb(ImdbConfig { movies: 300, seed: 31 });
+    let sp = sprot(SprotConfig { entries: 150, seed: 31 });
+
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    g.bench_function("coarse_synopsis_imdb7k", |b| {
+        b.iter(|| coarse_synopsis(black_box(&doc)))
+    });
+    g.bench_function("xbuild_20rounds_imdb7k", |b| {
+        b.iter(|| {
+            let opts = BuildOptions {
+                budget_bytes: usize::MAX / 2,
+                max_rounds: 20,
+                refinements_per_round: 2,
+                candidates_per_round: 6,
+                sample_queries: 8,
+                ..Default::default()
+            };
+            xbuild(black_box(&doc), TruthSource::Exact, &opts)
+        })
+    });
+    g.bench_function("cst_build_sprot8k", |b| {
+        b.iter(|| Cst::build(black_box(&sp), CstOptions { budget_bytes: 20 * 1024, ..Default::default() }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

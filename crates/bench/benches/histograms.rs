@@ -1,0 +1,49 @@
+#![allow(missing_docs)] // criterion macros expand to undocumented items
+
+//! Histogram substrate micro-benchmarks: building and compressing
+//! multidimensional count histograms, conditional slicing, value
+//! histograms and wavelet summaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xtwig_histogram::{ExactDistribution, MdHistogram, ValueHistogram, WaveletSummary};
+
+fn make_dist(points: usize, dims: usize, seed: u64) -> ExactDistribution {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = ExactDistribution::new(dims);
+    let mut p = vec![0u32; dims];
+    for _ in 0..points {
+        for x in &mut p {
+            *x = rng.random_range(0..40u32);
+        }
+        d.add(&p);
+    }
+    d
+}
+
+fn bench_histograms(c: &mut Criterion) {
+    let d2 = make_dist(20_000, 2, 1);
+    let d1 = make_dist(20_000, 1, 2);
+    let h = MdHistogram::build(&d2, 512);
+    let mut rng = StdRng::seed_from_u64(3);
+    let values: Vec<i64> = (0..50_000).map(|_| rng.random_range(0..100_000i64)).collect();
+
+    let mut g = c.benchmark_group("histograms");
+    g.bench_function("mdhist_build_2d_20k_to_512B", |b| {
+        b.iter(|| MdHistogram::build(black_box(&d2), 512))
+    });
+    g.bench_function("mdhist_conditional_support", |b| {
+        b.iter(|| h.conditional_support_on(black_box(&[(0, 17.0)]), &[1]))
+    });
+    g.bench_function("value_hist_build_50k_to_32buckets", |b| {
+        b.iter(|| ValueHistogram::build(black_box(values.clone()), 32))
+    });
+    g.bench_function("wavelet_build_1d_20k_keep16", |b| {
+        b.iter(|| WaveletSummary::build(black_box(&d1), 16))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_histograms);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates the **Figure 4** motivating example: two documents with
+//! the same zero-error single-path XSKETCH but twig selectivities 2000 vs
+//! 10100, and shows that the Twig XSKETCH's 2-D edge histogram
+//! distinguishes them while a single-path summary (and the CST baseline)
+//! cannot.
+
+use xtwig_bench::row;
+use xtwig_core::estimate::EstimateOptions;
+use xtwig_core::synopsis::{DimKind, ScopeDim};
+use xtwig_core::{coarse_synopsis, estimate_selectivity};
+use xtwig_cst::{estimate_twig, Cst, CstOptions};
+use xtwig_datagen::{figure4_a, figure4_b};
+use xtwig_query::{parse_twig, selectivity};
+
+fn main() {
+    println!("# Figure 4: same single-path behaviour, different twig selectivity");
+    let q = parse_twig("for $t0 in //A, $t1 in $t0/B, $t2 in $t0/C").unwrap();
+    println!(
+        "{:<10}{:>8}{:>16}{:>14}{:>12}",
+        "document", "truth", "coarse-XSKETCH", "twig-XSKETCH", "CST"
+    );
+    for (name, doc) in [("Fig4(a)", figure4_a()), ("Fig4(b)", figure4_b())] {
+        let truth = selectivity(&doc, &q);
+        let opts = EstimateOptions::default();
+
+        // Coarse synopsis: no joint information -> the AVI-style estimate.
+        let mut s = coarse_synopsis(&doc);
+        let a = s.nodes_with_tag("A")[0];
+        let coarse_scopeless = {
+            let mut s0 = s.clone();
+            s0.set_edge_hist(&doc, a, vec![], 8);
+            estimate_selectivity(&s0, &q, &opts)
+        };
+
+        // Twig XSKETCH: 2-D edge histogram f_A(b, c) -> exact.
+        let b = s.nodes_with_tag("B")[0];
+        let c = s.nodes_with_tag("C")[0];
+        s.set_edge_hist(
+            &doc,
+            a,
+            vec![
+                ScopeDim { parent: a, child: b, kind: DimKind::Forward },
+                ScopeDim { parent: a, child: c, kind: DimKind::Forward },
+            ],
+            4096,
+        );
+        let twig_est = estimate_selectivity(&s, &q, &opts);
+
+        let cst = Cst::build(&doc, CstOptions::default());
+        let cst_est = estimate_twig(&cst, &q);
+
+        println!(
+            "{:<10}{:>8}{:>16.0}{:>14.0}{:>12.0}",
+            name, truth, coarse_scopeless, twig_est, cst_est
+        );
+        row(&[
+            name.to_string(),
+            truth.to_string(),
+            format!("{coarse_scopeless:.0}"),
+            format!("{twig_est:.0}"),
+            format!("{cst_est:.0}"),
+        ]);
+    }
+    println!("# The twig-XSKETCH column matches the truth exactly; the others cannot");
+    println!("# distinguish the documents (both estimate 6050).");
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Figure 9(a)**: average relative error vs. synopsis size
+//! for twig queries with branching predicates (P workload) on XMark and
+//! IMDB. The first point of each series is the coarsest (label-split)
+//! synopsis.
+//!
+//! Expected shape (paper): IMDB starts high (~124 %) and drops steeply
+//! (to ~20 % at 50 KB); XMark stays low at every size because of its
+//! regular structure.
+
+use xtwig_bench::{kb, pct, row, BenchConfig};
+use xtwig_core::construct::BuildOptions;
+use xtwig_datagen::Dataset;
+use xtwig_workload::{generate_workload, sweep_xsketch, SweepOptions, WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.announce("Figure 9(a): Branching Predicates (P workload), XMark + IMDB");
+    for ds in [Dataset::XMark, Dataset::Imdb] {
+        let doc = ds.generate(cfg.scale);
+        let spec = WorkloadSpec {
+            queries: cfg.queries,
+            kind: WorkloadKind::Branching,
+            seed: 0x9A,
+            ..Default::default()
+        };
+        let w = generate_workload(&doc, &spec);
+        let opts = SweepOptions {
+            build: BuildOptions {
+                refinements_per_round: 4,
+                candidates_per_round: 8,
+                sample_queries: 12,
+                ..Default::default()
+            },
+        };
+        let points = sweep_xsketch(&doc, &w, &cfg.budgets_bytes, &opts);
+        println!("## {} ({} queries, {} elements)", ds.name(), w.queries.len(), doc.len());
+        println!("{:>12}{:>12}", "size (KB)", "avg error");
+        for p in &points {
+            println!("{:>12}{:>12}", kb(p.actual_bytes), pct(p.error));
+            row(&[
+                ds.name().to_string(),
+                kb(p.actual_bytes),
+                format!("{:.4}", p.error),
+            ]);
+        }
+    }
+}

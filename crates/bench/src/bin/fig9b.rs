@@ -1,0 +1,47 @@
+//! Regenerates **Figure 9(b)**: average relative error vs. synopsis size
+//! for twig queries with branching **and value** predicates (P+V
+//! workload) on XMark and IMDB.
+//!
+//! Expected shape (paper): same downward trend as Fig. 9(a) but with
+//! higher overall error — the estimation problem now adds selection
+//! predicates to the structural join.
+
+use xtwig_bench::{kb, pct, row, BenchConfig};
+use xtwig_core::construct::BuildOptions;
+use xtwig_datagen::Dataset;
+use xtwig_workload::{generate_workload, sweep_xsketch, SweepOptions, WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.announce("Figure 9(b): Branching and Value Predicates (P+V workload), XMark + IMDB");
+    for ds in [Dataset::XMark, Dataset::Imdb] {
+        let doc = ds.generate(cfg.scale);
+        let spec = WorkloadSpec {
+            queries: cfg.queries,
+            kind: WorkloadKind::BranchingValues,
+            seed: 0x9B,
+            ..Default::default()
+        };
+        let w = generate_workload(&doc, &spec);
+        let opts = SweepOptions {
+            build: BuildOptions {
+                refinements_per_round: 4,
+                candidates_per_round: 8,
+                sample_queries: 12,
+                workload_with_values: true,
+                ..Default::default()
+            },
+        };
+        let points = sweep_xsketch(&doc, &w, &cfg.budgets_bytes, &opts);
+        println!("## {} ({} queries, {} elements)", ds.name(), w.queries.len(), doc.len());
+        println!("{:>12}{:>12}", "size (KB)", "avg error");
+        for p in &points {
+            println!("{:>12}{:>12}", kb(p.actual_bytes), pct(p.error));
+            row(&[
+                ds.name().to_string(),
+                kb(p.actual_bytes),
+                format!("{:.4}", p.error),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Table 1 (Data Sets)**: element count, text size (MB) and
+//! coarsest-synopsis size (KB) for the three datasets.
+//!
+//! Paper values at scale 1.0: XMark 103,136 el / 5.40 MB / 12.20 KB;
+//! IMDB 102,755 / 2.90 / 8.10; SProt 69,599 / 4.50 / 9.70.
+
+use xtwig_bench::{kb, row, BenchConfig};
+use xtwig_core::coarse_synopsis;
+use xtwig_datagen::Dataset;
+use xtwig_xml::DocStats;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.announce("Table 1: Data Sets");
+    println!("{:<24}{:>12}{:>12}{:>12}", "", "XMark", "IMDB", "SProt");
+    let mut counts = Vec::new();
+    let mut texts = Vec::new();
+    let mut coarse = Vec::new();
+    for ds in Dataset::ALL {
+        let doc = ds.generate(cfg.scale);
+        let stats = DocStats::compute(&doc);
+        let synopsis = coarse_synopsis(&doc);
+        counts.push(stats.element_count.to_string());
+        texts.push(format!("{:.2}", stats.text_mb()));
+        coarse.push(kb(synopsis.size_bytes()));
+    }
+    println!(
+        "{:<24}{:>12}{:>12}{:>12}",
+        "Element Count", counts[0], counts[1], counts[2]
+    );
+    println!(
+        "{:<24}{:>12}{:>12}{:>12}",
+        "Text Size (MB)", texts[0], texts[1], texts[2]
+    );
+    println!(
+        "{:<24}{:>12}{:>12}{:>12}",
+        "Coarsest Synopsis (KB)", coarse[0], coarse[1], coarse[2]
+    );
+    for (i, ds) in Dataset::ALL.iter().enumerate() {
+        row(&[
+            ds.name().to_string(),
+            counts[i].clone(),
+            texts[i].clone(),
+            coarse[i].clone(),
+        ]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table 2 (Workload Characteristics)**: average result
+//! cardinality and average internal fanout for the P and P+V workloads.
+//!
+//! Paper values: XMark P 2,436 / 1.99, P+V 1,423 / 1.60; IMDB P 3,477 /
+//! 1.66, P+V 961 / 1.53; SProt P 24,034 / 1.97.
+
+use xtwig_bench::{row, BenchConfig};
+use xtwig_datagen::Dataset;
+use xtwig_workload::{generate_workload, workload_stats, WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.announce("Table 2: Workload Characteristics");
+    println!(
+        "{:<10}{:<6}{:>14}{:>14}",
+        "dataset", "kind", "Avg. Result", "Avg. Fanout"
+    );
+    for ds in Dataset::ALL {
+        let doc = ds.generate(cfg.scale);
+        // The paper reports P+V only for XMark and IMDB (SProt: P only).
+        let kinds: &[(&str, WorkloadKind)] = if ds == Dataset::SProt {
+            &[("P", WorkloadKind::Branching)]
+        } else {
+            &[
+                ("P", WorkloadKind::Branching),
+                ("P+V", WorkloadKind::BranchingValues),
+            ]
+        };
+        for &(label, kind) in kinds {
+            let spec = WorkloadSpec {
+                queries: cfg.queries,
+                kind,
+                seed: 0xBEEF ^ ds.name().len() as u64,
+                ..Default::default()
+            };
+            let w = generate_workload(&doc, &spec);
+            let s = workload_stats(&w);
+            println!(
+                "{:<10}{:<6}{:>14.0}{:>14.2}",
+                ds.name(),
+                label,
+                s.avg_result,
+                s.avg_fanout
+            );
+            row(&[
+                ds.name().to_string(),
+                label.to_string(),
+                format!("{:.1}", s.avg_result),
+                format!("{:.2}", s.avg_fanout),
+            ]);
+        }
+    }
+}

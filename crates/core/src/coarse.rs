@@ -1,0 +1,185 @@
+//! The coarsest synopsis `S0` — XBUILD's starting point (§5).
+//!
+//! "The initial synopsis S0(G) partitions document elements into nodes
+//! based solely on their tag, and includes single-dimensional
+//! edge-histograms that cover path counts to forward-stable children
+//! only." Valued nodes additionally receive a small 1-D value summary so
+//! value predicates can be estimated at every budget.
+
+use crate::synopsis::{DimKind, ScopeDim, SynId, Synopsis};
+use xtwig_xml::Document;
+
+/// Options controlling the coarse synopsis' initial summaries.
+#[derive(Debug, Clone, Copy)]
+pub struct CoarseOptions {
+    /// Byte budget per edge histogram (a handful of buckets).
+    pub edge_hist_budget: usize,
+    /// Byte budget per value summary.
+    pub value_budget: usize,
+}
+
+impl Default for CoarseOptions {
+    fn default() -> Self {
+        CoarseOptions { edge_hist_budget: 48, value_budget: 36 }
+    }
+}
+
+/// Builds the label-split coarsest synopsis with default options.
+pub fn coarse_synopsis(doc: &Document) -> Synopsis {
+    coarse_synopsis_with(doc, CoarseOptions::default())
+}
+
+/// Builds the label-split coarsest synopsis with explicit options.
+pub fn coarse_synopsis_with(doc: &Document, opts: CoarseOptions) -> Synopsis {
+    // Partition by label: group index = label index.
+    let partition: Vec<u32> = doc.nodes().map(|n| doc.label(n).0 as u32).collect();
+    // Labels may be sparse in group space if some label ids are unused by
+    // elements (cannot happen: the table only holds interned labels of
+    // elements... attributes parse too, so all labels are used). Compact
+    // anyway to be safe against future builders interning unused labels.
+    let mut remap: Vec<u32> = vec![u32::MAX; doc.labels().len()];
+    let mut next = 0u32;
+    let mut compact = vec![0u32; partition.len()];
+    for (i, &g) in partition.iter().enumerate() {
+        if remap[g as usize] == u32::MAX {
+            remap[g as usize] = next;
+            next += 1;
+        }
+        compact[i] = remap[g as usize];
+    }
+    let mut s = Synopsis::from_partition(doc, &compact);
+    initialize_summaries(&mut s, doc, opts);
+    s
+}
+
+/// (Re)initializes every node's summaries to the coarse defaults:
+/// forward-stable scope dims with a small budget, plus 1-D value summaries
+/// on valued nodes.
+pub fn initialize_summaries(s: &mut Synopsis, doc: &Document, opts: CoarseOptions) {
+    let nodes: Vec<SynId> = s.node_ids().collect();
+    for n in nodes {
+        let scope: Vec<ScopeDim> = s
+            .children_of(n)
+            .to_vec()
+            .into_iter()
+            .filter(|&v| s.is_f_stable(n, v))
+            .map(|v| ScopeDim { parent: n, child: v, kind: DimKind::Forward })
+            .collect();
+        s.set_edge_hist(doc, n, scope, opts.edge_hist_budget);
+        s.set_value_summary(doc, n, opts.value_budget);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_xml::parse;
+
+    fn bib_doc() -> xtwig_xml::Document {
+        // The Figure 1 / Figure 3 document shape: authors with names,
+        // papers (title/year/keywords) and a book (title).
+        parse(concat!(
+            "<bib>",
+            "<author><name/>",
+            "<paper><title/><year>1999</year><keyword/><keyword/></paper>",
+            "<paper><title/><year>2002</year><keyword/></paper>",
+            "</author>",
+            "<author><name/>",
+            "<paper><title/><year>2001</year><keyword/></paper>",
+            "<book><title/></book>",
+            "</author>",
+            "<author><name/>",
+            "<paper><title/><year>2000</year><keyword/></paper>",
+            "</author>",
+            "</bib>"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn label_split_partitions_by_tag() {
+        let doc = bib_doc();
+        let s = coarse_synopsis(&doc);
+        s.check_invariants(&doc).unwrap();
+        // bib, author, name, paper, title, year, keyword, book = 8 nodes.
+        assert_eq!(s.node_count(), 8);
+        let author = s.nodes_with_tag("author")[0];
+        assert_eq!(s.extent_size(author), 3);
+        let paper = s.nodes_with_tag("paper")[0];
+        assert_eq!(s.extent_size(paper), 4);
+        assert_eq!(s.tag(s.root()), "bib");
+    }
+
+    #[test]
+    fn stability_matches_figure3() {
+        let doc = bib_doc();
+        let s = coarse_synopsis(&doc);
+        let author = s.nodes_with_tag("author")[0];
+        let paper = s.nodes_with_tag("paper")[0];
+        let book = s.nodes_with_tag("book")[0];
+        let title = s.nodes_with_tag("title")[0];
+        // A→P is both backward and forward stable (every paper has an
+        // author parent; every author has a paper).
+        assert!(s.is_b_stable(author, paper));
+        assert!(s.is_f_stable(author, paper));
+        // A→Book is backward stable but not forward stable.
+        assert!(s.is_b_stable(author, book));
+        assert!(!s.is_f_stable(author, book));
+        // P→T forward stable; T is shared with Book so P→T is not B-stable.
+        assert!(s.is_f_stable(paper, title));
+        assert!(!s.is_b_stable(paper, title));
+    }
+
+    #[test]
+    fn edge_counts_are_exact() {
+        let doc = bib_doc();
+        let s = coarse_synopsis(&doc);
+        let author = s.nodes_with_tag("author")[0];
+        let paper = s.nodes_with_tag("paper")[0];
+        let keyword = s.nodes_with_tag("keyword")[0];
+        let e = s.edge(author, paper).unwrap();
+        assert_eq!(e.child_count, 4);
+        assert_eq!(e.parent_count, 3);
+        let e2 = s.edge(paper, keyword).unwrap();
+        assert_eq!(e2.child_count, 5);
+        assert_eq!(e2.parent_count, 4);
+        assert!((s.avg_children(author, paper) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.exist_fraction(author, s.nodes_with_tag("book")[0]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coarse_histograms_cover_fstable_children() {
+        let doc = bib_doc();
+        let s = coarse_synopsis(&doc);
+        let author = s.nodes_with_tag("author")[0];
+        let h = s.edge_hist(author);
+        // F-stable children of author: name, paper (book is not F-stable).
+        let tags: Vec<&str> = h.scope.iter().map(|d| s.tag(d.child)).collect();
+        assert!(tags.contains(&"name"));
+        assert!(tags.contains(&"paper"));
+        assert!(!tags.contains(&"book"));
+        assert!(h.hist.total_mass() > 0.99);
+    }
+
+    #[test]
+    fn value_summaries_on_valued_nodes_only() {
+        let doc = bib_doc();
+        let s = coarse_synopsis(&doc);
+        let year = s.nodes_with_tag("year")[0];
+        assert!(s.value_summary(year).is_some());
+        let f = s.value_fraction(year, 2001, i64::MAX);
+        // Years: 1999, 2002, 2001, 2000 -> half are > 2000.
+        assert!((f - 0.5).abs() < 0.26, "{f}");
+        let name = s.nodes_with_tag("name")[0];
+        assert!(s.value_summary(name).is_none());
+    }
+
+    #[test]
+    fn size_is_accounted() {
+        let doc = bib_doc();
+        let s = coarse_synopsis(&doc);
+        let sz = s.size_bytes();
+        assert!(sz > 100, "{sz}");
+        assert!(sz < 4096, "{sz}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Synopsis construction (§5): refinement operations and the XBUILD
+//! marginal-gains driver.
+
+pub mod refine;
+pub mod sample;
+pub mod xbuild;
+
+pub use refine::Refinement;
+pub use xbuild::{
+    xbuild, xbuild_from, xbuild_from_with_workload, BuildOptions, BuildTrace, RoundInfo,
+    TruthSource,
+};

@@ -1,0 +1,98 @@
+//! Human-readable synopsis reports.
+//!
+//! [`describe`] renders what a built Twig XSKETCH actually recorded —
+//! node partition, stabilities, histogram scopes and sizes — the view a
+//! DBA would want when deciding whether the statistics budget is spent
+//! well. Used by `xtwig-cli inspect`.
+
+use crate::synopsis::{DimKind, SynId, Synopsis};
+use std::fmt::Write as _;
+
+/// Renders a multi-line report of the synopsis' contents.
+pub fn describe(s: &Synopsis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "synopsis: {} nodes, {} edges, {} bytes (root {} <{}>, depth {})",
+        s.node_count(),
+        s.edge_count(),
+        s.size_bytes(),
+        s.root(),
+        s.tag(s.root()),
+        s.max_depth()
+    );
+    let stable = s
+        .edge_iter()
+        .filter(|&(u, v, _)| s.is_b_stable(u, v) && s.is_f_stable(u, v))
+        .count();
+    let b_only = s
+        .edge_iter()
+        .filter(|&(u, v, _)| s.is_b_stable(u, v) && !s.is_f_stable(u, v))
+        .count();
+    let f_only = s
+        .edge_iter()
+        .filter(|&(u, v, _)| !s.is_b_stable(u, v) && s.is_f_stable(u, v))
+        .count();
+    let _ = writeln!(
+        out,
+        "stability: {stable} B+F, {b_only} B-only, {f_only} F-only, {} unstable",
+        s.edge_count() - stable - b_only - f_only
+    );
+    // Nodes, largest extents first.
+    let mut nodes: Vec<SynId> = s.node_ids().collect();
+    nodes.sort_by_key(|&n| std::cmp::Reverse(s.extent_size(n)));
+    for n in nodes {
+        let h = s.edge_hist(n);
+        let _ = write!(
+            out,
+            "  {n} <{}> |{}| hist[{} dims, {} buckets, {}B]",
+            s.tag(n),
+            s.extent_size(n),
+            h.scope.len(),
+            h.hist.buckets().len(),
+            h.size_bytes()
+        );
+        if !h.scope.is_empty() {
+            let dims: Vec<String> = h
+                .scope
+                .iter()
+                .map(|d| match d.kind {
+                    DimKind::Forward => format!("->{}<{}>", d.child, s.tag(d.child)),
+                    DimKind::Backward => {
+                        format!("^{}->{}<{}>", d.parent, d.child, s.tag(d.child))
+                    }
+                    DimKind::Value if d.child == d.parent => "val(self)".to_string(),
+                    DimKind::Value => format!("val({}<{}>)", d.child, s.tag(d.child)),
+                })
+                .collect();
+            let _ = write!(out, " scope{{{}}}", dims.join(", "));
+        }
+        if let Some(vs) = s.value_summary(n) {
+            let _ = write!(out, " values[{} buckets]", vs.hist.bucket_count());
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::coarse_synopsis;
+    use xtwig_xml::parse;
+
+    #[test]
+    fn report_mentions_every_node_and_stability_classes() {
+        let doc = parse(
+            "<bib><author><name/><paper><year>2001</year></paper></author><author><name/></author></bib>",
+        )
+        .unwrap();
+        let s = coarse_synopsis(&doc);
+        let report = describe(&s);
+        for tag in ["bib", "author", "name", "paper", "year"] {
+            assert!(report.contains(&format!("<{tag}>")), "missing {tag} in:\n{report}");
+        }
+        assert!(report.contains("stability:"));
+        assert!(report.contains("values["));
+    }
+}

@@ -1,0 +1,91 @@
+//! The estimation framework (§4): maximal-twig expansion, embedding
+//! enumeration, TREEPARSE, and evaluation of the selectivity expression
+//! under the paper's three statistical assumptions.
+//!
+//! Pipeline for a query `T_Q` over a synopsis `S`:
+//!
+//! 1. **Expansion + embedding** ([`expand`], [`embedding`]): every `//`
+//!    step is expanded to the valid synopsis paths, every multi-step path
+//!    is split into a chain of single-step twig nodes, and each node is
+//!    bound to a concrete synopsis node — producing the set of *maximal
+//!    twig embeddings* whose selectivities add up to the query's.
+//! 2. **TREEPARSE + evaluation** ([`eval`]): each embedding is walked
+//!    depth-first; at every node the recorded edge histogram supplies the
+//!    joint distribution of the needed forward counts, conditioned on
+//!    whatever enumerated ancestor counts appear among its backward
+//!    dimensions (*Correlation-Scope Independence*). Forward counts
+//!    outside the histogram's scope contribute their exact per-edge
+//!    average (*Forward Uniformity*) independently of everything else
+//!    (*Forward Independence*). Value and branching predicates multiply
+//!    in as fractions from the value summaries and the single-path
+//!    estimator.
+
+pub mod embedding;
+pub mod eval;
+pub mod expand;
+
+pub use embedding::{enumerate_embeddings, EmbNode, Embedding};
+pub use eval::estimate_embedding;
+
+use crate::synopsis::Synopsis;
+use xtwig_query::TwigQuery;
+
+/// Tunables for expansion and embedding enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimateOptions {
+    /// Hard cap on the number of embeddings evaluated per query (the sum
+    /// over embeddings is truncated beyond it).
+    pub max_embeddings: usize,
+    /// Maximum length of a synopsis chain a single `//` step may expand to
+    /// (0 = use the document depth recorded in the synopsis).
+    pub max_descendant_len: usize,
+}
+
+impl Default for EstimateOptions {
+    fn default() -> Self {
+        EstimateOptions { max_embeddings: 4096, max_descendant_len: 0 }
+    }
+}
+
+/// Estimates the selectivity (number of binding tuples) of `query` over
+/// the synopsis: the sum of the estimates of all maximal twig embeddings.
+pub fn estimate_selectivity(s: &Synopsis, query: &TwigQuery, opts: &EstimateOptions) -> f64 {
+    enumerate_embeddings(s, query, opts)
+        .iter()
+        .map(|e| estimate_embedding(s, e))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::coarse_synopsis;
+    use xtwig_query::{parse_twig, selectivity};
+    use xtwig_xml::parse;
+
+    #[test]
+    fn selectivity_is_the_sum_over_embeddings() {
+        // paper reachable under two parents: each embedding contributes.
+        let doc = parse(
+            "<bib><conf><paper><kw/></paper><paper><kw/><kw/></paper></conf>\
+             <journal><paper><kw/></paper></journal></bib>",
+        )
+        .unwrap();
+        let s = coarse_synopsis(&doc);
+        let opts = EstimateOptions::default();
+        let q = parse_twig("for $t0 in //paper, $t1 in $t0/kw").unwrap();
+        let embs = enumerate_embeddings(&s, &q, &opts);
+        assert_eq!(embs.len(), 2);
+        let sum: f64 = embs.iter().map(|e| estimate_embedding(&s, e)).sum();
+        let direct = estimate_selectivity(&s, &q, &opts);
+        assert!((sum - direct).abs() < 1e-12);
+        assert!((direct - selectivity(&doc, &q) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn options_default_caps_are_sane() {
+        let opts = EstimateOptions::default();
+        assert!(opts.max_embeddings >= 1024);
+        assert_eq!(opts.max_descendant_len, 0); // document depth
+    }
+}

@@ -1,0 +1,445 @@
+//! Synopsis serialization.
+//!
+//! A built Twig XSKETCH is exactly the artifact an optimizer ships: this
+//! module writes one to a compact, versioned binary snapshot and reads it
+//! back. Snapshots are **estimation-only** — the element extents (which
+//! the paper's space budget never charges, §5) are construction-time
+//! state and are not stored, so a loaded synopsis can answer
+//! [`estimate_selectivity`](crate::estimate_selectivity) but cannot be
+//! refined further (see [`Synopsis::has_extents`]).
+//!
+//! Format (little-endian, length-prefixed):
+//!
+//! ```text
+//! magic "XTWG" | version u32 | label table | root u32 | max_depth u32
+//! nodes: count u32, then per node: label u16, extent count u64
+//! edges: count u32, then per edge: u u32, v u32, child u64, parent u64
+//! per node: edge histogram (scope dims, buckets, value bucketizations,
+//!           budget, distinct), then optional value summary
+//! ```
+
+use crate::synopsis::{
+    DimKind, EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, SynopsisNode, ValueBuckets,
+    ValueSummary,
+};
+use std::collections::BTreeMap;
+use xtwig_histogram::{Bucket, MdHistogram, ValueHistogram};
+use xtwig_xml::{LabelId, LabelTable};
+
+const MAGIC: &[u8; 4] = b"XTWG";
+const VERSION: u32 = 1;
+
+/// Error produced by [`load_synopsis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// Byte offset where decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Serializes `s` to a binary snapshot.
+pub fn save_synopsis(s: &Synopsis) -> Vec<u8> {
+    let mut w = W { buf: Vec::with_capacity(4096) };
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(VERSION);
+    // Label table.
+    w.u32(s.labels().len() as u32);
+    for (_, name) in s.labels().iter() {
+        w.bytes(name.as_bytes());
+    }
+    w.u32(s.root().0);
+    w.u32(s.max_depth() as u32);
+    // Nodes.
+    w.u32(s.node_count() as u32);
+    for n in s.node_ids() {
+        w.u16(s.label(n).0);
+        w.u64(s.extent_size(n));
+    }
+    // Edges.
+    w.u32(s.edge_count() as u32);
+    for (u, v, rec) in s.edge_iter() {
+        w.u32(u.0);
+        w.u32(v.0);
+        w.u64(rec.child_count);
+        w.u64(rec.parent_count);
+    }
+    // Per-node summaries.
+    for n in s.node_ids() {
+        write_edge_hist(&mut w, s.edge_hist(n));
+        match s.value_summary(n) {
+            None => w.u8(0),
+            Some(vs) => {
+                w.u8(1);
+                let (buckets, total) = vs.hist.to_parts();
+                w.u32(vs.budget_bytes as u32);
+                w.u64(total);
+                w.u32(buckets.len() as u32);
+                for (lo, hi, count, distinct) in buckets {
+                    w.i64(lo);
+                    w.i64(hi);
+                    w.u64(count);
+                    w.u64(distinct);
+                }
+            }
+        }
+    }
+    w.buf
+}
+
+fn write_edge_hist(w: &mut W, h: &EdgeHistogram) {
+    w.u16(h.scope.len() as u16);
+    for d in &h.scope {
+        w.u32(d.parent.0);
+        w.u32(d.child.0);
+        w.u8(match d.kind {
+            DimKind::Forward => 0,
+            DimKind::Backward => 1,
+            DimKind::Value => 2,
+        });
+    }
+    w.u32(h.budget_bytes as u32);
+    w.u32(h.distinct_points as u32);
+    // The compressed distribution.
+    let buckets = h.hist.buckets();
+    w.u32(buckets.len() as u32);
+    for b in buckets {
+        w.f64(b.fraction);
+        for d in 0..h.scope.len() {
+            w.u32(b.lo[d]);
+            w.u32(b.hi[d]);
+            w.f64(b.mean[d]);
+        }
+    }
+    // Value bucketizations.
+    for vb in &h.value_buckets {
+        match vb {
+            None => w.u8(0),
+            Some(vb) => {
+                w.u8(1);
+                w.u32(vb.len() as u32);
+                for i in 0..vb.len() {
+                    w.i64(vb.lo[i]);
+                    w.i64(vb.hi[i]);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------
+
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, SnapshotError> {
+        Err(SnapshotError { offset: self.pos, message: message.into() })
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.pos + n > self.buf.len() {
+            return self.err("unexpected end of snapshot");
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError {
+            offset: self.pos,
+            message: "invalid UTF-8 in label".into(),
+        })
+    }
+}
+
+/// Deserializes a snapshot produced by [`save_synopsis`]. The returned
+/// synopsis is estimation-only (no extents).
+pub fn load_synopsis(bytes: &[u8]) -> Result<Synopsis, SnapshotError> {
+    let mut r = R { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return r.err("not an XTWG snapshot");
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return r.err(format!("unsupported snapshot version {version}"));
+    }
+    let label_count = r.u32()? as usize;
+    let mut labels = LabelTable::new();
+    for _ in 0..label_count {
+        let name = r.string()?;
+        labels.intern(&name);
+    }
+    let root = SynId(r.u32()?);
+    let max_depth = r.u32()? as usize;
+    let node_count = r.u32()? as usize;
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let label = LabelId(r.u16()?);
+        if label.index() >= labels.len() {
+            return r.err("node label out of range");
+        }
+        let count = r.u64()?;
+        nodes.push(SynopsisNode { label, extent: Vec::new(), count });
+    }
+    let edge_count = r.u32()? as usize;
+    let mut edges = BTreeMap::new();
+    for _ in 0..edge_count {
+        let u = SynId(r.u32()?);
+        let v = SynId(r.u32()?);
+        if u.index() >= node_count || v.index() >= node_count {
+            return r.err("edge endpoint out of range");
+        }
+        let child_count = r.u64()?;
+        let parent_count = r.u64()?;
+        edges.insert((u, v), SynopsisEdge { child_count, parent_count });
+    }
+    let mut edge_hists = Vec::with_capacity(node_count);
+    let mut value_summaries = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        edge_hists.push(read_edge_hist(&mut r, node_count)?);
+        let present = r.u8()?;
+        if present == 0 {
+            value_summaries.push(None);
+        } else {
+            let budget_bytes = r.u32()? as usize;
+            let total = r.u64()?;
+            let bcount = r.u32()? as usize;
+            let mut parts = Vec::with_capacity(bcount);
+            for _ in 0..bcount {
+                let lo = r.i64()?;
+                let hi = r.i64()?;
+                let count = r.u64()?;
+                let distinct = r.u64()?;
+                parts.push((lo, hi, count, distinct));
+            }
+            value_summaries.push(Some(ValueSummary {
+                hist: ValueHistogram::from_parts(parts, total),
+                budget_bytes,
+            }));
+        }
+    }
+    if r.pos != bytes.len() {
+        return r.err("trailing bytes after snapshot");
+    }
+    if root.index() >= node_count {
+        return r.err("root out of range");
+    }
+    Ok(Synopsis::from_raw_parts(
+        labels,
+        nodes,
+        edges,
+        root,
+        max_depth,
+        edge_hists,
+        value_summaries,
+    ))
+}
+
+fn read_edge_hist(r: &mut R<'_>, node_count: usize) -> Result<EdgeHistogram, SnapshotError> {
+    let dims = r.u16()? as usize;
+    let mut scope = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let parent = SynId(r.u32()?);
+        let child = SynId(r.u32()?);
+        if parent.index() >= node_count || child.index() >= node_count {
+            return r.err("scope dim endpoint out of range");
+        }
+        let kind = match r.u8()? {
+            0 => DimKind::Forward,
+            1 => DimKind::Backward,
+            2 => DimKind::Value,
+            k => return r.err(format!("unknown dim kind {k}")),
+        };
+        scope.push(ScopeDim { parent, child, kind });
+    }
+    let budget_bytes = r.u32()? as usize;
+    let distinct_points = r.u32()? as usize;
+    let bcount = r.u32()? as usize;
+    let mut buckets = Vec::with_capacity(bcount);
+    for _ in 0..bcount {
+        let fraction = r.f64()?;
+        let mut lo = Vec::with_capacity(dims);
+        let mut hi = Vec::with_capacity(dims);
+        let mut mean = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            lo.push(r.u32()?);
+            hi.push(r.u32()?);
+            mean.push(r.f64()?);
+        }
+        if !fraction.is_finite() || fraction < 0.0 {
+            return r.err("invalid bucket fraction");
+        }
+        buckets.push(Bucket { fraction, lo, hi, mean });
+    }
+    let mut value_buckets = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        if r.u8()? == 0 {
+            value_buckets.push(None);
+        } else {
+            let n = r.u32()? as usize;
+            let mut lo = Vec::with_capacity(n);
+            let mut hi = Vec::with_capacity(n);
+            for _ in 0..n {
+                lo.push(r.i64()?);
+                hi.push(r.i64()?);
+            }
+            value_buckets.push(Some(ValueBuckets { lo, hi }));
+        }
+    }
+    Ok(EdgeHistogram {
+        scope,
+        hist: MdHistogram::from_parts(dims, buckets),
+        value_buckets,
+        budget_bytes,
+        distinct_points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{xbuild, BuildOptions, TruthSource};
+    use crate::estimate::{estimate_selectivity, EstimateOptions};
+    use xtwig_query::parse_twig;
+    use xtwig_xml::parse;
+
+    fn built_synopsis() -> (xtwig_xml::Document, Synopsis) {
+        let doc = parse(concat!(
+            "<bib>",
+            "<author><name/><paper><title/><year>1999</year><keyword/><keyword/></paper></author>",
+            "<author><name/><paper><title/><year>2002</year><keyword/></paper><book><title/></book></author>",
+            "<author><name/><paper><title/><year>2001</year><keyword/></paper></author>",
+            "</bib>"
+        ))
+        .unwrap();
+        let opts = BuildOptions {
+            budget_bytes: 2048,
+            max_rounds: 40,
+            refinements_per_round: 2,
+            workload_with_values: true,
+            ..Default::default()
+        };
+        let (s, _) = xbuild(&doc, TruthSource::Exact, &opts);
+        (doc, s)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_estimates() {
+        let (_doc, s) = built_synopsis();
+        let bytes = save_synopsis(&s);
+        let loaded = load_synopsis(&bytes).unwrap();
+        assert!(!loaded.has_extents());
+        assert!(s.has_extents());
+        assert_eq!(loaded.node_count(), s.node_count());
+        assert_eq!(loaded.edge_count(), s.edge_count());
+        assert_eq!(loaded.size_bytes(), s.size_bytes());
+        let opts = EstimateOptions::default();
+        for text in [
+            "for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/keyword",
+            "for $t0 in //author[book], $t1 in $t0/name",
+            "for $t0 in //paper[year > 2000], $t1 in $t0/title",
+            "for $t0 in //keyword",
+        ] {
+            let q = parse_twig(text).unwrap();
+            let a = estimate_selectivity(&s, &q, &opts);
+            let b = estimate_selectivity(&loaded, &q, &opts);
+            assert!((a - b).abs() < 1e-12, "{text}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_stable() {
+        let (_doc, s) = built_synopsis();
+        let bytes = save_synopsis(&s);
+        let loaded = load_synopsis(&bytes).unwrap();
+        let bytes2 = save_synopsis(&loaded);
+        assert_eq!(bytes, bytes2);
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected() {
+        let (_doc, s) = built_synopsis();
+        let bytes = save_synopsis(&s);
+        // Truncations at every eighth position must error, never panic.
+        for cut in (0..bytes.len()).step_by(8) {
+            assert!(load_synopsis(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'Y';
+        assert!(load_synopsis(&bad).is_err());
+        // Wrong version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(load_synopsis(&bad).is_err());
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(load_synopsis(&bad).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Twig XSKETCH synopses — the primary contribution of *Selectivity
+//! Estimation for XML Twigs* (ICDE 2004).
+//!
+//! A Twig XSKETCH (Definition 3.1) is a graph summary of an XML document:
+//! elements are partitioned into synopsis nodes with a common tag, edges
+//! carry backward/forward stability information, and every node stores a
+//! multidimensional *edge histogram* approximating the joint distribution
+//! of its elements' edge counts (plus an optional value summary). The
+//! estimation framework (§4) expands a twig query into maximal twigs,
+//! embeds them into the synopsis, and evaluates the TREEPARSE selectivity
+//! expression under the paper's three statistical assumptions. The XBUILD
+//! algorithm (§5) constructs an accurate synopsis for a byte budget by
+//! greedy marginal-gains refinement.
+//!
+//! Crate map:
+//! * [`synopsis`] — the graph summary: nodes, extents, edges with exact
+//!   child/parent counts, derived B-/F-stability, per-node histograms.
+//! * [`coarse`] — the label-split coarsest synopsis `S0` (XBUILD's seed).
+//! * [`tsn`] — twig stable neighborhoods (§3.2).
+//! * [`single_path`] — the single-path XSKETCH estimator used for
+//!   `|A→B|` terms, branching predicates, and the §6.2 comparison.
+//! * [`estimate`] — maximal-twig expansion, embedding enumeration,
+//!   TREEPARSE, and the selectivity expression.
+//! * [`construct`] — refinement operations and the XBUILD driver.
+
+pub mod coarse;
+pub mod construct;
+pub mod describe;
+pub mod estimate;
+pub mod io;
+pub mod single_path;
+pub mod synopsis;
+pub mod tsn;
+
+pub use coarse::coarse_synopsis;
+pub use describe::describe;
+pub use io::{load_synopsis, save_synopsis, SnapshotError};
+pub use construct::{xbuild, BuildOptions, BuildTrace, Refinement, TruthSource};
+pub use estimate::{estimate_selectivity, EstimateOptions};
+pub use synopsis::{EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, ValueSummary};
+pub use tsn::twig_stable_neighborhood;

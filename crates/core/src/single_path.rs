@@ -1,0 +1,188 @@
+//! The single-path XSKETCH estimation framework [11, 12], as used inside
+//! the twig estimator.
+//!
+//! The twig framework (§4) delegates three sub-problems to single-path
+//! estimation: the `|A→B|` terms of the Forward Uniformity assumption,
+//! the existence fractions of branching predicates, and the §6.2
+//! comparison on single-path workloads. With the exact per-edge counts our
+//! synopses store, a chain estimate walks the synopsis path applying the
+//! uniformity assumption at every step: if a fraction `f` of `u`'s extent
+//! is reachable, then `child_count(u→v) · f` elements of `v` are reachable
+//! (children are assumed uniformly distributed over parents).
+
+use crate::estimate::expand::expand_path_from;
+use crate::estimate::EstimateOptions;
+use crate::synopsis::{SynId, Synopsis};
+use xtwig_query::{PathExpr, Pred};
+
+/// Estimated number of elements at the end of the synopsis chain
+/// `chain[0] → … → chain[k]`, starting from `start_count` elements of
+/// `chain[0]` (uniformity at every step).
+pub fn chain_count(s: &Synopsis, chain: &[SynId], start_count: f64) -> f64 {
+    let mut count = start_count;
+    for w in chain.windows(2) {
+        let (u, v) = (w[0], w[1]);
+        let size_u = s.extent_size(u) as f64;
+        if size_u == 0.0 {
+            return 0.0;
+        }
+        let frac = (count / size_u).min(1.0);
+        let child_count = s.edge(u, v).map_or(0, |e| e.child_count) as f64;
+        count = child_count * frac;
+    }
+    count
+}
+
+/// Estimated fraction of `from`'s elements satisfying the existential
+/// branch predicate `[path]` (with optional value restriction), combining
+/// per-step existence fractions under independence and summing alternative
+/// synopsis expansions as disjoint-ish alternatives
+/// (`1 − Π(1 − f_alt)`).
+pub fn branch_fraction(s: &Synopsis, from: SynId, pred: &Pred, opts: &EstimateOptions) -> f64 {
+    let Some(path) = &pred.path else {
+        // Self value predicate: fraction of elements with value in range.
+        let Some(r) = pred.value else { return 1.0 };
+        return s.value_fraction(from, r.lo, r.hi);
+    };
+    let chains = expand_path_from(s, from, path, opts);
+    let mut miss_all = 1.0f64;
+    for chain in &chains {
+        // chain.nodes excludes `from`; existence fraction along the chain.
+        let mut f = 1.0f64;
+        let mut prev = from;
+        for link in &chain.nodes {
+            f *= s.exist_fraction(prev, link.syn);
+            // Chained predicates nested inside the branch path.
+            f *= link.pred_fraction;
+            prev = link.syn;
+        }
+        if let Some(r) = pred.value {
+            f *= s.value_fraction(prev, r.lo, r.hi);
+        }
+        miss_all *= 1.0 - f.clamp(0.0, 1.0);
+    }
+    (1.0 - miss_all).clamp(0.0, 1.0)
+}
+
+/// Estimates the result count of a single (absolute) path expression over
+/// the synopsis — the single-path XSKETCH estimator used by the §6.2
+/// comparison bench. Branch and value predicates multiply in as fractions.
+pub fn estimate_path_count(s: &Synopsis, path: &PathExpr, opts: &EstimateOptions) -> f64 {
+    let chains = crate::estimate::expand::expand_path_absolute(s, path, opts);
+    let mut total = 0.0;
+    for chain in &chains {
+        // The chain starts at the synopsis root node, which matches exactly
+        // one document element (the root).
+        let mut count = 1.0f64;
+        let mut prev = chain.nodes[0].syn;
+        count *= chain.nodes[0].pred_fraction;
+        for link in &chain.nodes[1..] {
+            let size_prev = s.extent_size(prev) as f64;
+            let frac = if size_prev > 0.0 { (count / size_prev).min(1.0) } else { 0.0 };
+            let child_count = s.edge(prev, link.syn).map_or(0, |e| e.child_count) as f64;
+            count = child_count * frac * link.pred_fraction;
+            prev = link.syn;
+        }
+        total += count;
+    }
+    total
+}
+
+/// Convenience: the `|u→v|` estimate of the paper — the number of elements
+/// of `v` with a parent in `u`, which our synopsis stores exactly; equals
+/// `|v|` when the edge is B-stable, as the paper notes.
+pub fn edge_reach(s: &Synopsis, u: SynId, v: SynId) -> f64 {
+    s.edge(u, v).map_or(0, |e| e.child_count) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::coarse_synopsis;
+    use xtwig_query::parse_path;
+    use xtwig_xml::parse;
+
+    fn doc() -> xtwig_xml::Document {
+        parse(concat!(
+            "<bib>",
+            "<author><name/>",
+            "<paper><title/><year>1999</year><keyword/><keyword/></paper>",
+            "<paper><title/><year>2002</year><keyword/></paper>",
+            "</author>",
+            "<author><name/>",
+            "<paper><title/><year>2001</year><keyword/></paper>",
+            "<book><title/></book>",
+            "</author>",
+            "</bib>"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_count_is_exact_on_stable_chains() {
+        let d = doc();
+        let s = coarse_synopsis(&d);
+        let bib = s.root();
+        let author = s.nodes_with_tag("author")[0];
+        let paper = s.nodes_with_tag("paper")[0];
+        let keyword = s.nodes_with_tag("keyword")[0];
+        // /bib/author/paper/keyword: all edges B-stable in this document;
+        // chain from the root (1 element) reaches all 4 keywords.
+        let c = chain_count(&s, &[bib, author, paper, keyword], 1.0);
+        assert!((c - 4.0).abs() < 1e-9, "{c}");
+        // Starting from a fraction of authors scales linearly.
+        let c2 = chain_count(&s, &[author, paper], 1.0);
+        assert!((c2 - 1.5).abs() < 1e-9, "{c2}");
+    }
+
+    #[test]
+    fn estimate_path_count_simple() {
+        let d = doc();
+        let s = coarse_synopsis(&d);
+        let opts = EstimateOptions::default();
+        let p = parse_path("/bib/author/paper").unwrap();
+        let est = estimate_path_count(&s, &p, &opts);
+        assert!((est - 3.0).abs() < 1e-9, "{est}");
+        let p2 = parse_path("//keyword").unwrap();
+        let est2 = estimate_path_count(&s, &p2, &opts);
+        assert!((est2 - 4.0).abs() < 1e-9, "{est2}");
+    }
+
+    #[test]
+    fn branch_fraction_single_step() {
+        let d = doc();
+        let s = coarse_synopsis(&d);
+        let opts = EstimateOptions::default();
+        let author = s.nodes_with_tag("author")[0];
+        // [book]: one of two authors has a book.
+        let pred = Pred::branch(PathExpr::child("book"));
+        let f = branch_fraction(&s, author, &pred, &opts);
+        assert!((f - 0.5).abs() < 1e-9, "{f}");
+        // [paper]: F-stable, every author qualifies.
+        let pred2 = Pred::branch(PathExpr::child("paper"));
+        let f2 = branch_fraction(&s, author, &pred2, &opts);
+        assert!((f2 - 1.0).abs() < 1e-9, "{f2}");
+    }
+
+    #[test]
+    fn branch_fraction_with_value() {
+        let d = doc();
+        let s = coarse_synopsis(&d);
+        let opts = EstimateOptions::default();
+        let paper = s.nodes_with_tag("paper")[0];
+        // [year > 2000]: 2 of 3 years qualify; every paper has a year, so
+        // fraction ≈ 2/3 (value histogram approximation).
+        let pred = xtwig_query::parse_path("/x[year > 2000]").unwrap().steps[0].preds[0].clone();
+        let f = branch_fraction(&s, paper, &pred, &opts);
+        assert!(f > 0.3 && f <= 1.0, "{f}");
+    }
+
+    #[test]
+    fn edge_reach_equals_child_count() {
+        let d = doc();
+        let s = coarse_synopsis(&d);
+        let author = s.nodes_with_tag("author")[0];
+        let book = s.nodes_with_tag("book")[0];
+        assert_eq!(edge_reach(&s, author, book), 1.0);
+    }
+}

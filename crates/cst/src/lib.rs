@@ -1,0 +1,25 @@
+//! Correlated Suffix Trees — the comparison baseline of §6 (Chen et al.,
+//! *Counting Twig Matches in a Tree*, ICDE 2001).
+//!
+//! Following the paper's comparison setup, this is the **structure-only**
+//! variant: "we have modified the CST construction algorithm to ignore
+//! element values and build a trie on the path structure of the document
+//! only". The summary is a trie over every *ending substring* of every
+//! root-to-element label path: the node for label string `s` counts the
+//! elements whose path ends with `s` — exactly the answer set of the
+//! descendant query `//s1/s2/…/sk`.
+//!
+//! Construction inserts all suffixes and then greedily prunes the
+//! lowest-count subtrees until the byte budget is met (the paper: "CST
+//! construction is based on the greedy pruning of low-frequency nodes").
+//! Estimation uses maximal-overlap chaining for pruned strings (the
+//! P-MOSH estimator the authors found most accurate; our variant stores
+//! exact subtwig counts where the trie retains them, which can only help
+//! the baseline) and combines twig branches under independence at the
+//! branch node.
+
+mod estimate;
+mod trie;
+
+pub use estimate::estimate_twig;
+pub use trie::{Cst, CstOptions};

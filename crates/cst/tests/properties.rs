@@ -1,0 +1,94 @@
+//! Property tests for the CST baseline: unpruned tries answer
+//! descendant-anchored path counts exactly, estimates degrade gracefully
+//! under pruning, and the twig estimator stays total.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xtwig_cst::{estimate_twig, Cst, CstOptions};
+use xtwig_query::{parse_twig, selectivity};
+use xtwig_xml::{Document, DocumentBuilder};
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn random_doc(seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DocumentBuilder::new();
+    b.open("r", None);
+    for _ in 0..rng.random_range(2..8u32) {
+        b.open(TAGS[rng.random_range(0..TAGS.len())], None);
+        for _ in 0..rng.random_range(0..5u32) {
+            b.open(TAGS[rng.random_range(0..TAGS.len())], None);
+            for _ in 0..rng.random_range(0..3u32) {
+                b.leaf(TAGS[rng.random_range(0..TAGS.len())], None);
+            }
+            b.close();
+        }
+        b.close();
+    }
+    b.close();
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn unpruned_suffix_counts_match_descendant_queries(seed in 1u64..5000) {
+        let doc = random_doc(seed);
+        let cst = Cst::build(&doc, CstOptions { budget_bytes: 1 << 22, max_path_len: 16 });
+        // Every 1- and 2-label ending string agrees with //x and //x/y.
+        for x in TAGS {
+            let q = parse_twig(&format!("for $t0 in //{x}")).unwrap();
+            let truth = selectivity(&doc, &q) as f64;
+            let s = cst.resolve(&[x]);
+            let got = s.map_or(0.0, |ids| cst.path_count(&ids));
+            prop_assert!((got - truth).abs() < 1e-9, "//{x}: {got} vs {truth}");
+            for y in TAGS {
+                let q = parse_twig(&format!("for $t0 in //{x}, $t1 in $t0/{y}")).unwrap();
+                let truth = selectivity(&doc, &q) as f64;
+                let got = cst
+                    .resolve(&[x, y])
+                    .map_or(0.0, |ids| cst.path_count(&ids));
+                prop_assert!((got - truth).abs() < 1e-9, "//{x}/{y}: {got} vs {truth}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_monotone_in_budget(seed in 1u64..5000) {
+        let doc = random_doc(seed);
+        let small = Cst::build(&doc, CstOptions { budget_bytes: 100, max_path_len: 16 });
+        let big = Cst::build(&doc, CstOptions { budget_bytes: 1 << 20, max_path_len: 16 });
+        prop_assert!(small.node_count() <= big.node_count());
+        prop_assert!(small.size_bytes() <= 100);
+    }
+
+    #[test]
+    fn twig_estimates_are_total_and_nonnegative(seed in 1u64..5000, budget in 64usize..4096) {
+        let doc = random_doc(seed);
+        let cst = Cst::build(&doc, CstOptions { budget_bytes: budget, max_path_len: 16 });
+        for text in [
+            "for $t0 in //a, $t1 in $t0/b, $t2 in $t0/c",
+            "for $t0 in //b, $t1 in $t0/c/d",
+            "for $t0 in /r, $t1 in $t0/a",
+            "for $t0 in //d, $t1 in $t0/a",
+        ] {
+            let q = parse_twig(text).unwrap();
+            let est = estimate_twig(&cst, &q);
+            prop_assert!(est.is_finite() && est >= 0.0, "{text}: {est}");
+        }
+    }
+
+    #[test]
+    fn single_node_twigs_match_suffix_counts(seed in 1u64..5000) {
+        let doc = random_doc(seed);
+        let cst = Cst::build(&doc, CstOptions { budget_bytes: 1 << 22, max_path_len: 16 });
+        for x in TAGS {
+            let q = parse_twig(&format!("for $t0 in //{x}")).unwrap();
+            let est = estimate_twig(&cst, &q);
+            let truth = selectivity(&doc, &q) as f64;
+            prop_assert!((est - truth).abs() < 1e-9, "//{x}: {est} vs {truth}");
+        }
+    }
+}

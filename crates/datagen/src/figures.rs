@@ -1,0 +1,121 @@
+//! The paper's illustrative documents, as reusable fixtures.
+
+use xtwig_xml::{parse, Document, DocumentBuilder};
+
+/// Figure 4(a): two `a` elements with (10 b, 100 c) and (100 b, 10 c)
+/// children — twig selectivity 2000 for `(A, A/B, A/C)`.
+pub fn figure4_a() -> Document {
+    figure4(&[(10, 100), (100, 10)])
+}
+
+/// Figure 4(b): (100 b, 100 c) and (10 b, 10 c) — twig selectivity 10100,
+/// although every single path expression behaves exactly as in
+/// [`figure4_a`].
+pub fn figure4_b() -> Document {
+    figure4(&[(100, 100), (10, 10)])
+}
+
+fn figure4(counts: &[(usize, usize)]) -> Document {
+    let mut b = DocumentBuilder::new();
+    b.open("R", None);
+    for &(nb, nc) in counts {
+        b.open("A", None);
+        for _ in 0..nb {
+            b.leaf("B", None);
+        }
+        for _ in 0..nc {
+            b.leaf("C", None);
+        }
+        b.close();
+    }
+    b.close();
+    b.finish()
+}
+
+/// The Figure 1 bibliography: authors with names, papers (title / year /
+/// keywords) and a book. Example 2.1's twig query (`//author`, `name`,
+/// `paper[year > 2000]`, `title`, `keyword`) yields exactly 3 binding
+/// tuples on it.
+pub fn bibliography() -> Document {
+    parse(concat!(
+        "<bib>",
+        "<author>",
+        "<name/>",
+        "<paper><title/><year>1999</year><keyword/><keyword/></paper>",
+        "<paper><title/><year>2002</year><keyword/><keyword/></paper>",
+        "</author>",
+        "<author>",
+        "<name/>",
+        "<paper><title/><year>2001</year><keyword/></paper>",
+        "<book><title/></book>",
+        "</author>",
+        "<author>",
+        "<name/>",
+        "<paper><title/><year>2000</year><keyword/></paper>",
+        "</author>",
+        "</bib>"
+    ))
+    .expect("static document parses")
+}
+
+/// The Example 3.1 / §4 worked-example instance: three authors with
+/// (papers, names) = (2,1), (1,1), (1,1); papers with (keywords, years) =
+/// (2,1), (1,1), (1,1), (1,1); two books. The §4 estimation example
+/// evaluates to 10/3 on the Fig. 6 embedding over this data.
+pub fn worked_example() -> Document {
+    parse(concat!(
+        "<bib>",
+        "<author><name/>",
+        "<paper><keyword/><keyword/><year>1999</year></paper>",
+        "<paper><keyword/><year>2002</year></paper>",
+        "</author>",
+        "<author><name/>",
+        "<paper><keyword/><year>2001</year></paper>",
+        "<book/>",
+        "</author>",
+        "<author><name/>",
+        "<paper><keyword/><year>2000</year></paper>",
+        "<book/>",
+        "</author>",
+        "</bib>"
+    ))
+    .expect("static document parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_query::{parse_twig, selectivity};
+
+    #[test]
+    fn figure4_selectivities() {
+        let q = parse_twig("for $t0 in //A, $t1 in $t0/B, $t2 in $t0/C").unwrap();
+        assert_eq!(selectivity(&figure4_a(), &q), 2000);
+        assert_eq!(selectivity(&figure4_b(), &q), 10100);
+        // Single paths agree across the two documents.
+        for p in ["for $t0 in //B", "for $t0 in //C", "for $t0 in //A"] {
+            let q = parse_twig(p).unwrap();
+            assert_eq!(selectivity(&figure4_a(), &q), selectivity(&figure4_b(), &q));
+        }
+    }
+
+    #[test]
+    fn bibliography_matches_example_2_1() {
+        let doc = bibliography();
+        let q = parse_twig(
+            "for $t0 in //author, $t1 in $t0/name, $t2 in $t0/paper[year > 2000], \
+             $t3 in $t2/title, $t4 in $t2/keyword",
+        )
+        .unwrap();
+        assert_eq!(selectivity(&doc, &q), 3);
+    }
+
+    #[test]
+    fn worked_example_shape() {
+        let doc = worked_example();
+        let q = parse_twig("for $t0 in //paper").unwrap();
+        assert_eq!(selectivity(&doc, &q), 4);
+        let qb = parse_twig("for $t0 in //book").unwrap();
+        assert_eq!(selectivity(&doc, &qb), 2);
+    }
+}

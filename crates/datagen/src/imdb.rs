@@ -1,0 +1,210 @@
+//! IMDB-like movie data generator (skewed, correlated structure).
+//!
+//! Reproduces the statistical character the paper's IMDB snapshot brings
+//! to the evaluation: strong correlations between a movie's genre and the
+//! counts of its actors/producers/keywords (the paper's own §1 example),
+//! Zipf-skewed fanouts, genre-correlated years, and optional substructure
+//! (trivia, goofs, reviews) that breaks stability for many edges. The
+//! coarse label-split synopsis therefore starts with a high estimation
+//! error that XBUILD's refinements then reduce — the Figure 9 shape.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xtwig_xml::{Document, DocumentBuilder};
+
+/// Configuration for [`imdb`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImdbConfig {
+    /// Number of movie elements.
+    pub movies: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ImdbConfig {
+    /// Scales the default size (≈103k elements at 1.0).
+    pub fn scaled(scale: f64, seed: u64) -> ImdbConfig {
+        ImdbConfig { movies: ((4130.0 * scale).round() as usize).max(1), seed }
+    }
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig::scaled(1.0, 0x1111)
+    }
+}
+
+/// Movie genres with their structural profile:
+/// (tag value, weight, actor base, producer base, keyword base, year range).
+struct Genre {
+    value: i64,
+    weight: f64,
+    actors: (u32, u32),
+    producers: (u32, u32),
+    keywords: (u32, u32),
+    years: (i64, i64),
+}
+
+const GENRES: [Genre; 5] = [
+    // Action blockbusters: many actors and producers, recent years.
+    Genre { value: 1, weight: 0.30, actors: (8, 20), producers: (3, 7), keywords: (4, 9), years: (1985, 2003) },
+    // Drama: medium casts.
+    Genre { value: 2, weight: 0.30, actors: (4, 10), producers: (1, 3), keywords: (2, 6), years: (1950, 2003) },
+    // Comedy: medium-small casts.
+    Genre { value: 3, weight: 0.20, actors: (3, 8), producers: (1, 3), keywords: (2, 5), years: (1960, 2003) },
+    // Documentary: few actors, single producer, older spread.
+    Genre { value: 4, weight: 0.15, actors: (0, 2), producers: (1, 2), keywords: (1, 4), years: (1940, 2003) },
+    // Shorts: minimal structure.
+    Genre { value: 5, weight: 0.05, actors: (0, 1), producers: (0, 1), keywords: (0, 2), years: (1920, 2003) },
+];
+
+/// Generates an IMDB-like document.
+pub fn imdb(cfg: ImdbConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DocumentBuilder::new();
+    // Zipf over the actor-count range amplifies skew inside each genre.
+    let skew = Zipf::new(8, 1.1);
+    b.open("imdb", None);
+    for _ in 0..cfg.movies {
+        movie(&mut b, &mut rng, &skew);
+    }
+    b.close();
+    b.finish()
+}
+
+fn pick_genre(rng: &mut StdRng) -> &'static Genre {
+    let mut x: f64 = rng.random_range(0.0..1.0);
+    for g in &GENRES {
+        if x < g.weight {
+            return g;
+        }
+        x -= g.weight;
+    }
+    &GENRES[GENRES.len() - 1]
+}
+
+fn movie(b: &mut DocumentBuilder, rng: &mut StdRng, skew: &Zipf) {
+    let g = pick_genre(rng);
+    b.open("movie", None);
+    b.leaf("title", None);
+    b.leaf("type", Some(g.value));
+    b.leaf("year", Some(rng.random_range(g.years.0..=g.years.1)));
+    // Skewed fanouts: a Zipf rank shrinks the genre's base range, so a few
+    // movies get the full cast and most get less.
+    let shrink = skew.sample(rng) as u32;
+    let actors = sample_count(rng, g.actors, shrink);
+    for _ in 0..actors {
+        b.open("actor", None);
+        b.leaf("name", None);
+        if rng.random_bool(0.2) {
+            b.leaf("role", None);
+        }
+        b.close();
+    }
+    // Producers correlate with actors: big casts get the full producer
+    // range, small casts the minimum.
+    let producers = if actors > g.actors.1.saturating_sub(g.actors.0) / 2 + g.actors.0 {
+        g.producers.1
+    } else {
+        sample_count(rng, g.producers, shrink)
+    };
+    for _ in 0..producers {
+        b.leaf("producer", None);
+    }
+    if rng.random_bool(0.8) {
+        b.leaf("director", None);
+    }
+    for _ in 0..sample_count(rng, g.keywords, 1) {
+        b.leaf("keyword", None);
+    }
+    // Optional substructure: present mostly on popular (large-cast) movies,
+    // another correlation the synopsis must discover.
+    if actors >= g.actors.0 + (g.actors.1 - g.actors.0) / 2 {
+        if rng.random_bool(0.7) {
+            b.open("reviews", None);
+            for _ in 0..rng.random_range(1..=3u32) {
+                b.open("review", None);
+                b.leaf("rating", Some(rng.random_range(1..=10)));
+                b.close();
+            }
+            b.close();
+        }
+        if rng.random_bool(0.4) {
+            b.leaf("trivia", None);
+        }
+    } else if rng.random_bool(0.1) {
+        b.leaf("trivia", None);
+    }
+    b.close();
+}
+
+fn sample_count(rng: &mut StdRng, (lo, hi): (u32, u32), shrink: u32) -> u32 {
+    if hi == 0 {
+        return 0;
+    }
+    let hi_eff = (hi / shrink.max(1)).max(lo);
+    if hi_eff <= lo {
+        lo
+    } else {
+        rng.random_range(lo..=hi_eff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_query::{parse_twig, selectivity};
+
+    #[test]
+    fn scale_one_matches_table1_ballpark() {
+        let doc = imdb(ImdbConfig::default());
+        doc.check_invariants().unwrap();
+        let n = doc.len();
+        assert!(
+            (85_000..125_000).contains(&n),
+            "IMDB scale 1.0 produced {n} elements"
+        );
+    }
+
+    #[test]
+    fn genre_correlates_with_cast_size() {
+        let doc = imdb(ImdbConfig { movies: 800, seed: 5 });
+        // Average actors per action movie (type=1) must clearly exceed the
+        // documentary (type=4) average.
+        let act = parse_twig("for $t0 in //movie[type = 1], $t1 in $t0/actor").unwrap();
+        let act_movies = parse_twig("for $t0 in //movie[type = 1]").unwrap();
+        let doc_q = parse_twig("for $t0 in //movie[type = 4], $t1 in $t0/actor").unwrap();
+        let doc_movies = parse_twig("for $t0 in //movie[type = 4]").unwrap();
+        let avg_action = selectivity(&doc, &act) as f64 / selectivity(&doc, &act_movies) as f64;
+        let avg_doc = selectivity(&doc, &doc_q) as f64 / selectivity(&doc, &doc_movies) as f64;
+        assert!(
+            avg_action > 3.0 * avg_doc.max(0.1),
+            "action {avg_action} vs documentary {avg_doc}"
+        );
+    }
+
+    #[test]
+    fn twig_correlation_beats_independence() {
+        // The actor×producer join per movie must be super-multiplicative:
+        // E[a·p] > E[a]·E[p] (positive correlation), which is exactly what
+        // a coarse synopsis gets wrong.
+        let doc = imdb(ImdbConfig { movies: 600, seed: 9 });
+        let movies = selectivity(&doc, &parse_twig("for $t0 in //movie").unwrap()) as f64;
+        let actors =
+            selectivity(&doc, &parse_twig("for $t0 in //movie, $t1 in $t0/actor").unwrap()) as f64;
+        let producers = selectivity(
+            &doc,
+            &parse_twig("for $t0 in //movie, $t1 in $t0/producer").unwrap(),
+        ) as f64;
+        let joint = selectivity(
+            &doc,
+            &parse_twig("for $t0 in //movie, $t1 in $t0/actor, $t2 in $t0/producer").unwrap(),
+        ) as f64;
+        let independent = actors * producers / movies;
+        assert!(
+            joint > 1.2 * independent,
+            "joint {joint} vs independent {independent}"
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! XMark-like auction-site generator (uniform, regular structure).
+//!
+//! Follows the published XMark DTD skeleton: `site` with `regions` (six
+//! continents of `item`s), `categories`, `people` (with nested `profile`
+//! and `watches`), `open_auctions` (with `bidder` sequences) and
+//! `closed_auctions`. Item descriptions use the recursive
+//! `description/parlist/listitem` structure, which exercises synopsis
+//! cycles and `//` expansion. All counts are drawn from uniform ranges —
+//! the paper notes XMark "is generated from uniform distributions and is
+//! thus more regular in structure", which keeps estimation error low at
+//! every budget.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xtwig_xml::{Document, DocumentBuilder};
+
+/// Configuration for [`xmark`].
+#[derive(Debug, Clone, Copy)]
+pub struct XMarkConfig {
+    /// Size multiplier; 1.0 targets ≈103k elements (the paper's Table 1).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XMarkConfig {
+    fn default() -> Self {
+        XMarkConfig { scale: 1.0, seed: 0x71A2 }
+    }
+}
+
+const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// Generates an XMark-like document.
+pub fn xmark(cfg: XMarkConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DocumentBuilder::new();
+    // Calibrated so scale 1.0 lands near 103k elements.
+    let items_per_region = scaled(cfg.scale, 580);
+    let categories = scaled(cfg.scale, 176);
+    let people = scaled(cfg.scale, 2240);
+    let open_auctions = scaled(cfg.scale, 1054);
+    let closed_auctions = scaled(cfg.scale, 878);
+
+    b.open("site", None);
+
+    b.open("regions", None);
+    for region in REGIONS {
+        b.open(region, None);
+        for _ in 0..items_per_region {
+            item(&mut b, &mut rng, categories);
+        }
+        b.close();
+    }
+    b.close();
+
+    b.open("categories", None);
+    for _ in 0..categories {
+        b.open("category", None);
+        b.leaf("name", None);
+        description(&mut b, &mut rng, 2);
+        b.close();
+    }
+    b.close();
+
+    b.open("people", None);
+    for _ in 0..people {
+        person(&mut b, &mut rng);
+    }
+    b.close();
+
+    b.open("open_auctions", None);
+    for _ in 0..open_auctions {
+        open_auction(&mut b, &mut rng);
+    }
+    b.close();
+
+    b.open("closed_auctions", None);
+    for _ in 0..closed_auctions {
+        closed_auction(&mut b, &mut rng);
+    }
+    b.close();
+
+    b.close(); // site
+    b.finish()
+}
+
+fn scaled(scale: f64, base: usize) -> usize {
+    ((base as f64 * scale).round() as usize).max(1)
+}
+
+fn item(b: &mut DocumentBuilder, rng: &mut StdRng, categories: usize) {
+    b.open("item", None);
+    b.leaf("location", None);
+    b.leaf("quantity", Some(rng.random_range(1..10)));
+    b.leaf("name", None);
+    b.leaf("payment", None);
+    description(b, rng, 3);
+    b.leaf("shipping", None);
+    for _ in 0..rng.random_range(1..=3u32) {
+        b.leaf("incategory", Some(rng.random_range(0..categories as i64)));
+    }
+    if rng.random_bool(0.3) {
+        b.open("mailbox", None);
+        for _ in 0..rng.random_range(1..=2u32) {
+            b.open("mail", None);
+            b.leaf("from", None);
+            b.leaf("to", None);
+            b.leaf("date", Some(rng.random_range(19980101..20031231)));
+            b.leaf("text", None);
+            b.close();
+        }
+        b.close();
+    }
+    b.close();
+}
+
+/// `description` with the recursive `parlist`/`listitem` structure.
+fn description(b: &mut DocumentBuilder, rng: &mut StdRng, max_depth: u32) {
+    b.open("description", None);
+    if max_depth > 0 && rng.random_bool(0.35) {
+        parlist(b, rng, max_depth);
+    } else {
+        b.leaf("text", None);
+    }
+    b.close();
+}
+
+fn parlist(b: &mut DocumentBuilder, rng: &mut StdRng, depth: u32) {
+    b.open("parlist", None);
+    for _ in 0..rng.random_range(1..=2u32) {
+        b.open("listitem", None);
+        if depth > 1 && rng.random_bool(0.25) {
+            parlist(b, rng, depth - 1);
+        } else {
+            b.leaf("text", None);
+        }
+        b.close();
+    }
+    b.close();
+}
+
+fn person(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("person", None);
+    b.leaf("name", None);
+    b.leaf("emailaddress", None);
+    if rng.random_bool(0.5) {
+        b.leaf("phone", None);
+    }
+    if rng.random_bool(0.4) {
+        b.open("address", None);
+        b.leaf("street", None);
+        b.leaf("city", None);
+        b.leaf("country", None);
+        b.leaf("zipcode", Some(rng.random_range(10000..99999)));
+        b.close();
+    }
+    if rng.random_bool(0.3) {
+        b.leaf("creditcard", None);
+    }
+    if rng.random_bool(0.5) {
+        b.open("profile", None);
+        for _ in 0..rng.random_range(0..=3u32) {
+            b.leaf("interest", Some(rng.random_range(0..100)));
+        }
+        if rng.random_bool(0.7) {
+            b.leaf("education", None);
+        }
+        b.leaf("gender", Some(rng.random_range(0..2)));
+        b.leaf("business", Some(rng.random_range(0..2)));
+        if rng.random_bool(0.6) {
+            b.leaf("age", Some(rng.random_range(18..90)));
+        }
+        b.close();
+    }
+    if rng.random_bool(0.4) {
+        b.open("watches", None);
+        for _ in 0..rng.random_range(1..=3u32) {
+            b.leaf("watch", None);
+        }
+        b.close();
+    }
+    b.close();
+}
+
+fn open_auction(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("open_auction", None);
+    b.leaf("initial", Some(rng.random_range(1..200)));
+    if rng.random_bool(0.5) {
+        b.leaf("reserve", Some(rng.random_range(50..500)));
+    }
+    for _ in 0..rng.random_range(0..=5u32) {
+        b.open("bidder", None);
+        b.leaf("date", Some(rng.random_range(19990101..20031231)));
+        b.leaf("time", None);
+        b.leaf("increase", Some(rng.random_range(1..50)));
+        b.close();
+    }
+    b.leaf("current", Some(rng.random_range(1..1000)));
+    b.leaf("itemref", None);
+    b.leaf("seller", None);
+    b.leaf("annotation", None);
+    b.leaf("quantity", Some(rng.random_range(1..10)));
+    b.leaf("type", None);
+    b.open("interval", None);
+    b.leaf("start", Some(rng.random_range(19990101..20021231)));
+    b.leaf("end", Some(rng.random_range(20021231..20041231)));
+    b.close();
+    b.close();
+}
+
+fn closed_auction(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("closed_auction", None);
+    b.leaf("seller", None);
+    b.leaf("buyer", None);
+    b.leaf("itemref", None);
+    b.leaf("price", Some(rng.random_range(1..2000)));
+    b.leaf("date", Some(rng.random_range(19990101..20031231)));
+    b.leaf("quantity", Some(rng.random_range(1..10)));
+    b.leaf("type", None);
+    b.leaf("annotation", None);
+    b.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_xml::DocStats;
+
+    #[test]
+    fn scale_one_matches_table1_ballpark() {
+        let doc = xmark(XMarkConfig::default());
+        doc.check_invariants().unwrap();
+        let n = doc.len();
+        assert!(
+            (85_000..125_000).contains(&n),
+            "XMark scale 1.0 produced {n} elements"
+        );
+        let stats = DocStats::compute(&doc);
+        assert!(stats.label_count >= 35, "{}", stats.label_count);
+        assert!(stats.max_depth >= 6);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = xmark(XMarkConfig { scale: 0.02, seed: 3 });
+        let d = xmark(XMarkConfig { scale: 0.02, seed: 3 });
+        assert_eq!(a.len(), d.len());
+        assert_eq!(xtwig_xml::write_xml(&a), xtwig_xml::write_xml(&d));
+        let other = xmark(XMarkConfig { scale: 0.02, seed: 4 });
+        assert_ne!(xtwig_xml::write_xml(&a), xtwig_xml::write_xml(&other));
+    }
+
+    #[test]
+    fn contains_recursive_parlists() {
+        let doc = xmark(XMarkConfig { scale: 0.2, seed: 1 });
+        let q = xtwig_query::parse_twig("for $t0 in //parlist").unwrap();
+        assert!(xtwig_query::selectivity(&doc, &q) > 0);
+        // Nested parlists exist at scale 0.2 with this seed.
+        let q2 = xtwig_query::parse_twig("for $t0 in //parlist, $t1 in $t0//parlist").unwrap();
+        assert!(xtwig_query::selectivity(&doc, &q2) > 0);
+    }
+}

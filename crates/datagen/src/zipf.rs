@@ -1,0 +1,79 @@
+//! A small Zipf sampler (inverse-CDF with a precomputed table).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Samples ranks `1..=n` with probability ∝ `1/rank^theta`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes the CDF for `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_are_in_range_and_skewed() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=10).contains(&r));
+            counts[r - 1] += 1;
+        }
+        // Rank 1 dominates rank 10 decisively under theta=1.2.
+        assert!(counts[0] > counts[9] * 5, "{counts:?}");
+        // Monotone-ish decay at the top.
+        assert!(counts[0] > counts[2]);
+    }
+
+    #[test]
+    fn theta_zero_is_uniform_ish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 300.0, "{counts:?}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Distribution summaries for the Twig XSKETCH reproduction.
+//!
+//! The paper's key idea (§3.2–3.3) is to represent a structural join as a
+//! multidimensional distribution of integer *edge counts* and compress that
+//! distribution with standard summarization machinery. This crate provides
+//! that machinery, independent of any XML specifics:
+//!
+//! * [`MdHistogram`] — a sparse multidimensional histogram over integer
+//!   count vectors, built from an [`ExactDistribution`] and compressed by
+//!   greedy bucket merging to a byte budget. Supports the operations the
+//!   estimation framework needs: expectation of count products
+//!   (`Σ f(c)·Π cᵢ`), marginals, and conditional slices
+//!   (`H(E ∪ D)/H(D)` — the paper's Correlation-Scope Independence
+//!   marginals).
+//! * [`ValueHistogram`] — a 1-D equi-depth histogram over element values,
+//!   answering range-predicate fractions (the paper's per-node value
+//!   summaries `H(v)`).
+//! * [`WaveletSummary`] — a Haar-wavelet alternative for 1-D count
+//!   distributions, the "histograms **or wavelets**" option of §3.3, used
+//!   by the ablation benchmarks.
+
+mod exact;
+mod mdhist;
+mod value_hist;
+mod wavelet;
+
+pub use exact::ExactDistribution;
+pub use mdhist::{Bucket, MdHistogram};
+pub use value_hist::ValueHistogram;
+pub use wavelet::WaveletSummary;

@@ -1,0 +1,541 @@
+//! Sparse multidimensional histograms over integer count vectors.
+//!
+//! An [`MdHistogram`] approximates an edge distribution `f(C1,…,Ck)` with a
+//! set of buckets. Each bucket covers a box of count space and stores the
+//! probability mass plus the mass-weighted per-dimension mean of the points
+//! it absorbed. Inside a bucket, the estimation framework treats
+//! dimensions as independent and concentrated at their means — the usual
+//! histogram uniformity assumption, which is exact when every bucket holds
+//! a single distinct point.
+//!
+//! Compression is greedy agglomerative merging: repeatedly merge the bucket
+//! pair whose merge increases the (mass-weighted) sum of squared deviations
+//! of the means the least, until the byte budget is met. For large exact
+//! distributions a lexicographic pre-merge bounds the O(n²) pair scan.
+
+use crate::exact::ExactDistribution;
+
+/// One histogram bucket: a box in count space with its probability mass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Probability mass (fraction of elements) in this bucket.
+    pub fraction: f64,
+    /// Per-dimension inclusive lower bounds of the covered box.
+    pub lo: Vec<u32>,
+    /// Per-dimension inclusive upper bounds of the covered box.
+    pub hi: Vec<u32>,
+    /// Per-dimension mass-weighted mean of the absorbed points.
+    pub mean: Vec<f64>,
+}
+
+impl Bucket {
+    fn from_point(point: &[u32], fraction: f64) -> Bucket {
+        Bucket {
+            fraction,
+            lo: point.to_vec(),
+            hi: point.to_vec(),
+            mean: point.iter().map(|&c| c as f64).collect(),
+        }
+    }
+
+    /// Whether `values` (one per dimension, in histogram dimension order for
+    /// the listed dims) fall inside this bucket's box on those dims.
+    fn contains_on(&self, dims: &[usize], values: &[f64]) -> bool {
+        dims.iter().zip(values).all(|(&d, &v)| {
+            // Half-open tolerance: bucket boxes are inclusive integer ranges.
+            v >= self.lo[d] as f64 - 0.5 && v <= self.hi[d] as f64 + 0.5
+        })
+    }
+
+    /// Squared distance from `values` to this bucket's box on `dims`.
+    fn distance_on(&self, dims: &[usize], values: &[f64]) -> f64 {
+        dims.iter()
+            .zip(values)
+            .map(|(&d, &v)| {
+                let lo = self.lo[d] as f64;
+                let hi = self.hi[d] as f64;
+                let delta = if v < lo {
+                    lo - v
+                } else if v > hi {
+                    v - hi
+                } else {
+                    0.0
+                };
+                delta * delta
+            })
+            .sum()
+    }
+
+    fn merge_with(&self, other: &Bucket) -> Bucket {
+        let fraction = self.fraction + other.fraction;
+        let dims = self.lo.len();
+        let mut lo = Vec::with_capacity(dims);
+        let mut hi = Vec::with_capacity(dims);
+        let mut mean = Vec::with_capacity(dims);
+        for d in 0..dims {
+            lo.push(self.lo[d].min(other.lo[d]));
+            hi.push(self.hi[d].max(other.hi[d]));
+            let m = if fraction > 0.0 {
+                (self.fraction * self.mean[d] + other.fraction * other.mean[d]) / fraction
+            } else {
+                (self.mean[d] + other.mean[d]) / 2.0
+            };
+            mean.push(m);
+        }
+        Bucket { fraction, lo, hi, mean }
+    }
+
+    /// Mass-weighted SSE increase caused by merging `self` and `other`:
+    /// `(f1·f2)/(f1+f2) · Σ_d (m1_d − m2_d)²`.
+    fn merge_cost(&self, other: &Bucket) -> f64 {
+        let f = self.fraction + other.fraction;
+        if f <= 0.0 {
+            return 0.0;
+        }
+        let w = self.fraction * other.fraction / f;
+        let sse: f64 = self
+            .mean
+            .iter()
+            .zip(&other.mean)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        w * sse
+    }
+}
+
+/// A compressed multidimensional histogram over integer count vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdHistogram {
+    dims: usize,
+    buckets: Vec<Bucket>,
+}
+
+/// Storage cost accounting, charged against the synopsis space budget:
+/// per bucket, 4 bytes for the fraction plus `BYTES_PER_DIM` for each
+/// dimension (2-byte lo + 2-byte hi; the mean is derivable in principle
+/// from a stored 2-byte average but we charge the box bounds only, matching
+/// typical histogram size accounting).
+const BYTES_PER_BUCKET_BASE: usize = 4;
+/// See [`BYTES_PER_BUCKET_BASE`].
+const BYTES_PER_DIM: usize = 4;
+
+impl MdHistogram {
+    /// Builds an exact (one bucket per distinct point) histogram.
+    pub fn exact(dist: &ExactDistribution) -> MdHistogram {
+        let total = dist.total().max(1) as f64;
+        let mut buckets: Vec<Bucket> = dist
+            .iter()
+            .map(|(p, freq)| Bucket::from_point(p, freq as f64 / total))
+            .collect();
+        // Deterministic order (lexicographic on lo) so construction is
+        // reproducible regardless of hash iteration order.
+        buckets.sort_by(|a, b| a.lo.cmp(&b.lo));
+        if buckets.is_empty() {
+            // An empty distribution: a single zero-mass bucket keeps the
+            // query operations total.
+            buckets.push(Bucket {
+                fraction: 0.0,
+                lo: vec![0; dist.dims()],
+                hi: vec![0; dist.dims()],
+                mean: vec![0.0; dist.dims()],
+            });
+        }
+        MdHistogram { dims: dist.dims(), buckets }
+    }
+
+    /// Builds a histogram compressed to at most `budget_bytes`.
+    pub fn build(dist: &ExactDistribution, budget_bytes: usize) -> MdHistogram {
+        let mut h = MdHistogram::exact(dist);
+        h.compress_to_bytes(budget_bytes);
+        h
+    }
+
+    /// Reassembles a histogram from previously extracted buckets
+    /// (deserialization). The buckets are trusted as-is.
+    ///
+    /// # Panics
+    /// Panics when a bucket's arity differs from `dims`.
+    pub fn from_parts(dims: usize, buckets: Vec<Bucket>) -> MdHistogram {
+        for b in &buckets {
+            assert_eq!(b.lo.len(), dims, "bucket arity mismatch");
+            assert_eq!(b.hi.len(), dims, "bucket arity mismatch");
+            assert_eq!(b.mean.len(), dims, "bucket arity mismatch");
+        }
+        MdHistogram { dims, buckets }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The buckets of this histogram.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Storage cost in bytes (see the accounting constants).
+    pub fn size_bytes(&self) -> usize {
+        self.buckets.len() * (BYTES_PER_BUCKET_BASE + BYTES_PER_DIM * self.dims)
+    }
+
+    /// Bytes one additional bucket would cost at this dimensionality.
+    pub fn bytes_per_bucket(&self) -> usize {
+        BYTES_PER_BUCKET_BASE + BYTES_PER_DIM * self.dims
+    }
+
+    /// Total probability mass (≈ 1 for non-empty distributions).
+    pub fn total_mass(&self) -> f64 {
+        self.buckets.iter().map(|b| b.fraction).sum()
+    }
+
+    /// Greedy-merges buckets until `size_bytes() <= budget_bytes` (but never
+    /// below one bucket).
+    pub fn compress_to_bytes(&mut self, budget_bytes: usize) {
+        let per = self.bytes_per_bucket();
+        let max_buckets = (budget_bytes / per).max(1);
+        self.compress_to_buckets(max_buckets);
+    }
+
+    /// Greedy-merges buckets until at most `max_buckets` remain.
+    pub fn compress_to_buckets(&mut self, max_buckets: usize) {
+        let max_buckets = max_buckets.max(1);
+        if self.buckets.len() <= max_buckets {
+            return;
+        }
+        // Pre-merge pass for very large inputs: lexicographic neighbours
+        // are cheap to merge and bound the quadratic phase.
+        const QUADRATIC_LIMIT: usize = 512;
+        if self.buckets.len() > QUADRATIC_LIMIT.max(4 * max_buckets) {
+            let target = QUADRATIC_LIMIT.max(4 * max_buckets);
+            self.buckets.sort_by(|a, b| {
+                a.mean
+                    .iter()
+                    .zip(&b.mean)
+                    .map(|(x, y)| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            while self.buckets.len() > target {
+                // Merge the cheapest adjacent pair in one sweep, halving
+                // until under the limit.
+                let old = std::mem::take(&mut self.buckets);
+                let mut next: Vec<Bucket> = Vec::with_capacity(old.len() / 2 + 1);
+                let mut it = old.into_iter();
+                while let Some(a) = it.next() {
+                    match it.next() {
+                        Some(b) => next.push(a.merge_with(&b)),
+                        None => next.push(a),
+                    }
+                }
+                self.buckets = next;
+            }
+        }
+        // Quadratic greedy phase on the reduced set.
+        while self.buckets.len() > max_buckets {
+            let mut best = (f64::INFINITY, 0usize, 1usize);
+            for i in 0..self.buckets.len() {
+                for j in (i + 1)..self.buckets.len() {
+                    let c = self.buckets[i].merge_cost(&self.buckets[j]);
+                    if c < best.0 {
+                        best = (c, i, j);
+                    }
+                }
+            }
+            let (_, i, j) = best;
+            let merged = self.buckets[i].merge_with(&self.buckets[j]);
+            self.buckets.swap_remove(j);
+            self.buckets[i] = merged;
+        }
+    }
+
+    /// `Σ_c f(c) · Π_{d ∈ mult} c_d` under the histogram approximation —
+    /// the paper's `Σ F(C)` with unused dimensions marginalized out.
+    pub fn expectation_product(&self, mult: &[usize]) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| {
+                let mut term = b.fraction;
+                for &d in mult {
+                    term *= b.mean[d];
+                }
+                term
+            })
+            .sum()
+    }
+
+    /// Conditional expectation `Σ_{E} f(E | D = values) · Π_{d ∈ mult} c_d`,
+    /// the paper's `F(E | D)` computed as the marginal ratio
+    /// `H(E ∪ D)/H(D)` (Correlation-Scope Independence, §4).
+    ///
+    /// `cond` pairs histogram dimension indices with the conditioning values
+    /// (typically bucket means of an ancestor's histogram); `mult` lists the
+    /// dimensions whose counts multiply into the result. Buckets whose boxes
+    /// contain the conditioning point are selected; if none does (holes in
+    /// count space), the nearest bucket is used so estimates stay total.
+    pub fn conditional_expectation_product(&self, cond: &[(usize, f64)], mult: &[usize]) -> f64 {
+        if cond.is_empty() {
+            return self.expectation_product(mult);
+        }
+        let dims: Vec<usize> = cond.iter().map(|&(d, _)| d).collect();
+        let values: Vec<f64> = cond.iter().map(|&(_, v)| v).collect();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for b in &self.buckets {
+            if b.contains_on(&dims, &values) {
+                let mut term = b.fraction;
+                for &d in mult {
+                    term *= b.mean[d];
+                }
+                num += term;
+                den += b.fraction;
+            }
+        }
+        if den > 0.0 {
+            return num / den;
+        }
+        // Hole: fall back to the nearest bucket.
+        let nearest = self
+            .buckets
+            .iter()
+            .min_by(|a, b| {
+                a.distance_on(&dims, &values)
+                    .partial_cmp(&b.distance_on(&dims, &values))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        match nearest {
+            Some(b) => mult.iter().map(|&d| b.mean[d]).product(),
+            None => 0.0,
+        }
+    }
+
+    /// Enumerates the joint support of the given dimensions as weighted
+    /// representative points: `(probability mass, values)` per bucket. The
+    /// estimation framework iterates these when descendants condition on
+    /// the dimensions (live dims of TREEPARSE).
+    pub fn support_on(&self, dims: &[usize]) -> Vec<(f64, Vec<f64>)> {
+        self.buckets
+            .iter()
+            .filter(|b| b.fraction > 0.0)
+            .map(|b| (b.fraction, dims.iter().map(|&d| b.mean[d]).collect()))
+            .collect()
+    }
+
+    /// Like [`support_on`](Self::support_on) but restricted to buckets
+    /// compatible with `cond`, with masses renormalized: the joint support
+    /// of `f(dims | cond)`.
+    pub fn conditional_support_on(
+        &self,
+        cond: &[(usize, f64)],
+        dims: &[usize],
+    ) -> Vec<(f64, Vec<f64>)> {
+        self.conditional_support_weighted(cond, dims, &|_| 1.0)
+    }
+
+    /// [`conditional_support_on`](Self::conditional_support_on) with an
+    /// additional per-bucket weight applied *after* the conditional
+    /// renormalization. Weights model soft filters (e.g. the fraction of a
+    /// bucket's elements whose value dimension survives a range
+    /// predicate): the returned masses are `f(b | cond) · weight(b)` and
+    /// intentionally do **not** renormalize over the weights. An empty
+    /// `dims` list yields a single entry carrying the total weighted
+    /// conditional mass.
+    pub fn conditional_support_weighted(
+        &self,
+        cond: &[(usize, f64)],
+        dims: &[usize],
+        weight: &dyn Fn(&Bucket) -> f64,
+    ) -> Vec<(f64, Vec<f64>)> {
+        if cond.is_empty() {
+            let out: Vec<(f64, Vec<f64>)> = self
+                .buckets
+                .iter()
+                .filter(|b| b.fraction > 0.0)
+                .map(|b| {
+                    (
+                        b.fraction * weight(b),
+                        dims.iter().map(|&d| b.mean[d]).collect(),
+                    )
+                })
+                .collect();
+            return collapse_if_scalar(out, dims);
+        }
+        let cdims: Vec<usize> = cond.iter().map(|&(d, _)| d).collect();
+        let values: Vec<f64> = cond.iter().map(|&(_, v)| v).collect();
+        let selected: Vec<&Bucket> = self
+            .buckets
+            .iter()
+            .filter(|b| b.fraction > 0.0 && b.contains_on(&cdims, &values))
+            .collect();
+        let (selected, den) = if selected.is_empty() {
+            let nearest = self.buckets.iter().filter(|b| b.fraction > 0.0).min_by(|a, b| {
+                a.distance_on(&cdims, &values)
+                    .partial_cmp(&b.distance_on(&cdims, &values))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            match nearest {
+                Some(b) => (vec![b], b.fraction),
+                None => return Vec::new(),
+            }
+        } else {
+            let den = selected.iter().map(|b| b.fraction).sum::<f64>();
+            (selected, den)
+        };
+        let out: Vec<(f64, Vec<f64>)> = selected
+            .into_iter()
+            .map(|b| {
+                (
+                    b.fraction / den * weight(b),
+                    dims.iter().map(|&d| b.mean[d]).collect(),
+                )
+            })
+            .collect();
+        collapse_if_scalar(out, dims)
+    }
+
+    /// Probability that every listed dimension is ≥ 1 — used for branching
+    /// predicates resolved through an edge histogram: the fraction of
+    /// elements with at least one child along each branch edge.
+    pub fn positive_fraction(&self, dims: &[usize]) -> f64 {
+        self.buckets
+            .iter()
+            .filter(|b| dims.iter().all(|&d| b.mean[d] >= 0.5))
+            .map(|b| b.fraction)
+            .sum()
+    }
+}
+
+/// With no enumerated dimensions, a support list is a plain scalar mass —
+/// collapse it to one entry so callers loop once instead of per bucket.
+fn collapse_if_scalar(out: Vec<(f64, Vec<f64>)>, dims: &[usize]) -> Vec<(f64, Vec<f64>)> {
+    if dims.is_empty() {
+        let total: f64 = out.iter().map(|(m, _)| m).sum();
+        vec![(total, Vec::new())]
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(points: &[(&[u32], u64)]) -> ExactDistribution {
+        let mut d = ExactDistribution::new(points[0].0.len());
+        for &(p, w) in points {
+            d.add_weighted(p, w);
+        }
+        d
+    }
+
+    #[test]
+    fn exact_histogram_matches_distribution() {
+        let d = dist(&[(&[10, 100], 1), (&[100, 10], 1)]);
+        let h = MdHistogram::exact(&d);
+        assert_eq!(h.buckets().len(), 2);
+        assert!((h.total_mass() - 1.0).abs() < 1e-12);
+        assert!((h.expectation_product(&[0, 1]) - 1000.0).abs() < 1e-9);
+        assert!((h.expectation_product(&[0]) - 55.0).abs() < 1e-9);
+        assert_eq!(h.expectation_product(&[]), 1.0);
+    }
+
+    #[test]
+    fn compression_preserves_mass_and_means() {
+        let d = dist(&[(&[1], 4), (&[2], 4), (&[100], 2)]);
+        let mut h = MdHistogram::exact(&d);
+        h.compress_to_buckets(2);
+        assert_eq!(h.buckets().len(), 2);
+        assert!((h.total_mass() - 1.0).abs() < 1e-12);
+        // The cheap merge is 1 with 2 (close means); 100 stays separate.
+        let mut means: Vec<f64> = h.buckets().iter().map(|b| b.mean[0]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 1.5).abs() < 1e-12);
+        assert!((means[1] - 100.0).abs() < 1e-12);
+        // Global mean (expectation of c) is preserved exactly by mean merging.
+        let exact_mean = d.expectation_product(&[0]);
+        assert!((h.expectation_product(&[0]) - exact_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_matches_marginal_ratio() {
+        // f over (k, p): the paper's H_P(k,y,p) pattern in miniature.
+        let d = dist(&[(&[2, 2], 1), (&[1, 2], 1), (&[1, 1], 2)]);
+        let h = MdHistogram::exact(&d);
+        // F(k | p=2) = (0.25·2 + 0.25·1)/0.5 = 1.5
+        let f = h.conditional_expectation_product(&[(1, 2.0)], &[0]);
+        assert!((f - 1.5).abs() < 1e-12, "{f}");
+        // F(k | p=1) = (0.5·1)/0.5 = 1
+        let f1 = h.conditional_expectation_product(&[(1, 1.0)], &[0]);
+        assert!((f1 - 1.0).abs() < 1e-12);
+        // Unconditioned reduces to plain expectation.
+        let f2 = h.conditional_expectation_product(&[], &[0]);
+        assert!((f2 - d.expectation_product(&[0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_hole_falls_back_to_nearest() {
+        let d = dist(&[(&[5, 1], 1), (&[50, 10], 1)]);
+        let h = MdHistogram::exact(&d);
+        // p=9 matches no bucket; nearest (on dim 1) is the p=10 bucket.
+        let f = h.conditional_expectation_product(&[(1, 9.0)], &[0]);
+        assert!((f - 50.0).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn support_enumeration() {
+        let d = dist(&[(&[1, 7], 3), (&[2, 9], 1)]);
+        let h = MdHistogram::exact(&d);
+        let mut s = h.support_on(&[0]);
+        s.sort_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap());
+        assert_eq!(s.len(), 2);
+        assert!((s[0].0 - 0.75).abs() < 1e-12);
+        assert!((s[0].1[0] - 1.0).abs() < 1e-12);
+        let cs = h.conditional_support_on(&[(0, 2.0)], &[1]);
+        assert_eq!(cs.len(), 1);
+        assert!((cs[0].0 - 1.0).abs() < 1e-12);
+        assert!((cs[0].1[0] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_fraction() {
+        let d = dist(&[(&[0, 3], 1), (&[2, 0], 1), (&[1, 1], 2)]);
+        let h = MdHistogram::exact(&d);
+        assert!((h.positive_fraction(&[0]) - 0.75).abs() < 1e-12);
+        assert!((h.positive_fraction(&[0, 1]) - 0.5).abs() < 1e-12);
+        assert_eq!(h.positive_fraction(&[]), 1.0);
+    }
+
+    #[test]
+    fn size_accounting_and_budget() {
+        let mut d = ExactDistribution::new(2);
+        for i in 0..100u32 {
+            d.add(&[i, i * 2]);
+        }
+        let h = MdHistogram::build(&d, 120);
+        assert!(h.size_bytes() <= 120, "{} bytes", h.size_bytes());
+        assert!(!h.buckets().is_empty());
+        assert!((h.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_input_premerge_terminates() {
+        let mut d = ExactDistribution::new(1);
+        for i in 0..5000u32 {
+            d.add(&[i]);
+        }
+        let h = MdHistogram::build(&d, 64);
+        assert!(h.size_bytes() <= 64);
+        assert!((h.total_mass() - 1.0).abs() < 1e-9);
+        // Mean is preserved by merging.
+        let exact_mean = d.expectation_product(&[0]);
+        assert!((h.expectation_product(&[0]) - exact_mean).abs() / exact_mean < 1e-9);
+    }
+
+    #[test]
+    fn empty_distribution_yields_zero_mass() {
+        let d = ExactDistribution::new(2);
+        let h = MdHistogram::exact(&d);
+        assert_eq!(h.expectation_product(&[0, 1]), 0.0);
+        assert_eq!(h.total_mass(), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! One-dimensional equi-depth value histograms.
+//!
+//! The paper's prototype stores, per synopsis node with values, a
+//! single-dimensional histogram `H(v)` over the values of its extent and
+//! estimates range-predicate fractions from it (§3.1, §6.1). Buckets are
+//! equi-depth (equal mass), the standard choice for range selectivity.
+
+/// A 1-D equi-depth histogram over `i64` element values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueHistogram {
+    buckets: Vec<VBucket>,
+    /// Number of values summarized.
+    total: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct VBucket {
+    lo: i64,
+    hi: i64,
+    /// Number of values in [lo, hi].
+    count: u64,
+    /// Number of distinct values in [lo, hi].
+    distinct: u64,
+}
+
+/// Storage accounting: lo/hi at 4 bytes each plus a 4-byte count per bucket.
+const BYTES_PER_VBUCKET: usize = 12;
+
+impl ValueHistogram {
+    /// Builds a *compressed* equi-depth histogram over `values` with at
+    /// most `max_buckets` buckets: values whose frequency exceeds the
+    /// equi-depth bucket size get singleton buckets (so heavy values are
+    /// represented exactly, as in Poosala et al.'s compressed histograms),
+    /// and the remaining values are split equi-depth. `values` need not be
+    /// sorted.
+    pub fn build(mut values: Vec<i64>, max_buckets: usize) -> ValueHistogram {
+        let max_buckets = max_buckets.max(1);
+        values.sort_unstable();
+        let total = values.len() as u64;
+        if values.is_empty() {
+            return ValueHistogram { buckets: Vec::new(), total: 0 };
+        }
+        let per = (values.len() as f64 / max_buckets as f64).ceil() as usize;
+        let per = per.max(1);
+        // Pass 1: runs of equal values longer than `per` become singletons.
+        let mut buckets = Vec::new();
+        let mut rest: Vec<i64> = Vec::with_capacity(values.len());
+        let mut i = 0;
+        while i < values.len() {
+            let mut j = i + 1;
+            while j < values.len() && values[j] == values[i] {
+                j += 1;
+            }
+            let run = j - i;
+            if run >= per && buckets.len() + 1 < max_buckets {
+                buckets.push(VBucket { lo: values[i], hi: values[i], count: run as u64, distinct: 1 });
+            } else {
+                rest.extend_from_slice(&values[i..j]);
+            }
+            i = j;
+        }
+        // Pass 2: equi-depth over the remainder with the leftover budget.
+        let remaining_buckets = max_buckets.saturating_sub(buckets.len()).max(1);
+        if !rest.is_empty() {
+            let per = ((rest.len() as f64 / remaining_buckets as f64).ceil() as usize).max(1);
+            let mut i = 0;
+            while i < rest.len() {
+                let mut j = (i + per).min(rest.len());
+                // Never split equal values across buckets: extend over ties.
+                while j < rest.len() && rest[j] == rest[j - 1] {
+                    j += 1;
+                }
+                let slice = &rest[i..j];
+                let mut distinct = 1u64;
+                for w in slice.windows(2) {
+                    if w[0] != w[1] {
+                        distinct += 1;
+                    }
+                }
+                buckets.push(VBucket {
+                    lo: slice[0],
+                    hi: slice[slice.len() - 1],
+                    count: slice.len() as u64,
+                    distinct,
+                });
+                i = j;
+            }
+        }
+        buckets.sort_by_key(|b| b.lo);
+        ValueHistogram { buckets, total }
+    }
+
+    /// Builds a histogram constrained to `budget_bytes`.
+    pub fn build_bytes(values: Vec<i64>, budget_bytes: usize) -> ValueHistogram {
+        ValueHistogram::build(values, (budget_bytes / BYTES_PER_VBUCKET).max(1))
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of values summarized.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Storage cost in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.buckets.len() * BYTES_PER_VBUCKET
+    }
+
+    /// Estimated fraction of values falling in the inclusive range
+    /// `[lo, hi]`, assuming uniform spread of distinct values inside each
+    /// bucket (continuous-value interpolation).
+    pub fn range_fraction(&self, lo: i64, hi: i64) -> f64 {
+        if self.total == 0 || lo > hi {
+            return 0.0;
+        }
+        let mut covered = 0.0;
+        for b in &self.buckets {
+            if b.hi < lo || b.lo > hi {
+                continue;
+            }
+            if lo <= b.lo && b.hi <= hi {
+                covered += b.count as f64;
+                continue;
+            }
+            // Partial overlap: interpolate on the value range.
+            let span = (b.hi - b.lo) as f64 + 1.0;
+            let olo = lo.max(b.lo);
+            let ohi = hi.min(b.hi);
+            let overlap = (ohi - olo) as f64 + 1.0;
+            covered += b.count as f64 * (overlap / span).clamp(0.0, 1.0);
+        }
+        (covered / self.total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Minimum and maximum summarized value, if any values were recorded.
+    pub fn domain(&self) -> Option<(i64, i64)> {
+        let first = self.buckets.first()?;
+        let last = self.buckets.last()?;
+        Some((first.lo, last.hi))
+    }
+
+    /// Extracts the bucket table for serialization:
+    /// `(lo, hi, count, distinct)` per bucket, plus the total count.
+    pub fn to_parts(&self) -> (Vec<(i64, i64, u64, u64)>, u64) {
+        (
+            self.buckets
+                .iter()
+                .map(|b| (b.lo, b.hi, b.count, b.distinct))
+                .collect(),
+            self.total,
+        )
+    }
+
+    /// Reassembles a histogram from [`to_parts`](Self::to_parts) output.
+    pub fn from_parts(buckets: Vec<(i64, i64, u64, u64)>, total: u64) -> ValueHistogram {
+        ValueHistogram {
+            buckets: buckets
+                .into_iter()
+                .map(|(lo, hi, count, distinct)| VBucket { lo, hi, count, distinct })
+                .collect(),
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_buckets_suffice() {
+        let h = ValueHistogram::build(vec![1, 2, 2, 3, 10], 16);
+        assert_eq!(h.total(), 5);
+        assert!((h.range_fraction(2, 2) - 0.4).abs() < 1e-9);
+        assert!((h.range_fraction(1, 3) - 0.8).abs() < 1e-9);
+        assert!((h.range_fraction(i64::MIN, i64::MAX) - 1.0).abs() < 1e-9);
+        assert_eq!(h.range_fraction(4, 9), 0.0);
+        assert_eq!(h.domain(), Some((1, 10)));
+    }
+
+    #[test]
+    fn equi_depth_buckets_balance_mass() {
+        let values: Vec<i64> = (0..1000).collect();
+        let h = ValueHistogram::build(values, 10);
+        assert_eq!(h.bucket_count(), 10);
+        // Each decile holds ~10% of the mass.
+        let f = h.range_fraction(0, 99);
+        assert!((f - 0.1).abs() < 0.02, "{f}");
+        let f2 = h.range_fraction(250, 749);
+        assert!((f2 - 0.5).abs() < 0.02, "{f2}");
+    }
+
+    #[test]
+    fn ties_stay_in_one_bucket() {
+        let mut values = vec![5i64; 100];
+        values.extend(0..10);
+        let h = ValueHistogram::build(values, 4);
+        // All the 5s live in a single bucket; querying exactly 5 captures
+        // at least their mass.
+        let f = h.range_fraction(5, 5);
+        assert!(f >= 100.0 / 110.0 - 0.05, "{f}");
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let h = ValueHistogram::build(vec![], 8);
+        assert_eq!(h.range_fraction(0, 100), 0.0);
+        assert_eq!(h.domain(), None);
+        let h1 = ValueHistogram::build(vec![7], 8);
+        assert!((h1.range_fraction(7, 7) - 1.0).abs() < 1e-12);
+        assert_eq!(h1.range_fraction(8, 100), 0.0);
+        assert!(h1.size_bytes() > 0);
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let h = ValueHistogram::build(vec![1, 2, 3], 8);
+        assert_eq!(h.range_fraction(5, 2), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the histogram substrate: mass conservation,
+//! exactness with sufficient budget, marginal/conditional consistency,
+//! and wavelet reconstruction.
+
+use proptest::prelude::*;
+use xtwig_histogram::{ExactDistribution, MdHistogram, ValueHistogram, WaveletSummary};
+
+fn arb_dist(dims: usize) -> impl Strategy<Value = ExactDistribution> {
+    prop::collection::vec(
+        (prop::collection::vec(0u32..30, dims..=dims), 1u64..20),
+        1..40,
+    )
+    .prop_map(move |points| {
+        let mut d = ExactDistribution::new(dims);
+        for (p, w) in points {
+            d.add_weighted(&p, w);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn exact_histogram_matches_distribution(d in arb_dist(2)) {
+        let h = MdHistogram::exact(&d);
+        prop_assert!((h.total_mass() - 1.0).abs() < 1e-9);
+        for mult in [vec![], vec![0], vec![1], vec![0, 1]] {
+            let e = d.expectation_product(&mult);
+            let he = h.expectation_product(&mult);
+            prop_assert!((he - e).abs() <= 1e-6 * e.abs().max(1.0), "{mult:?}: {he} vs {e}");
+        }
+    }
+
+    #[test]
+    fn compression_conserves_mass_and_means(d in arb_dist(2), buckets in 1usize..12) {
+        let mut h = MdHistogram::exact(&d);
+        h.compress_to_buckets(buckets);
+        prop_assert!(h.buckets().len() <= buckets.max(1));
+        prop_assert!((h.total_mass() - 1.0).abs() < 1e-9);
+        // Single-dimension means are preserved exactly by mass-weighted
+        // merging.
+        for dim in [0usize, 1] {
+            let e = d.expectation_product(&[dim]);
+            let he = h.expectation_product(&[dim]);
+            prop_assert!((he - e).abs() <= 1e-6 * e.abs().max(1.0), "dim {dim}: {he} vs {e}");
+        }
+    }
+
+    #[test]
+    fn conditional_masses_are_normalized(d in arb_dist(2)) {
+        let h = MdHistogram::exact(&d);
+        // Conditioning on any observed dim-1 value yields masses ≈ 1.
+        for b in h.buckets() {
+            let support = h.conditional_support_on(&[(1, b.mean[1])], &[0]);
+            let total: f64 = support.iter().map(|(m, _)| m).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        }
+    }
+
+    #[test]
+    fn law_of_total_expectation(d in arb_dist(2)) {
+        // E[c0] == Σ_v P(c1 = v) · E[c0 | c1 = v] over the exact histogram.
+        let h = MdHistogram::exact(&d);
+        let marginal = d.marginal(&[1]);
+        let mut acc = 0.0;
+        for (point, _) in marginal.iter() {
+            let p = marginal.fraction(&[point[0]]);
+            let e = h.conditional_expectation_product(&[(1, point[0] as f64)], &[0]);
+            acc += p * e;
+        }
+        let expect = d.expectation_product(&[0]);
+        prop_assert!((acc - expect).abs() < 1e-6 * expect.max(1.0), "{acc} vs {expect}");
+    }
+
+    #[test]
+    fn weighted_support_scales_linearly(d in arb_dist(1), w in 0.0f64..1.0) {
+        let h = MdHistogram::exact(&d);
+        let plain: f64 = h
+            .conditional_support_weighted(&[], &[0], &|_| 1.0)
+            .iter()
+            .map(|(m, v)| m * v[0])
+            .sum();
+        let weighted: f64 = h
+            .conditional_support_weighted(&[], &[0], &|_| w)
+            .iter()
+            .map(|(m, v)| m * v[0])
+            .sum();
+        prop_assert!((weighted - plain * w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_histogram_total_and_monotone(values in prop::collection::vec(-500i64..500, 1..200), buckets in 1usize..16) {
+        let h = ValueHistogram::build(values.clone(), buckets);
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let full = h.range_fraction(i64::MIN, i64::MAX);
+        prop_assert!((full - 1.0).abs() < 1e-9);
+        // Range fractions are monotone in range inclusion.
+        let half = h.range_fraction(-500, 0);
+        let quarter = h.range_fraction(-500, -250);
+        prop_assert!(quarter <= half + 1e-9);
+        prop_assert!(half <= full + 1e-9);
+    }
+
+    #[test]
+    fn value_histogram_exact_when_buckets_dominate(values in prop::collection::vec(-20i64..20, 1..40)) {
+        let h = ValueHistogram::build(values.clone(), 64);
+        for probe in -20i64..20 {
+            let expected = values.iter().filter(|&&v| v == probe).count() as f64
+                / values.len() as f64;
+            let got = h.range_fraction(probe, probe);
+            prop_assert!((got - expected).abs() < 1e-9, "probe {probe}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn wavelet_full_retention_is_exact(d in arb_dist(1)) {
+        let w = WaveletSummary::build(&d, 1 << 12);
+        let maxc = 30u32;
+        for c in 0..=maxc {
+            let expect = d.fraction(&[c]);
+            prop_assert!((w.fraction(c) - expect).abs() < 1e-9, "c={c}");
+        }
+        let mean = d.expectation_product(&[0]);
+        prop_assert!((w.expectation() - mean).abs() < 1e-6 * mean.max(1.0));
+    }
+
+    #[test]
+    fn wavelet_thresholding_never_panics_and_stays_finite(d in arb_dist(1), keep in 1usize..8) {
+        let w = WaveletSummary::build(&d, keep);
+        prop_assert!(w.coefficient_count() <= keep.max(1));
+        prop_assert!(w.expectation().is_finite());
+        prop_assert!(w.reconstruct().iter().all(|f| f.is_finite() && *f >= 0.0));
+    }
+}

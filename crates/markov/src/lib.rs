@@ -1,0 +1,336 @@
+//! A first-order Markov path-histogram baseline.
+//!
+//! The paper's related work surveys single-path estimators built on
+//! short-memory tag-transition statistics (Aboulnaga et al.'s path trees
+//! [VLDB'01], Lim et al.'s *XPathLearner* Markov histograms [VLDB'02]).
+//! This crate implements that family's core idea as a second comparison
+//! point next to the CST: per-tag element counts plus a pruned table of
+//! parent→child transition counts, chained under the first-order Markov
+//! assumption
+//!
+//! `|//a1/a2/…/ak| ≈ C(a1) · Π T(aᵢ→aᵢ₊₁)/C(aᵢ)`
+//!
+//! and combined across twig branches under independence at the branch
+//! node, exactly like the CST estimator. Pruning keeps the
+//! highest-count transitions and collapses the remainder into a single
+//! aggregate cell (the `*` cell of XPathLearner), whose mass is spread
+//! uniformly over the pruned entries.
+//!
+//! Compared to the CST (which memorizes whole path suffixes) this summary
+//! is far smaller but blind to context beyond one step — the classic
+//! space/accuracy trade the paper positions XSKETCHes against.
+
+use std::collections::HashMap;
+use xtwig_query::{Axis, TwigNodeRef, TwigQuery};
+use xtwig_xml::{Document, LabelId, LabelTable};
+
+/// Storage accounting: a transition cell is two 2-byte tags + 4-byte
+/// count; a tag count is 2 + 4 bytes.
+const BYTES_PER_TRANSITION: usize = 8;
+/// See [`BYTES_PER_TRANSITION`].
+const BYTES_PER_TAG: usize = 6;
+
+/// Construction options for a [`MarkovPaths`] summary.
+#[derive(Debug, Clone, Copy)]
+pub struct MarkovOptions {
+    /// Byte budget; transitions are pruned (largest kept) to fit.
+    pub budget_bytes: usize,
+}
+
+impl Default for MarkovOptions {
+    fn default() -> Self {
+        MarkovOptions { budget_bytes: 50 * 1024 }
+    }
+}
+
+/// A pruned first-order Markov model of the document's path structure.
+#[derive(Debug, Clone)]
+pub struct MarkovPaths {
+    labels: LabelTable,
+    /// Elements per tag.
+    tag_counts: Vec<u64>,
+    /// Retained transition counts `parent tag → child tag`.
+    transitions: HashMap<(LabelId, LabelId), u64>,
+    /// Total count mass of pruned transitions and how many cells it
+    /// covers (the aggregate `*` cell).
+    pruned_mass: u64,
+    pruned_cells: u64,
+    /// The root element's tag.
+    root_tag: LabelId,
+}
+
+impl MarkovPaths {
+    /// Builds the model from `doc` and prunes it to the byte budget.
+    pub fn build(doc: &Document, opts: MarkovOptions) -> MarkovPaths {
+        let mut tag_counts = vec![0u64; doc.labels().len()];
+        let mut transitions: HashMap<(LabelId, LabelId), u64> = HashMap::new();
+        for e in doc.nodes() {
+            tag_counts[doc.label(e).index()] += 1;
+            if let Some(p) = doc.parent(e) {
+                *transitions.entry((doc.label(p), doc.label(e))).or_insert(0) += 1;
+            }
+        }
+        let mut m = MarkovPaths {
+            labels: doc.labels().clone(),
+            tag_counts,
+            transitions,
+            pruned_mass: 0,
+            pruned_cells: 0,
+            root_tag: doc.label(doc.root()),
+        };
+        m.prune_to(opts.budget_bytes);
+        m
+    }
+
+    /// Prunes the smallest transitions into the aggregate cell until the
+    /// summary fits the budget.
+    fn prune_to(&mut self, budget_bytes: usize) {
+        let fixed = self.tag_counts.len() * BYTES_PER_TAG + BYTES_PER_TRANSITION; // `*` cell
+        let max_cells = budget_bytes.saturating_sub(fixed) / BYTES_PER_TRANSITION;
+        if self.transitions.len() <= max_cells {
+            return;
+        }
+        let mut cells: Vec<((LabelId, LabelId), u64)> =
+            self.transitions.iter().map(|(&k, &v)| (k, v)).collect();
+        // Largest counts first; ties broken by key for determinism.
+        cells.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (key, count) in cells.drain(max_cells.min(cells.len())..) {
+            self.transitions.remove(&key);
+            self.pruned_mass += count;
+            self.pruned_cells += 1;
+        }
+    }
+
+    /// Storage cost in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.tag_counts.len() * BYTES_PER_TAG
+            + (self.transitions.len() + 1) * BYTES_PER_TRANSITION
+    }
+
+    /// Number of retained transition cells.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Elements carrying `tag`.
+    pub fn tag_count(&self, tag: LabelId) -> u64 {
+        self.tag_counts.get(tag.index()).copied().unwrap_or(0)
+    }
+
+    /// Estimated number of `b` elements with an `a` parent: the retained
+    /// cell, or the aggregate cell's uniform share when pruned.
+    pub fn transition(&self, a: LabelId, b: LabelId) -> f64 {
+        match self.transitions.get(&(a, b)) {
+            Some(&c) => c as f64,
+            None if self.pruned_cells > 0 => {
+                self.pruned_mass as f64 / self.pruned_cells as f64
+            }
+            None => 0.0,
+        }
+    }
+
+    /// First-order estimate of `|//t1/t2/…/tk|`.
+    pub fn path_count(&self, tags: &[LabelId]) -> f64 {
+        let Some(&first) = tags.first() else { return 0.0 };
+        let mut count = self.tag_count(first) as f64;
+        let mut prev = first;
+        for &t in &tags[1..] {
+            let denom = self.tag_count(prev) as f64;
+            if denom == 0.0 || count == 0.0 {
+                return 0.0;
+            }
+            count *= self.transition(prev, t) / denom;
+            prev = t;
+        }
+        count
+    }
+
+    /// Resolves tag names against the model's label table.
+    pub fn resolve(&self, tags: &[&str]) -> Option<Vec<LabelId>> {
+        tags.iter().map(|t| self.labels.get(t)).collect()
+    }
+
+    /// Estimates the number of binding tuples of `q`: the twig root is
+    /// anchored at its Markov path count, and branches multiply in under
+    /// independence at each node (the same combination rule as the CST
+    /// baseline, with one-step memory instead of full suffixes).
+    pub fn estimate_twig(&self, q: &TwigQuery) -> f64 {
+        let Some(root_ctx) = self.context(q, q.root(), None) else {
+            return 0.0;
+        };
+        let root_count = self.path_count(&root_ctx);
+        if root_count == 0.0 {
+            return 0.0;
+        }
+        root_count * self.subtree_factor(q, q.root(), &root_ctx)
+    }
+
+    fn subtree_factor(&self, q: &TwigQuery, t: TwigNodeRef, ctx: &[LabelId]) -> f64 {
+        let denom = self.path_count(ctx);
+        if denom == 0.0 {
+            return 0.0;
+        }
+        let mut factor = 1.0;
+        for &c in q.children(t) {
+            let Some(cctx) = self.context(q, c, Some(ctx)) else { return 0.0 };
+            factor *= (self.path_count(&cctx) / denom) * self.subtree_factor(q, c, &cctx);
+            if factor == 0.0 {
+                return 0.0;
+            }
+        }
+        // Branch predicates: existence fractions, capped at 1.
+        for step in &q.path(t).steps {
+            for pred in &step.preds {
+                let Some(bp) = &pred.path else { continue };
+                let mut bctx = ctx.to_vec();
+                for bstep in &bp.steps {
+                    match self.labels.get(&bstep.label) {
+                        Some(l) => bctx.push(l),
+                        None => return 0.0,
+                    }
+                }
+                factor *= (self.path_count(&bctx) / denom).min(1.0);
+            }
+        }
+        factor
+    }
+
+    /// The tag string of twig node `t` under `parent_ctx` (a leading or
+    /// interior `//` restarts the memory, as the model has no gaps).
+    fn context(
+        &self,
+        q: &TwigQuery,
+        t: TwigNodeRef,
+        parent_ctx: Option<&[LabelId]>,
+    ) -> Option<Vec<LabelId>> {
+        let mut ctx: Vec<LabelId> = parent_ctx.map(<[_]>::to_vec).unwrap_or_default();
+        for (i, step) in q.path(t).steps.iter().enumerate() {
+            let l = self.labels.get(&step.label)?;
+            if step.axis == Axis::Descendant && !(i == 0 && ctx.is_empty()) {
+                ctx.clear();
+            }
+            ctx.push(l);
+        }
+        Some(ctx)
+    }
+
+    /// The document root's tag (absolute `/tag` paths must start here).
+    pub fn root_tag(&self) -> LabelId {
+        self.root_tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_query::{parse_twig, selectivity};
+    use xtwig_xml::parse;
+
+    fn doc() -> Document {
+        parse(concat!(
+            "<bib>",
+            "<author><name/><paper><kw/><kw/></paper><paper><kw/></paper></author>",
+            "<author><name/><paper><kw/></paper></author>",
+            "</bib>"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn unpruned_single_steps_are_exact() {
+        let d = doc();
+        let m = MarkovPaths::build(&d, MarkovOptions::default());
+        let ids = m.resolve(&["author", "paper"]).unwrap();
+        assert_eq!(m.path_count(&ids[..1]), 2.0);
+        assert_eq!(m.path_count(&ids), 3.0);
+        let kw = m.resolve(&["paper", "kw"]).unwrap();
+        assert_eq!(m.path_count(&kw), 4.0);
+    }
+
+    #[test]
+    fn markov_chaining_multiplies_conditionals() {
+        let d = doc();
+        let m = MarkovPaths::build(&d, MarkovOptions::default());
+        // //author/paper/kw: C(author)·(3/2)·(4/3) = 4 — exact here since
+        // context beyond one step does not matter in this document.
+        let ids = m.resolve(&["author", "paper", "kw"]).unwrap();
+        assert!((m.path_count(&ids) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn twig_estimates_match_truth_on_uniform_doc() {
+        let d = doc();
+        let m = MarkovPaths::build(&d, MarkovOptions::default());
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/name, $t2 in $t0/paper").unwrap();
+        let est = m.estimate_twig(&q);
+        // Independence at author: 2 · (2/2) · (3/2) = 3; truth = 3.
+        assert!((est - selectivity(&d, &q) as f64).abs() < 1e-9, "{est}");
+    }
+
+    #[test]
+    fn context_blindness_shows_on_shared_tags() {
+        // Markov(1) cannot tell paper-titles from book-titles once both
+        // transitions exist: //book/title is estimated from the book→title
+        // cell (exact), but a longer shared-suffix context would confuse it.
+        let d = parse(
+            "<bib><paper><title/></paper><paper><title/></paper><book><title/></book></bib>",
+        )
+        .unwrap();
+        let m = MarkovPaths::build(&d, MarkovOptions::default());
+        let pt = m.resolve(&["paper", "title"]).unwrap();
+        let bt = m.resolve(&["book", "title"]).unwrap();
+        assert_eq!(m.path_count(&pt), 2.0);
+        assert_eq!(m.path_count(&bt), 1.0);
+    }
+
+    #[test]
+    fn pruning_fits_budget_and_keeps_heavy_cells() {
+        let d = doc();
+        let full = MarkovPaths::build(&d, MarkovOptions::default());
+        let tiny = MarkovPaths::build(&d, MarkovOptions { budget_bytes: full.size_bytes() - 8 });
+        assert!(tiny.size_bytes() <= full.size_bytes() - 8 + BYTES_PER_TRANSITION);
+        assert!(tiny.transition_count() < full.transition_count());
+        // The heaviest transition (paper→kw, count 4) survives.
+        let kw = tiny.resolve(&["paper", "kw"]).unwrap();
+        assert_eq!(tiny.transition(kw[0], kw[1]), 4.0);
+        // Pruned cells answer with the aggregate share, not zero.
+        assert!(tiny.pruned_cells > 0);
+    }
+
+    #[test]
+    fn unknown_tags_estimate_zero() {
+        let d = doc();
+        let m = MarkovPaths::build(&d, MarkovOptions::default());
+        assert!(m.resolve(&["nope"]).is_none());
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/zzz").unwrap();
+        assert_eq!(m.estimate_twig(&q), 0.0);
+    }
+
+    #[test]
+    fn figure4_blindness_like_all_path_summaries() {
+        // Markov models cannot distinguish the Figure 4 documents either.
+        let make = |counts: &[(usize, usize)]| {
+            let mut b = xtwig_xml::DocumentBuilder::new();
+            b.open("R", None);
+            for &(nb, nc) in counts {
+                b.open("A", None);
+                for _ in 0..nb {
+                    b.leaf("B", None);
+                }
+                for _ in 0..nc {
+                    b.leaf("C", None);
+                }
+                b.close();
+            }
+            b.close();
+            b.finish()
+        };
+        let q = parse_twig("for $t0 in //A, $t1 in $t0/B, $t2 in $t0/C").unwrap();
+        let m1 = MarkovPaths::build(&make(&[(10, 100), (100, 10)]), MarkovOptions::default());
+        let m2 = MarkovPaths::build(&make(&[(100, 100), (10, 10)]), MarkovOptions::default());
+        let e1 = m1.estimate_twig(&q);
+        let e2 = m2.estimate_twig(&q);
+        assert!((e1 - e2).abs() < 1e-9);
+        assert!((e1 - 6050.0).abs() < 1e-6, "{e1}");
+    }
+}

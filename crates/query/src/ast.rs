@@ -1,0 +1,463 @@
+//! Twig query abstract syntax.
+
+use std::fmt;
+
+/// Navigation axis of a path step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/label` — direct children.
+    Child,
+    /// `//label` — descendants at any depth (≥ 1).
+    Descendant,
+}
+
+/// Comparison operator in a value predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An inclusive integer range restricting element values — the paper's
+/// prototype supports "range predicates on integer values".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValueRange {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl ValueRange {
+    /// Range covering every value.
+    pub const ALL: ValueRange = ValueRange { lo: i64::MIN, hi: i64::MAX };
+
+    /// Builds a range from a comparison against a constant.
+    pub fn from_cmp(op: CmpOp, v: i64) -> ValueRange {
+        match op {
+            CmpOp::Eq => ValueRange { lo: v, hi: v },
+            CmpOp::Lt => ValueRange { lo: i64::MIN, hi: v - 1 },
+            CmpOp::Le => ValueRange { lo: i64::MIN, hi: v },
+            CmpOp::Gt => ValueRange { lo: v + 1, hi: i64::MAX },
+            CmpOp::Ge => ValueRange { lo: v, hi: i64::MAX },
+        }
+    }
+
+    /// Whether `v` falls in the range.
+    #[inline]
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Intersection of two ranges (may be empty: `lo > hi`).
+    pub fn intersect(&self, other: &ValueRange) -> ValueRange {
+        ValueRange { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    /// Whether the range admits no value.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+}
+
+/// A predicate attached to a path step: `[rel-path]`, `[rel-path op c]`,
+/// or `[. op c]`.
+///
+/// The paper writes these as `l{σ}[branch]`: `σ` is a value predicate on
+/// the step's own elements (`path == None`) and `[branch]` an existential
+/// branching predicate (`path == Some(..)`), whose final step may itself
+/// restrict values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    /// Branch path relative to the step's element; `None` tests the element
+    /// itself (`.`).
+    pub path: Option<PathExpr>,
+    /// Value restriction on the element(s) the predicate reaches.
+    pub value: Option<ValueRange>,
+}
+
+impl Pred {
+    /// Value predicate on the step element itself.
+    pub fn self_value(range: ValueRange) -> Pred {
+        Pred { path: None, value: Some(range) }
+    }
+
+    /// Pure existential branch.
+    pub fn branch(path: PathExpr) -> Pred {
+        Pred { path: Some(path), value: None }
+    }
+
+    /// Branch whose target is value-restricted.
+    pub fn branch_value(path: PathExpr, range: ValueRange) -> Pred {
+        Pred { path: Some(path), value: Some(range) }
+    }
+}
+
+/// One navigational step: axis, label, and attached predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Navigation axis.
+    pub axis: Axis,
+    /// Tag name selected by the step.
+    pub label: String,
+    /// Predicates, all of which must hold.
+    pub preds: Vec<Pred>,
+}
+
+impl Step {
+    /// A plain child step with no predicates.
+    pub fn child(label: impl Into<String>) -> Step {
+        Step { axis: Axis::Child, label: label.into(), preds: Vec::new() }
+    }
+
+    /// A plain descendant step with no predicates.
+    pub fn descendant(label: impl Into<String>) -> Step {
+        Step { axis: Axis::Descendant, label: label.into(), preds: Vec::new() }
+    }
+
+    /// Adds a predicate (builder style).
+    pub fn with_pred(mut self, pred: Pred) -> Step {
+        self.preds.push(pred);
+        self
+    }
+
+    /// The value restriction on this step's own elements, intersecting all
+    /// self-predicates (`ValueRange::ALL` when unrestricted).
+    pub fn self_value_range(&self) -> Option<ValueRange> {
+        let mut range: Option<ValueRange> = None;
+        for p in &self.preds {
+            if p.path.is_none() {
+                let r = p.value.unwrap_or(ValueRange::ALL);
+                range = Some(range.map_or(r, |acc| acc.intersect(&r)));
+            }
+        }
+        range
+    }
+}
+
+/// A path expression: a non-empty sequence of steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// The steps, in navigation order.
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// Builds a path from steps.
+    ///
+    /// # Panics
+    /// Panics on an empty step list.
+    pub fn new(steps: Vec<Step>) -> PathExpr {
+        assert!(!steps.is_empty(), "a path needs at least one step");
+        PathExpr { steps }
+    }
+
+    /// A single-child-step path over `label`.
+    pub fn child(label: impl Into<String>) -> PathExpr {
+        PathExpr::new(vec![Step::child(label)])
+    }
+
+    /// Convenience: path of plain child steps over the given labels.
+    pub fn child_chain<I, S>(labels: I) -> PathExpr
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PathExpr::new(labels.into_iter().map(Step::child).collect())
+    }
+
+    /// Whether this is a *maximal* path in the paper's sense: a single
+    /// child-axis step (predicates allowed).
+    pub fn is_single_step(&self) -> bool {
+        self.steps.len() == 1 && self.steps[0].axis == Axis::Child
+    }
+}
+
+/// Index of a node inside a [`TwigQuery`].
+pub type TwigNodeRef = usize;
+
+/// One node of a twig query: the path from the parent binding, and links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwigNode {
+    /// Path expression (absolute for the root node).
+    pub path: PathExpr,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<TwigNodeRef>,
+    /// Child node indices, in insertion order.
+    pub children: Vec<TwigNodeRef>,
+}
+
+/// A twig query: a tree of path-labeled nodes (§2 of the paper).
+///
+/// Node 0 is the root; its path is evaluated from the document root. The
+/// selectivity of the query is the number of binding tuples assigning one
+/// document element to every node such that all structural relationships
+/// and predicates hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwigQuery {
+    nodes: Vec<TwigNode>,
+}
+
+impl TwigQuery {
+    /// Creates a twig with the given absolute root path.
+    pub fn new(root_path: PathExpr) -> TwigQuery {
+        TwigQuery {
+            nodes: vec![TwigNode { path: root_path, parent: None, children: Vec::new() }],
+        }
+    }
+
+    /// Adds a node under `parent` with the given relative path; returns its
+    /// index.
+    ///
+    /// # Panics
+    /// Panics when `parent` is out of bounds.
+    pub fn add_child(&mut self, parent: TwigNodeRef, path: PathExpr) -> TwigNodeRef {
+        assert!(parent < self.nodes.len(), "parent {parent} out of bounds");
+        let id = self.nodes.len();
+        self.nodes.push(TwigNode { path, parent: Some(parent), children: Vec::new() });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Number of twig nodes (query variables).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Twigs always have a root node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root node index (always 0).
+    pub fn root(&self) -> TwigNodeRef {
+        0
+    }
+
+    /// The path of node `i`.
+    pub fn path(&self, i: TwigNodeRef) -> &PathExpr {
+        &self.nodes[i].path
+    }
+
+    /// The parent of node `i`.
+    pub fn parent(&self, i: TwigNodeRef) -> Option<TwigNodeRef> {
+        self.nodes[i].parent
+    }
+
+    /// The children of node `i`.
+    pub fn children(&self, i: TwigNodeRef) -> &[TwigNodeRef] {
+        &self.nodes[i].children
+    }
+
+    /// Iterates node indices in insertion (depth-first-compatible) order.
+    pub fn node_refs(&self) -> impl Iterator<Item = TwigNodeRef> {
+        0..self.nodes.len()
+    }
+
+    /// Average fanout over internal twig nodes, as reported in Table 2.
+    pub fn avg_internal_fanout(&self) -> f64 {
+        let internal: Vec<_> = self
+            .node_refs()
+            .filter(|&i| !self.children(i).is_empty())
+            .collect();
+        if internal.is_empty() {
+            return 0.0;
+        }
+        let edges: usize = internal.iter().map(|&i| self.children(i).len()).sum();
+        edges as f64 / internal.len() as f64
+    }
+
+    /// Whether every node path is a single child step — a *maximal* twig
+    /// query (§4). Maximal twigs are what the estimation framework
+    /// ultimately evaluates.
+    pub fn is_maximal(&self) -> bool {
+        self.node_refs().all(|i| self.path(i).is_single_step())
+    }
+
+    /// Whether any step in any path (including branch predicates) carries a
+    /// value restriction. Distinguishes the paper's P and P+V workloads.
+    pub fn has_value_predicate(&self) -> bool {
+        fn path_has(p: &PathExpr) -> bool {
+            p.steps.iter().any(|s| {
+                s.preds.iter().any(|pr| pr.value.is_some())
+                    || s.preds.iter().any(|pr| pr.path.as_ref().is_some_and(path_has))
+            })
+        }
+        self.node_refs().any(|i| path_has(self.path(i)))
+    }
+
+    /// Whether any step carries an existential branching predicate.
+    pub fn has_branch_predicate(&self) -> bool {
+        fn path_has(p: &PathExpr) -> bool {
+            p.steps.iter().any(|s| s.preds.iter().any(|pr| pr.path.is_some()))
+        }
+        self.node_refs().any(|i| path_has(self.path(i)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display (round-trips through the parser).
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for ValueRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.lo, self.hi) {
+            (lo, hi) if lo == hi => write!(f, "= {lo}"),
+            (i64::MIN, hi) => write!(f, "<= {hi}"),
+            (lo, i64::MAX) => write!(f, ">= {lo}"),
+            (lo, hi) => write!(f, "in {lo}..{hi}"),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        match &self.path {
+            Some(p) => fmt_path_relative(p, f)?,
+            None => f.write_str(".")?,
+        }
+        if let Some(v) = &self.value {
+            write!(f, " {v}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+fn fmt_path_relative(p: &PathExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (i, s) in p.steps.iter().enumerate() {
+        if s.axis == Axis::Descendant {
+            f.write_str("//")?;
+        } else if i > 0 {
+            f.write_str("/")?;
+        }
+        f.write_str(&s.label)?;
+        for pr in &s.preds {
+            write!(f, "{pr}")?;
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for PathExpr {
+    /// Absolute form: a leading `/` (or `//`) before the first step.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            f.write_str(if s.axis == Axis::Descendant { "//" } else { "/" })?;
+            f.write_str(&s.label)?;
+            for pr in &s.preds {
+                write!(f, "{pr}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TwigQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("for ")?;
+        for i in self.node_refs() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "$t{i} in ")?;
+            match self.parent(i) {
+                None => write!(f, "{}", self.path(i))?,
+                Some(p) => {
+                    write!(f, "$t{p}")?;
+                    write!(f, "{}", self.path(i))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_range_from_cmp() {
+        assert!(ValueRange::from_cmp(CmpOp::Gt, 2000).contains(2001));
+        assert!(!ValueRange::from_cmp(CmpOp::Gt, 2000).contains(2000));
+        assert!(ValueRange::from_cmp(CmpOp::Le, 5).contains(5));
+        assert!(!ValueRange::from_cmp(CmpOp::Lt, 5).contains(5));
+        assert!(ValueRange::from_cmp(CmpOp::Eq, 3).contains(3));
+        assert!(!ValueRange::from_cmp(CmpOp::Eq, 3).contains(4));
+        assert!(ValueRange::from_cmp(CmpOp::Ge, 0).contains(0));
+    }
+
+    #[test]
+    fn value_range_intersect() {
+        let a = ValueRange { lo: 0, hi: 10 };
+        let b = ValueRange { lo: 5, hi: 20 };
+        let c = a.intersect(&b);
+        assert_eq!(c, ValueRange { lo: 5, hi: 10 });
+        assert!(!c.is_empty());
+        let d = ValueRange { lo: 11, hi: 20 }.intersect(&a);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn twig_structure() {
+        let mut q = TwigQuery::new(PathExpr::child("author"));
+        let t1 = q.add_child(0, PathExpr::child("name"));
+        let t2 = q.add_child(0, PathExpr::child("paper"));
+        let t3 = q.add_child(t2, PathExpr::child("title"));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.children(0), &[t1, t2]);
+        assert_eq!(q.parent(t3), Some(t2));
+        assert!(q.is_maximal());
+        assert!(!q.has_value_predicate());
+        // root fanout 2, t2 fanout 1 -> avg 1.5
+        assert!((q.avg_internal_fanout() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maximality_detects_multistep_and_descendant() {
+        let q = TwigQuery::new(PathExpr::child_chain(["a", "b"]));
+        assert!(!q.is_maximal());
+        let q2 = TwigQuery::new(PathExpr::new(vec![Step::descendant("a")]));
+        assert!(!q2.is_maximal());
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let mut q = TwigQuery::new(PathExpr::new(vec![Step::descendant("movie")
+            .with_pred(Pred::branch_value(PathExpr::child("type"), ValueRange { lo: 5, hi: 5 }))]));
+        q.add_child(0, PathExpr::child("actor"));
+        let s = q.to_string();
+        assert_eq!(s, "for $t0 in //movie[type = 5], $t1 in $t0/actor");
+    }
+
+    #[test]
+    fn self_value_range_combines_preds() {
+        let s = Step::child("year")
+            .with_pred(Pred::self_value(ValueRange { lo: 0, hi: 100 }))
+            .with_pred(Pred::self_value(ValueRange { lo: 50, hi: 200 }));
+        assert_eq!(s.self_value_range(), Some(ValueRange { lo: 50, hi: 100 }));
+        assert_eq!(Step::child("x").self_value_range(), None);
+    }
+}

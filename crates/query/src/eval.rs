@@ -1,0 +1,364 @@
+//! Exact twig evaluation over a document.
+//!
+//! Counts binding tuples by dynamic programming on the twig tree: for a
+//! document element `e` bound to twig node `t`,
+//! `tuples(t, e) = Π_{child c of t} Σ_{e' ∈ eval(path(c), e)} tuples(c, e')`.
+//! The selectivity of the query is `Σ_{e ∈ eval(path(root))} tuples(root, e)`.
+//! No tuple is ever materialized, so exact counts on 100k-element documents
+//! and 1000-query workloads are cheap — this is the ground-truth oracle for
+//! the paper's error metric.
+
+use crate::ast::{Axis, PathExpr, Pred, Step, TwigNodeRef, TwigQuery};
+use xtwig_xml::{Document, LabelId, NodeId};
+
+/// Evaluates an absolute or relative path from `ctx`.
+///
+/// When `ctx` is `None`, the path is absolute: its first step is matched
+/// against the document root itself (`/site` selects the root when the root
+/// is tagged `site`) — matching the paper's convention where the root path
+/// of a twig addresses the document tree from the top. Descendant-axis
+/// first steps search the whole tree.
+///
+/// Returns the matched node set in document order, deduplicated.
+pub fn eval_path(doc: &Document, ctx: Option<NodeId>, path: &PathExpr) -> Vec<NodeId> {
+    let mut current: Vec<NodeId> = Vec::new();
+    for (i, step) in path.steps.iter().enumerate() {
+        let Some(label) = doc.labels().get(&step.label) else {
+            return Vec::new();
+        };
+        let mut next: Vec<NodeId> = Vec::new();
+        if i == 0 && ctx.is_none() {
+            // Absolute first step.
+            match step.axis {
+                Axis::Child => {
+                    if doc.label(doc.root()) == label {
+                        next.push(doc.root());
+                    }
+                }
+                Axis::Descendant => {
+                    collect_descendants_self(doc, doc.root(), label, &mut next);
+                }
+            }
+        } else {
+            let sources: &[NodeId] = if i == 0 {
+                std::slice::from_ref(ctx.as_ref().unwrap())
+            } else {
+                &current
+            };
+            for &src in sources {
+                match step.axis {
+                    Axis::Child => {
+                        for c in doc.children_labeled(src, label) {
+                            next.push(c);
+                        }
+                    }
+                    Axis::Descendant => {
+                        for d in doc.descendants(src) {
+                            if doc.label(d) == label {
+                                next.push(d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        next.retain(|&e| step_predicates_hold(doc, e, step));
+        current = next;
+        if current.is_empty() {
+            return current;
+        }
+    }
+    current
+}
+
+/// Whether all predicates of `step` hold for element `e`.
+fn step_predicates_hold(doc: &Document, e: NodeId, step: &Step) -> bool {
+    step.preds.iter().all(|p| pred_holds(doc, e, p))
+}
+
+/// Evaluates one predicate at element `e`.
+pub(crate) fn pred_holds(doc: &Document, e: NodeId, pred: &Pred) -> bool {
+    match &pred.path {
+        None => {
+            // Value predicate on the element itself.
+            let range = pred.value.expect("self predicate without value range");
+            doc.value(e).is_some_and(|v| range.contains(v))
+        }
+        Some(branch) => {
+            let targets = eval_path(doc, Some(e), branch);
+            match pred.value {
+                None => !targets.is_empty(),
+                Some(range) => targets
+                    .iter()
+                    .any(|&t| doc.value(t).is_some_and(|v| range.contains(v))),
+            }
+        }
+    }
+}
+
+fn collect_descendants_self(doc: &Document, from: NodeId, label: LabelId, out: &mut Vec<NodeId>) {
+    if doc.label(from) == label {
+        out.push(from);
+    }
+    for d in doc.descendants(from) {
+        if doc.label(d) == label {
+            out.push(d);
+        }
+    }
+}
+
+/// Exact selectivity of a twig query: the number of binding tuples (§2).
+///
+/// ```
+/// use xtwig_query::{parse_twig, selectivity};
+/// let doc = xtwig_xml::parse("<a><b/><b/><c/></a>").unwrap();
+/// let q = parse_twig("for $t0 in /a, $t1 in $t0/b, $t2 in $t0/c").unwrap();
+/// assert_eq!(selectivity(&doc, &q), 2);
+/// ```
+pub fn selectivity(doc: &Document, twig: &TwigQuery) -> u64 {
+    let roots = eval_path(doc, None, twig.path(twig.root()));
+    roots
+        .into_iter()
+        .map(|e| tuples_below(doc, twig, twig.root(), e))
+        .sum()
+}
+
+/// Number of binding tuples for the subtree of `t` with `t` bound to `e`.
+fn tuples_below(doc: &Document, twig: &TwigQuery, t: TwigNodeRef, e: NodeId) -> u64 {
+    let mut product: u64 = 1;
+    for &c in twig.children(t) {
+        let matches = eval_path(doc, Some(e), twig.path(c));
+        let sum: u64 = matches
+            .into_iter()
+            .map(|e2| tuples_below(doc, twig, c, e2))
+            .sum();
+        if sum == 0 {
+            return 0;
+        }
+        product = product.saturating_mul(sum);
+    }
+    product
+}
+
+/// Materializes all binding tuples (element assignment per twig node, in
+/// node-index order). Exponential in the worst case — only for tests and
+/// small examples; [`selectivity`] is the scalable counter.
+pub fn enumerate_bindings(doc: &Document, twig: &TwigQuery) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let roots = eval_path(doc, None, twig.path(twig.root()));
+    for e in roots {
+        let mut binding = vec![NodeId(u32::MAX); twig.len()];
+        binding[twig.root()] = e;
+        extend_binding(doc, twig, twig.root(), &mut binding, &mut out);
+    }
+    out
+}
+
+fn extend_binding(
+    doc: &Document,
+    twig: &TwigQuery,
+    t: TwigNodeRef,
+    binding: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    // Assign children of `t` recursively, then continue with the next
+    // unassigned twig node in index order under this node's subtree.
+    fn assign(
+        doc: &Document,
+        twig: &TwigQuery,
+        order: &[TwigNodeRef],
+        pos: usize,
+        binding: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if pos == order.len() {
+            out.push(binding.clone());
+            return;
+        }
+        let t = order[pos];
+        let parent = twig.parent(t).expect("non-root in order");
+        let ctx = binding[parent];
+        for e in eval_path(doc, Some(ctx), twig.path(t)) {
+            binding[t] = e;
+            assign(doc, twig, order, pos + 1, binding, out);
+        }
+        binding[t] = NodeId(u32::MAX);
+    }
+
+    // Order: all non-root nodes in parent-before-child (index) order.
+    let order: Vec<TwigNodeRef> = twig.node_refs().filter(|&i| i != t).collect();
+    assign(doc, twig, &order, 0, binding, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{PathExpr, Pred, Step, TwigQuery, ValueRange};
+    use xtwig_xml::parse;
+
+    /// The bibliography document of the paper's Figure 1.
+    ///
+    /// Two authors: a1 with name n6 and papers p4 (title, year=1999,
+    /// keyword×2) and p5 (title t17, year=2002, keywords k18 k19); a2 with
+    /// name n7, paper p8 (title t21, year=2001, keyword k22) and book b9
+    /// (title t23). A third author a3 with name and a paper p9 without
+    /// keywords... — the figure's exact instance is reconstructed from the
+    /// tables in Examples 2.1/3.1: |A|=3 is *not* stated; Fig. 3 gives
+    /// |P| = 4, A→P B&F-stable, |A| = 3.
+    pub(crate) fn figure1_doc() -> xtwig_xml::Document {
+        // Example 3.1's table fixes the histogram f_P over (C_K, C_Y, C_P, C_N):
+        //   p4: k=2,y=1 under author with p=2,n=1
+        //   p5: k=1,y=1 under the same author (p=2,n=1)
+        //   p8, p9: k=1,y=1 under authors with p=1,n=1
+        // And Example 2.1 produces three tuples for year>2000: p5 (2 keywords
+        // ... wait, p5 has k=1 per 3.1) — the examples use slightly different
+        // instances; we encode the Example 2.1 instance here and the 3.1
+        // instance in the synopsis tests.
+        parse(concat!(
+            "<bib>",
+            "<author>", // a1
+            "<name/>", // n6
+            "<paper>", // p4 (year 1999, 2 keywords)
+            "<title/><year>1999</year><keyword/><keyword/>",
+            "</paper>",
+            "<paper>", // p5 (year 2002, keywords k18 k19)
+            "<title/><year>2002</year><keyword/><keyword/>",
+            "</paper>",
+            "</author>",
+            "<author>", // a2
+            "<name/>", // n7
+            "<paper>", // p8 (year 2001, keyword k22)
+            "<title/><year>2001</year><keyword/>",
+            "</paper>",
+            "</author>",
+            "</bib>"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn example_2_1_three_binding_tuples() {
+        // for t0 in //author, t1 in t0/name,
+        //     t2 in t0/paper[year > 2000], t3 in t2/title, t4 in t2/keyword
+        let doc = figure1_doc();
+        let mut q = TwigQuery::new(PathExpr::new(vec![Step::descendant("author")]));
+        q.add_child(0, PathExpr::child("name"));
+        let t2 = q.add_child(
+            0,
+            PathExpr::new(vec![Step::child("paper").with_pred(Pred::branch_value(
+                PathExpr::child("year"),
+                ValueRange { lo: 2001, hi: i64::MAX },
+            ))]),
+        );
+        q.add_child(t2, PathExpr::child("title"));
+        q.add_child(t2, PathExpr::child("keyword"));
+        assert_eq!(selectivity(&doc, &q), 3);
+        assert_eq!(enumerate_bindings(&doc, &q).len(), 3);
+    }
+
+    #[test]
+    fn path_eval_child_and_descendant() {
+        let doc = parse("<a><b><c/></b><c/><d><b><c/></b></d></a>").unwrap();
+        let p = PathExpr::new(vec![Step::descendant("c")]);
+        assert_eq!(eval_path(&doc, None, &p).len(), 3);
+        let p2 = PathExpr::child_chain(["a", "b", "c"]);
+        assert_eq!(eval_path(&doc, None, &p2).len(), 1);
+        let p3 = PathExpr::new(vec![Step::descendant("b"), Step::child("c")]);
+        assert_eq!(eval_path(&doc, None, &p3).len(), 2);
+    }
+
+    #[test]
+    fn descendant_dedup() {
+        // c reachable via two distinct b ancestors must be counted once in
+        // the node set of //b//c.
+        let doc = parse("<a><b><b><c/></b></b></a>").unwrap();
+        let p = PathExpr::new(vec![Step::descendant("b"), Step::descendant("c")]);
+        assert_eq!(eval_path(&doc, None, &p).len(), 1);
+    }
+
+    #[test]
+    fn unknown_label_matches_nothing() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let p = PathExpr::child_chain(["a", "nope"]);
+        assert!(eval_path(&doc, None, &p).is_empty());
+        let q = TwigQuery::new(PathExpr::child("zzz"));
+        assert_eq!(selectivity(&doc, &q), 0);
+    }
+
+    #[test]
+    fn value_predicate_on_self() {
+        let doc = parse("<r><y>1999</y><y>2001</y><y>2005</y></r>").unwrap();
+        let p = PathExpr::new(vec![
+            Step::child("r"),
+            Step::child("y").with_pred(Pred::self_value(ValueRange { lo: 2000, hi: i64::MAX })),
+        ]);
+        assert_eq!(eval_path(&doc, None, &p).len(), 2);
+    }
+
+    #[test]
+    fn branch_predicate_existential() {
+        let doc = parse("<r><m><t/></m><m/><m><t/><t/></m></r>").unwrap();
+        // /r/m[t] — two movies have a t child; multiple t's count once.
+        let p = PathExpr::new(vec![
+            Step::child("r"),
+            Step::child("m").with_pred(Pred::branch(PathExpr::child("t"))),
+        ]);
+        assert_eq!(eval_path(&doc, None, &p).len(), 2);
+    }
+
+    #[test]
+    fn zero_branch_prunes_whole_subtree() {
+        // An author with no papers contributes zero tuples even though the
+        // name branch matches.
+        let doc = parse("<bib><author><name/></author></bib>").unwrap();
+        let mut q = TwigQuery::new(PathExpr::new(vec![Step::descendant("author")]));
+        q.add_child(0, PathExpr::child("name"));
+        q.add_child(0, PathExpr::child("paper"));
+        assert_eq!(selectivity(&doc, &q), 0);
+    }
+
+    #[test]
+    fn figure4_documents_selectivities() {
+        // Figure 4: two documents, identical single-path behaviour, twig
+        // selectivity 2000 vs 10100 for (A, A/B, A/C).
+        // Doc 1: a1 with 10 b + 100 c, a2 with 100 b + 10 c -> 10*100+100*10 = 2000.
+        // Doc 2: a1 with 100 b + 100 c, a2 with 10 b + 10 c -> 100*100+10*10 = 10100.
+        fn make(counts: &[(usize, usize)]) -> xtwig_xml::Document {
+            let mut b = xtwig_xml::DocumentBuilder::new();
+            b.open("R", None);
+            for &(nb, nc) in counts {
+                b.open("A", None);
+                for _ in 0..nb {
+                    b.leaf("B", None);
+                }
+                for _ in 0..nc {
+                    b.leaf("C", None);
+                }
+                b.close();
+            }
+            b.close();
+            b.finish()
+        }
+        let d1 = make(&[(10, 100), (100, 10)]);
+        let d2 = make(&[(100, 100), (10, 10)]);
+        let mut q = TwigQuery::new(PathExpr::new(vec![Step::descendant("A")]));
+        q.add_child(0, PathExpr::child("B"));
+        q.add_child(0, PathExpr::child("C"));
+        assert_eq!(selectivity(&d1, &q), 2000);
+        assert_eq!(selectivity(&d2, &q), 10100);
+    }
+
+    #[test]
+    fn enumerate_matches_count_on_small_doc() {
+        let doc = parse("<a><b><d/><d/></b><b><d/></b><c/></a>").unwrap();
+        let mut q = TwigQuery::new(PathExpr::child("a"));
+        let t1 = q.add_child(0, PathExpr::child("b"));
+        q.add_child(t1, PathExpr::child("d"));
+        q.add_child(0, PathExpr::child("c"));
+        let n = selectivity(&doc, &q);
+        assert_eq!(n as usize, enumerate_bindings(&doc, &q).len());
+        assert_eq!(n, 3);
+    }
+}

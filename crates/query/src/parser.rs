@@ -1,0 +1,354 @@
+//! Parser for the paper's twig-query notation.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! twig   := 'for' binding (',' binding)*
+//! binding:= '$' name 'in' ( path | '$' name path )
+//! path   := (('/' | '//') step)+
+//! step   := name pred*
+//! pred   := '[' target (op int)? ']'
+//! target := '.' | rel-path
+//! rel    := step (('/' | '//') step)*        // first step is child axis
+//! op     := '=' | '<' | '<=' | '>' | '>='
+//! ```
+//!
+//! Examples: `for $t0 in //movie[type = 5], $t1 in $t0/actor` and the
+//! range form `[. in 10..20]`.
+
+use crate::ast::{Axis, CmpOp, PathExpr, Pred, Step, TwigQuery, ValueRange};
+use std::fmt;
+
+/// Error from [`parse_twig`] / [`parse_path`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+struct P<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+/// Parses an absolute path expression such as `//movie[type = 5]/actor`.
+pub fn parse_path(text: &str) -> Result<PathExpr, QueryParseError> {
+    let mut p = P { s: text.as_bytes(), pos: 0 };
+    p.ws();
+    let path = p.path(true)?;
+    p.ws();
+    if p.pos != p.s.len() {
+        return p.err("trailing input after path");
+    }
+    Ok(path)
+}
+
+/// Parses a twig query in `for $t0 in …, $t1 in $t0/…` notation.
+///
+/// ```
+/// let q = xtwig_query::parse_twig(
+///     "for $t0 in //author, $t1 in $t0/name, $t2 in $t0/paper[year > 2000]"
+/// ).unwrap();
+/// assert_eq!(q.len(), 3);
+/// ```
+pub fn parse_twig(text: &str) -> Result<TwigQuery, QueryParseError> {
+    let mut p = P { s: text.as_bytes(), pos: 0 };
+    p.ws();
+    p.keyword("for")?;
+    let mut twig: Option<TwigQuery> = None;
+    let mut var_names: Vec<String> = Vec::new();
+    loop {
+        p.ws();
+        p.expect(b'$')?;
+        let var = p.name()?;
+        p.ws();
+        p.keyword("in")?;
+        p.ws();
+        if p.peek() == Some(b'$') {
+            p.pos += 1;
+            let parent_var = p.name()?;
+            let Some(parent_idx) = var_names.iter().position(|v| *v == parent_var) else {
+                return p.err(format!("unknown variable ${parent_var}"));
+            };
+            let path = p.path(true)?;
+            let t = twig.as_mut().ok_or(QueryParseError {
+                offset: p.pos,
+                message: "first binding must be absolute".into(),
+            })?;
+            t.add_child(parent_idx, path);
+        } else {
+            if twig.is_some() {
+                return p.err("only the first binding may be absolute");
+            }
+            let path = p.path(true)?;
+            twig = Some(TwigQuery::new(path));
+        }
+        var_names.push(var);
+        p.ws();
+        if p.peek() == Some(b',') {
+            p.pos += 1;
+            continue;
+        }
+        break;
+    }
+    if p.pos != p.s.len() {
+        return p.err("trailing input after twig query");
+    }
+    twig.ok_or(QueryParseError { offset: 0, message: "empty twig".into() })
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, QueryParseError> {
+        Err(QueryParseError { offset: self.pos, message: message.into() })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), QueryParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", c as char))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), QueryParseError> {
+        if self.s[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`"))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, QueryParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b'@' | b':') {
+                // `.` only allowed mid-name, not as the whole name (that is
+                // the self target); handled by caller context since `.` alone
+                // never reaches name().
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+    }
+
+    fn int(&mut self) -> Result<i64, QueryParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or(QueryParseError { offset: start, message: "expected an integer".into() })
+    }
+
+    /// Parses a path. When `leading_slash` is true the path must begin with
+    /// `/` or `//`; otherwise the first step defaults to the child axis and
+    /// has no separator (relative paths inside predicates).
+    fn path(&mut self, leading_slash: bool) -> Result<PathExpr, QueryParseError> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = if self.s[self.pos..].starts_with(b"//") {
+                self.pos += 2;
+                Axis::Descendant
+            } else if self.peek() == Some(b'/') {
+                self.pos += 1;
+                Axis::Child
+            } else if steps.is_empty() && !leading_slash {
+                Axis::Child
+            } else {
+                break;
+            };
+            if steps.is_empty() && leading_slash && !matches!(axis, Axis::Child | Axis::Descendant)
+            {
+                return self.err("expected `/` or `//`");
+            }
+            let label = self.name()?;
+            let mut step = Step { axis, label, preds: Vec::new() };
+            while self.peek() == Some(b'[') {
+                step.preds.push(self.pred()?);
+            }
+            steps.push(step);
+            if self.peek() != Some(b'/') {
+                break;
+            }
+        }
+        if steps.is_empty() {
+            return self.err("expected a path");
+        }
+        Ok(PathExpr::new(steps))
+    }
+
+    fn pred(&mut self) -> Result<Pred, QueryParseError> {
+        self.expect(b'[')?;
+        self.ws();
+        let path = if self.peek() == Some(b'.') && !self.is_name_dot() {
+            self.pos += 1;
+            None
+        } else {
+            Some(self.path(false)?)
+        };
+        self.ws();
+        let value = if self.peek() == Some(b']') {
+            None
+        } else if self.s[self.pos..].starts_with(b"in ") || self.s[self.pos..].starts_with(b"in-")
+        {
+            // range form: `in lo..hi`
+            self.keyword("in")?;
+            self.ws();
+            let lo = self.int()?;
+            self.keyword("..")?;
+            let hi = self.int()?;
+            Some(ValueRange { lo, hi })
+        } else {
+            let op = self.cmp_op()?;
+            self.ws();
+            let v = self.int()?;
+            Some(ValueRange::from_cmp(op, v))
+        };
+        self.ws();
+        self.expect(b']')?;
+        if path.is_none() && value.is_none() {
+            return self.err("`[.]` needs a comparison");
+        }
+        Ok(Pred { path, value })
+    }
+
+    /// Disambiguates `.` (self target) from a name that merely starts with a
+    /// dot — names cannot start with `.` in our grammar, so a lone dot is
+    /// always the self target; this hook exists for clarity.
+    fn is_name_dot(&self) -> bool {
+        false
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, QueryParseError> {
+        let rest = &self.s[self.pos..];
+        let (op, len) = if rest.starts_with(b"<=") {
+            (CmpOp::Le, 2)
+        } else if rest.starts_with(b">=") {
+            (CmpOp::Ge, 2)
+        } else if rest.starts_with(b"<") {
+            (CmpOp::Lt, 1)
+        } else if rest.starts_with(b">") {
+            (CmpOp::Gt, 1)
+        } else if rest.starts_with(b"=") {
+            (CmpOp::Eq, 1)
+        } else {
+            return self.err("expected a comparison operator");
+        };
+        self.pos += len;
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Axis;
+
+    #[test]
+    fn parses_simple_twig() {
+        let q = parse_twig("for $t0 in /bib/author, $t1 in $t0/name, $t2 in $t0/paper").unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.path(0).steps.len(), 2);
+        assert_eq!(q.children(0), &[1, 2]);
+        assert_eq!(q.path(1).steps[0].label, "name");
+    }
+
+    #[test]
+    fn parses_descendant_axis() {
+        let q = parse_twig("for $t0 in //movie, $t1 in $t0//actor").unwrap();
+        assert_eq!(q.path(0).steps[0].axis, Axis::Descendant);
+        assert_eq!(q.path(1).steps[0].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn parses_branch_and_value_predicates() {
+        let q = parse_twig("for $t0 in //movie[type = 5][year > 1990], $t1 in $t0/actor").unwrap();
+        let preds = &q.path(0).steps[0].preds;
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].path.as_ref().unwrap().steps[0].label, "type");
+        assert_eq!(preds[0].value, Some(ValueRange { lo: 5, hi: 5 }));
+        assert_eq!(preds[1].path.as_ref().unwrap().steps[0].label, "year");
+        assert_eq!(preds[1].value, Some(ValueRange { lo: 1991, hi: i64::MAX }));
+    }
+
+    #[test]
+    fn parses_self_value_predicate_and_range() {
+        let p = parse_path("/r/y[. >= 2000]").unwrap();
+        assert_eq!(p.steps[1].preds[0].path, None);
+        assert_eq!(p.steps[1].preds[0].value, Some(ValueRange { lo: 2000, hi: i64::MAX }));
+        let p2 = parse_path("/r/y[. in 10..20]").unwrap();
+        assert_eq!(p2.steps[1].preds[0].value, Some(ValueRange { lo: 10, hi: 20 }));
+    }
+
+    #[test]
+    fn parses_nested_branch_paths() {
+        let p = parse_path("//a[b/c[d > 3]]").unwrap();
+        let b = p.steps[0].preds[0].path.as_ref().unwrap();
+        assert_eq!(b.steps.len(), 2);
+        let inner = &b.steps[1].preds[0];
+        assert_eq!(inner.path.as_ref().unwrap().steps[0].label, "d");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "for $t0 in //movie[type = 5], $t1 in $t0/actor, $t2 in $t0/producer",
+            "for $t0 in /bib/author, $t1 in $t0/paper[year >= 2000]/title",
+            "for $t0 in //a[b/c], $t1 in $t0/d[. in 1..9]",
+        ] {
+            let q = parse_twig(text).unwrap();
+            let shown = q.to_string();
+            let q2 = parse_twig(&shown).unwrap();
+            assert_eq!(q, q2, "round trip failed for `{text}` -> `{shown}`");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_twig("for $t0 in").is_err());
+        assert!(parse_twig("for $t0 in /a, $t9 in $tX/b").is_err());
+        assert!(parse_twig("for $t0 in /a, $t1 in /b").is_err(), "second absolute binding");
+        assert!(parse_path("/a[").is_err());
+        assert!(parse_path("/a[.]").is_err());
+        assert!(parse_path("").is_err());
+        assert!(parse_path("/a[b >]").is_err());
+    }
+
+    #[test]
+    fn attribute_labels_parse() {
+        let p = parse_path("//movie/@year[. > 1990]").unwrap();
+        assert_eq!(p.steps[1].label, "@year");
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's evaluation metric (§6.1).
+
+/// Summary of a workload's estimation error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// Average absolute relative error over the workload.
+    pub avg_rel_error: f64,
+    /// Median absolute relative error.
+    pub p50: f64,
+    /// 90th-percentile absolute relative error.
+    pub p90: f64,
+    /// The sanity bound used (10th percentile of true counts, min 1).
+    pub sanity: f64,
+    /// Number of queries scored.
+    pub count: usize,
+}
+
+/// Computes the average absolute relative error `|r − c| / max(s, c)`
+/// where `s` is the 10th percentile of the true counts (the paper's
+/// sanity bound, which also defines the metric for negative queries with
+/// `c = 0`).
+///
+/// # Panics
+/// Panics when the slices differ in length.
+pub fn avg_relative_error(estimates: &[f64], truths: &[f64]) -> ErrorReport {
+    assert_eq!(estimates.len(), truths.len(), "estimate/truth length mismatch");
+    if estimates.is_empty() {
+        return ErrorReport { avg_rel_error: 0.0, p50: 0.0, p90: 0.0, sanity: 1.0, count: 0 };
+    }
+    let mut sorted = truths.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let sanity = sorted[(sorted.len() - 1) / 10].max(1.0);
+    let mut errors: Vec<f64> = estimates
+        .iter()
+        .zip(truths)
+        .map(|(&r, &c)| (r - c).abs() / c.max(sanity))
+        .collect();
+    let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = |p: f64| errors[((errors.len() - 1) as f64 * p).round() as usize];
+    ErrorReport {
+        avg_rel_error: avg,
+        p50: q(0.5),
+        p90: q(0.9),
+        sanity,
+        count: errors.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimates_have_zero_error() {
+        let t = vec![10.0, 100.0, 1000.0];
+        let r = avg_relative_error(&t, &t);
+        assert_eq!(r.avg_rel_error, 0.0);
+        assert_eq!(r.count, 3);
+    }
+
+    #[test]
+    fn sanity_bound_is_tenth_percentile() {
+        let truths: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let estimates = truths.clone();
+        let r = avg_relative_error(&estimates, &truths);
+        // 10th percentile of 1..=100 at index 9 -> 10.
+        assert_eq!(r.sanity, 10.0);
+    }
+
+    #[test]
+    fn negative_queries_use_sanity_bound() {
+        // truth 0 with estimate 5 and sanity 10 -> error 0.5, not infinity.
+        let truths = vec![0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0];
+        let mut estimates = truths.clone();
+        estimates[0] = 5.0;
+        let r = avg_relative_error(&estimates, &truths);
+        assert!(r.avg_rel_error > 0.0 && r.avg_rel_error.is_finite());
+        assert!((r.avg_rel_error - 0.5 / 10.0 / 1.0 * (1.0)).abs() < 1.0); // finite & small
+    }
+
+    #[test]
+    fn overestimates_and_underestimates_count_symmetrically() {
+        let truths = vec![100.0; 10];
+        let mut over = truths.clone();
+        over[0] = 150.0;
+        let mut under = truths.clone();
+        under[0] = 50.0;
+        let a = avg_relative_error(&over, &truths);
+        let b = avg_relative_error(&under, &truths);
+        assert!((a.avg_rel_error - b.avg_rel_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let r = avg_relative_error(&[], &[]);
+        assert_eq!(r.avg_rel_error, 0.0);
+        assert_eq!(r.count, 0);
+    }
+}
+
+#[cfg(test)]
+mod quantile_tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        // Keep every truth above the sanity bound so the error is uniform.
+        let truths: Vec<f64> = (1..=50).map(|i| 1000.0 + i as f64 * 10.0).collect();
+        let estimates: Vec<f64> = truths.iter().map(|t| t * 1.5).collect();
+        let r = avg_relative_error(&estimates, &truths);
+        assert!(r.p50 <= r.p90 + 1e-12);
+        // Errors are ~50% (queries below the sanity bound shrink slightly).
+        assert!((r.p50 - 0.5).abs() < 1e-9);
+        assert!((r.p90 - 0.5).abs() < 1e-9);
+        assert!(r.avg_rel_error > 0.49 && r.avg_rel_error <= 0.5 + 1e-12, "{}", r.avg_rel_error);
+    }
+
+    #[test]
+    fn p90_reflects_outliers_avg_hides() {
+        let truths = vec![100.0; 20];
+        let mut estimates = truths.clone();
+        for e in estimates.iter_mut().take(3) {
+            *e = 1000.0; // three 9x overestimates
+        }
+        let r = avg_relative_error(&estimates, &truths);
+        assert!((r.p50 - 0.0).abs() < 1e-9);
+        assert!(r.p90 > 1.0, "{}", r.p90);
+        assert!(r.avg_rel_error < r.p90);
+    }
+}

@@ -1,0 +1,108 @@
+//! A common interface over the two summarization techniques.
+
+use xtwig_core::estimate::EstimateOptions;
+use xtwig_core::Synopsis;
+use xtwig_cst::Cst;
+use xtwig_markov::MarkovPaths;
+use xtwig_query::TwigQuery;
+
+/// A selectivity estimator backed by some summary structure.
+pub trait Estimator {
+    /// Estimated number of binding tuples for `q`.
+    fn estimate(&self, q: &TwigQuery) -> f64;
+    /// Storage footprint of the summary.
+    fn size_bytes(&self) -> usize;
+    /// Technique name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A Twig XSKETCH estimator.
+pub struct XsketchEstimator<'a> {
+    /// The synopsis to estimate over.
+    pub synopsis: &'a Synopsis,
+    /// Expansion/embedding options.
+    pub opts: EstimateOptions,
+}
+
+impl Estimator for XsketchEstimator<'_> {
+    fn estimate(&self, q: &TwigQuery) -> f64 {
+        xtwig_core::estimate_selectivity(self.synopsis, q, &self.opts)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.synopsis.size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "XSKETCH"
+    }
+}
+
+/// A Correlated Suffix Tree estimator.
+pub struct CstEstimator<'a> {
+    /// The pruned trie to estimate over.
+    pub cst: &'a Cst,
+}
+
+impl Estimator for CstEstimator<'_> {
+    fn estimate(&self, q: &TwigQuery) -> f64 {
+        xtwig_cst::estimate_twig(self.cst, q)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.cst.size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "CST"
+    }
+}
+
+/// A first-order Markov path-model estimator.
+pub struct MarkovEstimator<'a> {
+    /// The pruned Markov model to estimate over.
+    pub model: &'a MarkovPaths,
+}
+
+impl Estimator for MarkovEstimator<'_> {
+    fn estimate(&self, q: &TwigQuery) -> f64 {
+        self.model.estimate_twig(q)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.model.size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "Markov"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_query::parse_twig;
+
+    #[test]
+    fn both_estimators_answer_queries() {
+        let doc = xtwig_xml::parse(
+            "<bib><author><name/><paper><keyword/></paper></author><author><name/><paper><keyword/><keyword/></paper></author></bib>",
+        )
+        .unwrap();
+        let s = xtwig_core::coarse_synopsis(&doc);
+        let cst = Cst::build(&doc, xtwig_cst::CstOptions::default());
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper/keyword").unwrap();
+        let xs = XsketchEstimator { synopsis: &s, opts: EstimateOptions::default() };
+        let ce = CstEstimator { cst: &cst };
+        let model = xtwig_markov::MarkovPaths::build(&doc, xtwig_markov::MarkovOptions::default());
+        let me = MarkovEstimator { model: &model };
+        assert!((xs.estimate(&q) - 3.0).abs() < 1e-9);
+        assert!((ce.estimate(&q) - 3.0).abs() < 1e-9);
+        assert!((me.estimate(&q) - 3.0).abs() < 1e-9);
+        assert_eq!(me.name(), "Markov");
+        assert!(xs.size_bytes() > 0);
+        assert!(ce.size_bytes() > 0);
+        assert_eq!(xs.name(), "XSKETCH");
+        assert_eq!(ce.name(), "CST");
+    }
+}

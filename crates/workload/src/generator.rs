@@ -1,0 +1,455 @@
+//! Twig-query workload generation (§6.1).
+//!
+//! "Each workload contains 1000 queries and the total number of twig
+//! nodes per query is distributed uniformly between 4 and 8. Depending on
+//! the experiment, we either use a P (Path) workload, where twig queries
+//! do not contain value predicates, or a P+V (Path+Value) workload, where
+//! 500 of the queries contain one or two value predicates that cover a
+//! random 10 % range of the corresponding value domain."
+//!
+//! Queries are extracted from actual document twigs, so the structural
+//! part always matches; queries whose predicates drive the selectivity to
+//! zero are rejected and regenerated (the paper evaluates on *positive*
+//! workloads).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use xtwig_query::{selectivity, PathExpr, Pred, Step, TwigQuery, ValueRange};
+use xtwig_xml::{Document, LabelId, NodeId};
+
+/// Workload flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// `P`: complex paths with branching predicates, no value predicates.
+    Branching,
+    /// `P+V`: branching predicates plus value predicates on half the
+    /// queries.
+    BranchingValues,
+    /// Simple paths only (no predicates) — the CST comparison setup.
+    SimplePath,
+}
+
+/// Workload generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of queries (the paper uses 1000, or 500 for Fig. 9(c)).
+    pub queries: usize,
+    /// Minimum twig nodes per query (inclusive).
+    pub min_nodes: usize,
+    /// Maximum twig nodes per query (inclusive).
+    pub max_nodes: usize,
+    /// Flavour.
+    pub kind: WorkloadKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            queries: 1000,
+            min_nodes: 4,
+            max_nodes: 8,
+            kind: WorkloadKind::Branching,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// A generated workload with exact true selectivities.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The queries.
+    pub queries: Vec<TwigQuery>,
+    /// Exact binding-tuple counts, aligned with `queries`.
+    pub truths: Vec<u64>,
+}
+
+/// Summary statistics mirroring the paper's Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadStats {
+    /// Average true result cardinality.
+    pub avg_result: f64,
+    /// Average fanout over internal twig nodes.
+    pub avg_fanout: f64,
+    /// Number of queries.
+    pub count: usize,
+}
+
+/// Computes Table 2 statistics for a workload.
+pub fn workload_stats(w: &Workload) -> WorkloadStats {
+    let count = w.queries.len();
+    if count == 0 {
+        return WorkloadStats { avg_result: 0.0, avg_fanout: 0.0, count: 0 };
+    }
+    let avg_result = w.truths.iter().map(|&t| t as f64).sum::<f64>() / count as f64;
+    let avg_fanout =
+        w.queries.iter().map(|q| q.avg_internal_fanout()).sum::<f64>() / count as f64;
+    WorkloadStats { avg_result, avg_fanout, count }
+}
+
+/// Generates a positive workload over `doc` per the spec.
+pub fn generate_workload(doc: &Document, spec: &WorkloadSpec) -> Workload {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let domains = value_domains(doc);
+    let mut queries = Vec::with_capacity(spec.queries);
+    let mut truths = Vec::with_capacity(spec.queries);
+    let mut attempts = 0usize;
+    let max_attempts = spec.queries * 40;
+    while queries.len() < spec.queries && attempts < max_attempts {
+        attempts += 1;
+        // Half the queries of a P+V workload carry value predicates.
+        let with_values =
+            spec.kind == WorkloadKind::BranchingValues && queries.len() % 2 == 0;
+        let Some(q) = gen_query(doc, spec, with_values, &domains, &mut rng) else {
+            continue;
+        };
+        let truth = selectivity(doc, &q);
+        if truth == 0 {
+            continue; // positive workloads only
+        }
+        queries.push(q);
+        truths.push(truth);
+    }
+    Workload { queries, truths }
+}
+
+/// Generates a workload of zero-selectivity ("negative") queries by
+/// mutating one structural step of otherwise-positive queries to a label
+/// combination absent from the document.
+pub fn negative_workload(doc: &Document, spec: &WorkloadSpec) -> Vec<TwigQuery> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9E3779B97F4A7C15);
+    let domains = value_domains(doc);
+    let mut out = Vec::with_capacity(spec.queries);
+    let mut attempts = 0usize;
+    while out.len() < spec.queries && attempts < spec.queries * 40 {
+        attempts += 1;
+        let Some(mut q) = gen_query(doc, spec, false, &domains, &mut rng) else {
+            continue;
+        };
+        // Append a child with a label that exists in the document but
+        // never under the chosen node — rejection-check for zero.
+        let labels: Vec<&str> = doc.labels().iter().map(|(_, n)| n).collect();
+        let l = labels[rng.random_range(0..labels.len())].to_owned();
+        let target = rng.random_range(0..q.len());
+        q.add_child(target, PathExpr::child(l));
+        if selectivity(doc, &q) == 0 {
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Per-label value domains (for the 10 % range predicates).
+fn value_domains(doc: &Document) -> HashMap<LabelId, (i64, i64)> {
+    let mut out: HashMap<LabelId, (i64, i64)> = HashMap::new();
+    for n in doc.nodes() {
+        if let Some(v) = doc.value(n) {
+            let e = out.entry(doc.label(n)).or_insert((v, v));
+            e.0 = e.0.min(v);
+            e.1 = e.1.max(v);
+        }
+    }
+    out
+}
+
+/// Generates one candidate query (structure guaranteed positive; value
+/// predicates may zero it — the caller filters).
+fn gen_query(
+    doc: &Document,
+    spec: &WorkloadSpec,
+    with_values: bool,
+    domains: &HashMap<LabelId, (i64, i64)>,
+    rng: &mut StdRng,
+) -> Option<TwigQuery> {
+    let target_nodes = rng.random_range(spec.min_nodes..=spec.max_nodes);
+    // Pick a random base element with children. Never anchor at the
+    // document root — root-anchored branching twigs multiply whole-corpus
+    // counts into astronomically selective queries the paper's workloads
+    // (avg. cardinality in the thousands) clearly do not contain.
+    let mut base = NodeId(rng.random_range(0..doc.len() as u32));
+    let min_depth = if rng.random_bool(0.75) { 2 } else { 1 };
+    for _ in 0..rng.random_range(0..3u32) {
+        match doc.parent(base) {
+            Some(p) if doc.depth(p) >= min_depth => base = p,
+            _ => break,
+        }
+    }
+    let mut guard = 0;
+    while doc.is_leaf(base) {
+        base = doc.parent(base)?;
+        guard += 1;
+        if guard > 64 {
+            return None;
+        }
+    }
+    doc.parent(base)?;
+
+    // Root path: `//tag` (40%) or the absolute child chain.
+    let root_path = if rng.random_bool(0.4) {
+        PathExpr::new(vec![Step::descendant(doc.tag(base))])
+    } else {
+        PathExpr::new(
+            doc.label_path(base)
+                .iter()
+                .map(|&l| Step::child(doc.labels().name(l)))
+                .collect(),
+        )
+    };
+    let mut q = TwigQuery::new(root_path);
+    // Frontier of (twig node, document element) pairs we can expand from.
+    // Expansion is biased toward the most recent node (chain-like twigs)
+    // and nodes are retired after two children, matching the paper's
+    // Table 2 fanouts (≈1.5–2 per internal node).
+    let mut frontier: Vec<(usize, NodeId)> = vec![(0, base)];
+    while q.len() < target_nodes {
+        if frontier.is_empty() {
+            break;
+        }
+        let fi = if rng.random_bool(0.55) {
+            frontier.len() - 1
+        } else {
+            rng.random_range(0..frontier.len())
+        };
+        let (t, elem) = frontier[fi];
+        if q.children(t).len() >= 2 {
+            frontier.swap_remove(fi);
+            continue;
+        }
+        let children: Vec<NodeId> = doc.children(elem).collect();
+        if children.is_empty() {
+            frontier.swap_remove(fi);
+            continue;
+        }
+        let c = children[rng.random_range(0..children.len())];
+        // No self-joins: sibling twig nodes must select distinct labels
+        // (two `item` branches under one node would square whole-corpus
+        // counts — the paper's workload cardinalities rule that out).
+        if q.children(t)
+            .iter()
+            .any(|&sib| q.path(sib).steps[0].label == doc.tag(c))
+        {
+            frontier.swap_remove(fi);
+            continue;
+        }
+        // Occasionally a two-step path through a grandchild.
+        let grandkids: Vec<NodeId> = doc.children(c).collect();
+        let (path, bound) = if !grandkids.is_empty() && rng.random_bool(0.3) {
+            let g = grandkids[rng.random_range(0..grandkids.len())];
+            (
+                PathExpr::new(vec![Step::child(doc.tag(c)), Step::child(doc.tag(g))]),
+                g,
+            )
+        } else {
+            (PathExpr::child(doc.tag(c)), c)
+        };
+        let nt = q.add_child(t, path);
+        frontier.push((nt, bound));
+    }
+    if q.len() < spec.min_nodes {
+        return None;
+    }
+
+    if spec.kind != WorkloadKind::SimplePath {
+        attach_branch_preds(doc, &mut q, &frontier, rng);
+    }
+    if with_values && !attach_value_preds(doc, &mut q, &frontier, domains, rng) {
+        // A value-predicate slot that could not attach any predicate is
+        // regenerated from a different region.
+        return None;
+    }
+    Some(q)
+}
+
+/// Adds 0–2 existential branching predicates, each guaranteed to hold for
+/// the witness element (so the structural query stays positive).
+fn attach_branch_preds(
+    doc: &Document,
+    q: &mut TwigQuery,
+    frontier: &[(usize, NodeId)],
+    rng: &mut StdRng,
+) {
+    let preds = rng.random_range(0..=2u32);
+    for _ in 0..preds {
+        if frontier.is_empty() {
+            return;
+        }
+        let (t, elem) = frontier[rng.random_range(0..frontier.len())];
+        let children: Vec<NodeId> = doc.children(elem).collect();
+        if children.is_empty() {
+            continue;
+        }
+        let c = children[rng.random_range(0..children.len())];
+        let branch = PathExpr::child(doc.tag(c));
+        // Attach to the last step of t's path.
+        let path = q.path(t).clone();
+        let mut steps = path.steps;
+        steps
+            .last_mut()
+            .expect("paths are non-empty")
+            .preds
+            .push(Pred::branch(branch));
+        replace_path(q, t, PathExpr::new(steps));
+    }
+}
+
+/// Adds one or two value predicates covering a 10 % range of the label's
+/// domain; returns whether at least one was attached. Ranges are usually
+/// anchored around the witness element's value (keeping the rejection
+/// rate for positivity manageable) and occasionally fully random — width
+/// is always 10 % of the domain, as in the paper.
+fn attach_value_preds(
+    doc: &Document,
+    q: &mut TwigQuery,
+    frontier: &[(usize, NodeId)],
+    domains: &HashMap<LabelId, (i64, i64)>,
+    rng: &mut StdRng,
+) -> bool {
+    let preds = rng.random_range(1..=2u32);
+    let mut attached = 0u32;
+    for _ in 0..preds * 4 {
+        if attached >= preds {
+            break;
+        }
+        if frontier.is_empty() {
+            break;
+        }
+        let (t, elem) = frontier[rng.random_range(0..frontier.len())];
+        // A valued child of the bound element carries the predicate as a
+        // branch-with-value.
+        let valued: Vec<NodeId> = doc
+            .children(elem)
+            .filter(|&c| doc.value(c).is_some())
+            .collect();
+        if valued.is_empty() {
+            continue;
+        }
+        let c = valued[rng.random_range(0..valued.len())];
+        let label = doc.label(c);
+        let Some(&(lo, hi)) = domains.get(&label) else { continue };
+        let witness = doc.value(c).expect("valued child");
+        let width = (((hi - lo) as f64 * 0.10).ceil() as i64).max(1);
+        let start_max = (hi - width).max(lo);
+        let start = if rng.random_bool(0.7) {
+            // Anchor around the witness value.
+            (witness - rng.random_range(0..=width)).clamp(lo, start_max)
+        } else if start_max > lo {
+            lo + rng.random_range(0..=(start_max - lo))
+        } else {
+            lo
+        };
+        let range = ValueRange { lo: start, hi: start + width };
+        let path = q.path(t).clone();
+        let mut steps = path.steps;
+        steps
+            .last_mut()
+            .expect("paths are non-empty")
+            .preds
+            .push(Pred::branch_value(PathExpr::child(doc.tag(c)), range));
+        replace_path(q, t, PathExpr::new(steps));
+        attached += 1;
+    }
+    attached > 0
+}
+
+/// Swaps out the path of an existing twig node (rebuilds the query since
+/// `TwigQuery` is append-only).
+fn replace_path(q: &mut TwigQuery, t: usize, path: PathExpr) {
+    let mut rebuilt = TwigQuery::new(if t == 0 { path.clone() } else { q.path(0).clone() });
+    let mut map = vec![0usize; q.len()];
+    for i in 1..q.len() {
+        let parent = map[q.parent(i).expect("non-root")];
+        let p = if i == t { path.clone() } else { q.path(i).clone() };
+        map[i] = rebuilt.add_child(parent, p);
+    }
+    *q = rebuilt;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_datagen::{imdb, ImdbConfig};
+
+    fn small_doc() -> Document {
+        imdb(ImdbConfig { movies: 120, seed: 11 })
+    }
+
+    #[test]
+    fn p_workload_is_positive_with_4_to_8_nodes() {
+        let doc = small_doc();
+        let spec = WorkloadSpec { queries: 40, ..Default::default() };
+        let w = generate_workload(&doc, &spec);
+        assert_eq!(w.queries.len(), 40);
+        for (q, &t) in w.queries.iter().zip(&w.truths) {
+            assert!(t > 0);
+            assert!((4..=8).contains(&q.len()), "{} nodes in {q}", q.len());
+            assert!(!q.has_value_predicate());
+        }
+        // Some queries must actually carry branching predicates.
+        assert!(w.queries.iter().any(|q| q.has_branch_predicate()));
+    }
+
+    #[test]
+    fn pv_workload_has_value_predicates_on_half() {
+        let doc = small_doc();
+        let spec = WorkloadSpec {
+            queries: 30,
+            kind: WorkloadKind::BranchingValues,
+            ..Default::default()
+        };
+        let w = generate_workload(&doc, &spec);
+        assert_eq!(w.queries.len(), 30);
+        let with_v = w.queries.iter().filter(|q| q.has_value_predicate()).count();
+        assert!(with_v >= 8, "{with_v} of 30 queries have value predicates");
+        assert!(w.truths.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn simple_path_workload_has_no_predicates() {
+        let doc = small_doc();
+        let spec = WorkloadSpec {
+            queries: 25,
+            kind: WorkloadKind::SimplePath,
+            ..Default::default()
+        };
+        let w = generate_workload(&doc, &spec);
+        assert_eq!(w.queries.len(), 25);
+        for q in &w.queries {
+            assert!(!q.has_branch_predicate());
+            assert!(!q.has_value_predicate());
+        }
+    }
+
+    #[test]
+    fn negative_workload_is_zero_selectivity() {
+        let doc = small_doc();
+        let spec = WorkloadSpec { queries: 15, ..Default::default() };
+        let neg = negative_workload(&doc, &spec);
+        assert!(!neg.is_empty());
+        for q in &neg {
+            assert_eq!(selectivity(&doc, q), 0, "query {q} is not negative");
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let doc = small_doc();
+        let spec = WorkloadSpec { queries: 10, ..Default::default() };
+        let a = generate_workload(&doc, &spec);
+        let b = generate_workload(&doc, &spec);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.truths, b.truths);
+    }
+
+    #[test]
+    fn stats_summarize_workload() {
+        let doc = small_doc();
+        let spec = WorkloadSpec { queries: 20, ..Default::default() };
+        let w = generate_workload(&doc, &spec);
+        let s = workload_stats(&w);
+        assert_eq!(s.count, 20);
+        assert!(s.avg_result >= 1.0);
+        assert!(s.avg_fanout >= 1.0);
+    }
+}

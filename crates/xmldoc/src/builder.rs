@@ -1,0 +1,156 @@
+//! Programmatic document construction.
+
+use crate::document::{Document, ElementData, NodeId};
+use crate::labels::LabelTable;
+
+/// Builds a [`Document`] with an open/close element protocol.
+///
+/// ```
+/// use xtwig_xml::DocumentBuilder;
+/// let mut b = DocumentBuilder::new();
+/// b.open("author", None);
+/// b.leaf("name", None);
+/// b.open("paper", None);
+/// b.leaf("year", Some(2001));
+/// b.close(); // paper
+/// b.close(); // author
+/// let doc = b.finish();
+/// assert_eq!(doc.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct DocumentBuilder {
+    labels: LabelTable,
+    elems: Vec<ElementData>,
+    /// Stack of (node, last_child) for open elements.
+    open: Vec<(u32, u32)>,
+}
+
+impl DocumentBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new element under the currently open element (or as the root
+    /// if none is open) and returns its id. Call [`close`](Self::close) to
+    /// finish it.
+    ///
+    /// # Panics
+    /// Panics when opening a second root.
+    pub fn open(&mut self, tag: &str, value: Option<i64>) -> NodeId {
+        let label = self.labels.intern(tag);
+        let id = u32::try_from(self.elems.len()).expect("document too large");
+        let parent = match self.open.last() {
+            Some(&(p, _)) => p,
+            None => {
+                assert!(self.elems.is_empty(), "document already has a root");
+                NodeId::NONE
+            }
+        };
+        self.elems.push(ElementData {
+            label,
+            parent,
+            first_child: NodeId::NONE,
+            next_sibling: NodeId::NONE,
+            value,
+        });
+        if let Some(&mut (p, ref mut last)) = self.open.last_mut() {
+            if *last == NodeId::NONE {
+                self.elems[p as usize].first_child = id;
+            } else {
+                self.elems[*last as usize].next_sibling = id;
+            }
+            *last = id;
+        }
+        self.open.push((id, NodeId::NONE));
+        NodeId(id)
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics when no element is open.
+    pub fn close(&mut self) {
+        self.open.pop().expect("close() without matching open()");
+    }
+
+    /// Overwrites the value of the innermost open element.
+    ///
+    /// The parser uses this when character data completes at an end tag;
+    /// programmatic construction should pass values to [`open`](Self::open).
+    pub fn set_pending_value(&mut self, value: Option<i64>) {
+        if let Some(&(id, _)) = self.open.last() {
+            self.elems[id as usize].value = value;
+        }
+    }
+
+    /// Convenience: opens and immediately closes a childless element.
+    pub fn leaf(&mut self, tag: &str, value: Option<i64>) -> NodeId {
+        let id = self.open(tag, value);
+        self.close();
+        id
+    }
+
+    /// Number of elements created so far.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether no elements have been created.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Finalizes the document.
+    ///
+    /// # Panics
+    /// Panics when elements are still open or when no root was created.
+    pub fn finish(self) -> Document {
+        assert!(self.open.is_empty(), "unclosed elements at finish()");
+        assert!(!self.elems.is_empty(), "document needs a root element");
+        Document {
+            labels: self.labels,
+            elems: self.elems,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sibling_order_is_preserved() {
+        let mut b = DocumentBuilder::new();
+        b.open("r", None);
+        let ids: Vec<_> = (0..5).map(|i| b.leaf("x", Some(i))).collect();
+        b.close();
+        let doc = b.finish();
+        let kids: Vec<_> = doc.children(doc.root()).collect();
+        assert_eq!(kids, ids);
+        doc.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a root")]
+    fn second_root_panics() {
+        let mut b = DocumentBuilder::new();
+        b.leaf("a", None);
+        b.leaf("b", None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unclosed_elements_panic() {
+        let mut b = DocumentBuilder::new();
+        b.open("a", None);
+        b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching open")]
+    fn close_without_open_panics() {
+        let mut b = DocumentBuilder::new();
+        b.close();
+    }
+}

@@ -1,0 +1,120 @@
+//! Label (tag) interning.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned element label (tag name).
+///
+/// Labels are dense small integers, so per-label tables elsewhere in the
+/// system can be plain vectors. A document may use at most `u16::MAX`
+/// distinct labels, far above anything in the paper's datasets (XMark has
+/// 74 tags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u16);
+
+impl LabelId {
+    /// The raw index of this label.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Interner mapping tag names to [`LabelId`]s and back.
+#[derive(Debug, Clone, Default)]
+pub struct LabelTable {
+    names: Vec<String>,
+    by_name: HashMap<String, LabelId>,
+}
+
+impl LabelTable {
+    /// Creates an empty label table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    ///
+    /// # Panics
+    /// Panics if more than `u16::MAX` distinct labels are interned.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = LabelId(u16::try_from(self.names.len()).expect("too many distinct labels"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label by name.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the tag name for `id`.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u16), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("movie");
+        let b = t.intern("actor");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("movie"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "movie");
+        assert_eq!(t.get("actor"), Some(b));
+        assert_eq!(t.get("producer"), None);
+    }
+
+    #[test]
+    fn iter_returns_in_id_order() {
+        let mut t = LabelTable::new();
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
+        let seen: Vec<_> = t.iter().collect();
+        assert_eq!(seen.len(), 3);
+        for (i, (id, name)) in seen.iter().enumerate() {
+            assert_eq!(*id, ids[i]);
+            assert_eq!(*name, ["a", "b", "c"][i]);
+        }
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = LabelTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

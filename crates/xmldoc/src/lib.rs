@@ -1,0 +1,30 @@
+//! XML document substrate for the Twig XSKETCH reproduction.
+//!
+//! This crate implements the paper's data model (§2): an XML document is a
+//! tree `T(V, E)` in which every node is an element (or attribute) with a
+//! label, and leaf elements may carry values. Values are 64-bit integers,
+//! matching the paper's prototype which supports *range predicates on
+//! integer values*.
+//!
+//! The document is stored in a single arena (`Vec<ElementData>`) threaded
+//! with first-child/next-sibling links, so traversal never chases heap
+//! pointers and node handles are plain `u32` newtypes. Labels (tags) are
+//! interned once in a [`LabelTable`].
+//!
+//! The crate also provides a minimal XML parser ([`parse`]) and writer
+//! ([`write_xml`]) sufficient for the datasets used in the paper's
+//! evaluation, plus document statistics ([`DocStats`]) used by Table 1.
+
+mod builder;
+mod document;
+mod labels;
+mod parser;
+mod stats;
+mod writer;
+
+pub use builder::DocumentBuilder;
+pub use document::{Document, ElementData, NodeId};
+pub use labels::{LabelId, LabelTable};
+pub use parser::{parse, ParseError};
+pub use stats::DocStats;
+pub use writer::write_xml;

@@ -1,0 +1,84 @@
+//! Document statistics for Table 1 of the paper.
+
+use crate::document::Document;
+use crate::writer::write_xml;
+
+/// Summary statistics of a document, mirroring the "Data Sets" table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocStats {
+    /// Total number of element (and attribute) nodes.
+    pub element_count: usize,
+    /// Number of distinct labels.
+    pub label_count: usize,
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Average number of children over internal (non-leaf) elements.
+    pub avg_fanout: f64,
+    /// Number of elements carrying a value.
+    pub valued_count: usize,
+    /// Size in bytes of the XML text serialization.
+    pub text_bytes: usize,
+}
+
+impl DocStats {
+    /// Computes statistics for `doc`. The text size requires a full
+    /// serialization and is the dominant cost.
+    pub fn compute(doc: &Document) -> Self {
+        let mut max_depth = 0usize;
+        let mut internal = 0usize;
+        let mut child_edges = 0usize;
+        let mut valued = 0usize;
+        // Depth via one pass using parents (ids are pre-order, so a parent's
+        // depth is always computed before its children's).
+        let mut depths = vec![0u32; doc.len()];
+        for n in doc.nodes() {
+            if let Some(p) = doc.parent(n) {
+                depths[n.index()] = depths[p.index()] + 1;
+                child_edges += 1;
+            }
+            max_depth = max_depth.max(depths[n.index()] as usize);
+            if !doc.is_leaf(n) {
+                internal += 1;
+            }
+            if doc.value(n).is_some() {
+                valued += 1;
+            }
+        }
+        DocStats {
+            element_count: doc.len(),
+            label_count: doc.labels().len(),
+            max_depth,
+            avg_fanout: if internal == 0 {
+                0.0
+            } else {
+                child_edges as f64 / internal as f64
+            },
+            valued_count: valued,
+            text_bytes: write_xml(doc).len(),
+        }
+    }
+
+    /// Text size in megabytes (10^6 bytes), as reported in Table 1.
+    pub fn text_mb(&self) -> f64 {
+        self.text_bytes as f64 / 1_000_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn stats_on_small_document() {
+        let doc = parse("<a><b>1</b><b>2</b><c><d/></c></a>").unwrap();
+        let s = DocStats::compute(&doc);
+        assert_eq!(s.element_count, 5);
+        assert_eq!(s.label_count, 4);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.valued_count, 2);
+        // Internal nodes: a (3 children), c (1 child) -> 4 edges / 2.
+        assert!((s.avg_fanout - 2.0).abs() < 1e-12);
+        assert!(s.text_bytes > 0);
+    }
+}

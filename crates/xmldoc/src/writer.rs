@@ -1,0 +1,71 @@
+//! XML serialization.
+
+use crate::document::{Document, NodeId};
+use std::fmt::Write as _;
+
+/// Serializes `doc` back to XML text.
+///
+/// Elements with a value are written with the value as character data;
+/// attribute nodes (labels starting with `@`) are written as attributes on
+/// their parent's start tag. The output round-trips through
+/// [`parse`](crate::parse). Used to measure the "text size" column of the
+/// paper's Table 1 for the synthetic datasets.
+pub fn write_xml(doc: &Document) -> String {
+    let mut out = String::with_capacity(doc.len() * 16);
+    write_node(doc, doc.root(), &mut out);
+    out
+}
+
+fn write_node(doc: &Document, n: NodeId, out: &mut String) {
+    let tag = doc.tag(n);
+    debug_assert!(!tag.starts_with('@'), "attribute nodes are emitted by their parent");
+    out.push('<');
+    out.push_str(tag);
+    let mut element_children = Vec::new();
+    for c in doc.children(n) {
+        let ctag = doc.tag(c);
+        if let Some(attr) = ctag.strip_prefix('@') {
+            let _ = write!(out, " {attr}=\"{}\"", doc.value(c).map_or(String::new(), |v| v.to_string()));
+        } else {
+            element_children.push(c);
+        }
+    }
+    let value = doc.value(n);
+    if element_children.is_empty() && value.is_none() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if let Some(v) = value {
+        let _ = write!(out, "{v}");
+    }
+    for c in element_children {
+        write_node(doc, c, out);
+    }
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn writes_values_and_empty_elements() {
+        let doc = parse("<a><b>42</b><c/></a>").unwrap();
+        assert_eq!(write_xml(&doc), "<a><b>42</b><c/></a>");
+    }
+
+    #[test]
+    fn round_trips_attributes() {
+        let doc = parse(r#"<m year="1999"><a/></m>"#).unwrap();
+        let text = write_xml(&doc);
+        let doc2 = parse(&text).unwrap();
+        assert_eq!(doc.len(), doc2.len());
+        let k1: Vec<_> = doc.children(doc.root()).map(|c| doc.tag(c).to_owned()).collect();
+        let k2: Vec<_> = doc2.children(doc2.root()).map(|c| doc2.tag(c).to_owned()).collect();
+        assert_eq!(k1, k2);
+    }
+}

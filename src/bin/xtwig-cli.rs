@@ -1,0 +1,202 @@
+//! Command-line front end: generate datasets, inspect documents, build
+//! synopses and estimate twig queries.
+//!
+//! ```text
+//! xtwig-cli generate <xmark|imdb|sprot> [--scale S] [--seed N]   # XML to stdout
+//! xtwig-cli stats <file.xml>                                     # Table-1-style stats
+//! xtwig-cli eval <file.xml> <twig-query>                         # exact selectivity
+//! xtwig-cli estimate <file.xml> <twig-query> [--budget BYTES]    # build + estimate
+//! ```
+//!
+//! Twig queries use the paper's notation, e.g.
+//! `for $t0 in //movie[type = 1], $t1 in $t0/actor`.
+
+use std::process::ExitCode;
+use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
+use xtwig::core::estimate::EstimateOptions;
+use xtwig::core::{coarse_synopsis, estimate_selectivity, load_synopsis, save_synopsis};
+use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
+use xtwig::query::{parse_twig, selectivity};
+use xtwig::xml::{parse, write_xml, DocStats, Document};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("estimate") => cmd_estimate(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+xtwig-cli — Twig XSKETCH selectivity estimation
+
+USAGE:
+  xtwig-cli generate <xmark|imdb|sprot> [--scale S] [--seed N]
+  xtwig-cli stats <file.xml>
+  xtwig-cli eval <file.xml> '<twig-query>'
+  xtwig-cli estimate <file.xml> '<twig-query>' [--budget BYTES] [--synopsis F]
+  xtwig-cli build <file.xml> --out <synopsis.xtwg> [--budget BYTES]
+  xtwig-cli inspect <synopsis.xtwg>
+
+Twig query notation: for $t0 in //movie[type = 1], $t1 in $t0/actor
+";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load(path: &str) -> Result<Document, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let which = args.first().ok_or("generate needs a dataset name")?;
+    let scale: f64 = flag(args, "--scale").map_or(Ok(0.05), |s| {
+        s.parse().map_err(|_| "invalid --scale".to_string())
+    })?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(1), |s| {
+        s.parse().map_err(|_| "invalid --seed".to_string())
+    })?;
+    let doc = match which.as_str() {
+        "xmark" => xmark(XMarkConfig { scale, seed }),
+        "imdb" => imdb(ImdbConfig::scaled(scale, seed)),
+        "sprot" => sprot(SprotConfig::scaled(scale, seed)),
+        other => return Err(format!("unknown dataset `{other}` (xmark|imdb|sprot)")),
+    };
+    println!("{}", write_xml(&doc));
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats needs a file")?;
+    let doc = load(path)?;
+    let s = DocStats::compute(&doc);
+    let synopsis = coarse_synopsis(&doc);
+    println!("elements:          {}", s.element_count);
+    println!("distinct tags:     {}", s.label_count);
+    println!("max depth:         {}", s.max_depth);
+    println!("avg fanout:        {:.2}", s.avg_fanout);
+    println!("valued elements:   {}", s.valued_count);
+    println!("text size:         {:.2} MB", s.text_mb());
+    println!(
+        "coarsest synopsis: {} nodes, {} edges, {:.1} KB",
+        synopsis.node_count(),
+        synopsis.edge_count(),
+        synopsis.size_bytes() as f64 / 1024.0
+    );
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("eval needs a file")?;
+    let qtext = args.get(1).ok_or("eval needs a twig query")?;
+    let doc = load(path)?;
+    let q = parse_twig(qtext).map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    let count = selectivity(&doc, &q);
+    println!("selectivity: {count} binding tuples ({:?})", t0.elapsed());
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("build needs a file")?;
+    let out = flag(args, "--out").ok_or("build needs --out <file>")?;
+    let budget: usize = flag(args, "--budget").map_or(Ok(20 * 1024), |s| {
+        s.parse().map_err(|_| "invalid --budget".to_string())
+    })?;
+    let doc = load(path)?;
+    let t0 = std::time::Instant::now();
+    let build = BuildOptions {
+        budget_bytes: budget,
+        refinements_per_round: 4,
+        ..Default::default()
+    };
+    let (synopsis, trace) = xbuild(&doc, TruthSource::Exact, &build);
+    let bytes = save_synopsis(&synopsis);
+    std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "built {} nodes / {} edges / {:.1} KB in {} rounds ({:?}); snapshot {} bytes -> {out}",
+        synopsis.node_count(),
+        synopsis.edge_count(),
+        synopsis.size_bytes() as f64 / 1024.0,
+        trace.rounds.len(),
+        t0.elapsed(),
+        bytes.len(),
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("inspect needs a snapshot file")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let synopsis = load_synopsis(&bytes).map_err(|e| e.to_string())?;
+    print!("{}", xtwig::core::describe(&synopsis));
+    Ok(())
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("estimate needs a file")?;
+    let qtext = args.get(1).ok_or("estimate needs a twig query")?;
+    let budget: usize = flag(args, "--budget").map_or(Ok(20 * 1024), |s| {
+        s.parse().map_err(|_| "invalid --budget".to_string())
+    })?;
+    let doc = load(path)?;
+    let q = parse_twig(qtext).map_err(|e| e.to_string())?;
+
+    let t0 = std::time::Instant::now();
+    let (synopsis, rounds) = match flag(args, "--synopsis") {
+        Some(snap) => {
+            let bytes = std::fs::read(&snap).map_err(|e| format!("reading {snap}: {e}"))?;
+            (load_synopsis(&bytes).map_err(|e| e.to_string())?, 0)
+        }
+        None => {
+            let build = BuildOptions {
+                budget_bytes: budget,
+                refinements_per_round: 4,
+                ..Default::default()
+            };
+            let (s, trace) = xbuild(&doc, TruthSource::Exact, &build);
+            (s, trace.rounds.len())
+        }
+    };
+    let trace_rounds = rounds;
+    let built_in = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    let est = estimate_selectivity(&synopsis, &q, &EstimateOptions::default());
+    let est_in = t1.elapsed();
+    let truth = selectivity(&doc, &q);
+
+    println!(
+        "synopsis: {} nodes / {} edges / {:.1} KB ({} refinement rounds, {built_in:?})",
+        synopsis.node_count(),
+        synopsis.edge_count(),
+        synopsis.size_bytes() as f64 / 1024.0,
+        trace_rounds,
+    );
+    println!("estimate: {est:.1} ({est_in:?})");
+    println!("exact:    {truth}");
+    let err = (est - truth as f64).abs() / (truth as f64).max(1.0);
+    println!("relative error: {:.1}%", err * 100.0);
+    Ok(())
+}

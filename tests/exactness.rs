@@ -1,0 +1,118 @@
+//! Property-based integration tests: the paper's zero-error claim ("the
+//! final expression will compute the selectivity of T with zero error if
+//! the synopsis records full information") checked against the exact
+//! evaluator on random documents, plus agreement between the counting
+//! evaluator and brute-force enumeration.
+
+use proptest::prelude::*;
+use xtwig::core::estimate::EstimateOptions;
+use xtwig::core::synopsis::{DimKind, ScopeDim};
+use xtwig::core::{coarse_synopsis, estimate_selectivity};
+use xtwig::query::{enumerate_bindings, parse_twig, selectivity, PathExpr, TwigQuery};
+use xtwig::xml::{Document, DocumentBuilder};
+
+/// A random 3-level document: root `r`, children `a`, grandchildren from
+/// {b, c}, great-grandchildren from {d}.
+fn arb_doc() -> impl Strategy<Value = Document> {
+    // For each `a`: counts of b and c children, and for each b a count of d.
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u8..4, 0..4), // d-counts per b child
+            0u8..4,                              // c count
+        ),
+        1..6,
+    )
+    .prop_map(|groups| {
+        let mut builder = DocumentBuilder::new();
+        builder.open("r", None);
+        for (d_counts, c_count) in groups {
+            builder.open("a", None);
+            for &dc in &d_counts {
+                builder.open("b", None);
+                for _ in 0..dc {
+                    builder.leaf("d", None);
+                }
+                builder.close();
+            }
+            for _ in 0..c_count {
+                builder.leaf("c", None);
+            }
+            builder.close();
+        }
+        builder.close();
+        builder.finish()
+    })
+}
+
+fn full_info_synopsis(doc: &Document) -> xtwig::core::Synopsis {
+    let mut s = coarse_synopsis(doc);
+    // Full information: every node's histogram covers every forward edge
+    // exactly, plus backward counts tying each node to all of its parent's
+    // dimensions.
+    let nodes: Vec<_> = s.node_ids().collect();
+    for n in nodes {
+        let mut scope: Vec<ScopeDim> = s
+            .children_of(n)
+            .to_vec()
+            .into_iter()
+            .map(|v| ScopeDim { parent: n, child: v, kind: DimKind::Forward })
+            .collect();
+        for &p in &s.parents_of(n).to_vec() {
+            for &z in &s.children_of(p).to_vec() {
+                scope.push(ScopeDim { parent: p, child: z, kind: DimKind::Backward });
+            }
+        }
+        s.set_edge_hist(doc, n, scope, 1 << 20);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn full_information_estimates_are_exact(doc in arb_doc()) {
+        let s = full_info_synopsis(&doc);
+        let opts = EstimateOptions::default();
+        for text in [
+            "for $t0 in /r, $t1 in $t0/a, $t2 in $t1/b, $t3 in $t1/c",
+            "for $t0 in //a, $t1 in $t0/b, $t2 in $t0/c",
+            "for $t0 in //a, $t1 in $t0/b/d, $t2 in $t0/c",
+            "for $t0 in //b, $t1 in $t0/d",
+        ] {
+            let q = parse_twig(text).unwrap();
+            let truth = selectivity(&doc, &q) as f64;
+            let est = estimate_selectivity(&s, &q, &opts);
+            prop_assert!(
+                (est - truth).abs() < 1e-6 * truth.max(1.0),
+                "{text}: est {est} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn counting_agrees_with_enumeration(doc in arb_doc()) {
+        let mut q = TwigQuery::new(PathExpr::child("r"));
+        let a = q.add_child(0, PathExpr::child("a"));
+        let b = q.add_child(a, PathExpr::child("b"));
+        q.add_child(b, PathExpr::child("d"));
+        q.add_child(a, PathExpr::child("c"));
+        let n = selectivity(&doc, &q);
+        let listed = enumerate_bindings(&doc, &q);
+        prop_assert_eq!(n as usize, listed.len());
+    }
+
+    #[test]
+    fn coarse_estimates_bounded_for_single_edges(doc in arb_doc()) {
+        // Single parent-child twigs are exact even on the coarse synopsis
+        // (the per-edge counts are exact).
+        let s = coarse_synopsis(&doc);
+        let opts = EstimateOptions::default();
+        for text in ["for $t0 in //a, $t1 in $t0/b", "for $t0 in //b, $t1 in $t0/d"] {
+            let q = parse_twig(text).unwrap();
+            let truth = selectivity(&doc, &q) as f64;
+            let est = estimate_selectivity(&s, &q, &opts);
+            prop_assert!((est - truth).abs() < 1e-6 * truth.max(1.0), "{text}: {est} vs {truth}");
+        }
+    }
+}

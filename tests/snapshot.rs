@@ -1,0 +1,44 @@
+//! Integration: a built synopsis survives a save/load cycle and keeps
+//! answering workloads identically — the build-once / estimate-anywhere
+//! deployment an optimizer needs.
+
+use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
+use xtwig::core::estimate::EstimateOptions;
+use xtwig::core::{estimate_selectivity, load_synopsis, save_synopsis};
+use xtwig::datagen::{imdb, ImdbConfig};
+use xtwig::workload::{generate_workload, WorkloadKind, WorkloadSpec};
+
+#[test]
+fn snapshot_preserves_workload_estimates() {
+    let doc = imdb(ImdbConfig { movies: 200, seed: 31 });
+    let build = BuildOptions {
+        budget_bytes: 3000,
+        refinements_per_round: 3,
+        max_rounds: 80,
+        workload_with_values: true,
+        ..Default::default()
+    };
+    let (synopsis, _) = xbuild(&doc, TruthSource::Exact, &build);
+    let bytes = save_synopsis(&synopsis);
+    let loaded = load_synopsis(&bytes).expect("snapshot loads");
+    assert!(!loaded.has_extents());
+
+    let opts = EstimateOptions::default();
+    for kind in [WorkloadKind::Branching, WorkloadKind::BranchingValues, WorkloadKind::SimplePath]
+    {
+        let spec = WorkloadSpec { queries: 40, kind, seed: 17, ..Default::default() };
+        let w = generate_workload(&doc, &spec);
+        for q in &w.queries {
+            let a = estimate_selectivity(&synopsis, q, &opts);
+            let b = estimate_selectivity(&loaded, q, &opts);
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "estimates diverged after reload for {q}: {a} vs {b}"
+            );
+        }
+    }
+    // Snapshot compactness: within an order of magnitude of the charged
+    // synopsis size (the format stores f64 means the accounting charges
+    // more coarsely).
+    assert!(bytes.len() < synopsis.size_bytes() * 12, "snapshot {} bytes", bytes.len());
+}
