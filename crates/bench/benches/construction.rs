@@ -10,8 +10,14 @@ use xtwig_cst::{Cst, CstOptions};
 use xtwig_datagen::{imdb, sprot, ImdbConfig, SprotConfig};
 
 fn bench_construction(c: &mut Criterion) {
-    let doc = imdb(ImdbConfig { movies: 300, seed: 31 });
-    let sp = sprot(SprotConfig { entries: 150, seed: 31 });
+    let doc = imdb(ImdbConfig {
+        movies: 300,
+        seed: 31,
+    });
+    let sp = sprot(SprotConfig {
+        entries: 150,
+        seed: 31,
+    });
 
     let mut g = c.benchmark_group("construction");
     g.sample_size(10);
@@ -32,7 +38,15 @@ fn bench_construction(c: &mut Criterion) {
         })
     });
     g.bench_function("cst_build_sprot8k", |b| {
-        b.iter(|| Cst::build(black_box(&sp), CstOptions { budget_bytes: 20 * 1024, ..Default::default() }))
+        b.iter(|| {
+            Cst::build(
+                black_box(&sp),
+                CstOptions {
+                    budget_bytes: 20 * 1024,
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.finish();
 }

@@ -17,7 +17,10 @@ use xtwig_query::selectivity;
 use xtwig_workload::{generate_workload, WorkloadKind, WorkloadSpec};
 
 fn bench_estimation(c: &mut Criterion) {
-    let doc = imdb(ImdbConfig { movies: 400, seed: 77 });
+    let doc = imdb(ImdbConfig {
+        movies: 400,
+        seed: 77,
+    });
     let spec = WorkloadSpec {
         queries: 20,
         kind: WorkloadKind::Branching,

@@ -27,7 +27,9 @@ fn bench_histograms(c: &mut Criterion) {
     let d1 = make_dist(20_000, 1, 2);
     let h = MdHistogram::build(&d2, 512);
     let mut rng = StdRng::seed_from_u64(3);
-    let values: Vec<i64> = (0..50_000).map(|_| rng.random_range(0..100_000i64)).collect();
+    let values: Vec<i64> = (0..50_000)
+        .map(|_| rng.random_range(0..100_000i64))
+        .collect();
 
     let mut g = c.benchmark_group("histograms");
     g.bench_function("mdhist_build_2d_20k_to_512B", |b| {

@@ -38,7 +38,10 @@ fn main() {
 /// dim with more buckets, on the genre-correlated join.
 fn scope_vs_resolution() {
     println!("\n## 1. scope (dims) vs resolution (buckets) at equal bytes");
-    let doc = imdb(ImdbConfig { movies: 1200, seed: 5 });
+    let doc = imdb(ImdbConfig {
+        movies: 1200,
+        seed: 5,
+    });
     let q = xtwig_query::parse_twig(
         "for $t0 in //movie[type = 1], $t1 in $t0/actor, $t2 in $t0/producer",
     )
@@ -50,21 +53,37 @@ fn scope_vs_resolution() {
     let producer = s0.nodes_with_tag("producer")[0];
     let typ = s0.nodes_with_tag("type")[0];
     let opts = EstimateOptions::default();
-    let fwd = |c| ScopeDim { parent: movie, child: c, kind: DimKind::Forward };
-    let val = |c| ScopeDim { parent: movie, child: c, kind: DimKind::Value };
+    let fwd = |c| ScopeDim {
+        parent: movie,
+        child: c,
+        kind: DimKind::Forward,
+    };
+    let val = |c| ScopeDim {
+        parent: movie,
+        child: c,
+        kind: DimKind::Value,
+    };
     let budget = 512;
     println!("{:<44}{:>12}{:>12}", "variant", "estimate", "rel.err");
     for (name, scope) in [
         ("1 dim (actor), max buckets", vec![fwd(actor)]),
         ("2 dims (actor, producer)", vec![fwd(actor), fwd(producer)]),
-        ("3 dims (actor, producer, type-value)", vec![fwd(actor), fwd(producer), val(typ)]),
+        (
+            "3 dims (actor, producer, type-value)",
+            vec![fwd(actor), fwd(producer), val(typ)],
+        ),
     ] {
         let mut s = s0.clone();
         s.set_edge_hist(&doc, movie, scope, budget);
         let est = estimate_selectivity(&s, &q, &opts);
         let err = (est - truth).abs() / truth;
         println!("{name:<44}{est:>12.0}{:>12}", pct(err));
-        row(&["scope_vs_res".into(), name.into(), format!("{est:.0}"), format!("{err:.4}")]);
+        row(&[
+            "scope_vs_res".into(),
+            name.into(),
+            format!("{est:.0}"),
+            format!("{err:.4}"),
+        ]);
     }
     println!("(truth = {truth:.0}; correlation dims beat marginal resolution)");
 }
@@ -75,7 +94,10 @@ fn build_and_score(
     build: BuildOptions,
     w: &xtwig_workload::Workload,
 ) -> (f64, usize) {
-    let build = BuildOptions { budget_bytes: budget, ..build };
+    let build = BuildOptions {
+        budget_bytes: budget,
+        ..build
+    };
     let (s, _) = xbuild(doc, TruthSource::Exact, &build);
     let est: Vec<f64> = w
         .queries
@@ -83,7 +105,10 @@ fn build_and_score(
         .map(|q| estimate_selectivity(&s, q, &build.estimate))
         .collect();
     let truths: Vec<f64> = w.truths.iter().map(|&t| t as f64).collect();
-    (avg_relative_error(&est, &truths).avg_rel_error, s.size_bytes())
+    (
+        avg_relative_error(&est, &truths).avg_rel_error,
+        s.size_bytes(),
+    )
 }
 
 fn strict_tsn(cfg: &BenchConfig) {
@@ -106,7 +131,12 @@ fn strict_tsn(cfg: &BenchConfig) {
         };
         let (err, size) = build_and_score(&doc, budget, build, &w);
         println!("{name:<24} error {:>8}  ({size} bytes)", pct(err));
-        row(&["strict_tsn".into(), name.into(), format!("{err:.4}"), size.to_string()]);
+        row(&[
+            "strict_tsn".into(),
+            name.into(),
+            format!("{err:.4}"),
+            size.to_string(),
+        ]);
     }
 }
 
@@ -134,7 +164,12 @@ fn refinements_per_round(cfg: &BenchConfig) {
             pct(err),
             start.elapsed()
         );
-        row(&["per_round".into(), k.to_string(), format!("{err:.4}"), size.to_string()]);
+        row(&[
+            "per_round".into(),
+            k.to_string(),
+            format!("{err:.4}"),
+            size.to_string(),
+        ]);
     }
 }
 
@@ -170,14 +205,21 @@ fn truth_source(cfg: &BenchConfig) {
     let (reference, _) = xbuild(&doc, TruthSource::Exact, &ref_build);
     let (ref_built, _) = xbuild(&doc, TruthSource::Reference(&reference), &build);
 
-    for (name, s) in [("exact counts", &exact_built), ("reference summary", &ref_built)] {
+    for (name, s) in [
+        ("exact counts", &exact_built),
+        ("reference summary", &ref_built),
+    ] {
         let est: Vec<f64> = w
             .queries
             .iter()
             .map(|q| estimate_selectivity(s, q, &EstimateOptions::default()))
             .collect();
         let err = avg_relative_error(&est, &truths).avg_rel_error;
-        println!("{name:<24} error {:>8}  ({} bytes)", pct(err), s.size_bytes());
+        println!(
+            "{name:<24} error {:>8}  ({} bytes)",
+            pct(err),
+            s.size_bytes()
+        );
         row(&["truth_source".into(), name.into(), format!("{err:.4}")]);
     }
 }
@@ -187,12 +229,19 @@ fn truth_source(cfg: &BenchConfig) {
 /// document (error of the reconstructed mean `Σ f·c`).
 fn wavelets_vs_histograms() {
     println!("\n## 5. histograms vs wavelets as 1-D count summarizers");
-    let doc = imdb(ImdbConfig { movies: 1500, seed: 6 });
+    let doc = imdb(ImdbConfig {
+        movies: 1500,
+        seed: 6,
+    });
     let s = coarse_synopsis(&doc);
     let movie = s.nodes_with_tag("movie")[0];
     let mut rows = Vec::new();
     for &child in s.children_of(movie) {
-        let scope = vec![ScopeDim { parent: movie, child, kind: DimKind::Forward }];
+        let scope = vec![ScopeDim {
+            parent: movie,
+            child,
+            kind: DimKind::Forward,
+        }];
         let dist = s.edge_distribution(&doc, movie, &scope);
         let exact = dist.expectation_product(&[0]);
         if exact == 0.0 {

@@ -9,14 +9,14 @@
 //! (IMDB) and on branching twigs.
 
 use xtwig_bench::{kb, row, BenchConfig};
-use xtwig_core::construct::{xbuild_from, BuildOptions, TruthSource};
 use xtwig_core::coarse_synopsis;
+use xtwig_core::construct::{xbuild_from, BuildOptions, TruthSource};
 use xtwig_cst::{Cst, CstOptions};
 use xtwig_datagen::Dataset;
 use xtwig_markov::{MarkovOptions, MarkovPaths};
 use xtwig_workload::{
-    avg_relative_error, generate_workload, CstEstimator, Estimator, MarkovEstimator,
-    WorkloadKind, WorkloadSpec, XsketchEstimator,
+    avg_relative_error, generate_workload, CstEstimator, Estimator, MarkovEstimator, WorkloadKind,
+    WorkloadSpec, XsketchEstimator,
 };
 
 fn main() {
@@ -48,8 +48,19 @@ fn main() {
                 };
                 synopsis = xbuild_from(synopsis, &doc, TruthSource::Exact, &build).0;
             }
-            let cst = Cst::build(&doc, CstOptions { budget_bytes: budget, ..Default::default() });
-            let markov = MarkovPaths::build(&doc, MarkovOptions { budget_bytes: budget });
+            let cst = Cst::build(
+                &doc,
+                CstOptions {
+                    budget_bytes: budget,
+                    ..Default::default()
+                },
+            );
+            let markov = MarkovPaths::build(
+                &doc,
+                MarkovOptions {
+                    budget_bytes: budget,
+                },
+            );
 
             println!(
                 "## {} / {wname} ({} queries, budget {} KB)",
@@ -57,8 +68,14 @@ fn main() {
                 w.queries.len(),
                 kb(budget)
             );
-            println!("{:<10}{:>12}{:>12}{:>12}", "technique", "size (KB)", "avg err", "p90 err");
-            let xs = XsketchEstimator { synopsis: &synopsis, opts: Default::default() };
+            println!(
+                "{:<10}{:>12}{:>12}{:>12}",
+                "technique", "size (KB)", "avg err", "p90 err"
+            );
+            let xs = XsketchEstimator {
+                synopsis: &synopsis,
+                opts: Default::default(),
+            };
             let ce = CstEstimator { cst: &cst };
             let me = MarkovEstimator { model: &markov };
             let techniques: [&dyn Estimator; 3] = [&xs, &ce, &me];

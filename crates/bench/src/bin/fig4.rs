@@ -39,8 +39,16 @@ fn main() {
             &doc,
             a,
             vec![
-                ScopeDim { parent: a, child: b, kind: DimKind::Forward },
-                ScopeDim { parent: a, child: c, kind: DimKind::Forward },
+                ScopeDim {
+                    parent: a,
+                    child: b,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: a,
+                    child: c,
+                    kind: DimKind::Forward,
+                },
             ],
             4096,
         );

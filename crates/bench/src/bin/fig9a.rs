@@ -33,7 +33,12 @@ fn main() {
             },
         };
         let points = sweep_xsketch(&doc, &w, &cfg.budgets_bytes, &opts);
-        println!("## {} ({} queries, {} elements)", ds.name(), w.queries.len(), doc.len());
+        println!(
+            "## {} ({} queries, {} elements)",
+            ds.name(),
+            w.queries.len(),
+            doc.len()
+        );
         println!("{:>12}{:>12}", "size (KB)", "avg error");
         for p in &points {
             println!("{:>12}{:>12}", kb(p.actual_bytes), pct(p.error));

@@ -54,7 +54,13 @@ fn main() {
                 .map(|q| estimate_selectivity(&synopsis, q, &Default::default()))
                 .collect();
             // CST at the same budget.
-            let cst = Cst::build(&doc, CstOptions { budget_bytes: budget, ..Default::default() });
+            let cst = Cst::build(
+                &doc,
+                CstOptions {
+                    budget_bytes: budget,
+                    ..Default::default()
+                },
+            );
             let cst_est: Vec<f64> = w.queries.iter().map(|q| estimate_twig(&cst, q)).collect();
 
             // Exclude CST outliers (>1000 % error) as the paper does.
@@ -67,7 +73,11 @@ fn main() {
             let f = |v: &[f64]| keep.iter().map(|&i| v[i]).collect::<Vec<f64>>();
             let err_cst = avg_relative_error(&f(&cst_est), &f(&truths)).avg_rel_error;
             let err_xsk = avg_relative_error(&f(&xsk), &f(&truths)).avg_rel_error;
-            let ratio = if err_xsk > 0.0 { err_cst / err_xsk } else { f64::INFINITY };
+            let ratio = if err_xsk > 0.0 {
+                err_cst / err_xsk
+            } else {
+                f64::INFINITY
+            };
             println!(
                 "{:>12}{:>12.3}{:>12.3}{:>12.2}",
                 kb(budget),

@@ -18,7 +18,11 @@ fn main() {
     );
     for ds in Dataset::ALL {
         let doc = ds.generate(cfg.scale);
-        let spec = WorkloadSpec { queries: cfg.queries.min(200), seed: 0x9D, ..Default::default() };
+        let spec = WorkloadSpec {
+            queries: cfg.queries.min(200),
+            seed: 0x9D,
+            ..Default::default()
+        };
         let neg = negative_workload(&doc, &spec);
         let build = BuildOptions {
             budget_bytes: *cfg.budgets_bytes.last().unwrap_or(&(30 * 1024)),

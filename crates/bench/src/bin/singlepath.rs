@@ -10,8 +10,8 @@
 
 use xtwig_bench::{pct, row, BenchConfig};
 use xtwig_core::construct::{xbuild, BuildOptions, TruthSource};
-use xtwig_core::single_path::estimate_path_count;
 use xtwig_core::estimate_selectivity;
+use xtwig_core::single_path::estimate_path_count;
 use xtwig_datagen::Dataset;
 use xtwig_query::TwigQuery;
 use xtwig_workload::{avg_relative_error, generate_workload, WorkloadKind, WorkloadSpec};

@@ -49,7 +49,11 @@ impl BenchConfig {
             .iter()
             .map(|kb| (kb * 1024.0 * scale.max(0.05)) as usize)
             .collect();
-        BenchConfig { scale, queries, budgets_bytes }
+        BenchConfig {
+            scale,
+            queries,
+            budgets_bytes,
+        }
     }
 
     /// Prints the run configuration header.

@@ -20,7 +20,10 @@ pub struct CoarseOptions {
 
 impl Default for CoarseOptions {
     fn default() -> Self {
-        CoarseOptions { edge_hist_budget: 48, value_budget: 36 }
+        CoarseOptions {
+            edge_hist_budget: 48,
+            value_budget: 36,
+        }
     }
 }
 
@@ -63,7 +66,11 @@ pub fn initialize_summaries(s: &mut Synopsis, doc: &Document, opts: CoarseOption
             .to_vec()
             .into_iter()
             .filter(|&v| s.is_f_stable(n, v))
-            .map(|v| ScopeDim { parent: n, child: v, kind: DimKind::Forward })
+            .map(|v| ScopeDim {
+                parent: n,
+                child: v,
+                kind: DimKind::Forward,
+            })
             .collect();
         s.set_edge_hist(doc, n, scope, opts.edge_hist_budget);
         s.set_value_summary(doc, n, opts.value_budget);

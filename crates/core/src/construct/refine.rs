@@ -115,6 +115,15 @@ impl Refinement {
                 if s.edge(dim.parent, dim.child).is_none() {
                     return false;
                 }
+                // A backward dim proposed earlier in the round may have
+                // been invalidated by a split applied since: its anchor
+                // must still be a B-stable ancestor of the owner for the
+                // count to be defined over the whole extent (§3.2).
+                if dim.kind == DimKind::Backward
+                    && !crate::tsn::b_stable_ancestors(s, node).contains(&dim.parent)
+                {
+                    return false;
+                }
                 let mut scope = h.scope.clone();
                 // Budget grows by the incremental per-bucket cost of one
                 // dimension so the bucket count is roughly preserved.
@@ -125,7 +134,9 @@ impl Refinement {
                 true
             }
             Refinement::ValueRefine { node, extra_bytes } => {
-                let Some(vs) = s.value_summary(node) else { return false };
+                let Some(vs) = s.value_summary(node) else {
+                    return false;
+                };
                 let total = vs.hist.total();
                 if (vs.hist.bucket_count() as u64) >= total {
                     return false; // one bucket per value already
@@ -134,7 +145,11 @@ impl Refinement {
                 s.set_value_summary(doc, node, budget);
                 true
             }
-            Refinement::ValueExpand { node, value_source, budget_bytes } => {
+            Refinement::ValueExpand {
+                node,
+                value_source,
+                budget_bytes,
+            } => {
                 let h = s.edge_hist(node);
                 if h.value_dim_of(node, value_source).is_some() {
                     return false;
@@ -149,7 +164,11 @@ impl Refinement {
                     }
                 };
                 let mut scope = h.scope.clone();
-                scope.push(ScopeDim { parent: node, child: source_node, kind: DimKind::Value });
+                scope.push(ScopeDim {
+                    parent: node,
+                    child: source_node,
+                    kind: DimKind::Value,
+                });
                 let before_dims = h.scope.len();
                 let budget = h.budget_bytes + budget_bytes;
                 s.set_edge_hist(doc, node, scope, budget);
@@ -171,7 +190,9 @@ impl Refinement {
                 vec![node]
             }
             Refinement::EdgeExpand { node, dim } => vec![node, dim.parent, dim.child],
-            Refinement::ValueExpand { node, value_source, .. } => match value_source {
+            Refinement::ValueExpand {
+                node, value_source, ..
+            } => match value_source {
                 ValueSource::OwnValue => vec![node],
                 ValueSource::ChildValue(z) => vec![node, z],
             },
@@ -217,11 +238,7 @@ pub fn best_value_expand(s: &Synopsis, doc: &Document, node: SynId) -> Option<Va
             for (i, &e) in sample.iter().enumerate() {
                 let Some(v) = vals[i] else { continue };
                 xs.push(v);
-                ys.push(
-                    doc.children(e)
-                        .filter(|&ch| s.node_of(ch) == c)
-                        .count() as f64,
-                );
+                ys.push(doc.children(e).filter(|&ch| s.node_of(ch) == c).count() as f64);
             }
             if xs.len() < 4 {
                 continue;
@@ -298,7 +315,9 @@ fn count_for_dim(s: &Synopsis, doc: &Document, e: xtwig_xml::NodeId, dim: &Scope
     let anchor = match dim.kind {
         DimKind::Forward => Some(e),
         DimKind::Value => {
-            let source = dim.value_source().expect("value dim has a source");
+            let Some(source) = dim.value_source() else {
+                return 0.0;
+            };
             return s.source_value(doc, e, source).unwrap_or(0) as f64;
         }
         DimKind::Backward => {
@@ -376,13 +395,20 @@ mod tests {
         let author = s.nodes_with_tag("author")[0];
         let book = s.nodes_with_tag("book")[0];
         assert!(!s.is_f_stable(author, book));
-        let r = Refinement::FStabilize { parent: author, child: book };
+        let r = Refinement::FStabilize {
+            parent: author,
+            child: book,
+        };
         assert!(r.apply(&mut s, &d));
         s.check_invariants(&d).unwrap();
         // author split into with-book (1) and without-book (2).
         let nodes = s.nodes_with_tag("author");
         assert_eq!(nodes.len(), 2);
-        let with_book = nodes.iter().copied().find(|&n| s.edge(n, book).is_some()).unwrap();
+        let with_book = nodes
+            .iter()
+            .copied()
+            .find(|&n| s.edge(n, book).is_some())
+            .unwrap();
         assert!(s.is_f_stable(with_book, book));
         assert_eq!(s.extent_size(with_book), 1);
         // Reapplying is a no-op.
@@ -396,7 +422,10 @@ mod tests {
         let paper = s.nodes_with_tag("paper")[0];
         let title = s.nodes_with_tag("title")[0];
         assert!(!s.is_b_stable(paper, title));
-        let r = Refinement::BStabilize { parent: paper, child: title };
+        let r = Refinement::BStabilize {
+            parent: paper,
+            child: title,
+        };
         assert!(r.apply(&mut s, &d));
         s.check_invariants(&d).unwrap();
         let nodes = s.nodes_with_tag("title");
@@ -421,7 +450,11 @@ mod tests {
         let before_dims = s.edge_hist(author).scope.len();
         let r = Refinement::EdgeExpand {
             node: author,
-            dim: ScopeDim { parent: author, child: book, kind: DimKind::Forward },
+            dim: ScopeDim {
+                parent: author,
+                child: book,
+                kind: DimKind::Forward,
+            },
         };
         assert!(r.apply(&mut s, &d));
         assert_eq!(s.edge_hist(author).scope.len(), before_dims + 1);
@@ -436,14 +469,21 @@ mod tests {
         let year = s.nodes_with_tag("year")[0];
         let before = s.value_summary(year).unwrap().budget_bytes;
         // 3 distinct years, tiny budget: refining helps until exact.
-        let r = Refinement::ValueRefine { node: year, extra_bytes: 24 };
+        let r = Refinement::ValueRefine {
+            node: year,
+            extra_bytes: 24,
+        };
         let changed = r.apply(&mut s, &d);
         if changed {
             assert!(s.value_summary(year).unwrap().budget_bytes > before);
         }
         // A valueless node can't be value-refined.
         let name = s.nodes_with_tag("name")[0];
-        assert!(!Refinement::ValueRefine { node: name, extra_bytes: 24 }.apply(&mut s, &d));
+        assert!(!Refinement::ValueRefine {
+            node: name,
+            extra_bytes: 24
+        }
+        .apply(&mut s, &d));
     }
 
     #[test]
@@ -478,7 +518,9 @@ mod tests {
         assert!(r.apply(&mut s, &d));
         let h = s.edge_hist(paper);
         assert_eq!(h.scope.len(), before + 1);
-        let vd = h.value_dim_of(paper, ValueSource::ChildValue(year)).expect("value dim");
+        let vd = h
+            .value_dim_of(paper, ValueSource::ChildValue(year))
+            .expect("value dim");
         assert!(h.value_buckets[vd].is_some());
         // Reapplying the identical expand is a no-op.
         assert!(!r.apply(&mut s, &d));
@@ -517,7 +559,10 @@ mod tests {
         assert!(dim.is_some());
         let dim = dim.unwrap();
         // Must be a fresh dim not already in scope.
-        assert!(s.edge_hist(paper).dim_of(dim.parent, dim.child, dim.kind).is_none());
+        assert!(s
+            .edge_hist(paper)
+            .dim_of(dim.parent, dim.child, dim.kind)
+            .is_none());
     }
 
     #[test]
@@ -527,7 +572,11 @@ mod tests {
         let mut s = coarse_synopsis(&d);
         let paper = s.nodes_with_tag("paper")[0];
         let title = s.nodes_with_tag("title")[0];
-        Refinement::BStabilize { parent: paper, child: title }.apply(&mut s, &d);
+        Refinement::BStabilize {
+            parent: paper,
+            child: title,
+        }
+        .apply(&mut s, &d);
         for n in s.node_ids() {
             for dim in &s.edge_hist(n).scope {
                 assert!(

@@ -151,10 +151,7 @@ pub fn xbuild_from_with_workload(
         if candidates.is_empty() {
             break;
         }
-        let regions: Vec<SynId> = candidates
-            .iter()
-            .flat_map(|c| c.affected_nodes())
-            .collect();
+        let regions: Vec<SynId> = candidates.iter().flat_map(|c| c.affected_nodes()).collect();
         let mut queries = sample_region_workload(
             doc,
             &s,
@@ -190,11 +187,15 @@ pub fn xbuild_from_with_workload(
             .map(|n| n.get())
             .unwrap_or(1)
             .min(candidates.len().max(1));
-        let slots: Vec<std::sync::Mutex<Option<f64>>> =
-            candidates.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let slots: Vec<std::sync::Mutex<Option<f64>>> = candidates
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
         if threads <= 1 {
             for (r, slot) in candidates.iter().zip(&slots) {
-                *slot.lock().expect("scoring slot poisoned") =
+                *slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) =
                     score_candidate(&s, doc, r, &queries, &truths, base_err, base_size, opts);
             }
         } else {
@@ -212,7 +213,9 @@ pub fn xbuild_from_with_workload(
                         let Some(r) = candidates.get(i) else { break };
                         let g =
                             score_candidate(s, doc, r, queries, truths, base_err, base_size, opts);
-                        *slots[i].lock().expect("scoring slot poisoned") = g;
+                        *slots[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = g;
                     });
                 }
             });
@@ -222,7 +225,7 @@ pub fn xbuild_from_with_workload(
             .zip(slots)
             .filter_map(|(r, slot)| {
                 slot.into_inner()
-                    .expect("scoring slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .map(|g| (g, r))
             })
             .collect();
@@ -262,6 +265,16 @@ pub fn xbuild_from_with_workload(
             size_bytes: s.size_bytes(),
             sample_error: err_now,
         });
+        // Fsck the synopsis after every refinement round in debug builds:
+        // a refinement that breaks an invariant is caught at the round
+        // that introduced it, not at estimation time.
+        #[cfg(debug_assertions)]
+        if let Err(report) = crate::validate::validate(&s) {
+            debug_assert!(
+                false,
+                "synopsis fsck failed after refinement round {rounds}: {report}"
+            );
+        }
     }
     (s, trace)
 }
@@ -297,7 +310,9 @@ fn refinement_name(r: &Refinement) -> String {
             format!("edge-expand {node} += {}->{}", dim.parent, dim.child)
         }
         Refinement::ValueRefine { node, .. } => format!("value-refine {node}"),
-        Refinement::ValueExpand { node, value_source, .. } => {
+        Refinement::ValueExpand {
+            node, value_source, ..
+        } => {
             format!("value-expand {node} x {value_source:?}")
         }
     }
@@ -394,7 +409,13 @@ fn gen_candidates(
             .collect();
         if !unstable_in.is_empty() {
             let u = unstable_in[rng.random_range(0..unstable_in.len())];
-            push(Refinement::BStabilize { parent: u, child: n }, &mut out);
+            push(
+                Refinement::BStabilize {
+                    parent: u,
+                    child: n,
+                },
+                &mut out,
+            );
         }
         let unstable_out: Vec<SynId> = s
             .children_of(n)
@@ -404,13 +425,22 @@ fn gen_candidates(
             .collect();
         if !unstable_out.is_empty() {
             let v = unstable_out[rng.random_range(0..unstable_out.len())];
-            push(Refinement::FStabilize { parent: n, child: v }, &mut out);
+            push(
+                Refinement::FStabilize {
+                    parent: n,
+                    child: v,
+                },
+                &mut out,
+            );
         }
         // Edge refinements.
         let h = s.edge_hist(n);
         if !h.scope.is_empty() && h.hist.buckets().len() < h.distinct_points {
             push(
-                Refinement::EdgeRefine { node: n, extra_bytes: opts.edge_refine_step },
+                Refinement::EdgeRefine {
+                    node: n,
+                    extra_bytes: opts.edge_refine_step,
+                },
                 &mut out,
             );
         }
@@ -421,7 +451,10 @@ fn gen_candidates(
         if let Some(vs) = s.value_summary(n) {
             if (vs.hist.bucket_count() as u64) < vs.hist.total() {
                 push(
-                    Refinement::ValueRefine { node: n, extra_bytes: opts.value_refine_step },
+                    Refinement::ValueRefine {
+                        node: n,
+                        extra_bytes: opts.value_refine_step,
+                    },
                     &mut out,
                 );
             }
@@ -429,7 +462,11 @@ fn gen_candidates(
         if opts.workload_with_values {
             if let Some(value_source) = best_value_expand(s, doc, n) {
                 push(
-                    Refinement::ValueExpand { node: n, value_source, budget_bytes: 96 },
+                    Refinement::ValueExpand {
+                        node: n,
+                        value_source,
+                        budget_bytes: 96,
+                    },
                     &mut out,
                 );
             }
@@ -456,8 +493,16 @@ mod tests {
             b.open("movie", None);
             let action = i % 2 == 0;
             b.leaf("type", Some(if action { 1 } else { 2 }));
-            let actors = if action { rng.random_range(8..14) } else { rng.random_range(0..2) };
-            let producers = if action { rng.random_range(3..6) } else { rng.random_range(0..2) };
+            let actors = if action {
+                rng.random_range(8..14)
+            } else {
+                rng.random_range(0..2)
+            };
+            let producers = if action {
+                rng.random_range(3..6)
+            } else {
+                rng.random_range(0..2)
+            };
             for _ in 0..actors {
                 b.leaf("actor", None);
             }
@@ -490,10 +535,9 @@ mod tests {
         assert!(!trace.rounds.is_empty());
         // The built synopsis must beat the coarse one on the correlated
         // twig the data is engineered around.
-        let q = xtwig_query::parse_twig(
-            "for $t0 in //movie, $t1 in $t0/actor, $t2 in $t0/producer",
-        )
-        .unwrap();
+        let q =
+            xtwig_query::parse_twig("for $t0 in //movie, $t1 in $t0/actor, $t2 in $t0/producer")
+                .unwrap();
         let truth = xtwig_query::selectivity(&doc, &q) as f64;
         let e_opts = EstimateOptions::default();
         let coarse_err = (estimate_selectivity(&coarse, &q, &e_opts) - truth).abs() / truth;
@@ -521,7 +565,11 @@ mod tests {
         assert_eq!(a.size_bytes(), b.size_bytes());
         assert_eq!(a.node_count(), b.node_count());
         // One refinement may overshoot slightly; the loop stops right after.
-        assert!(a.size_bytes() <= opts.budget_bytes + 2048, "{}", a.size_bytes());
+        assert!(
+            a.size_bytes() <= opts.budget_bytes + 2048,
+            "{}",
+            a.size_bytes()
+        );
     }
 
     #[test]
@@ -553,8 +601,16 @@ mod tests {
         let s = coarse_synopsis(&doc);
         let q = xtwig_query::parse_twig("for $t0 in //movie").unwrap();
         let truths = vec![120.0];
-        let err = workload_error(&s, std::slice::from_ref(&q), &truths, &EstimateOptions::default());
-        assert!(err < 1e-9, "exact count query should have zero error, got {err}");
+        let err = workload_error(
+            &s,
+            std::slice::from_ref(&q),
+            &truths,
+            &EstimateOptions::default(),
+        );
+        assert!(
+            err < 1e-9,
+            "exact count query should have zero error, got {err}"
+        );
         // Zero-truth query: sanity bound keeps the error finite.
         let qneg = xtwig_query::parse_twig("for $t0 in //movie, $t1 in $t0/zzz").unwrap();
         let err2 = workload_error(&s, &[qneg], &[0.0], &EstimateOptions::default());
@@ -593,12 +649,10 @@ mod workload_aware_tests {
     #[test]
     fn log_queries_steer_the_budget() {
         let d = doc();
-        let log = vec![
-            xtwig_query::parse_twig(
-                "for $t0 in //order[rush = 1], $t1 in $t0/item, $t2 in $t0/note",
-            )
-            .unwrap(),
-        ];
+        let log = vec![xtwig_query::parse_twig(
+            "for $t0 in //order[rush = 1], $t1 in $t0/item, $t2 in $t0/note",
+        )
+        .unwrap()];
         let truth = xtwig_query::selectivity(&d, &log[0]) as f64;
         let coarse = coarse_synopsis(&d);
         let budget = coarse.size_bytes() + 700;
@@ -612,13 +666,8 @@ mod workload_aware_tests {
             seed: 5,
             ..Default::default()
         };
-        let (tuned, _) = xbuild_from_with_workload(
-            coarse.clone(),
-            &d,
-            TruthSource::Exact,
-            &opts,
-            &log,
-        );
+        let (tuned, _) =
+            xbuild_from_with_workload(coarse.clone(), &d, TruthSource::Exact, &opts, &log);
         let (blind, _) = xbuild_from(coarse, &d, TruthSource::Exact, &opts);
         let e = EstimateOptions::default();
         let tuned_err = (estimate_selectivity(&tuned, &log[0], &e) - truth).abs() / truth;

@@ -90,7 +90,10 @@ mod tests {
         let s = coarse_synopsis(&doc);
         let report = describe(&s);
         for tag in ["bib", "author", "name", "paper", "year"] {
-            assert!(report.contains(&format!("<{tag}>")), "missing {tag} in:\n{report}");
+            assert!(
+                report.contains(&format!("<{tag}>")),
+                "missing {tag} in:\n{report}"
+            );
         }
         assert!(report.contains("stability:"));
         assert!(report.contains("values["));

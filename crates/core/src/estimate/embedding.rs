@@ -75,7 +75,9 @@ impl Embedding {
             branch_fraction,
             branch_values: Vec::new(),
         });
-        self.nodes[parent].children.push(idx);
+        if let Some(p) = self.nodes.get_mut(parent) {
+            p.children.push(idx);
+        }
         idx
     }
 
@@ -85,7 +87,9 @@ impl Embedding {
         let mut at = anchor;
         for link in &chain.nodes {
             at = self.push_node(at, link.syn, link.value_range, link.pred_fraction);
-            self.nodes[at].branch_values = link.branch_values.clone();
+            if let Some(n) = self.nodes.get_mut(at) {
+                n.branch_values = link.branch_values.clone();
+            }
         }
         at
     }
@@ -101,17 +105,20 @@ pub fn enumerate_embeddings(
     let root_chains = expand_path_absolute(s, query.path(query.root()), opts);
     let mut out: Vec<Embedding> = Vec::new();
     for chain in &root_chains {
-        if chain.nodes.is_empty() {
+        let Some(head) = chain.nodes.first() else {
             continue;
-        }
+        };
         // The first link is the synopsis root, standing for the single
         // document root element.
-        let mut emb = Embedding::with_root(chain.nodes[0].syn, 1.0);
-        emb.nodes[0].value_range = chain.nodes[0].value_range;
-        emb.nodes[0].branch_fraction = chain.nodes[0].pred_fraction;
-        emb.nodes[0].branch_values = chain.nodes[0].branch_values.clone();
+        let mut emb = Embedding::with_root(head.syn, 1.0);
+        if let Some(root) = emb.nodes.first_mut() {
+            root.value_range = head.value_range;
+            root.branch_fraction = head.pred_fraction;
+            root.branch_values = head.branch_values.clone();
+        }
         let anchor = if chain.nodes.len() > 1 {
-            emb.push_chain(0, &Chain { nodes: chain.nodes[1..].to_vec() })
+            let tail: Vec<_> = chain.nodes.iter().skip(1).cloned().collect();
+            emb.push_chain(0, &Chain { nodes: tail })
         } else {
             0
         };
@@ -154,7 +161,10 @@ fn attach_children(
             return;
         };
         let rest = &pending[1..];
-        let chains = expand_path_from(s, emb.nodes[anchor].syn, query.path(t), opts);
+        let Some(anchor_syn) = emb.nodes.get(anchor).map(|n| n.syn) else {
+            return;
+        };
+        let chains = expand_path_from(s, anchor_syn, query.path(t), opts);
         for chain in &chains {
             let mut e = emb.clone();
             let end = e.push_chain(anchor, chain);
@@ -193,8 +203,8 @@ mod tests {
     fn simple_twig_single_embedding() {
         let d = doc();
         let s = coarse_synopsis(&d);
-        let q = parse_twig("for $t0 in /bib/author, $t1 in $t0/name, $t2 in $t0/paper/title")
-            .unwrap();
+        let q =
+            parse_twig("for $t0 in /bib/author, $t1 in $t0/name, $t2 in $t0/paper/title").unwrap();
         let embs = enumerate_embeddings(&s, &q, &EstimateOptions::default());
         assert_eq!(embs.len(), 1);
         let e = &embs[0];
@@ -234,7 +244,10 @@ mod tests {
         let d = doc();
         let s = coarse_synopsis(&d);
         let q = parse_twig("for $t0 in //paper, $t1 in $t0/title").unwrap();
-        let opts = EstimateOptions { max_embeddings: 1, ..Default::default() };
+        let opts = EstimateOptions {
+            max_embeddings: 1,
+            ..Default::default()
+        };
         assert_eq!(enumerate_embeddings(&s, &q, &opts).len(), 1);
     }
 

@@ -47,18 +47,22 @@ fn compute_needs(s: &Synopsis, emb: &Embedding) -> Vec<HashSet<(SynId, SynId)>> 
     let mut needs: Vec<HashSet<(SynId, SynId)>> = vec![HashSet::new(); emb.nodes.len()];
     // Children always follow parents in index order, so a reverse sweep
     // sees every child before its parent.
-    for i in (0..emb.nodes.len()).rev() {
-        let hist = s.edge_hist(emb.nodes[i].syn);
+    for (i, node) in emb.nodes.iter().enumerate().rev() {
+        let hist = s.edge_hist(node.syn);
         let mut set: HashSet<(SynId, SynId)> = hist
             .scope
             .iter()
             .filter(|d| d.kind == DimKind::Backward)
             .map(|d| d.edge_key())
             .collect();
-        for &c in &emb.nodes[i].children {
-            set.extend(needs[c].iter().copied());
+        for &c in &node.children {
+            if let Some(below) = needs.get(c) {
+                set.extend(below.iter().copied());
+            }
         }
-        needs[i] = set;
+        if let Some(slot) = needs.get_mut(i) {
+            *slot = set;
+        }
     }
     needs
 }
@@ -72,7 +76,9 @@ fn eval_node(
     i: usize,
     env: &mut Env,
 ) -> f64 {
-    let node = &emb.nodes[i];
+    let Some(node) = emb.nodes.get(i) else {
+        return 0.0;
+    };
     let syn = node.syn;
     let hist = s.edge_hist(syn);
 
@@ -93,7 +99,7 @@ fn eval_node(
     }
     for bv in &node.branch_values {
         match hist.value_dim_of(syn, ValueSource::ChildValue(bv.child)) {
-            Some(di) if hist.value_buckets[di].is_some() => {
+            Some(di) if hist.value_buckets.get(di).is_some_and(Option::is_some) => {
                 value_conds.push((di, bv.range.0, bv.range.1));
             }
             _ => factor *= bv.fallback,
@@ -161,8 +167,14 @@ fn eval_node(
     let weight = |b: &xtwig_histogram::Bucket| -> f64 {
         let mut w = 1.0;
         for &(di, lo, hi) in &value_conds {
-            let vb = hist.value_buckets[di].as_ref().expect("checked above");
-            w *= vb.overlap_share(b.lo[di], b.hi[di], lo, hi);
+            // `value_conds` only records dims verified to carry buckets.
+            let Some(Some(vb)) = hist.value_buckets.get(di) else {
+                continue;
+            };
+            let (Some(&blo), Some(&bhi)) = (b.lo.get(di), b.hi.get(di)) else {
+                continue;
+            };
+            w *= vb.overlap_share(blo, bhi, lo, hi);
             if w == 0.0 {
                 break;
             }
@@ -180,24 +192,29 @@ fn eval_node(
         if *mass == 0.0 {
             continue;
         }
-        let pushed = enum_dims.len();
-        for (j, &di) in enum_dims.iter().enumerate() {
-            env.push((hist.scope[di].edge_key(), values[j]));
+        let env_base = env.len();
+        for (&di, &val) in enum_dims.iter().zip(values.iter()) {
+            if let Some(dim) = hist.scope.get(di) {
+                env.push((dim.edge_key(), val));
+            }
         }
         let mut term = *mass;
-        for (cpos, &c) in node.children.iter().enumerate() {
+        for (&c, dim) in node.children.iter().zip(child_dim.iter()) {
             let sub = eval_node(s, emb, needs, c, env);
-            let mult = match child_dim[cpos] {
-                Some(j) => values[j],
+            let mult = match dim.and_then(|j| values.get(j)) {
+                Some(&v) => v,
                 // U_i: Forward Uniformity over the exact edge average.
-                None => s.avg_children(syn, emb.nodes[c].syn),
+                None => match emb.nodes.get(c) {
+                    Some(child) => s.avg_children(syn, child.syn),
+                    None => 0.0,
+                },
             };
             term *= mult * sub;
             if term == 0.0 {
                 break;
             }
         }
-        env.truncate(env.len() - pushed);
+        env.truncate(env_base);
         acc += term;
     }
     factor * acc
@@ -248,8 +265,16 @@ mod tests {
                 &d,
                 a,
                 vec![
-                    ScopeDim { parent: a, child: bnode, kind: DimKind::Forward },
-                    ScopeDim { parent: a, child: cnode, kind: DimKind::Forward },
+                    ScopeDim {
+                        parent: a,
+                        child: bnode,
+                        kind: DimKind::Forward,
+                    },
+                    ScopeDim {
+                        parent: a,
+                        child: cnode,
+                        kind: DimKind::Forward,
+                    },
                 ],
                 4096,
             );
@@ -264,7 +289,10 @@ mod tests {
     fn figure4_coarse_histograms_confuse_the_documents() {
         // Without the joint distribution, both documents get the same
         // (wrong) AVI-style estimate |A|·E[b]·E[c] = 2·55·55 = 6050.
-        for counts in [vec![(10usize, 100usize), (100, 10)], vec![(100, 100), (10, 10)]] {
+        for counts in [
+            vec![(10usize, 100usize), (100, 10)],
+            vec![(100, 100), (10, 10)],
+        ] {
             let d = figure4_doc(&counts);
             let mut s = coarse_synopsis(&d);
             let a = s.nodes_with_tag("A")[0];
@@ -310,10 +338,26 @@ mod tests {
         let year = s.nodes_with_tag("year")[0];
         let name = s.nodes_with_tag("name")[0];
         let scope = vec![
-            ScopeDim { parent: paper, child: keyword, kind: DimKind::Forward },
-            ScopeDim { parent: paper, child: year, kind: DimKind::Forward },
-            ScopeDim { parent: author, child: paper, kind: DimKind::Backward },
-            ScopeDim { parent: author, child: name, kind: DimKind::Backward },
+            ScopeDim {
+                parent: paper,
+                child: keyword,
+                kind: DimKind::Forward,
+            },
+            ScopeDim {
+                parent: paper,
+                child: year,
+                kind: DimKind::Forward,
+            },
+            ScopeDim {
+                parent: author,
+                child: paper,
+                kind: DimKind::Backward,
+            },
+            ScopeDim {
+                parent: author,
+                child: name,
+                kind: DimKind::Backward,
+            },
         ];
         let dist = s.edge_distribution(&d, paper, &scope);
         assert!((dist.fraction(&[2, 1, 2, 1]) - 0.25).abs() < 1e-12);
@@ -337,8 +381,16 @@ mod tests {
             &d,
             author,
             vec![
-                ScopeDim { parent: author, child: paper, kind: DimKind::Forward },
-                ScopeDim { parent: author, child: name, kind: DimKind::Forward },
+                ScopeDim {
+                    parent: author,
+                    child: paper,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: author,
+                    child: name,
+                    kind: DimKind::Forward,
+                },
             ],
             4096,
         );
@@ -346,9 +398,21 @@ mod tests {
             &d,
             paper,
             vec![
-                ScopeDim { parent: paper, child: keyword, kind: DimKind::Forward },
-                ScopeDim { parent: paper, child: year, kind: DimKind::Forward },
-                ScopeDim { parent: author, child: paper, kind: DimKind::Backward },
+                ScopeDim {
+                    parent: paper,
+                    child: keyword,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: paper,
+                    child: year,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: author,
+                    child: paper,
+                    kind: DimKind::Backward,
+                },
             ],
             4096,
         );
@@ -381,8 +445,16 @@ mod tests {
             &d,
             author,
             vec![
-                ScopeDim { parent: author, child: paper, kind: DimKind::Forward },
-                ScopeDim { parent: author, child: name, kind: DimKind::Forward },
+                ScopeDim {
+                    parent: author,
+                    child: paper,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: author,
+                    child: name,
+                    kind: DimKind::Forward,
+                },
             ],
             1 << 16,
         );
@@ -390,10 +462,26 @@ mod tests {
             &d,
             paper,
             vec![
-                ScopeDim { parent: paper, child: keyword, kind: DimKind::Forward },
-                ScopeDim { parent: paper, child: year, kind: DimKind::Forward },
-                ScopeDim { parent: author, child: paper, kind: DimKind::Backward },
-                ScopeDim { parent: author, child: name, kind: DimKind::Backward },
+                ScopeDim {
+                    parent: paper,
+                    child: keyword,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: paper,
+                    child: year,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: author,
+                    child: paper,
+                    kind: DimKind::Backward,
+                },
+                ScopeDim {
+                    parent: author,
+                    child: name,
+                    kind: DimKind::Backward,
+                },
             ],
             1 << 16,
         );
@@ -410,12 +498,10 @@ mod tests {
     fn value_predicates_scale_estimates() {
         let d = worked_example_doc();
         let s = coarse_synopsis(&d);
-        let q_all =
-            parse_twig("for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/year").unwrap();
-        let q_some = parse_twig(
-            "for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/year[. >= 2001]",
-        )
-        .unwrap();
+        let q_all = parse_twig("for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/year").unwrap();
+        let q_some =
+            parse_twig("for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/year[. >= 2001]")
+                .unwrap();
         let opts = EstimateOptions::default();
         let est_all = estimate_selectivity(&s, &q_all, &opts);
         let est_some = estimate_selectivity(&s, &q_some, &opts);
@@ -468,8 +554,7 @@ mod tests {
         }
         b.close();
         let d = b.finish();
-        let q = xtwig_query::parse_twig("for $t0 in //movie[type = 1], $t1 in $t0/actor")
-            .unwrap();
+        let q = xtwig_query::parse_twig("for $t0 in //movie[type = 1], $t1 in $t0/actor").unwrap();
         let truth = selectivity(&d, &q) as f64; // 20 movies × 8 = 160
         assert_eq!(truth, 160.0);
 
@@ -484,10 +569,22 @@ mod tests {
         let typ = joint.nodes_with_tag("type")[0];
         let actor = joint.nodes_with_tag("actor")[0];
         let mut scope = joint.edge_hist(movie).scope.clone();
-        if joint.edge_hist(movie).dim_of(movie, actor, DimKind::Forward).is_none() {
-            scope.push(ScopeDim { parent: movie, child: actor, kind: DimKind::Forward });
+        if joint
+            .edge_hist(movie)
+            .dim_of(movie, actor, DimKind::Forward)
+            .is_none()
+        {
+            scope.push(ScopeDim {
+                parent: movie,
+                child: actor,
+                kind: DimKind::Forward,
+            });
         }
-        scope.push(ScopeDim { parent: movie, child: typ, kind: DimKind::Value });
+        scope.push(ScopeDim {
+            parent: movie,
+            child: typ,
+            kind: DimKind::Value,
+        });
         joint.set_edge_hist(&d, movie, scope, 2048);
         let joint_est = estimate_selectivity(&joint, &q, &opts);
         assert!(
@@ -521,9 +618,17 @@ mod tests {
         let y = s.nodes_with_tag("y")[0];
         let mut scope = s.edge_hist(x).scope.clone();
         if s.edge_hist(x).dim_of(x, y, DimKind::Forward).is_none() {
-            scope.push(ScopeDim { parent: x, child: y, kind: DimKind::Forward });
+            scope.push(ScopeDim {
+                parent: x,
+                child: y,
+                kind: DimKind::Forward,
+            });
         }
-        scope.push(ScopeDim { parent: x, child: x, kind: DimKind::Value });
+        scope.push(ScopeDim {
+            parent: x,
+            child: x,
+            kind: DimKind::Value,
+        });
         s.set_edge_hist(&d, x, scope, 2048);
         let est = estimate_selectivity(&s, &q, &EstimateOptions::default());
         assert!((est - truth).abs() < 1.0, "{est} vs {truth}");
@@ -540,8 +645,16 @@ mod tests {
             &d,
             paper,
             vec![
-                ScopeDim { parent: paper, child: keyword, kind: DimKind::Forward },
-                ScopeDim { parent: author, child: paper, kind: DimKind::Backward },
+                ScopeDim {
+                    parent: paper,
+                    child: keyword,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: author,
+                    child: paper,
+                    kind: DimKind::Backward,
+                },
             ],
             4096,
         );
@@ -556,7 +669,7 @@ mod tests {
 
 #[cfg(test)]
 mod value_dim_tests {
-    
+
     use crate::coarse::coarse_synopsis;
     use crate::estimate::{estimate_selectivity, EstimateOptions};
     use crate::synopsis::{DimKind, ScopeDim};
@@ -600,8 +713,16 @@ mod value_dim_tests {
             &d,
             dept,
             vec![
-                ScopeDim { parent: dept, child: member, kind: DimKind::Forward },
-                ScopeDim { parent: dept, child: grade, kind: DimKind::Value },
+                ScopeDim {
+                    parent: dept,
+                    child: member,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: dept,
+                    child: grade,
+                    kind: DimKind::Value,
+                },
             ],
             1 << 14,
         );
@@ -609,15 +730,21 @@ mod value_dim_tests {
             &d,
             member,
             vec![
-                ScopeDim { parent: member, child: report, kind: DimKind::Forward },
-                ScopeDim { parent: dept, child: member, kind: DimKind::Backward },
+                ScopeDim {
+                    parent: member,
+                    child: report,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: dept,
+                    child: member,
+                    kind: DimKind::Backward,
+                },
             ],
             1 << 14,
         );
-        let q = parse_twig(
-            "for $t0 in //dept[grade = 1], $t1 in $t0/member, $t2 in $t1/report",
-        )
-        .unwrap();
+        let q = parse_twig("for $t0 in //dept[grade = 1], $t1 in $t0/member, $t2 in $t1/report")
+            .unwrap();
         let truth = selectivity(&d, &q) as f64; // 8 depts × 6 members × 3 = 144
         assert_eq!(truth, 144.0);
         let est = estimate_selectivity(&s, &q, &EstimateOptions::default());
@@ -630,7 +757,11 @@ mod value_dim_tests {
         blurred.set_edge_hist(
             &d,
             dept,
-            vec![ScopeDim { parent: dept, child: member, kind: DimKind::Forward }],
+            vec![ScopeDim {
+                parent: dept,
+                child: member,
+                kind: DimKind::Forward,
+            }],
             1 << 14,
         );
         let blurred_est = estimate_selectivity(&blurred, &q, &EstimateOptions::default());
@@ -650,7 +781,11 @@ mod value_dim_tests {
         s.set_edge_hist(
             &d,
             grade,
-            vec![ScopeDim { parent: grade, child: grade, kind: DimKind::Value }],
+            vec![ScopeDim {
+                parent: grade,
+                child: grade,
+                kind: DimKind::Value,
+            }],
             1 << 12,
         );
         let q = parse_twig("for $t0 in //grade[. = 1]").unwrap();

@@ -43,7 +43,12 @@ pub struct ChainLink {
 
 impl ChainLink {
     fn plain(syn: SynId) -> ChainLink {
-        ChainLink { syn, value_range: None, pred_fraction: 1.0, branch_values: Vec::new() }
+        ChainLink {
+            syn,
+            value_range: None,
+            pred_fraction: 1.0,
+            branch_values: Vec::new(),
+        }
     }
 }
 
@@ -62,7 +67,9 @@ pub struct Chain {
 /// synopsis root node.
 pub fn expand_path_absolute(s: &Synopsis, path: &PathExpr, opts: &EstimateOptions) -> Vec<Chain> {
     let root = s.root();
-    let first = &path.steps[0];
+    let Some(first) = path.steps.first() else {
+        return Vec::new();
+    };
     let mut heads: Vec<Vec<ChainLink>> = Vec::new();
     match first.axis {
         Axis::Child => {
@@ -77,7 +84,7 @@ pub fn expand_path_absolute(s: &Synopsis, path: &PathExpr, opts: &EstimateOption
                 heads.push(vec![resolve_link(s, root, first, opts)]);
             }
             for mut tail in descendant_chains(s, root, &first.label, opts) {
-                let last = tail.pop().expect("descendant chain is non-empty");
+                let Some(last) = tail.pop() else { continue };
                 let mut chain = vec![ChainLink::plain(root)];
                 chain.extend(tail.into_iter().map(ChainLink::plain));
                 chain.push(resolve_link(s, last, first, opts));
@@ -99,7 +106,9 @@ pub fn expand_path_from(
     path: &PathExpr,
     opts: &EstimateOptions,
 ) -> Vec<Chain> {
-    let first = &path.steps[0];
+    let Some(first) = path.steps.first() else {
+        return Vec::new();
+    };
     let mut heads: Vec<Vec<ChainLink>> = Vec::new();
     match first.axis {
         Axis::Child => {
@@ -111,7 +120,7 @@ pub fn expand_path_from(
         }
         Axis::Descendant => {
             for mut tail in descendant_chains(s, from, &first.label, opts) {
-                let last = tail.pop().expect("descendant chain is non-empty");
+                let Some(last) = tail.pop() else { continue };
                 let mut chain: Vec<ChainLink> = tail.into_iter().map(ChainLink::plain).collect();
                 chain.push(resolve_link(s, last, first, opts));
                 heads.push(chain);
@@ -131,7 +140,8 @@ fn resolve_link(s: &Synopsis, v: SynId, step: &Step, opts: &EstimateOptions) -> 
     let mut branch_values = Vec::new();
     for p in &step.preds {
         let Some(path) = &p.path else {
-            let r = p.value.expect("self predicate without range");
+            // A self predicate without a range (`[.]`) is vacuous.
+            let Some(r) = p.value else { continue };
             value_range = Some(match value_range {
                 None => (r.lo, r.hi),
                 Some((lo, hi)) => (lo.max(r.lo), hi.min(r.hi)),
@@ -140,34 +150,35 @@ fn resolve_link(s: &Synopsis, v: SynId, step: &Step, opts: &EstimateOptions) -> 
         };
         // Keep `[tag op const]` symbolic when the branch maps to exactly
         // one synopsis child, so the evaluator may use a joint summary.
-        let symbolic_child = match (&p.value, path.steps.as_slice()) {
-            (Some(_), [only])
-                if only.axis == xtwig_query::Axis::Child && only.preds.is_empty() =>
-            {
-                let matches: Vec<SynId> = s
+        let symbolic = match (&p.value, path.steps.as_slice()) {
+            (Some(r), [only]) if only.axis == xtwig_query::Axis::Child && only.preds.is_empty() => {
+                let mut tagged = s
                     .children_of(v)
                     .iter()
                     .copied()
-                    .filter(|&c| s.tag(c) == only.label)
-                    .collect();
-                if matches.len() == 1 {
-                    Some(matches[0])
-                } else {
-                    None
+                    .filter(|&c| s.tag(c) == only.label);
+                match (tagged.next(), tagged.next()) {
+                    (Some(child), None) => Some((child, (r.lo, r.hi))),
+                    _ => None,
                 }
             }
             _ => None,
         };
-        match symbolic_child {
-            Some(child) => branch_values.push(BranchValue {
+        match symbolic {
+            Some((child, range)) => branch_values.push(BranchValue {
                 child,
-                range: p.value.map(|r| (r.lo, r.hi)).expect("value checked above"),
+                range,
                 fallback: branch_fraction(s, v, p, opts),
             }),
             None => pred_fraction *= branch_fraction(s, v, p, opts),
         }
     }
-    ChainLink { syn: v, value_range, pred_fraction, branch_values }
+    ChainLink {
+        syn: v,
+        value_range,
+        pred_fraction,
+        branch_values,
+    }
 }
 
 /// Extends partial chains over the remaining steps.
@@ -180,7 +191,9 @@ fn extend_chains(
     for step in steps {
         let mut next: Vec<Vec<ChainLink>> = Vec::new();
         for chain in &chains {
-            let anchor = chain.last().expect("chains are non-empty").syn;
+            let Some(anchor) = chain.last().map(|l| l.syn) else {
+                continue;
+            };
             match step.axis {
                 Axis::Child => {
                     for &v in s.children_of(anchor) {
@@ -193,7 +206,7 @@ fn extend_chains(
                 }
                 Axis::Descendant => {
                     for mut tail in descendant_chains(s, anchor, &step.label, opts) {
-                        let last = tail.pop().expect("non-empty");
+                        let Some(last) = tail.pop() else { continue };
                         let mut c = chain.clone();
                         c.extend(tail.into_iter().map(ChainLink::plain));
                         c.push(resolve_link(s, last, step, opts));
@@ -232,7 +245,15 @@ fn descendant_chains(
     };
     let mut out: Vec<Vec<SynId>> = Vec::new();
     let mut stack: Vec<SynId> = Vec::new();
-    descend(s, from, label, max_len, opts.max_embeddings, &mut stack, &mut out);
+    descend(
+        s,
+        from,
+        label,
+        max_len,
+        opts.max_embeddings,
+        &mut stack,
+        &mut out,
+    );
     out
 }
 
@@ -307,7 +328,10 @@ mod tests {
         }
         // //title: under paper only, but paper is reachable two ways.
         let p2 = parse_path("//title").unwrap();
-        assert_eq!(expand_path_absolute(&s, &p2, &EstimateOptions::default()).len(), 2);
+        assert_eq!(
+            expand_path_absolute(&s, &p2, &EstimateOptions::default()).len(),
+            2
+        );
     }
 
     #[test]
@@ -336,7 +360,10 @@ mod tests {
         }
         let p2 = parse_path("/bib/author/paper/keyword[. > 10]").unwrap();
         let chains2 = expand_path_absolute(&s, &p2, &EstimateOptions::default());
-        assert_eq!(chains2[0].nodes.last().unwrap().value_range, Some((11, i64::MAX)));
+        assert_eq!(
+            chains2[0].nodes.last().unwrap().value_range,
+            Some((11, i64::MAX))
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub struct EstimateOptions {
 
 impl Default for EstimateOptions {
     fn default() -> Self {
-        EstimateOptions { max_embeddings: 4096, max_descendant_len: 0 }
+        EstimateOptions {
+            max_embeddings: 4096,
+            max_descendant_len: 0,
+        }
     }
 }
 

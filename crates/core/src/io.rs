@@ -40,7 +40,11 @@ pub struct SnapshotError {
 
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "snapshot error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "snapshot error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -81,7 +85,9 @@ impl W {
 
 /// Serializes `s` to a binary snapshot.
 pub fn save_synopsis(s: &Synopsis) -> Vec<u8> {
-    let mut w = W { buf: Vec::with_capacity(4096) };
+    let mut w = W {
+        buf: Vec::with_capacity(4096),
+    };
     w.buf.extend_from_slice(MAGIC);
     w.u32(VERSION);
     // Label table.
@@ -179,7 +185,10 @@ struct R<'a> {
 
 impl<'a> R<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, SnapshotError> {
-        Err(SnapshotError { offset: self.pos, message: message.into() })
+        Err(SnapshotError {
+            offset: self.pos,
+            message: message.into(),
+        })
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         if self.pos + n > self.buf.len() {
@@ -189,23 +198,29 @@ impl<'a> R<'a> {
         self.pos += n;
         Ok(out)
     }
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+        match self.take(N)?.try_into() {
+            Ok(a) => Ok(a),
+            Err(_) => self.err("internal length mismatch"),
+        }
+    }
     fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, SnapshotError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn i64(&mut self) -> Result<i64, SnapshotError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.array()?))
     }
     fn f64(&mut self) -> Result<f64, SnapshotError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.array()?))
     }
     fn string(&mut self) -> Result<String, SnapshotError> {
         let len = self.u32()? as usize;
@@ -244,7 +259,11 @@ pub fn load_synopsis(bytes: &[u8]) -> Result<Synopsis, SnapshotError> {
             return r.err("node label out of range");
         }
         let count = r.u64()?;
-        nodes.push(SynopsisNode { label, extent: Vec::new(), count });
+        nodes.push(SynopsisNode {
+            label,
+            extent: Vec::new(),
+            count,
+        });
     }
     let edge_count = r.u32()? as usize;
     let mut edges = BTreeMap::new();
@@ -256,7 +275,13 @@ pub fn load_synopsis(bytes: &[u8]) -> Result<Synopsis, SnapshotError> {
         }
         let child_count = r.u64()?;
         let parent_count = r.u64()?;
-        edges.insert((u, v), SynopsisEdge { child_count, parent_count });
+        edges.insert(
+            (u, v),
+            SynopsisEdge {
+                child_count,
+                parent_count,
+            },
+        );
     }
     let mut edge_hists = Vec::with_capacity(node_count);
     let mut value_summaries = Vec::with_capacity(node_count);
@@ -315,7 +340,11 @@ fn read_edge_hist(r: &mut R<'_>, node_count: usize) -> Result<EdgeHistogram, Sna
             2 => DimKind::Value,
             k => return r.err(format!("unknown dim kind {k}")),
         };
-        scope.push(ScopeDim { parent, child, kind });
+        scope.push(ScopeDim {
+            parent,
+            child,
+            kind,
+        });
     }
     let budget_bytes = r.u32()? as usize;
     let distinct_points = r.u32()? as usize;
@@ -334,7 +363,12 @@ fn read_edge_hist(r: &mut R<'_>, node_count: usize) -> Result<EdgeHistogram, Sna
         if !fraction.is_finite() || fraction < 0.0 {
             return r.err("invalid bucket fraction");
         }
-        buckets.push(Bucket { fraction, lo, hi, mean });
+        buckets.push(Bucket {
+            fraction,
+            lo,
+            hi,
+            mean,
+        });
     }
     let mut value_buckets = Vec::with_capacity(dims);
     for _ in 0..dims {

@@ -31,11 +31,13 @@ pub mod io;
 pub mod single_path;
 pub mod synopsis;
 pub mod tsn;
+pub mod validate;
 
 pub use coarse::coarse_synopsis;
-pub use describe::describe;
-pub use io::{load_synopsis, save_synopsis, SnapshotError};
 pub use construct::{xbuild, BuildOptions, BuildTrace, Refinement, TruthSource};
+pub use describe::describe;
 pub use estimate::{estimate_selectivity, EstimateOptions};
+pub use io::{load_synopsis, save_synopsis, SnapshotError};
 pub use synopsis::{EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, ValueSummary};
 pub use tsn::twig_stable_neighborhood;
+pub use validate::{fsck, validate, FsckIssue, FsckReport};

@@ -78,7 +78,11 @@ pub fn estimate_path_count(s: &Synopsis, path: &PathExpr, opts: &EstimateOptions
         count *= chain.nodes[0].pred_fraction;
         for link in &chain.nodes[1..] {
             let size_prev = s.extent_size(prev) as f64;
-            let frac = if size_prev > 0.0 { (count / size_prev).min(1.0) } else { 0.0 };
+            let frac = if size_prev > 0.0 {
+                (count / size_prev).min(1.0)
+            } else {
+                0.0
+            };
             let child_count = s.edge(prev, link.syn).map_or(0, |e| e.child_count) as f64;
             count = child_count * frac * link.pred_fraction;
             prev = link.syn;

@@ -148,7 +148,9 @@ impl ValueBuckets {
     /// The histogram coordinate for a source value (`None` → the
     /// missing-value coordinate).
     pub fn coord_of(&self, v: Option<i64>) -> u32 {
-        let Some(v) = v else { return self.lo.len() as u32 };
+        let Some(v) = v else {
+            return self.lo.len() as u32;
+        };
         match self.lo.binary_search(&v) {
             Ok(i) => i as u32,
             Err(i) => i.saturating_sub(1) as u32,
@@ -323,11 +325,23 @@ impl Synopsis {
     ///
     /// [`coarse_synopsis`]: crate::coarse::coarse_synopsis
     pub fn from_partition(doc: &Document, partition: &[u32]) -> Synopsis {
-        assert_eq!(partition.len(), doc.len(), "partition must cover the document");
-        let group_count = partition.iter().copied().max().map_or(0, |m| m as usize + 1);
+        assert_eq!(
+            partition.len(),
+            doc.len(),
+            "partition must cover the document"
+        );
+        let group_count = partition
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
         let mut nodes: Vec<SynopsisNode> = Vec::with_capacity(group_count);
         for _ in 0..group_count {
-            nodes.push(SynopsisNode { label: LabelId(0), extent: Vec::new(), count: 0 });
+            nodes.push(SynopsisNode {
+                label: LabelId(0),
+                extent: Vec::new(),
+                count: 0,
+            });
         }
         let mut seen = vec![false; group_count];
         for e in doc.nodes() {
@@ -358,11 +372,7 @@ impl Synopsis {
             edge_hists: Vec::new(),
             value_summaries: Vec::new(),
         };
-        s.max_depth = doc
-            .nodes()
-            .map(|n| doc.depth(n))
-            .max()
-            .unwrap_or(0);
+        s.max_depth = doc.nodes().map(|n| doc.depth(n)).max().unwrap_or(0);
         s.rebuild_label_index();
         s.recompute_all_edges(doc);
         s.edge_hists = (0..s.nodes.len())
@@ -531,7 +541,11 @@ impl Synopsis {
     /// optimizer would load).
     pub fn size_bytes(&self) -> usize {
         let mut total = self.nodes.len() * BYTES_PER_NODE + self.edges.len() * BYTES_PER_EDGE;
-        total += self.edge_hists.iter().map(|h| h.size_bytes()).sum::<usize>();
+        total += self
+            .edge_hists
+            .iter()
+            .map(|h| h.size_bytes())
+            .sum::<usize>();
         total += self
             .value_summaries
             .iter()
@@ -608,25 +622,18 @@ impl Synopsis {
                             .filter(|&c| self.node_of(c) == dim.child)
                             .count() as u32
                     }
-                    DimKind::Backward => {
-                        match self.nearest_ancestor_in(doc, e, dim.parent) {
-                            Some(anc) => *anc_cache
-                                .entry((anc, dim.child.0))
-                                .or_insert_with(|| {
-                                    doc.children(anc)
-                                        .filter(|&c| self.node_of(c) == dim.child)
-                                        .count() as u32
-                                }),
-                            None => 0,
-                        }
-                    }
-                    DimKind::Value => {
-                        let source = dim.value_source().expect("value dim has a source");
-                        match &value_maps[d] {
-                            Some(vb) => vb.coord_of(self.source_value(doc, e, source)),
-                            None => 0,
-                        }
-                    }
+                    DimKind::Backward => match self.nearest_ancestor_in(doc, e, dim.parent) {
+                        Some(anc) => *anc_cache.entry((anc, dim.child.0)).or_insert_with(|| {
+                            doc.children(anc)
+                                .filter(|&c| self.node_of(c) == dim.child)
+                                .count() as u32
+                        }),
+                        None => 0,
+                    },
+                    DimKind::Value => match (dim.value_source(), &value_maps[d]) {
+                        (Some(source), Some(vb)) => vb.coord_of(self.source_value(doc, e, source)),
+                        _ => 0,
+                    },
                 };
             }
             dist.add(&point);
@@ -746,7 +753,11 @@ impl Synopsis {
         let moved_count = moved.len() as u64;
         self.nodes[v.index()].extent = stay;
         self.nodes[v.index()].count = stay_count;
-        self.nodes.push(SynopsisNode { label, extent: moved, count: moved_count });
+        self.nodes.push(SynopsisNode {
+            label,
+            extent: moved,
+            count: moved_count,
+        });
         // The new node inherits the split node's scope and budget; the
         // rebuild pass below remaps the dims to surviving edges.
         let seeded = self.edge_hists[v.index()].clone();
@@ -781,10 +792,9 @@ impl Synopsis {
         );
         let mut to_rebuild: Vec<SynId> = Vec::new();
         for n in self.node_ids() {
-            let touches = self.edge_hists[n.index()]
-                .scope
-                .iter()
-                .any(|d| d.parent == v || d.child == v || d.parent == n && affected.contains(&d.child));
+            let touches = self.edge_hists[n.index()].scope.iter().any(|d| {
+                d.parent == v || d.child == v || d.parent == n && affected.contains(&d.child)
+            });
             if touches || affected.contains(&n) {
                 to_rebuild.push(n);
             }
@@ -794,6 +804,28 @@ impl Synopsis {
             let budget = old.budget_bytes;
             let new_scope = self.remap_scope(n, &old.scope, v, new_id);
             self.set_edge_hist(doc, n, new_scope, budget);
+        }
+        // A split can break the B-stable path that justified a backward
+        // dimension anchored far above the split point — even for
+        // histograms whose scope never mentions the split pair, so the
+        // edge-liveness remap above cannot see it. Sweep every histogram
+        // and drop backward dims whose anchor stopped being a B-stable
+        // ancestor of the owner (§3.2's TSN rule: without the guaranteed
+        // ancestor, the backward count is undefined for part of the
+        // extent).
+        for n in self.node_ids().collect::<Vec<_>>() {
+            let scope = &self.edge_hists[n.index()].scope;
+            if !scope.iter().any(|d| d.kind == DimKind::Backward) {
+                continue;
+            }
+            let ancestors = crate::tsn::b_stable_ancestors(self, n);
+            let stale =
+                |d: &ScopeDim| d.kind == DimKind::Backward && !ancestors.contains(&d.parent);
+            if scope.iter().any(stale) {
+                let budget = self.edge_hists[n.index()].budget_bytes;
+                let kept: Vec<ScopeDim> = scope.iter().filter(|d| !stale(d)).copied().collect();
+                self.set_edge_hist(doc, n, kept, budget);
+            }
         }
         // Value summaries of the split pair track their new extents.
         for n in [v, new_id] {
@@ -810,7 +842,13 @@ impl Synopsis {
     /// the moved elements): dims on edges that no longer exist are retargeted
     /// to the surviving counterpart or dropped; dims on split edges existing
     /// on both sides are duplicated.
-    fn remap_scope(&self, owner: SynId, scope: &[ScopeDim], v: SynId, new_id: SynId) -> Vec<ScopeDim> {
+    fn remap_scope(
+        &self,
+        owner: SynId,
+        scope: &[ScopeDim],
+        v: SynId,
+        new_id: SynId,
+    ) -> Vec<ScopeDim> {
         let mut out = Vec::with_capacity(scope.len() + 1);
         let owner_has_children = !self.children[owner.index()].is_empty();
         for d in scope {
@@ -822,15 +860,27 @@ impl Synopsis {
             }
             // Own-value dims track the owner itself.
             if d.kind == DimKind::Value && d.child == d.parent {
-                let dim = ScopeDim { parent: owner, child: owner, kind: DimKind::Value };
+                let dim = ScopeDim {
+                    parent: owner,
+                    child: owner,
+                    kind: DimKind::Value,
+                };
                 if !out.contains(&dim) {
                     out.push(dim);
                 }
                 continue;
             }
             let mut candidates: Vec<ScopeDim> = Vec::new();
-            let parents = if d.parent == v { vec![v, new_id] } else { vec![d.parent] };
-            let childs = if d.child == v { vec![v, new_id] } else { vec![d.child] };
+            let parents = if d.parent == v {
+                vec![v, new_id]
+            } else {
+                vec![d.parent]
+            };
+            let childs = if d.child == v {
+                vec![v, new_id]
+            } else {
+                vec![d.child]
+            };
             for &p in &parents {
                 for &c in &childs {
                     // Forward and value dims must keep the owner as parent;
@@ -840,7 +890,11 @@ impl Synopsis {
                         continue;
                     }
                     if self.edge(p, c).is_some() {
-                        candidates.push(ScopeDim { parent: p, child: c, kind: d.kind });
+                        candidates.push(ScopeDim {
+                            parent: p,
+                            child: c,
+                            kind: d.kind,
+                        });
                     }
                 }
             }
@@ -895,7 +949,10 @@ impl Synopsis {
             for (src, (child_count, parents)) in in_counts {
                 self.edges.insert(
                     (src, a),
-                    SynopsisEdge { child_count, parent_count: parents.len() as u64 },
+                    SynopsisEdge {
+                        child_count,
+                        parent_count: parents.len() as u64,
+                    },
                 );
             }
         }
@@ -921,7 +978,10 @@ impl Synopsis {
     fn rebuild_label_index(&mut self) {
         self.by_label.clear();
         for (i, n) in self.nodes.iter().enumerate() {
-            self.by_label.entry(n.label).or_default().push(SynId(i as u32));
+            self.by_label
+                .entry(n.label)
+                .or_default()
+                .push(SynId(i as u32));
         }
     }
 
@@ -973,7 +1033,11 @@ impl Synopsis {
         }
         for (i, n) in self.nodes.iter().enumerate() {
             if n.count != n.extent.len() as u64 {
-                return Err(format!("node s{i}: count {} != extent {}", n.count, n.extent.len()));
+                return Err(format!(
+                    "node s{i}: count {} != extent {}",
+                    n.count,
+                    n.extent.len()
+                ));
             }
             for &e in &n.extent {
                 if self.elem_to_node[e.index()] != i as u32 {
@@ -992,7 +1056,10 @@ impl Synopsis {
                 .filter(|&&e| doc.parent(e).is_some_and(|p| self.node_of(p) == u))
                 .count() as u64;
             if child_count != rec.child_count {
-                return Err(format!("edge {u}->{v} child_count {} != {child_count}", rec.child_count));
+                return Err(format!(
+                    "edge {u}->{v} child_count {} != {child_count}",
+                    rec.child_count
+                ));
             }
             let parent_count = self
                 .extent(u)
@@ -1006,7 +1073,9 @@ impl Synopsis {
                 ));
             }
             if rec.child_count == 0 {
-                return Err(format!("edge {u}->{v} with zero child_count should not exist"));
+                return Err(format!(
+                    "edge {u}->{v} with zero child_count should not exist"
+                ));
             }
         }
         // Every document edge is represented.
@@ -1083,8 +1152,16 @@ mod tests {
             &doc,
             a,
             vec![
-                ScopeDim { parent: a, child: b, kind: DimKind::Forward },
-                ScopeDim { parent: a, child: a, kind: DimKind::Value }, // no values
+                ScopeDim {
+                    parent: a,
+                    child: b,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: a,
+                    child: a,
+                    kind: DimKind::Value,
+                }, // no values
             ],
             512,
         );
@@ -1095,7 +1172,8 @@ mod tests {
 
     #[test]
     fn value_dim_distribution_buckets_match_data() {
-        let doc = parse("<r><m><t>1</t><x/><x/></m><m><t>2</t></m><m><t>1</t><x/></m></r>").unwrap();
+        let doc =
+            parse("<r><m><t>1</t><x/><x/></m><m><t>2</t></m><m><t>1</t><x/></m></r>").unwrap();
         let mut s = coarse_synopsis(&doc);
         let m = s.nodes_with_tag("m")[0];
         let t = s.nodes_with_tag("t")[0];
@@ -1104,8 +1182,16 @@ mod tests {
             &doc,
             m,
             vec![
-                ScopeDim { parent: m, child: x, kind: DimKind::Forward },
-                ScopeDim { parent: m, child: t, kind: DimKind::Value },
+                ScopeDim {
+                    parent: m,
+                    child: x,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: m,
+                    child: t,
+                    kind: DimKind::Value,
+                },
             ],
             4096,
         );
@@ -1140,8 +1226,16 @@ mod tests {
             &doc,
             m,
             vec![
-                ScopeDim { parent: m, child: x, kind: DimKind::Forward },
-                ScopeDim { parent: m, child: t, kind: DimKind::Value },
+                ScopeDim {
+                    parent: m,
+                    child: x,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: m,
+                    child: t,
+                    kind: DimKind::Value,
+                },
             ],
             4096,
         );
@@ -1175,8 +1269,14 @@ mod tests {
         let m = s.nodes_with_tag("m")[0];
         let t = s.nodes_with_tag("t")[0];
         let elems = s.extent(m);
-        assert_eq!(s.source_value(&doc, elems[0], ValueSource::ChildValue(t)), Some(7));
-        assert_eq!(s.source_value(&doc, elems[1], ValueSource::ChildValue(t)), None);
+        assert_eq!(
+            s.source_value(&doc, elems[0], ValueSource::ChildValue(t)),
+            Some(7)
+        );
+        assert_eq!(
+            s.source_value(&doc, elems[1], ValueSource::ChildValue(t)),
+            None
+        );
         assert_eq!(s.source_value(&doc, elems[0], ValueSource::OwnValue), None);
     }
 
@@ -1192,8 +1292,16 @@ mod tests {
             &doc,
             m,
             vec![
-                ScopeDim { parent: m, child: x, kind: DimKind::Forward },
-                ScopeDim { parent: m, child: t, kind: DimKind::Value },
+                ScopeDim {
+                    parent: m,
+                    child: x,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: m,
+                    child: t,
+                    kind: DimKind::Value,
+                },
             ],
             4096,
         );

@@ -66,7 +66,11 @@ pub fn candidate_dims_with(s: &Synopsis, n: SynId, strict: bool) -> Vec<ScopeDim
         if strict && !s.is_f_stable(n, v) {
             continue;
         }
-        dims.push(ScopeDim { parent: n, child: v, kind: DimKind::Forward });
+        dims.push(ScopeDim {
+            parent: n,
+            child: v,
+            kind: DimKind::Forward,
+        });
     }
     for &a in &ancestors {
         if a == n {
@@ -74,7 +78,11 @@ pub fn candidate_dims_with(s: &Synopsis, n: SynId, strict: bool) -> Vec<ScopeDim
         }
         for &z in s.children_of(a) {
             if s.is_f_stable(a, z) {
-                dims.push(ScopeDim { parent: a, child: z, kind: DimKind::Backward });
+                dims.push(ScopeDim {
+                    parent: a,
+                    child: z,
+                    kind: DimKind::Backward,
+                });
             }
         }
     }

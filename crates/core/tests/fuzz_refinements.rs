@@ -3,6 +3,10 @@
 //! accounting monotone, and never break estimation (finite, non-negative
 //! results; exact results where exactness is guaranteed).
 
+// Test helpers may unwrap freely; clippy's `allow-unwrap-in-tests` only
+// covers `#[test]` bodies, not free helper functions in integration tests.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -22,9 +26,15 @@ fn random_doc(seed: u64) -> Document {
     for _ in 0..rng.random_range(2..7u32) {
         b.open(TAGS[rng.random_range(0..TAGS.len())], None);
         for _ in 0..rng.random_range(0..5u32) {
-            b.open(TAGS[rng.random_range(0..TAGS.len())], Some(rng.random_range(0..20)));
+            b.open(
+                TAGS[rng.random_range(0..TAGS.len())],
+                Some(rng.random_range(0..20)),
+            );
             for _ in 0..rng.random_range(0..3u32) {
-                b.leaf(TAGS[rng.random_range(0..TAGS.len())], Some(rng.random_range(0..20)));
+                b.leaf(
+                    TAGS[rng.random_range(0..TAGS.len())],
+                    Some(rng.random_range(0..20)),
+                );
             }
             b.close();
         }
@@ -48,7 +58,10 @@ fn fuzz_refinements(doc: &Document, seed: u64, steps: usize) -> Result<(), TestC
                     continue;
                 }
                 let u = parents[rng.random_range(0..parents.len())];
-                Refinement::BStabilize { parent: u, child: n }
+                Refinement::BStabilize {
+                    parent: u,
+                    child: n,
+                }
             }
             1 => {
                 let children = s.children_of(n).to_vec();
@@ -56,9 +69,15 @@ fn fuzz_refinements(doc: &Document, seed: u64, steps: usize) -> Result<(), TestC
                     continue;
                 }
                 let v = children[rng.random_range(0..children.len())];
-                Refinement::FStabilize { parent: n, child: v }
+                Refinement::FStabilize {
+                    parent: n,
+                    child: v,
+                }
             }
-            2 => Refinement::EdgeRefine { node: n, extra_bytes: 32 },
+            2 => Refinement::EdgeRefine {
+                node: n,
+                extra_bytes: 32,
+            },
             3 => {
                 let children = s.children_of(n).to_vec();
                 if children.is_empty() {
@@ -67,10 +86,17 @@ fn fuzz_refinements(doc: &Document, seed: u64, steps: usize) -> Result<(), TestC
                 let v = children[rng.random_range(0..children.len())];
                 Refinement::EdgeExpand {
                     node: n,
-                    dim: ScopeDim { parent: n, child: v, kind: DimKind::Forward },
+                    dim: ScopeDim {
+                        parent: n,
+                        child: v,
+                        kind: DimKind::Forward,
+                    },
                 }
             }
-            4 => Refinement::ValueRefine { node: n, extra_bytes: 24 },
+            4 => Refinement::ValueRefine {
+                node: n,
+                extra_bytes: 24,
+            },
             _ => {
                 let children = s.children_of(n).to_vec();
                 let source = if children.is_empty() || rng.random_bool(0.3) {
@@ -78,7 +104,11 @@ fn fuzz_refinements(doc: &Document, seed: u64, steps: usize) -> Result<(), TestC
                 } else {
                     ValueSource::ChildValue(children[rng.random_range(0..children.len())])
                 };
-                Refinement::ValueExpand { node: n, value_source: source, budget_bytes: 48 }
+                Refinement::ValueExpand {
+                    node: n,
+                    value_source: source,
+                    budget_bytes: 48,
+                }
             }
         };
         let before = s.size_bytes();

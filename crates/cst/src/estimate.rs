@@ -59,14 +59,18 @@ fn branch_factor(cst: &Cst, q: &TwigQuery, t: TwigNodeRef, parent_ctx: &[LabelId
     let mut factor = 1.0;
     let mut ctx = parent_ctx.to_vec();
     for step in &q.path(t).steps {
-        let Some(l) = cst.labels().get(&step.label) else { return 0.0 };
+        let Some(l) = cst.labels().get(&step.label) else {
+            return 0.0;
+        };
         ctx.push(l);
         let step_count = cst.path_count(&ctx).max(0.0);
         for pred in &step.preds {
             let Some(bp) = &pred.path else { continue };
             let mut bctx = ctx.clone();
             for bstep in &bp.steps {
-                let Some(bl) = cst.labels().get(&bstep.label) else { return 0.0 };
+                let Some(bl) = cst.labels().get(&bstep.label) else {
+                    return 0.0;
+                };
                 bctx.push(bl);
             }
             let b = cst.path_count(&bctx);
@@ -122,7 +126,13 @@ mod tests {
     #[test]
     fn single_path_twigs_are_exact_when_unpruned() {
         let d = doc();
-        let cst = Cst::build(&d, CstOptions { budget_bytes: 1 << 20, max_path_len: 16 });
+        let cst = Cst::build(
+            &d,
+            CstOptions {
+                budget_bytes: 1 << 20,
+                max_path_len: 16,
+            },
+        );
         for (text, truth) in [
             ("for $t0 in //keyword", 3.0),
             ("for $t0 in //paper, $t1 in $t0/keyword", 3.0),
@@ -138,7 +148,13 @@ mod tests {
     #[test]
     fn branching_twig_uses_independence() {
         let d = doc();
-        let cst = Cst::build(&d, CstOptions { budget_bytes: 1 << 20, max_path_len: 16 });
+        let cst = Cst::build(
+            &d,
+            CstOptions {
+                budget_bytes: 1 << 20,
+                max_path_len: 16,
+            },
+        );
         // //author with name and paper branches: per author 1 name,
         // avg 1 paper -> est 3 · (3/3) · (3/3) = 3; truth = 3.
         let q = parse_twig("for $t0 in //author, $t1 in $t0/name, $t2 in $t0/paper").unwrap();

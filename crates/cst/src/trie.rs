@@ -19,7 +19,10 @@ pub struct CstOptions {
 
 impl Default for CstOptions {
     fn default() -> Self {
-        CstOptions { budget_bytes: 50 * 1024, max_path_len: 16 }
+        CstOptions {
+            budget_bytes: 50 * 1024,
+            max_path_len: 16,
+        }
     }
 }
 
@@ -94,7 +97,10 @@ impl Cst {
     }
 
     fn push_node(&mut self) -> usize {
-        self.nodes.push(TrieNode { count: 0, children: HashMap::new() });
+        self.nodes.push(TrieNode {
+            count: 0,
+            children: HashMap::new(),
+        });
         self.nodes.len() - 1
     }
 
@@ -116,8 +122,7 @@ impl Cst {
             }
         }
         let mut alive = vec![true; self.nodes.len()];
-        let mut child_count: Vec<usize> =
-            self.nodes.iter().map(|n| n.children.len()).collect();
+        let mut child_count: Vec<usize> = self.nodes.iter().map(|n| n.children.len()).collect();
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -128,7 +133,9 @@ impl Cst {
         }
         let mut live = self.live_nodes;
         while live > max_nodes {
-            let Some(Reverse((_, i))) = heap.pop() else { break };
+            let Some(Reverse((_, i))) = heap.pop() else {
+                break;
+            };
             if !alive[i] || child_count[i] > 0 {
                 continue;
             }
@@ -256,7 +263,13 @@ mod tests {
     #[test]
     fn counts_match_descendant_semantics() {
         let d = doc();
-        let cst = Cst::build(&d, CstOptions { budget_bytes: 1 << 20, max_path_len: 16 });
+        let cst = Cst::build(
+            &d,
+            CstOptions {
+                budget_bytes: 1 << 20,
+                max_path_len: 16,
+            },
+        );
         let c = |tags: &[&str]| cst.lookup(&cst.resolve(tags).unwrap()).unwrap_or(0);
         // //keyword = 3, //paper/keyword = 3, //author = 2.
         assert_eq!(c(&["keyword"]), 3);
@@ -273,8 +286,20 @@ mod tests {
     #[test]
     fn pruning_respects_budget_and_keeps_frequent_paths() {
         let d = doc();
-        let full = Cst::build(&d, CstOptions { budget_bytes: 1 << 20, max_path_len: 16 });
-        let pruned = Cst::build(&d, CstOptions { budget_bytes: 80, max_path_len: 16 });
+        let full = Cst::build(
+            &d,
+            CstOptions {
+                budget_bytes: 1 << 20,
+                max_path_len: 16,
+            },
+        );
+        let pruned = Cst::build(
+            &d,
+            CstOptions {
+                budget_bytes: 80,
+                max_path_len: 16,
+            },
+        );
         assert!(pruned.size_bytes() <= 80);
         assert!(pruned.node_count() < full.node_count());
         // Short frequent strings survive pruning longest.
@@ -285,7 +310,13 @@ mod tests {
     #[test]
     fn maximal_overlap_fallback_estimates_pruned_strings() {
         let d = doc();
-        let cst = Cst::build(&d, CstOptions { budget_bytes: 220, max_path_len: 16 });
+        let cst = Cst::build(
+            &d,
+            CstOptions {
+                budget_bytes: 220,
+                max_path_len: 16,
+            },
+        );
         let s = cst.resolve(&["bib", "author", "paper", "keyword"]).unwrap();
         let est = cst.path_count(&s);
         // The exact answer is 3; the chained estimate must be finite and

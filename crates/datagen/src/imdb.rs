@@ -25,7 +25,10 @@ pub struct ImdbConfig {
 impl ImdbConfig {
     /// Scales the default size (≈103k elements at 1.0).
     pub fn scaled(scale: f64, seed: u64) -> ImdbConfig {
-        ImdbConfig { movies: ((4130.0 * scale).round() as usize).max(1), seed }
+        ImdbConfig {
+            movies: ((4130.0 * scale).round() as usize).max(1),
+            seed,
+        }
     }
 }
 
@@ -48,15 +51,50 @@ struct Genre {
 
 const GENRES: [Genre; 5] = [
     // Action blockbusters: many actors and producers, recent years.
-    Genre { value: 1, weight: 0.30, actors: (8, 20), producers: (3, 7), keywords: (4, 9), years: (1985, 2003) },
+    Genre {
+        value: 1,
+        weight: 0.30,
+        actors: (8, 20),
+        producers: (3, 7),
+        keywords: (4, 9),
+        years: (1985, 2003),
+    },
     // Drama: medium casts.
-    Genre { value: 2, weight: 0.30, actors: (4, 10), producers: (1, 3), keywords: (2, 6), years: (1950, 2003) },
+    Genre {
+        value: 2,
+        weight: 0.30,
+        actors: (4, 10),
+        producers: (1, 3),
+        keywords: (2, 6),
+        years: (1950, 2003),
+    },
     // Comedy: medium-small casts.
-    Genre { value: 3, weight: 0.20, actors: (3, 8), producers: (1, 3), keywords: (2, 5), years: (1960, 2003) },
+    Genre {
+        value: 3,
+        weight: 0.20,
+        actors: (3, 8),
+        producers: (1, 3),
+        keywords: (2, 5),
+        years: (1960, 2003),
+    },
     // Documentary: few actors, single producer, older spread.
-    Genre { value: 4, weight: 0.15, actors: (0, 2), producers: (1, 2), keywords: (1, 4), years: (1940, 2003) },
+    Genre {
+        value: 4,
+        weight: 0.15,
+        actors: (0, 2),
+        producers: (1, 2),
+        keywords: (1, 4),
+        years: (1940, 2003),
+    },
     // Shorts: minimal structure.
-    Genre { value: 5, weight: 0.05, actors: (0, 1), producers: (0, 1), keywords: (0, 2), years: (1920, 2003) },
+    Genre {
+        value: 5,
+        weight: 0.05,
+        actors: (0, 1),
+        producers: (0, 1),
+        keywords: (0, 2),
+        years: (1920, 2003),
+    },
 ];
 
 /// Generates an IMDB-like document.
@@ -169,7 +207,10 @@ mod tests {
 
     #[test]
     fn genre_correlates_with_cast_size() {
-        let doc = imdb(ImdbConfig { movies: 800, seed: 5 });
+        let doc = imdb(ImdbConfig {
+            movies: 800,
+            seed: 5,
+        });
         // Average actors per action movie (type=1) must clearly exceed the
         // documentary (type=4) average.
         let act = parse_twig("for $t0 in //movie[type = 1], $t1 in $t0/actor").unwrap();
@@ -189,10 +230,15 @@ mod tests {
         // The actor×producer join per movie must be super-multiplicative:
         // E[a·p] > E[a]·E[p] (positive correlation), which is exactly what
         // a coarse synopsis gets wrong.
-        let doc = imdb(ImdbConfig { movies: 600, seed: 9 });
+        let doc = imdb(ImdbConfig {
+            movies: 600,
+            seed: 9,
+        });
         let movies = selectivity(&doc, &parse_twig("for $t0 in //movie").unwrap()) as f64;
-        let actors =
-            selectivity(&doc, &parse_twig("for $t0 in //movie, $t1 in $t0/actor").unwrap()) as f64;
+        let actors = selectivity(
+            &doc,
+            &parse_twig("for $t0 in //movie, $t1 in $t0/actor").unwrap(),
+        ) as f64;
         let producers = selectivity(
             &doc,
             &parse_twig("for $t0 in //movie, $t1 in $t0/producer").unwrap(),

@@ -52,7 +52,10 @@ impl Dataset {
     /// element counts) with a fixed per-dataset seed.
     pub fn generate(self, scale: f64) -> Document {
         match self {
-            Dataset::XMark => xmark(XMarkConfig { scale, seed: 0x71A2 }),
+            Dataset::XMark => xmark(XMarkConfig {
+                scale,
+                seed: 0x71A2,
+            }),
             Dataset::Imdb => imdb(ImdbConfig::scaled(scale, 0x1111)),
             Dataset::SProt => sprot(SprotConfig::scaled(scale, 0x59A7)),
         }

@@ -21,7 +21,10 @@ pub struct SprotConfig {
 impl SprotConfig {
     /// Scales the default size (≈70k elements at 1.0).
     pub fn scaled(scale: f64, seed: u64) -> SprotConfig {
-        SprotConfig { entries: ((1330.0 * scale).round() as usize).max(1), seed }
+        SprotConfig {
+            entries: ((1330.0 * scale).round() as usize).max(1),
+            seed,
+        }
     }
 }
 
@@ -121,7 +124,10 @@ mod tests {
 
     #[test]
     fn entries_have_expected_shape() {
-        let doc = sprot(SprotConfig { entries: 50, seed: 2 });
+        let doc = sprot(SprotConfig {
+            entries: 50,
+            seed: 2,
+        });
         let q = xtwig_query::parse_twig(
             "for $t0 in //entry, $t1 in $t0/protein/name, $t2 in $t0/organism/lineage/taxon",
         )
@@ -132,8 +138,10 @@ mod tests {
             "for $t0 in //feature, $t1 in $t0/location/begin, $t2 in $t0/location/end",
         )
         .unwrap();
-        let n_feat =
-            xtwig_query::selectivity(&doc, &xtwig_query::parse_twig("for $t0 in //feature").unwrap());
+        let n_feat = xtwig_query::selectivity(
+            &doc,
+            &xtwig_query::parse_twig("for $t0 in //feature").unwrap(),
+        );
         assert_eq!(xtwig_query::selectivity(&doc, &qf), n_feat);
     }
 }

@@ -25,11 +25,21 @@ pub struct XMarkConfig {
 
 impl Default for XMarkConfig {
     fn default() -> Self {
-        XMarkConfig { scale: 1.0, seed: 0x71A2 }
+        XMarkConfig {
+            scale: 1.0,
+            seed: 0x71A2,
+        }
     }
 }
 
-const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 /// Generates an XMark-like document.
 pub fn xmark(cfg: XMarkConfig) -> Document {
@@ -243,17 +253,29 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = xmark(XMarkConfig { scale: 0.02, seed: 3 });
-        let d = xmark(XMarkConfig { scale: 0.02, seed: 3 });
+        let a = xmark(XMarkConfig {
+            scale: 0.02,
+            seed: 3,
+        });
+        let d = xmark(XMarkConfig {
+            scale: 0.02,
+            seed: 3,
+        });
         assert_eq!(a.len(), d.len());
         assert_eq!(xtwig_xml::write_xml(&a), xtwig_xml::write_xml(&d));
-        let other = xmark(XMarkConfig { scale: 0.02, seed: 4 });
+        let other = xmark(XMarkConfig {
+            scale: 0.02,
+            seed: 4,
+        });
         assert_ne!(xtwig_xml::write_xml(&a), xtwig_xml::write_xml(&other));
     }
 
     #[test]
     fn contains_recursive_parlists() {
-        let doc = xmark(XMarkConfig { scale: 0.2, seed: 1 });
+        let doc = xmark(XMarkConfig {
+            scale: 0.2,
+            seed: 1,
+        });
         let q = xtwig_query::parse_twig("for $t0 in //parlist").unwrap();
         assert!(xtwig_query::selectivity(&doc, &q) > 0);
         // Nested parlists exist at scale 0.2 with this seed.

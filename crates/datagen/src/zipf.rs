@@ -32,7 +32,8 @@ impl Zipf {
     /// Draws a rank in `1..=n`.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.random_range(0.0..1.0);
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        let cmp = |c: &f64| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less);
+        match self.cdf.binary_search_by(cmp) {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }
     }

@@ -17,7 +17,11 @@ pub struct ExactDistribution {
 impl ExactDistribution {
     /// Creates an empty distribution over `dims` dimensions.
     pub fn new(dims: usize) -> Self {
-        ExactDistribution { dims, points: HashMap::new(), total: 0 }
+        ExactDistribution {
+            dims,
+            points: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Records one element with count vector `point`.

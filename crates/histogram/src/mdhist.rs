@@ -82,7 +82,12 @@ impl Bucket {
             };
             mean.push(m);
         }
-        Bucket { fraction, lo, hi, mean }
+        Bucket {
+            fraction,
+            lo,
+            hi,
+            mean,
+        }
     }
 
     /// Mass-weighted SSE increase caused by merging `self` and `other`:
@@ -140,7 +145,10 @@ impl MdHistogram {
                 mean: vec![0.0; dist.dims()],
             });
         }
-        MdHistogram { dims: dist.dims(), buckets }
+        MdHistogram {
+            dims: dist.dims(),
+            buckets,
+        }
     }
 
     /// Builds a histogram compressed to at most `budget_bytes`.
@@ -295,14 +303,11 @@ impl MdHistogram {
             return num / den;
         }
         // Hole: fall back to the nearest bucket.
-        let nearest = self
-            .buckets
-            .iter()
-            .min_by(|a, b| {
-                a.distance_on(&dims, &values)
-                    .partial_cmp(&b.distance_on(&dims, &values))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+        let nearest = self.buckets.iter().min_by(|a, b| {
+            a.distance_on(&dims, &values)
+                .partial_cmp(&b.distance_on(&dims, &values))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         match nearest {
             Some(b) => mult.iter().map(|&d| b.mean[d]).product(),
             None => 0.0,
@@ -368,11 +373,15 @@ impl MdHistogram {
             .filter(|b| b.fraction > 0.0 && b.contains_on(&cdims, &values))
             .collect();
         let (selected, den) = if selected.is_empty() {
-            let nearest = self.buckets.iter().filter(|b| b.fraction > 0.0).min_by(|a, b| {
-                a.distance_on(&cdims, &values)
-                    .partial_cmp(&b.distance_on(&cdims, &values))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            let nearest = self
+                .buckets
+                .iter()
+                .filter(|b| b.fraction > 0.0)
+                .min_by(|a, b| {
+                    a.distance_on(&cdims, &values)
+                        .partial_cmp(&b.distance_on(&cdims, &values))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
             match nearest {
                 Some(b) => (vec![b], b.fraction),
                 None => return Vec::new(),

@@ -38,7 +38,10 @@ impl ValueHistogram {
         values.sort_unstable();
         let total = values.len() as u64;
         if values.is_empty() {
-            return ValueHistogram { buckets: Vec::new(), total: 0 };
+            return ValueHistogram {
+                buckets: Vec::new(),
+                total: 0,
+            };
         }
         let per = (values.len() as f64 / max_buckets as f64).ceil() as usize;
         let per = per.max(1);
@@ -53,7 +56,12 @@ impl ValueHistogram {
             }
             let run = j - i;
             if run >= per && buckets.len() + 1 < max_buckets {
-                buckets.push(VBucket { lo: values[i], hi: values[i], count: run as u64, distinct: 1 });
+                buckets.push(VBucket {
+                    lo: values[i],
+                    hi: values[i],
+                    count: run as u64,
+                    distinct: 1,
+                });
             } else {
                 rest.extend_from_slice(&values[i..j]);
             }
@@ -160,7 +168,12 @@ impl ValueHistogram {
         ValueHistogram {
             buckets: buckets
                 .into_iter()
-                .map(|(lo, hi, count, distinct)| VBucket { lo, hi, count, distinct })
+                .map(|(lo, hi, count, distinct)| VBucket {
+                    lo,
+                    hi,
+                    count,
+                    distinct,
+                })
                 .collect(),
             total,
         }

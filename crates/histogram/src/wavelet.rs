@@ -87,7 +87,9 @@ impl WaveletSummary {
     /// `Σ_c f̂(c)·c` over the reconstructed distribution — the average
     /// count, the term the estimation framework consumes.
     pub fn expectation(&self) -> f64 {
-        (0..self.n as u32).map(|c| self.fraction(c) * c as f64).sum()
+        (0..self.n as u32)
+            .map(|c| self.fraction(c) * c as f64)
+            .sum()
     }
 
     /// Reconstructs the full distribution (mostly for tests/inspection).
@@ -186,7 +188,11 @@ mod tests {
         let w = WaveletSummary::build(&d, 3);
         assert!(w.coefficient_count() <= 3);
         let mean = d.expectation_product(&[0]);
-        assert!((w.expectation() - mean).abs() / mean < 0.35, "{} vs {mean}", w.expectation());
+        assert!(
+            (w.expectation() - mean).abs() / mean < 0.35,
+            "{} vs {mean}",
+            w.expectation()
+        );
     }
 
     #[test]

@@ -133,4 +133,41 @@ proptest! {
         prop_assert!(w.expectation().is_finite());
         prop_assert!(w.reconstruct().iter().all(|f| f.is_finite() && *f >= 0.0));
     }
+
+    /// Greedy bucket merging under any byte budget keeps every fraction a
+    /// valid probability: finite, non-negative, at most 1, summing to 1.
+    #[test]
+    fn greedy_merge_fractions_stay_valid_probabilities(
+        d in arb_dist(3),
+        budget in 16usize..400,
+    ) {
+        let mut h = MdHistogram::exact(&d);
+        h.compress_to_bytes(budget);
+        let mut mass = 0.0f64;
+        for b in h.buckets() {
+            prop_assert!(b.fraction.is_finite(), "NaN/inf fraction {}", b.fraction);
+            prop_assert!(b.fraction >= 0.0, "negative fraction {}", b.fraction);
+            prop_assert!(b.fraction <= 1.0 + 1e-9, "fraction {} > 1", b.fraction);
+            mass += b.fraction;
+        }
+        prop_assert!((mass - 1.0).abs() < 1e-6, "mass {mass}");
+    }
+
+    /// Same guarantee under bucket-count-driven compression, across every
+    /// intermediate merge level down to a single bucket.
+    #[test]
+    fn every_merge_level_conserves_mass(d in arb_dist(2)) {
+        let exact = MdHistogram::exact(&d);
+        for target in (1..=exact.buckets().len()).rev() {
+            let mut h = exact.clone();
+            h.compress_to_buckets(target);
+            prop_assert!(h.buckets().len() <= target.max(1));
+            let mass: f64 = h.buckets().iter().map(|b| b.fraction).sum();
+            prop_assert!((mass - 1.0).abs() < 1e-6, "target {target}: mass {mass}");
+            prop_assert!(
+                h.buckets().iter().all(|b| b.fraction.is_finite() && b.fraction >= 0.0),
+                "target {target}: invalid fraction"
+            );
+        }
+    }
 }

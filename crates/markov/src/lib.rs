@@ -39,7 +39,9 @@ pub struct MarkovOptions {
 
 impl Default for MarkovOptions {
     fn default() -> Self {
-        MarkovOptions { budget_bytes: 50 * 1024 }
+        MarkovOptions {
+            budget_bytes: 50 * 1024,
+        }
     }
 }
 
@@ -103,8 +105,7 @@ impl MarkovPaths {
 
     /// Storage cost in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.tag_counts.len() * BYTES_PER_TAG
-            + (self.transitions.len() + 1) * BYTES_PER_TRANSITION
+        self.tag_counts.len() * BYTES_PER_TAG + (self.transitions.len() + 1) * BYTES_PER_TRANSITION
     }
 
     /// Number of retained transition cells.
@@ -122,16 +123,16 @@ impl MarkovPaths {
     pub fn transition(&self, a: LabelId, b: LabelId) -> f64 {
         match self.transitions.get(&(a, b)) {
             Some(&c) => c as f64,
-            None if self.pruned_cells > 0 => {
-                self.pruned_mass as f64 / self.pruned_cells as f64
-            }
+            None if self.pruned_cells > 0 => self.pruned_mass as f64 / self.pruned_cells as f64,
             None => 0.0,
         }
     }
 
     /// First-order estimate of `|//t1/t2/…/tk|`.
     pub fn path_count(&self, tags: &[LabelId]) -> f64 {
-        let Some(&first) = tags.first() else { return 0.0 };
+        let Some(&first) = tags.first() else {
+            return 0.0;
+        };
         let mut count = self.tag_count(first) as f64;
         let mut prev = first;
         for &t in &tags[1..] {
@@ -172,7 +173,9 @@ impl MarkovPaths {
         }
         let mut factor = 1.0;
         for &c in q.children(t) {
-            let Some(cctx) = self.context(q, c, Some(ctx)) else { return 0.0 };
+            let Some(cctx) = self.context(q, c, Some(ctx)) else {
+                return 0.0;
+            };
             factor *= (self.path_count(&cctx) / denom) * self.subtree_factor(q, c, &cctx);
             if factor == 0.0 {
                 return 0.0;
@@ -272,10 +275,9 @@ mod tests {
         // Markov(1) cannot tell paper-titles from book-titles once both
         // transitions exist: //book/title is estimated from the book→title
         // cell (exact), but a longer shared-suffix context would confuse it.
-        let d = parse(
-            "<bib><paper><title/></paper><paper><title/></paper><book><title/></book></bib>",
-        )
-        .unwrap();
+        let d =
+            parse("<bib><paper><title/></paper><paper><title/></paper><book><title/></book></bib>")
+                .unwrap();
         let m = MarkovPaths::build(&d, MarkovOptions::default());
         let pt = m.resolve(&["paper", "title"]).unwrap();
         let bt = m.resolve(&["book", "title"]).unwrap();
@@ -287,7 +289,12 @@ mod tests {
     fn pruning_fits_budget_and_keeps_heavy_cells() {
         let d = doc();
         let full = MarkovPaths::build(&d, MarkovOptions::default());
-        let tiny = MarkovPaths::build(&d, MarkovOptions { budget_bytes: full.size_bytes() - 8 });
+        let tiny = MarkovPaths::build(
+            &d,
+            MarkovOptions {
+                budget_bytes: full.size_bytes() - 8,
+            },
+        );
         assert!(tiny.size_bytes() <= full.size_bytes() - 8 + BYTES_PER_TRANSITION);
         assert!(tiny.transition_count() < full.transition_count());
         // The heaviest transition (paper→kw, count 4) survives.

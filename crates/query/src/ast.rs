@@ -38,16 +38,31 @@ pub struct ValueRange {
 
 impl ValueRange {
     /// Range covering every value.
-    pub const ALL: ValueRange = ValueRange { lo: i64::MIN, hi: i64::MAX };
+    pub const ALL: ValueRange = ValueRange {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
 
     /// Builds a range from a comparison against a constant.
     pub fn from_cmp(op: CmpOp, v: i64) -> ValueRange {
         match op {
             CmpOp::Eq => ValueRange { lo: v, hi: v },
-            CmpOp::Lt => ValueRange { lo: i64::MIN, hi: v - 1 },
-            CmpOp::Le => ValueRange { lo: i64::MIN, hi: v },
-            CmpOp::Gt => ValueRange { lo: v + 1, hi: i64::MAX },
-            CmpOp::Ge => ValueRange { lo: v, hi: i64::MAX },
+            CmpOp::Lt => ValueRange {
+                lo: i64::MIN,
+                hi: v - 1,
+            },
+            CmpOp::Le => ValueRange {
+                lo: i64::MIN,
+                hi: v,
+            },
+            CmpOp::Gt => ValueRange {
+                lo: v + 1,
+                hi: i64::MAX,
+            },
+            CmpOp::Ge => ValueRange {
+                lo: v,
+                hi: i64::MAX,
+            },
         }
     }
 
@@ -59,7 +74,10 @@ impl ValueRange {
 
     /// Intersection of two ranges (may be empty: `lo > hi`).
     pub fn intersect(&self, other: &ValueRange) -> ValueRange {
-        ValueRange { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+        ValueRange {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
     }
 
     /// Whether the range admits no value.
@@ -87,17 +105,26 @@ pub struct Pred {
 impl Pred {
     /// Value predicate on the step element itself.
     pub fn self_value(range: ValueRange) -> Pred {
-        Pred { path: None, value: Some(range) }
+        Pred {
+            path: None,
+            value: Some(range),
+        }
     }
 
     /// Pure existential branch.
     pub fn branch(path: PathExpr) -> Pred {
-        Pred { path: Some(path), value: None }
+        Pred {
+            path: Some(path),
+            value: None,
+        }
     }
 
     /// Branch whose target is value-restricted.
     pub fn branch_value(path: PathExpr, range: ValueRange) -> Pred {
-        Pred { path: Some(path), value: Some(range) }
+        Pred {
+            path: Some(path),
+            value: Some(range),
+        }
     }
 }
 
@@ -115,12 +142,20 @@ pub struct Step {
 impl Step {
     /// A plain child step with no predicates.
     pub fn child(label: impl Into<String>) -> Step {
-        Step { axis: Axis::Child, label: label.into(), preds: Vec::new() }
+        Step {
+            axis: Axis::Child,
+            label: label.into(),
+            preds: Vec::new(),
+        }
     }
 
     /// A plain descendant step with no predicates.
     pub fn descendant(label: impl Into<String>) -> Step {
-        Step { axis: Axis::Descendant, label: label.into(), preds: Vec::new() }
+        Step {
+            axis: Axis::Descendant,
+            label: label.into(),
+            preds: Vec::new(),
+        }
     }
 
     /// Adds a predicate (builder style).
@@ -210,7 +245,11 @@ impl TwigQuery {
     /// Creates a twig with the given absolute root path.
     pub fn new(root_path: PathExpr) -> TwigQuery {
         TwigQuery {
-            nodes: vec![TwigNode { path: root_path, parent: None, children: Vec::new() }],
+            nodes: vec![TwigNode {
+                path: root_path,
+                parent: None,
+                children: Vec::new(),
+            }],
         }
     }
 
@@ -222,7 +261,11 @@ impl TwigQuery {
     pub fn add_child(&mut self, parent: TwigNodeRef, path: PathExpr) -> TwigNodeRef {
         assert!(parent < self.nodes.len(), "parent {parent} out of bounds");
         let id = self.nodes.len();
-        self.nodes.push(TwigNode { path, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(TwigNode {
+            path,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.nodes[parent].children.push(id);
         id
     }
@@ -288,7 +331,9 @@ impl TwigQuery {
         fn path_has(p: &PathExpr) -> bool {
             p.steps.iter().any(|s| {
                 s.preds.iter().any(|pr| pr.value.is_some())
-                    || s.preds.iter().any(|pr| pr.path.as_ref().is_some_and(path_has))
+                    || s.preds
+                        .iter()
+                        .any(|pr| pr.path.as_ref().is_some_and(path_has))
             })
         }
         self.node_refs().any(|i| path_has(self.path(i)))
@@ -297,7 +342,9 @@ impl TwigQuery {
     /// Whether any step carries an existential branching predicate.
     pub fn has_branch_predicate(&self) -> bool {
         fn path_has(p: &PathExpr) -> bool {
-            p.steps.iter().any(|s| s.preds.iter().any(|pr| pr.path.is_some()))
+            p.steps
+                .iter()
+                .any(|s| s.preds.iter().any(|pr| pr.path.is_some()))
         }
         self.node_refs().any(|i| path_has(self.path(i)))
     }
@@ -364,7 +411,11 @@ impl fmt::Display for PathExpr {
     /// Absolute form: a leading `/` (or `//`) before the first step.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for s in &self.steps {
-            f.write_str(if s.axis == Axis::Descendant { "//" } else { "/" })?;
+            f.write_str(if s.axis == Axis::Descendant {
+                "//"
+            } else {
+                "/"
+            })?;
             f.write_str(&s.label)?;
             for pr in &s.preds {
                 write!(f, "{pr}")?;
@@ -445,8 +496,9 @@ mod tests {
 
     #[test]
     fn display_round_trip_shape() {
-        let mut q = TwigQuery::new(PathExpr::new(vec![Step::descendant("movie")
-            .with_pred(Pred::branch_value(PathExpr::child("type"), ValueRange { lo: 5, hi: 5 }))]));
+        let mut q = TwigQuery::new(PathExpr::new(vec![Step::descendant("movie").with_pred(
+            Pred::branch_value(PathExpr::child("type"), ValueRange { lo: 5, hi: 5 }),
+        )]));
         q.add_child(0, PathExpr::child("actor"));
         let s = q.to_string();
         assert_eq!(s, "for $t0 in //movie[type = 5], $t1 in $t0/actor");

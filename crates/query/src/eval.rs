@@ -40,10 +40,9 @@ pub fn eval_path(doc: &Document, ctx: Option<NodeId>, path: &PathExpr) -> Vec<No
                 }
             }
         } else {
-            let sources: &[NodeId] = if i == 0 {
-                std::slice::from_ref(ctx.as_ref().unwrap())
-            } else {
-                &current
+            let sources: &[NodeId] = match (i, ctx.as_ref()) {
+                (0, Some(c)) => std::slice::from_ref(c),
+                _ => &current,
             };
             for &src in sources {
                 match step.axis {
@@ -81,11 +80,12 @@ fn step_predicates_hold(doc: &Document, e: NodeId, step: &Step) -> bool {
 /// Evaluates one predicate at element `e`.
 pub(crate) fn pred_holds(doc: &Document, e: NodeId, pred: &Pred) -> bool {
     match &pred.path {
-        None => {
-            // Value predicate on the element itself.
-            let range = pred.value.expect("self predicate without value range");
-            doc.value(e).is_some_and(|v| range.contains(v))
-        }
+        None => match pred.value {
+            // Value predicate on the element itself. A bare `[.]` (no
+            // range — unreachable through the parser) is vacuously true.
+            Some(range) => doc.value(e).is_some_and(|v| range.contains(v)),
+            None => true,
+        },
         Some(branch) => {
             let targets = eval_path(doc, Some(e), branch);
             match pred.value {
@@ -178,7 +178,8 @@ fn extend_binding(
             return;
         }
         let t = order[pos];
-        let parent = twig.parent(t).expect("non-root in order");
+        // `order` holds non-root nodes only, so a parent always exists.
+        let Some(parent) = twig.parent(t) else { return };
         let ctx = binding[parent];
         for e in eval_path(doc, Some(ctx), twig.path(t)) {
             binding[t] = e;
@@ -219,8 +220,8 @@ mod tests {
         parse(concat!(
             "<bib>",
             "<author>", // a1
-            "<name/>", // n6
-            "<paper>", // p4 (year 1999, 2 keywords)
+            "<name/>",  // n6
+            "<paper>",  // p4 (year 1999, 2 keywords)
             "<title/><year>1999</year><keyword/><keyword/>",
             "</paper>",
             "<paper>", // p5 (year 2002, keywords k18 k19)
@@ -228,8 +229,8 @@ mod tests {
             "</paper>",
             "</author>",
             "<author>", // a2
-            "<name/>", // n7
-            "<paper>", // p8 (year 2001, keyword k22)
+            "<name/>",  // n7
+            "<paper>",  // p8 (year 2001, keyword k22)
             "<title/><year>2001</year><keyword/>",
             "</paper>",
             "</author>",
@@ -249,7 +250,10 @@ mod tests {
             0,
             PathExpr::new(vec![Step::child("paper").with_pred(Pred::branch_value(
                 PathExpr::child("year"),
-                ValueRange { lo: 2001, hi: i64::MAX },
+                ValueRange {
+                    lo: 2001,
+                    hi: i64::MAX,
+                },
             ))]),
         );
         q.add_child(t2, PathExpr::child("title"));
@@ -292,7 +296,10 @@ mod tests {
         let doc = parse("<r><y>1999</y><y>2001</y><y>2005</y></r>").unwrap();
         let p = PathExpr::new(vec![
             Step::child("r"),
-            Step::child("y").with_pred(Pred::self_value(ValueRange { lo: 2000, hi: i64::MAX })),
+            Step::child("y").with_pred(Pred::self_value(ValueRange {
+                lo: 2000,
+                hi: i64::MAX,
+            })),
         ]);
         assert_eq!(eval_path(&doc, None, &p).len(), 2);
     }

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use xtwig_query::{
-    enumerate_bindings, eval_path, parse_twig, selectivity, PathExpr, Pred, Step,
-    TwigQuery, ValueRange,
+    enumerate_bindings, eval_path, parse_twig, selectivity, PathExpr, Pred, Step, TwigQuery,
+    ValueRange,
 };
 use xtwig_xml::{Document, DocumentBuilder};
 
@@ -22,9 +22,15 @@ fn arb_doc() -> impl Strategy<Value = Document> {
         for _ in 0..rng.random_range(1..5u32) {
             b.open(TAGS[rng.random_range(0..TAGS.len())], None);
             for _ in 0..rng.random_range(0..4u32) {
-                b.open(TAGS[rng.random_range(0..TAGS.len())], Some(rng.random_range(0..10)));
+                b.open(
+                    TAGS[rng.random_range(0..TAGS.len())],
+                    Some(rng.random_range(0..10)),
+                );
                 for _ in 0..rng.random_range(0..3u32) {
-                    b.leaf(TAGS[rng.random_range(0..TAGS.len())], Some(rng.random_range(0..10)));
+                    b.leaf(
+                        TAGS[rng.random_range(0..TAGS.len())],
+                        Some(rng.random_range(0..10)),
+                    );
                 }
                 b.close();
             }
@@ -39,7 +45,11 @@ fn arb_doc() -> impl Strategy<Value = Document> {
 fn arb_twig() -> impl Strategy<Value = TwigQuery> {
     (1u64..10_000).prop_map(|seed| {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B9));
-        let root_tag = if rng.random_bool(0.5) { "r" } else { TAGS[rng.random_range(0..TAGS.len())] };
+        let root_tag = if rng.random_bool(0.5) {
+            "r"
+        } else {
+            TAGS[rng.random_range(0..TAGS.len())]
+        };
         let first = if rng.random_bool(0.5) {
             Step::descendant(root_tag)
         } else {
@@ -50,7 +60,10 @@ fn arb_twig() -> impl Strategy<Value = TwigQuery> {
             let parent = rng.random_range(0..q.len());
             let mut step = Step::child(TAGS[rng.random_range(0..TAGS.len())]);
             if rng.random_bool(0.25) {
-                step = step.with_pred(Pred::self_value(ValueRange { lo: 0, hi: rng.random_range(0..10) }));
+                step = step.with_pred(Pred::self_value(ValueRange {
+                    lo: 0,
+                    hi: rng.random_range(0..10),
+                }));
             }
             if rng.random_bool(0.2) {
                 step = step.with_pred(Pred::branch(PathExpr::child(

@@ -23,9 +23,19 @@ pub struct ErrorReport {
 /// # Panics
 /// Panics when the slices differ in length.
 pub fn avg_relative_error(estimates: &[f64], truths: &[f64]) -> ErrorReport {
-    assert_eq!(estimates.len(), truths.len(), "estimate/truth length mismatch");
+    assert_eq!(
+        estimates.len(),
+        truths.len(),
+        "estimate/truth length mismatch"
+    );
     if estimates.is_empty() {
-        return ErrorReport { avg_rel_error: 0.0, p50: 0.0, p90: 0.0, sanity: 1.0, count: 0 };
+        return ErrorReport {
+            avg_rel_error: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            sanity: 1.0,
+            count: 0,
+        };
     }
     let mut sorted = truths.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -113,7 +123,11 @@ mod quantile_tests {
         // Errors are ~50% (queries below the sanity bound shrink slightly).
         assert!((r.p50 - 0.5).abs() < 1e-9);
         assert!((r.p90 - 0.5).abs() < 1e-9);
-        assert!(r.avg_rel_error > 0.49 && r.avg_rel_error <= 0.5 + 1e-12, "{}", r.avg_rel_error);
+        assert!(
+            r.avg_rel_error > 0.49 && r.avg_rel_error <= 0.5 + 1e-12,
+            "{}",
+            r.avg_rel_error
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ mod tests {
         let s = xtwig_core::coarse_synopsis(&doc);
         let cst = Cst::build(&doc, xtwig_cst::CstOptions::default());
         let q = parse_twig("for $t0 in //author, $t1 in $t0/paper/keyword").unwrap();
-        let xs = XsketchEstimator { synopsis: &s, opts: EstimateOptions::default() };
+        let xs = XsketchEstimator {
+            synopsis: &s,
+            opts: EstimateOptions::default(),
+        };
         let ce = CstEstimator { cst: &cst };
         let model = xtwig_markov::MarkovPaths::build(&doc, xtwig_markov::MarkovOptions::default());
         let me = MarkovEstimator { model: &model };

@@ -81,12 +81,24 @@ pub struct WorkloadStats {
 pub fn workload_stats(w: &Workload) -> WorkloadStats {
     let count = w.queries.len();
     if count == 0 {
-        return WorkloadStats { avg_result: 0.0, avg_fanout: 0.0, count: 0 };
+        return WorkloadStats {
+            avg_result: 0.0,
+            avg_fanout: 0.0,
+            count: 0,
+        };
     }
     let avg_result = w.truths.iter().map(|&t| t as f64).sum::<f64>() / count as f64;
-    let avg_fanout =
-        w.queries.iter().map(|q| q.avg_internal_fanout()).sum::<f64>() / count as f64;
-    WorkloadStats { avg_result, avg_fanout, count }
+    let avg_fanout = w
+        .queries
+        .iter()
+        .map(|q| q.avg_internal_fanout())
+        .sum::<f64>()
+        / count as f64;
+    WorkloadStats {
+        avg_result,
+        avg_fanout,
+        count,
+    }
 }
 
 /// Generates a positive workload over `doc` per the spec.
@@ -100,8 +112,7 @@ pub fn generate_workload(doc: &Document, spec: &WorkloadSpec) -> Workload {
     while queries.len() < spec.queries && attempts < max_attempts {
         attempts += 1;
         // Half the queries of a P+V workload carry value predicates.
-        let with_values =
-            spec.kind == WorkloadKind::BranchingValues && queries.len() % 2 == 0;
+        let with_values = spec.kind == WorkloadKind::BranchingValues && queries.len() % 2 == 0;
         let Some(q) = gen_query(doc, spec, with_values, &domains, &mut rng) else {
             continue;
         };
@@ -327,7 +338,9 @@ fn attach_value_preds(
         }
         let c = valued[rng.random_range(0..valued.len())];
         let label = doc.label(c);
-        let Some(&(lo, hi)) = domains.get(&label) else { continue };
+        let Some(&(lo, hi)) = domains.get(&label) else {
+            continue;
+        };
         let witness = doc.value(c).expect("valued child");
         let width = (((hi - lo) as f64 * 0.10).ceil() as i64).max(1);
         let start_max = (hi - width).max(lo);
@@ -339,7 +352,10 @@ fn attach_value_preds(
         } else {
             lo
         };
-        let range = ValueRange { lo: start, hi: start + width };
+        let range = ValueRange {
+            lo: start,
+            hi: start + width,
+        };
         let path = q.path(t).clone();
         let mut steps = path.steps;
         steps
@@ -356,11 +372,19 @@ fn attach_value_preds(
 /// Swaps out the path of an existing twig node (rebuilds the query since
 /// `TwigQuery` is append-only).
 fn replace_path(q: &mut TwigQuery, t: usize, path: PathExpr) {
-    let mut rebuilt = TwigQuery::new(if t == 0 { path.clone() } else { q.path(0).clone() });
+    let mut rebuilt = TwigQuery::new(if t == 0 {
+        path.clone()
+    } else {
+        q.path(0).clone()
+    });
     let mut map = vec![0usize; q.len()];
     for i in 1..q.len() {
         let parent = map[q.parent(i).expect("non-root")];
-        let p = if i == t { path.clone() } else { q.path(i).clone() };
+        let p = if i == t {
+            path.clone()
+        } else {
+            q.path(i).clone()
+        };
         map[i] = rebuilt.add_child(parent, p);
     }
     *q = rebuilt;
@@ -372,13 +396,19 @@ mod tests {
     use xtwig_datagen::{imdb, ImdbConfig};
 
     fn small_doc() -> Document {
-        imdb(ImdbConfig { movies: 120, seed: 11 })
+        imdb(ImdbConfig {
+            movies: 120,
+            seed: 11,
+        })
     }
 
     #[test]
     fn p_workload_is_positive_with_4_to_8_nodes() {
         let doc = small_doc();
-        let spec = WorkloadSpec { queries: 40, ..Default::default() };
+        let spec = WorkloadSpec {
+            queries: 40,
+            ..Default::default()
+        };
         let w = generate_workload(&doc, &spec);
         assert_eq!(w.queries.len(), 40);
         for (q, &t) in w.queries.iter().zip(&w.truths) {
@@ -424,7 +454,10 @@ mod tests {
     #[test]
     fn negative_workload_is_zero_selectivity() {
         let doc = small_doc();
-        let spec = WorkloadSpec { queries: 15, ..Default::default() };
+        let spec = WorkloadSpec {
+            queries: 15,
+            ..Default::default()
+        };
         let neg = negative_workload(&doc, &spec);
         assert!(!neg.is_empty());
         for q in &neg {
@@ -435,7 +468,10 @@ mod tests {
     #[test]
     fn workloads_are_deterministic() {
         let doc = small_doc();
-        let spec = WorkloadSpec { queries: 10, ..Default::default() };
+        let spec = WorkloadSpec {
+            queries: 10,
+            ..Default::default()
+        };
         let a = generate_workload(&doc, &spec);
         let b = generate_workload(&doc, &spec);
         assert_eq!(a.queries, b.queries);
@@ -445,7 +481,10 @@ mod tests {
     #[test]
     fn stats_summarize_workload() {
         let doc = small_doc();
-        let spec = WorkloadSpec { queries: 20, ..Default::default() };
+        let spec = WorkloadSpec {
+            queries: 20,
+            ..Default::default()
+        };
         let w = generate_workload(&doc, &spec);
         let s = workload_stats(&w);
         assert_eq!(s.count, 20);

@@ -19,13 +19,11 @@ pub struct SweepPoint {
 }
 
 /// Sweep tunables shared by both techniques.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SweepOptions {
     /// XBUILD options (budget is overridden per checkpoint).
     pub build: BuildOptions,
 }
-
 
 /// Builds one Twig XSKETCH incrementally through the given budget
 /// checkpoints (ascending) and scores the workload at each. The first
@@ -80,7 +78,13 @@ pub fn sweep_cst(doc: &Document, workload: &Workload, budgets: &[usize]) -> Vec<
     budgets
         .iter()
         .map(|&budget| {
-            let cst = Cst::build(doc, CstOptions { budget_bytes: budget, ..Default::default() });
+            let cst = Cst::build(
+                doc,
+                CstOptions {
+                    budget_bytes: budget,
+                    ..Default::default()
+                },
+            );
             let estimates: Vec<f64> = workload
                 .queries
                 .iter()
@@ -103,8 +107,15 @@ mod tests {
 
     #[test]
     fn xsketch_sweep_trends_downward() {
-        let doc = imdb(ImdbConfig { movies: 150, seed: 21 });
-        let spec = WorkloadSpec { queries: 30, seed: 5, ..Default::default() };
+        let doc = imdb(ImdbConfig {
+            movies: 150,
+            seed: 21,
+        });
+        let spec = WorkloadSpec {
+            queries: 30,
+            seed: 5,
+            ..Default::default()
+        };
         let w = generate_workload(&doc, &spec);
         let coarse = coarse_synopsis(&doc).size_bytes();
         let opts = SweepOptions {
@@ -124,12 +135,17 @@ mod tests {
             last <= first * 1.10 + 0.02,
             "error went up: {first} -> {last}"
         );
-        assert!(pts.windows(2).all(|w| w[0].actual_bytes <= w[1].actual_bytes));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].actual_bytes <= w[1].actual_bytes));
     }
 
     #[test]
     fn cst_sweep_runs_at_multiple_budgets() {
-        let doc = imdb(ImdbConfig { movies: 150, seed: 21 });
+        let doc = imdb(ImdbConfig {
+            movies: 150,
+            seed: 21,
+        });
         let spec = WorkloadSpec {
             queries: 25,
             kind: WorkloadKind::SimplePath,

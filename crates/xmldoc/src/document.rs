@@ -157,7 +157,12 @@ impl Document {
     pub fn descendants(&self, n: NodeId) -> Descendants<'_> {
         Descendants {
             doc: self,
-            stack: self.children(n).collect::<Vec<_>>().into_iter().rev().collect(),
+            stack: self
+                .children(n)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect(),
         }
     }
 
@@ -178,9 +183,7 @@ impl Document {
                 if e.parent >= n.0 {
                     return Err(format!("{n}: parent id {} not before child", e.parent));
                 }
-                let is_child = self
-                    .children(NodeId(e.parent))
-                    .any(|c| c == n);
+                let is_child = self.children(NodeId(e.parent)).any(|c| c == n);
                 if !is_child {
                     return Err(format!("{n}: not linked from its parent"));
                 }
@@ -278,7 +281,10 @@ mod tests {
         b.close();
         b.close();
         let doc = b.finish();
-        let tags: Vec<_> = doc.descendants(doc.root()).map(|n| doc.tag(n).to_owned()).collect();
+        let tags: Vec<_> = doc
+            .descendants(doc.root())
+            .map(|n| doc.tag(n).to_owned())
+            .collect();
         assert_eq!(tags, vec!["a", "b", "c"]);
     }
 

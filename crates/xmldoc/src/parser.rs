@@ -22,7 +22,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -98,8 +102,8 @@ impl<'a> Parser<'a> {
             return self.err("expected root element");
         }
         self.content()?;
-        if !self.open_tags.is_empty() {
-            return self.err(format!("unclosed element <{}>", self.open_tags.last().unwrap()));
+        if let Some(tag) = self.open_tags.last() {
+            return self.err(format!("unclosed element <{tag}>"));
         }
         self.skip_ws();
         // Trailing comments are fine.
@@ -234,7 +238,10 @@ impl<'a> Parser<'a> {
                     let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
                     self.pos += 1;
                     let value = unescape(&raw)
-                        .map_err(|m| ParseError { offset: start, message: m })?
+                        .map_err(|m| ParseError {
+                            offset: start,
+                            message: m,
+                        })?
                         .trim()
                         .parse::<i64>()
                         .ok();
@@ -284,7 +291,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
-        let unescaped = unescape(&raw).map_err(|m| ParseError { offset: start, message: m })?;
+        let unescaped = unescape(&raw).map_err(|m| ParseError {
+            offset: start,
+            message: m,
+        })?;
         self.text.push_str(&unescaped);
         Ok(())
     }
@@ -354,7 +364,9 @@ mod tests {
 
     #[test]
     fn parses_prolog_comments_and_whitespace() {
-        let doc = parse("<?xml version=\"1.0\"?>\n<!-- hi -->\n<a>\n  <b>1</b>\n</a>\n<!-- bye -->").unwrap();
+        let doc =
+            parse("<?xml version=\"1.0\"?>\n<!-- hi -->\n<a>\n  <b>1</b>\n</a>\n<!-- bye -->")
+                .unwrap();
         assert_eq!(doc.len(), 2);
     }
 

@@ -18,14 +18,21 @@ pub fn write_xml(doc: &Document) -> String {
 
 fn write_node(doc: &Document, n: NodeId, out: &mut String) {
     let tag = doc.tag(n);
-    debug_assert!(!tag.starts_with('@'), "attribute nodes are emitted by their parent");
+    debug_assert!(
+        !tag.starts_with('@'),
+        "attribute nodes are emitted by their parent"
+    );
     out.push('<');
     out.push_str(tag);
     let mut element_children = Vec::new();
     for c in doc.children(n) {
         let ctag = doc.tag(c);
         if let Some(attr) = ctag.strip_prefix('@') {
-            let _ = write!(out, " {attr}=\"{}\"", doc.value(c).map_or(String::new(), |v| v.to_string()));
+            let _ = write!(
+                out,
+                " {attr}=\"{}\"",
+                doc.value(c).map_or(String::new(), |v| v.to_string())
+            );
         } else {
             element_children.push(c);
         }
@@ -64,8 +71,14 @@ mod tests {
         let text = write_xml(&doc);
         let doc2 = parse(&text).unwrap();
         assert_eq!(doc.len(), doc2.len());
-        let k1: Vec<_> = doc.children(doc.root()).map(|c| doc.tag(c).to_owned()).collect();
-        let k2: Vec<_> = doc2.children(doc2.root()).map(|c| doc2.tag(c).to_owned()).collect();
+        let k1: Vec<_> = doc
+            .children(doc.root())
+            .map(|c| doc.tag(c).to_owned())
+            .collect();
+        let k2: Vec<_> = doc2
+            .children(doc2.root())
+            .map(|c| doc2.tag(c).to_owned())
+            .collect();
         assert_eq!(k1, k2);
     }
 }

@@ -20,8 +20,16 @@ fn arb_node() -> impl Strategy<Value = Node> {
         children: Vec::new(),
     });
     leaf.prop_recursive(3, 24, 4, |inner| {
-        (0usize..6, prop::option::of(-1000i64..1000), prop::collection::vec(inner, 0..4))
-            .prop_map(|(tag, value, children)| Node { tag, value, children })
+        (
+            0usize..6,
+            prop::option::of(-1000i64..1000),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, value, children)| Node {
+                tag,
+                value,
+                children,
+            })
     })
 }
 

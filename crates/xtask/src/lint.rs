@@ -1,0 +1,768 @@
+//! `xtask lint` — a source-level static-analysis gate for the workspace.
+//!
+//! The north star is an estimator that serves production traffic, so
+//! library code must not be able to panic on malformed input. This pass
+//! walks every `.rs` file in the workspace, strips comments, string
+//! literals and `#[cfg(test)]` regions, and reports denied patterns:
+//!
+//! | rule          | pattern                                   | scope |
+//! |---------------|-------------------------------------------|-------|
+//! | `unwrap`      | `.unwrap()`                               | library code |
+//! | `expect`      | `.expect(`                                | library code |
+//! | `panic`       | `panic!` / `todo!` / `unimplemented!`     | library code |
+//! | `unreachable` | `unreachable!`                            | library code |
+//! | `lossy-cast`  | numeric `as` casts                        | estimation + histogram crates |
+//! | `indexing`    | `expr[...]` inside `for`/`while`/`loop`   | estimation + histogram crates |
+//!
+//! "Library code" excludes `tests/`, `benches/`, `examples/`, `src/bin/`,
+//! binary roots (`main.rs`), the vendored dependency stand-ins under
+//! `vendor/`, and this xtask crate itself.
+//!
+//! Escape hatches, in preference order:
+//!
+//! 1. Fix the code (return a `Result`, use a checked conversion helper).
+//! 2. `// lint:allow(<rule>)` on the offending line or the line above,
+//!    with a justification — for sites a human has reviewed.
+//! 3. The checked-in baseline (`lint.baseline` at the workspace root):
+//!    grandfathered counts per `(rule, file)` so the gate can be
+//!    ratcheted down instead of big-banged. Counts above baseline fail
+//!    the build; counts below print a reminder to re-run with
+//!    `--update-baseline` so the ratchet only ever tightens.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default location of the committed baseline, relative to the workspace
+/// root.
+const BASELINE_PATH: &str = "lint.baseline";
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+struct Finding {
+    rule: &'static str,
+    file: String,
+    line: usize,
+    snippet: String,
+}
+
+/// Entry point for `cargo run -p xtask -- lint`.
+pub fn run(args: &[String]) -> ExitCode {
+    let mut update = false;
+    let mut baseline_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--update-baseline" => update = true,
+            "--baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => baseline_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--baseline needs a file argument");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown lint flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let root = match workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("lint: cannot locate the workspace root (no Cargo.toml upward of cwd)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_file = match &baseline_path {
+        Some(p) => PathBuf::from(p),
+        None => root.join(BASELINE_PATH),
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        if !is_library_code(rel) {
+            continue;
+        }
+        let path = root.join(rel);
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lint: reading {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        scan_file(rel, &source, &mut findings);
+    }
+
+    // Tally per (rule, file) and compare against the baseline.
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in &findings {
+        *counts
+            .entry((f.rule.to_string(), f.file.clone()))
+            .or_insert(0) += 1;
+    }
+
+    if update {
+        let mut out = String::from(
+            "# xtask lint baseline: grandfathered findings per `rule path count`.\n\
+             # Regenerate with `cargo run -p xtask -- lint --update-baseline`.\n\
+             # The gate fails when any count grows; shrink entries by fixing code.\n",
+        );
+        for ((rule, file), n) in &counts {
+            let _ = writeln!(out, "{rule} {file} {n}");
+        }
+        if let Err(e) = std::fs::write(&baseline_file, out) {
+            eprintln!("lint: writing {}: {e}", baseline_file.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "lint: baseline updated ({} entries, {} findings) -> {}",
+            counts.len(),
+            findings.len(),
+            baseline_file.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match read_baseline(&baseline_file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut over = 0usize;
+    let mut stale = 0usize;
+    for ((rule, file), &n) in &counts {
+        let allowed = baseline
+            .get(&(rule.clone(), file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n > allowed {
+            over += n - allowed;
+            eprintln!("lint[{rule}] {file}: {n} finding(s), baseline allows {allowed}:");
+            for f in findings
+                .iter()
+                .filter(|f| f.rule == rule && f.file == *file)
+            {
+                eprintln!("  {}:{}: {}", f.file, f.line, f.snippet);
+            }
+        }
+    }
+    for ((rule, file), &allowed) in &baseline {
+        let n = counts
+            .get(&(rule.clone(), file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n < allowed {
+            stale += 1;
+            println!(
+                "lint[{rule}] {file}: improved to {n} (baseline {allowed}) — \
+                 run `cargo run -p xtask -- lint --update-baseline` to ratchet"
+            );
+        }
+    }
+
+    println!(
+        "lint: {} file(s) scanned, {} finding(s), {} over baseline, {} stale baseline entr(ies)",
+        files.iter().filter(|f| is_library_code(f)).count(),
+        findings.len(),
+        over,
+        stale
+    );
+    if over > 0 {
+        eprintln!(
+            "lint: FAILED — fix the findings, annotate them with \
+             `// lint:allow(<rule>)` and a justification, or (for legacy \
+             code only) refresh the baseline"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// `Cargo.toml` containing `[workspace]`).
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Recursively collects workspace `.rs` files as root-relative paths with
+/// `/` separators, skipping VCS, build output, and the vendored stand-ins.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), ".git" | "target" | "vendor" | ".claude") {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+/// Whether findings in this file gate the build (shipping library code)
+/// as opposed to tests, benches, binaries, and tooling.
+fn is_library_code(rel: &str) -> bool {
+    let excluded_dirs = ["/tests/", "/benches/", "/examples/", "/src/bin/"];
+    if excluded_dirs.iter().any(|d| rel.contains(d)) {
+        return false;
+    }
+    if rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("src/bin/")
+    {
+        return false;
+    }
+    // The lint tool itself is a dev-only binary crate.
+    if rel.starts_with("crates/xtask/") {
+        return false;
+    }
+    // Whole-component match only: `xbuild.rs` is library code, `build.rs`
+    // is a build script.
+    if rel.ends_with("/main.rs") || rel.ends_with("/build.rs") || rel == "build.rs" {
+        return false;
+    }
+    true
+}
+
+/// Whether the stricter numeric rules (`lossy-cast`, `indexing`) apply:
+/// the estimation path and the histogram substrate.
+fn numeric_rules_apply(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/estimate") || rel.starts_with("crates/histogram/src")
+}
+
+/// Scans one file, appending findings.
+fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
+    let mut masked = mask_comments_and_strings(source);
+    mask_cfg_test_regions(&mut masked);
+    let allows = collect_allows(source);
+    let masked_lines: Vec<&str> = masked.split('\n').collect();
+    let raw_lines: Vec<&str> = source.split('\n').collect();
+
+    let allowed =
+        |rule: &str, line: usize| -> bool { allows.iter().any(|(l, r)| *l == line && r == rule) };
+    let mut emit = |rule: &'static str, line: usize| {
+        if allowed(rule, line) {
+            return;
+        }
+        let snippet = raw_lines.get(line - 1).map_or("", |s| s.trim()).to_string();
+        findings.push(Finding {
+            rule,
+            file: rel.to_string(),
+            line,
+            snippet,
+        });
+    };
+
+    const PATTERNS: [(&str, &str); 6] = [
+        (".unwrap()", "unwrap"),
+        (".expect(", "expect"),
+        ("panic!", "panic"),
+        ("todo!", "panic"),
+        ("unimplemented!", "panic"),
+        ("unreachable!", "unreachable"),
+    ];
+    for (line_no, line) in masked_lines.iter().enumerate() {
+        for (pat, rule) in PATTERNS {
+            let mut at = 0;
+            while let Some(i) = line[at..].find(pat) {
+                let abs = at + i;
+                // Patterns starting with an identifier char (`panic!`)
+                // must not be glued to a longer identifier (`my_panic!`);
+                // method patterns (`.unwrap()`) carry their own boundary.
+                let prev = line[..abs].chars().next_back();
+                let glued = pat.starts_with(|c: char| c.is_alphanumeric())
+                    && prev.is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if !glued {
+                    let rule_static: &'static str = match rule {
+                        "unwrap" => "unwrap",
+                        "expect" => "expect",
+                        "unreachable" => "unreachable",
+                        _ => "panic",
+                    };
+                    emit(rule_static, line_no + 1);
+                }
+                at = abs + pat.len();
+            }
+        }
+    }
+
+    if numeric_rules_apply(rel) {
+        scan_lossy_casts(&masked_lines, &mut emit);
+        scan_loop_indexing(&masked, &mut emit);
+    }
+}
+
+/// Numeric types an `as` cast to which can silently truncate, wrap, or
+/// round.
+const NUMERIC_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize", "f32", "f64",
+];
+
+fn scan_lossy_casts(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, usize)) {
+    for (line_no, line) in masked_lines.iter().enumerate() {
+        let bytes = line.as_bytes();
+        let mut at = 0;
+        while let Some(i) = line[at..].find(" as ") {
+            let abs = at + i;
+            at = abs + 4;
+            let rest = line[abs + 4..].trim_start();
+            let ty: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if NUMERIC_TYPES.contains(&ty.as_str()) {
+                emit("lossy-cast", line_no + 1);
+            }
+            let _ = bytes;
+        }
+    }
+}
+
+/// Flags `expr[...]` index expressions lexically inside `for`/`while`/
+/// `loop` bodies. The heuristic is conservative about what counts as an
+/// index: the `[` must directly follow an identifier character, `)`, or
+/// `]` (so attributes `#[..]`, slice types `&[..]` and array literals
+/// are not flagged).
+fn scan_loop_indexing(masked: &str, emit: &mut impl FnMut(&'static str, usize)) {
+    let bytes = masked.as_bytes();
+    let mut line = 1usize;
+    let mut loop_stack: Vec<usize> = Vec::new(); // brace depths opening loop bodies
+    let mut brace_depth = 0usize;
+    let mut pending_loop_head = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => line += 1,
+            b'{' => {
+                brace_depth += 1;
+                if pending_loop_head {
+                    loop_stack.push(brace_depth);
+                    pending_loop_head = false;
+                }
+            }
+            b'}' => {
+                if loop_stack.last() == Some(&brace_depth) {
+                    loop_stack.pop();
+                }
+                brace_depth = brace_depth.saturating_sub(1);
+            }
+            b'f' | b'w' | b'l' => {
+                let rest = &masked[i..];
+                let prev = masked[..i].chars().next_back();
+                let boundary = !prev.is_some_and(|p| p.is_alphanumeric() || p == '_');
+                for kw in ["for ", "while ", "loop ", "loop{"] {
+                    if boundary && rest.starts_with(kw) {
+                        pending_loop_head = true;
+                        break;
+                    }
+                }
+            }
+            b'[' if !loop_stack.is_empty() => {
+                let prev = masked[..i].chars().next_back();
+                if prev.is_some_and(|p| p.is_alphanumeric() || p == '_' || p == ')' || p == ']') {
+                    emit("indexing", line);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Extracts `// lint:allow(rule, rule2)` markers from the raw
+/// (unmasked) source as `(covered_line, rule)` pairs. A marker trailing
+/// code covers its own line; a marker on a comment-only line covers the
+/// line below it.
+fn collect_allows(source: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (line_no, line) in source.split('\n').enumerate() {
+        let Some(slashes) = line.find("//") else {
+            continue;
+        };
+        let comment = &line[slashes..];
+        let Some(start) = comment.find("lint:allow(") else {
+            continue;
+        };
+        let args = &comment[start + "lint:allow(".len()..];
+        let Some(end) = args.find(')') else { continue };
+        let standalone = line[..slashes].trim().is_empty();
+        let covered = if standalone { line_no + 2 } else { line_no + 1 };
+        for rule in args[..end].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.push((covered, rule.to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Replaces the contents of comments and string/char literals with
+/// spaces, preserving offsets and newlines, so pattern scans only see
+/// code.
+fn mask_comments_and_strings(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"..." / r#"..."# / br#"..."# — find the matching close.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                j += 1; // opening quote
+                loop {
+                    match bytes.get(j) {
+                        None => break,
+                        Some(&b'"') => {
+                            let mut k = j + 1;
+                            let mut seen = 0;
+                            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break;
+                            }
+                            j += 1;
+                        }
+                        Some(&c) => {
+                            if c != b'\n' {
+                                out[j] = b' ';
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out[i] = b' ';
+                            if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                                out[i + 1] = b' ';
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        c => {
+                            if c != b'\n' {
+                                out[i] = b' ';
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // bytes; a lifetime has no closing quote.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' && j - i < 12 {
+                        j += 1;
+                    }
+                    for slot in out.iter_mut().take(j.min(bytes.len())).skip(i + 1) {
+                        if *slot != b'\n' {
+                            *slot = b' ';
+                        }
+                    }
+                    i = (j + 1).min(bytes.len());
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    out[i + 1] = b' ';
+                    i += 3;
+                } else {
+                    i += 1; // lifetime
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Not part of an identifier (`for`, `str`, …).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Masks `#[cfg(test)] mod … { … }` regions (and single-item forms
+/// terminated by `;`) so test-only code is exempt from the gate.
+fn mask_cfg_test_regions(masked: &mut String) {
+    let needle = "#[cfg(test)]";
+    let mut search_from = 0;
+    while let Some(found) = masked[search_from..].find(needle) {
+        let start = search_from + found;
+        let bytes = masked.as_bytes();
+        // Find the end of the guarded item: the matching `}` of its first
+        // block, or a `;` before any block opens.
+        let mut i = start + needle.len();
+        let mut end = masked.len();
+        while i < bytes.len() {
+            match bytes[i] {
+                b';' => {
+                    end = i + 1;
+                    break;
+                }
+                b'{' => {
+                    let mut depth = 0usize;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'{' => depth += 1,
+                            b'}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    end = (i + 1).min(masked.len());
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        // Blank the region, preserving line structure.
+        let region: String = masked[start..end]
+            .chars()
+            .map(|c| if c == '\n' { '\n' } else { ' ' })
+            .collect();
+        masked.replace_range(start..end, &region);
+        search_from = end;
+    }
+}
+
+/// Reads the baseline file into `(rule, file) -> allowed count`.
+fn read_baseline(path: &Path) -> Result<BTreeMap<(String, String), usize>, String> {
+    let mut out = BTreeMap::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "{}:{}: expected `rule path count`",
+                path.display(),
+                line_no + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("{}:{}: bad count `{count}`", path.display(), line_no + 1))?;
+        out.insert((rule.to_string(), file.to_string()), count);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_in(rel: &str, src: &str) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        scan_file(rel, src, &mut out);
+        out.into_iter()
+            .map(|f| (f.rule.to_string(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn finds_unwrap_in_library_code() {
+        let got = findings_in("crates/foo/src/lib.rs", "fn f() { x.unwrap(); }\n");
+        assert_eq!(got, vec![("unwrap".to_string(), 1)]);
+    }
+
+    #[test]
+    fn strings_and_comments_are_ignored() {
+        let src = "fn f() { let s = \".unwrap()\"; } // .unwrap() panic!\n/* panic! */\n";
+        assert!(findings_in("crates/foo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_ignored() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn g() { x.unwrap(); panic!(); }\n}\n";
+        assert!(findings_in("crates/foo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lint_allow_suppresses_same_and_next_line() {
+        let src = "// lint:allow(unwrap) seed data is static\nfn f() { x.unwrap(); }\n\
+                   fn g() { y.unwrap(); } // lint:allow(unwrap)\nfn h() { z.unwrap(); }\n";
+        let got = findings_in("crates/foo/src/lib.rs", src);
+        assert_eq!(got, vec![("unwrap".to_string(), 4)]);
+    }
+
+    #[test]
+    fn lossy_casts_only_in_numeric_scope() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+        assert!(findings_in("crates/foo/src/lib.rs", src).is_empty());
+        let got = findings_in("crates/histogram/src/mdhist.rs", src);
+        assert_eq!(got, vec![("lossy-cast".to_string(), 1)]);
+    }
+
+    #[test]
+    fn indexing_flagged_only_inside_loops() {
+        let src = "fn f(v: &[u32]) -> u32 { let a = v[0];\nlet mut s = 0;\nfor i in 0..v.len() { s += v[i]; }\ns + a }\n";
+        let got = findings_in("crates/core/src/estimate/eval.rs", src);
+        assert_eq!(got, vec![("indexing".to_string(), 3)]);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_masked() {
+        let src =
+            "fn f() { let r = r#\".unwrap()\"#; let c = '\"'; let l: &'static str = \"x\"; }\n";
+        assert!(findings_in("crates/foo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_family_is_one_rule() {
+        let src = "fn f() { todo!(); }\nfn g() { unimplemented!(); }\nfn h() { panic!(\"x\"); }\n";
+        let got = findings_in("crates/foo/src/lib.rs", src);
+        assert_eq!(
+            got,
+            vec![
+                ("panic".to_string(), 1),
+                ("panic".to_string(), 2),
+                ("panic".to_string(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn library_scope_excludes_tests_benches_bins() {
+        assert!(is_library_code("crates/core/src/lib.rs"));
+        assert!(is_library_code("src/lib.rs"));
+        assert!(!is_library_code("crates/core/tests/fuzz.rs"));
+        assert!(!is_library_code("crates/bench/benches/estimation.rs"));
+        assert!(!is_library_code("src/bin/xtwig-cli.rs"));
+        assert!(!is_library_code("tests/exactness.rs"));
+        assert!(!is_library_code("crates/xtask/src/lint.rs"));
+        assert!(!is_library_code("examples/demo.rs"));
+        // Build scripts are excluded by whole path component — a library
+        // file that merely ends in "build.rs" is NOT a build script.
+        assert!(!is_library_code("crates/core/build.rs"));
+        assert!(!is_library_code("build.rs"));
+        assert!(is_library_code("crates/core/src/construct/xbuild.rs"));
+    }
+
+    #[test]
+    fn baseline_round_trip() {
+        let dir = std::env::temp_dir().join("xtask-lint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint.baseline");
+        std::fs::write(&path, "# comment\nunwrap crates/foo/src/lib.rs 3\n").unwrap();
+        let b = read_baseline(&path).unwrap();
+        assert_eq!(
+            b.get(&("unwrap".to_string(), "crates/foo/src/lib.rs".to_string())),
+            Some(&3)
+        );
+        assert!(read_baseline(&dir.join("missing")).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Workspace automation entry point (`cargo run -p xtask -- <command>`).
+
+mod lint;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+xtask — workspace automation
+
+USAGE:
+  cargo run -p xtask -- lint [--update-baseline] [--baseline FILE]
+
+COMMANDS:
+  lint   source-level static analysis over the workspace: denies
+         panic-prone patterns in library code (see xtask/src/lint.rs for
+         the rule table, `// lint:allow(<rule>)` for the escape hatch,
+         and lint.baseline for grandfathered findings)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint::run(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

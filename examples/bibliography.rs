@@ -22,7 +22,10 @@ fn main() {
     let bindings = enumerate_bindings(&doc, &q);
     println!("binding tuples ({}):", bindings.len());
     for b in &bindings {
-        let row: Vec<String> = b.iter().map(|&n| format!("{}{}", doc.tag(n), n.0)).collect();
+        let row: Vec<String> = b
+            .iter()
+            .map(|&n| format!("{}{}", doc.tag(n), n.0))
+            .collect();
         println!("  [{}]", row.join(", "));
     }
     assert_eq!(bindings.len(), 3);
@@ -36,16 +39,34 @@ fn main() {
     let year = s.nodes_with_tag("year")[0];
     let name = s.nodes_with_tag("name")[0];
     let scope = vec![
-        ScopeDim { parent: paper, child: keyword, kind: DimKind::Forward },
-        ScopeDim { parent: paper, child: year, kind: DimKind::Forward },
-        ScopeDim { parent: author, child: paper, kind: DimKind::Backward },
-        ScopeDim { parent: author, child: name, kind: DimKind::Backward },
+        ScopeDim {
+            parent: paper,
+            child: keyword,
+            kind: DimKind::Forward,
+        },
+        ScopeDim {
+            parent: paper,
+            child: year,
+            kind: DimKind::Forward,
+        },
+        ScopeDim {
+            parent: author,
+            child: paper,
+            kind: DimKind::Backward,
+        },
+        ScopeDim {
+            parent: author,
+            child: name,
+            kind: DimKind::Backward,
+        },
     ];
     let dist = s.edge_distribution(&doc, paper, &scope);
     println!("\nExample 3.1 distribution f_P(C_K, C_Y, C_P, C_N):");
-    println!("  {:>4}{:>4}{:>4}{:>4}{:>8}", "C_K", "C_Y", "C_P", "C_N", "f_P");
-    let mut points: Vec<(Vec<u32>, u64)> =
-        dist.iter().map(|(p, f)| (p.to_vec(), f)).collect();
+    println!(
+        "  {:>4}{:>4}{:>4}{:>4}{:>8}",
+        "C_K", "C_Y", "C_P", "C_N", "f_P"
+    );
+    let mut points: Vec<(Vec<u32>, u64)> = dist.iter().map(|(p, f)| (p.to_vec(), f)).collect();
     points.sort();
     for (p, f) in points.iter().rev() {
         println!(
@@ -65,8 +86,16 @@ fn main() {
         &doc,
         author,
         vec![
-            ScopeDim { parent: author, child: paper, kind: DimKind::Forward },
-            ScopeDim { parent: author, child: name, kind: DimKind::Forward },
+            ScopeDim {
+                parent: author,
+                child: paper,
+                kind: DimKind::Forward,
+            },
+            ScopeDim {
+                parent: author,
+                child: name,
+                kind: DimKind::Forward,
+            },
         ],
         4096,
     );
@@ -74,9 +103,21 @@ fn main() {
         &doc,
         paper,
         vec![
-            ScopeDim { parent: paper, child: keyword, kind: DimKind::Forward },
-            ScopeDim { parent: paper, child: year, kind: DimKind::Forward },
-            ScopeDim { parent: author, child: paper, kind: DimKind::Backward },
+            ScopeDim {
+                parent: paper,
+                child: keyword,
+                kind: DimKind::Forward,
+            },
+            ScopeDim {
+                parent: paper,
+                child: year,
+                kind: DimKind::Forward,
+            },
+            ScopeDim {
+                parent: author,
+                child: paper,
+                kind: DimKind::Backward,
+            },
         ],
         4096,
     );
@@ -87,7 +128,10 @@ fn main() {
     emb.push_node(p, keyword, None, 1.0);
     emb.push_node(p, year, None, 1.0);
     let est = estimate_embedding(&s, &emb);
-    println!("\n§4 worked example: s(T) = {est:.6} (paper: 10/3 = {:.6})", 10.0 / 3.0);
+    println!(
+        "\n§4 worked example: s(T) = {est:.6} (paper: 10/3 = {:.6})",
+        10.0 / 3.0
+    );
     assert!((est - 10.0 / 3.0).abs() < 1e-9);
     println!("reproduced exactly.");
 }

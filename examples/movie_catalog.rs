@@ -13,19 +13,18 @@ use xtwig::datagen::{imdb, ImdbConfig};
 use xtwig::prelude::*;
 
 fn main() {
-    let doc = imdb(ImdbConfig { movies: 1500, seed: 42 });
+    let doc = imdb(ImdbConfig {
+        movies: 1500,
+        seed: 42,
+    });
     println!("movie catalog: {} elements", doc.len());
 
     // The XQuery from the paper's introduction:
     //   for t0 in //movie[/type=X], t1 in t0/actor, t2 in t0/producer
-    let action = parse_twig(
-        "for $t0 in //movie[type = 1], $t1 in $t0/actor, $t2 in $t0/producer",
-    )
-    .unwrap();
-    let documentary = parse_twig(
-        "for $t0 in //movie[type = 4], $t1 in $t0/actor, $t2 in $t0/producer",
-    )
-    .unwrap();
+    let action =
+        parse_twig("for $t0 in //movie[type = 1], $t1 in $t0/actor, $t2 in $t0/producer").unwrap();
+    let documentary =
+        parse_twig("for $t0 in //movie[type = 4], $t1 in $t0/actor, $t2 in $t0/producer").unwrap();
 
     let coarse = coarse_synopsis(&doc);
     let build = BuildOptions {
@@ -42,8 +41,10 @@ fn main() {
         "{:<36}{:>10}{:>14}{:>14}",
         "query", "truth", "coarse est", "refined est"
     );
-    for (name, q) in [("action movies (type=1)", &action), ("documentaries (type=4)", &documentary)]
-    {
+    for (name, q) in [
+        ("action movies (type=1)", &action),
+        ("documentaries (type=4)", &documentary),
+    ] {
         let truth = selectivity(&doc, q);
         let c = estimate_selectivity(&coarse, q, &opts);
         let r = estimate_selectivity(&refined, q, &opts);

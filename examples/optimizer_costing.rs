@@ -15,7 +15,10 @@ use xtwig::datagen::{xmark, XMarkConfig};
 use xtwig::prelude::*;
 
 fn main() {
-    let doc = xmark(XMarkConfig { scale: 0.1, seed: 7 });
+    let doc = xmark(XMarkConfig {
+        scale: 0.1,
+        seed: 7,
+    });
     println!("XMark document: {} elements", doc.len());
 
     let coarse = coarse_synopsis(&doc);
@@ -44,12 +47,18 @@ fn main() {
         ranked.push((est / base_est.max(1.0), truth / base_truth.max(1.0), b));
     }
     ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    println!("\n{:<20}{:>16}{:>16}", "branch", "est fan-out", "true fan-out");
+    println!(
+        "\n{:<20}{:>16}{:>16}",
+        "branch", "est fan-out", "true fan-out"
+    );
     for (est, truth, b) in &ranked {
         println!("{b:<20}{est:>16.3}{truth:>16.3}");
     }
     let plan: Vec<&str> = ranked.iter().map(|r| r.2).collect();
-    println!("\nchosen join order (most selective first): {}", plan.join(" -> "));
+    println!(
+        "\nchosen join order (most selective first): {}",
+        plan.join(" -> ")
+    );
 
     // Verify the chosen order is optimal w.r.t. exact fan-outs: the
     // estimated ranking must be monotone in the true ranking.
@@ -59,10 +68,7 @@ fn main() {
         t.sort_by(|a, b| a.partial_cmp(b).unwrap());
         t
     };
-    let inversions = truths
-        .windows(2)
-        .filter(|w| w[0] > w[1] + 1e-9)
-        .count();
+    let inversions = truths.windows(2).filter(|w| w[0] > w[1] + 1e-9).count();
     truths.sort_by(|a, b| a.partial_cmp(b).unwrap());
     println!(
         "ranking inversions vs ground truth: {inversions} (0 = optimal order); \

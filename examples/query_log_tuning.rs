@@ -15,7 +15,10 @@ use xtwig::datagen::{imdb, ImdbConfig};
 use xtwig::prelude::*;
 
 fn main() {
-    let doc = imdb(ImdbConfig { movies: 1000, seed: 13 });
+    let doc = imdb(ImdbConfig {
+        movies: 1000,
+        seed: 13,
+    });
     println!("catalog: {} elements", doc.len());
 
     // The application's log: genre-predicated cast joins.
@@ -45,8 +48,7 @@ fn main() {
         ..Default::default()
     };
     let (blind, _) = xbuild_from(coarse.clone(), &doc, TruthSource::Exact, &opts);
-    let (tuned, _) =
-        xbuild_from_with_workload(coarse, &doc, TruthSource::Exact, &opts, &log);
+    let (tuned, _) = xbuild_from_with_workload(coarse, &doc, TruthSource::Exact, &opts, &log);
 
     let e = EstimateOptions::default();
     let score = |s: &Synopsis, qs: &[TwigQuery]| -> f64 {

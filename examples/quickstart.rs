@@ -20,7 +20,11 @@ fn main() {
         "</bib>"
     ))
     .expect("well-formed XML");
-    println!("document: {} elements, {} tags", doc.len(), doc.labels().len());
+    println!(
+        "document: {} elements, {} tags",
+        doc.len(),
+        doc.labels().len()
+    );
 
     // The paper's Example 2.1 query: authors with their name and the
     // title/keywords of their post-2000 papers.

@@ -28,6 +28,7 @@ fn main() -> ExitCode {
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -53,6 +54,7 @@ USAGE:
   xtwig-cli estimate <file.xml> '<twig-query>' [--budget BYTES] [--synopsis F]
   xtwig-cli build <file.xml> --out <synopsis.xtwg> [--budget BYTES]
   xtwig-cli inspect <synopsis.xtwg>
+  xtwig-cli check <synopsis.xtwg | file.xml> [--budget BYTES]
 
 Twig query notation: for $t0 in //movie[type = 1], $t1 in $t0/actor
 ";
@@ -151,6 +153,36 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     let synopsis = load_synopsis(&bytes).map_err(|e| e.to_string())?;
     print!("{}", xtwig::core::describe(&synopsis));
+    Ok(())
+}
+
+/// Synopsis fsck: load (or build) a synopsis and run every structural
+/// invariant check, including snapshot round-trip integrity.
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("check needs a snapshot or XML file")?;
+    let synopsis = if path.ends_with(".xml") {
+        let budget: usize = flag(args, "--budget").map_or(Ok(20 * 1024), |s| {
+            s.parse().map_err(|_| "invalid --budget".to_string())
+        })?;
+        let doc = load(path)?;
+        let build = BuildOptions {
+            budget_bytes: budget,
+            refinements_per_round: 4,
+            ..Default::default()
+        };
+        let (s, _) = xbuild(&doc, TruthSource::Exact, &build);
+        s
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        load_synopsis(&bytes).map_err(|e| format!("{path}: {e}"))?
+    };
+    xtwig::core::fsck(&synopsis).map_err(|report| format!("{path}: {report}"))?;
+    println!(
+        "ok: {} nodes / {} edges / {:.1} KB — all invariants hold",
+        synopsis.node_count(),
+        synopsis.edge_count(),
+        synopsis.size_bytes() as f64 / 1024.0
+    );
     Ok(())
 }
 

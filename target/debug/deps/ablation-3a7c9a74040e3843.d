@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-3a7c9a74040e3843.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-3a7c9a74040e3843: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

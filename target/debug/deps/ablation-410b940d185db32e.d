@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-410b940d185db32e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-410b940d185db32e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation-837bdca02d40d5e7.d: /root/repo/clippy.toml crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-837bdca02d40d5e7.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

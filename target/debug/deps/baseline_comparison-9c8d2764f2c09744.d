@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-9c8d2764f2c09744.d: tests/baseline_comparison.rs
+
+/root/repo/target/debug/deps/baseline_comparison-9c8d2764f2c09744: tests/baseline_comparison.rs
+
+tests/baseline_comparison.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baseline_comparison-b302eefb8c0c510b.d: /root/repo/clippy.toml tests/baseline_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_comparison-b302eefb8c0c510b.rmeta: /root/repo/clippy.toml tests/baseline_comparison.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/baseline_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-1fb83562f29d0b99.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/baselines-1fb83562f29d0b99: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baselines-7c63c71099282a55.d: /root/repo/clippy.toml crates/bench/src/bin/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-7c63c71099282a55.rmeta: /root/repo/clippy.toml crates/bench/src/bin/baselines.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-87cc24663a036c20.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/baselines-87cc24663a036c20: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

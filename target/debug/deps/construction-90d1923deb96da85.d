@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/construction-90d1923deb96da85.d: /root/repo/clippy.toml crates/bench/benches/construction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconstruction-90d1923deb96da85.rmeta: /root/repo/clippy.toml crates/bench/benches/construction.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/construction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

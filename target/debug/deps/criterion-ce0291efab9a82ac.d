@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/criterion-ce0291efab9a82ac.d: /root/repo/clippy.toml vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-ce0291efab9a82ac.rmeta: /root/repo/clippy.toml vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

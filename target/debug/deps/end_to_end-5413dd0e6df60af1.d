@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/end_to_end-5413dd0e6df60af1.d: /root/repo/clippy.toml tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-5413dd0e6df60af1.rmeta: /root/repo/clippy.toml tests/end_to_end.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

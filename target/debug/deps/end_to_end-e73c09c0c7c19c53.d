@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e73c09c0c7c19c53.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e73c09c0c7c19c53: tests/end_to_end.rs
+
+tests/end_to_end.rs:

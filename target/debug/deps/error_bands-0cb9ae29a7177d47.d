@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_bands-0cb9ae29a7177d47.d: tests/error_bands.rs
+
+/root/repo/target/debug/deps/error_bands-0cb9ae29a7177d47: tests/error_bands.rs
+
+tests/error_bands.rs:

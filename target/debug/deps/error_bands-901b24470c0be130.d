@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/error_bands-901b24470c0be130.d: /root/repo/clippy.toml tests/error_bands.rs Cargo.toml
+
+/root/repo/target/debug/deps/liberror_bands-901b24470c0be130.rmeta: /root/repo/clippy.toml tests/error_bands.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/error_bands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/estimation-418b1a204f0110a2.d: /root/repo/clippy.toml crates/bench/benches/estimation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libestimation-418b1a204f0110a2.rmeta: /root/repo/clippy.toml crates/bench/benches/estimation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/estimation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exactness-03acbdb8bab3b406.d: tests/exactness.rs
+
+/root/repo/target/debug/deps/exactness-03acbdb8bab3b406: tests/exactness.rs
+
+tests/exactness.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exactness-8ef85970af942d4f.d: /root/repo/clippy.toml tests/exactness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexactness-8ef85970af942d4f.rmeta: /root/repo/clippy.toml tests/exactness.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/exactness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

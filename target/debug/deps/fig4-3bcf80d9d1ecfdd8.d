@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-3bcf80d9d1ecfdd8.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-3bcf80d9d1ecfdd8: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig4-58cfc18b7c5b339d.d: /root/repo/clippy.toml crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-58cfc18b7c5b339d.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

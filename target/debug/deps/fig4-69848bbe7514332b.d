@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-69848bbe7514332b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-69848bbe7514332b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig9a-17bb3dc2d63b4868.d: /root/repo/clippy.toml crates/bench/src/bin/fig9a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9a-17bb3dc2d63b4868.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig9a.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig9a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

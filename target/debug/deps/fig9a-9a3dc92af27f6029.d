@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a-9a3dc92af27f6029.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/debug/deps/fig9a-9a3dc92af27f6029: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

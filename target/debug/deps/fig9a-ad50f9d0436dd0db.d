@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a-ad50f9d0436dd0db.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/debug/deps/fig9a-ad50f9d0436dd0db: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b-0e8e8ccc17e9e216.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/debug/deps/fig9b-0e8e8ccc17e9e216: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig9b-12d8f84157723aef.d: /root/repo/clippy.toml crates/bench/src/bin/fig9b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9b-12d8f84157723aef.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig9b.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig9b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b-43e71cb35ceee73a.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/debug/deps/fig9b-43e71cb35ceee73a: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig9b-9fce0af2b5b1e481.d: /root/repo/clippy.toml crates/bench/src/bin/fig9b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9b-9fce0af2b5b1e481.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig9b.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig9b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig9c-0c06aeeeeb97493c.d: /root/repo/clippy.toml crates/bench/src/bin/fig9c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9c-0c06aeeeeb97493c.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig9c.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig9c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9c-49bc628b156f8da2.d: crates/bench/src/bin/fig9c.rs
+
+/root/repo/target/debug/deps/fig9c-49bc628b156f8da2: crates/bench/src/bin/fig9c.rs
+
+crates/bench/src/bin/fig9c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9c-7515482004a3837c.d: crates/bench/src/bin/fig9c.rs
+
+/root/repo/target/debug/deps/fig9c-7515482004a3837c: crates/bench/src/bin/fig9c.rs
+
+crates/bench/src/bin/fig9c.rs:

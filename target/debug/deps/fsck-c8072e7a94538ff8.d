@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fsck-c8072e7a94538ff8.d: /root/repo/clippy.toml tests/fsck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfsck-c8072e7a94538ff8.rmeta: /root/repo/clippy.toml tests/fsck.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/fsck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

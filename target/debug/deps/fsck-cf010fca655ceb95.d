@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fsck-cf010fca655ceb95.d: tests/fsck.rs
+
+/root/repo/target/debug/deps/fsck-cf010fca655ceb95: tests/fsck.rs
+
+tests/fsck.rs:

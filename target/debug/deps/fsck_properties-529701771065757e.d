@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fsck_properties-529701771065757e.d: /root/repo/clippy.toml tests/fsck_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfsck_properties-529701771065757e.rmeta: /root/repo/clippy.toml tests/fsck_properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/fsck_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fsck_properties-ce91f8f8d86965d2.d: tests/fsck_properties.rs
+
+/root/repo/target/debug/deps/fsck_properties-ce91f8f8d86965d2: tests/fsck_properties.rs
+
+tests/fsck_properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fuzz_refinements-5f62f4d864ebe7eb.d: /root/repo/clippy.toml crates/core/tests/fuzz_refinements.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_refinements-5f62f4d864ebe7eb.rmeta: /root/repo/clippy.toml crates/core/tests/fuzz_refinements.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/fuzz_refinements.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

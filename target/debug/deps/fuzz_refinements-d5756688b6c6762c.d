@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_refinements-d5756688b6c6762c.d: crates/core/tests/fuzz_refinements.rs
+
+/root/repo/target/debug/deps/fuzz_refinements-d5756688b6c6762c: crates/core/tests/fuzz_refinements.rs
+
+crates/core/tests/fuzz_refinements.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/histograms-ae81214be93efd60.d: /root/repo/clippy.toml crates/bench/benches/histograms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhistograms-ae81214be93efd60.rmeta: /root/repo/clippy.toml crates/bench/benches/histograms.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/histograms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

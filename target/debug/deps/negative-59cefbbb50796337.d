@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/negative-59cefbbb50796337.d: crates/bench/src/bin/negative.rs
+
+/root/repo/target/debug/deps/negative-59cefbbb50796337: crates/bench/src/bin/negative.rs
+
+crates/bench/src/bin/negative.rs:

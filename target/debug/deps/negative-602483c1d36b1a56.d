@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/negative-602483c1d36b1a56.d: /root/repo/clippy.toml crates/bench/src/bin/negative.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnegative-602483c1d36b1a56.rmeta: /root/repo/clippy.toml crates/bench/src/bin/negative.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/negative.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

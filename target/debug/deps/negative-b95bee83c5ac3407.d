@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/negative-b95bee83c5ac3407.d: /root/repo/clippy.toml crates/bench/src/bin/negative.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnegative-b95bee83c5ac3407.rmeta: /root/repo/clippy.toml crates/bench/src/bin/negative.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/negative.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

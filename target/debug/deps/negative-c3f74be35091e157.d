@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/negative-c3f74be35091e157.d: crates/bench/src/bin/negative.rs
+
+/root/repo/target/debug/deps/negative-c3f74be35091e157: crates/bench/src/bin/negative.rs
+
+crates/bench/src/bin/negative.rs:

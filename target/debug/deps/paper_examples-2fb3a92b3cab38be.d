@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-2fb3a92b3cab38be.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-2fb3a92b3cab38be: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paper_examples-b8ea448889adb9ce.d: /root/repo/clippy.toml tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-b8ea448889adb9ce.rmeta: /root/repo/clippy.toml tests/paper_examples.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

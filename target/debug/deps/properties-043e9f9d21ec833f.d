@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-043e9f9d21ec833f.d: /root/repo/clippy.toml crates/histogram/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-043e9f9d21ec833f.rmeta: /root/repo/clippy.toml crates/histogram/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/histogram/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

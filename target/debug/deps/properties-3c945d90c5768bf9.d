@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3c945d90c5768bf9.d: crates/query/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3c945d90c5768bf9: crates/query/tests/properties.rs
+
+crates/query/tests/properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-5a51547a09a9b208.d: /root/repo/clippy.toml crates/cst/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5a51547a09a9b208.rmeta: /root/repo/clippy.toml crates/cst/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cst/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

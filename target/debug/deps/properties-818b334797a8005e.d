@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-818b334797a8005e.d: crates/cst/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-818b334797a8005e: crates/cst/tests/properties.rs
+
+crates/cst/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b10f60beb791e56d.d: crates/histogram/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b10f60beb791e56d: crates/histogram/tests/properties.rs
+
+crates/histogram/tests/properties.rs:

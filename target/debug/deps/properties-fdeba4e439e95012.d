@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-fdeba4e439e95012.d: /root/repo/clippy.toml crates/query/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-fdeba4e439e95012.rmeta: /root/repo/clippy.toml crates/query/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/query/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/roundtrip-96ca5e7d9763b839.d: /root/repo/clippy.toml crates/xmldoc/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-96ca5e7d9763b839.rmeta: /root/repo/clippy.toml crates/xmldoc/tests/roundtrip.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xmldoc/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

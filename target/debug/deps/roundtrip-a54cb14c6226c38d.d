@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-a54cb14c6226c38d.d: crates/xmldoc/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-a54cb14c6226c38d: crates/xmldoc/tests/roundtrip.rs
+
+crates/xmldoc/tests/roundtrip.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/singlepath-72d02861b6c3535f.d: /root/repo/clippy.toml crates/bench/src/bin/singlepath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsinglepath-72d02861b6c3535f.rmeta: /root/repo/clippy.toml crates/bench/src/bin/singlepath.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/singlepath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/singlepath-9dfaac2ece7b7b7a.d: crates/bench/src/bin/singlepath.rs
+
+/root/repo/target/debug/deps/singlepath-9dfaac2ece7b7b7a: crates/bench/src/bin/singlepath.rs
+
+crates/bench/src/bin/singlepath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/singlepath-c1752d81e64fb541.d: crates/bench/src/bin/singlepath.rs
+
+/root/repo/target/debug/deps/singlepath-c1752d81e64fb541: crates/bench/src/bin/singlepath.rs
+
+crates/bench/src/bin/singlepath.rs:

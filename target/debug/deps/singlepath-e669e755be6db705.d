@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/singlepath-e669e755be6db705.d: /root/repo/clippy.toml crates/bench/src/bin/singlepath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsinglepath-e669e755be6db705.rmeta: /root/repo/clippy.toml crates/bench/src/bin/singlepath.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/singlepath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

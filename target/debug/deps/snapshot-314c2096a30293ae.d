@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot-314c2096a30293ae.d: tests/snapshot.rs
+
+/root/repo/target/debug/deps/snapshot-314c2096a30293ae: tests/snapshot.rs
+
+tests/snapshot.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/snapshot-b9e21e75b3240556.d: /root/repo/clippy.toml tests/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnapshot-b9e21e75b3240556.rmeta: /root/repo/clippy.toml tests/snapshot.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-2e0f8e5620f70a4c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-2e0f8e5620f70a4c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table1-95f0c079bd36520d.d: /root/repo/clippy.toml crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-95f0c079bd36520d.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0f7673b4da3331d4.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-0f7673b4da3331d4: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

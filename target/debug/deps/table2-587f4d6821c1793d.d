@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-587f4d6821c1793d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-587f4d6821c1793d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

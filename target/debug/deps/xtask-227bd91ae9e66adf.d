@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/xtask-227bd91ae9e66adf.d: crates/xtask/src/main.rs crates/xtask/src/lint.rs
+
+/root/repo/target/debug/deps/xtask-227bd91ae9e66adf: crates/xtask/src/main.rs crates/xtask/src/lint.rs
+
+crates/xtask/src/main.rs:
+crates/xtask/src/lint.rs:

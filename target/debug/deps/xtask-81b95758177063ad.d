@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/xtask-81b95758177063ad.d: crates/xtask/src/main.rs crates/xtask/src/lint.rs
+
+/root/repo/target/debug/deps/xtask-81b95758177063ad: crates/xtask/src/main.rs crates/xtask/src/lint.rs
+
+crates/xtask/src/main.rs:
+crates/xtask/src/lint.rs:

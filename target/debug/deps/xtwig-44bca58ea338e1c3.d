@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtwig-44bca58ea338e1c3.d: src/lib.rs
+
+/root/repo/target/debug/deps/xtwig-44bca58ea338e1c3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtwig-fe8bca8ca361863a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxtwig-fe8bca8ca361863a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libxtwig-fe8bca8ca361863a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtwig_bench-46157147c7064483.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxtwig_bench-46157147c7064483.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxtwig_bench-46157147c7064483.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

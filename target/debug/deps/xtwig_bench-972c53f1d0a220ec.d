@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtwig_bench-972c53f1d0a220ec.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/xtwig_bench-972c53f1d0a220ec: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

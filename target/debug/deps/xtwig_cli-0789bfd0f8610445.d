@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtwig_cli-0789bfd0f8610445.d: src/bin/xtwig-cli.rs
+
+/root/repo/target/debug/deps/xtwig_cli-0789bfd0f8610445: src/bin/xtwig-cli.rs
+
+src/bin/xtwig-cli.rs:

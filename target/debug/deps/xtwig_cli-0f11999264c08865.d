@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtwig_cli-0f11999264c08865.d: src/bin/xtwig-cli.rs
+
+/root/repo/target/debug/deps/xtwig_cli-0f11999264c08865: src/bin/xtwig-cli.rs
+
+src/bin/xtwig-cli.rs:

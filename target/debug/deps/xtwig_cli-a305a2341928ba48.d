@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtwig_cli-a305a2341928ba48.d: /root/repo/clippy.toml src/bin/xtwig-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_cli-a305a2341928ba48.rmeta: /root/repo/clippy.toml src/bin/xtwig-cli.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/xtwig-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/xtwig_core-4e93dd7aa1d2dcb0.d: crates/core/src/lib.rs crates/core/src/coarse.rs crates/core/src/construct/mod.rs crates/core/src/construct/refine.rs crates/core/src/construct/sample.rs crates/core/src/construct/xbuild.rs crates/core/src/describe.rs crates/core/src/estimate/mod.rs crates/core/src/estimate/embedding.rs crates/core/src/estimate/eval.rs crates/core/src/estimate/expand.rs crates/core/src/io.rs crates/core/src/single_path.rs crates/core/src/synopsis.rs crates/core/src/tsn.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libxtwig_core-4e93dd7aa1d2dcb0.rlib: crates/core/src/lib.rs crates/core/src/coarse.rs crates/core/src/construct/mod.rs crates/core/src/construct/refine.rs crates/core/src/construct/sample.rs crates/core/src/construct/xbuild.rs crates/core/src/describe.rs crates/core/src/estimate/mod.rs crates/core/src/estimate/embedding.rs crates/core/src/estimate/eval.rs crates/core/src/estimate/expand.rs crates/core/src/io.rs crates/core/src/single_path.rs crates/core/src/synopsis.rs crates/core/src/tsn.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libxtwig_core-4e93dd7aa1d2dcb0.rmeta: crates/core/src/lib.rs crates/core/src/coarse.rs crates/core/src/construct/mod.rs crates/core/src/construct/refine.rs crates/core/src/construct/sample.rs crates/core/src/construct/xbuild.rs crates/core/src/describe.rs crates/core/src/estimate/mod.rs crates/core/src/estimate/embedding.rs crates/core/src/estimate/eval.rs crates/core/src/estimate/expand.rs crates/core/src/io.rs crates/core/src/single_path.rs crates/core/src/synopsis.rs crates/core/src/tsn.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coarse.rs:
+crates/core/src/construct/mod.rs:
+crates/core/src/construct/refine.rs:
+crates/core/src/construct/sample.rs:
+crates/core/src/construct/xbuild.rs:
+crates/core/src/describe.rs:
+crates/core/src/estimate/mod.rs:
+crates/core/src/estimate/embedding.rs:
+crates/core/src/estimate/eval.rs:
+crates/core/src/estimate/expand.rs:
+crates/core/src/io.rs:
+crates/core/src/single_path.rs:
+crates/core/src/synopsis.rs:
+crates/core/src/tsn.rs:
+crates/core/src/validate.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/xtwig_core-50a6e735d4b17c02.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/coarse.rs crates/core/src/construct/mod.rs crates/core/src/construct/refine.rs crates/core/src/construct/sample.rs crates/core/src/construct/xbuild.rs crates/core/src/describe.rs crates/core/src/estimate/mod.rs crates/core/src/estimate/embedding.rs crates/core/src/estimate/eval.rs crates/core/src/estimate/expand.rs crates/core/src/io.rs crates/core/src/single_path.rs crates/core/src/synopsis.rs crates/core/src/tsn.rs crates/core/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_core-50a6e735d4b17c02.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/coarse.rs crates/core/src/construct/mod.rs crates/core/src/construct/refine.rs crates/core/src/construct/sample.rs crates/core/src/construct/xbuild.rs crates/core/src/describe.rs crates/core/src/estimate/mod.rs crates/core/src/estimate/embedding.rs crates/core/src/estimate/eval.rs crates/core/src/estimate/expand.rs crates/core/src/io.rs crates/core/src/single_path.rs crates/core/src/synopsis.rs crates/core/src/tsn.rs crates/core/src/validate.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/coarse.rs:
+crates/core/src/construct/mod.rs:
+crates/core/src/construct/refine.rs:
+crates/core/src/construct/sample.rs:
+crates/core/src/construct/xbuild.rs:
+crates/core/src/describe.rs:
+crates/core/src/estimate/mod.rs:
+crates/core/src/estimate/embedding.rs:
+crates/core/src/estimate/eval.rs:
+crates/core/src/estimate/expand.rs:
+crates/core/src/io.rs:
+crates/core/src/single_path.rs:
+crates/core/src/synopsis.rs:
+crates/core/src/tsn.rs:
+crates/core/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

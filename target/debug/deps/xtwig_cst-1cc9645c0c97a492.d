@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xtwig_cst-1cc9645c0c97a492.d: /root/repo/clippy.toml crates/cst/src/lib.rs crates/cst/src/estimate.rs crates/cst/src/trie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_cst-1cc9645c0c97a492.rmeta: /root/repo/clippy.toml crates/cst/src/lib.rs crates/cst/src/estimate.rs crates/cst/src/trie.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cst/src/lib.rs:
+crates/cst/src/estimate.rs:
+crates/cst/src/trie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

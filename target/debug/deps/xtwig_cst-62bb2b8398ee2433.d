@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtwig_cst-62bb2b8398ee2433.d: crates/cst/src/lib.rs crates/cst/src/estimate.rs crates/cst/src/trie.rs
+
+/root/repo/target/debug/deps/xtwig_cst-62bb2b8398ee2433: crates/cst/src/lib.rs crates/cst/src/estimate.rs crates/cst/src/trie.rs
+
+crates/cst/src/lib.rs:
+crates/cst/src/estimate.rs:
+crates/cst/src/trie.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtwig_cst-995ed6cd0a2f7c2f.d: crates/cst/src/lib.rs crates/cst/src/estimate.rs crates/cst/src/trie.rs
+
+/root/repo/target/debug/deps/libxtwig_cst-995ed6cd0a2f7c2f.rlib: crates/cst/src/lib.rs crates/cst/src/estimate.rs crates/cst/src/trie.rs
+
+/root/repo/target/debug/deps/libxtwig_cst-995ed6cd0a2f7c2f.rmeta: crates/cst/src/lib.rs crates/cst/src/estimate.rs crates/cst/src/trie.rs
+
+crates/cst/src/lib.rs:
+crates/cst/src/estimate.rs:
+crates/cst/src/trie.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtwig_datagen-6ac1d96c87a33843.d: crates/datagen/src/lib.rs crates/datagen/src/figures.rs crates/datagen/src/imdb.rs crates/datagen/src/sprot.rs crates/datagen/src/xmark.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/xtwig_datagen-6ac1d96c87a33843: crates/datagen/src/lib.rs crates/datagen/src/figures.rs crates/datagen/src/imdb.rs crates/datagen/src/sprot.rs crates/datagen/src/xmark.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/figures.rs:
+crates/datagen/src/imdb.rs:
+crates/datagen/src/sprot.rs:
+crates/datagen/src/xmark.rs:
+crates/datagen/src/zipf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xtwig_datagen-8fc45ab202340bda.d: crates/datagen/src/lib.rs crates/datagen/src/figures.rs crates/datagen/src/imdb.rs crates/datagen/src/sprot.rs crates/datagen/src/xmark.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/libxtwig_datagen-8fc45ab202340bda.rlib: crates/datagen/src/lib.rs crates/datagen/src/figures.rs crates/datagen/src/imdb.rs crates/datagen/src/sprot.rs crates/datagen/src/xmark.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/libxtwig_datagen-8fc45ab202340bda.rmeta: crates/datagen/src/lib.rs crates/datagen/src/figures.rs crates/datagen/src/imdb.rs crates/datagen/src/sprot.rs crates/datagen/src/xmark.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/figures.rs:
+crates/datagen/src/imdb.rs:
+crates/datagen/src/sprot.rs:
+crates/datagen/src/xmark.rs:
+crates/datagen/src/zipf.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xtwig_datagen-c644904095987a17.d: /root/repo/clippy.toml crates/datagen/src/lib.rs crates/datagen/src/figures.rs crates/datagen/src/imdb.rs crates/datagen/src/sprot.rs crates/datagen/src/xmark.rs crates/datagen/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_datagen-c644904095987a17.rmeta: /root/repo/clippy.toml crates/datagen/src/lib.rs crates/datagen/src/figures.rs crates/datagen/src/imdb.rs crates/datagen/src/sprot.rs crates/datagen/src/xmark.rs crates/datagen/src/zipf.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/datagen/src/lib.rs:
+crates/datagen/src/figures.rs:
+crates/datagen/src/imdb.rs:
+crates/datagen/src/sprot.rs:
+crates/datagen/src/xmark.rs:
+crates/datagen/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xtwig_histogram-10281e9ff33e50f2.d: /root/repo/clippy.toml crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_histogram-10281e9ff33e50f2.rmeta: /root/repo/clippy.toml crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/histogram/src/lib.rs:
+crates/histogram/src/exact.rs:
+crates/histogram/src/mdhist.rs:
+crates/histogram/src/value_hist.rs:
+crates/histogram/src/wavelet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtwig_histogram-63f67364c975f552.d: crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs
+
+/root/repo/target/debug/deps/xtwig_histogram-63f67364c975f552: crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs
+
+crates/histogram/src/lib.rs:
+crates/histogram/src/exact.rs:
+crates/histogram/src/mdhist.rs:
+crates/histogram/src/value_hist.rs:
+crates/histogram/src/wavelet.rs:

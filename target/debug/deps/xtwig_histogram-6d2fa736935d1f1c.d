@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xtwig_histogram-6d2fa736935d1f1c.d: /root/repo/clippy.toml crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_histogram-6d2fa736935d1f1c.rmeta: /root/repo/clippy.toml crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/histogram/src/lib.rs:
+crates/histogram/src/exact.rs:
+crates/histogram/src/mdhist.rs:
+crates/histogram/src/value_hist.rs:
+crates/histogram/src/wavelet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

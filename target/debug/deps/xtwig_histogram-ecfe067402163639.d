@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtwig_histogram-ecfe067402163639.d: crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs
+
+/root/repo/target/debug/deps/libxtwig_histogram-ecfe067402163639.rlib: crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs
+
+/root/repo/target/debug/deps/libxtwig_histogram-ecfe067402163639.rmeta: crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs
+
+crates/histogram/src/lib.rs:
+crates/histogram/src/exact.rs:
+crates/histogram/src/mdhist.rs:
+crates/histogram/src/value_hist.rs:
+crates/histogram/src/wavelet.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtwig_markov-0f6a8ed66136cdda.d: /root/repo/clippy.toml crates/markov/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_markov-0f6a8ed66136cdda.rmeta: /root/repo/clippy.toml crates/markov/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/markov/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtwig_markov-14a94f3567ac97a1.d: crates/markov/src/lib.rs
+
+/root/repo/target/debug/deps/xtwig_markov-14a94f3567ac97a1: crates/markov/src/lib.rs
+
+crates/markov/src/lib.rs:

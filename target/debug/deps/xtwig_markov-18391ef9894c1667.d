@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtwig_markov-18391ef9894c1667.d: /root/repo/clippy.toml crates/markov/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_markov-18391ef9894c1667.rmeta: /root/repo/clippy.toml crates/markov/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/markov/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtwig_markov-1fdb4e4575dc6d3e.d: crates/markov/src/lib.rs
+
+/root/repo/target/debug/deps/libxtwig_markov-1fdb4e4575dc6d3e.rlib: crates/markov/src/lib.rs
+
+/root/repo/target/debug/deps/libxtwig_markov-1fdb4e4575dc6d3e.rmeta: crates/markov/src/lib.rs
+
+crates/markov/src/lib.rs:

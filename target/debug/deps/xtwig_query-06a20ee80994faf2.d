@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtwig_query-06a20ee80994faf2.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/eval.rs crates/query/src/parser.rs
+
+/root/repo/target/debug/deps/xtwig_query-06a20ee80994faf2: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/eval.rs crates/query/src/parser.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/eval.rs:
+crates/query/src/parser.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtwig_query-539c1ff1250d21a7.d: /root/repo/clippy.toml crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/eval.rs crates/query/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_query-539c1ff1250d21a7.rmeta: /root/repo/clippy.toml crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/eval.rs crates/query/src/parser.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/eval.rs:
+crates/query/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

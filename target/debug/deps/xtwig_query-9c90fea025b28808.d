@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtwig_query-9c90fea025b28808.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/eval.rs crates/query/src/parser.rs
+
+/root/repo/target/debug/deps/libxtwig_query-9c90fea025b28808.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/eval.rs crates/query/src/parser.rs
+
+/root/repo/target/debug/deps/libxtwig_query-9c90fea025b28808.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/eval.rs crates/query/src/parser.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/eval.rs:
+crates/query/src/parser.rs:

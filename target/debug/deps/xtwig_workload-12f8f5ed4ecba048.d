@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xtwig_workload-12f8f5ed4ecba048.d: /root/repo/clippy.toml crates/workload/src/lib.rs crates/workload/src/error.rs crates/workload/src/estimator.rs crates/workload/src/generator.rs crates/workload/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_workload-12f8f5ed4ecba048.rmeta: /root/repo/clippy.toml crates/workload/src/lib.rs crates/workload/src/error.rs crates/workload/src/estimator.rs crates/workload/src/generator.rs crates/workload/src/sweep.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/workload/src/lib.rs:
+crates/workload/src/error.rs:
+crates/workload/src/estimator.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtwig_workload-bdb191697a67565c.d: crates/workload/src/lib.rs crates/workload/src/error.rs crates/workload/src/estimator.rs crates/workload/src/generator.rs crates/workload/src/sweep.rs
+
+/root/repo/target/debug/deps/libxtwig_workload-bdb191697a67565c.rlib: crates/workload/src/lib.rs crates/workload/src/error.rs crates/workload/src/estimator.rs crates/workload/src/generator.rs crates/workload/src/sweep.rs
+
+/root/repo/target/debug/deps/libxtwig_workload-bdb191697a67565c.rmeta: crates/workload/src/lib.rs crates/workload/src/error.rs crates/workload/src/estimator.rs crates/workload/src/generator.rs crates/workload/src/sweep.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/error.rs:
+crates/workload/src/estimator.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/sweep.rs:

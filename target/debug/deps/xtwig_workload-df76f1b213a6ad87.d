@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtwig_workload-df76f1b213a6ad87.d: crates/workload/src/lib.rs crates/workload/src/error.rs crates/workload/src/estimator.rs crates/workload/src/generator.rs crates/workload/src/sweep.rs
+
+/root/repo/target/debug/deps/xtwig_workload-df76f1b213a6ad87: crates/workload/src/lib.rs crates/workload/src/error.rs crates/workload/src/estimator.rs crates/workload/src/generator.rs crates/workload/src/sweep.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/error.rs:
+crates/workload/src/estimator.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/sweep.rs:

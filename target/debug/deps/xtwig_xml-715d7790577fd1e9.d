@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtwig_xml-715d7790577fd1e9.d: crates/xmldoc/src/lib.rs crates/xmldoc/src/builder.rs crates/xmldoc/src/document.rs crates/xmldoc/src/labels.rs crates/xmldoc/src/parser.rs crates/xmldoc/src/stats.rs crates/xmldoc/src/writer.rs
+
+/root/repo/target/debug/deps/xtwig_xml-715d7790577fd1e9: crates/xmldoc/src/lib.rs crates/xmldoc/src/builder.rs crates/xmldoc/src/document.rs crates/xmldoc/src/labels.rs crates/xmldoc/src/parser.rs crates/xmldoc/src/stats.rs crates/xmldoc/src/writer.rs
+
+crates/xmldoc/src/lib.rs:
+crates/xmldoc/src/builder.rs:
+crates/xmldoc/src/document.rs:
+crates/xmldoc/src/labels.rs:
+crates/xmldoc/src/parser.rs:
+crates/xmldoc/src/stats.rs:
+crates/xmldoc/src/writer.rs:

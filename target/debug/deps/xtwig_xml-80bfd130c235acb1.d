@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtwig_xml-80bfd130c235acb1.d: crates/xmldoc/src/lib.rs crates/xmldoc/src/builder.rs crates/xmldoc/src/document.rs crates/xmldoc/src/labels.rs crates/xmldoc/src/parser.rs crates/xmldoc/src/stats.rs crates/xmldoc/src/writer.rs
+
+/root/repo/target/debug/deps/libxtwig_xml-80bfd130c235acb1.rlib: crates/xmldoc/src/lib.rs crates/xmldoc/src/builder.rs crates/xmldoc/src/document.rs crates/xmldoc/src/labels.rs crates/xmldoc/src/parser.rs crates/xmldoc/src/stats.rs crates/xmldoc/src/writer.rs
+
+/root/repo/target/debug/deps/libxtwig_xml-80bfd130c235acb1.rmeta: crates/xmldoc/src/lib.rs crates/xmldoc/src/builder.rs crates/xmldoc/src/document.rs crates/xmldoc/src/labels.rs crates/xmldoc/src/parser.rs crates/xmldoc/src/stats.rs crates/xmldoc/src/writer.rs
+
+crates/xmldoc/src/lib.rs:
+crates/xmldoc/src/builder.rs:
+crates/xmldoc/src/document.rs:
+crates/xmldoc/src/labels.rs:
+crates/xmldoc/src/parser.rs:
+crates/xmldoc/src/stats.rs:
+crates/xmldoc/src/writer.rs:

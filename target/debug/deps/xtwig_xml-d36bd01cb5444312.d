@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xtwig_xml-d36bd01cb5444312.d: /root/repo/clippy.toml crates/xmldoc/src/lib.rs crates/xmldoc/src/builder.rs crates/xmldoc/src/document.rs crates/xmldoc/src/labels.rs crates/xmldoc/src/parser.rs crates/xmldoc/src/stats.rs crates/xmldoc/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtwig_xml-d36bd01cb5444312.rmeta: /root/repo/clippy.toml crates/xmldoc/src/lib.rs crates/xmldoc/src/builder.rs crates/xmldoc/src/document.rs crates/xmldoc/src/labels.rs crates/xmldoc/src/parser.rs crates/xmldoc/src/stats.rs crates/xmldoc/src/writer.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xmldoc/src/lib.rs:
+crates/xmldoc/src/builder.rs:
+crates/xmldoc/src/document.rs:
+crates/xmldoc/src/labels.rs:
+crates/xmldoc/src/parser.rs:
+crates/xmldoc/src/stats.rs:
+crates/xmldoc/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

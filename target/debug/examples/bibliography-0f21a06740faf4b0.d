@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/bibliography-0f21a06740faf4b0.d: /root/repo/clippy.toml examples/bibliography.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbibliography-0f21a06740faf4b0.rmeta: /root/repo/clippy.toml examples/bibliography.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/bibliography.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bibliography-57d95fcb1ffc28c8.d: examples/bibliography.rs
+
+/root/repo/target/debug/examples/bibliography-57d95fcb1ffc28c8: examples/bibliography.rs
+
+examples/bibliography.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/movie_catalog-d80e6f0b3c3800c6.d: /root/repo/clippy.toml examples/movie_catalog.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmovie_catalog-d80e6f0b3c3800c6.rmeta: /root/repo/clippy.toml examples/movie_catalog.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/movie_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

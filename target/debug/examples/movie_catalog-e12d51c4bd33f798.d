@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/movie_catalog-e12d51c4bd33f798.d: examples/movie_catalog.rs
+
+/root/repo/target/debug/examples/movie_catalog-e12d51c4bd33f798: examples/movie_catalog.rs
+
+examples/movie_catalog.rs:

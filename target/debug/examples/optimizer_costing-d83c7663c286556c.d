@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/optimizer_costing-d83c7663c286556c.d: /root/repo/clippy.toml examples/optimizer_costing.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboptimizer_costing-d83c7663c286556c.rmeta: /root/repo/clippy.toml examples/optimizer_costing.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/optimizer_costing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimizer_costing-e4ad8f150671c340.d: examples/optimizer_costing.rs
+
+/root/repo/target/debug/examples/optimizer_costing-e4ad8f150671c340: examples/optimizer_costing.rs
+
+examples/optimizer_costing.rs:

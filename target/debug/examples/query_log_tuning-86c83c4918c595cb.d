@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/query_log_tuning-86c83c4918c595cb.d: /root/repo/clippy.toml examples/query_log_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquery_log_tuning-86c83c4918c595cb.rmeta: /root/repo/clippy.toml examples/query_log_tuning.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/query_log_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

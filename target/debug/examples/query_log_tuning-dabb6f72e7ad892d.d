@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_log_tuning-dabb6f72e7ad892d.d: examples/query_log_tuning.rs
+
+/root/repo/target/debug/examples/query_log_tuning-dabb6f72e7ad892d: examples/query_log_tuning.rs
+
+examples/query_log_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e065e5a8bed8c2a6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e065e5a8bed8c2a6: examples/quickstart.rs
+
+examples/quickstart.rs:

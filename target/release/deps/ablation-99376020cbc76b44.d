@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-99376020cbc76b44.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-99376020cbc76b44: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-eb0b9f239d647eb7.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/release/deps/baselines-eb0b9f239d647eb7: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-7f4ea5de6920d794.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-7f4ea5de6920d794: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9a-3d009570d686d119.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/release/deps/fig9a-3d009570d686d119: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

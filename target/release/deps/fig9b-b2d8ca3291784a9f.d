@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9b-b2d8ca3291784a9f.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/release/deps/fig9b-b2d8ca3291784a9f: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

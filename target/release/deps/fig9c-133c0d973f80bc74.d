@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9c-133c0d973f80bc74.d: crates/bench/src/bin/fig9c.rs
+
+/root/repo/target/release/deps/fig9c-133c0d973f80bc74: crates/bench/src/bin/fig9c.rs
+
+crates/bench/src/bin/fig9c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/negative-716811dddf986317.d: crates/bench/src/bin/negative.rs
+
+/root/repo/target/release/deps/negative-716811dddf986317: crates/bench/src/bin/negative.rs
+
+crates/bench/src/bin/negative.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/singlepath-8d7a676cf7e4024a.d: crates/bench/src/bin/singlepath.rs
+
+/root/repo/target/release/deps/singlepath-8d7a676cf7e4024a: crates/bench/src/bin/singlepath.rs
+
+crates/bench/src/bin/singlepath.rs:

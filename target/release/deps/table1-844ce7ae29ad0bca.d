@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-844ce7ae29ad0bca.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-844ce7ae29ad0bca: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

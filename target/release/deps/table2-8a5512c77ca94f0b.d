@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-8a5512c77ca94f0b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-8a5512c77ca94f0b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/xtask-23beb68468cd6d7c.d: crates/xtask/src/main.rs crates/xtask/src/lint.rs
+
+/root/repo/target/release/deps/xtask-23beb68468cd6d7c: crates/xtask/src/main.rs crates/xtask/src/lint.rs
+
+crates/xtask/src/main.rs:
+crates/xtask/src/lint.rs:

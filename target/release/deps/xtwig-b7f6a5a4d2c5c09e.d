@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xtwig-b7f6a5a4d2c5c09e.d: src/lib.rs
+
+/root/repo/target/release/deps/libxtwig-b7f6a5a4d2c5c09e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libxtwig-b7f6a5a4d2c5c09e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xtwig_bench-fd8f8e5ebda2e7c5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxtwig_bench-fd8f8e5ebda2e7c5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxtwig_bench-fd8f8e5ebda2e7c5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

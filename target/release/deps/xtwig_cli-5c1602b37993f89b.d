@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xtwig_cli-5c1602b37993f89b.d: src/bin/xtwig-cli.rs
+
+/root/repo/target/release/deps/xtwig_cli-5c1602b37993f89b: src/bin/xtwig-cli.rs
+
+src/bin/xtwig-cli.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/xtwig_core-8fc8a617b2015b46.d: crates/core/src/lib.rs crates/core/src/coarse.rs crates/core/src/construct/mod.rs crates/core/src/construct/refine.rs crates/core/src/construct/sample.rs crates/core/src/construct/xbuild.rs crates/core/src/describe.rs crates/core/src/estimate/mod.rs crates/core/src/estimate/embedding.rs crates/core/src/estimate/eval.rs crates/core/src/estimate/expand.rs crates/core/src/io.rs crates/core/src/single_path.rs crates/core/src/synopsis.rs crates/core/src/tsn.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libxtwig_core-8fc8a617b2015b46.rlib: crates/core/src/lib.rs crates/core/src/coarse.rs crates/core/src/construct/mod.rs crates/core/src/construct/refine.rs crates/core/src/construct/sample.rs crates/core/src/construct/xbuild.rs crates/core/src/describe.rs crates/core/src/estimate/mod.rs crates/core/src/estimate/embedding.rs crates/core/src/estimate/eval.rs crates/core/src/estimate/expand.rs crates/core/src/io.rs crates/core/src/single_path.rs crates/core/src/synopsis.rs crates/core/src/tsn.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libxtwig_core-8fc8a617b2015b46.rmeta: crates/core/src/lib.rs crates/core/src/coarse.rs crates/core/src/construct/mod.rs crates/core/src/construct/refine.rs crates/core/src/construct/sample.rs crates/core/src/construct/xbuild.rs crates/core/src/describe.rs crates/core/src/estimate/mod.rs crates/core/src/estimate/embedding.rs crates/core/src/estimate/eval.rs crates/core/src/estimate/expand.rs crates/core/src/io.rs crates/core/src/single_path.rs crates/core/src/synopsis.rs crates/core/src/tsn.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coarse.rs:
+crates/core/src/construct/mod.rs:
+crates/core/src/construct/refine.rs:
+crates/core/src/construct/sample.rs:
+crates/core/src/construct/xbuild.rs:
+crates/core/src/describe.rs:
+crates/core/src/estimate/mod.rs:
+crates/core/src/estimate/embedding.rs:
+crates/core/src/estimate/eval.rs:
+crates/core/src/estimate/expand.rs:
+crates/core/src/io.rs:
+crates/core/src/single_path.rs:
+crates/core/src/synopsis.rs:
+crates/core/src/tsn.rs:
+crates/core/src/validate.rs:

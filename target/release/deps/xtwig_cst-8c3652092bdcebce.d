@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xtwig_cst-8c3652092bdcebce.d: crates/cst/src/lib.rs crates/cst/src/estimate.rs crates/cst/src/trie.rs
+
+/root/repo/target/release/deps/libxtwig_cst-8c3652092bdcebce.rlib: crates/cst/src/lib.rs crates/cst/src/estimate.rs crates/cst/src/trie.rs
+
+/root/repo/target/release/deps/libxtwig_cst-8c3652092bdcebce.rmeta: crates/cst/src/lib.rs crates/cst/src/estimate.rs crates/cst/src/trie.rs
+
+crates/cst/src/lib.rs:
+crates/cst/src/estimate.rs:
+crates/cst/src/trie.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xtwig_datagen-e97876f28b292720.d: crates/datagen/src/lib.rs crates/datagen/src/figures.rs crates/datagen/src/imdb.rs crates/datagen/src/sprot.rs crates/datagen/src/xmark.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/release/deps/libxtwig_datagen-e97876f28b292720.rlib: crates/datagen/src/lib.rs crates/datagen/src/figures.rs crates/datagen/src/imdb.rs crates/datagen/src/sprot.rs crates/datagen/src/xmark.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/release/deps/libxtwig_datagen-e97876f28b292720.rmeta: crates/datagen/src/lib.rs crates/datagen/src/figures.rs crates/datagen/src/imdb.rs crates/datagen/src/sprot.rs crates/datagen/src/xmark.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/figures.rs:
+crates/datagen/src/imdb.rs:
+crates/datagen/src/sprot.rs:
+crates/datagen/src/xmark.rs:
+crates/datagen/src/zipf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xtwig_histogram-89e113918f20f316.d: crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs
+
+/root/repo/target/release/deps/libxtwig_histogram-89e113918f20f316.rlib: crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs
+
+/root/repo/target/release/deps/libxtwig_histogram-89e113918f20f316.rmeta: crates/histogram/src/lib.rs crates/histogram/src/exact.rs crates/histogram/src/mdhist.rs crates/histogram/src/value_hist.rs crates/histogram/src/wavelet.rs
+
+crates/histogram/src/lib.rs:
+crates/histogram/src/exact.rs:
+crates/histogram/src/mdhist.rs:
+crates/histogram/src/value_hist.rs:
+crates/histogram/src/wavelet.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xtwig_markov-1e18aba83fae6d8b.d: crates/markov/src/lib.rs
+
+/root/repo/target/release/deps/libxtwig_markov-1e18aba83fae6d8b.rlib: crates/markov/src/lib.rs
+
+/root/repo/target/release/deps/libxtwig_markov-1e18aba83fae6d8b.rmeta: crates/markov/src/lib.rs
+
+crates/markov/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xtwig_query-448e6014854e0b82.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/eval.rs crates/query/src/parser.rs
+
+/root/repo/target/release/deps/libxtwig_query-448e6014854e0b82.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/eval.rs crates/query/src/parser.rs
+
+/root/repo/target/release/deps/libxtwig_query-448e6014854e0b82.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/eval.rs crates/query/src/parser.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/eval.rs:
+crates/query/src/parser.rs:

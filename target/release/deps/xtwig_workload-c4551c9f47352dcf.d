@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xtwig_workload-c4551c9f47352dcf.d: crates/workload/src/lib.rs crates/workload/src/error.rs crates/workload/src/estimator.rs crates/workload/src/generator.rs crates/workload/src/sweep.rs
+
+/root/repo/target/release/deps/libxtwig_workload-c4551c9f47352dcf.rlib: crates/workload/src/lib.rs crates/workload/src/error.rs crates/workload/src/estimator.rs crates/workload/src/generator.rs crates/workload/src/sweep.rs
+
+/root/repo/target/release/deps/libxtwig_workload-c4551c9f47352dcf.rmeta: crates/workload/src/lib.rs crates/workload/src/error.rs crates/workload/src/estimator.rs crates/workload/src/generator.rs crates/workload/src/sweep.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/error.rs:
+crates/workload/src/estimator.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/sweep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xtwig_xml-b37823f96191fc57.d: crates/xmldoc/src/lib.rs crates/xmldoc/src/builder.rs crates/xmldoc/src/document.rs crates/xmldoc/src/labels.rs crates/xmldoc/src/parser.rs crates/xmldoc/src/stats.rs crates/xmldoc/src/writer.rs
+
+/root/repo/target/release/deps/libxtwig_xml-b37823f96191fc57.rlib: crates/xmldoc/src/lib.rs crates/xmldoc/src/builder.rs crates/xmldoc/src/document.rs crates/xmldoc/src/labels.rs crates/xmldoc/src/parser.rs crates/xmldoc/src/stats.rs crates/xmldoc/src/writer.rs
+
+/root/repo/target/release/deps/libxtwig_xml-b37823f96191fc57.rmeta: crates/xmldoc/src/lib.rs crates/xmldoc/src/builder.rs crates/xmldoc/src/document.rs crates/xmldoc/src/labels.rs crates/xmldoc/src/parser.rs crates/xmldoc/src/stats.rs crates/xmldoc/src/writer.rs
+
+crates/xmldoc/src/lib.rs:
+crates/xmldoc/src/builder.rs:
+crates/xmldoc/src/document.rs:
+crates/xmldoc/src/labels.rs:
+crates/xmldoc/src/parser.rs:
+crates/xmldoc/src/stats.rs:
+crates/xmldoc/src/writer.rs:

@@ -12,7 +12,10 @@ use xtwig::workload::{
 
 #[test]
 fn xsketch_beats_cst_on_correlated_data() {
-    let doc = imdb(ImdbConfig { movies: 400, seed: 77 });
+    let doc = imdb(ImdbConfig {
+        movies: 400,
+        seed: 77,
+    });
     let spec = WorkloadSpec {
         queries: 80,
         kind: WorkloadKind::SimplePath,
@@ -32,9 +35,18 @@ fn xsketch_beats_cst_on_correlated_data() {
         ..Default::default()
     };
     let (synopsis, _) = xbuild(&doc, TruthSource::Exact, &build);
-    let cst = Cst::build(&doc, CstOptions { budget_bytes: budget, ..Default::default() });
+    let cst = Cst::build(
+        &doc,
+        CstOptions {
+            budget_bytes: budget,
+            ..Default::default()
+        },
+    );
 
-    let xs = XsketchEstimator { synopsis: &synopsis, opts: EstimateOptions::default() };
+    let xs = XsketchEstimator {
+        synopsis: &synopsis,
+        opts: EstimateOptions::default(),
+    };
     let ce = CstEstimator { cst: &cst };
     let xs_est: Vec<f64> = w.queries.iter().map(|q| xs.estimate(q)).collect();
     let cst_est: Vec<f64> = w.queries.iter().map(|q| ce.estimate(q)).collect();
@@ -53,11 +65,20 @@ fn xsketch_beats_cst_on_correlated_data() {
 
 #[test]
 fn both_techniques_are_exact_on_unambiguous_single_paths() {
-    let doc = imdb(ImdbConfig { movies: 60, seed: 3 });
+    let doc = imdb(ImdbConfig {
+        movies: 60,
+        seed: 3,
+    });
     let q = xtwig::query::parse_twig("for $t0 in //movie, $t1 in $t0/actor").unwrap();
     let truth = xtwig::query::selectivity(&doc, &q) as f64;
     let s = xtwig::core::coarse_synopsis(&doc);
-    let cst = Cst::build(&doc, CstOptions { budget_bytes: 1 << 20, ..Default::default() });
+    let cst = Cst::build(
+        &doc,
+        CstOptions {
+            budget_bytes: 1 << 20,
+            ..Default::default()
+        },
+    );
     let xs = xtwig::core::estimate_selectivity(&s, &q, &EstimateOptions::default());
     let ce = xtwig::cst::estimate_twig(&cst, &q);
     assert!((xs - truth).abs() < 1e-6, "xsketch {xs} vs {truth}");

@@ -9,11 +9,11 @@ use xtwig::workload::{
     avg_relative_error, generate_workload, WorkloadKind, WorkloadSpec, XsketchEstimator,
 };
 
-fn workload_error(
-    s: &xtwig::core::Synopsis,
-    w: &xtwig::workload::Workload,
-) -> f64 {
-    let est = XsketchEstimator { synopsis: s, opts: EstimateOptions::default() };
+fn workload_error(s: &xtwig::core::Synopsis, w: &xtwig::workload::Workload) -> f64 {
+    let est = XsketchEstimator {
+        synopsis: s,
+        opts: EstimateOptions::default(),
+    };
     let estimates: Vec<f64> = w
         .queries
         .iter()
@@ -50,7 +50,11 @@ fn xbuild_beats_coarse_on_every_dataset() {
         };
         let (built, trace) = xbuild(&doc, TruthSource::Exact, &build);
         built.check_invariants(&doc).unwrap();
-        assert!(!trace.rounds.is_empty(), "{}: no refinements applied", ds.name());
+        assert!(
+            !trace.rounds.is_empty(),
+            "{}: no refinements applied",
+            ds.name()
+        );
         let built_err = workload_error(&built, &w);
         assert!(
             built_err <= coarse_err * 1.15 + 0.02,
@@ -69,7 +73,12 @@ fn estimates_are_finite_and_nonnegative_across_workloads() {
         WorkloadKind::BranchingValues,
         WorkloadKind::SimplePath,
     ] {
-        let spec = WorkloadSpec { queries: 30, kind, seed: 7, ..Default::default() };
+        let spec = WorkloadSpec {
+            queries: 30,
+            kind,
+            seed: 7,
+            ..Default::default()
+        };
         let w = generate_workload(&doc, &spec);
         for q in &w.queries {
             let e = estimate_selectivity(&s, q, &EstimateOptions::default());
@@ -85,7 +94,12 @@ fn pv_error_exceeds_p_error_on_skewed_data() {
     let coarse = coarse_synopsis(&doc);
     let p = generate_workload(
         &doc,
-        &WorkloadSpec { queries: 60, kind: WorkloadKind::Branching, seed: 2, ..Default::default() },
+        &WorkloadSpec {
+            queries: 60,
+            kind: WorkloadKind::Branching,
+            seed: 2,
+            ..Default::default()
+        },
     );
     let pv = generate_workload(
         &doc,

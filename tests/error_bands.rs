@@ -12,13 +12,22 @@ use xtwig::workload::{avg_relative_error, generate_workload, WorkloadKind, Workl
 
 fn built_error(ds: Dataset, kind: WorkloadKind, extra_budget: usize) -> (f64, f64) {
     let doc = ds.generate(0.05);
-    let spec = WorkloadSpec { queries: 80, kind, seed: 0xBAD5, ..Default::default() };
+    let spec = WorkloadSpec {
+        queries: 80,
+        kind,
+        seed: 0xBAD5,
+        ..Default::default()
+    };
     let w = generate_workload(&doc, &spec);
     let truths: Vec<f64> = w.truths.iter().map(|&t| t as f64).collect();
     let coarse = coarse_synopsis(&doc);
     let opts = EstimateOptions::default();
     let score = |s: &xtwig::core::Synopsis| {
-        let est: Vec<f64> = w.queries.iter().map(|q| estimate_selectivity(s, q, &opts)).collect();
+        let est: Vec<f64> = w
+            .queries
+            .iter()
+            .map(|q| estimate_selectivity(s, q, &opts))
+            .collect();
         avg_relative_error(&est, &truths).avg_rel_error
     };
     let coarse_err = score(&coarse);

@@ -55,11 +55,19 @@ fn full_info_synopsis(doc: &Document) -> xtwig::core::Synopsis {
             .children_of(n)
             .to_vec()
             .into_iter()
-            .map(|v| ScopeDim { parent: n, child: v, kind: DimKind::Forward })
+            .map(|v| ScopeDim {
+                parent: n,
+                child: v,
+                kind: DimKind::Forward,
+            })
             .collect();
         for &p in &s.parents_of(n).to_vec() {
             for &z in &s.children_of(p).to_vec() {
-                scope.push(ScopeDim { parent: p, child: z, kind: DimKind::Backward });
+                scope.push(ScopeDim {
+                    parent: p,
+                    child: z,
+                    kind: DimKind::Backward,
+                });
             }
         }
         s.set_edge_hist(doc, n, scope, 1 << 20);

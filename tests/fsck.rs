@@ -1,0 +1,112 @@
+//! Integration: the synopsis fsck (`xtwig_core::validate`) accepts every
+//! synopsis XBUILD produces on the three paper datasets — coarse, refined
+//! and reloaded-from-snapshot — and rejects corrupted snapshots with a
+//! descriptive error.
+
+use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
+use xtwig::core::{coarse_synopsis, fsck, load_synopsis, save_synopsis, validate};
+use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
+use xtwig::xml::Document;
+
+fn datasets() -> Vec<(&'static str, Document)> {
+    vec![
+        (
+            "xmark",
+            xmark(XMarkConfig {
+                scale: 0.02,
+                seed: 5,
+            }),
+        ),
+        ("imdb", imdb(ImdbConfig::scaled(0.02, 6))),
+        ("sprot", sprot(SprotConfig::scaled(0.02, 7))),
+    ]
+}
+
+#[test]
+fn xbuild_synopses_pass_fsck_on_all_generators() {
+    for (name, doc) in datasets() {
+        let coarse = coarse_synopsis(&doc);
+        validate(&coarse).unwrap_or_else(|r| panic!("{name} coarse: {r}"));
+
+        let build = BuildOptions {
+            budget_bytes: coarse.size_bytes() + 1200,
+            refinements_per_round: 3,
+            max_rounds: 40,
+            workload_with_values: true,
+            seed: 23,
+            ..Default::default()
+        };
+        let (built, trace) = xbuild(&doc, TruthSource::Exact, &build);
+        assert!(!trace.rounds.is_empty(), "{name}: no refinement happened");
+        fsck(&built).unwrap_or_else(|r| panic!("{name} built: {r}"));
+
+        let loaded = load_synopsis(&save_synopsis(&built)).expect("snapshot loads");
+        fsck(&loaded).unwrap_or_else(|r| panic!("{name} reloaded: {r}"));
+    }
+}
+
+#[test]
+fn corrupted_snapshot_fails_descriptively() {
+    let doc = imdb(ImdbConfig::scaled(0.02, 9));
+    let (built, _) = xbuild(
+        &doc,
+        TruthSource::Exact,
+        &BuildOptions {
+            budget_bytes: 2500,
+            max_rounds: 30,
+            ..Default::default()
+        },
+    );
+    let bytes = save_synopsis(&built);
+
+    // Wrong magic: refused before any decoding.
+    let mut garbled = bytes.clone();
+    garbled[0] ^= 0xFF;
+    let err = load_synopsis(&garbled).unwrap_err();
+    assert!(err.to_string().contains("not an XTWG snapshot"), "{err}");
+
+    // Unsupported version: named in the error.
+    let mut versioned = bytes.clone();
+    versioned[4] = 0xEE;
+    let err = load_synopsis(&versioned).unwrap_err();
+    assert!(
+        err.to_string().contains("unsupported snapshot version"),
+        "{err}"
+    );
+
+    // Truncation: the error carries the byte offset where decoding died.
+    let truncated = &bytes[..bytes.len() / 2];
+    let err = load_synopsis(truncated).unwrap_err();
+    assert!(
+        err.offset <= truncated.len(),
+        "offset {} out of range",
+        err.offset
+    );
+    assert!(err.to_string().contains("snapshot error at byte"), "{err}");
+
+    // Semantic corruption: bump a node's extent count inside the node
+    // table. The snapshot still decodes, but the fsck must reject it
+    // with a report naming the broken invariant. Walk the header to the
+    // first node record: magic(4) version(4) label_count(4), then each
+    // label as u32 length + bytes, then root(4) depth(4) node_count(4),
+    // then per node u16 label + u64 count.
+    let u32_at = |b: &[u8], at: usize| u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]]);
+    let label_count = u32_at(&bytes, 8) as usize;
+    let mut pos = 12;
+    for _ in 0..label_count {
+        pos += 4 + u32_at(&bytes, pos) as usize;
+    }
+    pos += 12; // root, max_depth, node_count
+    let first_count_at = pos + 2; // skip the u16 label id
+    let mut corrupted = bytes.clone();
+    corrupted[first_count_at + 6] = 0x7F; // count += 2^55: way past any extent
+    let s = load_synopsis(&corrupted).expect("count corruption still decodes");
+    let report = fsck(&s).expect_err("corrupted count must fail fsck");
+    assert!(!report.issues.is_empty());
+    let text = report.to_string();
+    assert!(text.contains("issue(s)"), "{text}");
+    assert!(
+        text.contains("incoming child_count sum") || text.contains("exceeds"),
+        "report should name the count invariant: {text}"
+    );
+}

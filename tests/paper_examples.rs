@@ -1,7 +1,7 @@
 //! Every concrete number the paper states, checked end-to-end through
 //! the public facade.
 
-use xtwig::core::estimate::{estimate_embedding, EstimateOptions, Embedding};
+use xtwig::core::estimate::{estimate_embedding, Embedding, EstimateOptions};
 use xtwig::core::synopsis::{DimKind, ScopeDim};
 use xtwig::core::{coarse_synopsis, estimate_selectivity};
 use xtwig::datagen::{bibliography, figure4_a, figure4_b, worked_example};
@@ -54,8 +54,16 @@ fn figure4_fraction_table() {
         &doc,
         a,
         &[
-            ScopeDim { parent: a, child: b, kind: DimKind::Forward },
-            ScopeDim { parent: a, child: c, kind: DimKind::Forward },
+            ScopeDim {
+                parent: a,
+                child: b,
+                kind: DimKind::Forward,
+            },
+            ScopeDim {
+                parent: a,
+                child: c,
+                kind: DimKind::Forward,
+            },
         ],
     );
     assert!((dist.fraction(&[10, 100]) - 0.5).abs() < 1e-12);
@@ -79,8 +87,16 @@ fn section4_worked_example_evaluates_to_ten_thirds() {
         &doc,
         author,
         vec![
-            ScopeDim { parent: author, child: paper, kind: DimKind::Forward },
-            ScopeDim { parent: author, child: name, kind: DimKind::Forward },
+            ScopeDim {
+                parent: author,
+                child: paper,
+                kind: DimKind::Forward,
+            },
+            ScopeDim {
+                parent: author,
+                child: name,
+                kind: DimKind::Forward,
+            },
         ],
         4096,
     );
@@ -88,9 +104,21 @@ fn section4_worked_example_evaluates_to_ten_thirds() {
         &doc,
         paper,
         vec![
-            ScopeDim { parent: paper, child: keyword, kind: DimKind::Forward },
-            ScopeDim { parent: paper, child: year, kind: DimKind::Forward },
-            ScopeDim { parent: author, child: paper, kind: DimKind::Backward },
+            ScopeDim {
+                parent: paper,
+                child: keyword,
+                kind: DimKind::Forward,
+            },
+            ScopeDim {
+                parent: paper,
+                child: year,
+                kind: DimKind::Forward,
+            },
+            ScopeDim {
+                parent: author,
+                child: paper,
+                kind: DimKind::Backward,
+            },
         ],
         4096,
     );
@@ -107,8 +135,8 @@ fn section4_worked_example_evaluates_to_ten_thirds() {
 #[test]
 fn section1_movie_query_parses_and_runs() {
     // The introduction's XQuery for-clause as a twig.
-    let q = parse_twig("for $t0 in //movie[type = 1], $t1 in $t0/actor, $t2 in $t0/producer")
-        .unwrap();
+    let q =
+        parse_twig("for $t0 in //movie[type = 1], $t1 in $t0/actor, $t2 in $t0/producer").unwrap();
     assert_eq!(q.len(), 3);
     // "A qualifying movie with 10 actors and 3 producers will generate 30
     // tuples."

@@ -10,7 +10,10 @@ use xtwig::workload::{generate_workload, WorkloadKind, WorkloadSpec};
 
 #[test]
 fn snapshot_preserves_workload_estimates() {
-    let doc = imdb(ImdbConfig { movies: 200, seed: 31 });
+    let doc = imdb(ImdbConfig {
+        movies: 200,
+        seed: 31,
+    });
     let build = BuildOptions {
         budget_bytes: 3000,
         refinements_per_round: 3,
@@ -24,9 +27,17 @@ fn snapshot_preserves_workload_estimates() {
     assert!(!loaded.has_extents());
 
     let opts = EstimateOptions::default();
-    for kind in [WorkloadKind::Branching, WorkloadKind::BranchingValues, WorkloadKind::SimplePath]
-    {
-        let spec = WorkloadSpec { queries: 40, kind, seed: 17, ..Default::default() };
+    for kind in [
+        WorkloadKind::Branching,
+        WorkloadKind::BranchingValues,
+        WorkloadKind::SimplePath,
+    ] {
+        let spec = WorkloadSpec {
+            queries: 40,
+            kind,
+            seed: 17,
+            ..Default::default()
+        };
         let w = generate_workload(&doc, &spec);
         for q in &w.queries {
             let a = estimate_selectivity(&synopsis, q, &opts);
@@ -40,5 +51,9 @@ fn snapshot_preserves_workload_estimates() {
     // Snapshot compactness: within an order of magnitude of the charged
     // synopsis size (the format stores f64 means the accounting charges
     // more coarsely).
-    assert!(bytes.len() < synopsis.size_bytes() * 12, "snapshot {} bytes", bytes.len());
+    assert!(
+        bytes.len() < synopsis.size_bytes() * 12,
+        "snapshot {} bytes",
+        bytes.len()
+    );
 }
