@@ -6,7 +6,10 @@
 //! *maximal* twig matched onto the synopsis. The selectivity of the
 //! original query is the sum of the estimates of its embeddings.
 
-use crate::estimate::expand::{expand_path_absolute, expand_path_from, BranchValue, Chain};
+use crate::estimate::expand::{
+    expand_path_absolute_metered, expand_path_from_metered, BranchValue, Chain,
+};
+use crate::estimate::guard::Meter;
 use crate::estimate::EstimateOptions;
 use crate::synopsis::{SynId, Synopsis};
 use xtwig_query::{TwigNodeRef, TwigQuery};
@@ -102,9 +105,23 @@ pub fn enumerate_embeddings(
     query: &TwigQuery,
     opts: &EstimateOptions,
 ) -> Vec<Embedding> {
-    let root_chains = expand_path_absolute(s, query.path(query.root()), opts);
+    enumerate_embeddings_metered(s, query, opts, &mut Meter::from_options(opts))
+}
+
+/// [`enumerate_embeddings`] charging a caller-owned budget [`Meter`]; on
+/// exhaustion the embeddings completed so far are returned.
+pub fn enumerate_embeddings_metered(
+    s: &Synopsis,
+    query: &TwigQuery,
+    opts: &EstimateOptions,
+    meter: &mut Meter,
+) -> Vec<Embedding> {
+    let root_chains = expand_path_absolute_metered(s, query.path(query.root()), opts, meter);
     let mut out: Vec<Embedding> = Vec::new();
     for chain in &root_chains {
+        if meter.exhaustion().is_some() {
+            break;
+        }
         let Some(head) = chain.nodes.first() else {
             continue;
         };
@@ -122,7 +139,7 @@ pub fn enumerate_embeddings(
         } else {
             0
         };
-        attach_children(s, query, opts, emb, query.root(), anchor, &mut out);
+        attach_children(s, query, opts, emb, query.root(), anchor, &mut out, meter);
         if out.len() >= opts.max_embeddings {
             out.truncate(opts.max_embeddings);
             break;
@@ -133,6 +150,7 @@ pub fn enumerate_embeddings(
 
 /// Recursively attaches the twig children of `t` under `anchor`, pushing
 /// every completed embedding into `out`.
+#[allow(clippy::too_many_arguments)]
 fn attach_children(
     s: &Synopsis,
     query: &TwigQuery,
@@ -141,10 +159,12 @@ fn attach_children(
     t: TwigNodeRef,
     anchor: usize,
     out: &mut Vec<Embedding>,
+    meter: &mut Meter,
 ) {
     // Process children sequentially via an explicit worklist of partial
     // embeddings, then recurse into the grandchildren (handled by the
     // inner recursion below).
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         s: &Synopsis,
         query: &TwigQuery,
@@ -152,8 +172,9 @@ fn attach_children(
         emb: Embedding,
         pending: &[(TwigNodeRef, usize)],
         out: &mut Vec<Embedding>,
+        meter: &mut Meter,
     ) {
-        if out.len() >= opts.max_embeddings {
+        if out.len() >= opts.max_embeddings || !meter.proceed(1) {
             return;
         }
         let Some(&(t, anchor)) = pending.first() else {
@@ -164,8 +185,11 @@ fn attach_children(
         let Some(anchor_syn) = emb.nodes.get(anchor).map(|n| n.syn) else {
             return;
         };
-        let chains = expand_path_from(s, anchor_syn, query.path(t), opts);
+        let chains = expand_path_from_metered(s, anchor_syn, query.path(t), opts, meter);
         for chain in &chains {
+            if meter.exhaustion().is_some() {
+                return;
+            }
             let mut e = emb.clone();
             let end = e.push_chain(anchor, chain);
             // Queue t's own children anchored at the chain end, ahead of
@@ -173,13 +197,13 @@ fn attach_children(
             let mut next: Vec<(TwigNodeRef, usize)> =
                 query.children(t).iter().map(|&c| (c, end)).collect();
             next.extend_from_slice(rest);
-            rec(s, query, opts, e, &next, out);
+            rec(s, query, opts, e, &next, out, meter);
         }
     }
 
     let pending: Vec<(TwigNodeRef, usize)> =
         query.children(t).iter().map(|&c| (c, anchor)).collect();
-    rec(s, query, opts, emb, &pending, out);
+    rec(s, query, opts, emb, &pending, out, meter);
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 //! evaluation can condition on.
 
 use crate::estimate::embedding::Embedding;
+use crate::estimate::guard::Meter;
 use crate::synopsis::{DimKind, SynId, Synopsis, ValueSource};
 use std::collections::HashSet;
 
@@ -32,12 +33,19 @@ type Env = Vec<((SynId, SynId), f64)>;
 
 /// Estimates the selectivity of one maximal twig embedding.
 pub fn estimate_embedding(s: &Synopsis, emb: &Embedding) -> f64 {
+    estimate_embedding_metered(s, emb, &mut Meter::unlimited())
+}
+
+/// [`estimate_embedding`] charging a caller-owned budget [`Meter`]. On
+/// exhaustion the support-term loops stop early, yielding the (finite)
+/// partial accumulation instead of the full TREEPARSE sum.
+pub fn estimate_embedding_metered(s: &Synopsis, emb: &Embedding, meter: &mut Meter) -> f64 {
     if emb.nodes.is_empty() {
         return 0.0;
     }
     let needs = compute_needs(s, emb);
     let mut env: Env = Vec::new();
-    emb.root_count * eval_node(s, emb, &needs, 0, &mut env)
+    emb.root_count * eval_node(s, emb, &needs, 0, &mut env, meter)
 }
 
 /// `needs[i]`: edges that appear as backward dimensions of histograms in
@@ -75,6 +83,7 @@ fn eval_node(
     needs: &[HashSet<(SynId, SynId)>],
     i: usize,
     env: &mut Env,
+    meter: &mut Meter,
 ) -> f64 {
     let Some(node) = emb.nodes.get(i) else {
         return 0.0;
@@ -189,6 +198,9 @@ fn eval_node(
     };
     let mut acc = 0.0;
     for (mass, values) in &support {
+        if !meter.proceed(1) {
+            break;
+        }
         if *mass == 0.0 {
             continue;
         }
@@ -200,7 +212,7 @@ fn eval_node(
         }
         let mut term = *mass;
         for (&c, dim) in node.children.iter().zip(child_dim.iter()) {
-            let sub = eval_node(s, emb, needs, c, env);
+            let sub = eval_node(s, emb, needs, c, env, meter);
             let mult = match dim.and_then(|j| values.get(j)) {
                 Some(&v) => v,
                 // U_i: Forward Uniformity over the exact edge average.

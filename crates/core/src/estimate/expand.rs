@@ -8,6 +8,7 @@
 //! and branching predicates are folded into a per-link existence fraction
 //! via the single-path estimator.
 
+use crate::estimate::guard::Meter;
 use crate::estimate::EstimateOptions;
 use crate::single_path::branch_fraction;
 use crate::synopsis::{SynId, Synopsis};
@@ -66,6 +67,17 @@ pub struct Chain {
 /// anywhere below (or at) the root. Every returned chain starts at the
 /// synopsis root node.
 pub fn expand_path_absolute(s: &Synopsis, path: &PathExpr, opts: &EstimateOptions) -> Vec<Chain> {
+    expand_path_absolute_metered(s, path, opts, &mut Meter::from_options(opts))
+}
+
+/// [`expand_path_absolute`] charging a caller-owned budget [`Meter`]; on
+/// exhaustion the chains expanded so far are returned.
+pub fn expand_path_absolute_metered(
+    s: &Synopsis,
+    path: &PathExpr,
+    opts: &EstimateOptions,
+    meter: &mut Meter,
+) -> Vec<Chain> {
     let root = s.root();
     let Some(first) = path.steps.first() else {
         return Vec::new();
@@ -83,7 +95,7 @@ pub fn expand_path_absolute(s: &Synopsis, path: &PathExpr, opts: &EstimateOption
             if s.tag(root) == first.label {
                 heads.push(vec![resolve_link(s, root, first, opts)]);
             }
-            for mut tail in descendant_chains(s, root, &first.label, opts) {
+            for mut tail in descendant_chains(s, root, &first.label, opts, meter) {
                 let Some(last) = tail.pop() else { continue };
                 let mut chain = vec![ChainLink::plain(root)];
                 chain.extend(tail.into_iter().map(ChainLink::plain));
@@ -92,7 +104,7 @@ pub fn expand_path_absolute(s: &Synopsis, path: &PathExpr, opts: &EstimateOption
             }
         }
     }
-    extend_chains(s, heads, &path.steps[1..], opts)
+    extend_chains(s, heads, &path.steps[1..], opts, meter)
         .into_iter()
         .map(|nodes| Chain { nodes })
         .collect()
@@ -105,6 +117,18 @@ pub fn expand_path_from(
     from: SynId,
     path: &PathExpr,
     opts: &EstimateOptions,
+) -> Vec<Chain> {
+    expand_path_from_metered(s, from, path, opts, &mut Meter::from_options(opts))
+}
+
+/// [`expand_path_from`] charging a caller-owned budget [`Meter`]; on
+/// exhaustion the chains expanded so far are returned.
+pub fn expand_path_from_metered(
+    s: &Synopsis,
+    from: SynId,
+    path: &PathExpr,
+    opts: &EstimateOptions,
+    meter: &mut Meter,
 ) -> Vec<Chain> {
     let Some(first) = path.steps.first() else {
         return Vec::new();
@@ -119,7 +143,7 @@ pub fn expand_path_from(
             }
         }
         Axis::Descendant => {
-            for mut tail in descendant_chains(s, from, &first.label, opts) {
+            for mut tail in descendant_chains(s, from, &first.label, opts, meter) {
                 let Some(last) = tail.pop() else { continue };
                 let mut chain: Vec<ChainLink> = tail.into_iter().map(ChainLink::plain).collect();
                 chain.push(resolve_link(s, last, first, opts));
@@ -127,7 +151,7 @@ pub fn expand_path_from(
             }
         }
     }
-    extend_chains(s, heads, &path.steps[1..], opts)
+    extend_chains(s, heads, &path.steps[1..], opts, meter)
         .into_iter()
         .map(|nodes| Chain { nodes })
         .collect()
@@ -181,16 +205,21 @@ fn resolve_link(s: &Synopsis, v: SynId, step: &Step, opts: &EstimateOptions) -> 
     }
 }
 
-/// Extends partial chains over the remaining steps.
+/// Extends partial chains over the remaining steps, charging the meter
+/// one unit per candidate extension.
 fn extend_chains(
     s: &Synopsis,
     mut chains: Vec<Vec<ChainLink>>,
     steps: &[Step],
     opts: &EstimateOptions,
+    meter: &mut Meter,
 ) -> Vec<Vec<ChainLink>> {
     for step in steps {
         let mut next: Vec<Vec<ChainLink>> = Vec::new();
         for chain in &chains {
+            if !meter.proceed(1) {
+                return next;
+            }
             let Some(anchor) = chain.last().map(|l| l.syn) else {
                 continue;
             };
@@ -205,7 +234,7 @@ fn extend_chains(
                     }
                 }
                 Axis::Descendant => {
-                    for mut tail in descendant_chains(s, anchor, &step.label, opts) {
+                    for mut tail in descendant_chains(s, anchor, &step.label, opts, meter) {
                         let Some(last) = tail.pop() else { continue };
                         let mut c = chain.clone();
                         c.extend(tail.into_iter().map(ChainLink::plain));
@@ -237,6 +266,7 @@ fn descendant_chains(
     from: SynId,
     label: &str,
     opts: &EstimateOptions,
+    meter: &mut Meter,
 ) -> Vec<Vec<SynId>> {
     let max_len = if opts.max_descendant_len > 0 {
         opts.max_descendant_len
@@ -253,10 +283,12 @@ fn descendant_chains(
         opts.max_embeddings,
         &mut stack,
         &mut out,
+        meter,
     );
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn descend(
     s: &Synopsis,
     at: SynId,
@@ -265,19 +297,20 @@ fn descend(
     cap: usize,
     stack: &mut Vec<SynId>,
     out: &mut Vec<Vec<SynId>>,
+    meter: &mut Meter,
 ) {
     if remaining == 0 || out.len() >= cap {
         return;
     }
     for &v in s.children_of(at) {
-        if out.len() >= cap {
+        if out.len() >= cap || !meter.proceed(1) {
             return;
         }
         stack.push(v);
         if s.tag(v) == label {
             out.push(stack.clone());
         }
-        descend(s, v, label, remaining - 1, cap, stack, out);
+        descend(s, v, label, remaining - 1, cap, stack, out, meter);
         stack.pop();
     }
 }

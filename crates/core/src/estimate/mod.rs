@@ -23,14 +23,16 @@
 pub mod embedding;
 pub mod eval;
 pub mod expand;
+pub mod guard;
 
-pub use embedding::{enumerate_embeddings, EmbNode, Embedding};
-pub use eval::estimate_embedding;
+pub use embedding::{enumerate_embeddings, enumerate_embeddings_metered, EmbNode, Embedding};
+pub use eval::{estimate_embedding, estimate_embedding_metered};
+pub use guard::{Exhaustion, Meter};
 
 use crate::synopsis::Synopsis;
 use xtwig_query::TwigQuery;
 
-/// Tunables for expansion and embedding enumeration.
+/// Tunables for expansion, embedding enumeration, and budget guarding.
 #[derive(Debug, Clone, Copy)]
 pub struct EstimateOptions {
     /// Hard cap on the number of embeddings evaluated per query (the sum
@@ -39,6 +41,13 @@ pub struct EstimateOptions {
     /// Maximum length of a synopsis chain a single `//` step may expand to
     /// (0 = use the document depth recorded in the synopsis).
     pub max_descendant_len: usize,
+    /// Wall-clock deadline for the whole estimation; once passed, the
+    /// pipeline unwinds cooperatively and the partial result is returned
+    /// with [`Exhaustion::Deadline`]. `None` = no deadline.
+    pub deadline: Option<std::time::Instant>,
+    /// Abstract work-unit budget across expansion, embedding enumeration
+    /// and TREEPARSE evaluation (0 = unlimited). See [`guard::Meter`].
+    pub work_limit: u64,
 }
 
 impl Default for EstimateOptions {
@@ -46,17 +55,116 @@ impl Default for EstimateOptions {
         EstimateOptions {
             max_embeddings: 4096,
             max_descendant_len: 0,
+            deadline: None,
+            work_limit: 0,
         }
+    }
+}
+
+/// A bounded estimation result: the (sanitized) estimate plus provenance
+/// about how it was produced — whether a budget tripped, how much work
+/// was spent, and whether any non-finite contribution had to be clamped
+/// at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedEstimate {
+    /// The estimated number of binding tuples — always finite and ≥ 0.
+    pub estimate: f64,
+    /// Why evaluation stopped early, if it did. `None` means the full
+    /// sum over maximal embeddings was evaluated.
+    pub exhaustion: Option<Exhaustion>,
+    /// Number of embeddings whose contribution entered the sum.
+    pub embeddings: usize,
+    /// Total abstract work units charged.
+    pub work: u64,
+    /// Number of per-embedding contributions that were NaN, negative, or
+    /// infinite and were clamped at the boundary.
+    pub clamped: usize,
+}
+
+impl BoundedEstimate {
+    /// Whether the result is anything less than the full-fidelity sum:
+    /// a budget tripped or a contribution had to be clamped.
+    pub fn is_degraded(&self) -> bool {
+        self.exhaustion.is_some() || self.clamped > 0
     }
 }
 
 /// Estimates the selectivity (number of binding tuples) of `query` over
 /// the synopsis: the sum of the estimates of all maximal twig embeddings.
+///
+/// This is the guarded variant: expansion, enumeration and evaluation all
+/// charge a shared [`Meter`] built from the options' deadline/work-limit
+/// fields, and the returned value is sanitized — never NaN, negative, or
+/// infinite (non-finite contributions clamp to 0.0 or the coarse
+/// label-count bound). With default options the numeric result is
+/// identical to [`estimate_selectivity`].
+pub fn estimate_selectivity_bounded(
+    s: &Synopsis,
+    query: &TwigQuery,
+    opts: &EstimateOptions,
+) -> BoundedEstimate {
+    let mut meter = Meter::from_options(opts);
+    let embs = enumerate_embeddings_metered(s, query, opts, &mut meter);
+    let mut total = 0.0f64;
+    let mut clamped = 0usize;
+    let mut evaluated = 0usize;
+    for e in &embs {
+        let v = estimate_embedding_metered(s, e, &mut meter);
+        evaluated += 1;
+        if v.is_finite() && v >= 0.0 {
+            total += v;
+        } else {
+            clamped += 1;
+            if v == f64::INFINITY {
+                total += coarse_count_bound(s, query);
+            }
+            // NaN / negative contributions clamp to 0.0 (dropped).
+        }
+        if meter.exhaustion().is_some() {
+            break;
+        }
+    }
+    if !total.is_finite() {
+        clamped += 1;
+        total = coarse_count_bound(s, query);
+    }
+    BoundedEstimate {
+        estimate: total.clamp(0.0, f64::MAX),
+        exhaustion: meter.exhaustion(),
+        embeddings: evaluated,
+        work: meter.work_done(),
+        clamped,
+    }
+}
+
+/// Estimates the selectivity (number of binding tuples) of `query` over
+/// the synopsis: the sum of the estimates of all maximal twig embeddings.
+/// Equivalent to [`estimate_selectivity_bounded`] with the estimate
+/// extracted; the result is always finite and non-negative.
 pub fn estimate_selectivity(s: &Synopsis, query: &TwigQuery, opts: &EstimateOptions) -> f64 {
-    enumerate_embeddings(s, query, opts)
-        .iter()
-        .map(|e| estimate_embedding(s, e))
-        .sum()
+    estimate_selectivity_bounded(s, query, opts).estimate
+}
+
+/// A trivially cheap, always-finite upper bound on twig selectivity: the
+/// product over twig nodes of the document-wide element count of the
+/// node's terminal tag. Every binding tuple is an element of that
+/// Cartesian product, so the true selectivity can never exceed it. Used
+/// as the last-resort degradation tier and as the clamp target for
+/// infinite intermediate results. Returns 0.0 when some queried tag does
+/// not occur in the document, and saturates at `f64::MAX`.
+pub fn coarse_count_bound(s: &Synopsis, query: &TwigQuery) -> f64 {
+    let mut bound = 1.0f64;
+    for t in query.node_refs() {
+        let Some(step) = query.path(t).steps.last() else {
+            continue;
+        };
+        let total = s.tag_total(&step.label);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        bound = (bound * total).min(f64::MAX);
+    }
+    bound
 }
 
 #[cfg(test)]
@@ -90,5 +198,95 @@ mod tests {
         let opts = EstimateOptions::default();
         assert!(opts.max_embeddings >= 1024);
         assert_eq!(opts.max_descendant_len, 0); // document depth
+    }
+
+    /// Rebuilds `s` with every edge histogram's buckets passed through
+    /// `doctor`, via the crate-private raw constructor.
+    fn with_doctored_hists(
+        s: &Synopsis,
+        doctor: impl Fn(xtwig_histogram::Bucket) -> xtwig_histogram::Bucket,
+    ) -> Synopsis {
+        let mut nodes = Vec::new();
+        let mut hists = Vec::new();
+        let mut summaries = Vec::new();
+        for n in s.node_ids() {
+            nodes.push(crate::synopsis::SynopsisNode {
+                label: s.label(n),
+                extent: Vec::new(),
+                count: s.extent_size(n),
+            });
+            let h = s.edge_hist(n);
+            let buckets = h.hist.buckets().iter().cloned().map(&doctor).collect();
+            hists.push(crate::synopsis::EdgeHistogram {
+                scope: h.scope.clone(),
+                hist: xtwig_histogram::MdHistogram::from_parts(h.hist.dims(), buckets),
+                value_buckets: h.value_buckets.clone(),
+                budget_bytes: h.budget_bytes,
+                distinct_points: h.distinct_points,
+            });
+            summaries.push(s.value_summary(n).cloned());
+        }
+        let mut edges = std::collections::BTreeMap::new();
+        for (u, v, e) in s.edge_iter() {
+            edges.insert((u, v), *e);
+        }
+        Synopsis::from_raw_parts(
+            s.labels().clone(),
+            nodes,
+            edges,
+            s.root(),
+            s.max_depth(),
+            hists,
+            summaries,
+        )
+    }
+
+    /// Regression (ISSUE 2 satellite): histogram buckets with zero mass —
+    /// a state refinement can legitimately produce before re-bucketing —
+    /// must never surface as NaN or a negative estimate at the
+    /// `estimate_selectivity` boundary.
+    #[test]
+    fn zero_mass_buckets_never_produce_nan() {
+        let doc = parse(
+            "<bib><conf><paper><kw/></paper><paper><kw/><kw/></paper></conf>\
+             <journal><paper><kw/></paper></journal></bib>",
+        )
+        .unwrap();
+        let s = coarse_synopsis(&doc);
+        let opts = EstimateOptions::default();
+        let queries = [
+            "for $t0 in //paper, $t1 in $t0/kw",
+            "for $t0 in //conf, $t1 in $t0/paper, $t2 in $t1/kw",
+            "for $t0 in //journal//kw",
+        ];
+
+        // All mass zeroed out (means poisoned to NaN for good measure):
+        // estimates degrade to 0, never to NaN.
+        let zeroed = with_doctored_hists(&s, |mut b| {
+            b.fraction = 0.0;
+            b.mean = vec![f64::NAN; b.mean.len()];
+            b
+        });
+        for q in &queries {
+            let q = parse_twig(q).unwrap();
+            let v = estimate_selectivity(&zeroed, &q, &opts);
+            assert!(v.is_finite() && v >= 0.0, "zero-mass: got {v}");
+        }
+
+        // Positive mass but NaN means: the per-embedding contributions go
+        // NaN and the boundary must clamp them (dropped, counted).
+        let poisoned = with_doctored_hists(&s, |mut b| {
+            b.mean = vec![f64::NAN; b.mean.len()];
+            b
+        });
+        for q in &queries {
+            let q = parse_twig(q).unwrap();
+            let bounded = estimate_selectivity_bounded(&poisoned, &q, &opts);
+            assert!(
+                bounded.estimate.is_finite() && bounded.estimate >= 0.0,
+                "NaN means: got {}",
+                bounded.estimate
+            );
+        }
     }
 }

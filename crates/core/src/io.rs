@@ -8,47 +8,168 @@
 //! [`estimate_selectivity`](crate::estimate_selectivity) but cannot be
 //! refined further (see [`Synopsis::has_extents`]).
 //!
-//! Format (little-endian, length-prefixed):
+//! Format v2 (little-endian):
 //!
 //! ```text
-//! magic "XTWG" | version u32 | label table | root u32 | max_depth u32
-//! nodes: count u32, then per node: label u16, extent count u64
-//! edges: count u32, then per edge: u u32, v u32, child u64, parent u64
-//! per node: edge histogram (scope dims, buckets, value bucketizations,
-//!           budget, distinct), then optional value summary
+//! magic "XTWG" | version u32 = 2 | payload_len u64 | checksum u64
+//! payload (the v1 body, unchanged):
+//!   label table | root u32 | max_depth u32
+//!   nodes: count u32, then per node: label u16, extent count u64
+//!   edges: count u32, then per edge: u u32, v u32, child u64, parent u64
+//!   per node: edge histogram (scope dims, buckets, value bucketizations,
+//!             budget, distinct), then optional value summary
 //! ```
+//!
+//! The checksum is CRC-64/ECMA over the payload; CRC detects **every**
+//! single-bit flip, so corruption surfaces as a typed
+//! [`SnapshotError::ChecksumMismatch`] instead of a silently wrong
+//! estimate. Version-1 snapshots (no length/checksum header) remain
+//! readable. [`write_snapshot_atomic`] persists via a temporary sibling
+//! file plus `rename`, so a crash mid-write never leaves a torn snapshot
+//! at the destination path.
 
 use crate::synopsis::{
     DimKind, EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, SynopsisNode, ValueBuckets,
     ValueSummary,
 };
 use std::collections::BTreeMap;
+use std::path::Path;
 use xtwig_histogram::{Bucket, MdHistogram, ValueHistogram};
 use xtwig_xml::{LabelId, LabelTable};
 
 const MAGIC: &[u8; 4] = b"XTWG";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const LEGACY_VERSION: u32 = 1;
+/// Bytes before the payload: magic (4) + version (4) + payload_len (8) +
+/// checksum (8).
+pub const HEADER_LEN: usize = 24;
 
-/// Error produced by [`load_synopsis`].
+/// Error produced by snapshot reading and writing — every corruption
+/// mode maps to a distinct variant so callers (fsck, the CLI recovery
+/// path, the fault harness) can react precisely without string matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SnapshotError {
-    /// Byte offset where decoding failed.
-    pub offset: usize,
-    /// What went wrong.
-    pub message: String,
+pub enum SnapshotError {
+    /// The underlying file could not be read or written.
+    Io {
+        /// Path involved.
+        path: String,
+        /// The OS error, stringified.
+        cause: String,
+    },
+    /// The snapshot path names a directory.
+    IsDirectory {
+        /// Path involved.
+        path: String,
+    },
+    /// The snapshot is zero bytes long.
+    Empty {
+        /// Path involved, when reading from disk.
+        path: Option<String>,
+    },
+    /// The magic bytes are wrong — this is not an XTWG snapshot at all.
+    NotASnapshot,
+    /// The version field names a format this reader does not know.
+    UnsupportedVersion {
+        /// The version found.
+        version: u32,
+    },
+    /// The file is shorter than its header promises.
+    Truncated {
+        /// Bytes the header promises (header + payload).
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// Extra bytes follow the payload.
+    TrailingBytes {
+        /// How many extra bytes.
+        extra: usize,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// The payload itself is malformed at a specific byte offset.
+    Decode {
+        /// Absolute byte offset where decoding failed.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl SnapshotError {
+    /// The absolute byte offset of a payload decode failure, if this is
+    /// one.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            SnapshotError::Decode { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "snapshot error at byte {}: {}",
-            self.offset, self.message
-        )
+        match self {
+            SnapshotError::Io { path, cause } => {
+                write!(f, "snapshot I/O error on {path}: {cause}")
+            }
+            SnapshotError::IsDirectory { path } => {
+                write!(f, "snapshot path {path} is a directory")
+            }
+            SnapshotError::Empty { path: Some(p) } => write!(f, "empty snapshot at {p}"),
+            SnapshotError::Empty { path: None } => write!(f, "empty snapshot"),
+            SnapshotError::NotASnapshot => write!(f, "not an XTWG snapshot"),
+            SnapshotError::UnsupportedVersion { version } => {
+                write!(f, "unsupported snapshot version {version}")
+            }
+            SnapshotError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated snapshot: header promises {expected} bytes, found {actual}"
+                )
+            }
+            SnapshotError::TrailingBytes { extra } => {
+                write!(f, "trailing bytes after snapshot payload ({extra})")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            SnapshotError::Decode { offset, message } => {
+                write!(f, "snapshot error at byte {offset}: {message}")
+            }
+        }
     }
 }
 
 impl std::error::Error for SnapshotError {}
+
+// ---------------------------------------------------------------------
+// Checksum.
+// ---------------------------------------------------------------------
+
+/// CRC-64/ECMA (reflected, poly `0xC96C_5795_D787_0F42`, init/xorout
+/// all-ones) over `bytes`. A CRC detects every single-bit error, which
+/// the corruption-corpus tests rely on.
+pub fn snapshot_checksum(bytes: &[u8]) -> u64 {
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut crc = u64::MAX;
+    for &b in bytes {
+        crc ^= u64::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
 
 // ---------------------------------------------------------------------
 // Writer.
@@ -83,13 +204,26 @@ impl W {
     }
 }
 
-/// Serializes `s` to a binary snapshot.
+/// Serializes `s` to a version-2 binary snapshot (checksummed header +
+/// payload).
 pub fn save_synopsis(s: &Synopsis) -> Vec<u8> {
+    let payload = save_payload(s);
     let mut w = W {
-        buf: Vec::with_capacity(4096),
+        buf: Vec::with_capacity(HEADER_LEN + payload.len()),
     };
     w.buf.extend_from_slice(MAGIC);
     w.u32(VERSION);
+    w.u64(payload.len() as u64);
+    w.u64(snapshot_checksum(&payload));
+    w.buf.extend_from_slice(&payload);
+    w.buf
+}
+
+/// Serializes the body shared by both format versions.
+fn save_payload(s: &Synopsis) -> Vec<u8> {
+    let mut w = W {
+        buf: Vec::with_capacity(4096),
+    };
     // Label table.
     w.u32(s.labels().len() as u32);
     for (_, name) in s.labels().iter() {
@@ -181,12 +315,15 @@ fn write_edge_hist(w: &mut W, h: &EdgeHistogram) {
 struct R<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Added to reported offsets so payload errors cite absolute file
+    /// positions even though the payload is decoded as a sub-slice.
+    base: usize,
 }
 
 impl<'a> R<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, SnapshotError> {
-        Err(SnapshotError {
-            offset: self.pos,
+        Err(SnapshotError::Decode {
+            offset: self.base + self.pos,
             message: message.into(),
         })
     }
@@ -225,24 +362,70 @@ impl<'a> R<'a> {
     fn string(&mut self) -> Result<String, SnapshotError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError {
-            offset: self.pos,
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Decode {
+            offset: self.base + self.pos,
             message: "invalid UTF-8 in label".into(),
         })
     }
 }
 
-/// Deserializes a snapshot produced by [`save_synopsis`]. The returned
-/// synopsis is estimation-only (no extents).
+/// Deserializes a snapshot produced by [`save_synopsis`] (either format
+/// version). The returned synopsis is estimation-only (no extents).
 pub fn load_synopsis(bytes: &[u8]) -> Result<Synopsis, SnapshotError> {
-    let mut r = R { buf: bytes, pos: 0 };
-    if r.take(4)? != MAGIC {
-        return r.err("not an XTWG snapshot");
+    if bytes.is_empty() {
+        return Err(SnapshotError::Empty { path: None });
     }
-    let version = r.u32()?;
-    if version != VERSION {
-        return r.err(format!("unsupported snapshot version {version}"));
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(SnapshotError::NotASnapshot);
     }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    match version {
+        VERSION => {
+            if bytes.len() < HEADER_LEN {
+                return Err(SnapshotError::Truncated {
+                    expected: HEADER_LEN,
+                    actual: bytes.len(),
+                });
+            }
+            let mut hdr = R {
+                buf: bytes,
+                pos: 8,
+                base: 0,
+            };
+            let payload_len = hdr.u64()? as usize;
+            let stored = hdr.u64()?;
+            let expected = HEADER_LEN.saturating_add(payload_len);
+            if bytes.len() < expected {
+                return Err(SnapshotError::Truncated {
+                    expected,
+                    actual: bytes.len(),
+                });
+            }
+            if bytes.len() > expected {
+                return Err(SnapshotError::TrailingBytes {
+                    extra: bytes.len() - expected,
+                });
+            }
+            let payload = &bytes[HEADER_LEN..];
+            let computed = snapshot_checksum(payload);
+            if computed != stored {
+                return Err(SnapshotError::ChecksumMismatch { stored, computed });
+            }
+            decode_payload(payload, HEADER_LEN)
+        }
+        LEGACY_VERSION => decode_payload(&bytes[8..], 8),
+        other => Err(SnapshotError::UnsupportedVersion { version: other }),
+    }
+}
+
+/// Decodes the version-independent body; `base` is the payload's offset
+/// within the full snapshot, for error reporting.
+fn decode_payload(bytes: &[u8], base: usize) -> Result<Synopsis, SnapshotError> {
+    let mut r = R {
+        buf: bytes,
+        pos: 0,
+        base,
+    };
     let label_count = r.u32()? as usize;
     let mut labels = LabelTable::new();
     for _ in 0..label_count {
@@ -394,6 +577,72 @@ fn read_edge_hist(r: &mut R<'_>, node_count: usize) -> Result<EdgeHistogram, Sna
     })
 }
 
+// ---------------------------------------------------------------------
+// Files.
+// ---------------------------------------------------------------------
+
+/// Reads and decodes a snapshot file, mapping every filesystem failure
+/// mode (missing, directory, empty, unreadable) to a precise typed
+/// error.
+pub fn read_snapshot(path: &Path) -> Result<Synopsis, SnapshotError> {
+    let shown = path.display().to_string();
+    let meta = std::fs::metadata(path).map_err(|e| SnapshotError::Io {
+        path: shown.clone(),
+        cause: e.to_string(),
+    })?;
+    if meta.is_dir() {
+        return Err(SnapshotError::IsDirectory { path: shown });
+    }
+    if meta.len() == 0 {
+        return Err(SnapshotError::Empty { path: Some(shown) });
+    }
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io {
+        path: shown.clone(),
+        cause: e.to_string(),
+    })?;
+    match load_synopsis(&bytes) {
+        Err(SnapshotError::Empty { path: None }) => Err(SnapshotError::Empty { path: Some(shown) }),
+        other => other,
+    }
+}
+
+/// Serializes `s` and writes it to `path` crash-safely: the bytes go to
+/// a temporary sibling file which is fsynced and then renamed over the
+/// destination, so a crash at any point leaves either the old snapshot
+/// or the new one — never a torn file. Returns the snapshot size in
+/// bytes.
+pub fn write_snapshot_atomic(path: &Path, s: &Synopsis) -> Result<usize, SnapshotError> {
+    let shown = path.display().to_string();
+    let io_err = |e: std::io::Error| SnapshotError::Io {
+        path: shown.clone(),
+        cause: e.to_string(),
+    };
+    if path.is_dir() {
+        return Err(SnapshotError::IsDirectory { path: shown });
+    }
+    let bytes = save_synopsis(s);
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(&bytes).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_err(e));
+    }
+    // Best effort: persist the rename itself.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(bytes.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,14 +715,121 @@ mod tests {
         // Wrong magic.
         let mut bad = bytes.clone();
         bad[0] = b'Y';
-        assert!(load_synopsis(&bad).is_err());
+        assert!(matches!(
+            load_synopsis(&bad),
+            Err(SnapshotError::NotASnapshot)
+        ));
         // Wrong version.
         let mut bad = bytes.clone();
         bad[4] = 99;
-        assert!(load_synopsis(&bad).is_err());
+        assert!(matches!(
+            load_synopsis(&bad),
+            Err(SnapshotError::UnsupportedVersion { version: 99 })
+        ));
         // Trailing garbage.
         let mut bad = bytes.clone();
         bad.push(0);
-        assert!(load_synopsis(&bad).is_err());
+        assert!(matches!(
+            load_synopsis(&bad),
+            Err(SnapshotError::TrailingBytes { extra: 1 })
+        ));
+        // Empty input.
+        assert!(matches!(
+            load_synopsis(&[]),
+            Err(SnapshotError::Empty { path: None })
+        ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let (_doc, s) = built_synopsis();
+        let bytes = save_synopsis(&s);
+        // CRC-64 catches any single-bit payload flip; header flips hit
+        // the magic/version/length/checksum checks instead. Either way a
+        // corrupted snapshot must never load cleanly as a different
+        // synopsis without at least a typed error.
+        for pos in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1 << bit;
+                assert!(
+                    load_synopsis(&bad).is_err(),
+                    "bit {bit} at byte {pos} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v1_snapshots_still_load() {
+        let (_doc, s) = built_synopsis();
+        let v2 = save_synopsis(&s);
+        // Reconstruct the v1 layout: magic | version=1 | payload.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[HEADER_LEN..]);
+        let loaded = load_synopsis(&v1).unwrap();
+        assert_eq!(loaded.node_count(), s.node_count());
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        let opts = EstimateOptions::default();
+        let a = estimate_selectivity(&s, &q, &opts);
+        let b = estimate_selectivity(&loaded, &q, &opts);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checksum_detects_payload_swaps() {
+        // Swapping two differing payload bytes keeps the length but must
+        // break the checksum.
+        let (_doc, s) = built_synopsis();
+        let mut bytes = save_synopsis(&s);
+        let (i, j) = (HEADER_LEN + 3, HEADER_LEN + 11);
+        if bytes[i] != bytes[j] {
+            bytes.swap(i, j);
+            assert!(matches!(
+                load_synopsis(&bytes),
+                Err(SnapshotError::ChecksumMismatch { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn atomic_write_then_read_roundtrips() {
+        let (_doc, s) = built_synopsis();
+        let dir = std::env::temp_dir().join("xtwig-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.xtwg");
+        let n = write_snapshot_atomic(&path, &s).unwrap();
+        assert_eq!(n as u64, std::fs::metadata(&path).unwrap().len());
+        let loaded = read_snapshot(&path).unwrap();
+        assert_eq!(loaded.node_count(), s.node_count());
+        // No temporary residue.
+        assert!(!dir.join("atomic.xtwg.tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_snapshot_maps_filesystem_failures() {
+        let dir = std::env::temp_dir().join("xtwig-io-test-fs");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Directory path.
+        assert!(matches!(
+            read_snapshot(&dir),
+            Err(SnapshotError::IsDirectory { .. })
+        ));
+        // Zero-length file.
+        let empty = dir.join("empty.xtwg");
+        std::fs::write(&empty, b"").unwrap();
+        assert!(matches!(
+            read_snapshot(&empty),
+            Err(SnapshotError::Empty { path: Some(_) })
+        ));
+        // Missing file.
+        assert!(matches!(
+            read_snapshot(&dir.join("nope.xtwg")),
+            Err(SnapshotError::Io { .. })
+        ));
+        std::fs::remove_file(&empty).unwrap();
     }
 }

@@ -36,8 +36,14 @@ pub mod validate;
 pub use coarse::coarse_synopsis;
 pub use construct::{xbuild, BuildOptions, BuildTrace, Refinement, TruthSource};
 pub use describe::describe;
-pub use estimate::{estimate_selectivity, EstimateOptions};
-pub use io::{load_synopsis, save_synopsis, SnapshotError};
+pub use estimate::{
+    coarse_count_bound, estimate_selectivity, estimate_selectivity_bounded, BoundedEstimate,
+    EstimateOptions, Exhaustion,
+};
+pub use io::{
+    load_synopsis, read_snapshot, save_synopsis, snapshot_checksum, write_snapshot_atomic,
+    SnapshotError,
+};
 pub use synopsis::{EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, ValueSummary};
 pub use tsn::twig_stable_neighborhood;
 pub use validate::{fsck, validate, FsckIssue, FsckReport};

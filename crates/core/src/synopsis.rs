@@ -455,6 +455,16 @@ impl Synopsis {
         }
     }
 
+    /// Total number of document elements carrying `tag`, as a float —
+    /// the count→float boundary the estimation path uses for coarse
+    /// label-count bounds. 0.0 when the tag does not occur.
+    pub fn tag_total(&self, tag: &str) -> f64 {
+        self.nodes_with_tag(tag)
+            .iter()
+            .map(|&n| self.extent_size(n) as f64)
+            .sum()
+    }
+
     /// The edge record for `u→v`, if the edge exists.
     pub fn edge(&self, u: SynId, v: SynId) -> Option<&SynopsisEdge> {
         self.edges.get(&(u, v))

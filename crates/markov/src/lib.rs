@@ -84,6 +84,30 @@ impl MarkovPaths {
         m
     }
 
+    /// Assembles a model from pre-aggregated statistics and prunes it to
+    /// the byte budget. This lets a caller derive a Markov fallback from
+    /// another summary (e.g. an XSKETCH synopsis, whose per-node extents
+    /// and edge counts aggregate to exactly these tables) when the
+    /// original document is not at hand.
+    pub fn from_parts(
+        labels: LabelTable,
+        tag_counts: Vec<u64>,
+        transitions: HashMap<(LabelId, LabelId), u64>,
+        root_tag: LabelId,
+        opts: MarkovOptions,
+    ) -> MarkovPaths {
+        let mut m = MarkovPaths {
+            labels,
+            tag_counts,
+            transitions,
+            pruned_mass: 0,
+            pruned_cells: 0,
+            root_tag,
+        };
+        m.prune_to(opts.budget_bytes);
+        m
+    }
+
     /// Prunes the smallest transitions into the aggregate cell until the
     /// summary fits the budget.
     fn prune_to(&mut self, budget_bytes: usize) {
@@ -302,6 +326,21 @@ mod tests {
         assert_eq!(tiny.transition(kw[0], kw[1]), 4.0);
         // Pruned cells answer with the aggregate share, not zero.
         assert!(tiny.pruned_cells > 0);
+    }
+
+    #[test]
+    fn from_parts_matches_build() {
+        let d = doc();
+        let built = MarkovPaths::build(&d, MarkovOptions::default());
+        let m = MarkovPaths::from_parts(
+            built.labels.clone(),
+            built.tag_counts.clone(),
+            built.transitions.clone(),
+            built.root_tag,
+            MarkovOptions::default(),
+        );
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/kw").unwrap();
+        assert!((m.estimate_twig(&q) - built.estimate_twig(&q)).abs() < 1e-12);
     }
 
     #[test]

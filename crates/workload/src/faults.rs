@@ -1,0 +1,430 @@
+//! A deterministic fault-injection harness for the estimation service.
+//!
+//! A [`FaultPlan`] is a seeded, reproducible list of [`Fault`]s covering
+//! the failure modes an operator actually sees: torn and bit-flipped
+//! snapshot files, unreadable paths, pathological slow queries, and
+//! tiers that die mid-request. [`run_fault_plan`] drives a full
+//! load-or-recover + serve cycle under each fault and records what
+//! happened — the acceptance bar is *zero uncaught panics and every
+//! served estimate finite and non-negative*, with corruptions rejected
+//! by typed errors and recovered by rebuilding the synopsis from the
+//! document.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+use xtwig_core::{coarse_synopsis, load_synopsis, save_synopsis, SnapshotError, Synopsis};
+use xtwig_query::TwigQuery;
+use xtwig_xml::Document;
+
+use crate::guarded::{GuardPolicy, GuardedEstimator, InjectedFault, Tier};
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The snapshot file is cut off after `keep` bytes (a torn write).
+    SnapshotTruncate {
+        /// Bytes kept.
+        keep: usize,
+    },
+    /// One bit of the snapshot is flipped (media corruption).
+    SnapshotBitFlip {
+        /// Byte position.
+        byte: usize,
+        /// Bit within the byte (0–7).
+        bit: u8,
+    },
+    /// The snapshot is replaced by seeded random garbage.
+    SnapshotGarbage {
+        /// Garbage length.
+        len: usize,
+        /// Garbage seed.
+        seed: u64,
+    },
+    /// The snapshot file is empty.
+    SnapshotEmpty,
+    /// The snapshot cannot be read at all (missing / unreadable path).
+    IoUnreadable,
+    /// The XSKETCH tier hits an artificial slow path under a deadline.
+    SlowEstimate,
+    /// Queries are served under a very tight wall-clock budget.
+    TightDeadline {
+        /// The budget, in microseconds.
+        micros: u64,
+    },
+    /// The named tier panics on every query.
+    PanicTier(Tier),
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::SnapshotTruncate { keep } => write!(f, "truncate snapshot to {keep} bytes"),
+            Fault::SnapshotBitFlip { byte, bit } => {
+                write!(f, "flip bit {bit} of snapshot byte {byte}")
+            }
+            Fault::SnapshotGarbage { len, .. } => write!(f, "replace snapshot with {len}B garbage"),
+            Fault::SnapshotEmpty => write!(f, "empty snapshot"),
+            Fault::IoUnreadable => write!(f, "unreadable snapshot path"),
+            Fault::SlowEstimate => write!(f, "artificial slow path in xsketch tier"),
+            Fault::TightDeadline { micros } => write!(f, "tight deadline of {micros}us"),
+            Fault::PanicTier(t) => write!(f, "panic injected into {t} tier"),
+        }
+    }
+}
+
+/// A seeded, reproducible fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The generation seed (for reports).
+    pub seed: u64,
+    /// The faults, in injection order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Generates a plan of `n` faults against a snapshot of
+    /// `snapshot_len` bytes. The first eight slots cycle through every
+    /// fault kind so even short plans cover the full failure surface;
+    /// the remainder is seeded-random.
+    pub fn generate(seed: u64, snapshot_len: usize, n: usize) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = snapshot_len.max(1);
+        let mut faults = Vec::with_capacity(n);
+        for i in 0..n {
+            let kind = if i < 8 {
+                i
+            } else {
+                rng.random_range(0..8usize)
+            };
+            faults.push(match kind {
+                0 => Fault::SnapshotTruncate {
+                    keep: rng.random_range(0..len),
+                },
+                1 => Fault::SnapshotBitFlip {
+                    byte: rng.random_range(0..len),
+                    bit: rng.random_range(0..8u32) as u8,
+                },
+                2 => Fault::SnapshotGarbage {
+                    len: rng.random_range(1..2 * len),
+                    seed: rng.random_range(0..u64::MAX),
+                },
+                3 => Fault::SnapshotEmpty,
+                4 => Fault::IoUnreadable,
+                5 => Fault::SlowEstimate,
+                6 => Fault::TightDeadline {
+                    micros: rng.random_range(100..2000u64),
+                },
+                _ => Fault::PanicTier(match rng.random_range(0..3u32) {
+                    0 => Tier::Xsketch,
+                    1 => Tier::Markov,
+                    _ => Tier::LabelCount,
+                }),
+            });
+        }
+        FaultPlan { seed, faults }
+    }
+}
+
+/// Applies a snapshot-corrupting fault to `bytes`, or returns `None`
+/// for faults that do not touch the snapshot image.
+pub fn apply_snapshot_fault(bytes: &[u8], fault: &Fault) -> Option<Vec<u8>> {
+    match *fault {
+        Fault::SnapshotTruncate { keep } => Some(bytes.get(..keep.min(bytes.len()))?.to_vec()),
+        Fault::SnapshotBitFlip { byte, bit } => {
+            let mut out = bytes.to_vec();
+            let i = byte.min(out.len().saturating_sub(1));
+            if let Some(b) = out.get_mut(i) {
+                *b ^= 1u8 << (bit % 8);
+            }
+            Some(out)
+        }
+        Fault::SnapshotGarbage { len, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Some(
+                (0..len)
+                    .map(|_| rng.random_range(0..=255u32) as u8)
+                    .collect(),
+            )
+        }
+        Fault::SnapshotEmpty => Some(Vec::new()),
+        _ => None,
+    }
+}
+
+/// What happened under one injected fault.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    /// The fault injected.
+    pub fault: Fault,
+    /// A corrupted/unreadable snapshot was rejected with a typed error.
+    pub rejected: Option<SnapshotError>,
+    /// The service recovered by rebuilding the synopsis from the
+    /// document.
+    pub rebuilt: bool,
+    /// Queries served.
+    pub queries: usize,
+    /// Queries that degraded below full fidelity.
+    pub degraded: usize,
+    /// Uncaught panics observed while serving (must stay 0).
+    pub panics: usize,
+    /// Served estimates that were NaN, negative, or infinite (must stay
+    /// 0).
+    pub bad_estimates: usize,
+}
+
+/// The aggregate result of a fault plan run.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Per-fault outcomes, in plan order.
+    pub outcomes: Vec<FaultOutcome>,
+}
+
+impl FaultReport {
+    /// Total uncaught panics across the run (acceptance: 0).
+    pub fn total_panics(&self) -> usize {
+        self.outcomes.iter().map(|o| o.panics).sum()
+    }
+
+    /// Total non-finite/negative served estimates (acceptance: 0).
+    pub fn total_bad_estimates(&self) -> usize {
+        self.outcomes.iter().map(|o| o.bad_estimates).sum()
+    }
+
+    /// How many faults corrupted the snapshot and were rejected.
+    pub fn total_rejections(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.rejected.is_some())
+            .count()
+    }
+
+    /// How many faults forced a rebuild-from-document recovery.
+    pub fn total_rebuilds(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.rebuilt).count()
+    }
+
+    /// How many queries degraded below full fidelity overall.
+    pub fn total_degraded(&self) -> usize {
+        self.outcomes.iter().map(|o| o.degraded).sum()
+    }
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fault plan: {} faults, {} rejections, {} rebuilds, {} degraded queries, \
+             {} panics, {} bad estimates",
+            self.outcomes.len(),
+            self.total_rejections(),
+            self.total_rebuilds(),
+            self.total_degraded(),
+            self.total_panics(),
+            self.total_bad_estimates()
+        )?;
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "  {}: rejected={} rebuilt={} queries={} degraded={} panics={}",
+                o.fault,
+                o.rejected.is_some(),
+                o.rebuilt,
+                o.queries,
+                o.degraded,
+                o.panics
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full fault plan: for each fault, corrupt (or budget-squeeze)
+/// the serving path, recover if needed, serve every query through a
+/// [`GuardedEstimator`], and record the outcome.
+pub fn run_fault_plan(
+    doc: &Document,
+    queries: &[TwigQuery],
+    plan: &FaultPlan,
+    policy: &GuardPolicy,
+) -> FaultReport {
+    let pristine = coarse_synopsis(doc);
+    let snapshot = save_synopsis(&pristine);
+    let mut outcomes = Vec::with_capacity(plan.faults.len());
+    for fault in &plan.faults {
+        outcomes.push(run_one_fault(doc, queries, fault, policy, &snapshot));
+    }
+    FaultReport { outcomes }
+}
+
+fn run_one_fault(
+    doc: &Document,
+    queries: &[TwigQuery],
+    fault: &Fault,
+    policy: &GuardPolicy,
+    snapshot: &[u8],
+) -> FaultOutcome {
+    let mut outcome = FaultOutcome {
+        fault: *fault,
+        rejected: None,
+        rebuilt: false,
+        queries: 0,
+        degraded: 0,
+        panics: 0,
+        bad_estimates: 0,
+    };
+
+    // Resolve the synopsis to serve from: load the (possibly corrupted)
+    // snapshot, falling back to a rebuild from the document — the same
+    // recovery the CLI performs.
+    let synopsis: Synopsis = match apply_snapshot_fault(snapshot, fault) {
+        Some(corrupted) => match load_synopsis(&corrupted) {
+            Ok(s) => s,
+            Err(e) => {
+                outcome.rejected = Some(e);
+                outcome.rebuilt = true;
+                coarse_synopsis(doc)
+            }
+        },
+        None if *fault == Fault::IoUnreadable => {
+            let bogus = std::path::Path::new("/nonexistent/xtwig/fault/plan.xtwg");
+            match xtwig_core::read_snapshot(bogus) {
+                Ok(s) => s,
+                Err(e) => {
+                    outcome.rejected = Some(e);
+                    outcome.rebuilt = true;
+                    coarse_synopsis(doc)
+                }
+            }
+        }
+        None => match load_synopsis(snapshot) {
+            Ok(s) => s,
+            Err(_) => {
+                outcome.rebuilt = true;
+                coarse_synopsis(doc)
+            }
+        },
+    };
+
+    // Apply estimator-level faults / budget squeezes.
+    let mut fault_policy = *policy;
+    let injected = match *fault {
+        Fault::SlowEstimate => {
+            if fault_policy.time_budget.is_none() {
+                fault_policy.time_budget = Some(Duration::from_millis(2));
+            }
+            Some(InjectedFault::StallXsketch)
+        }
+        Fault::TightDeadline { micros } => {
+            fault_policy.time_budget = Some(Duration::from_micros(micros));
+            None
+        }
+        Fault::PanicTier(t) => Some(InjectedFault::PanicIn(t)),
+        _ => None,
+    };
+    let mut estimator = GuardedEstimator::new(&synopsis, fault_policy);
+    if let Some(injected) = injected {
+        estimator = estimator.with_fault(injected);
+    }
+
+    for q in queries {
+        outcome.queries += 1;
+        let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            estimator.estimate_guarded(q)
+        }));
+        match served {
+            Err(_) => outcome.panics += 1,
+            Ok(out) => {
+                if out.degraded {
+                    outcome.degraded += 1;
+                }
+                if !out.estimate.is_finite() || out.estimate < 0.0 {
+                    outcome.bad_estimates += 1;
+                }
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_query::parse_twig;
+
+    fn doc() -> Document {
+        xtwig_xml::parse(concat!(
+            "<bib>",
+            "<author><name/><paper><kw/><kw/></paper></author>",
+            "<author><name/><paper><kw/></paper></author>",
+            "</bib>"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = FaultPlan::generate(7, 500, 24);
+        let b = FaultPlan::generate(7, 500, 24);
+        assert_eq!(a.faults, b.faults);
+        let c = FaultPlan::generate(8, 500, 24);
+        assert_ne!(a.faults, c.faults);
+    }
+
+    #[test]
+    fn short_plans_cover_every_fault_kind() {
+        let plan = FaultPlan::generate(1, 500, 8);
+        assert!(plan
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::SnapshotTruncate { .. })));
+        assert!(plan
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::SnapshotBitFlip { .. })));
+        assert!(plan.faults.contains(&Fault::SnapshotEmpty));
+        assert!(plan.faults.contains(&Fault::IoUnreadable));
+        assert!(plan.faults.contains(&Fault::SlowEstimate));
+        assert!(plan
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::TightDeadline { .. })));
+        assert!(plan.faults.iter().any(|f| matches!(f, Fault::PanicTier(_))));
+    }
+
+    #[test]
+    fn snapshot_faults_change_the_bytes() {
+        let d = doc();
+        let bytes = save_synopsis(&coarse_synopsis(&d));
+        let cut = apply_snapshot_fault(&bytes, &Fault::SnapshotTruncate { keep: 10 }).unwrap();
+        assert_eq!(cut.len(), 10);
+        let flip =
+            apply_snapshot_fault(&bytes, &Fault::SnapshotBitFlip { byte: 30, bit: 3 }).unwrap();
+        assert_ne!(flip, bytes);
+        assert_eq!(flip.len(), bytes.len());
+        assert!(apply_snapshot_fault(&bytes, &Fault::SlowEstimate).is_none());
+    }
+
+    #[test]
+    fn full_plan_runs_clean_on_a_small_doc() {
+        let d = doc();
+        let queries: Vec<TwigQuery> = [
+            "for $t0 in //author, $t1 in $t0/paper",
+            "for $t0 in //paper, $t1 in $t0/kw",
+            "for $t0 in //kw",
+        ]
+        .iter()
+        .map(|t| parse_twig(t).unwrap())
+        .collect();
+        let plan = FaultPlan::generate(42, save_synopsis(&coarse_synopsis(&d)).len(), 16);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = run_fault_plan(&d, &queries, &plan, &GuardPolicy::default());
+        std::panic::set_hook(prev);
+        assert_eq!(report.total_panics(), 0, "{report}");
+        assert_eq!(report.total_bad_estimates(), 0, "{report}");
+        assert!(report.total_rejections() > 0, "{report}");
+        assert_eq!(report.total_rebuilds(), report.total_rejections());
+        assert!(report.total_degraded() > 0, "{report}");
+    }
+}

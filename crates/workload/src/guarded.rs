@@ -1,0 +1,586 @@
+//! Guarded estimation: a panic-isolated fallback chain over the three
+//! summary techniques.
+//!
+//! An optimizer calling into the estimator must *always* get a finite,
+//! non-negative number back, fast — a panic, an infinite loop, or a NaN
+//! reaching join-ordering arithmetic is strictly worse than a crude
+//! estimate. [`GuardedEstimator`] therefore serves every query through a
+//! chain of tiers, each cheaper and more robust than the last:
+//!
+//! 1. **XSKETCH** — the full TREEPARSE estimate, bounded by the policy's
+//!    wall-clock deadline and work budget (the core crate's [`Meter`]
+//!    machinery) and wrapped in `catch_unwind`.
+//! 2. **Markov** — a first-order tag-transition model *derived from the
+//!    synopsis itself* (extent sizes and edge counts aggregate exactly
+//!    to the Markov tables), so the fallback needs no access to the
+//!    original document.
+//! 3. **Label-count bound** — the product of per-tag element counts, a
+//!    guaranteed-finite upper bound computed in microseconds.
+//!
+//! Every response records which tier produced it and why earlier tiers
+//! were skipped; aggregate [`DegradationCounters`] expose the health of
+//! the chain to operators. Deterministic [`InjectedFault`]s let the
+//! fault-injection harness (and tests) exercise each degradation path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use xtwig_core::estimate::{EstimateOptions, Exhaustion};
+use xtwig_core::{coarse_count_bound, estimate_selectivity_bounded, Synopsis};
+use xtwig_markov::{MarkovOptions, MarkovPaths};
+use xtwig_query::TwigQuery;
+
+use crate::estimator::Estimator;
+
+/// One tier of the fallback chain, in descending fidelity order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Full TREEPARSE evaluation over the XSKETCH synopsis.
+    Xsketch,
+    /// First-order Markov path model derived from the synopsis.
+    Markov,
+    /// Product-of-label-counts upper bound.
+    LabelCount,
+}
+
+impl Tier {
+    /// Short name for logs and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Xsketch => "xsketch",
+            Tier::Markov => "markov",
+            Tier::LabelCount => "label-count",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a tier did not produce the served estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierFailure {
+    /// The tier panicked; `catch_unwind` contained it.
+    Panicked,
+    /// The tier ran out of budget before finishing.
+    Exhausted(Exhaustion),
+    /// The tier returned NaN, a negative value, or an infinity.
+    NonFinite,
+}
+
+impl TierFailure {
+    /// Short human-readable cause.
+    pub fn describe(self) -> &'static str {
+        match self {
+            TierFailure::Panicked => "panicked",
+            TierFailure::Exhausted(Exhaustion::Deadline) => "deadline exceeded",
+            TierFailure::Exhausted(Exhaustion::Work) => "work limit exhausted",
+            TierFailure::NonFinite => "non-finite result",
+        }
+    }
+}
+
+/// The record of one tier consulted while answering a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierAttempt {
+    /// Which tier ran.
+    pub tier: Tier,
+    /// `None` if this tier produced the served estimate.
+    pub failure: Option<TierFailure>,
+}
+
+/// A guarded estimation result with full provenance.
+#[derive(Debug, Clone)]
+pub struct EstimateOutcome {
+    /// The served estimate — always finite and ≥ 0.
+    pub estimate: f64,
+    /// The tier that produced it.
+    pub tier: Tier,
+    /// Whether anything less than full-fidelity XSKETCH evaluation was
+    /// served (a lower tier answered, or the XSKETCH sum was clamped).
+    pub degraded: bool,
+    /// Every tier consulted, in order.
+    pub attempts: Vec<TierAttempt>,
+}
+
+/// Budgets applied to every query served by a [`GuardedEstimator`].
+#[derive(Debug, Clone, Copy)]
+pub struct GuardPolicy {
+    /// Per-query wall-clock budget for the XSKETCH tier (`None` = no
+    /// deadline).
+    pub time_budget: Option<Duration>,
+    /// Per-query abstract work budget for the XSKETCH tier (0 =
+    /// unlimited).
+    pub work_limit: u64,
+    /// Embedding cap and descendant-expansion options for tier 1.
+    pub estimate: EstimateOptions,
+    /// Byte budget for the derived Markov fallback model.
+    pub markov_budget_bytes: usize,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            time_budget: None,
+            work_limit: 0,
+            estimate: EstimateOptions::default(),
+            markov_budget_bytes: MarkovOptions::default().budget_bytes,
+        }
+    }
+}
+
+/// Monotonic counters describing the health of the fallback chain.
+#[derive(Debug, Default)]
+pub struct DegradationCounters {
+    queries: AtomicU64,
+    degraded: AtomicU64,
+    panics: AtomicU64,
+    deadline_trips: AtomicU64,
+    work_trips: AtomicU64,
+    served_markov: AtomicU64,
+    served_label_count: AtomicU64,
+}
+
+/// A point-in-time copy of [`DegradationCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationSnapshot {
+    /// Queries served in total.
+    pub queries: u64,
+    /// Queries that got anything less than full fidelity.
+    pub degraded: u64,
+    /// Panics contained across all tiers.
+    pub panics: u64,
+    /// XSKETCH deadline exhaustions.
+    pub deadline_trips: u64,
+    /// XSKETCH work-limit exhaustions.
+    pub work_trips: u64,
+    /// Queries answered by the Markov tier.
+    pub served_markov: u64,
+    /// Queries answered by the label-count tier.
+    pub served_label_count: u64,
+}
+
+impl DegradationCounters {
+    fn snapshot(&self) -> DegradationSnapshot {
+        DegradationSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            deadline_trips: self.deadline_trips.load(Ordering::Relaxed),
+            work_trips: self.work_trips.load(Ordering::Relaxed),
+            served_markov: self.served_markov.load(Ordering::Relaxed),
+            served_label_count: self.served_label_count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A deterministic fault injected into the chain, for tests and the
+/// fault harness. Production estimators carry `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The named tier panics instead of computing.
+    PanicIn(Tier),
+    /// The named tier returns NaN instead of an estimate.
+    PoisonIn(Tier),
+    /// The XSKETCH tier spins until the query deadline has passed before
+    /// evaluating (an artificial slow path).
+    StallXsketch,
+}
+
+/// Derives the first-order Markov model implied by a synopsis: per-tag
+/// extent sums and per-label-pair edge child counts are exactly the tag
+/// and transition tables a document scan would produce.
+pub fn markov_from_synopsis(s: &Synopsis, budget_bytes: usize) -> MarkovPaths {
+    let mut tag_counts = vec![0u64; s.labels().len()];
+    for n in s.node_ids() {
+        let i = s.label(n).index();
+        if let Some(slot) = tag_counts.get_mut(i) {
+            *slot += s.extent_size(n);
+        }
+    }
+    let mut transitions: HashMap<(xtwig_xml::LabelId, xtwig_xml::LabelId), u64> = HashMap::new();
+    for (u, v, rec) in s.edge_iter() {
+        *transitions.entry((s.label(u), s.label(v))).or_insert(0) += rec.child_count;
+    }
+    MarkovPaths::from_parts(
+        s.labels().clone(),
+        tag_counts,
+        transitions,
+        s.label(s.root()),
+        MarkovOptions { budget_bytes },
+    )
+}
+
+/// The guarded fallback-chain estimator. See the module docs.
+pub struct GuardedEstimator<'a> {
+    synopsis: &'a Synopsis,
+    markov: MarkovPaths,
+    policy: GuardPolicy,
+    counters: DegradationCounters,
+    fault: Option<InjectedFault>,
+}
+
+impl<'a> GuardedEstimator<'a> {
+    /// Wraps `synopsis` in the fallback chain, deriving the Markov
+    /// fallback model from it.
+    pub fn new(synopsis: &'a Synopsis, policy: GuardPolicy) -> GuardedEstimator<'a> {
+        let markov = markov_from_synopsis(synopsis, policy.markov_budget_bytes);
+        GuardedEstimator {
+            synopsis,
+            markov,
+            policy,
+            counters: DegradationCounters::default(),
+            fault: None,
+        }
+    }
+
+    /// Injects a deterministic fault (tests / fault harness only).
+    pub fn with_fault(mut self, fault: InjectedFault) -> GuardedEstimator<'a> {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &GuardPolicy {
+        &self.policy
+    }
+
+    /// A snapshot of the degradation counters.
+    pub fn counters(&self) -> DegradationSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Serves `q` through the chain. Never panics; the returned estimate
+    /// is always finite and ≥ 0.
+    pub fn estimate_guarded(&self, q: &TwigQuery) -> EstimateOutcome {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let deadline = self.policy.time_budget.map(|b| Instant::now() + b);
+        let mut attempts: Vec<TierAttempt> = Vec::new();
+
+        // --- Tier 1: XSKETCH under budget --------------------------------
+        match self.run_xsketch(q, deadline) {
+            TierResult::Ok(v, clamped) => {
+                attempts.push(TierAttempt {
+                    tier: Tier::Xsketch,
+                    failure: None,
+                });
+                return self.outcome(v, Tier::Xsketch, clamped, attempts);
+            }
+            TierResult::Failed(f) => {
+                self.note_failure(f);
+                attempts.push(TierAttempt {
+                    tier: Tier::Xsketch,
+                    failure: Some(f),
+                });
+            }
+        }
+
+        // --- Tier 2: Markov ----------------------------------------------
+        match self.run_simple(Tier::Markov, || self.markov.estimate_twig(q)) {
+            TierResult::Ok(v, _) => {
+                attempts.push(TierAttempt {
+                    tier: Tier::Markov,
+                    failure: None,
+                });
+                self.counters.served_markov.fetch_add(1, Ordering::Relaxed);
+                return self.outcome(v, Tier::Markov, true, attempts);
+            }
+            TierResult::Failed(f) => {
+                self.note_failure(f);
+                attempts.push(TierAttempt {
+                    tier: Tier::Markov,
+                    failure: Some(f),
+                });
+            }
+        }
+
+        // --- Tier 3: label-count bound -----------------------------------
+        let (value, failure) =
+            match self.run_simple(Tier::LabelCount, || coarse_count_bound(self.synopsis, q)) {
+                TierResult::Ok(v, _) => (v, None),
+                // The end of the chain: a failing last tier serves 0.0
+                // rather than propagating anything.
+                TierResult::Failed(f) => {
+                    self.note_failure(f);
+                    (0.0, Some(f))
+                }
+            };
+        attempts.push(TierAttempt {
+            tier: Tier::LabelCount,
+            failure,
+        });
+        self.counters
+            .served_label_count
+            .fetch_add(1, Ordering::Relaxed);
+        self.outcome(value, Tier::LabelCount, true, attempts)
+    }
+
+    fn outcome(
+        &self,
+        estimate: f64,
+        tier: Tier,
+        degraded: bool,
+        attempts: Vec<TierAttempt>,
+    ) -> EstimateOutcome {
+        if degraded {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        EstimateOutcome {
+            estimate: if estimate.is_finite() && estimate >= 0.0 {
+                estimate.min(f64::MAX)
+            } else {
+                0.0
+            },
+            tier,
+            degraded,
+            attempts,
+        }
+    }
+
+    fn note_failure(&self, f: TierFailure) {
+        match f {
+            TierFailure::Panicked => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+            }
+            TierFailure::Exhausted(Exhaustion::Deadline) => {
+                self.counters.deadline_trips.fetch_add(1, Ordering::Relaxed);
+            }
+            TierFailure::Exhausted(Exhaustion::Work) => {
+                self.counters.work_trips.fetch_add(1, Ordering::Relaxed);
+            }
+            TierFailure::NonFinite => {}
+        }
+    }
+
+    fn run_xsketch(&self, q: &TwigQuery, deadline: Option<Instant>) -> TierResult {
+        let opts = EstimateOptions {
+            deadline,
+            work_limit: self.policy.work_limit,
+            ..self.policy.estimate
+        };
+        let fault = self.fault;
+        let s = self.synopsis;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match fault {
+                Some(InjectedFault::PanicIn(Tier::Xsketch)) => {
+                    // Deliberate: the harness verifies catch_unwind
+                    // containment of a tier that dies mid-query.
+                    panic!("injected fault: xsketch tier"); // lint:allow(panic)
+                }
+                Some(InjectedFault::PoisonIn(Tier::Xsketch)) => return (f64::NAN, None, false),
+                Some(InjectedFault::StallXsketch) => {
+                    if let Some(d) = deadline {
+                        while Instant::now() < d {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                _ => {}
+            }
+            let b = estimate_selectivity_bounded(s, q, &opts);
+            (b.estimate, b.exhaustion, b.clamped > 0)
+        }));
+        match caught {
+            Err(_) => TierResult::Failed(TierFailure::Panicked),
+            Ok((_, Some(ex), _)) => TierResult::Failed(TierFailure::Exhausted(ex)),
+            Ok((v, None, _)) if !v.is_finite() || v < 0.0 => {
+                TierResult::Failed(TierFailure::NonFinite)
+            }
+            Ok((v, None, clamped)) => TierResult::Ok(v, clamped),
+        }
+    }
+
+    fn run_simple(&self, tier: Tier, f: impl Fn() -> f64) -> TierResult {
+        let fault = self.fault;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match fault {
+                Some(InjectedFault::PanicIn(t)) if t == tier => {
+                    // Deliberate: exercises containment in lower tiers.
+                    panic!("injected fault: {} tier", tier.name()); // lint:allow(panic)
+                }
+                Some(InjectedFault::PoisonIn(t)) if t == tier => return f64::NAN,
+                _ => {}
+            }
+            f()
+        }));
+        match caught {
+            Err(_) => TierResult::Failed(TierFailure::Panicked),
+            Ok(v) if !v.is_finite() || v < 0.0 => TierResult::Failed(TierFailure::NonFinite),
+            Ok(v) => TierResult::Ok(v, false),
+        }
+    }
+}
+
+enum TierResult {
+    /// Value plus whether any contribution was clamped on the way.
+    Ok(f64, bool),
+    Failed(TierFailure),
+}
+
+impl Estimator for GuardedEstimator<'_> {
+    fn estimate(&self, q: &TwigQuery) -> f64 {
+        self.estimate_guarded(q).estimate
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.synopsis.size_bytes() + self.markov.size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "Guarded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_core::coarse_synopsis;
+    use xtwig_query::parse_twig;
+
+    fn setup() -> (xtwig_xml::Document, Synopsis) {
+        let doc = xtwig_xml::parse(concat!(
+            "<bib>",
+            "<author><name/><paper><kw/><kw/></paper><paper><kw/></paper></author>",
+            "<author><name/><paper><kw/></paper></author>",
+            "</bib>"
+        ))
+        .unwrap();
+        let s = coarse_synopsis(&doc);
+        (doc, s)
+    }
+
+    #[test]
+    fn healthy_chain_serves_tier_one() {
+        let (_d, s) = setup();
+        let g = GuardedEstimator::new(&s, GuardPolicy::default());
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        let out = g.estimate_guarded(&q);
+        assert_eq!(out.tier, Tier::Xsketch);
+        assert!(!out.degraded);
+        assert!((out.estimate - 3.0).abs() < 1e-9);
+        let c = g.counters();
+        assert_eq!(c.queries, 1);
+        assert_eq!(c.degraded, 0);
+    }
+
+    #[test]
+    fn derived_markov_matches_document_markov() {
+        let (d, s) = setup();
+        let built = MarkovPaths::build(&d, MarkovOptions::default());
+        let derived = markov_from_synopsis(&s, MarkovOptions::default().budget_bytes);
+        for text in [
+            "for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/kw",
+            "for $t0 in //paper, $t1 in $t0/kw",
+        ] {
+            let q = parse_twig(text).unwrap();
+            let a = built.estimate_twig(&q);
+            let b = derived.estimate_twig(&q);
+            assert!((a - b).abs() < 1e-12, "{text}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn panic_in_tier_one_falls_back_to_markov() {
+        let (_d, s) = setup();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let g = GuardedEstimator::new(&s, GuardPolicy::default())
+            .with_fault(InjectedFault::PanicIn(Tier::Xsketch));
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        let out = g.estimate_guarded(&q);
+        std::panic::set_hook(prev);
+        assert_eq!(out.tier, Tier::Markov);
+        assert!(out.degraded);
+        assert!(out.estimate.is_finite() && out.estimate >= 0.0);
+        assert_eq!(
+            out.attempts[0].failure,
+            Some(TierFailure::Panicked),
+            "{:?}",
+            out.attempts
+        );
+        let c = g.counters();
+        assert_eq!(c.panics, 1);
+        assert_eq!(c.served_markov, 1);
+    }
+
+    #[test]
+    fn panic_everywhere_still_returns_finite() {
+        let (_d, s) = setup();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        for tier in [Tier::Xsketch, Tier::Markov, Tier::LabelCount] {
+            let g = GuardedEstimator::new(&s, GuardPolicy::default())
+                .with_fault(InjectedFault::PanicIn(tier));
+            let out = g.estimate_guarded(&q);
+            assert!(out.estimate.is_finite() && out.estimate >= 0.0, "{tier}");
+        }
+        std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn poison_falls_through_to_finite_tier() {
+        let (_d, s) = setup();
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        let g = GuardedEstimator::new(&s, GuardPolicy::default())
+            .with_fault(InjectedFault::PoisonIn(Tier::Xsketch));
+        let out = g.estimate_guarded(&q);
+        assert_eq!(out.tier, Tier::Markov);
+        assert_eq!(out.attempts[0].failure, Some(TierFailure::NonFinite));
+        assert!(out.estimate.is_finite());
+    }
+
+    #[test]
+    fn stalled_tier_one_degrades_within_budget() {
+        let (_d, s) = setup();
+        let policy = GuardPolicy {
+            time_budget: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let g = GuardedEstimator::new(&s, policy).with_fault(InjectedFault::StallXsketch);
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        let start = Instant::now();
+        let out = g.estimate_guarded(&q);
+        let elapsed = start.elapsed();
+        assert!(out.degraded);
+        assert_ne!(out.tier, Tier::Xsketch);
+        assert!(out.estimate.is_finite() && out.estimate >= 0.0);
+        assert!(
+            elapsed < Duration::from_millis(250),
+            "took {elapsed:?} for a 1 ms budget"
+        );
+        assert_eq!(g.counters().deadline_trips, 1);
+    }
+
+    #[test]
+    fn work_limit_degrades_to_markov() {
+        let (_d, s) = setup();
+        let policy = GuardPolicy {
+            work_limit: 1,
+            ..Default::default()
+        };
+        let g = GuardedEstimator::new(&s, policy);
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/kw").unwrap();
+        let out = g.estimate_guarded(&q);
+        assert!(out.degraded);
+        assert_eq!(
+            out.attempts[0].failure,
+            Some(TierFailure::Exhausted(Exhaustion::Work))
+        );
+        assert!(out.estimate.is_finite() && out.estimate >= 0.0);
+        assert_eq!(g.counters().work_trips, 1);
+    }
+
+    #[test]
+    fn estimator_trait_is_wired() {
+        let (_d, s) = setup();
+        let g = GuardedEstimator::new(&s, GuardPolicy::default());
+        let q = parse_twig("for $t0 in //kw").unwrap();
+        assert!((Estimator::estimate(&g, &q) - 4.0).abs() < 1e-9);
+        assert!(g.size_bytes() > s.size_bytes());
+        assert_eq!(g.name(), "Guarded");
+    }
+}

@@ -17,13 +17,22 @@
 
 mod error;
 mod estimator;
+pub mod faults;
 mod generator;
+pub mod guarded;
 mod sweep;
 
 pub use error::{avg_relative_error, ErrorReport};
 pub use estimator::{CstEstimator, Estimator, MarkovEstimator, XsketchEstimator};
+pub use faults::{
+    apply_snapshot_fault, run_fault_plan, Fault, FaultOutcome, FaultPlan, FaultReport,
+};
 pub use generator::{
     generate_workload, negative_workload, workload_stats, Workload, WorkloadKind, WorkloadSpec,
     WorkloadStats,
+};
+pub use guarded::{
+    markov_from_synopsis, DegradationSnapshot, EstimateOutcome, GuardPolicy, GuardedEstimator,
+    InjectedFault, Tier, TierAttempt, TierFailure,
 };
 pub use sweep::{sweep_cst, sweep_xsketch, SweepOptions, SweepPoint};

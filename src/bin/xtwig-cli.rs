@@ -10,14 +10,43 @@
 //!
 //! Twig queries use the paper's notation, e.g.
 //! `for $t0 in //movie[type = 1], $t1 in $t0/actor`.
+//!
+//! Exit codes are part of the tool's contract (scripts rely on them):
+//! `0` full-fidelity success, `1` failure, `2` usage error, `3` the
+//! answer was served degraded (fallback tier, tripped budget, or a
+//! snapshot recovered by rebuilding), `4` corrupt snapshot.
 
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
-use xtwig::core::estimate::EstimateOptions;
-use xtwig::core::{coarse_synopsis, estimate_selectivity, load_synopsis, save_synopsis};
+use xtwig::core::{coarse_synopsis, read_snapshot, write_snapshot_atomic, Synopsis};
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
 use xtwig::query::{parse_twig, selectivity};
+use xtwig::workload::{GuardPolicy, GuardedEstimator, Tier};
 use xtwig::xml::{parse, write_xml, DocStats, Document};
+
+/// How a command finished when it did not error.
+enum Outcome {
+    /// Full fidelity — exit 0.
+    Full,
+    /// The answer was served, but degraded (fallback tier, tripped
+    /// budget, or recovery from a bad snapshot) — exit 3.
+    Degraded,
+}
+
+/// A command failure carrying its exit code.
+enum CliError {
+    /// Bad arguments — exit 2.
+    Usage(String),
+    /// Operational failure — exit 1.
+    Failure(String),
+    /// Corrupt snapshot — exit 4.
+    Corrupt(String),
+}
+
+const EXIT_DEGRADED: u8 = 3;
+const EXIT_CORRUPT: u8 = 4;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,15 +60,24 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
-            Ok(())
+            Ok(Outcome::Full)
         }
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Ok(Outcome::Full) => ExitCode::SUCCESS,
+        Ok(Outcome::Degraded) => ExitCode::from(EXIT_DEGRADED),
+        Err(CliError::Usage(e)) => {
+            eprintln!("usage error: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Failure(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Corrupt(e)) => {
+            eprintln!("corrupt snapshot: {e}");
+            ExitCode::from(EXIT_CORRUPT)
         }
     }
 }
@@ -52,11 +90,26 @@ USAGE:
   xtwig-cli stats <file.xml>
   xtwig-cli eval <file.xml> '<twig-query>'
   xtwig-cli estimate <file.xml> '<twig-query>' [--budget BYTES] [--synopsis F]
+                     [--deadline-ms N] [--work-limit N]
   xtwig-cli build <file.xml> --out <synopsis.xtwg> [--budget BYTES]
   xtwig-cli inspect <synopsis.xtwg>
   xtwig-cli check <synopsis.xtwg | file.xml> [--budget BYTES]
 
 Twig query notation: for $t0 in //movie[type = 1], $t1 in $t0/actor
+
+`estimate` serves through a guarded fallback chain (XSKETCH -> Markov ->
+label-count bound) under the optional per-query deadline/work budget;
+the serving tier is reported on stderr whenever it is not full-fidelity
+XSKETCH. A corrupt --synopsis snapshot is recovered by rebuilding from
+the document (and exits 3 so scripts notice).
+
+EXIT CODES:
+  0  success, full-fidelity estimate
+  1  failure (I/O, parse, build errors)
+  2  usage error (bad flags or arguments)
+  3  degraded: answered by a fallback tier, a tripped deadline/work
+     budget, or after rebuilding a corrupt snapshot
+  4  corrupt snapshot (inspect/check)
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -66,31 +119,49 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
-fn load(path: &str) -> Result<Document, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid {name} value `{s}`"))),
+    }
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let which = args.first().ok_or("generate needs a dataset name")?;
-    let scale: f64 = flag(args, "--scale").map_or(Ok(0.05), |s| {
-        s.parse().map_err(|_| "invalid --scale".to_string())
-    })?;
-    let seed: u64 = flag(args, "--seed").map_or(Ok(1), |s| {
-        s.parse().map_err(|_| "invalid --seed".to_string())
-    })?;
+fn load(path: &str) -> Result<Document, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Failure(format!("reading {path}: {e}")))?;
+    parse(&text).map_err(|e| CliError::Failure(format!("parsing {path}: {e}")))
+}
+
+fn cmd_generate(args: &[String]) -> Result<Outcome, CliError> {
+    let which = args
+        .first()
+        .ok_or_else(|| CliError::Usage("generate needs a dataset name".into()))?;
+    let scale: f64 = parse_flag(args, "--scale", 0.05)?;
+    let seed: u64 = parse_flag(args, "--seed", 1)?;
     let doc = match which.as_str() {
         "xmark" => xmark(XMarkConfig { scale, seed }),
         "imdb" => imdb(ImdbConfig::scaled(scale, seed)),
         "sprot" => sprot(SprotConfig::scaled(scale, seed)),
-        other => return Err(format!("unknown dataset `{other}` (xmark|imdb|sprot)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown dataset `{other}` (xmark|imdb|sprot)"
+            )))
+        }
     };
     println!("{}", write_xml(&doc));
-    Ok(())
+    Ok(Outcome::Full)
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("stats needs a file")?;
+fn cmd_stats(args: &[String]) -> Result<Outcome, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage("stats needs a file".into()))?;
     let doc = load(path)?;
     let s = DocStats::compute(&doc);
     let synopsis = coarse_synopsis(&doc);
@@ -106,26 +177,31 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         synopsis.edge_count(),
         synopsis.size_bytes() as f64 / 1024.0
     );
-    Ok(())
+    Ok(Outcome::Full)
 }
 
-fn cmd_eval(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("eval needs a file")?;
-    let qtext = args.get(1).ok_or("eval needs a twig query")?;
+fn cmd_eval(args: &[String]) -> Result<Outcome, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage("eval needs a file".into()))?;
+    let qtext = args
+        .get(1)
+        .ok_or_else(|| CliError::Usage("eval needs a twig query".into()))?;
     let doc = load(path)?;
-    let q = parse_twig(qtext).map_err(|e| e.to_string())?;
+    let q = parse_twig(qtext).map_err(|e| CliError::Usage(e.to_string()))?;
     let t0 = std::time::Instant::now();
     let count = selectivity(&doc, &q);
     println!("selectivity: {count} binding tuples ({:?})", t0.elapsed());
-    Ok(())
+    Ok(Outcome::Full)
 }
 
-fn cmd_build(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("build needs a file")?;
-    let out = flag(args, "--out").ok_or("build needs --out <file>")?;
-    let budget: usize = flag(args, "--budget").map_or(Ok(20 * 1024), |s| {
-        s.parse().map_err(|_| "invalid --budget".to_string())
-    })?;
+fn cmd_build(args: &[String]) -> Result<Outcome, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage("build needs a file".into()))?;
+    let out =
+        flag(args, "--out").ok_or_else(|| CliError::Usage("build needs --out <file>".into()))?;
+    let budget: usize = parse_flag(args, "--budget", 20 * 1024)?;
     let doc = load(path)?;
     let t0 = std::time::Instant::now();
     let build = BuildOptions {
@@ -134,36 +210,39 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         ..Default::default()
     };
     let (synopsis, trace) = xbuild(&doc, TruthSource::Exact, &build);
-    let bytes = save_synopsis(&synopsis);
-    std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    let written = write_snapshot_atomic(Path::new(&out), &synopsis)
+        .map_err(|e| CliError::Failure(format!("writing {out}: {e}")))?;
     println!(
-        "built {} nodes / {} edges / {:.1} KB in {} rounds ({:?}); snapshot {} bytes -> {out}",
+        "built {} nodes / {} edges / {:.1} KB in {} rounds ({:?}); snapshot {written} bytes -> {out}",
         synopsis.node_count(),
         synopsis.edge_count(),
         synopsis.size_bytes() as f64 / 1024.0,
         trace.rounds.len(),
         t0.elapsed(),
-        bytes.len(),
     );
-    Ok(())
+    Ok(Outcome::Full)
 }
 
-fn cmd_inspect(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("inspect needs a snapshot file")?;
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let synopsis = load_synopsis(&bytes).map_err(|e| e.to_string())?;
+fn cmd_inspect(args: &[String]) -> Result<Outcome, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage("inspect needs a snapshot file".into()))?;
+    let synopsis = read_snapshot(Path::new(path)).map_err(|e| match e {
+        xtwig::core::SnapshotError::Io { .. } => CliError::Failure(e.to_string()),
+        _ => CliError::Corrupt(format!("{path}: {e}")),
+    })?;
     print!("{}", xtwig::core::describe(&synopsis));
-    Ok(())
+    Ok(Outcome::Full)
 }
 
 /// Synopsis fsck: load (or build) a synopsis and run every structural
 /// invariant check, including snapshot round-trip integrity.
-fn cmd_check(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("check needs a snapshot or XML file")?;
+fn cmd_check(args: &[String]) -> Result<Outcome, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage("check needs a snapshot or XML file".into()))?;
     let synopsis = if path.ends_with(".xml") {
-        let budget: usize = flag(args, "--budget").map_or(Ok(20 * 1024), |s| {
-            s.parse().map_err(|_| "invalid --budget".to_string())
-        })?;
+        let budget: usize = parse_flag(args, "--budget", 20 * 1024)?;
         let doc = load(path)?;
         let build = BuildOptions {
             budget_bytes: budget,
@@ -173,34 +252,55 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         let (s, _) = xbuild(&doc, TruthSource::Exact, &build);
         s
     } else {
-        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-        load_synopsis(&bytes).map_err(|e| format!("{path}: {e}"))?
+        read_snapshot(Path::new(path)).map_err(|e| match e {
+            xtwig::core::SnapshotError::Io { .. } => CliError::Failure(e.to_string()),
+            _ => CliError::Corrupt(format!("{path}: {e}")),
+        })?
     };
-    xtwig::core::fsck(&synopsis).map_err(|report| format!("{path}: {report}"))?;
+    xtwig::core::fsck(&synopsis)
+        .map_err(|report| CliError::Corrupt(format!("{path}: {report}")))?;
     println!(
         "ok: {} nodes / {} edges / {:.1} KB — all invariants hold",
         synopsis.node_count(),
         synopsis.edge_count(),
         synopsis.size_bytes() as f64 / 1024.0
     );
-    Ok(())
+    Ok(Outcome::Full)
 }
 
-fn cmd_estimate(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("estimate needs a file")?;
-    let qtext = args.get(1).ok_or("estimate needs a twig query")?;
-    let budget: usize = flag(args, "--budget").map_or(Ok(20 * 1024), |s| {
-        s.parse().map_err(|_| "invalid --budget".to_string())
-    })?;
+fn cmd_estimate(args: &[String]) -> Result<Outcome, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage("estimate needs a file".into()))?;
+    let qtext = args
+        .get(1)
+        .ok_or_else(|| CliError::Usage("estimate needs a twig query".into()))?;
+    let budget: usize = parse_flag(args, "--budget", 20 * 1024)?;
+    let deadline_ms: u64 = parse_flag(args, "--deadline-ms", 0)?;
+    let work_limit: u64 = parse_flag(args, "--work-limit", 0)?;
     let doc = load(path)?;
-    let q = parse_twig(qtext).map_err(|e| e.to_string())?;
+    let q = parse_twig(qtext).map_err(|e| CliError::Usage(e.to_string()))?;
 
     let t0 = std::time::Instant::now();
-    let (synopsis, rounds) = match flag(args, "--synopsis") {
-        Some(snap) => {
-            let bytes = std::fs::read(&snap).map_err(|e| format!("reading {snap}: {e}"))?;
-            (load_synopsis(&bytes).map_err(|e| e.to_string())?, 0)
-        }
+    let mut recovered = false;
+    let (synopsis, rounds): (Synopsis, usize) = match flag(args, "--synopsis") {
+        Some(snap) => match read_snapshot(Path::new(&snap)) {
+            Ok(s) => (s, 0),
+            // Crash-safe serving: a bad snapshot is reported and the
+            // synopsis rebuilt from the document instead of failing the
+            // query.
+            Err(e) => {
+                eprintln!("warning: {snap}: {e}; rebuilding synopsis from {path}");
+                recovered = true;
+                let build = BuildOptions {
+                    budget_bytes: budget,
+                    refinements_per_round: 4,
+                    ..Default::default()
+                };
+                let (s, trace) = xbuild(&doc, TruthSource::Exact, &build);
+                (s, trace.rounds.len())
+            }
+        },
         None => {
             let build = BuildOptions {
                 budget_bytes: budget,
@@ -211,24 +311,39 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
             (s, trace.rounds.len())
         }
     };
-    let trace_rounds = rounds;
     let built_in = t0.elapsed();
 
+    let policy = GuardPolicy {
+        time_budget: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        work_limit,
+        ..Default::default()
+    };
+    let guarded = GuardedEstimator::new(&synopsis, policy);
     let t1 = std::time::Instant::now();
-    let est = estimate_selectivity(&synopsis, &q, &EstimateOptions::default());
+    let outcome = guarded.estimate_guarded(&q);
     let est_in = t1.elapsed();
     let truth = selectivity(&doc, &q);
 
     println!(
-        "synopsis: {} nodes / {} edges / {:.1} KB ({} refinement rounds, {built_in:?})",
+        "synopsis: {} nodes / {} edges / {:.1} KB ({rounds} refinement rounds, {built_in:?})",
         synopsis.node_count(),
         synopsis.edge_count(),
         synopsis.size_bytes() as f64 / 1024.0,
-        trace_rounds,
     );
-    println!("estimate: {est:.1} ({est_in:?})");
+    println!("estimate: {:.1} ({est_in:?})", outcome.estimate);
     println!("exact:    {truth}");
-    let err = (est - truth as f64).abs() / (truth as f64).max(1.0);
+    let err = (outcome.estimate - truth as f64).abs() / (truth as f64).max(1.0);
     println!("relative error: {:.1}%", err * 100.0);
-    Ok(())
+    if outcome.tier != Tier::Xsketch || outcome.degraded {
+        for a in &outcome.attempts {
+            if let Some(f) = a.failure {
+                eprintln!("tier {}: {}", a.tier, f.describe());
+            }
+        }
+        eprintln!("served by tier: {} (degraded)", outcome.tier);
+    }
+    if recovered || outcome.degraded {
+        return Ok(Outcome::Degraded);
+    }
+    Ok(Outcome::Full)
 }

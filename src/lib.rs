@@ -74,7 +74,11 @@ pub use xtwig_workload as workload;
 pub mod prelude {
     pub use xtwig_core::construct::{xbuild, BuildOptions, TruthSource};
     pub use xtwig_core::estimate::EstimateOptions;
-    pub use xtwig_core::{coarse_synopsis, estimate_selectivity, Synopsis};
+    pub use xtwig_core::{
+        coarse_synopsis, estimate_selectivity, estimate_selectivity_bounded, read_snapshot,
+        write_snapshot_atomic, BoundedEstimate, SnapshotError, Synopsis,
+    };
     pub use xtwig_query::{parse_path, parse_twig, selectivity, PathExpr, TwigQuery};
+    pub use xtwig_workload::{GuardPolicy, GuardedEstimator};
     pub use xtwig_xml::{parse, Document, DocumentBuilder};
 }

@@ -4,7 +4,9 @@
 //! descriptive error.
 
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
-use xtwig::core::{coarse_synopsis, fsck, load_synopsis, save_synopsis, validate};
+use xtwig::core::{
+    coarse_synopsis, fsck, load_synopsis, save_synopsis, snapshot_checksum, validate, SnapshotError,
+};
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
 use xtwig::xml::Document;
 
@@ -74,25 +76,39 @@ fn corrupted_snapshot_fails_descriptively() {
         "{err}"
     );
 
-    // Truncation: the error carries the byte offset where decoding died.
+    // Truncation: the typed error names expected vs actual sizes.
     let truncated = &bytes[..bytes.len() / 2];
     let err = load_synopsis(truncated).unwrap_err();
     assert!(
-        err.offset <= truncated.len(),
-        "offset {} out of range",
-        err.offset
+        matches!(
+            err,
+            SnapshotError::Truncated { expected, actual }
+                if actual == truncated.len() && expected == bytes.len()
+        ),
+        "{err}"
     );
+
+    // Payload corruption without a checksum to catch it (legacy v1
+    // framing): the decode error carries the byte offset where it died.
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(&bytes[..4]); // magic
+    v1.extend_from_slice(&1u32.to_le_bytes());
+    v1.extend_from_slice(&bytes[24..]); // payload sans v2 header
+    let cut = &v1[..v1.len() / 2];
+    let err = load_synopsis(cut).unwrap_err();
+    assert!(err.offset().is_some_and(|o| o <= cut.len()), "{err}");
     assert!(err.to_string().contains("snapshot error at byte"), "{err}");
 
     // Semantic corruption: bump a node's extent count inside the node
-    // table. The snapshot still decodes, but the fsck must reject it
-    // with a report naming the broken invariant. Walk the header to the
-    // first node record: magic(4) version(4) label_count(4), then each
-    // label as u32 length + bytes, then root(4) depth(4) node_count(4),
-    // then per node u16 label + u64 count.
+    // table (and re-stamp the checksum so only fsck can catch it). The
+    // snapshot still decodes, but the fsck must reject it with a report
+    // naming the broken invariant. Walk to the first node record:
+    // header(24) label_count(4), then each label as u32 length + bytes,
+    // then root(4) depth(4) node_count(4), then per node u16 label +
+    // u64 count.
     let u32_at = |b: &[u8], at: usize| u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]]);
-    let label_count = u32_at(&bytes, 8) as usize;
-    let mut pos = 12;
+    let label_count = u32_at(&bytes, 24) as usize;
+    let mut pos = 28;
     for _ in 0..label_count {
         pos += 4 + u32_at(&bytes, pos) as usize;
     }
@@ -100,6 +116,8 @@ fn corrupted_snapshot_fails_descriptively() {
     let first_count_at = pos + 2; // skip the u16 label id
     let mut corrupted = bytes.clone();
     corrupted[first_count_at + 6] = 0x7F; // count += 2^55: way past any extent
+    let sum = snapshot_checksum(&corrupted[24..]).to_le_bytes();
+    corrupted[16..24].copy_from_slice(&sum);
     let s = load_synopsis(&corrupted).expect("count corruption still decodes");
     let report = fsck(&s).expect_err("corrupted count must fail fsck");
     assert!(!report.issues.is_empty());
