@@ -1,0 +1,240 @@
+//! Serving-path throughput benchmark: compiled vs. interpreted
+//! estimation across all three generators, emitting
+//! `BENCH_estimation.json` so every PR has a perf trajectory.
+//!
+//! Per dataset it measures:
+//!
+//! * **single-query speedup** — wall time of repeated
+//!   `estimate_selectivity` calls, interpreted vs. compiled, on the same
+//!   query set, asserting the two paths agree **bit-for-bit** on every
+//!   query (the estimates are one computation in two representations);
+//! * **serve latency** — per-query p50/p95/p99 over the compiled path;
+//! * **batch throughput** — `estimate_many` QPS on scoped threads with
+//!   the sharded estimate cache, cold then warm, plus the cache hit-rate.
+//!
+//! Environment: the usual `XTWIG_SCALE` / `XTWIG_QUERIES`, plus
+//! `XTWIG_BENCH_OUT` (output path, default `BENCH_estimation.json`) and
+//! `XTWIG_ENFORCE_SPEEDUP=1` to fail the run if compiled estimation is
+//! not faster than interpreted (CI sets it). Estimate disagreement
+//! always fails the run.
+
+use std::time::Instant;
+use xtwig_bench::BenchConfig;
+use xtwig_core::construct::BuildOptions;
+use xtwig_core::{
+    estimate_many, estimate_selectivity, xbuild, CompiledSynopsis, EstimateCache, EstimateOptions,
+    TruthSource,
+};
+use xtwig_datagen::Dataset;
+use xtwig_workload::{generate_workload, WorkloadKind, WorkloadSpec};
+
+/// Per-dataset measurements destined for the JSON report.
+struct DatasetReport {
+    name: String,
+    queries: usize,
+    interpreted_qps: f64,
+    compiled_qps: f64,
+    speedup: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    batch_cold_qps: f64,
+    batch_warm_qps: f64,
+    cache_hit_rate: f64,
+    mismatches: usize,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.announce("Serving-path throughput: compiled vs. interpreted estimation");
+    let out_path =
+        std::env::var("XTWIG_BENCH_OUT").unwrap_or_else(|_| "BENCH_estimation.json".to_string());
+    let enforce_speedup = std::env::var("XTWIG_ENFORCE_SPEEDUP").as_deref() == Ok("1");
+
+    let mut reports: Vec<DatasetReport> = Vec::new();
+    let mut total_mismatches = 0usize;
+
+    for ds in Dataset::ALL {
+        let doc = ds.generate(cfg.scale);
+        let build = BuildOptions {
+            budget_bytes: 24 * 1024,
+            refinements_per_round: 4,
+            candidates_per_round: 8,
+            sample_queries: 12,
+            max_rounds: 40,
+            ..Default::default()
+        };
+        let (s, _) = xbuild(&doc, TruthSource::Exact, &build);
+        let spec = WorkloadSpec {
+            queries: cfg.queries,
+            kind: WorkloadKind::Branching,
+            seed: 0x5E,
+            ..Default::default()
+        };
+        let w = generate_workload(&doc, &spec);
+        if w.queries.is_empty() {
+            eprintln!("warning: {} produced no workload at this scale", ds.name());
+            continue;
+        }
+        let opts = EstimateOptions::default();
+        let cs = CompiledSynopsis::compile(&s);
+
+        // --- single-query speedup + bit-identity -----------------------
+        // The speedup subset keeps the repeat loop affordable while the
+        // full workload still feeds the serve/batch phases below.
+        let subset: Vec<_> = w.queries.iter().take(64).cloned().collect();
+        let mut mismatches = 0usize;
+        for q in &subset {
+            let a = estimate_selectivity(&s, q, &opts);
+            let b = cs.estimate_selectivity(q, &opts);
+            if a.to_bits() != b.to_bits() {
+                eprintln!(
+                    "MISMATCH {}: interpreted {a} vs compiled {b} for {q}",
+                    ds.name()
+                );
+                mismatches += 1;
+            }
+        }
+        total_mismatches += mismatches;
+
+        // Warmed already (agreement pass touched every query, priming
+        // the expansion memo). Repeat to smooth timer noise.
+        let repeats = 5usize;
+        let t0 = Instant::now();
+        for _ in 0..repeats {
+            for q in &subset {
+                std::hint::black_box(estimate_selectivity(&s, q, &opts));
+            }
+        }
+        let interp_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        for _ in 0..repeats {
+            for q in &subset {
+                std::hint::black_box(cs.estimate_selectivity(q, &opts));
+            }
+        }
+        let compiled_secs = t1.elapsed().as_secs_f64();
+        let calls = (repeats * subset.len()) as f64;
+        let interpreted_qps = calls / interp_secs.max(1e-9);
+        let compiled_qps = calls / compiled_secs.max(1e-9);
+        let speedup = interp_secs / compiled_secs.max(1e-9);
+
+        // --- serve latency distribution (compiled, single thread) ------
+        let mut lat_us: Vec<f64> = Vec::with_capacity(subset.len());
+        for q in &subset {
+            let t = Instant::now();
+            std::hint::black_box(cs.estimate_selectivity(q, &opts));
+            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        lat_us.sort_by(f64::total_cmp);
+
+        // --- batched serving through the cache --------------------------
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let cache = EstimateCache::new(4096);
+        let tb = Instant::now();
+        let cold = estimate_many(&cs, &w.queries, &opts, Some(&cache), threads);
+        let cold_secs = tb.elapsed().as_secs_f64();
+        let tw = Instant::now();
+        let warm = estimate_many(&cs, &w.queries, &opts, Some(&cache), threads);
+        let warm_secs = tw.elapsed().as_secs_f64();
+        for (a, b) in cold.iter().zip(&warm) {
+            if a.estimate.to_bits() != b.estimate.to_bits() {
+                eprintln!("MISMATCH {}: cold vs warm batch estimate", ds.name());
+                total_mismatches += 1;
+            }
+        }
+        let stats = cache.stats();
+
+        let rep = DatasetReport {
+            name: ds.name().to_string(),
+            queries: w.queries.len(),
+            interpreted_qps,
+            compiled_qps,
+            speedup,
+            p50_us: percentile(&lat_us, 0.50),
+            p95_us: percentile(&lat_us, 0.95),
+            p99_us: percentile(&lat_us, 0.99),
+            batch_cold_qps: w.queries.len() as f64 / cold_secs.max(1e-9),
+            batch_warm_qps: w.queries.len() as f64 / warm_secs.max(1e-9),
+            cache_hit_rate: stats.hit_rate(),
+            mismatches,
+        };
+        println!(
+            "## {}: speedup {:.2}x ({:.0} -> {:.0} qps), p50 {:.1}us p95 {:.1}us p99 {:.1}us, \
+             batch {:.0} -> {:.0} qps warm, hit-rate {:.2}, mismatches {}",
+            rep.name,
+            rep.speedup,
+            rep.interpreted_qps,
+            rep.compiled_qps,
+            rep.p50_us,
+            rep.p95_us,
+            rep.p99_us,
+            rep.batch_cold_qps,
+            rep.batch_warm_qps,
+            rep.cache_hit_rate,
+            rep.mismatches,
+        );
+        reports.push(rep);
+    }
+
+    // --- JSON report ----------------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"estimation_serve\",\n  \"datasets\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"queries\": {}, \"interpreted_qps\": {:.1}, \
+             \"compiled_qps\": {:.1}, \"speedup\": {:.3}, \"p50_us\": {:.2}, \
+             \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"batch_cold_qps\": {:.1}, \
+             \"batch_warm_qps\": {:.1}, \"cache_hit_rate\": {:.4}, \"mismatches\": {}}}{}\n",
+            r.name,
+            r.queries,
+            r.interpreted_qps,
+            r.compiled_qps,
+            r.speedup,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.batch_cold_qps,
+            r.batch_warm_qps,
+            r.cache_hit_rate,
+            r.mismatches,
+            if i + 1 < reports.len() { "," } else { "" },
+        ));
+    }
+    let min_speedup = reports
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    let min_speedup = if min_speedup.is_finite() {
+        min_speedup
+    } else {
+        0.0
+    };
+    json.push_str(&format!(
+        "  ],\n  \"min_speedup\": {:.3},\n  \"total_mismatches\": {}\n}}\n",
+        min_speedup, total_mismatches
+    ));
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# wrote {out_path} (min speedup {min_speedup:.2}x)");
+
+    if total_mismatches > 0 {
+        eprintln!("FAIL: {total_mismatches} compiled/interpreted disagreements");
+        std::process::exit(1);
+    }
+    if enforce_speedup && min_speedup < 1.0 {
+        eprintln!("FAIL: compiled estimation slower than interpreted ({min_speedup:.2}x)");
+        std::process::exit(1);
+    }
+}

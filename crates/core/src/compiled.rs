@@ -1,0 +1,938 @@
+//! A compiled, serving-oriented lowering of the [`Synopsis`].
+//!
+//! The interpreted estimation path re-derives everything per query from
+//! pointer-rich structures: `avg_children` probes a `BTreeMap`, every
+//! histogram access walks `Vec<Bucket>` objects whose per-dimension
+//! vectors live behind separate allocations, and TREEPARSE materializes
+//! a fresh support list per node visit. That is fine for construction,
+//! but the ROADMAP's north star is a *service*: the synopsis is compiled
+//! once and then consulted millions of times.
+//!
+//! [`CompiledSynopsis`] performs a one-time lowering into flat,
+//! cache-friendly arrays:
+//!
+//! * **CSR adjacency** — per-parent sorted child lists with the Forward
+//!   Uniformity average `child_count/|u|` precomputed, so the hot-path
+//!   `avg_children` is a binary search over a contiguous `u32` slice
+//!   instead of a `BTreeMap` probe.
+//! * **Struct-of-arrays histograms** ([`CompiledHistogram`]) — bucket
+//!   masses, box bounds, and means in contiguous bucket-major rows;
+//!   scope dimensions interned into parallel edge/kind tables; value
+//!   buckets flattened with per-dimension spans; per-dimension marginal
+//!   expectations `Σ f·mean_d` and the total mass precomputed.
+//! * **Memoized maximal-twig expansion** — embeddings and their
+//!   TREEPARSE `needs` sets cached per `(query signature, expansion
+//!   options)`, so repeated queries skip expansion and embedding
+//!   enumeration entirely. The memo is only populated by expansions that
+//!   ran to completion (no deadline/work exhaustion mid-enumeration).
+//!
+//! Every compiled synopsis carries an **epoch** drawn from a global
+//! monotone counter. Downstream caches (the serving layer's estimate
+//! cache, see [`crate::serve`]) key their entries by this epoch: when the
+//! synopsis is refined and recompiled, the fresh epoch invalidates every
+//! stale entry without any explicit flush protocol.
+//!
+//! The compiled evaluator mirrors the interpreted TREEPARSE
+//! operation-for-operation — same classification, same bucket filtering
+//! and renormalization order, same clamping — so its estimates are
+//! **bit-identical** to [`crate::estimate_selectivity_bounded`]
+//! (property-tested across all three paper generators in
+//! `tests/compiled.rs`). Only the bookkeeping differs: index arithmetic
+//! over flat arrays instead of hashmap probes and per-visit allocations.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::estimate::embedding::{enumerate_embeddings_metered, Embedding};
+use crate::estimate::guard::Meter;
+use crate::estimate::{coarse_count_bound, BoundedEstimate, EstimateOptions};
+use crate::synopsis::{DimKind, SynId, Synopsis, ValueSource};
+use xtwig_query::TwigQuery;
+
+/// Global epoch source: every compilation gets a fresh, process-unique
+/// epoch so caches can tell synopsis generations apart.
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Upper bound on memoized expansions; a full memo is cleared wholesale
+/// (expansion is cheap to redo relative to unbounded memory growth, and
+/// serving workloads cycle through far fewer distinct shapes).
+const EXPANSION_MEMO_CAP: usize = 4096;
+
+/// One node's edge histogram lowered to struct-of-arrays form.
+///
+/// Bucket `b`'s row for dimension `d` lives at index `b * dims + d` of
+/// the `lo` / `hi` / `mean` arrays; `frac[b]` is its probability mass.
+/// Scope dimension `d` is described by `dim_parent[d]`, `dim_child[d]`,
+/// `dim_kind[d]`, with value-bucket boundaries (when `d` is a value
+/// dimension) at `vb_lo[vb_span[d].0 ..][..vb_span[d].1]`.
+#[derive(Debug, Clone)]
+pub struct CompiledHistogram {
+    /// Number of scope dimensions.
+    dims: usize,
+    /// Parent endpoint of each scope dimension's edge.
+    dim_parent: Vec<SynId>,
+    /// Child endpoint (or value source) of each scope dimension's edge.
+    dim_child: Vec<SynId>,
+    /// Kind of each scope dimension.
+    dim_kind: Vec<DimKind>,
+    /// Per-bucket probability mass.
+    frac: Vec<f64>,
+    /// Bucket-major inclusive lower box bounds (`buckets × dims`).
+    lo: Vec<u32>,
+    /// Bucket-major inclusive upper box bounds (`buckets × dims`).
+    hi: Vec<u32>,
+    /// Bucket-major mass-weighted means (`buckets × dims`).
+    mean: Vec<f64>,
+    /// Per-dimension `(start, len)` span into `vb_lo`/`vb_hi`, `None`
+    /// for dimensions without value buckets.
+    vb_span: Vec<Option<(usize, usize)>>,
+    /// Flattened value-bucket lower bounds.
+    vb_lo: Vec<i64>,
+    /// Flattened value-bucket upper bounds.
+    vb_hi: Vec<i64>,
+    /// Precomputed marginal expectation `Σ_b frac[b] · mean[b][d]` per
+    /// dimension — the `E[C_d]` an AVI-style consumer reads in O(1).
+    dim_expectation: Vec<f64>,
+    /// Precomputed total probability mass `Σ_b frac[b]`.
+    total_mass: f64,
+}
+
+impl CompiledHistogram {
+    fn compile(s: &Synopsis, n: SynId) -> CompiledHistogram {
+        let h = s.edge_hist(n);
+        let dims = h.hist.dims();
+        let buckets = h.hist.buckets();
+        let mut frac = Vec::with_capacity(buckets.len());
+        let mut lo = Vec::with_capacity(buckets.len() * dims);
+        let mut hi = Vec::with_capacity(buckets.len() * dims);
+        let mut mean = Vec::with_capacity(buckets.len() * dims);
+        for b in buckets {
+            frac.push(b.fraction);
+            lo.extend_from_slice(&b.lo);
+            hi.extend_from_slice(&b.hi);
+            mean.extend_from_slice(&b.mean);
+        }
+        let mut vb_span = Vec::with_capacity(h.value_buckets.len());
+        let mut vb_lo = Vec::new();
+        let mut vb_hi = Vec::new();
+        for vb in &h.value_buckets {
+            match vb {
+                Some(vb) => {
+                    vb_span.push(Some((vb_lo.len(), vb.len())));
+                    vb_lo.extend_from_slice(&vb.lo);
+                    vb_hi.extend_from_slice(&vb.hi);
+                }
+                None => vb_span.push(None),
+            }
+        }
+        let dim_expectation = (0..dims)
+            .map(|d| {
+                buckets
+                    .iter()
+                    .map(|b| b.fraction * b.mean.get(d).copied().unwrap_or(0.0))
+                    .sum()
+            })
+            .collect();
+        CompiledHistogram {
+            dims,
+            dim_parent: h.scope.iter().map(|d| d.parent).collect(),
+            dim_child: h.scope.iter().map(|d| d.child).collect(),
+            dim_kind: h.scope.iter().map(|d| d.kind).collect(),
+            frac,
+            lo,
+            hi,
+            mean,
+            vb_span,
+            vb_lo,
+            vb_hi,
+            dim_expectation,
+            total_mass: h.hist.total_mass(),
+        }
+    }
+
+    /// Number of scope dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.frac.len()
+    }
+
+    /// Precomputed marginal expectation `E[C_d]` of dimension `d`.
+    pub fn dim_expectation(&self, d: usize) -> Option<f64> {
+        self.dim_expectation.get(d).copied()
+    }
+
+    /// Precomputed total probability mass.
+    pub fn total_mass(&self) -> f64 {
+        self.total_mass
+    }
+
+    /// Index of the value dimension drawing from `source`, if recorded
+    /// (mirrors `EdgeHistogram::value_dim_of`).
+    fn value_dim_of(&self, owner: SynId, source: ValueSource) -> Option<usize> {
+        let child = match source {
+            ValueSource::OwnValue => owner,
+            ValueSource::ChildValue(z) => z,
+        };
+        (0..self.dims).find(|&d| {
+            self.dim_parent[d] == owner
+                && self.dim_child[d] == child
+                && self.dim_kind[d] == DimKind::Value
+        })
+    }
+
+    /// The edge key of scope dimension `d`.
+    #[inline]
+    fn edge_key(&self, d: usize) -> (SynId, SynId) {
+        (self.dim_parent[d], self.dim_child[d])
+    }
+
+    /// Mirror of `ValueBuckets::overlap_share` over the flattened bucket
+    /// boundaries of value dimension `di` — identical arithmetic, so the
+    /// weighted masses match the interpreted path bit-for-bit.
+    fn overlap_share(&self, di: usize, coord_lo: u32, coord_hi: u32, lo: i64, hi: i64) -> f64 {
+        let Some(Some((start, len))) = self.vb_span.get(di).copied() else {
+            return 1.0;
+        };
+        let n = len as u32;
+        if coord_lo >= n {
+            return 0.0;
+        }
+        let v_hi = coord_hi.min(n - 1);
+        let span_lo = self.vb_lo[start + coord_lo as usize];
+        let span_hi = self.vb_hi[start + v_hi as usize];
+        if span_hi < lo || span_lo > hi {
+            return 0.0;
+        }
+        let span = (span_hi - span_lo) as f64 + 1.0;
+        let overlap = (hi.min(span_hi) - lo.max(span_lo)) as f64 + 1.0;
+        let mut share = (overlap / span).clamp(0.0, 1.0);
+        if coord_hi >= n {
+            let total = (coord_hi - coord_lo + 1) as f64;
+            let valued = (v_hi - coord_lo + 1) as f64;
+            share *= valued / total;
+        }
+        share
+    }
+
+    /// Mirror of `Bucket::contains_on` for bucket `b`.
+    #[inline]
+    fn contains_on(&self, b: usize, cond: &[(usize, f64)]) -> bool {
+        let row = b * self.dims;
+        cond.iter()
+            .all(|&(d, v)| v >= self.lo[row + d] as f64 - 0.5 && v <= self.hi[row + d] as f64 + 0.5)
+    }
+
+    /// Mirror of `Bucket::distance_on` for bucket `b`.
+    fn distance_on(&self, b: usize, cond: &[(usize, f64)]) -> f64 {
+        let row = b * self.dims;
+        cond.iter()
+            .map(|&(d, v)| {
+                let lo = self.lo[row + d] as f64;
+                let hi = self.hi[row + d] as f64;
+                let delta = if v < lo {
+                    lo - v
+                } else if v > hi {
+                    v - hi
+                } else {
+                    0.0
+                };
+                delta * delta
+            })
+            .sum()
+    }
+
+    /// Per-bucket weight from matched value predicates — the compiled
+    /// mirror of the `weight` closure in the interpreted evaluator.
+    fn value_weight(&self, b: usize, value_conds: &[(usize, i64, i64)]) -> f64 {
+        let row = b * self.dims;
+        let mut w = 1.0;
+        for &(di, lo, hi) in value_conds {
+            let (blo, bhi) = (self.lo[row + di], self.hi[row + di]);
+            w *= self.overlap_share(di, blo, bhi, lo, hi);
+            if w == 0.0 {
+                break;
+            }
+        }
+        w
+    }
+}
+
+/// A fully expanded query: the maximal twig embeddings plus, per
+/// embedding, the per-node sorted `needs` edge lists TREEPARSE
+/// conditions on. This is what the expansion memo stores.
+#[derive(Debug)]
+pub struct ExpandedQuery {
+    /// The maximal twig embeddings.
+    pub embeddings: Vec<Embedding>,
+    /// `needs[e][i]`: sorted, deduplicated backward edges required below
+    /// embedding `e`'s node `i` (membership-equivalent to the
+    /// interpreted path's hash sets).
+    pub needs: Vec<Vec<Vec<(SynId, SynId)>>>,
+}
+
+/// The compiled synopsis: flat arrays plus a borrow of the source
+/// [`Synopsis`] for the cold paths (expansion walks the synopsis graph;
+/// value-summary fallbacks and the coarse count bound stay interpreted).
+pub struct CompiledSynopsis<'a> {
+    source: &'a Synopsis,
+    epoch: u64,
+    /// Extent sizes per node.
+    counts: Vec<u64>,
+    /// CSR row offsets into `edge_child` / `edge_avg` (`nodes + 1`).
+    edge_off: Vec<usize>,
+    /// Child endpoints, sorted per parent.
+    edge_child: Vec<SynId>,
+    /// Precomputed Forward Uniformity averages `child_count/|u|`.
+    edge_avg: Vec<f64>,
+    /// Per-node compiled histograms.
+    hists: Vec<CompiledHistogram>,
+    /// Memoized expansions keyed by `(query, expansion options)`.
+    memo: Mutex<HashMap<String, Arc<ExpandedQuery>>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+impl<'a> CompiledSynopsis<'a> {
+    /// Lowers `s` into flat form. O(synopsis size); done once per
+    /// synopsis generation, amortized over every query served from it.
+    pub fn compile(s: &'a Synopsis) -> CompiledSynopsis<'a> {
+        let n = s.node_count();
+        let counts: Vec<u64> = s.node_ids().map(|id| s.extent_size(id)).collect();
+        // The synopsis stores edges in a BTreeMap keyed by (parent,
+        // child), so iteration is already CSR order: grouped by parent,
+        // children sorted.
+        let mut edge_off = vec![0usize; n + 1];
+        let mut edge_child = Vec::with_capacity(s.edge_count());
+        let mut edge_avg = Vec::with_capacity(s.edge_count());
+        for (u, v, rec) in s.edge_iter() {
+            edge_off[u.index() + 1] += 1;
+            edge_child.push(v);
+            // Same operands and operation as `Synopsis::avg_children`,
+            // so the precomputed quotient is bit-identical.
+            let cu = counts.get(u.index()).copied().unwrap_or(0);
+            edge_avg.push(if cu > 0 {
+                rec.child_count as f64 / cu as f64
+            } else {
+                0.0
+            });
+        }
+        for i in 0..n {
+            edge_off[i + 1] += edge_off[i];
+        }
+        let hists = s
+            .node_ids()
+            .map(|id| CompiledHistogram::compile(s, id))
+            .collect();
+        CompiledSynopsis {
+            source: s,
+            epoch: EPOCH.fetch_add(1, Ordering::Relaxed),
+            counts,
+            edge_off,
+            edge_child,
+            edge_avg,
+            hists,
+            memo: Mutex::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The synopsis this compilation was lowered from.
+    pub fn source(&self) -> &'a Synopsis {
+        self.source
+    }
+
+    /// The process-unique epoch of this compilation. Monotonically
+    /// increasing across compilations: recompiling after a refinement
+    /// yields a strictly larger epoch, invalidating epoch-keyed caches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of synopsis nodes.
+    pub fn node_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The compiled histogram of node `n`.
+    pub fn hist(&self, n: SynId) -> Option<&CompiledHistogram> {
+        self.hists.get(n.index())
+    }
+
+    /// `(hits, misses)` of the expansion memo so far.
+    pub fn expansion_memo_stats(&self) -> (u64, u64) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.memo_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Compiled `avg_children`: binary search in the node's CSR row.
+    #[inline]
+    fn avg_children(&self, u: SynId, v: SynId) -> f64 {
+        let (start, end) = match (
+            self.edge_off.get(u.index()),
+            self.edge_off.get(u.index() + 1),
+        ) {
+            (Some(&s), Some(&e)) => (s, e),
+            _ => return 0.0,
+        };
+        match self.edge_child[start..end].binary_search(&v) {
+            Ok(i) => self.edge_avg[start + i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Expands `query` through the memo: a hit returns the cached
+    /// embeddings + needs instantly; a miss runs the interpreted
+    /// expansion under `meter` and caches the result only when the
+    /// enumeration ran to completion.
+    pub fn expand(
+        &self,
+        query: &TwigQuery,
+        opts: &EstimateOptions,
+        meter: &mut Meter,
+    ) -> Arc<ExpandedQuery> {
+        let key = format!(
+            "{query}\u{1}{}\u{1}{}",
+            opts.max_embeddings, opts.max_descendant_len
+        );
+        {
+            let memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(hit) = memo.get(&key) {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let embeddings = enumerate_embeddings_metered(self.source, query, opts, meter);
+        let needs = embeddings.iter().map(|e| self.compute_needs(e)).collect();
+        let expanded = Arc::new(ExpandedQuery { embeddings, needs });
+        if meter.exhaustion().is_none() {
+            let mut memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
+            if memo.len() >= EXPANSION_MEMO_CAP {
+                memo.clear();
+            }
+            memo.insert(key, Arc::clone(&expanded));
+        }
+        expanded
+    }
+
+    /// Sorted-vector mirror of the interpreted `compute_needs` (the sets
+    /// are only ever queried for membership, so a sorted `Vec` is
+    /// semantically identical).
+    fn compute_needs(&self, emb: &Embedding) -> Vec<Vec<(SynId, SynId)>> {
+        let mut needs: Vec<Vec<(SynId, SynId)>> = vec![Vec::new(); emb.nodes.len()];
+        for i in (0..emb.nodes.len()).rev() {
+            let Some(node) = emb.nodes.get(i) else {
+                continue;
+            };
+            let mut set: Vec<(SynId, SynId)> = match self.hists.get(node.syn.index()) {
+                Some(ch) => (0..ch.dims)
+                    .filter(|&d| ch.dim_kind[d] == DimKind::Backward)
+                    .map(|d| ch.edge_key(d))
+                    .collect(),
+                None => Vec::new(),
+            };
+            for &c in &node.children {
+                if let Some(below) = needs.get(c) {
+                    set.extend(below.iter().copied());
+                }
+            }
+            set.sort_unstable();
+            set.dedup();
+            if let Some(slot) = needs.get_mut(i) {
+                *slot = set;
+            }
+        }
+        needs
+    }
+
+    /// Compiled mirror of `estimate_selectivity_bounded`: identical
+    /// clamping loop, with expansion served through the memo and
+    /// TREEPARSE running over the flat arrays.
+    pub fn estimate_selectivity_bounded(
+        &self,
+        query: &TwigQuery,
+        opts: &EstimateOptions,
+    ) -> BoundedEstimate {
+        let mut meter = Meter::from_options(opts);
+        let expanded = self.expand(query, opts, &mut meter);
+        let mut total = 0.0f64;
+        let mut clamped = 0usize;
+        let mut evaluated = 0usize;
+        for (e, needs) in expanded.embeddings.iter().zip(&expanded.needs) {
+            let v = self.estimate_embedding_metered(e, needs, &mut meter);
+            evaluated += 1;
+            if v.is_finite() && v >= 0.0 {
+                total += v;
+            } else {
+                clamped += 1;
+                if v == f64::INFINITY {
+                    total += coarse_count_bound(self.source, query);
+                }
+            }
+            if meter.exhaustion().is_some() {
+                break;
+            }
+        }
+        if !total.is_finite() {
+            clamped += 1;
+            total = coarse_count_bound(self.source, query);
+        }
+        BoundedEstimate {
+            estimate: total.clamp(0.0, f64::MAX),
+            exhaustion: meter.exhaustion(),
+            embeddings: evaluated,
+            work: meter.work_done(),
+            clamped,
+        }
+    }
+
+    /// Compiled mirror of `estimate_selectivity`.
+    pub fn estimate_selectivity(&self, query: &TwigQuery, opts: &EstimateOptions) -> f64 {
+        self.estimate_selectivity_bounded(query, opts).estimate
+    }
+
+    /// Estimates one embedding whose `needs` lists were computed by
+    /// [`CompiledSynopsis::compute_needs`].
+    fn estimate_embedding_metered(
+        &self,
+        emb: &Embedding,
+        needs: &[Vec<(SynId, SynId)>],
+        meter: &mut Meter,
+    ) -> f64 {
+        if emb.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut env: Vec<((SynId, SynId), f64)> = Vec::new();
+        emb.root_count * self.eval_node(emb, needs, 0, &mut env, meter)
+    }
+
+    /// Compiled TREEPARSE node evaluation — an operation-for-operation
+    /// mirror of the interpreted `eval_node`, iterating the SoA bucket
+    /// rows directly instead of materializing support lists.
+    fn eval_node(
+        &self,
+        emb: &Embedding,
+        needs: &[Vec<(SynId, SynId)>],
+        i: usize,
+        env: &mut Vec<((SynId, SynId), f64)>,
+        meter: &mut Meter,
+    ) -> f64 {
+        let Some(node) = emb.nodes.get(i) else {
+            return 0.0;
+        };
+        let syn = node.syn;
+        let Some(ch) = self.hists.get(syn.index()) else {
+            return 0.0;
+        };
+
+        // --- Predicate factors -------------------------------------------
+        let mut factor = node.branch_fraction;
+        let mut value_conds: Vec<(usize, i64, i64)> = Vec::new();
+        if let Some((lo, hi)) = node.value_range {
+            match ch.value_dim_of(syn, ValueSource::OwnValue) {
+                Some(di) if ch.vb_span.get(di).is_some_and(Option::is_some) => {
+                    value_conds.push((di, lo, hi));
+                }
+                _ => factor *= self.source.value_fraction(syn, lo, hi),
+            }
+        }
+        for bv in &node.branch_values {
+            match ch.value_dim_of(syn, ValueSource::ChildValue(bv.child)) {
+                Some(di) if ch.vb_span.get(di).is_some_and(Option::is_some) => {
+                    value_conds.push((di, bv.range.0, bv.range.1));
+                }
+                _ => factor *= bv.fallback,
+            }
+        }
+        if factor == 0.0 {
+            return 0.0;
+        }
+        if node.children.is_empty() && value_conds.is_empty() {
+            return factor;
+        }
+
+        // --- TREEPARSE classification -------------------------------------
+        let child_edges: Vec<(SynId, SynId)> = node
+            .children
+            .iter()
+            .filter_map(|&c| emb.nodes.get(c).map(|cn| (syn, cn.syn)))
+            .collect();
+        let needs_below = |edge: &(SynId, SynId)| -> bool {
+            node.children.iter().any(|&c| {
+                needs
+                    .get(c)
+                    .is_some_and(|set| set.binary_search(edge).is_ok())
+            })
+        };
+        let enum_dims: Vec<usize> = (0..ch.dims)
+            .filter(|&d| {
+                ch.dim_kind[d] == DimKind::Forward
+                    && ch.dim_parent[d] == syn
+                    && (child_edges.contains(&ch.edge_key(d)) || needs_below(&ch.edge_key(d)))
+            })
+            .collect();
+        let cond: Vec<(usize, f64)> = (0..ch.dims)
+            .filter(|&d| ch.dim_kind[d] == DimKind::Backward)
+            .filter_map(|d| {
+                env.iter()
+                    .rev()
+                    .find(|(key, _)| *key == ch.edge_key(d))
+                    .map(|&(_, v)| (d, v))
+            })
+            .collect();
+        let child_dim: Vec<Option<usize>> = node
+            .children
+            .iter()
+            .map(|&c| {
+                let child_syn = emb.nodes.get(c).map(|cn| cn.syn);
+                enum_dims
+                    .iter()
+                    .position(|&di| Some(ch.dim_child[di]) == child_syn && ch.dim_parent[di] == syn)
+            })
+            .collect();
+
+        // --- Evaluation ----------------------------------------------------
+        // The interpreted path materializes a support list
+        // (`conditional_support_weighted`) and loops over it; here the
+        // bucket rows are visited in place with the same masses in the
+        // same order, through `visit`.
+        let mut acc = 0.0;
+        {
+            // Returns `false` when the meter trips, so loops below stop
+            // exactly where the interpreted support loop breaks.
+            let mut visit = |mass: f64, bucket: Option<usize>| -> bool {
+                if !meter.proceed(1) {
+                    return false;
+                }
+                if mass == 0.0 {
+                    return true;
+                }
+                let env_base = env.len();
+                if let Some(b) = bucket {
+                    let row = b * ch.dims;
+                    for &di in &enum_dims {
+                        env.push((ch.edge_key(di), ch.mean[row + di]));
+                    }
+                }
+                let mut term = mass;
+                for (&c, dim) in node.children.iter().zip(child_dim.iter()) {
+                    let sub = self.eval_node(emb, needs, c, env, meter);
+                    let mult = match (bucket, dim) {
+                        (Some(b), Some(j)) => match enum_dims.get(*j) {
+                            Some(&di) => ch.mean[b * ch.dims + di],
+                            None => 0.0,
+                        },
+                        _ => match emb.nodes.get(c) {
+                            Some(child) => self.avg_children(syn, child.syn),
+                            None => 0.0,
+                        },
+                    };
+                    term *= mult * sub;
+                    if term == 0.0 {
+                        break;
+                    }
+                }
+                env.truncate(env_base);
+                acc += term;
+                true
+            };
+
+            if enum_dims.is_empty() && value_conds.is_empty() {
+                // Mirror of the `vec![(1.0, Vec::new())]` special case.
+                visit(1.0, None);
+            } else if cond.is_empty() {
+                if enum_dims.is_empty() {
+                    // Scalar collapse: sum the weighted masses, emit once.
+                    let total: f64 = (0..ch.bucket_count())
+                        .filter(|&b| ch.frac[b] > 0.0)
+                        .map(|b| ch.frac[b] * ch.value_weight(b, &value_conds))
+                        .sum();
+                    visit(total, None);
+                } else {
+                    for b in 0..ch.bucket_count() {
+                        if ch.frac[b] > 0.0
+                            && !visit(ch.frac[b] * ch.value_weight(b, &value_conds), Some(b))
+                        {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                // Conditional branch: select compatible buckets, falling
+                // back to the nearest bucket on holes — same filter and
+                // first-minimum semantics as the interpreted path.
+                let selected: Vec<usize> = (0..ch.bucket_count())
+                    .filter(|&b| ch.frac[b] > 0.0 && ch.contains_on(b, &cond))
+                    .collect();
+                let (selected, den) = if selected.is_empty() {
+                    let mut best: Option<(f64, usize)> = None;
+                    for b in (0..ch.bucket_count()).filter(|&b| ch.frac[b] > 0.0) {
+                        let d = ch.distance_on(b, &cond);
+                        let better = match best {
+                            None => true,
+                            Some((bd, _)) => {
+                                d.partial_cmp(&bd).unwrap_or(std::cmp::Ordering::Equal)
+                                    == std::cmp::Ordering::Less
+                            }
+                        };
+                        if better {
+                            best = Some((d, b));
+                        }
+                    }
+                    match best {
+                        Some((_, b)) => (vec![b], ch.frac[b]),
+                        None => (Vec::new(), 0.0),
+                    }
+                } else {
+                    let den = selected.iter().map(|&b| ch.frac[b]).sum::<f64>();
+                    (selected, den)
+                };
+                if enum_dims.is_empty() {
+                    let total: f64 = selected
+                        .iter()
+                        .map(|&b| ch.frac[b] / den * ch.value_weight(b, &value_conds))
+                        .sum();
+                    // An empty selection yields an empty support list on
+                    // the interpreted path (no entries at all).
+                    if !selected.is_empty() {
+                        visit(total, None);
+                    }
+                } else {
+                    for &b in &selected {
+                        if !visit(ch.frac[b] / den * ch.value_weight(b, &value_conds), Some(b)) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        factor * acc
+    }
+}
+
+impl std::fmt::Debug for CompiledSynopsis<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSynopsis")
+            .field("epoch", &self.epoch)
+            .field("nodes", &self.counts.len())
+            .field("edges", &self.edge_child.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::coarse_synopsis;
+    use crate::estimate::estimate_selectivity;
+    use crate::synopsis::ScopeDim;
+    use xtwig_query::parse_twig;
+    use xtwig_xml::{parse, DocumentBuilder};
+
+    fn worked_example_doc() -> xtwig_xml::Document {
+        parse(concat!(
+            "<bib>",
+            "<author><name/>",
+            "<paper><keyword/><keyword/><year>1999</year></paper>",
+            "<paper><keyword/><year>2002</year></paper>",
+            "</author>",
+            "<author><name/>",
+            "<paper><keyword/><year>2001</year></paper>",
+            "<book/>",
+            "</author>",
+            "<author><name/>",
+            "<paper><keyword/><year>2000</year></paper>",
+            "<book/>",
+            "</author>",
+            "</bib>"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_on_worked_example() {
+        let d = worked_example_doc();
+        let mut s = coarse_synopsis(&d);
+        let author = s.nodes_with_tag("author")[0];
+        let paper = s.nodes_with_tag("paper")[0];
+        let name = s.nodes_with_tag("name")[0];
+        let keyword = s.nodes_with_tag("keyword")[0];
+        let year = s.nodes_with_tag("year")[0];
+        s.set_edge_hist(
+            &d,
+            author,
+            vec![
+                ScopeDim {
+                    parent: author,
+                    child: paper,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: author,
+                    child: name,
+                    kind: DimKind::Forward,
+                },
+            ],
+            4096,
+        );
+        s.set_edge_hist(
+            &d,
+            paper,
+            vec![
+                ScopeDim {
+                    parent: paper,
+                    child: keyword,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: paper,
+                    child: year,
+                    kind: DimKind::Forward,
+                },
+                ScopeDim {
+                    parent: author,
+                    child: paper,
+                    kind: DimKind::Backward,
+                },
+            ],
+            4096,
+        );
+        let cs = CompiledSynopsis::compile(&s);
+        let opts = EstimateOptions::default();
+        for text in [
+            "for $t0 in //author, $t1 in $t0/name, $t2 in $t0/paper, $t3 in $t2/keyword, $t4 in $t2/year",
+            "for $t0 in //author[book], $t1 in $t0/paper",
+            "for $t0 in //paper, $t1 in $t0/keyword",
+            "for $t0 in //keyword",
+            "for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/year[. >= 2001]",
+        ] {
+            let q = parse_twig(text).unwrap();
+            let interp = estimate_selectivity(&s, &q, &opts);
+            let compiled = cs.estimate_selectivity(&q, &opts);
+            assert_eq!(
+                interp.to_bits(),
+                compiled.to_bits(),
+                "{text}: interpreted {interp} vs compiled {compiled}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_matches_on_joint_value_summary() {
+        // The §1 movie scenario routed through a value dimension.
+        let mut b = DocumentBuilder::new();
+        b.open("ms", None);
+        for i in 0..40 {
+            b.open("movie", None);
+            let t = if i % 2 == 0 { 1 } else { 2 };
+            b.leaf("type", Some(t));
+            for _ in 0..(if t == 1 { 8 } else { 1 }) {
+                b.leaf("actor", None);
+            }
+            b.close();
+        }
+        b.close();
+        let d = b.finish();
+        let mut s = coarse_synopsis(&d);
+        let movie = s.nodes_with_tag("movie")[0];
+        let typ = s.nodes_with_tag("type")[0];
+        let actor = s.nodes_with_tag("actor")[0];
+        let mut scope = s.edge_hist(movie).scope.clone();
+        if s.edge_hist(movie)
+            .dim_of(movie, actor, DimKind::Forward)
+            .is_none()
+        {
+            scope.push(ScopeDim {
+                parent: movie,
+                child: actor,
+                kind: DimKind::Forward,
+            });
+        }
+        scope.push(ScopeDim {
+            parent: movie,
+            child: typ,
+            kind: DimKind::Value,
+        });
+        s.set_edge_hist(&d, movie, scope, 2048);
+        let cs = CompiledSynopsis::compile(&s);
+        let opts = EstimateOptions::default();
+        let q = parse_twig("for $t0 in //movie[type = 1], $t1 in $t0/actor").unwrap();
+        let interp = estimate_selectivity(&s, &q, &opts);
+        let compiled = cs.estimate_selectivity(&q, &opts);
+        assert_eq!(interp.to_bits(), compiled.to_bits());
+        assert!((compiled - 160.0).abs() < 1.0, "{compiled}");
+    }
+
+    #[test]
+    fn expansion_memo_hits_on_repeat() {
+        let d = worked_example_doc();
+        let s = coarse_synopsis(&d);
+        let cs = CompiledSynopsis::compile(&s);
+        let opts = EstimateOptions::default();
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        let a = cs.estimate_selectivity(&q, &opts);
+        let b = cs.estimate_selectivity(&q, &opts);
+        assert_eq!(a.to_bits(), b.to_bits());
+        let (hits, misses) = cs.expansion_memo_stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn epochs_are_unique_and_monotone() {
+        let d = worked_example_doc();
+        let s = coarse_synopsis(&d);
+        let a = CompiledSynopsis::compile(&s);
+        let b = CompiledSynopsis::compile(&s);
+        assert!(b.epoch() > a.epoch());
+    }
+
+    #[test]
+    fn precomputed_marginals_match_histogram() {
+        let d = worked_example_doc();
+        let s = coarse_synopsis(&d);
+        let cs = CompiledSynopsis::compile(&s);
+        for n in s.node_ids() {
+            let h = s.edge_hist(n);
+            let ch = cs.hist(n).unwrap();
+            assert_eq!(ch.dims(), h.hist.dims());
+            assert!((ch.total_mass() - h.hist.total_mass()).abs() < 1e-15);
+            for dim in 0..h.hist.dims() {
+                let expect = h.hist.expectation_product(&[dim]);
+                let got = ch.dim_expectation(dim).unwrap();
+                assert!(
+                    (expect - got).abs() < 1e-12,
+                    "node {n} dim {dim}: {expect} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_expansion_is_not_cached() {
+        let d = worked_example_doc();
+        let s = coarse_synopsis(&d);
+        let cs = CompiledSynopsis::compile(&s);
+        let opts = EstimateOptions {
+            work_limit: 1,
+            ..Default::default()
+        };
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/keyword").unwrap();
+        let b = cs.estimate_selectivity_bounded(&q, &opts);
+        assert!(b.exhaustion.is_some());
+        // The exhausted (partial) expansion must not poison later full runs.
+        let full = cs.estimate_selectivity_bounded(&q, &EstimateOptions::default());
+        assert!(full.exhaustion.is_none());
+        let interp =
+            crate::estimate::estimate_selectivity_bounded(&s, &q, &EstimateOptions::default());
+        assert_eq!(full.estimate.to_bits(), interp.estimate.to_bits());
+    }
+}

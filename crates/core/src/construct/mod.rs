@@ -7,6 +7,6 @@ pub mod xbuild;
 
 pub use refine::Refinement;
 pub use xbuild::{
-    xbuild, xbuild_from, xbuild_from_with_workload, BuildOptions, BuildTrace, RoundInfo,
-    TruthSource,
+    workload_error, workload_error_compiled, xbuild, xbuild_from, xbuild_from_with_workload,
+    BuildOptions, BuildTrace, RoundInfo, TruthSource,
 };

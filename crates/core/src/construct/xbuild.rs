@@ -13,6 +13,7 @@
 //! the paper uses to avoid database access.
 
 use crate::coarse::coarse_synopsis;
+use crate::compiled::CompiledSynopsis;
 use crate::construct::refine::{best_expand_dim_with, best_value_expand, Refinement};
 use crate::construct::sample::sample_region_workload;
 use crate::estimate::{estimate_selectivity, EstimateOptions};
@@ -172,10 +173,22 @@ pub fn xbuild_from_with_workload(
         if queries.is_empty() {
             break;
         }
-        let truths: Vec<f64> = queries
-            .iter()
-            .map(|q| truth.truth(doc, q, &opts.estimate))
-            .collect();
+        // A reference truth source is compiled once per round, not once
+        // per query: the numbers are bit-identical, only the hashmap
+        // probes and per-visit support allocations disappear.
+        let truths: Vec<f64> = match truth {
+            TruthSource::Reference(r) => {
+                let cr = CompiledSynopsis::compile(r);
+                queries
+                    .iter()
+                    .map(|q| cr.estimate_selectivity(q, &opts.estimate))
+                    .collect()
+            }
+            TruthSource::Exact => queries
+                .iter()
+                .map(|q| truth.truth(doc, q, &opts.estimate))
+                .collect(),
+        };
         let base_err = workload_error(&s, &queries, &truths, &opts.estimate);
         let base_size = s.size_bytes();
 
@@ -220,20 +233,26 @@ pub fn xbuild_from_with_workload(
                 }
             });
         }
-        let scored: Vec<(f64, Refinement)> = candidates
+        let scored: Vec<(f64, usize, Refinement)> = candidates
             .into_iter()
             .zip(slots)
-            .filter_map(|(r, slot)| {
+            .enumerate()
+            .filter_map(|(i, (r, slot))| {
                 slot.into_inner()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .map(|g| (g, r))
+                    .map(|g| (g, i, r))
             })
             .collect();
         let mut scored = scored;
         if scored.is_empty() {
             break;
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Total order: gain descending, then generation index ascending.
+        // `total_cmp` makes NaN gains sort deterministically (last), and
+        // the index tiebreak pins equal-gain candidates to generation
+        // order — the ranking no longer depends on incidental memory or
+        // thread-completion order.
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         // The paper applies the max-gain refinement unconditionally; we
         // skip rounds where every candidate hurts the sample workload
         // (re-sampling next round), but force progress after repeated
@@ -245,7 +264,7 @@ pub fn xbuild_from_with_workload(
         stalls = 0;
 
         let mut applied = Vec::new();
-        for (gain, r) in scored.into_iter().take(opts.refinements_per_round.max(1)) {
+        for (gain, _, r) in scored.into_iter().take(opts.refinements_per_round.max(1)) {
             if s.size_bytes() >= opts.budget_bytes {
                 break;
             }
@@ -296,7 +315,10 @@ fn score_candidate(
     if !r.apply(&mut sr, doc) {
         return None;
     }
-    let err = workload_error(&sr, queries, truths, &opts.estimate);
+    // Compile the refined clone once; every query in the sample workload
+    // is then pure index arithmetic instead of hashmap probes.
+    let cr = CompiledSynopsis::compile(&sr);
+    let err = workload_error_compiled(&cr, queries, truths, &opts.estimate);
     let delta = sr.size_bytes().saturating_sub(base_size).max(1);
     Some((base_err - err) / delta as f64)
 }
@@ -327,6 +349,18 @@ pub fn workload_error(
     truths: &[f64],
     opts: &EstimateOptions,
 ) -> f64 {
+    workload_error_compiled(&CompiledSynopsis::compile(s), queries, truths, opts)
+}
+
+/// [`workload_error`] over an already-compiled synopsis — bit-identical,
+/// but callers scoring many workloads against one synopsis pay the
+/// lowering once instead of the per-query hashmap tax.
+pub fn workload_error_compiled(
+    cs: &CompiledSynopsis<'_>,
+    queries: &[TwigQuery],
+    truths: &[f64],
+    opts: &EstimateOptions,
+) -> f64 {
     debug_assert_eq!(queries.len(), truths.len());
     if queries.is_empty() {
         return 0.0;
@@ -334,7 +368,7 @@ pub fn workload_error(
     let sanity = percentile10(truths).max(1.0);
     let mut acc = 0.0;
     for (q, &t) in queries.iter().zip(truths) {
-        let est = estimate_selectivity(s, q, opts);
+        let est = cs.estimate_selectivity(q, opts);
         acc += (est - t).abs() / t.max(sanity);
     }
     acc / queries.len() as f64
@@ -345,7 +379,7 @@ fn percentile10(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(f64::total_cmp);
     v[(v.len() - 1) / 10]
 }
 

@@ -190,31 +190,35 @@ fn eval_node(
         }
         w
     };
-    let support = if enum_dims.is_empty() && value_conds.is_empty() {
-        vec![(1.0, Vec::new())]
-    } else {
-        hist.hist
-            .conditional_support_weighted(&cond, &enum_dims, &weight)
-    };
+    // The joint support is consumed in place through the histogram's
+    // visitor — one term at a time, no materialized `(mass, values)`
+    // list per node visit. `values[j]` of the old list form is the
+    // bucket's mean on `enum_dims[j]`, read straight from the bucket.
     let mut acc = 0.0;
-    for (mass, values) in &support {
+    let mut body = |mass: f64, bucket: Option<&xtwig_histogram::Bucket>| -> bool {
         if !meter.proceed(1) {
-            break;
+            return false;
         }
-        if *mass == 0.0 {
-            continue;
+        if mass == 0.0 {
+            return true;
         }
         let env_base = env.len();
-        for (&di, &val) in enum_dims.iter().zip(values.iter()) {
-            if let Some(dim) = hist.scope.get(di) {
-                env.push((dim.edge_key(), val));
+        if let Some(b) = bucket {
+            for &di in &enum_dims {
+                if let (Some(dim), Some(&val)) = (hist.scope.get(di), b.mean.get(di)) {
+                    env.push((dim.edge_key(), val));
+                }
             }
         }
-        let mut term = *mass;
+        let mut term = mass;
         for (&c, dim) in node.children.iter().zip(child_dim.iter()) {
             let sub = eval_node(s, emb, needs, c, env, meter);
-            let mult = match dim.and_then(|j| values.get(j)) {
-                Some(&v) => v,
+            let enumerated = match (bucket, dim) {
+                (Some(b), Some(j)) => enum_dims.get(*j).and_then(|&di| b.mean.get(di)).copied(),
+                _ => None,
+            };
+            let mult = match enumerated {
+                Some(v) => v,
                 // U_i: Forward Uniformity over the exact edge average.
                 None => match emb.nodes.get(c) {
                     Some(child) => s.avg_children(syn, child.syn),
@@ -228,6 +232,13 @@ fn eval_node(
         }
         env.truncate(env_base);
         acc += term;
+        true
+    };
+    if enum_dims.is_empty() && value_conds.is_empty() {
+        body(1.0, None);
+    } else {
+        hist.hist
+            .visit_conditional_support_weighted(&cond, &enum_dims, &weight, &mut body);
     }
     factor * acc
 }

@@ -24,16 +24,19 @@
 //! * [`construct`] — refinement operations and the XBUILD driver.
 
 pub mod coarse;
+pub mod compiled;
 pub mod construct;
 pub mod describe;
 pub mod estimate;
 pub mod io;
+pub mod serve;
 pub mod single_path;
 pub mod synopsis;
 pub mod tsn;
 pub mod validate;
 
 pub use coarse::coarse_synopsis;
+pub use compiled::{CompiledHistogram, CompiledSynopsis};
 pub use construct::{xbuild, BuildOptions, BuildTrace, Refinement, TruthSource};
 pub use describe::describe;
 pub use estimate::{
@@ -44,6 +47,7 @@ pub use io::{
     load_synopsis, read_snapshot, save_synopsis, snapshot_checksum, write_snapshot_atomic,
     SnapshotError,
 };
+pub use serve::{estimate_many, CacheStats, EstimateCache};
 pub use synopsis::{EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, ValueSummary};
 pub use tsn::twig_stable_neighborhood;
 pub use validate::{fsck, validate, FsckIssue, FsckReport};

@@ -1,0 +1,387 @@
+//! Batched serving on top of the compiled synopsis: a sharded,
+//! epoch-invalidated estimate cache plus [`estimate_many`], which fans a
+//! batch of queries out over scoped worker threads with every member
+//! still running under its own [`Meter`](crate::estimate::Meter)
+//! deadline/work-budget guard.
+//!
+//! ## Cache semantics
+//!
+//! Entries are keyed by the query *fingerprint* — its canonical
+//! [`Display`] rendering, which round-trips through the parser — and
+//! stamped with the [`CompiledSynopsis::epoch`] they were computed
+//! under. A lookup presents the current epoch; an entry stamped with any
+//! other epoch is treated as a miss and evicted on sight. Because epochs
+//! are process-unique and monotone, refining the synopsis and
+//! recompiling invalidates every cached estimate at once without a flush
+//! protocol, and an entry can never be served across synopsis
+//! generations.
+//!
+//! Only *full-fidelity* results are cached: an estimate whose meter
+//! tripped (deadline or work exhaustion) is returned to the caller but
+//! never inserted, so a transient overload cannot freeze degraded
+//! numbers into the cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::compiled::CompiledSynopsis;
+use crate::estimate::{BoundedEstimate, EstimateOptions};
+use xtwig_query::TwigQuery;
+
+/// Number of independently locked shards. A power of two so the shard
+/// index is a mask of the fingerprint hash; 16 keeps lock contention
+/// negligible at the batch parallelism we run (≤ available cores).
+const SHARD_COUNT: usize = 16;
+
+/// One cached estimate with its provenance.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Synopsis epoch this estimate was computed under.
+    epoch: u64,
+    /// The cached full-fidelity result.
+    estimate: BoundedEstimate,
+    /// Logical timestamp of the last hit (for LRU eviction).
+    last_used: u64,
+}
+
+/// One shard: a fingerprint-keyed map plus its logical clock.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<String, Entry>,
+    tick: u64,
+}
+
+/// Aggregate cache counters, cheap enough to read per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache at the current epoch.
+    pub hits: u64,
+    /// Lookups that had to compute (includes stale evictions).
+    pub misses: u64,
+    /// Entries evicted because their epoch no longer matched.
+    pub stale_evictions: u64,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `0.0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, LRU-evicting, epoch-invalidated estimate cache.
+///
+/// Thread-safe: shards are individually mutex-guarded and counters are
+/// atomic, so a scoped-thread batch can probe it concurrently.
+#[derive(Debug)]
+pub struct EstimateCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry capacity; the least-recently used entry is
+    /// evicted when a full shard takes an insert.
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+}
+
+impl EstimateCache {
+    /// A cache holding at most `capacity` entries (rounded up to a
+    /// multiple of the shard count; minimum one entry per shard).
+    pub fn new(capacity: usize) -> EstimateCache {
+        let shard_capacity = capacity.div_ceil(SHARD_COUNT).max(1);
+        EstimateCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+        }
+    }
+
+    /// Deterministic FNV-1a over the fingerprint bytes. `HashMap`'s
+    /// default hasher is randomly seeded per process; shard selection
+    /// must not be, so runs are reproducible.
+    fn shard_of(&self, key: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h as usize) & (SHARD_COUNT - 1)
+    }
+
+    /// Looks up `key` at `epoch`. A hit refreshes the entry's LRU stamp;
+    /// an entry stamped with a different epoch is evicted and counted as
+    /// both stale and a miss.
+    pub fn get(&self, key: &str, epoch: u64) -> Option<BoundedEstimate> {
+        let mut shard = self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.get_mut(key) {
+            Some(e) if e.epoch == epoch => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.estimate)
+            }
+            Some(_) => {
+                shard.entries.remove(key);
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `estimate` under `key` at `epoch`, evicting the shard's
+    /// least-recently-used entry if it is full. The O(shard-size) LRU
+    /// scan is deliberate: shards are small (capacity/16) and an
+    /// intrusive list is not worth the complexity at this scale.
+    pub fn insert(&self, key: &str, epoch: u64, estimate: BoundedEstimate) {
+        let mut shard = self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.entries.len() >= self.shard_capacity && !shard.entries.contains_key(key) {
+            let victim = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(v) = victim {
+                shard.entries.remove(&v);
+            }
+        }
+        shard.entries.insert(
+            key.to_owned(),
+            Entry {
+                epoch,
+                estimate,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Current aggregate counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entries
+                    .len()
+            })
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stale_evictions: self.stale.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+/// Estimates a batch of queries over the compiled synopsis, optionally
+/// through an [`EstimateCache`], running members on up to `threads`
+/// scoped worker threads (`0` or `1` = inline on the caller).
+///
+/// Results come back in input order. Each member runs under its own
+/// [`Meter`](crate::estimate::Meter) built from `opts`, so a deadline or
+/// work limit bounds every query individually — one pathological twig
+/// cannot starve its batch. Degraded results (tripped meter) are
+/// returned but never cached.
+pub fn estimate_many(
+    cs: &CompiledSynopsis<'_>,
+    queries: &[TwigQuery],
+    opts: &EstimateOptions,
+    cache: Option<&EstimateCache>,
+    threads: usize,
+) -> Vec<BoundedEstimate> {
+    let run_one = |q: &TwigQuery| -> BoundedEstimate {
+        let fingerprint = q.to_string();
+        if let Some(c) = cache {
+            if let Some(hit) = c.get(&fingerprint, cs.epoch()) {
+                return hit;
+            }
+        }
+        let b = cs.estimate_selectivity_bounded(q, opts);
+        if let Some(c) = cache {
+            if b.exhaustion.is_none() {
+                c.insert(&fingerprint, cs.epoch(), b);
+            }
+        }
+        b
+    };
+
+    if threads <= 1 || queries.len() <= 1 {
+        return queries.iter().map(run_one).collect();
+    }
+
+    let workers = threads.min(queries.len());
+    let slots: Vec<Mutex<Option<BoundedEstimate>>> =
+        queries.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(q) = queries.get(i) else {
+                    break;
+                };
+                let b = run_one(q);
+                if let Some(slot) = slots.get(i) {
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(b);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or(BoundedEstimate {
+                    estimate: 0.0,
+                    exhaustion: None,
+                    embeddings: 0,
+                    work: 0,
+                    clamped: 1,
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::coarse_synopsis;
+    use xtwig_query::parse_twig;
+    use xtwig_xml::parse;
+
+    fn setup() -> (xtwig_xml::Document, Vec<TwigQuery>) {
+        let doc = parse(
+            "<bib><conf><paper><kw/></paper><paper><kw/><kw/></paper></conf>\
+             <journal><paper><kw/></paper></journal></bib>",
+        )
+        .unwrap();
+        let queries = [
+            "for $t0 in //paper, $t1 in $t0/kw",
+            "for $t0 in //conf, $t1 in $t0/paper",
+            "for $t0 in //journal//kw",
+            "for $t0 in //paper, $t1 in $t0/kw", // repeat: cache hit
+        ]
+        .iter()
+        .map(|t| parse_twig(t).unwrap())
+        .collect();
+        (doc, queries)
+    }
+
+    #[test]
+    fn batch_matches_single_threaded_and_caches() {
+        let (doc, queries) = setup();
+        let s = coarse_synopsis(&doc);
+        let cs = CompiledSynopsis::compile(&s);
+        let opts = EstimateOptions::default();
+        let cache = EstimateCache::new(64);
+        let serial = estimate_many(&cs, &queries, &opts, None, 1);
+        let batched = estimate_many(&cs, &queries, &opts, Some(&cache), 4);
+        for (a, b) in serial.iter().zip(&batched) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        }
+        // Second pass: everything answered from cache.
+        let again = estimate_many(&cs, &queries, &opts, Some(&cache), 4);
+        for (a, b) in batched.iter().zip(&again) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        }
+        let stats = cache.stats();
+        assert!(stats.hits >= queries.len() as u64, "{stats:?}");
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn stale_epoch_is_never_served() {
+        let (doc, _) = setup();
+        let s = coarse_synopsis(&doc);
+        let old = CompiledSynopsis::compile(&s);
+        let new = CompiledSynopsis::compile(&s);
+        let cache = EstimateCache::new(8);
+        let sentinel = BoundedEstimate {
+            estimate: 1234.5,
+            exhaustion: None,
+            embeddings: 1,
+            work: 1,
+            clamped: 0,
+        };
+        cache.insert("q", old.epoch(), sentinel);
+        assert!(cache.get("q", old.epoch()).is_some());
+        // Same key at the fresh epoch: stale entry evicted, not served.
+        assert!(cache.get("q", new.epoch()).is_none());
+        assert!(cache.get("q", old.epoch()).is_none(), "evicted on sight");
+        let stats = cache.stats();
+        assert_eq!(stats.stale_evictions, 1);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_entries() {
+        let cache = EstimateCache::new(SHARD_COUNT); // capacity 1 per shard
+        let b = BoundedEstimate {
+            estimate: 1.0,
+            exhaustion: None,
+            embeddings: 1,
+            work: 1,
+            clamped: 0,
+        };
+        // Two keys in the same shard: the second insert evicts the first.
+        let (mut k1, mut k2) = (None, None);
+        for i in 0..1000 {
+            let k = format!("q{i}");
+            let shard = cache.shard_of(&k);
+            if shard == 0 {
+                if k1.is_none() {
+                    k1 = Some(k);
+                } else if k2.is_none() {
+                    k2 = Some(k);
+                    break;
+                }
+            }
+        }
+        let (k1, k2) = (k1.unwrap(), k2.unwrap());
+        cache.insert(&k1, 1, b);
+        cache.insert(&k2, 1, b);
+        assert!(cache.get(&k1, 1).is_none(), "LRU victim");
+        assert!(cache.get(&k2, 1).is_some());
+    }
+
+    #[test]
+    fn degraded_results_are_not_cached() {
+        let (doc, queries) = setup();
+        let s = coarse_synopsis(&doc);
+        let cs = CompiledSynopsis::compile(&s);
+        let cache = EstimateCache::new(64);
+        let tight = EstimateOptions {
+            work_limit: 1,
+            ..Default::default()
+        };
+        let out = estimate_many(&cs, &queries[..1], &tight, Some(&cache), 1);
+        assert!(out[0].exhaustion.is_some());
+        assert_eq!(cache.stats().entries, 0, "degraded result must not stick");
+    }
+}

@@ -351,19 +351,56 @@ impl MdHistogram {
         dims: &[usize],
         weight: &dyn Fn(&Bucket) -> f64,
     ) -> Vec<(f64, Vec<f64>)> {
+        let mut out: Vec<(f64, Vec<f64>)> = Vec::new();
+        self.visit_conditional_support_weighted(cond, dims, weight, &mut |mass, bucket| {
+            let values = match bucket {
+                Some(b) => dims
+                    .iter()
+                    .filter_map(|&d| b.mean.get(d).copied())
+                    .collect(),
+                None => Vec::new(),
+            };
+            out.push((mass, values));
+            true
+        });
+        out
+    }
+
+    /// Visitor form of
+    /// [`conditional_support_weighted`](Self::conditional_support_weighted):
+    /// the same `(mass, bucket)` entries in the same order, delivered to
+    /// `visit` instead of materialized into a list — the estimation hot
+    /// path consumes each term in place without per-node allocations.
+    ///
+    /// `visit` receives the entry's probability mass and the originating
+    /// bucket (`None` for the single collapsed entry when `dims` is
+    /// empty, whose mass is the weighted conditional total); returning
+    /// `false` stops the walk early (the hot path uses this to unwind on
+    /// budget exhaustion).
+    pub fn visit_conditional_support_weighted(
+        &self,
+        cond: &[(usize, f64)],
+        dims: &[usize],
+        weight: &dyn Fn(&Bucket) -> f64,
+        visit: &mut dyn FnMut(f64, Option<&Bucket>) -> bool,
+    ) {
         if cond.is_empty() {
-            let out: Vec<(f64, Vec<f64>)> = self
-                .buckets
-                .iter()
-                .filter(|b| b.fraction > 0.0)
-                .map(|b| {
-                    (
-                        b.fraction * weight(b),
-                        dims.iter().map(|&d| b.mean[d]).collect(),
-                    )
-                })
-                .collect();
-            return collapse_if_scalar(out, dims);
+            if dims.is_empty() {
+                let total: f64 = self
+                    .buckets
+                    .iter()
+                    .filter(|b| b.fraction > 0.0)
+                    .map(|b| b.fraction * weight(b))
+                    .sum();
+                visit(total, None);
+                return;
+            }
+            for b in self.buckets.iter().filter(|b| b.fraction > 0.0) {
+                if !visit(b.fraction * weight(b), Some(b)) {
+                    return;
+                }
+            }
+            return;
         }
         let cdims: Vec<usize> = cond.iter().map(|&(d, _)| d).collect();
         let values: Vec<f64> = cond.iter().map(|&(_, v)| v).collect();
@@ -384,22 +421,24 @@ impl MdHistogram {
                 });
             match nearest {
                 Some(b) => (vec![b], b.fraction),
-                None => return Vec::new(),
+                // No buckets at all: an empty support, not a collapsed
+                // zero entry — the walk emits nothing.
+                None => return,
             }
         } else {
             let den = selected.iter().map(|b| b.fraction).sum::<f64>();
             (selected, den)
         };
-        let out: Vec<(f64, Vec<f64>)> = selected
-            .into_iter()
-            .map(|b| {
-                (
-                    b.fraction / den * weight(b),
-                    dims.iter().map(|&d| b.mean[d]).collect(),
-                )
-            })
-            .collect();
-        collapse_if_scalar(out, dims)
+        if dims.is_empty() {
+            let total: f64 = selected.iter().map(|b| b.fraction / den * weight(b)).sum();
+            visit(total, None);
+            return;
+        }
+        for b in selected {
+            if !visit(b.fraction / den * weight(b), Some(b)) {
+                return;
+            }
+        }
     }
 
     /// Probability that every listed dimension is ≥ 1 — used for branching
@@ -411,17 +450,6 @@ impl MdHistogram {
             .filter(|b| dims.iter().all(|&d| b.mean[d] >= 0.5))
             .map(|b| b.fraction)
             .sum()
-    }
-}
-
-/// With no enumerated dimensions, a support list is a plain scalar mass —
-/// collapse it to one entry so callers loop once instead of per bucket.
-fn collapse_if_scalar(out: Vec<(f64, Vec<f64>)>, dims: &[usize]) -> Vec<(f64, Vec<f64>)> {
-    if dims.is_empty() {
-        let total: f64 = out.iter().map(|(m, _)| m).sum();
-        vec![(total, Vec::new())]
-    } else {
-        out
     }
 }
 

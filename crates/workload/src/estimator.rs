@@ -1,7 +1,7 @@
 //! A common interface over the two summarization techniques.
 
 use xtwig_core::estimate::EstimateOptions;
-use xtwig_core::Synopsis;
+use xtwig_core::{CompiledSynopsis, Synopsis};
 use xtwig_cst::Cst;
 use xtwig_markov::MarkovPaths;
 use xtwig_query::TwigQuery;
@@ -35,6 +35,30 @@ impl Estimator for XsketchEstimator<'_> {
 
     fn name(&self) -> &'static str {
         "XSKETCH"
+    }
+}
+
+/// A Twig XSKETCH estimator over the compiled serving form — same
+/// numbers as [`XsketchEstimator`] (bit-identical), amortizing the
+/// one-time lowering across every query.
+pub struct CompiledXsketchEstimator<'a> {
+    /// The compiled synopsis to estimate over.
+    pub compiled: &'a CompiledSynopsis<'a>,
+    /// Expansion/embedding options.
+    pub opts: EstimateOptions,
+}
+
+impl Estimator for CompiledXsketchEstimator<'_> {
+    fn estimate(&self, q: &TwigQuery) -> f64 {
+        self.compiled.estimate_selectivity(q, &self.opts)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.compiled.source().size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "XSKETCH-compiled"
     }
 }
 

@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use xtwig_core::estimate::{EstimateOptions, Exhaustion};
-use xtwig_core::{coarse_count_bound, estimate_selectivity_bounded, Synopsis};
+use xtwig_core::{coarse_count_bound, CompiledSynopsis, Synopsis};
 use xtwig_markov::{MarkovOptions, MarkovPaths};
 use xtwig_query::TwigQuery;
 
@@ -217,6 +217,10 @@ pub fn markov_from_synopsis(s: &Synopsis, budget_bytes: usize) -> MarkovPaths {
 /// The guarded fallback-chain estimator. See the module docs.
 pub struct GuardedEstimator<'a> {
     synopsis: &'a Synopsis,
+    /// One-time lowering of the synopsis to the compiled serving form;
+    /// the XSKETCH tier runs over it (bit-identical to the interpreted
+    /// path, minus the hashmap probes and per-visit allocations).
+    compiled: CompiledSynopsis<'a>,
     markov: MarkovPaths,
     policy: GuardPolicy,
     counters: DegradationCounters,
@@ -230,11 +234,19 @@ impl<'a> GuardedEstimator<'a> {
         let markov = markov_from_synopsis(synopsis, policy.markov_budget_bytes);
         GuardedEstimator {
             synopsis,
+            compiled: CompiledSynopsis::compile(synopsis),
             markov,
             policy,
             counters: DegradationCounters::default(),
             fault: None,
         }
+    }
+
+    /// The compiled form tier 1 serves from — callers batching queries
+    /// can hand it to [`xtwig_core::estimate_many`] directly, sharing
+    /// this estimator's expansion memo and epoch.
+    pub fn compiled(&self) -> &CompiledSynopsis<'a> {
+        &self.compiled
     }
 
     /// Injects a deterministic fault (tests / fault harness only).
@@ -362,7 +374,7 @@ impl<'a> GuardedEstimator<'a> {
             ..self.policy.estimate
         };
         let fault = self.fault;
-        let s = self.synopsis;
+        let cs = &self.compiled;
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             match fault {
                 Some(InjectedFault::PanicIn(Tier::Xsketch)) => {
@@ -380,7 +392,7 @@ impl<'a> GuardedEstimator<'a> {
                 }
                 _ => {}
             }
-            let b = estimate_selectivity_bounded(s, q, &opts);
+            let b = cs.estimate_selectivity_bounded(q, &opts);
             (b.estimate, b.exhaustion, b.clamped > 0)
         }));
         match caught {

@@ -23,7 +23,9 @@ pub mod guarded;
 mod sweep;
 
 pub use error::{avg_relative_error, ErrorReport};
-pub use estimator::{CstEstimator, Estimator, MarkovEstimator, XsketchEstimator};
+pub use estimator::{
+    CompiledXsketchEstimator, CstEstimator, Estimator, MarkovEstimator, XsketchEstimator,
+};
 pub use faults::{
     apply_snapshot_fault, run_fault_plan, Fault, FaultOutcome, FaultPlan, FaultReport,
 };

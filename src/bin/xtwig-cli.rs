@@ -20,7 +20,11 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
-use xtwig::core::{coarse_synopsis, read_snapshot, write_snapshot_atomic, Synopsis};
+use xtwig::core::estimate::EstimateOptions;
+use xtwig::core::{
+    coarse_synopsis, estimate_many, read_snapshot, write_snapshot_atomic, CompiledSynopsis,
+    EstimateCache, Synopsis,
+};
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
 use xtwig::query::{parse_twig, selectivity};
 use xtwig::workload::{GuardPolicy, GuardedEstimator, Tier};
@@ -55,6 +59,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("estimate") => cmd_estimate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
@@ -91,6 +96,8 @@ USAGE:
   xtwig-cli eval <file.xml> '<twig-query>'
   xtwig-cli estimate <file.xml> '<twig-query>' [--budget BYTES] [--synopsis F]
                      [--deadline-ms N] [--work-limit N]
+  xtwig-cli serve <file.xml> <queries.txt> [--budget BYTES] [--synopsis F]
+                  [--threads N] [--deadline-ms N] [--work-limit N]
   xtwig-cli build <file.xml> --out <synopsis.xtwg> [--budget BYTES]
   xtwig-cli inspect <synopsis.xtwg>
   xtwig-cli check <synopsis.xtwg | file.xml> [--budget BYTES]
@@ -102,6 +109,11 @@ label-count bound) under the optional per-query deadline/work budget;
 the serving tier is reported on stderr whenever it is not full-fidelity
 XSKETCH. A corrupt --synopsis snapshot is recovered by rebuilding from
 the document (and exits 3 so scripts notice).
+
+`serve` runs a batch: one twig query per line of <queries.txt>, estimated
+over the compiled synopsis on worker threads through the epoch-keyed
+estimate cache, reporting per-query results plus batch QPS and cache
+statistics. Exits 3 if any member was served degraded.
 
 EXIT CODES:
   0  success, full-fidelity estimate
@@ -265,6 +277,96 @@ fn cmd_check(args: &[String]) -> Result<Outcome, CliError> {
         synopsis.edge_count(),
         synopsis.size_bytes() as f64 / 1024.0
     );
+    Ok(Outcome::Full)
+}
+
+/// Batched serving over the compiled synopsis: one query per input
+/// line, estimated through `estimate_many` + the sharded estimate cache.
+fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage("serve needs an XML file".into()))?;
+    let qfile = args
+        .get(1)
+        .ok_or_else(|| CliError::Usage("serve needs a queries file".into()))?;
+    let budget: usize = parse_flag(args, "--budget", 20 * 1024)?;
+    let deadline_ms: u64 = parse_flag(args, "--deadline-ms", 0)?;
+    let work_limit: u64 = parse_flag(args, "--work-limit", 0)?;
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = parse_flag(args, "--threads", default_threads)?;
+
+    let qtext = std::fs::read_to_string(qfile)
+        .map_err(|e| CliError::Failure(format!("reading {qfile}: {e}")))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in qtext.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let q = parse_twig(line)
+            .map_err(|e| CliError::Usage(format!("{qfile}:{}: {e}", lineno + 1)))?;
+        queries.push(q);
+    }
+    if queries.is_empty() {
+        return Err(CliError::Usage(format!("{qfile}: no queries")));
+    }
+
+    let doc = load(path)?;
+    let synopsis: Synopsis = match flag(args, "--synopsis") {
+        Some(snap) => read_snapshot(Path::new(&snap)).map_err(|e| match e {
+            xtwig::core::SnapshotError::Io { .. } => CliError::Failure(e.to_string()),
+            _ => CliError::Corrupt(format!("{snap}: {e}")),
+        })?,
+        None => {
+            let build = BuildOptions {
+                budget_bytes: budget,
+                refinements_per_round: 4,
+                ..Default::default()
+            };
+            xbuild(&doc, TruthSource::Exact, &build).0
+        }
+    };
+    let compiled = CompiledSynopsis::compile(&synopsis);
+    let opts = EstimateOptions {
+        deadline: (deadline_ms > 0)
+            .then(|| std::time::Instant::now() + Duration::from_millis(deadline_ms)),
+        work_limit,
+        ..Default::default()
+    };
+    let cache = EstimateCache::new(4096);
+
+    let t0 = std::time::Instant::now();
+    let results = estimate_many(&compiled, &queries, &opts, Some(&cache), threads);
+    let elapsed = t0.elapsed();
+
+    let mut degraded = 0usize;
+    for (q, b) in queries.iter().zip(&results) {
+        let marker = match b.exhaustion {
+            Some(ex) => {
+                degraded += 1;
+                format!("  [degraded: {ex}]")
+            }
+            None => String::new(),
+        };
+        println!("{:.1}  {q}{marker}", b.estimate);
+    }
+    let stats = cache.stats();
+    eprintln!(
+        "served {} queries in {elapsed:?} ({:.0} qps, {threads} threads, epoch {}); \
+         cache: {} hits / {} misses (hit-rate {:.2})",
+        queries.len(),
+        queries.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        compiled.epoch(),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+    );
+    if degraded > 0 {
+        eprintln!("{degraded} of {} queries served degraded", queries.len());
+        return Ok(Outcome::Degraded);
+    }
     Ok(Outcome::Full)
 }
 

@@ -1,0 +1,162 @@
+//! Properties of the compiled serving path:
+//!
+//! 1. **Bit-identity** — for any synopsis XBUILD produces on any of the
+//!    three paper generators, and any workload query, the compiled
+//!    estimate equals the interpreted one *to the bit* (they are one
+//!    computation in two representations, so even float rounding must
+//!    agree).
+//! 2. **Epoch invalidation** — refining a synopsis and recompiling bumps
+//!    the epoch, so an estimate cache never serves entries computed
+//!    under the stale generation.
+
+use proptest::prelude::*;
+use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
+use xtwig::core::estimate::EstimateOptions;
+use xtwig::core::synopsis::{DimKind, ScopeDim};
+use xtwig::core::{
+    coarse_synopsis, estimate_many, estimate_selectivity_bounded, CompiledSynopsis, EstimateCache,
+};
+use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
+use xtwig::workload::{generate_workload, WorkloadKind, WorkloadSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(9))]
+
+    #[test]
+    fn compiled_estimates_are_bit_identical(
+        which in 0usize..3,
+        seed in 0u64..10_000,
+        extra_budget in 300usize..1500,
+    ) {
+        let doc = match which {
+            0 => xmark(XMarkConfig { scale: 0.01, seed }),
+            1 => imdb(ImdbConfig::scaled(0.01, seed)),
+            _ => sprot(SprotConfig::scaled(0.01, seed)),
+        };
+        let coarse = coarse_synopsis(&doc);
+        let opts = BuildOptions {
+            budget_bytes: coarse.size_bytes() + extra_budget,
+            refinements_per_round: 3,
+            max_rounds: 25,
+            workload_with_values: seed % 2 == 0,
+            seed,
+            ..Default::default()
+        };
+        let (s, _) = xbuild(&doc, TruthSource::Exact, &opts);
+        let spec = WorkloadSpec {
+            queries: 24,
+            kind: if seed % 2 == 0 {
+                WorkloadKind::BranchingValues
+            } else {
+                WorkloadKind::Branching
+            },
+            seed,
+            ..Default::default()
+        };
+        let w = generate_workload(&doc, &spec);
+        let eopts = EstimateOptions::default();
+        let cs = CompiledSynopsis::compile(&s);
+        for q in &w.queries {
+            let interp = estimate_selectivity_bounded(&s, q, &eopts);
+            let compiled = cs.estimate_selectivity_bounded(q, &eopts);
+            prop_assert_eq!(
+                interp.estimate.to_bits(),
+                compiled.estimate.to_bits(),
+                "{}: interpreted {} vs compiled {}",
+                q,
+                interp.estimate,
+                compiled.estimate
+            );
+            prop_assert_eq!(interp.exhaustion, compiled.exhaustion);
+            prop_assert_eq!(interp.clamped, compiled.clamped);
+        }
+        // The batched path with a cache must serve the same numbers —
+        // cold (computing + inserting) and warm (cache hits).
+        let cache = EstimateCache::new(256);
+        let cold = estimate_many(&cs, &w.queries, &eopts, Some(&cache), 4);
+        let warm = estimate_many(&cs, &w.queries, &eopts, Some(&cache), 4);
+        for ((q, a), b) in w.queries.iter().zip(&cold).zip(&warm) {
+            let interp = estimate_selectivity_bounded(&s, q, &eopts);
+            prop_assert_eq!(interp.estimate.to_bits(), a.estimate.to_bits());
+            prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        }
+        if !w.queries.is_empty() {
+            prop_assert!(cache.stats().hits >= w.queries.len() as u64);
+        }
+    }
+}
+
+/// Refine → recompile → epoch bump → stale entries never served.
+#[test]
+fn refinement_bumps_epoch_and_invalidates_cache() {
+    let doc = xmark(XMarkConfig {
+        scale: 0.01,
+        seed: 7,
+    });
+    let mut s = coarse_synopsis(&doc);
+    let eopts = EstimateOptions::default();
+    let w = generate_workload(
+        &doc,
+        &WorkloadSpec {
+            queries: 8,
+            kind: WorkloadKind::Branching,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    assert!(!w.queries.is_empty());
+
+    let cache = EstimateCache::new(256);
+    let old_epoch;
+    let old_results;
+    {
+        let cs = CompiledSynopsis::compile(&s);
+        old_epoch = cs.epoch();
+        old_results = estimate_many(&cs, &w.queries, &eopts, Some(&cache), 2);
+        // Entries are resident and served at this epoch.
+        let again = estimate_many(&cs, &w.queries, &eopts, Some(&cache), 2);
+        for (a, b) in old_results.iter().zip(&again) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        }
+        assert!(cache.stats().hits >= w.queries.len() as u64);
+    }
+
+    // Refine the synopsis: widen the root's histogram scope (the same
+    // kind of mutation an XBUILD round applies).
+    let root = s.root();
+    let scope: Vec<ScopeDim> = s
+        .children_of(root)
+        .iter()
+        .take(2)
+        .map(|&c| ScopeDim {
+            parent: root,
+            child: c,
+            kind: DimKind::Forward,
+        })
+        .collect();
+    assert!(!scope.is_empty(), "root must have children");
+    s.set_edge_hist(&doc, root, scope, 4096);
+
+    let cs = CompiledSynopsis::compile(&s);
+    assert!(
+        cs.epoch() > old_epoch,
+        "recompilation must advance the epoch"
+    );
+
+    // Every lookup at the new epoch misses (stale entries evicted, never
+    // served), and the batch repopulates the cache at the new epoch.
+    let hits_before = cache.stats().hits;
+    let fresh = estimate_many(&cs, &w.queries, &eopts, Some(&cache), 2);
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits, hits_before,
+        "no stale entry may be served across the epoch bump"
+    );
+    assert!(stats.stale_evictions >= w.queries.len() as u64);
+    // The fresh results are the interpreted truth for the refined
+    // synopsis, not the cached numbers of the old generation.
+    for (q, b) in w.queries.iter().zip(&fresh) {
+        let interp = estimate_selectivity_bounded(&s, q, &eopts);
+        assert_eq!(interp.estimate.to_bits(), b.estimate.to_bits());
+    }
+}
