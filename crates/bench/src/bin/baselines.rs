@@ -15,8 +15,8 @@ use xtwig_cst::{Cst, CstOptions};
 use xtwig_datagen::Dataset;
 use xtwig_markov::{MarkovOptions, MarkovPaths};
 use xtwig_workload::{
-    avg_relative_error, generate_workload, CstEstimator, Estimator, MarkovEstimator, WorkloadKind,
-    WorkloadSpec, XsketchEstimator,
+    avg_relative_error, generate_workload, CstEstimator, MarkovEstimator, SummaryEstimator,
+    WorkloadKind, WorkloadSpec, XsketchEstimator,
 };
 
 fn main() {
@@ -78,7 +78,7 @@ fn main() {
             };
             let ce = CstEstimator { cst: &cst };
             let me = MarkovEstimator { model: &markov };
-            let techniques: [&dyn Estimator; 3] = [&xs, &ce, &me];
+            let techniques: [&dyn SummaryEstimator; 3] = [&xs, &ce, &me];
             for tech in techniques {
                 let estimates: Vec<f64> = w.queries.iter().map(|q| tech.estimate(q)).collect();
                 let r = avg_relative_error(&estimates, &truths);

@@ -8,8 +8,10 @@
 //!   `estimate_selectivity` calls, interpreted vs. compiled, on the same
 //!   query set, asserting the two paths agree **bit-for-bit** on every
 //!   query (the estimates are one computation in two representations);
-//! * **serve latency** — per-query p50/p95/p99 over the compiled path;
-//! * **batch throughput** — `estimate_many` QPS on scoped threads with
+//! * **serve latency** — per-query p50/p95/p99 over the compiled path,
+//!   plus per-stage breakdowns (expansion vs. TREEPARSE evaluation)
+//!   taken from each [`xtwig_core::EstimateReport`]'s query telemetry;
+//! * **batch throughput** — `serve_reports` QPS on scoped threads with
 //!   the sharded estimate cache, cold then warm, plus the cache hit-rate.
 //!
 //! Environment: the usual `XTWIG_SCALE` / `XTWIG_QUERIES`, plus
@@ -22,7 +24,7 @@ use std::time::Instant;
 use xtwig_bench::BenchConfig;
 use xtwig_core::construct::BuildOptions;
 use xtwig_core::{
-    estimate_many, estimate_selectivity, xbuild, CompiledSynopsis, EstimateCache, EstimateOptions,
+    estimate_selectivity, serve_reports, xbuild, CompiledSynopsis, EstimateCache, EstimateOptions,
     TruthSource,
 };
 use xtwig_datagen::Dataset;
@@ -38,6 +40,10 @@ struct DatasetReport {
     p50_us: f64,
     p95_us: f64,
     p99_us: f64,
+    expand_us_p50: f64,
+    expand_us_p95: f64,
+    eval_us_p50: f64,
+    eval_us_p95: f64,
     batch_cold_qps: f64,
     batch_warm_qps: f64,
     cache_hit_rate: f64,
@@ -128,13 +134,21 @@ fn main() {
         let speedup = interp_secs / compiled_secs.max(1e-9);
 
         // --- serve latency distribution (compiled, single thread) ------
+        // Wall latency from the clock, per-stage split from the report's
+        // query telemetry (expansion vs. TREEPARSE evaluation).
         let mut lat_us: Vec<f64> = Vec::with_capacity(subset.len());
+        let mut expand_us: Vec<f64> = Vec::with_capacity(subset.len());
+        let mut eval_us: Vec<f64> = Vec::with_capacity(subset.len());
         for q in &subset {
             let t = Instant::now();
-            std::hint::black_box(cs.estimate_selectivity(q, &opts));
+            let rep = std::hint::black_box(cs.estimate_report(q, &opts));
             lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+            expand_us.push(rep.telemetry.expand_ns as f64 / 1e3);
+            eval_us.push(rep.telemetry.eval_ns as f64 / 1e3);
         }
         lat_us.sort_by(f64::total_cmp);
+        expand_us.sort_by(f64::total_cmp);
+        eval_us.sort_by(f64::total_cmp);
 
         // --- batched serving through the cache --------------------------
         let threads = std::thread::available_parallelism()
@@ -142,10 +156,10 @@ fn main() {
             .unwrap_or(1);
         let cache = EstimateCache::new(4096);
         let tb = Instant::now();
-        let cold = estimate_many(&cs, &w.queries, &opts, Some(&cache), threads);
+        let cold = serve_reports(&cs, &w.queries, &opts, Some(&cache), threads);
         let cold_secs = tb.elapsed().as_secs_f64();
         let tw = Instant::now();
-        let warm = estimate_many(&cs, &w.queries, &opts, Some(&cache), threads);
+        let warm = serve_reports(&cs, &w.queries, &opts, Some(&cache), threads);
         let warm_secs = tw.elapsed().as_secs_f64();
         for (a, b) in cold.iter().zip(&warm) {
             if a.estimate.to_bits() != b.estimate.to_bits() {
@@ -164,14 +178,19 @@ fn main() {
             p50_us: percentile(&lat_us, 0.50),
             p95_us: percentile(&lat_us, 0.95),
             p99_us: percentile(&lat_us, 0.99),
+            expand_us_p50: percentile(&expand_us, 0.50),
+            expand_us_p95: percentile(&expand_us, 0.95),
+            eval_us_p50: percentile(&eval_us, 0.50),
+            eval_us_p95: percentile(&eval_us, 0.95),
             batch_cold_qps: w.queries.len() as f64 / cold_secs.max(1e-9),
             batch_warm_qps: w.queries.len() as f64 / warm_secs.max(1e-9),
             cache_hit_rate: stats.hit_rate(),
             mismatches,
         };
         println!(
-            "## {}: speedup {:.2}x ({:.0} -> {:.0} qps), p50 {:.1}us p95 {:.1}us p99 {:.1}us, \
-             batch {:.0} -> {:.0} qps warm, hit-rate {:.2}, mismatches {}",
+            "## {}: speedup {:.2}x ({:.0} -> {:.0} qps), p50 {:.1}us p95 {:.1}us p99 {:.1}us \
+             (expand p50 {:.1}us / eval p50 {:.1}us), batch {:.0} -> {:.0} qps warm, \
+             hit-rate {:.2}, mismatches {}",
             rep.name,
             rep.speedup,
             rep.interpreted_qps,
@@ -179,6 +198,8 @@ fn main() {
             rep.p50_us,
             rep.p95_us,
             rep.p99_us,
+            rep.expand_us_p50,
+            rep.eval_us_p50,
             rep.batch_cold_qps,
             rep.batch_warm_qps,
             rep.cache_hit_rate,
@@ -193,7 +214,9 @@ fn main() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"queries\": {}, \"interpreted_qps\": {:.1}, \
              \"compiled_qps\": {:.1}, \"speedup\": {:.3}, \"p50_us\": {:.2}, \
-             \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"batch_cold_qps\": {:.1}, \
+             \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"expand_us_p50\": {:.2}, \
+             \"expand_us_p95\": {:.2}, \"eval_us_p50\": {:.2}, \"eval_us_p95\": {:.2}, \
+             \"batch_cold_qps\": {:.1}, \
              \"batch_warm_qps\": {:.1}, \"cache_hit_rate\": {:.4}, \"mismatches\": {}}}{}\n",
             r.name,
             r.queries,
@@ -203,6 +226,10 @@ fn main() {
             r.p50_us,
             r.p95_us,
             r.p99_us,
+            r.expand_us_p50,
+            r.expand_us_p95,
+            r.eval_us_p50,
+            r.eval_us_p95,
             r.batch_cold_qps,
             r.batch_warm_qps,
             r.cache_hit_rate,

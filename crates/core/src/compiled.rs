@@ -44,10 +44,16 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+use crate::estimate::api::{
+    self, AssumptionCounts, EstimateReport, EstimateRequest, Estimator, Explain, Provenance,
+    QueryTelemetry,
+};
 use crate::estimate::embedding::{enumerate_embeddings_metered, Embedding};
 use crate::estimate::guard::Meter;
 use crate::estimate::{coarse_count_bound, BoundedEstimate, EstimateOptions};
 use crate::synopsis::{DimKind, SynId, Synopsis, ValueSource};
+use crate::telemetry::{self, Span, Stage};
+use std::time::Instant;
 use xtwig_query::TwigQuery;
 
 /// Global epoch source: every compilation gets a fresh, process-unique
@@ -398,6 +404,16 @@ impl<'a> CompiledSynopsis<'a> {
         opts: &EstimateOptions,
         meter: &mut Meter,
     ) -> Arc<ExpandedQuery> {
+        self.expand_inner(query, opts, meter).0
+    }
+
+    /// [`CompiledSynopsis::expand`] plus whether the memo answered.
+    fn expand_inner(
+        &self,
+        query: &TwigQuery,
+        opts: &EstimateOptions,
+        meter: &mut Meter,
+    ) -> (Arc<ExpandedQuery>, bool) {
         let key = format!(
             "{query}\u{1}{}\u{1}{}",
             opts.max_embeddings, opts.max_descendant_len
@@ -406,10 +422,12 @@ impl<'a> CompiledSynopsis<'a> {
             let memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(hit) = memo.get(&key) {
                 self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(hit);
+                telemetry::global().expansion_memo_hits.incr();
+                return (Arc::clone(hit), true);
             }
         }
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::global().expansion_memo_misses.incr();
         let embeddings = enumerate_embeddings_metered(self.source, query, opts, meter);
         let needs = embeddings.iter().map(|e| self.compute_needs(e)).collect();
         let expanded = Arc::new(ExpandedQuery { embeddings, needs });
@@ -420,7 +438,7 @@ impl<'a> CompiledSynopsis<'a> {
             }
             memo.insert(key, Arc::clone(&expanded));
         }
-        expanded
+        (expanded, false)
     }
 
     /// Sorted-vector mirror of the interpreted `compute_needs` (the sets
@@ -453,50 +471,110 @@ impl<'a> CompiledSynopsis<'a> {
         needs
     }
 
+    /// The compiled estimation pipeline behind the unified [`Estimator`]
+    /// surface: memoized expansion and flat-array TREEPARSE under spans,
+    /// the shared clamping loop, one telemetry flush — numerically the
+    /// historical `estimate_selectivity_bounded`, bit for bit.
+    pub fn estimate_report(&self, query: &TwigQuery, opts: &EstimateOptions) -> EstimateReport {
+        let t_total = Instant::now();
+        let mut meter = Meter::from_options(opts);
+
+        let mut expand_span = Span::enter(Stage::Expand);
+        let (expanded, memo_hit) = self.expand_inner(query, opts, &mut meter);
+        let expand_ns = api::elapsed_ns(t_total);
+        let expand_work = meter.work_done();
+        expand_span.add_work(expand_work);
+        expand_span.exit();
+
+        let t_eval = Instant::now();
+        let mut eval_span = Span::enter(Stage::TreeParse);
+        let acc = api::sum_embeddings(
+            expanded.embeddings.len(),
+            opts.explain,
+            |i| match (expanded.embeddings.get(i), expanded.needs.get(i)) {
+                (Some(e), Some(needs)) => {
+                    let v = self.estimate_embedding_metered(e, needs, &mut meter);
+                    (v, meter.exhaustion())
+                }
+                _ => (0.0, None),
+            },
+            || coarse_count_bound(self.source, query),
+            |i| {
+                expanded
+                    .embeddings
+                    .get(i)
+                    .map_or_else(String::new, |e| api::render_embedding(self.source, e))
+            },
+        );
+        let eval_ns = api::elapsed_ns(t_eval);
+        let eval_work = meter.work_done().saturating_sub(expand_work);
+        eval_span.add_work(eval_work);
+        eval_span.exit();
+
+        let exhaustion = meter.exhaustion();
+        let mut provenance = Provenance::new("xsketch-compiled");
+        provenance.exhaustion = exhaustion;
+        provenance.embeddings = acc.evaluated;
+        provenance.work = meter.work_done();
+        provenance.clamped = acc.clamped;
+        provenance.memo_hit = Some(memo_hit);
+        provenance.degraded = exhaustion.is_some() || acc.clamped > 0;
+
+        let telemetry = api::flush_query_telemetry(
+            meter.stats(),
+            exhaustion,
+            provenance.degraded,
+            QueryTelemetry {
+                expand_ns,
+                eval_ns,
+                total_ns: api::elapsed_ns(t_total),
+                expand_work,
+                eval_work,
+                buckets_visited: meter.stats().buckets_visited,
+            },
+        );
+
+        let explain = acc.contributions.map(|embeddings| Explain {
+            expanded: expanded.embeddings.len(),
+            embeddings,
+            assumptions: AssumptionCounts {
+                forward_uniformity: meter.stats().uniformity_applications,
+                conditioning: meter.stats().conditioning_applications,
+            },
+            final_clamp: acc.final_clamp,
+            tier_path: Vec::new(),
+        });
+
+        EstimateReport {
+            estimate: acc.total,
+            provenance,
+            telemetry,
+            explain,
+        }
+    }
+
     /// Compiled mirror of `estimate_selectivity_bounded`: identical
     /// clamping loop, with expansion served through the memo and
     /// TREEPARSE running over the flat arrays.
+    ///
+    /// **Deprecated surface**: thin shim over
+    /// [`CompiledSynopsis::estimate_report`] / the [`Estimator`] trait,
+    /// kept for source compatibility.
     pub fn estimate_selectivity_bounded(
         &self,
         query: &TwigQuery,
         opts: &EstimateOptions,
     ) -> BoundedEstimate {
-        let mut meter = Meter::from_options(opts);
-        let expanded = self.expand(query, opts, &mut meter);
-        let mut total = 0.0f64;
-        let mut clamped = 0usize;
-        let mut evaluated = 0usize;
-        for (e, needs) in expanded.embeddings.iter().zip(&expanded.needs) {
-            let v = self.estimate_embedding_metered(e, needs, &mut meter);
-            evaluated += 1;
-            if v.is_finite() && v >= 0.0 {
-                total += v;
-            } else {
-                clamped += 1;
-                if v == f64::INFINITY {
-                    total += coarse_count_bound(self.source, query);
-                }
-            }
-            if meter.exhaustion().is_some() {
-                break;
-            }
-        }
-        if !total.is_finite() {
-            clamped += 1;
-            total = coarse_count_bound(self.source, query);
-        }
-        BoundedEstimate {
-            estimate: total.clamp(0.0, f64::MAX),
-            exhaustion: meter.exhaustion(),
-            embeddings: evaluated,
-            work: meter.work_done(),
-            clamped,
-        }
+        self.estimate_report(query, opts).bounded()
     }
 
     /// Compiled mirror of `estimate_selectivity`.
+    ///
+    /// **Deprecated surface**: thin shim over
+    /// [`CompiledSynopsis::estimate_report`], kept for source
+    /// compatibility.
     pub fn estimate_selectivity(&self, query: &TwigQuery, opts: &EstimateOptions) -> f64 {
-        self.estimate_selectivity_bounded(query, opts).estimate
+        self.estimate_report(query, opts).estimate
     }
 
     /// Estimates one embedding whose `needs` lists were computed by
@@ -588,6 +666,11 @@ impl<'a> CompiledSynopsis<'a> {
                     .map(|&(_, v)| (d, v))
             })
             .collect();
+        if !cond.is_empty() {
+            // Correlation-Scope Independence fires — same site as the
+            // interpreted evaluator, so the counts agree. (Observational.)
+            meter.note_conditioning();
+        }
         let child_dim: Vec<Option<usize>> = node
             .children
             .iter()
@@ -612,6 +695,7 @@ impl<'a> CompiledSynopsis<'a> {
                 if !meter.proceed(1) {
                     return false;
                 }
+                meter.note_bucket();
                 if mass == 0.0 {
                     return true;
                 }
@@ -631,7 +715,10 @@ impl<'a> CompiledSynopsis<'a> {
                             None => 0.0,
                         },
                         _ => match emb.nodes.get(c) {
-                            Some(child) => self.avg_children(syn, child.syn),
+                            Some(child) => {
+                                meter.note_uniformity();
+                                self.avg_children(syn, child.syn)
+                            }
                             None => 0.0,
                         },
                     };
@@ -715,6 +802,12 @@ impl<'a> CompiledSynopsis<'a> {
             }
         }
         factor * acc
+    }
+}
+
+impl Estimator for CompiledSynopsis<'_> {
+    fn estimate(&self, req: &EstimateRequest<'_>) -> EstimateReport {
+        self.estimate_report(req.query, &req.options)
     }
 }
 

@@ -18,6 +18,7 @@ use crate::construct::refine::{best_expand_dim_with, best_value_expand, Refineme
 use crate::construct::sample::sample_region_workload;
 use crate::estimate::{estimate_selectivity, EstimateOptions};
 use crate::synopsis::{SynId, Synopsis};
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use xtwig_query::{selectivity, TwigQuery};
@@ -148,6 +149,7 @@ pub fn xbuild_from_with_workload(
     let mut stalls = 0u32;
     while s.size_bytes() < opts.budget_bytes && rounds < opts.max_rounds {
         rounds += 1;
+        telemetry::global().xbuild_rounds.incr();
         let candidates = gen_candidates(&s, doc, opts, &mut rng);
         if candidates.is_empty() {
             break;
@@ -311,6 +313,7 @@ fn score_candidate(
     base_size: usize,
     opts: &BuildOptions,
 ) -> Option<f64> {
+    telemetry::global().xbuild_candidates_scored.incr();
     let mut sr = s.clone();
     if !r.apply(&mut sr, doc) {
         return None;

@@ -158,6 +158,11 @@ fn eval_node(
                 .map(|&(_, v)| (di, v))
         })
         .collect();
+    if !cond.is_empty() {
+        // Correlation-Scope Independence fires: this node's histogram is
+        // conditioned on enumerated ancestor counts. (Observational.)
+        meter.note_conditioning();
+    }
 
     // Map each child to the enumerated dim covering its edge, if any.
     let child_dim: Vec<Option<usize>> = node
@@ -199,6 +204,7 @@ fn eval_node(
         if !meter.proceed(1) {
             return false;
         }
+        meter.note_bucket();
         if mass == 0.0 {
             return true;
         }
@@ -221,7 +227,10 @@ fn eval_node(
                 Some(v) => v,
                 // U_i: Forward Uniformity over the exact edge average.
                 None => match emb.nodes.get(c) {
-                    Some(child) => s.avg_children(syn, child.syn),
+                    Some(child) => {
+                        meter.note_uniformity();
+                        s.avg_children(syn, child.syn)
+                    }
                     None => 0.0,
                 },
             };

@@ -44,6 +44,22 @@ impl std::fmt::Display for Exhaustion {
 /// a syscall-adjacent operation and must stay off the per-node hot path.
 const DEADLINE_STRIDE: u64 = 256;
 
+/// Per-query evaluation statistics gathered alongside the work budget:
+/// how many TREEPARSE support terms (histogram buckets) were visited and
+/// how often each of the paper's statistical assumptions fired. Purely
+/// observational — nothing here feeds back into the numeric path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Histogram-bucket support terms evaluated by TREEPARSE.
+    pub buckets_visited: u64,
+    /// Forward Uniformity fallbacks (child edge not covered by an
+    /// enumerated forward dimension, so `avg_children` is used).
+    pub uniformity_applications: u64,
+    /// Correlation-Scope Independence conditionings (node evaluated
+    /// under at least one matched backward dimension).
+    pub conditioning_applications: u64,
+}
+
 /// A cooperative budget meter threaded through path expansion, embedding
 /// enumeration, and TREEPARSE evaluation.
 ///
@@ -59,6 +75,7 @@ pub struct Meter {
     deadline: Option<Instant>,
     next_poll: u64,
     exhausted: Option<Exhaustion>,
+    stats: EvalStats,
 }
 
 impl Meter {
@@ -81,6 +98,7 @@ impl Meter {
             deadline,
             next_poll: DEADLINE_STRIDE,
             exhausted,
+            stats: EvalStats::default(),
         }
     }
 
@@ -126,6 +144,30 @@ impl Meter {
     /// Total work charged so far.
     pub fn work_done(&self) -> u64 {
         self.work
+    }
+
+    /// Records one TREEPARSE support term visited.
+    #[inline]
+    pub fn note_bucket(&mut self) {
+        self.stats.buckets_visited = self.stats.buckets_visited.saturating_add(1);
+    }
+
+    /// Records one Forward Uniformity fallback.
+    #[inline]
+    pub fn note_uniformity(&mut self) {
+        self.stats.uniformity_applications = self.stats.uniformity_applications.saturating_add(1);
+    }
+
+    /// Records one Correlation-Scope Independence conditioning.
+    #[inline]
+    pub fn note_conditioning(&mut self) {
+        self.stats.conditioning_applications =
+            self.stats.conditioning_applications.saturating_add(1);
+    }
+
+    /// The evaluation statistics gathered so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
     }
 }
 
@@ -178,6 +220,24 @@ mod tests {
             assert!(m.proceed(1));
         }
         assert_eq!(m.exhaustion(), None);
+    }
+
+    #[test]
+    fn eval_stats_accumulate_and_saturate() {
+        let mut m = Meter::unlimited();
+        assert_eq!(m.stats(), EvalStats::default());
+        m.note_bucket();
+        m.note_bucket();
+        m.note_uniformity();
+        m.note_conditioning();
+        let s = m.stats();
+        assert_eq!(s.buckets_visited, 2);
+        assert_eq!(s.uniformity_applications, 1);
+        assert_eq!(s.conditioning_applications, 1);
+        // Saturation: pegged counters stay pegged instead of wrapping.
+        m.stats.buckets_visited = u64::MAX;
+        m.note_bucket();
+        assert_eq!(m.stats().buckets_visited, u64::MAX);
     }
 
     #[test]

@@ -20,20 +20,32 @@
 //!    in as fractions from the value summaries and the single-path
 //!    estimator.
 
+pub mod api;
 pub mod embedding;
 pub mod eval;
 pub mod expand;
 pub mod guard;
 
+pub use api::{
+    AssumptionCounts, EmbeddingContribution, EstimateReport, EstimateRequest, Estimator, Explain,
+    InterpretedEstimator, Provenance, QueryTelemetry,
+};
 pub use embedding::{enumerate_embeddings, enumerate_embeddings_metered, EmbNode, Embedding};
 pub use eval::{estimate_embedding, estimate_embedding_metered};
-pub use guard::{Exhaustion, Meter};
+pub use guard::{EvalStats, Exhaustion, Meter};
 
 use crate::synopsis::Synopsis;
 use xtwig_query::TwigQuery;
 
-/// Tunables for expansion, embedding enumeration, and budget guarding.
+/// Tunables for expansion, embedding enumeration, budget guarding, and
+/// introspection.
+///
+/// The struct is `#[non_exhaustive]`: outside this crate, construct it
+/// with [`EstimateOptions::builder`] (or start from
+/// [`EstimateOptions::default`] and set fields) so future knobs are not
+/// breaking changes.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct EstimateOptions {
     /// Hard cap on the number of embeddings evaluated per query (the sum
     /// over embeddings is truncated beyond it).
@@ -48,6 +60,10 @@ pub struct EstimateOptions {
     /// Abstract work-unit budget across expansion, embedding enumeration
     /// and TREEPARSE evaluation (0 = unlimited). See [`guard::Meter`].
     pub work_limit: u64,
+    /// Collect an [`Explain`] report (per-embedding contributions,
+    /// assumption counts, provenance) alongside the estimate. Never
+    /// changes the numeric result.
+    pub explain: bool,
 }
 
 impl Default for EstimateOptions {
@@ -57,7 +73,83 @@ impl Default for EstimateOptions {
             max_descendant_len: 0,
             deadline: None,
             work_limit: 0,
+            explain: false,
         }
+    }
+}
+
+impl EstimateOptions {
+    /// A builder seeded with the defaults.
+    pub fn builder() -> EstimateOptionsBuilder {
+        EstimateOptionsBuilder {
+            opts: EstimateOptions::default(),
+        }
+    }
+
+    /// A builder seeded with this options value, for tweaking a copy.
+    pub fn to_builder(self) -> EstimateOptionsBuilder {
+        EstimateOptionsBuilder { opts: self }
+    }
+}
+
+/// Builder for [`EstimateOptions`] — the supported way to construct
+/// options outside this crate now that the struct is `#[non_exhaustive]`.
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use xtwig_core::estimate::EstimateOptions;
+/// let opts = EstimateOptions::builder()
+///     .deadline(Instant::now() + Duration::from_millis(50))
+///     .work_limit(1_000_000)
+///     .explain(true)
+///     .build();
+/// assert!(opts.explain);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EstimateOptionsBuilder {
+    opts: EstimateOptions,
+}
+
+impl EstimateOptionsBuilder {
+    /// Sets the hard cap on embeddings evaluated per query.
+    pub fn max_embeddings(mut self, n: usize) -> Self {
+        self.opts.max_embeddings = n;
+        self
+    }
+
+    /// Sets the maximum `//`-expansion chain length (0 = document depth).
+    pub fn max_descendant_len(mut self, n: usize) -> Self {
+        self.opts.max_descendant_len = n;
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn deadline(mut self, at: std::time::Instant) -> Self {
+        self.opts.deadline = Some(at);
+        self
+    }
+
+    /// Sets or clears the wall-clock deadline.
+    pub fn deadline_opt(mut self, at: Option<std::time::Instant>) -> Self {
+        self.opts.deadline = at;
+        self
+    }
+
+    /// Sets the abstract work-unit budget (0 = unlimited).
+    pub fn work_limit(mut self, units: u64) -> Self {
+        self.opts.work_limit = units;
+        self
+    }
+
+    /// Requests an [`Explain`] report alongside the estimate.
+    pub fn explain(mut self, on: bool) -> Self {
+        self.opts.explain = on;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> EstimateOptions {
+        self.opts
     }
 }
 
@@ -98,49 +190,28 @@ impl BoundedEstimate {
 /// infinite (non-finite contributions clamp to 0.0 or the coarse
 /// label-count bound). With default options the numeric result is
 /// identical to [`estimate_selectivity`].
+///
+/// **Deprecated surface**: this free function is a thin shim over the
+/// unified [`Estimator`] API — prefer
+/// [`InterpretedEstimator`]`::new(s).estimate(&req)`, which returns the
+/// same number (bit-identical) inside a full [`EstimateReport`]. Kept
+/// for source compatibility; new call sites are denied by `xtask lint`
+/// (rule `legacy-estimate`).
 pub fn estimate_selectivity_bounded(
     s: &Synopsis,
     query: &TwigQuery,
     opts: &EstimateOptions,
 ) -> BoundedEstimate {
-    let mut meter = Meter::from_options(opts);
-    let embs = enumerate_embeddings_metered(s, query, opts, &mut meter);
-    let mut total = 0.0f64;
-    let mut clamped = 0usize;
-    let mut evaluated = 0usize;
-    for e in &embs {
-        let v = estimate_embedding_metered(s, e, &mut meter);
-        evaluated += 1;
-        if v.is_finite() && v >= 0.0 {
-            total += v;
-        } else {
-            clamped += 1;
-            if v == f64::INFINITY {
-                total += coarse_count_bound(s, query);
-            }
-            // NaN / negative contributions clamp to 0.0 (dropped).
-        }
-        if meter.exhaustion().is_some() {
-            break;
-        }
-    }
-    if !total.is_finite() {
-        clamped += 1;
-        total = coarse_count_bound(s, query);
-    }
-    BoundedEstimate {
-        estimate: total.clamp(0.0, f64::MAX),
-        exhaustion: meter.exhaustion(),
-        embeddings: evaluated,
-        work: meter.work_done(),
-        clamped,
-    }
+    api::run_interpreted(s, query, opts).bounded()
 }
 
 /// Estimates the selectivity (number of binding tuples) of `query` over
 /// the synopsis: the sum of the estimates of all maximal twig embeddings.
 /// Equivalent to [`estimate_selectivity_bounded`] with the estimate
 /// extracted; the result is always finite and non-negative.
+///
+/// **Deprecated surface**: thin shim over the unified [`Estimator`] API —
+/// prefer [`InterpretedEstimator`]; see [`estimate_selectivity_bounded`].
 pub fn estimate_selectivity(s: &Synopsis, query: &TwigQuery, opts: &EstimateOptions) -> f64 {
     estimate_selectivity_bounded(s, query, opts).estimate
 }

@@ -32,6 +32,7 @@ pub mod io;
 pub mod serve;
 pub mod single_path;
 pub mod synopsis;
+pub mod telemetry;
 pub mod tsn;
 pub mod validate;
 
@@ -40,14 +41,16 @@ pub use compiled::{CompiledHistogram, CompiledSynopsis};
 pub use construct::{xbuild, BuildOptions, BuildTrace, Refinement, TruthSource};
 pub use describe::describe;
 pub use estimate::{
-    coarse_count_bound, estimate_selectivity, estimate_selectivity_bounded, BoundedEstimate,
-    EstimateOptions, Exhaustion,
+    coarse_count_bound, estimate_selectivity, estimate_selectivity_bounded, AssumptionCounts,
+    BoundedEstimate, EmbeddingContribution, EstimateOptions, EstimateOptionsBuilder,
+    EstimateReport, EstimateRequest, Estimator, Exhaustion, Explain, InterpretedEstimator,
+    Provenance, QueryTelemetry,
 };
 pub use io::{
     load_synopsis, read_snapshot, save_synopsis, snapshot_checksum, write_snapshot_atomic,
     SnapshotError,
 };
-pub use serve::{estimate_many, CacheStats, EstimateCache};
+pub use serve::{estimate_many, serve_reports, CacheStats, EstimateCache};
 pub use synopsis::{EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, ValueSummary};
 pub use tsn::twig_stable_neighborhood;
 pub use validate::{fsck, validate, FsckIssue, FsckReport};

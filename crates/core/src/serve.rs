@@ -1,8 +1,9 @@
 //! Batched serving on top of the compiled synopsis: a sharded,
-//! epoch-invalidated estimate cache plus [`estimate_many`], which fans a
-//! batch of queries out over scoped worker threads with every member
-//! still running under its own [`Meter`](crate::estimate::Meter)
-//! deadline/work-budget guard.
+//! epoch-invalidated estimate cache plus [`serve_reports`] (and its
+//! legacy projection [`estimate_many`]), which fans a batch of queries
+//! out over scoped worker threads with every member still running under
+//! its own [`Meter`](crate::estimate::Meter) deadline/work-budget
+//! guard.
 //!
 //! ## Cache semantics
 //!
@@ -26,7 +27,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use crate::compiled::CompiledSynopsis;
-use crate::estimate::{BoundedEstimate, EstimateOptions};
+use crate::estimate::{
+    BoundedEstimate, EstimateOptions, EstimateReport, Provenance, QueryTelemetry,
+};
+use crate::telemetry;
 use xtwig_query::TwigQuery;
 
 /// Number of independently locked shards. A power of two so the shard
@@ -41,6 +45,11 @@ struct Entry {
     epoch: u64,
     /// The cached full-fidelity result.
     estimate: BoundedEstimate,
+    /// The provenance of the original computation — threading it through
+    /// the cache keeps a served hit distinguishable from a fresh run
+    /// (e.g. a clamped-but-complete "degraded-adjacent" result keeps its
+    /// `clamped` count and gains `cached: true` on the way out).
+    provenance: Provenance,
     /// Logical timestamp of the last hit (for LRU eviction).
     last_used: u64,
 }
@@ -61,6 +70,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted because their epoch no longer matched.
     pub stale_evictions: u64,
+    /// Entries evicted to make room for an insert into a full shard.
+    pub lru_evictions: u64,
     /// Entries currently resident across all shards.
     pub entries: usize,
 }
@@ -90,6 +101,7 @@ pub struct EstimateCache {
     hits: AtomicU64,
     misses: AtomicU64,
     stale: AtomicU64,
+    lru: AtomicU64,
 }
 
 impl EstimateCache {
@@ -105,6 +117,7 @@ impl EstimateCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stale: AtomicU64::new(0),
+            lru: AtomicU64::new(0),
         }
     }
 
@@ -120,10 +133,12 @@ impl EstimateCache {
         (h as usize) & (SHARD_COUNT - 1)
     }
 
-    /// Looks up `key` at `epoch`. A hit refreshes the entry's LRU stamp;
-    /// an entry stamped with a different epoch is evicted and counted as
-    /// both stale and a miss.
-    pub fn get(&self, key: &str, epoch: u64) -> Option<BoundedEstimate> {
+    /// Looks up `key` at `epoch`, returning the cached estimate together
+    /// with the provenance of the computation that produced it. A hit
+    /// refreshes the entry's LRU stamp; an entry stamped with a
+    /// different epoch is evicted and counted as both stale and a miss.
+    pub fn get(&self, key: &str, epoch: u64) -> Option<(BoundedEstimate, Provenance)> {
+        let tg = telemetry::global();
         let mut shard = self.shards[self.shard_of(key)]
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
@@ -133,26 +148,32 @@ impl EstimateCache {
             Some(e) if e.epoch == epoch => {
                 e.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(e.estimate)
+                tg.cache_hits.incr();
+                Some((e.estimate, e.provenance))
             }
             Some(_) => {
                 shard.entries.remove(key);
                 self.stale.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                tg.cache_stale_evictions.incr();
+                tg.cache_misses.incr();
                 None
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                tg.cache_misses.incr();
                 None
             }
         }
     }
 
-    /// Inserts `estimate` under `key` at `epoch`, evicting the shard's
-    /// least-recently-used entry if it is full. The O(shard-size) LRU
-    /// scan is deliberate: shards are small (capacity/16) and an
-    /// intrusive list is not worth the complexity at this scale.
-    pub fn insert(&self, key: &str, epoch: u64, estimate: BoundedEstimate) {
+    /// Inserts `estimate` (with the `provenance` of its computation)
+    /// under `key` at `epoch`, evicting the shard's least-recently-used
+    /// entry if it is full. The O(shard-size) LRU scan is deliberate:
+    /// shards are small (capacity/16) and an intrusive list is not worth
+    /// the complexity at this scale.
+    pub fn insert(&self, key: &str, epoch: u64, estimate: BoundedEstimate, provenance: Provenance) {
+        let tg = telemetry::global();
         let mut shard = self.shards[self.shard_of(key)]
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
@@ -166,13 +187,17 @@ impl EstimateCache {
                 .map(|(k, _)| k.clone());
             if let Some(v) = victim {
                 shard.entries.remove(&v);
+                self.lru.fetch_add(1, Ordering::Relaxed);
+                tg.cache_lru_evictions.incr();
             }
         }
+        tg.cache_inserts.incr();
         shard.entries.insert(
             key.to_owned(),
             Entry {
                 epoch,
                 estimate,
+                provenance,
                 last_used: tick,
             },
         );
@@ -194,41 +219,68 @@ impl EstimateCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stale_evictions: self.stale.load(Ordering::Relaxed),
+            lru_evictions: self.lru.load(Ordering::Relaxed),
             entries,
         }
     }
 }
 
+/// Builds the report served for a cache hit: the stored estimate and
+/// the provenance of its *original* computation, re-marked as `cached`.
+/// Timings/telemetry are zeroed — the cache did no per-stage work — and
+/// there is no explain (the embeddings were not re-enumerated).
+fn cached_report(estimate: BoundedEstimate, original: Provenance) -> EstimateReport {
+    EstimateReport {
+        estimate: estimate.estimate,
+        provenance: Provenance {
+            cached: true,
+            ..original
+        },
+        telemetry: QueryTelemetry::default(),
+        explain: None,
+    }
+}
+
 /// Estimates a batch of queries over the compiled synopsis, optionally
 /// through an [`EstimateCache`], running members on up to `threads`
-/// scoped worker threads (`0` or `1` = inline on the caller).
+/// scoped worker threads (`0` or `1` = inline on the caller). This is
+/// the full-fidelity batch surface: each result is an
+/// [`EstimateReport`] carrying provenance (including `cached` and the
+/// original computation's exhaustion/clamp counts on cache hits) and
+/// per-stage telemetry.
 ///
 /// Results come back in input order. Each member runs under its own
 /// [`Meter`](crate::estimate::Meter) built from `opts`, so a deadline or
 /// work limit bounds every query individually — one pathological twig
 /// cannot starve its batch. Degraded results (tripped meter) are
 /// returned but never cached.
-pub fn estimate_many(
+///
+/// When `opts.explain` is set, cache *reads* are bypassed (a hit has no
+/// embeddings to explain) but full-fidelity results are still inserted,
+/// so an explain pass warms the cache for later plain requests.
+pub fn serve_reports(
     cs: &CompiledSynopsis<'_>,
     queries: &[TwigQuery],
     opts: &EstimateOptions,
     cache: Option<&EstimateCache>,
     threads: usize,
-) -> Vec<BoundedEstimate> {
-    let run_one = |q: &TwigQuery| -> BoundedEstimate {
+) -> Vec<EstimateReport> {
+    let run_one = |q: &TwigQuery| -> EstimateReport {
         let fingerprint = q.to_string();
         if let Some(c) = cache {
-            if let Some(hit) = c.get(&fingerprint, cs.epoch()) {
-                return hit;
+            if !opts.explain {
+                if let Some((hit, prov)) = c.get(&fingerprint, cs.epoch()) {
+                    return cached_report(hit, prov);
+                }
             }
         }
-        let b = cs.estimate_selectivity_bounded(q, opts);
+        let rep = cs.estimate_report(q, opts);
         if let Some(c) = cache {
-            if b.exhaustion.is_none() {
-                c.insert(&fingerprint, cs.epoch(), b);
+            if rep.provenance.exhaustion.is_none() {
+                c.insert(&fingerprint, cs.epoch(), rep.bounded(), rep.provenance);
             }
         }
-        b
+        rep
     };
 
     if threads <= 1 || queries.len() <= 1 {
@@ -236,7 +288,7 @@ pub fn estimate_many(
     }
 
     let workers = threads.min(queries.len());
-    let slots: Vec<Mutex<Option<BoundedEstimate>>> =
+    let slots: Vec<Mutex<Option<EstimateReport>>> =
         queries.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -246,9 +298,9 @@ pub fn estimate_many(
                 let Some(q) = queries.get(i) else {
                     break;
                 };
-                let b = run_one(q);
+                let rep = run_one(q);
                 if let Some(slot) = slots.get(i) {
-                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(b);
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(rep);
                 }
             });
         }
@@ -258,14 +310,39 @@ pub fn estimate_many(
         .map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
-                .unwrap_or(BoundedEstimate {
+                .unwrap_or_else(|| EstimateReport {
                     estimate: 0.0,
-                    exhaustion: None,
-                    embeddings: 0,
-                    work: 0,
-                    clamped: 1,
+                    provenance: Provenance {
+                        clamped: 1,
+                        ..Provenance::new("xsketch-compiled")
+                    },
+                    telemetry: QueryTelemetry::default(),
+                    explain: None,
                 })
         })
+        .collect()
+}
+
+/// Estimates a batch of queries, returning only the legacy
+/// [`BoundedEstimate`] projection of each result.
+///
+/// **Deprecated surface.** This is a thin shim over [`serve_reports`],
+/// kept for callers that predate the unified [`Estimator`] API; the
+/// projection is bit-identical to what this function always returned.
+/// New code should call [`serve_reports`] (or the
+/// [`Estimator`](crate::estimate::Estimator) trait for single queries)
+/// and read provenance from the report. `xtask lint` rule
+/// `legacy-estimate` ratchets remaining callers.
+pub fn estimate_many(
+    cs: &CompiledSynopsis<'_>,
+    queries: &[TwigQuery],
+    opts: &EstimateOptions,
+    cache: Option<&EstimateCache>,
+    threads: usize,
+) -> Vec<BoundedEstimate> {
+    serve_reports(cs, queries, opts, cache, threads)
+        .iter()
+        .map(EstimateReport::bounded)
         .collect()
 }
 
@@ -317,6 +394,50 @@ mod tests {
     }
 
     #[test]
+    fn cache_hits_carry_original_provenance() {
+        let (doc, queries) = setup();
+        let s = coarse_synopsis(&doc);
+        let cs = CompiledSynopsis::compile(&s);
+        let opts = EstimateOptions::default();
+        let cache = EstimateCache::new(64);
+        let cold = serve_reports(&cs, &queries[..1], &opts, Some(&cache), 1);
+        let warm = serve_reports(&cs, &queries[..1], &opts, Some(&cache), 1);
+        assert!(!cold[0].provenance.cached);
+        assert!(warm[0].provenance.cached, "second pass must be a hit");
+        // The hit keeps the original computation's outcome fields, so a
+        // served result stays distinguishable from a fresh one without
+        // losing how it was first produced.
+        assert_eq!(warm[0].estimate.to_bits(), cold[0].estimate.to_bits());
+        assert_eq!(warm[0].provenance.embeddings, cold[0].provenance.embeddings);
+        assert_eq!(warm[0].provenance.work, cold[0].provenance.work);
+        assert_eq!(warm[0].provenance.clamped, cold[0].provenance.clamped);
+        assert_eq!(warm[0].provenance.source, cold[0].provenance.source);
+        assert!(warm[0].explain.is_none(), "hits have nothing to re-explain");
+    }
+
+    #[test]
+    fn explain_requests_bypass_cache_reads_but_still_warm() {
+        let (doc, queries) = setup();
+        let s = coarse_synopsis(&doc);
+        let cs = CompiledSynopsis::compile(&s);
+        let cache = EstimateCache::new(64);
+        let explain_opts = EstimateOptions::builder().explain(true).build();
+        let a = serve_reports(&cs, &queries[..1], &explain_opts, Some(&cache), 1);
+        let b = serve_reports(&cs, &queries[..1], &explain_opts, Some(&cache), 1);
+        assert!(a[0].explain.is_some() && b[0].explain.is_some());
+        assert!(!b[0].provenance.cached, "explain always recomputes");
+        // ... but the explain pass still inserted, so a plain request hits.
+        let plain = serve_reports(
+            &cs,
+            &queries[..1],
+            &EstimateOptions::default(),
+            Some(&cache),
+            1,
+        );
+        assert!(plain[0].provenance.cached);
+    }
+
+    #[test]
     fn stale_epoch_is_never_served() {
         let (doc, _) = setup();
         let s = coarse_synopsis(&doc);
@@ -330,7 +451,12 @@ mod tests {
             work: 1,
             clamped: 0,
         };
-        cache.insert("q", old.epoch(), sentinel);
+        cache.insert(
+            "q",
+            old.epoch(),
+            sentinel,
+            Provenance::new("xsketch-compiled"),
+        );
         assert!(cache.get("q", old.epoch()).is_some());
         // Same key at the fresh epoch: stale entry evicted, not served.
         assert!(cache.get("q", new.epoch()).is_none());
@@ -364,10 +490,12 @@ mod tests {
             }
         }
         let (k1, k2) = (k1.unwrap(), k2.unwrap());
-        cache.insert(&k1, 1, b);
-        cache.insert(&k2, 1, b);
+        let prov = Provenance::new("xsketch-compiled");
+        cache.insert(&k1, 1, b, prov);
+        cache.insert(&k2, 1, b, prov);
         assert!(cache.get(&k1, 1).is_none(), "LRU victim");
         assert!(cache.get(&k2, 1).is_some());
+        assert_eq!(cache.stats().lru_evictions, 1);
     }
 
     #[test]

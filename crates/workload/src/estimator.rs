@@ -7,7 +7,13 @@ use xtwig_markov::MarkovPaths;
 use xtwig_query::TwigQuery;
 
 /// A selectivity estimator backed by some summary structure.
-pub trait Estimator {
+///
+/// This is the *comparison-harness* abstraction (one number per query,
+/// plus the summary's footprint) used by the error sweeps and baseline
+/// benches. It is deliberately narrower than the serving-path
+/// [`xtwig_core::Estimator`] trait, which returns a full
+/// [`xtwig_core::EstimateReport`] with provenance and telemetry.
+pub trait SummaryEstimator {
     /// Estimated number of binding tuples for `q`.
     fn estimate(&self, q: &TwigQuery) -> f64;
     /// Storage footprint of the summary.
@@ -24,7 +30,7 @@ pub struct XsketchEstimator<'a> {
     pub opts: EstimateOptions,
 }
 
-impl Estimator for XsketchEstimator<'_> {
+impl SummaryEstimator for XsketchEstimator<'_> {
     fn estimate(&self, q: &TwigQuery) -> f64 {
         xtwig_core::estimate_selectivity(self.synopsis, q, &self.opts)
     }
@@ -48,7 +54,7 @@ pub struct CompiledXsketchEstimator<'a> {
     pub opts: EstimateOptions,
 }
 
-impl Estimator for CompiledXsketchEstimator<'_> {
+impl SummaryEstimator for CompiledXsketchEstimator<'_> {
     fn estimate(&self, q: &TwigQuery) -> f64 {
         self.compiled.estimate_selectivity(q, &self.opts)
     }
@@ -68,7 +74,7 @@ pub struct CstEstimator<'a> {
     pub cst: &'a Cst,
 }
 
-impl Estimator for CstEstimator<'_> {
+impl SummaryEstimator for CstEstimator<'_> {
     fn estimate(&self, q: &TwigQuery) -> f64 {
         xtwig_cst::estimate_twig(self.cst, q)
     }
@@ -88,7 +94,7 @@ pub struct MarkovEstimator<'a> {
     pub model: &'a MarkovPaths,
 }
 
-impl Estimator for MarkovEstimator<'_> {
+impl SummaryEstimator for MarkovEstimator<'_> {
     fn estimate(&self, q: &TwigQuery) -> f64 {
         self.model.estimate_twig(q)
     }

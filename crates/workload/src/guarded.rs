@@ -25,12 +25,16 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-use xtwig_core::estimate::{EstimateOptions, Exhaustion};
+use xtwig_core::estimate::{
+    EstimateOptions, EstimateReport, EstimateRequest, Estimator, Exhaustion, Explain, Provenance,
+    QueryTelemetry,
+};
+use xtwig_core::telemetry::{self, Span, Stage};
 use xtwig_core::{coarse_count_bound, CompiledSynopsis, Synopsis};
 use xtwig_markov::{MarkovOptions, MarkovPaths};
 use xtwig_query::TwigQuery;
 
-use crate::estimator::Estimator;
+use crate::estimator::SummaryEstimator;
 
 /// One tier of the fallback chain, in descending fidelity order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -267,38 +271,63 @@ impl<'a> GuardedEstimator<'a> {
 
     /// Serves `q` through the chain. Never panics; the returned estimate
     /// is always finite and ≥ 0.
+    ///
+    /// **Deprecated surface**: thin shim over the unified
+    /// [`Estimator`] API — prefer `Estimator::estimate(&guarded, &req)`,
+    /// which returns an [`EstimateReport`] with full provenance,
+    /// per-stage telemetry, and the tier trail in its explain section.
+    /// The [`EstimateOutcome`] this returns is the same chain result
+    /// (identical tier decisions and attempt records). `xtask lint` rule
+    /// `legacy-estimate` ratchets remaining callers.
     pub fn estimate_guarded(&self, q: &TwigQuery) -> EstimateOutcome {
+        self.serve(q, false).0
+    }
+
+    /// The chain implementation: runs the tiers in order, producing both
+    /// the legacy [`EstimateOutcome`] and the unified [`EstimateReport`].
+    fn serve(&self, q: &TwigQuery, explain: bool) -> (EstimateOutcome, EstimateReport) {
+        let t_total = Instant::now();
+        let tg = telemetry::global();
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        tg.guarded_queries.incr();
         let deadline = self.policy.time_budget.map(|b| Instant::now() + b);
         let mut attempts: Vec<TierAttempt> = Vec::new();
 
         // --- Tier 1: XSKETCH under budget --------------------------------
-        match self.run_xsketch(q, deadline) {
-            TierResult::Ok(v, clamped) => {
+        let tier1_failure = match self.run_xsketch(q, deadline, explain) {
+            Ok(rep) => {
                 attempts.push(TierAttempt {
                     tier: Tier::Xsketch,
                     failure: None,
                 });
-                return self.outcome(v, Tier::Xsketch, clamped, attempts);
+                let clamped = rep.provenance.clamped > 0;
+                let outcome = self.outcome(rep.estimate, Tier::Xsketch, clamped, attempts);
+                let report = tier1_report(rep, &outcome, t_total);
+                return (outcome, report);
             }
-            TierResult::Failed(f) => {
+            Err(f) => {
                 self.note_failure(f);
                 attempts.push(TierAttempt {
                     tier: Tier::Xsketch,
                     failure: Some(f),
                 });
+                f
             }
-        }
+        };
 
-        // --- Tier 2: Markov ----------------------------------------------
-        match self.run_simple(Tier::Markov, || self.markov.estimate_twig(q)) {
-            TierResult::Ok(v, _) => {
+        // --- Fallback tiers, under the fallback span/latency -------------
+        let t_fallback = Instant::now();
+        let span = Span::enter(Stage::Fallback);
+        let (value, tier) = match self.run_simple(Tier::Markov, || self.markov.estimate_twig(q)) {
+            // --- Tier 2: Markov ------------------------------------------
+            TierResult::Ok(v) => {
                 attempts.push(TierAttempt {
                     tier: Tier::Markov,
                     failure: None,
                 });
                 self.counters.served_markov.fetch_add(1, Ordering::Relaxed);
-                return self.outcome(v, Tier::Markov, true, attempts);
+                tg.tier_markov_served.incr();
+                (v, Tier::Markov)
             }
             TierResult::Failed(f) => {
                 self.note_failure(f);
@@ -306,28 +335,34 @@ impl<'a> GuardedEstimator<'a> {
                     tier: Tier::Markov,
                     failure: Some(f),
                 });
+                // --- Tier 3: label-count bound ---------------------------
+                let (value, failure) = match self
+                    .run_simple(Tier::LabelCount, || coarse_count_bound(self.synopsis, q))
+                {
+                    TierResult::Ok(v) => (v, None),
+                    // The end of the chain: a failing last tier serves 0.0
+                    // rather than propagating anything.
+                    TierResult::Failed(f) => {
+                        self.note_failure(f);
+                        (0.0, Some(f))
+                    }
+                };
+                attempts.push(TierAttempt {
+                    tier: Tier::LabelCount,
+                    failure,
+                });
+                self.counters
+                    .served_label_count
+                    .fetch_add(1, Ordering::Relaxed);
+                tg.tier_label_count_served.incr();
+                (value, Tier::LabelCount)
             }
-        }
-
-        // --- Tier 3: label-count bound -----------------------------------
-        let (value, failure) =
-            match self.run_simple(Tier::LabelCount, || coarse_count_bound(self.synopsis, q)) {
-                TierResult::Ok(v, _) => (v, None),
-                // The end of the chain: a failing last tier serves 0.0
-                // rather than propagating anything.
-                TierResult::Failed(f) => {
-                    self.note_failure(f);
-                    (0.0, Some(f))
-                }
-            };
-        attempts.push(TierAttempt {
-            tier: Tier::LabelCount,
-            failure,
-        });
-        self.counters
-            .served_label_count
-            .fetch_add(1, Ordering::Relaxed);
-        self.outcome(value, Tier::LabelCount, true, attempts)
+        };
+        span.exit();
+        tg.fallback_latency.record_ns(elapsed_ns(t_fallback));
+        let outcome = self.outcome(value, tier, true, attempts);
+        let report = fallback_report(&outcome, tier1_failure, explain, t_total);
+        (outcome, report)
     }
 
     fn outcome(
@@ -339,6 +374,7 @@ impl<'a> GuardedEstimator<'a> {
     ) -> EstimateOutcome {
         if degraded {
             self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            telemetry::global().guarded_degraded.incr();
         }
         EstimateOutcome {
             estimate: if estimate.is_finite() && estimate >= 0.0 {
@@ -356,6 +392,7 @@ impl<'a> GuardedEstimator<'a> {
         match f {
             TierFailure::Panicked => {
                 self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                telemetry::global().tier_panics.incr();
             }
             TierFailure::Exhausted(Exhaustion::Deadline) => {
                 self.counters.deadline_trips.fetch_add(1, Ordering::Relaxed);
@@ -367,12 +404,20 @@ impl<'a> GuardedEstimator<'a> {
         }
     }
 
-    fn run_xsketch(&self, q: &TwigQuery, deadline: Option<Instant>) -> TierResult {
-        let opts = EstimateOptions {
-            deadline,
-            work_limit: self.policy.work_limit,
-            ..self.policy.estimate
-        };
+    fn run_xsketch(
+        &self,
+        q: &TwigQuery,
+        deadline: Option<Instant>,
+        explain: bool,
+    ) -> Result<EstimateReport, TierFailure> {
+        let opts = self
+            .policy
+            .estimate
+            .to_builder()
+            .deadline_opt(deadline)
+            .work_limit(self.policy.work_limit)
+            .explain(explain)
+            .build();
         let fault = self.fault;
         let cs = &self.compiled;
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -382,7 +427,15 @@ impl<'a> GuardedEstimator<'a> {
                     // containment of a tier that dies mid-query.
                     panic!("injected fault: xsketch tier"); // lint:allow(panic)
                 }
-                Some(InjectedFault::PoisonIn(Tier::Xsketch)) => return (f64::NAN, None, false),
+                Some(InjectedFault::PoisonIn(Tier::Xsketch)) => {
+                    // A poisoned report: exercises the NonFinite arm.
+                    return EstimateReport {
+                        estimate: f64::NAN,
+                        provenance: Provenance::new("xsketch-compiled"),
+                        telemetry: QueryTelemetry::default(),
+                        explain: None,
+                    };
+                }
                 Some(InjectedFault::StallXsketch) => {
                     if let Some(d) = deadline {
                         while Instant::now() < d {
@@ -392,16 +445,19 @@ impl<'a> GuardedEstimator<'a> {
                 }
                 _ => {}
             }
-            let b = cs.estimate_selectivity_bounded(q, &opts);
-            (b.estimate, b.exhaustion, b.clamped > 0)
+            cs.estimate_report(q, &opts)
         }));
         match caught {
-            Err(_) => TierResult::Failed(TierFailure::Panicked),
-            Ok((_, Some(ex), _)) => TierResult::Failed(TierFailure::Exhausted(ex)),
-            Ok((v, None, _)) if !v.is_finite() || v < 0.0 => {
-                TierResult::Failed(TierFailure::NonFinite)
+            Err(_) => Err(TierFailure::Panicked),
+            Ok(rep) => {
+                if let Some(ex) = rep.provenance.exhaustion {
+                    Err(TierFailure::Exhausted(ex))
+                } else if !rep.estimate.is_finite() || rep.estimate < 0.0 {
+                    Err(TierFailure::NonFinite)
+                } else {
+                    Ok(rep)
+                }
             }
-            Ok((v, None, clamped)) => TierResult::Ok(v, clamped),
         }
     }
 
@@ -421,18 +477,102 @@ impl<'a> GuardedEstimator<'a> {
         match caught {
             Err(_) => TierResult::Failed(TierFailure::Panicked),
             Ok(v) if !v.is_finite() || v < 0.0 => TierResult::Failed(TierFailure::NonFinite),
-            Ok(v) => TierResult::Ok(v, false),
+            Ok(v) => TierResult::Ok(v),
         }
     }
 }
 
 enum TierResult {
-    /// Value plus whether any contribution was clamped on the way.
-    Ok(f64, bool),
+    Ok(f64),
     Failed(TierFailure),
 }
 
+/// Wall-clock nanoseconds since `since`, saturating.
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Renders the attempt trail for [`Explain::tier_path`], e.g.
+/// `["xsketch: deadline exceeded", "markov: ok"]`.
+fn tier_path(attempts: &[TierAttempt]) -> Vec<String> {
+    attempts
+        .iter()
+        .map(|a| match a.failure {
+            None => format!("{}: ok", a.tier.name()),
+            Some(f) => format!("{}: {}", a.tier.name(), f.describe()),
+        })
+        .collect()
+}
+
+/// Builds the unified report for a query tier 1 answered: the compiled
+/// path's report, re-sourced to the guarded chain with the tier trail
+/// attached.
+fn tier1_report(
+    rep: EstimateReport,
+    outcome: &EstimateOutcome,
+    t_total: Instant,
+) -> EstimateReport {
+    let mut provenance = rep.provenance;
+    provenance.source = "guarded";
+    provenance.tier = Some(Tier::Xsketch.name());
+    provenance.degraded = outcome.degraded;
+    let mut telemetry = rep.telemetry;
+    telemetry.total_ns = elapsed_ns(t_total);
+    let mut explain = rep.explain;
+    if let Some(e) = explain.as_mut() {
+        e.tier_path = tier_path(&outcome.attempts);
+    }
+    EstimateReport {
+        estimate: outcome.estimate,
+        provenance,
+        telemetry,
+        explain,
+    }
+}
+
+/// Builds the unified report for a query a fallback tier answered. The
+/// fallback tiers have no embeddings, so the explain section (present
+/// only on request) carries just the tier trail.
+fn fallback_report(
+    outcome: &EstimateOutcome,
+    tier1_failure: TierFailure,
+    explain: bool,
+    t_total: Instant,
+) -> EstimateReport {
+    let mut provenance = Provenance::new("guarded");
+    provenance.tier = Some(outcome.tier.name());
+    provenance.degraded = true;
+    if let TierFailure::Exhausted(ex) = tier1_failure {
+        provenance.exhaustion = Some(ex);
+    }
+    EstimateReport {
+        estimate: outcome.estimate,
+        provenance,
+        telemetry: QueryTelemetry {
+            total_ns: elapsed_ns(t_total),
+            ..QueryTelemetry::default()
+        },
+        explain: explain.then(|| Explain {
+            expanded: 0,
+            embeddings: Vec::new(),
+            assumptions: Default::default(),
+            final_clamp: false,
+            tier_path: tier_path(&outcome.attempts),
+        }),
+    }
+}
+
 impl Estimator for GuardedEstimator<'_> {
+    /// Serves the request through the fallback chain. Budgets come from
+    /// the estimator's [`GuardPolicy`], not the request — the request
+    /// contributes only its `explain` flag, so one policy governs every
+    /// caller uniformly.
+    fn estimate(&self, req: &EstimateRequest<'_>) -> EstimateReport {
+        self.serve(req.query, req.options.explain).1
+    }
+}
+
+impl SummaryEstimator for GuardedEstimator<'_> {
     fn estimate(&self, q: &TwigQuery) -> f64 {
         self.estimate_guarded(q).estimate
     }
@@ -591,8 +731,51 @@ mod tests {
         let (_d, s) = setup();
         let g = GuardedEstimator::new(&s, GuardPolicy::default());
         let q = parse_twig("for $t0 in //kw").unwrap();
-        assert!((Estimator::estimate(&g, &q) - 4.0).abs() < 1e-9);
+        assert!((SummaryEstimator::estimate(&g, &q) - 4.0).abs() < 1e-9);
         assert!(g.size_bytes() > s.size_bytes());
         assert_eq!(g.name(), "Guarded");
+    }
+
+    #[test]
+    fn unified_report_matches_outcome_on_healthy_chain() {
+        let (_d, s) = setup();
+        let g = GuardedEstimator::new(&s, GuardPolicy::default());
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        let outcome = g.estimate_guarded(&q);
+        let opts = EstimateOptions::builder().explain(true).build();
+        let rep = Estimator::estimate(&g, &EstimateRequest::with_options(&q, opts));
+        assert_eq!(rep.estimate.to_bits(), outcome.estimate.to_bits());
+        assert_eq!(rep.provenance.source, "guarded");
+        assert_eq!(rep.provenance.tier, Some("xsketch"));
+        assert!(!rep.provenance.degraded);
+        let explain = rep.explain.expect("explain was requested");
+        assert_eq!(explain.tier_path, vec!["xsketch: ok".to_string()]);
+        let sum: f64 = explain.embeddings.iter().map(|c| c.contribution).sum();
+        assert!((sum - rep.estimate).abs() <= 1e-9 * rep.estimate.max(1.0));
+    }
+
+    #[test]
+    fn unified_report_records_fallback_tier_path() {
+        let (_d, s) = setup();
+        let policy = GuardPolicy {
+            work_limit: 1,
+            ..Default::default()
+        };
+        let g = GuardedEstimator::new(&s, policy);
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper, $t2 in $t1/kw").unwrap();
+        let opts = EstimateOptions::builder().explain(true).build();
+        let rep = Estimator::estimate(&g, &EstimateRequest::with_options(&q, opts));
+        assert_eq!(rep.provenance.tier, Some("markov"));
+        assert!(rep.provenance.degraded);
+        assert_eq!(rep.provenance.exhaustion, Some(Exhaustion::Work));
+        let explain = rep.explain.expect("explain was requested");
+        assert_eq!(
+            explain.tier_path,
+            vec![
+                "xsketch: work limit exhausted".to_string(),
+                "markov: ok".to_string()
+            ]
+        );
+        assert!(explain.embeddings.is_empty(), "fallback has no embeddings");
     }
 }

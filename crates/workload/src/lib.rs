@@ -11,9 +11,9 @@
 //! * **Error metric** ([`avg_relative_error`]): average absolute relative
 //!   error `|r − c| / max(s, c)` with the sanity bound `s` set to the
 //!   10th percentile of the true counts.
-//! * **Estimator abstraction** ([`Estimator`]) over Twig XSKETCHes and
-//!   CSTs, and **budget sweeps** ([`sweep_xsketch`], [`sweep_cst`]) that
-//!   regenerate the Figure 9 series.
+//! * **Estimator abstraction** ([`SummaryEstimator`]) over Twig
+//!   XSKETCHes and CSTs, and **budget sweeps** ([`sweep_xsketch`],
+//!   [`sweep_cst`]) that regenerate the Figure 9 series.
 
 mod error;
 mod estimator;
@@ -24,7 +24,7 @@ mod sweep;
 
 pub use error::{avg_relative_error, ErrorReport};
 pub use estimator::{
-    CompiledXsketchEstimator, CstEstimator, Estimator, MarkovEstimator, XsketchEstimator,
+    CompiledXsketchEstimator, CstEstimator, MarkovEstimator, SummaryEstimator, XsketchEstimator,
 };
 pub use faults::{
     apply_snapshot_fault, run_fault_plan, Fault, FaultOutcome, FaultPlan, FaultReport,

@@ -13,10 +13,15 @@
 //! | `unreachable` | `unreachable!`                            | library code |
 //! | `lossy-cast`  | numeric `as` casts                        | estimation + histogram crates |
 //! | `indexing`    | `expr[...]` inside `for`/`while`/`loop`   | estimation + histogram crates |
+//! | `legacy-estimate` | calls to the deprecated estimation entry points | whole workspace minus shim modules |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/`, `src/bin/`,
 //! binary roots (`main.rs`), the vendored dependency stand-ins under
-//! `vendor/`, and this xtask crate itself.
+//! `vendor/`, and this xtask crate itself. The `legacy-estimate` rule is
+//! wider: it also walks tests, benches, examples and binaries, so *new*
+//! code anywhere must go through the unified `Estimator` trait; the
+//! pre-existing callers are grandfathered in the baseline and ratchet
+//! down from there.
 //!
 //! Escape hatches, in preference order:
 //!
@@ -91,7 +96,7 @@ pub fn run(args: &[String]) -> ExitCode {
 
     let mut findings = Vec::new();
     for rel in &files {
-        if !is_library_code(rel) {
+        if !is_library_code(rel) && !legacy_estimate_applies(rel) {
             continue;
         }
         let path = root.join(rel);
@@ -177,7 +182,10 @@ pub fn run(args: &[String]) -> ExitCode {
 
     println!(
         "lint: {} file(s) scanned, {} finding(s), {} over baseline, {} stale baseline entr(ies)",
-        files.iter().filter(|f| is_library_code(f)).count(),
+        files
+            .iter()
+            .filter(|f| is_library_code(f) || legacy_estimate_applies(f))
+            .count(),
         findings.len(),
         over,
         stale
@@ -267,6 +275,20 @@ fn numeric_rules_apply(rel: &str) -> bool {
     rel.starts_with("crates/core/src/estimate") || rel.starts_with("crates/histogram/src")
 }
 
+/// Whether the `legacy-estimate` rule applies. It covers the whole
+/// workspace — tests, benches, examples and binaries included — except
+/// the shim modules that *define* the deprecated surface (and this
+/// xtask crate, whose own tests spell the patterns out).
+fn legacy_estimate_applies(rel: &str) -> bool {
+    const SHIM_MODULES: [&str; 4] = [
+        "crates/core/src/estimate/mod.rs",
+        "crates/core/src/estimate/api.rs",
+        "crates/core/src/serve.rs",
+        "crates/workload/src/guarded.rs",
+    ];
+    !SHIM_MODULES.contains(&rel) && !rel.starts_with("crates/xtask/")
+}
+
 /// Scans one file, appending findings.
 fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let mut masked = mask_comments_and_strings(source);
@@ -298,27 +320,29 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
         ("unimplemented!", "panic"),
         ("unreachable!", "unreachable"),
     ];
-    for (line_no, line) in masked_lines.iter().enumerate() {
-        for (pat, rule) in PATTERNS {
-            let mut at = 0;
-            while let Some(i) = line[at..].find(pat) {
-                let abs = at + i;
-                // Patterns starting with an identifier char (`panic!`)
-                // must not be glued to a longer identifier (`my_panic!`);
-                // method patterns (`.unwrap()`) carry their own boundary.
-                let prev = line[..abs].chars().next_back();
-                let glued = pat.starts_with(|c: char| c.is_alphanumeric())
-                    && prev.is_some_and(|c| c.is_alphanumeric() || c == '_');
-                if !glued {
-                    let rule_static: &'static str = match rule {
-                        "unwrap" => "unwrap",
-                        "expect" => "expect",
-                        "unreachable" => "unreachable",
-                        _ => "panic",
-                    };
-                    emit(rule_static, line_no + 1);
+    if is_library_code(rel) {
+        for (line_no, line) in masked_lines.iter().enumerate() {
+            for (pat, rule) in PATTERNS {
+                let mut at = 0;
+                while let Some(i) = line[at..].find(pat) {
+                    let abs = at + i;
+                    // Patterns starting with an identifier char (`panic!`)
+                    // must not be glued to a longer identifier (`my_panic!`);
+                    // method patterns (`.unwrap()`) carry their own boundary.
+                    let prev = line[..abs].chars().next_back();
+                    let glued = pat.starts_with(|c: char| c.is_alphanumeric())
+                        && prev.is_some_and(|c| c.is_alphanumeric() || c == '_');
+                    if !glued {
+                        let rule_static: &'static str = match rule {
+                            "unwrap" => "unwrap",
+                            "expect" => "expect",
+                            "unreachable" => "unreachable",
+                            _ => "panic",
+                        };
+                        emit(rule_static, line_no + 1);
+                    }
+                    at = abs + pat.len();
                 }
-                at = abs + pat.len();
             }
         }
     }
@@ -326,6 +350,50 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     if numeric_rules_apply(rel) {
         scan_lossy_casts(&masked_lines, &mut emit);
         scan_loop_indexing(&masked, &mut emit);
+    }
+
+    if legacy_estimate_applies(rel) {
+        scan_legacy_estimate(&masked_lines, &mut emit);
+    }
+}
+
+/// Flags calls to the deprecated estimation entry points: the
+/// `estimate_selectivity` / `estimate_selectivity_bounded` /
+/// `estimate_many` free functions and the `estimate_guarded` method,
+/// all superseded by the unified `Estimator` trait. Definitions
+/// (`fn estimate_…`) and dotted calls to the free-function names (the
+/// compiled synopsis' shim methods) are not flagged; `estimate_guarded`
+/// is denied even as a method call.
+fn scan_legacy_estimate(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, usize)) {
+    // (pattern, deny dotted method calls too?)
+    const LEGACY: [(&str, bool); 4] = [
+        ("estimate_selectivity(", false),
+        ("estimate_selectivity_bounded(", false),
+        ("estimate_many(", false),
+        ("estimate_guarded(", true),
+    ];
+    for (line_no, line) in masked_lines.iter().enumerate() {
+        for (pat, deny_dotted) in LEGACY {
+            let mut at = 0;
+            while let Some(i) = line[at..].find(pat) {
+                let abs = at + i;
+                at = abs + pat.len();
+                let before = &line[..abs];
+                let prev = before.chars().next_back();
+                // Part of a longer identifier — not one of ours.
+                if prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    continue;
+                }
+                if !deny_dotted && prev == Some('.') {
+                    continue;
+                }
+                // A definition, not a call.
+                if before.trim_end().ends_with("fn") {
+                    continue;
+                }
+                emit("legacy-estimate", line_no + 1);
+            }
+        }
     }
 }
 
@@ -750,6 +818,57 @@ mod tests {
         assert!(!is_library_code("crates/core/build.rs"));
         assert!(!is_library_code("build.rs"));
         assert!(is_library_code("crates/core/src/construct/xbuild.rs"));
+    }
+
+    #[test]
+    fn legacy_estimate_denied_outside_library_code_too() {
+        let src = "fn f() { let e = estimate_selectivity(&s, &q, &o); }\n\
+                   fn g() { let b = xtwig::core::estimate_many(&cs, &qs, &o, None, 1); }\n";
+        let got = findings_in("tests/new_feature.rs", src);
+        assert_eq!(
+            got,
+            vec![
+                ("legacy-estimate".to_string(), 1),
+                ("legacy-estimate".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn legacy_estimate_spares_definitions_methods_and_shims() {
+        // Dotted calls to the free-function names are the compiled
+        // synopsis' shim methods, not the legacy free functions.
+        assert!(findings_in(
+            "tests/new_feature.rs",
+            "fn f() { let e = cs.estimate_selectivity(&q, &o); }\n"
+        )
+        .is_empty());
+        // Definitions are not calls.
+        assert!(findings_in(
+            "examples/demo.rs",
+            "pub fn estimate_many(x: u32) -> u32 { x }\n"
+        )
+        .is_empty());
+        // The shim modules may reference their own surface freely.
+        assert!(findings_in(
+            "crates/core/src/serve.rs",
+            "fn f() { estimate_many(&cs, &qs, &o, None, 1); }\n"
+        )
+        .is_empty());
+        // `estimate_guarded` is denied even as a method call…
+        assert_eq!(
+            findings_in(
+                "examples/demo.rs",
+                "fn f() { let o = g.estimate_guarded(&q); }\n"
+            ),
+            vec![("legacy-estimate".to_string(), 1)]
+        );
+        // …except inside its own defining module.
+        assert!(findings_in(
+            "crates/workload/src/guarded.rs",
+            "fn f() { let o = g.estimate_guarded(&q); }\n"
+        )
+        .is_empty());
     }
 
     #[test]

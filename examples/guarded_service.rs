@@ -59,10 +59,9 @@ fn main() {
     let deep_syn = coarse_synopsis(&deep);
     let tight = GuardPolicy {
         time_budget: Some(Duration::from_millis(1)),
-        estimate: EstimateOptions {
-            max_embeddings: usize::MAX,
-            ..Default::default()
-        },
+        estimate: EstimateOptions::builder()
+            .max_embeddings(usize::MAX)
+            .build(),
         ..Default::default()
     };
     let guarded = GuardedEstimator::new(&deep_syn, tight);

@@ -20,14 +20,15 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
-use xtwig::core::estimate::EstimateOptions;
+use xtwig::core::estimate::{EstimateOptions, EstimateRequest, Estimator};
+use xtwig::core::telemetry::{self, Span, Stage};
 use xtwig::core::{
-    coarse_synopsis, estimate_many, read_snapshot, write_snapshot_atomic, CompiledSynopsis,
+    coarse_synopsis, read_snapshot, serve_reports, write_snapshot_atomic, CompiledSynopsis,
     EstimateCache, Synopsis,
 };
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
-use xtwig::query::{parse_twig, selectivity};
-use xtwig::workload::{GuardPolicy, GuardedEstimator, Tier};
+use xtwig::query::{parse_twig, selectivity, TwigQuery};
+use xtwig::workload::{GuardPolicy, GuardedEstimator};
 use xtwig::xml::{parse, write_xml, DocStats, Document};
 
 /// How a command finished when it did not error.
@@ -93,11 +94,13 @@ xtwig-cli — Twig XSKETCH selectivity estimation
 USAGE:
   xtwig-cli generate <xmark|imdb|sprot> [--scale S] [--seed N]
   xtwig-cli stats <file.xml>
+  xtwig-cli stats [--metrics <file.prom>]
   xtwig-cli eval <file.xml> '<twig-query>'
   xtwig-cli estimate <file.xml> '<twig-query>' [--budget BYTES] [--synopsis F]
-                     [--deadline-ms N] [--work-limit N]
+                     [--deadline-ms N] [--work-limit N] [--explain]
   xtwig-cli serve <file.xml> <queries.txt> [--budget BYTES] [--synopsis F]
                   [--threads N] [--deadline-ms N] [--work-limit N]
+                  [--metrics-out <file.prom>]
   xtwig-cli build <file.xml> --out <synopsis.xtwg> [--budget BYTES]
   xtwig-cli inspect <synopsis.xtwg>
   xtwig-cli check <synopsis.xtwg | file.xml> [--budget BYTES]
@@ -108,12 +111,16 @@ Twig query notation: for $t0 in //movie[type = 1], $t1 in $t0/actor
 label-count bound) under the optional per-query deadline/work budget;
 the serving tier is reported on stderr whenever it is not full-fidelity
 XSKETCH. A corrupt --synopsis snapshot is recovered by rebuilding from
-the document (and exits 3 so scripts notice).
+the document (and exits 3 so scripts notice). `--explain` additionally
+prints every embedding's contribution to the sum (they add up to the
+estimate), the assumption-application counts, and the tier trail.
 
 `serve` runs a batch: one twig query per line of <queries.txt>, estimated
 over the compiled synopsis on worker threads through the epoch-keyed
 estimate cache, reporting per-query results plus batch QPS and cache
-statistics. Exits 3 if any member was served degraded.
+statistics. Exits 3 if any member was served degraded. `--metrics-out`
+writes the process-wide metrics registry in Prometheus text format on
+exit; read it back with `xtwig-cli stats --metrics <file.prom>`.
 
 EXIT CODES:
   0  success, full-fidelity estimate
@@ -129,6 +136,24 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Whether a bare (valueless) flag is present.
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parses a twig query under a [`Stage::Parse`] span, reporting its
+/// latency to the metrics registry.
+fn parse_twig_traced(text: &str) -> Result<TwigQuery, xtwig::query::ParseError> {
+    let t0 = std::time::Instant::now();
+    let span = Span::enter(Stage::Parse);
+    let q = parse_twig(text);
+    span.exit();
+    telemetry::global()
+        .parse_latency
+        .record_ns(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    q
 }
 
 fn parse_flag<T: std::str::FromStr>(
@@ -171,6 +196,11 @@ fn cmd_generate(args: &[String]) -> Result<Outcome, CliError> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<Outcome, CliError> {
+    // Telemetry mode: no positional file, or an explicit --metrics flag.
+    let wants_metrics = args.is_empty() || has_flag(args, "--metrics");
+    if wants_metrics {
+        return cmd_stats_metrics(args);
+    }
     let path = args
         .first()
         .ok_or_else(|| CliError::Usage("stats needs a file".into()))?;
@@ -189,6 +219,62 @@ fn cmd_stats(args: &[String]) -> Result<Outcome, CliError> {
         synopsis.edge_count(),
         synopsis.size_bytes() as f64 / 1024.0
     );
+    Ok(Outcome::Full)
+}
+
+/// Default path `serve --metrics-out` writes and `stats` reads when no
+/// explicit file is given.
+const DEFAULT_METRICS_FILE: &str = "xtwig-metrics.prom";
+
+/// `stats --metrics`: pretty-print a Prometheus text-format metrics file
+/// written by `serve --metrics-out` (estimation counters, cache health,
+/// guarded-chain degradations, per-stage latency histograms).
+fn cmd_stats_metrics(args: &[String]) -> Result<Outcome, CliError> {
+    let path = flag(args, "--metrics").unwrap_or_else(|| DEFAULT_METRICS_FILE.to_string());
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        CliError::Failure(format!(
+            "reading {path}: {e} (run `serve --metrics-out {path}` first)"
+        ))
+    })?;
+    let mut counters: Vec<(&str, &str)> = Vec::new();
+    let mut histograms: Vec<(&str, &str, &str)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if let Some(base) = name.strip_suffix("_count") {
+            if let Some(sum) = text.lines().find_map(|l| {
+                l.trim()
+                    .strip_prefix(&format!("{base}_sum "))
+                    .map(str::trim)
+            }) {
+                histograms.push((base, value, sum));
+            }
+            continue;
+        }
+        if name.contains('{') || name.ends_with("_sum") {
+            continue; // histogram buckets / sums, folded above
+        }
+        counters.push((name, value));
+    }
+    if counters.is_empty() && histograms.is_empty() {
+        return Err(CliError::Failure(format!("{path}: no metrics found")));
+    }
+    println!("metrics from {path}:");
+    for (name, value) in &counters {
+        println!("  {name:<42} {value}");
+    }
+    for (base, count, sum) in &histograms {
+        let mean_us = match (count.parse::<f64>(), sum.parse::<f64>()) {
+            (Ok(c), Ok(s)) if c > 0.0 => format!("{:.1} us mean", s / c * 1e6),
+            _ => "-".to_string(),
+        };
+        println!("  {base:<42} {count} obs, {mean_us}");
+    }
     Ok(Outcome::Full)
 }
 
@@ -305,7 +391,7 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let q = parse_twig(line)
+        let q = parse_twig_traced(line)
             .map_err(|e| CliError::Usage(format!("{qfile}:{}: {e}", lineno + 1)))?;
         queries.push(q);
     }
@@ -329,28 +415,30 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
         }
     };
     let compiled = CompiledSynopsis::compile(&synopsis);
-    let opts = EstimateOptions {
-        deadline: (deadline_ms > 0)
-            .then(|| std::time::Instant::now() + Duration::from_millis(deadline_ms)),
-        work_limit,
-        ..Default::default()
+    let opts = {
+        let mut b = EstimateOptions::builder().work_limit(work_limit);
+        if deadline_ms > 0 {
+            b = b.deadline(std::time::Instant::now() + Duration::from_millis(deadline_ms));
+        }
+        b.build()
     };
     let cache = EstimateCache::new(4096);
 
     let t0 = std::time::Instant::now();
-    let results = estimate_many(&compiled, &queries, &opts, Some(&cache), threads);
+    let results = serve_reports(&compiled, &queries, &opts, Some(&cache), threads);
     let elapsed = t0.elapsed();
 
     let mut degraded = 0usize;
-    for (q, b) in queries.iter().zip(&results) {
-        let marker = match b.exhaustion {
-            Some(ex) => {
-                degraded += 1;
-                format!("  [degraded: {ex}]")
-            }
-            None => String::new(),
-        };
-        println!("{:.1}  {q}{marker}", b.estimate);
+    for (q, rep) in queries.iter().zip(&results) {
+        let mut marker = String::new();
+        if let Some(ex) = rep.provenance.exhaustion {
+            degraded += 1;
+            marker = format!("  [degraded: {ex}]");
+        }
+        if rep.provenance.cached {
+            marker.push_str("  [cached]");
+        }
+        println!("{:.1}  {q}{marker}", rep.estimate);
     }
     let stats = cache.stats();
     eprintln!(
@@ -363,6 +451,11 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
         stats.misses,
         stats.hit_rate(),
     );
+    if let Some(out) = flag(args, "--metrics-out") {
+        let prom = telemetry::global().to_prometheus();
+        std::fs::write(&out, prom).map_err(|e| CliError::Failure(format!("writing {out}: {e}")))?;
+        eprintln!("metrics written to {out}");
+    }
     if degraded > 0 {
         eprintln!("{degraded} of {} queries served degraded", queries.len());
         return Ok(Outcome::Degraded);
@@ -380,8 +473,9 @@ fn cmd_estimate(args: &[String]) -> Result<Outcome, CliError> {
     let budget: usize = parse_flag(args, "--budget", 20 * 1024)?;
     let deadline_ms: u64 = parse_flag(args, "--deadline-ms", 0)?;
     let work_limit: u64 = parse_flag(args, "--work-limit", 0)?;
+    let explain = has_flag(args, "--explain");
     let doc = load(path)?;
-    let q = parse_twig(qtext).map_err(|e| CliError::Usage(e.to_string()))?;
+    let q = parse_twig_traced(qtext).map_err(|e| CliError::Usage(e.to_string()))?;
 
     let t0 = std::time::Instant::now();
     let mut recovered = false;
@@ -422,7 +516,10 @@ fn cmd_estimate(args: &[String]) -> Result<Outcome, CliError> {
     };
     let guarded = GuardedEstimator::new(&synopsis, policy);
     let t1 = std::time::Instant::now();
-    let outcome = guarded.estimate_guarded(&q);
+    // Always request an explain internally: the tier trail drives the
+    // degradation report, and the report is bit-identical either way.
+    let req_opts = EstimateOptions::builder().explain(true).build();
+    let report = Estimator::estimate(&guarded, &EstimateRequest::with_options(&q, req_opts));
     let est_in = t1.elapsed();
     let truth = selectivity(&doc, &q);
 
@@ -432,20 +529,80 @@ fn cmd_estimate(args: &[String]) -> Result<Outcome, CliError> {
         synopsis.edge_count(),
         synopsis.size_bytes() as f64 / 1024.0,
     );
-    println!("estimate: {:.1} ({est_in:?})", outcome.estimate);
+    println!("estimate: {:.1} ({est_in:?})", report.estimate);
     println!("exact:    {truth}");
-    let err = (outcome.estimate - truth as f64).abs() / (truth as f64).max(1.0);
+    let err = (report.estimate - truth as f64).abs() / (truth as f64).max(1.0);
     println!("relative error: {:.1}%", err * 100.0);
-    if outcome.tier != Tier::Xsketch || outcome.degraded {
-        for a in &outcome.attempts {
-            if let Some(f) = a.failure {
-                eprintln!("tier {}: {}", a.tier, f.describe());
+    if explain {
+        print_explain(&report);
+    }
+    let tier = report.provenance.tier.unwrap_or("xsketch");
+    if tier != "xsketch" || report.provenance.degraded {
+        if let Some(e) = &report.explain {
+            for step in &e.tier_path {
+                if !step.ends_with(": ok") {
+                    eprintln!("tier {step}");
+                }
             }
         }
-        eprintln!("served by tier: {} (degraded)", outcome.tier);
+        eprintln!("served by tier: {tier} (degraded)");
     }
-    if recovered || outcome.degraded {
+    if recovered || report.provenance.degraded {
         return Ok(Outcome::Degraded);
     }
     Ok(Outcome::Full)
+}
+
+/// Renders the `--explain` section: per-embedding contributions (which
+/// sum to the estimate), assumption counts, provenance, and timings.
+fn print_explain(report: &xtwig::core::EstimateReport) {
+    let Some(e) = &report.explain else {
+        println!("explain: unavailable on this serving path");
+        return;
+    };
+    println!("explain:");
+    println!(
+        "  maximal-twig embeddings expanded: {} ({} evaluated)",
+        e.expanded, report.provenance.embeddings
+    );
+    for c in &e.embeddings {
+        let clamp = if c.clamped {
+            format!("  [clamped from {}]", c.raw)
+        } else {
+            String::new()
+        };
+        println!(
+            "    #{:<3} {:<40} {:+.4}{clamp}",
+            c.index, c.rendered, c.contribution
+        );
+    }
+    let sum: f64 = e.embeddings.iter().map(|c| c.contribution).sum();
+    println!("  contribution sum: {sum:.4}");
+    if e.final_clamp {
+        println!("  final clamp: non-finite total replaced by coarse bound");
+    }
+    println!(
+        "  assumptions: forward-uniformity x{}, conditioning x{}",
+        e.assumptions.forward_uniformity, e.assumptions.conditioning
+    );
+    if !e.tier_path.is_empty() {
+        println!("  tier path: {}", e.tier_path.join(" -> "));
+    }
+    let p = &report.provenance;
+    println!(
+        "  provenance: source={}, tier={}, cached={}, memo-hit={}, work={}",
+        p.source,
+        p.tier.unwrap_or("-"),
+        p.cached,
+        p.memo_hit.map_or("-".to_string(), |h| h.to_string()),
+        p.work,
+    );
+    let t = &report.telemetry;
+    println!(
+        "  timing: expand {:.1} us, eval {:.1} us, total {:.1} us, {} buckets visited",
+        t.expand_ns as f64 / 1e3,
+        t.eval_ns as f64 / 1e3,
+        t.total_ns as f64 / 1e3,
+        t.buckets_visited,
+    );
 }

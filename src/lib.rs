@@ -73,10 +73,11 @@ pub use xtwig_workload as workload;
 /// The names most programs need.
 pub mod prelude {
     pub use xtwig_core::construct::{xbuild, BuildOptions, TruthSource};
-    pub use xtwig_core::estimate::EstimateOptions;
+    pub use xtwig_core::estimate::{EstimateOptions, EstimateOptionsBuilder};
     pub use xtwig_core::{
         coarse_synopsis, estimate_selectivity, estimate_selectivity_bounded, read_snapshot,
-        write_snapshot_atomic, BoundedEstimate, SnapshotError, Synopsis,
+        serve_reports, write_snapshot_atomic, BoundedEstimate, EstimateReport, EstimateRequest,
+        Estimator, Explain, InterpretedEstimator, Provenance, SnapshotError, Synopsis,
     };
     pub use xtwig_query::{parse_path, parse_twig, selectivity, PathExpr, TwigQuery};
     pub use xtwig_workload::{GuardPolicy, GuardedEstimator};

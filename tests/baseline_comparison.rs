@@ -6,8 +6,8 @@ use xtwig::core::estimate::EstimateOptions;
 use xtwig::cst::{Cst, CstOptions};
 use xtwig::datagen::{imdb, ImdbConfig};
 use xtwig::workload::{
-    avg_relative_error, generate_workload, CstEstimator, Estimator, WorkloadKind, WorkloadSpec,
-    XsketchEstimator,
+    avg_relative_error, generate_workload, CstEstimator, SummaryEstimator, WorkloadKind,
+    WorkloadSpec, XsketchEstimator,
 };
 
 #[test]

@@ -8,6 +8,10 @@
 //! 2. **Epoch invalidation** — refining a synopsis and recompiling bumps
 //!    the epoch, so an estimate cache never serves entries computed
 //!    under the stale generation.
+//! 3. **Observability is free** — requesting an `Explain` report, and
+//!    compiling with or without the `trace` feature, never changes a
+//!    single bit of any estimate (the whole suite runs under
+//!    `--features trace` in CI to prove the latter).
 
 use proptest::prelude::*;
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
@@ -82,6 +86,28 @@ proptest! {
         }
         if !w.queries.is_empty() {
             prop_assert!(cache.stats().hits >= w.queries.len() as u64);
+        }
+        // The unified report surface is the same computation again:
+        // explain on or off, every bit of the estimate and the
+        // provenance facts agree with the legacy bounded result.
+        let plain = eopts;
+        let with_explain = eopts.to_builder().explain(true).build();
+        for q in &w.queries {
+            let legacy = cs.estimate_selectivity_bounded(q, &eopts);
+            let rep = cs.estimate_report(q, &plain);
+            let rep_explain = cs.estimate_report(q, &with_explain);
+            prop_assert_eq!(rep.estimate.to_bits(), legacy.estimate.to_bits());
+            prop_assert_eq!(rep_explain.estimate.to_bits(), legacy.estimate.to_bits());
+            prop_assert_eq!(rep.provenance.exhaustion, legacy.exhaustion);
+            prop_assert_eq!(rep.provenance.clamped, legacy.clamped);
+            prop_assert!(rep.explain.is_none());
+            let e = rep_explain.explain.as_ref();
+            prop_assert!(e.is_some());
+            prop_assert_eq!(
+                e.map_or(0, |e| e.embeddings.len()),
+                rep_explain.provenance.embeddings
+            );
+            prop_assert_eq!(rep.bounded().estimate.to_bits(), legacy.estimate.to_bits());
         }
     }
 }

@@ -17,7 +17,7 @@ fn workload_error(s: &xtwig::core::Synopsis, w: &xtwig::workload::Workload) -> f
     let estimates: Vec<f64> = w
         .queries
         .iter()
-        .map(|q| xtwig::workload::Estimator::estimate(&est, q))
+        .map(|q| xtwig::workload::SummaryEstimator::estimate(&est, q))
         .collect();
     let truths: Vec<f64> = w.truths.iter().map(|&t| t as f64).collect();
     avg_relative_error(&estimates, &truths).avg_rel_error

@@ -139,10 +139,9 @@ fn one_ms_deadline_on_deep_twig_degrades_within_budget() {
 
     let policy = GuardPolicy {
         time_budget: Some(Duration::from_millis(1)),
-        estimate: xtwig::core::EstimateOptions {
-            max_embeddings: usize::MAX,
-            ..Default::default()
-        },
+        estimate: xtwig::core::EstimateOptions::builder()
+            .max_embeddings(usize::MAX)
+            .build(),
         ..Default::default()
     };
     let g = GuardedEstimator::new(&s, policy);
@@ -272,10 +271,7 @@ proptest! {
             ),
             5 => (
                 GuardPolicy {
-                    estimate: xtwig::core::EstimateOptions {
-                        max_embeddings: 1,
-                        ..Default::default()
-                    },
+                    estimate: xtwig::core::EstimateOptions::builder().max_embeddings(1).build(),
                     ..Default::default()
                 },
                 None,
