@@ -85,6 +85,11 @@ pub struct Provenance {
     pub tier: Option<&'static str>,
     /// Whether the result is anything less than the full-fidelity sum.
     pub degraded: bool,
+    /// Whether the request was *shed* by admission control before any
+    /// estimation ran — distinct from `degraded`, which means a tier
+    /// produced a lower-fidelity number. A shed report carries no
+    /// estimate the optimizer should trust.
+    pub shed: bool,
 }
 
 impl Provenance {
@@ -100,6 +105,7 @@ impl Provenance {
             memo_hit: None,
             tier: None,
             degraded: false,
+            shed: false,
         }
     }
 }

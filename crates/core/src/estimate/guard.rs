@@ -141,6 +141,11 @@ impl Meter {
         self.exhausted
     }
 
+    /// The wall-clock deadline this meter enforces, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
     /// Total work charged so far.
     pub fn work_done(&self) -> u64 {
         self.work
@@ -168,6 +173,19 @@ impl Meter {
     /// The evaluation statistics gathered so far.
     pub fn stats(&self) -> EvalStats {
         self.stats
+    }
+}
+
+/// The tighter of two optional deadlines: `None` means "unbounded", so
+/// the result is `None` only when both sides are. This is how a
+/// per-request deadline composes with a policy-wide one — the serving
+/// runtime takes the minimum before building the [`Meter`], and a
+/// request can only ever *shrink* its budget.
+pub fn earliest_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) => Some(x),
+        (None, y) => y,
     }
 }
 
@@ -247,5 +265,23 @@ mod tests {
         // Unlimited limit is u64::MAX; saturation keeps work ≤ limit.
         assert!(m.proceed(u64::MAX));
         assert_eq!(m.work_done(), u64::MAX);
+    }
+
+    #[test]
+    fn earliest_deadline_picks_the_tighter_bound() {
+        let soon = Instant::now() + Duration::from_millis(5);
+        let late = soon + Duration::from_secs(60);
+        assert_eq!(earliest_deadline(None, None), None);
+        assert_eq!(earliest_deadline(Some(soon), None), Some(soon));
+        assert_eq!(earliest_deadline(None, Some(late)), Some(late));
+        assert_eq!(earliest_deadline(Some(late), Some(soon)), Some(soon));
+        assert_eq!(earliest_deadline(Some(soon), Some(late)), Some(soon));
+    }
+
+    #[test]
+    fn meter_exposes_its_deadline() {
+        let d = Instant::now() + Duration::from_secs(1);
+        assert_eq!(Meter::new(Some(d), 0).deadline(), Some(d));
+        assert_eq!(Meter::unlimited().deadline(), None);
     }
 }

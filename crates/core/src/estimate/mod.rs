@@ -32,7 +32,7 @@ pub use api::{
 };
 pub use embedding::{enumerate_embeddings, enumerate_embeddings_metered, EmbNode, Embedding};
 pub use eval::{estimate_embedding, estimate_embedding_metered};
-pub use guard::{EvalStats, Exhaustion, Meter};
+pub use guard::{earliest_deadline, EvalStats, Exhaustion, Meter};
 
 use crate::synopsis::Synopsis;
 use xtwig_query::TwigQuery;

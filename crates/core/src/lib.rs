@@ -41,14 +41,18 @@ pub use compiled::{CompiledHistogram, CompiledSynopsis};
 pub use construct::{xbuild, BuildOptions, BuildTrace, Refinement, TruthSource};
 pub use describe::describe;
 pub use estimate::{
-    coarse_count_bound, estimate_selectivity, estimate_selectivity_bounded, AssumptionCounts,
-    BoundedEstimate, EmbeddingContribution, EstimateOptions, EstimateOptionsBuilder,
-    EstimateReport, EstimateRequest, Estimator, Exhaustion, Explain, InterpretedEstimator,
-    Provenance, QueryTelemetry,
+    coarse_count_bound, earliest_deadline, estimate_selectivity, estimate_selectivity_bounded,
+    AssumptionCounts, BoundedEstimate, EmbeddingContribution, EstimateOptions,
+    EstimateOptionsBuilder, EstimateReport, EstimateRequest, Estimator, Exhaustion, Explain,
+    InterpretedEstimator, Provenance, QueryTelemetry,
 };
 pub use io::{
     load_synopsis, read_snapshot, save_synopsis, snapshot_checksum, write_snapshot_atomic,
     SnapshotError,
+};
+pub use serve::runtime::{
+    Admission, AdmissionQueue, BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker,
+    ShedPolicy,
 };
 pub use serve::{estimate_many, serve_reports, CacheStats, EstimateCache};
 pub use synopsis::{EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, ValueSummary};

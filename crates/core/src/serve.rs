@@ -22,6 +22,8 @@
 //! never inserted, so a transient overload cannot freeze degraded
 //! numbers into the cache.
 
+pub mod runtime;
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -79,11 +81,24 @@ pub struct CacheStats {
 impl CacheStats {
     /// Hit rate in `[0, 1]`; `0.0` when no lookups happened.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits.saturating_add(self.misses);
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Combines two snapshots field-by-field, saturating instead of
+    /// overflowing — merging stats from long-lived shards (or several
+    /// caches) must never wrap a counter back toward zero.
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_add(other.hits),
+            misses: self.misses.saturating_add(other.misses),
+            stale_evictions: self.stale_evictions.saturating_add(other.stale_evictions),
+            lru_evictions: self.lru_evictions.saturating_add(other.lru_evictions),
+            entries: self.entries.saturating_add(other.entries),
         }
     }
 }
@@ -107,12 +122,27 @@ pub struct EstimateCache {
 impl EstimateCache {
     /// A cache holding at most `capacity` entries (rounded up to a
     /// multiple of the shard count; minimum one entry per shard).
+    /// `capacity == 0` yields a *disabled* cache: every lookup misses
+    /// without touching counters and inserts are dropped, rather than
+    /// panicking or dividing by zero.
     pub fn new(capacity: usize) -> EstimateCache {
-        let shard_capacity = capacity.div_ceil(SHARD_COUNT).max(1);
+        EstimateCache::with_shards(capacity, SHARD_COUNT)
+    }
+
+    /// Like [`new`](EstimateCache::new) but with an explicit shard
+    /// count (rounded up to a power of two so shard selection stays a
+    /// mask). Zero capacity *or* zero shards disables the cache — a
+    /// valid configuration for "serve uncached" paths — instead of
+    /// constructing a cache that would panic on first use.
+    pub fn with_shards(capacity: usize, shards: usize) -> EstimateCache {
+        let (shards, shard_capacity) = if capacity == 0 || shards == 0 {
+            (0, 0)
+        } else {
+            let shards = shards.next_power_of_two();
+            (shards, capacity.div_ceil(shards).max(1))
+        };
         EstimateCache {
-            shards: (0..SHARD_COUNT)
-                .map(|_| Mutex::new(Shard::default()))
-                .collect(),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -121,16 +151,23 @@ impl EstimateCache {
         }
     }
 
+    /// Whether this cache can hold entries. A disabled cache (zero
+    /// capacity or zero shards) behaves as a universal miss.
+    pub fn is_enabled(&self) -> bool {
+        !self.shards.is_empty()
+    }
+
     /// Deterministic FNV-1a over the fingerprint bytes. `HashMap`'s
     /// default hasher is randomly seeded per process; shard selection
-    /// must not be, so runs are reproducible.
+    /// must not be, so runs are reproducible. Callers guard against an
+    /// empty (disabled) shard vector before indexing.
     fn shard_of(&self, key: &str) -> usize {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in key.as_bytes() {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        (h as usize) & (SHARD_COUNT - 1)
+        (h as usize) & (self.shards.len() - 1)
     }
 
     /// Looks up `key` at `epoch`, returning the cached estimate together
@@ -138,6 +175,9 @@ impl EstimateCache {
     /// refreshes the entry's LRU stamp; an entry stamped with a
     /// different epoch is evicted and counted as both stale and a miss.
     pub fn get(&self, key: &str, epoch: u64) -> Option<(BoundedEstimate, Provenance)> {
+        if !self.is_enabled() {
+            return None;
+        }
         let tg = telemetry::global();
         let mut shard = self.shards[self.shard_of(key)]
             .lock()
@@ -173,6 +213,9 @@ impl EstimateCache {
     /// shards are small (capacity/16) and an intrusive list is not worth
     /// the complexity at this scale.
     pub fn insert(&self, key: &str, epoch: u64, estimate: BoundedEstimate, provenance: Provenance) {
+        if !self.is_enabled() {
+            return;
+        }
         let tg = telemetry::global();
         let mut shard = self.shards[self.shard_of(key)]
             .lock()
@@ -205,16 +248,14 @@ impl EstimateCache {
 
     /// Current aggregate counters.
     pub fn stats(&self) -> CacheStats {
-        let entries = self
-            .shards
-            .iter()
-            .map(|s| {
+        let entries = self.shards.iter().fold(0usize, |acc, s| {
+            acc.saturating_add(
                 s.lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .entries
-                    .len()
-            })
-            .sum();
+                    .len(),
+            )
+        });
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

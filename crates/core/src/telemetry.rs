@@ -78,6 +78,54 @@ impl Counter {
     }
 }
 
+/// A lock-free gauge: a value that can move both ways (queue depth,
+/// in-flight requests). Unlike [`Counter`], decrements are expected;
+/// `dec` saturates at zero so a racy teardown can never underflow into
+/// a huge bogus reading.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge (const, so registries can live in statics).
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by one, saturating at zero.
+    #[inline]
+    pub fn dec(&self) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(1);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A fixed-size, lock-free latency histogram with log2 buckets over
 /// nanoseconds. Recording is two relaxed atomic adds; reading is a
 /// point-in-time snapshot (not atomic across buckets, which is fine for
@@ -222,6 +270,29 @@ pub struct Telemetry {
     pub xbuild_candidates_scored: Counter,
     /// Queries estimated (any path: interpreted, compiled, batched).
     pub queries_estimated: Counter,
+    /// Requests admitted into the serving runtime's work queue.
+    pub runtime_admitted: Counter,
+    /// Requests shed at admission under the reject-new policy.
+    pub runtime_shed_reject_new: Counter,
+    /// Queued requests shed to admit newer work (drop-oldest policy).
+    pub runtime_shed_drop_oldest: Counter,
+    /// Requests re-run after a degraded first attempt (retry/backoff).
+    pub runtime_retries: Counter,
+    /// Circuit-breaker transitions into the open state.
+    pub runtime_breaker_open: Counter,
+    /// Circuit-breaker transitions back to closed (successful probe).
+    pub runtime_breaker_close: Counter,
+    /// Tier attempts skipped because the tier's breaker was open.
+    pub runtime_breaker_short_circuits: Counter,
+    /// Hot snapshot reloads that installed a new synopsis generation.
+    pub runtime_reloads: Counter,
+    /// Hot reloads rejected (corrupt snapshot) and rolled back to the
+    /// previous generation.
+    pub runtime_reload_rollbacks: Counter,
+    /// Requests currently queued in the serving runtime (gauge).
+    pub runtime_queue_depth: Gauge,
+    /// Requests currently being served by runtime workers (gauge).
+    pub runtime_inflight: Gauge,
     /// Wall-clock of query parsing (CLI surface).
     pub parse_latency: LatencyHistogram,
     /// Wall-clock of maximal-twig expansion + embedding enumeration.
@@ -267,6 +338,17 @@ impl Telemetry {
             xbuild_rounds: Counter::new(),
             xbuild_candidates_scored: Counter::new(),
             queries_estimated: Counter::new(),
+            runtime_admitted: Counter::new(),
+            runtime_shed_reject_new: Counter::new(),
+            runtime_shed_drop_oldest: Counter::new(),
+            runtime_retries: Counter::new(),
+            runtime_breaker_open: Counter::new(),
+            runtime_breaker_close: Counter::new(),
+            runtime_breaker_short_circuits: Counter::new(),
+            runtime_reloads: Counter::new(),
+            runtime_reload_rollbacks: Counter::new(),
+            runtime_queue_depth: Gauge::new(),
+            runtime_inflight: Gauge::new(),
             parse_latency: LatencyHistogram::new(),
             expand_latency: LatencyHistogram::new(),
             treeparse_latency: LatencyHistogram::new(),
@@ -317,6 +399,35 @@ impl Telemetry {
                 self.xbuild_candidates_scored.get(),
             ),
             ("queries_estimated", self.queries_estimated.get()),
+            ("runtime_admitted", self.runtime_admitted.get()),
+            (
+                "runtime_shed_reject_new",
+                self.runtime_shed_reject_new.get(),
+            ),
+            (
+                "runtime_shed_drop_oldest",
+                self.runtime_shed_drop_oldest.get(),
+            ),
+            ("runtime_retries", self.runtime_retries.get()),
+            ("runtime_breaker_open", self.runtime_breaker_open.get()),
+            ("runtime_breaker_close", self.runtime_breaker_close.get()),
+            (
+                "runtime_breaker_short_circuits",
+                self.runtime_breaker_short_circuits.get(),
+            ),
+            ("runtime_reloads", self.runtime_reloads.get()),
+            (
+                "runtime_reload_rollbacks",
+                self.runtime_reload_rollbacks.get(),
+            ),
+        ]
+    }
+
+    /// Every gauge as `(name, value)`, in stable declaration order.
+    pub fn gauges(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("runtime_queue_depth", self.runtime_queue_depth.get()),
+            ("runtime_inflight", self.runtime_inflight.get()),
         ]
     }
 
@@ -340,6 +451,10 @@ impl Telemetry {
         let mut out = String::new();
         for (name, value) in self.counters() {
             let _ = writeln!(out, "# TYPE xtwig_{name} counter");
+            let _ = writeln!(out, "xtwig_{name} {value}");
+        }
+        for (name, value) in self.gauges() {
+            let _ = writeln!(out, "# TYPE xtwig_{name} gauge");
             let _ = writeln!(out, "xtwig_{name} {value}");
         }
         for (name, h) in self.histograms() {
@@ -374,15 +489,21 @@ impl Telemetry {
     }
 
     /// Renders the registry as a JSON object:
-    /// `{"counters": {...}, "histograms": {name: {count, sum_ns,
-    /// buckets}}}` (histogram buckets are non-cumulative, trailing
-    /// zeros elided).
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {count, sum_ns, buckets}}}` (histogram buckets are
+    /// non-cumulative, trailing zeros elided).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("{\n  \"counters\": {\n");
         let counters = self.counters();
         for (i, (name, value)) in counters.iter().enumerate() {
             let comma = if i + 1 < counters.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{name}\": {value}{comma}");
+        }
+        out.push_str("  },\n  \"gauges\": {\n");
+        let gauges = self.gauges();
+        for (i, (name, value)) in gauges.iter().enumerate() {
+            let comma = if i + 1 < gauges.len() { "," } else { "" };
             let _ = writeln!(out, "    \"{name}\": {value}{comma}");
         }
         out.push_str("  },\n  \"histograms\": {\n");
@@ -640,6 +761,37 @@ mod tests {
         }
         assert!(json.contains("\"meter_work_exhaustions\": 1"));
         assert!(json.contains("\"histograms\""));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_never_underflows() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        assert_eq!(g.get(), 2);
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // extra dec saturates at zero
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn exports_carry_runtime_counters_and_gauges() {
+        let t = Telemetry::new();
+        t.runtime_shed_reject_new.incr();
+        t.runtime_queue_depth.set(3);
+        let prom = t.to_prometheus();
+        assert!(prom.contains("# TYPE xtwig_runtime_shed_reject_new counter"));
+        assert!(prom.contains("xtwig_runtime_shed_reject_new 1"));
+        assert!(prom.contains("# TYPE xtwig_runtime_queue_depth gauge"));
+        assert!(prom.contains("xtwig_runtime_queue_depth 3"));
+        let json = t.to_json();
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"runtime_queue_depth\": 3"));
+        assert!(json.contains("\"runtime_breaker_open\": 0"));
     }
 
     #[test]

@@ -13,11 +13,13 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::Duration;
+use xtwig_core::estimate::{EstimateRequest, Estimator};
 use xtwig_core::{coarse_synopsis, load_synopsis, save_synopsis, SnapshotError, Synopsis};
 use xtwig_query::TwigQuery;
 use xtwig_xml::Document;
 
 use crate::guarded::{GuardPolicy, GuardedEstimator, InjectedFault, Tier};
+use crate::runtime::{RuntimeOptions, RuntimeStats, ServingRuntime, TerminalProvenance};
 
 /// One injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -347,6 +349,379 @@ fn run_one_fault(
     outcome
 }
 
+// ---------------------------------------------------------------------
+// Concurrent runtime fault soak
+// ---------------------------------------------------------------------
+
+/// A fault fired at the *runtime* layer while a soak phase's requests
+/// are in flight — these exercise the serving machinery (breakers,
+/// admission queue, reload epochs) rather than a single estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeFault {
+    /// A CRC-valid snapshot is hot-reloaded mid-flight.
+    Reload,
+    /// A corrupt snapshot reload is attempted mid-flight; the runtime
+    /// must roll back to the serving generation.
+    CorruptReload,
+    /// The next `count` attempts in the named tier panic — sized to trip
+    /// that tier's circuit breaker.
+    PanicBurst {
+        /// The tier that panics.
+        tier: Tier,
+        /// Attempts poisoned.
+        count: u32,
+    },
+    /// The next `count` tier-1 attempts stall until the request deadline
+    /// — combined with a small queue this saturates admission control.
+    StallWave {
+        /// Attempts stalled.
+        count: u32,
+    },
+}
+
+impl std::fmt::Display for RuntimeFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeFault::Reload => write!(f, "mid-flight reload"),
+            RuntimeFault::CorruptReload => write!(f, "mid-flight corrupt reload"),
+            RuntimeFault::PanicBurst { tier, count } => {
+                write!(f, "panic burst of {count} in {tier} tier")
+            }
+            RuntimeFault::StallWave { count } => write!(f, "stall wave of {count}"),
+        }
+    }
+}
+
+/// One phase of a soak: a request batch with at most one runtime fault
+/// active while it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoakPhase {
+    /// Phase label for reports.
+    pub label: &'static str,
+    /// Requests submitted (queries cycled from the workload set).
+    pub requests: usize,
+    /// The fault in force, if any.
+    pub fault: Option<RuntimeFault>,
+}
+
+/// A seeded, reproducible soak schedule. The fixed phase *structure*
+/// (healthy warm-up → breaker burst → recovery → mid-flight reload →
+/// corrupt reload → saturation wave) guarantees every runtime
+/// transition is exercised; the seed only varies batch sizes, so any
+/// seed produces a plan whose invariants are checkable.
+#[derive(Debug, Clone)]
+pub struct SoakPlan {
+    /// The generation seed (for reports).
+    pub seed: u64,
+    /// The phases, in execution order.
+    pub phases: Vec<SoakPhase>,
+}
+
+impl SoakPlan {
+    /// Generates the standard six-phase plan against `options`. The
+    /// breaker burst is sized from the options' failure threshold and
+    /// retry budget so the tier-1 breaker *must* open during it, and the
+    /// saturation wave from the queue depth so the queue *must* shed
+    /// (when served with a stalled single worker).
+    pub fn generate(seed: u64, options: &RuntimeOptions) -> SoakPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attempts_per_request = 1 + options.max_retries;
+        // Enough faulted requests to reach the threshold even if every
+        // attempt retried, plus seeded headroom.
+        let burst_requests =
+            (options.breaker.failure_threshold as usize).max(4) + rng.random_range(0..4usize);
+        let burst_count = (burst_requests as u32) * attempts_per_request;
+        let wave_requests =
+            options.queue_depth.saturating_mul(4).max(16) + rng.random_range(0..8usize);
+        let phases = vec![
+            SoakPhase {
+                label: "healthy-warmup",
+                requests: 8 + rng.random_range(0..8usize),
+                fault: None,
+            },
+            SoakPhase {
+                label: "breaker-burst",
+                requests: burst_requests,
+                fault: Some(RuntimeFault::PanicBurst {
+                    tier: Tier::Xsketch,
+                    count: burst_count,
+                }),
+            },
+            SoakPhase {
+                label: "breaker-recovery",
+                requests: 8 + rng.random_range(0..8usize),
+                fault: None,
+            },
+            SoakPhase {
+                label: "mid-flight-reload",
+                requests: 16 + rng.random_range(0..16usize),
+                fault: Some(RuntimeFault::Reload),
+            },
+            SoakPhase {
+                label: "corrupt-reload",
+                requests: 8 + rng.random_range(0..8usize),
+                fault: Some(RuntimeFault::CorruptReload),
+            },
+            SoakPhase {
+                label: "saturation",
+                requests: wave_requests,
+                fault: Some(RuntimeFault::StallWave {
+                    count: wave_requests as u32 * attempts_per_request,
+                }),
+            },
+        ];
+        SoakPlan { seed, phases }
+    }
+
+    /// A plan containing only the saturation phase — the CLI's
+    /// deterministic "shed without rollback" profile.
+    pub fn saturation_only(seed: u64, options: &RuntimeOptions) -> SoakPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attempts_per_request = 1 + options.max_retries;
+        let wave_requests =
+            options.queue_depth.saturating_mul(4).max(16) + rng.random_range(0..8usize);
+        SoakPlan {
+            seed,
+            phases: vec![SoakPhase {
+                label: "saturation",
+                requests: wave_requests,
+                fault: Some(RuntimeFault::StallWave {
+                    count: wave_requests as u32 * attempts_per_request,
+                }),
+            }],
+        }
+    }
+
+    /// Total requests across all phases.
+    pub fn total_requests(&self) -> usize {
+        self.phases.iter().map(|p| p.requests).sum()
+    }
+}
+
+/// The aggregate result of a concurrent soak run. Every field feeds one
+/// of the acceptance invariants; [`SoakReport::passed`] checks them all.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Phases executed.
+    pub phases: usize,
+    /// Requests submitted across all phases.
+    pub requests: usize,
+    /// Requests answered at full fidelity.
+    pub full: u64,
+    /// Requests answered degraded.
+    pub degraded: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// `serve_with` calls that panicked out of the runtime (must be 0).
+    pub escaped_panics: usize,
+    /// Non-finite / negative served estimates (must be 0; shed requests
+    /// are excluded — their 0.0 placeholder is not a served estimate).
+    pub bad_estimates: usize,
+    /// Results whose terminal provenance disagreed with the runtime's
+    /// own counters (must be 0).
+    pub telemetry_mismatches: u64,
+    /// Whether the tier-1 breaker was observed to open during the run.
+    pub breaker_opened: bool,
+    /// Whether it was also observed to re-close.
+    pub breaker_reclosed: bool,
+    /// Successful hot reloads performed.
+    pub reloads: u64,
+    /// Corrupt reloads rolled back.
+    pub reload_rollbacks: u64,
+    /// Whether post-soak single-query estimates were bit-identical to a
+    /// freshly constructed estimator on the same snapshot.
+    pub post_soak_bit_identical: bool,
+    /// Final runtime counters.
+    pub stats: RuntimeStats,
+}
+
+impl SoakReport {
+    /// Whether every acceptance invariant held. `require_breaker_cycle`
+    /// / `require_rollback` are false for profiles (e.g. saturation-only)
+    /// whose plans never trip them.
+    pub fn passed(&self, require_breaker_cycle: bool, require_rollback: bool) -> bool {
+        let terminated = self
+            .full
+            .saturating_add(self.degraded)
+            .saturating_add(self.shed);
+        self.escaped_panics == 0
+            && self.bad_estimates == 0
+            && self.telemetry_mismatches == 0
+            && terminated == self.requests as u64
+            && self.post_soak_bit_identical
+            && (!require_breaker_cycle || (self.breaker_opened && self.breaker_reclosed))
+            && (!require_rollback || self.reload_rollbacks > 0)
+    }
+}
+
+impl std::fmt::Display for SoakReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "soak: {} phases, {} requests ({} full / {} degraded / {} shed), \
+             {} escaped panics, {} bad estimates, {} telemetry mismatches, \
+             breaker open={} reclose={}, {} reloads, {} rollbacks, bit-identical={}",
+            self.phases,
+            self.requests,
+            self.full,
+            self.degraded,
+            self.shed,
+            self.escaped_panics,
+            self.bad_estimates,
+            self.telemetry_mismatches,
+            self.breaker_opened,
+            self.breaker_reclosed,
+            self.reloads,
+            self.reload_rollbacks,
+            self.post_soak_bit_identical
+        )
+    }
+}
+
+/// Flips one byte mid-snapshot so the CRC must reject it.
+fn corrupt_copy(bytes: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    let mid = out.len() / 2;
+    if let Some(b) = out.get_mut(mid) {
+        *b ^= 0xFF;
+    }
+    out
+}
+
+/// Runs a concurrent fault soak: a [`ServingRuntime`] over the
+/// document's synopsis serves every phase of `plan` on
+/// `options.workers` threads while the phase's runtime fault fires
+/// mid-flight. Deterministic in its *invariants* — thread interleavings
+/// vary, but every request terminates with a provenance, panic
+/// containment is total, the breaker cycle and reload rollback are
+/// forced by plan construction, and the post-soak estimates must be
+/// bit-identical to a fresh estimator on the same snapshot.
+pub fn run_soak(
+    doc: &Document,
+    queries: &[TwigQuery],
+    plan: &SoakPlan,
+    options: RuntimeOptions,
+) -> SoakReport {
+    let synopsis = coarse_synopsis(doc);
+    let snapshot = save_synopsis(&synopsis);
+    let rt = ServingRuntime::new(synopsis.clone(), options);
+    let mut report = SoakReport {
+        phases: plan.phases.len(),
+        requests: 0,
+        full: 0,
+        degraded: 0,
+        shed: 0,
+        escaped_panics: 0,
+        bad_estimates: 0,
+        telemetry_mismatches: 0,
+        breaker_opened: false,
+        breaker_reclosed: false,
+        reloads: 0,
+        reload_rollbacks: 0,
+        post_soak_bit_identical: true,
+        stats: rt.stats(),
+    };
+    if queries.is_empty() {
+        return report;
+    }
+
+    for phase in &plan.phases {
+        let batch: Vec<TwigQuery> = queries
+            .iter()
+            .cycle()
+            .take(phase.requests)
+            .cloned()
+            .collect();
+        report.requests += batch.len();
+        match phase.fault {
+            Some(RuntimeFault::PanicBurst { tier, count }) => {
+                rt.inject_fault_burst(InjectedFault::PanicIn(tier), count);
+            }
+            Some(RuntimeFault::StallWave { count }) => {
+                rt.inject_fault_burst(InjectedFault::StallXsketch, count);
+            }
+            _ => {}
+        }
+        let reload_bytes = match phase.fault {
+            Some(RuntimeFault::Reload) => Some(snapshot.clone()),
+            Some(RuntimeFault::CorruptReload) => Some(corrupt_copy(&snapshot)),
+            _ => None,
+        };
+        let before = rt.stats();
+        let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.serve_with(&batch, |rt| {
+                if let Some(bytes) = &reload_bytes {
+                    // A brief yield so requests are in motion when the
+                    // reload lands; correctness does not depend on it.
+                    std::thread::sleep(Duration::from_micros(200));
+                    let _ = rt.reload_snapshot_bytes(bytes);
+                }
+            })
+        }));
+        match served {
+            Err(_) => report.escaped_panics += 1,
+            Ok(results) => {
+                let (mut full, mut degraded, mut shed) = (0u64, 0u64, 0u64);
+                for r in &results {
+                    match r.terminal {
+                        TerminalProvenance::Full => full += 1,
+                        TerminalProvenance::Degraded => degraded += 1,
+                        TerminalProvenance::Shed => shed += 1,
+                    }
+                    if r.terminal != TerminalProvenance::Shed
+                        && (!r.report.estimate.is_finite() || r.report.estimate < 0.0)
+                    {
+                        report.bad_estimates += 1;
+                    }
+                }
+                report.full += full;
+                report.degraded += degraded;
+                report.shed += shed;
+                // The runtime's own counters must agree with the results
+                // it handed back, phase by phase.
+                let after = rt.stats();
+                if after.full.wrapping_sub(before.full) != full
+                    || after.degraded.wrapping_sub(before.degraded) != degraded
+                    || after.shed.wrapping_sub(before.shed) != shed
+                {
+                    report.telemetry_mismatches += 1;
+                }
+            }
+        }
+        rt.drain_faults();
+        if matches!(phase.fault, Some(RuntimeFault::PanicBurst { .. })) {
+            // Let the breaker's cooldown elapse so the next healthy
+            // phase runs the half-open probe and re-closes it.
+            std::thread::sleep(rt.options().breaker.cooldown);
+        }
+    }
+
+    let stats = rt.stats();
+    report.breaker_opened = stats.breaker_opens > 0;
+    report.breaker_reclosed = stats.breaker_closes > 0;
+    report.reloads = stats.reloads;
+    report.reload_rollbacks = stats.reload_rollbacks;
+
+    // Post-soak bit-identity: the runtime's current generation must
+    // estimate exactly like a fresh estimator built from the same
+    // snapshot — the soak left no residue in the serving state.
+    match load_synopsis(&snapshot) {
+        Ok(fresh_syn) => {
+            let fresh = GuardedEstimator::new(&fresh_syn, rt.options().policy);
+            for q in queries {
+                let a = rt.estimate_now(q).estimate;
+                let b = Estimator::estimate(&fresh, &EstimateRequest::new(q)).estimate;
+                if a.to_bits() != b.to_bits() {
+                    report.post_soak_bit_identical = false;
+                }
+            }
+        }
+        Err(_) => report.post_soak_bit_identical = false,
+    }
+    report.stats = stats;
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +778,50 @@ mod tests {
         assert_ne!(flip, bytes);
         assert_eq!(flip.len(), bytes.len());
         assert!(apply_snapshot_fault(&bytes, &Fault::SlowEstimate).is_none());
+    }
+
+    #[test]
+    fn soak_plans_are_deterministic_and_cover_the_transitions() {
+        let opts = RuntimeOptions::default();
+        let a = SoakPlan::generate(9, &opts);
+        let b = SoakPlan::generate(9, &opts);
+        assert_eq!(a.phases, b.phases);
+        let c = SoakPlan::generate(10, &opts);
+        assert_ne!(a.phases, c.phases, "seed varies batch sizes");
+        // The fixed structure always includes every runtime fault kind.
+        assert!(a
+            .phases
+            .iter()
+            .any(|p| matches!(p.fault, Some(RuntimeFault::PanicBurst { .. }))));
+        assert!(a
+            .phases
+            .iter()
+            .any(|p| p.fault == Some(RuntimeFault::Reload)));
+        assert!(a
+            .phases
+            .iter()
+            .any(|p| p.fault == Some(RuntimeFault::CorruptReload)));
+        assert!(a
+            .phases
+            .iter()
+            .any(|p| matches!(p.fault, Some(RuntimeFault::StallWave { .. }))));
+        // The burst is sized to trip the breaker even with retries.
+        let burst = a
+            .phases
+            .iter()
+            .find_map(|p| match p.fault {
+                Some(RuntimeFault::PanicBurst { count, .. }) => Some((p.requests, count)),
+                _ => None,
+            })
+            .unwrap();
+        assert!(burst.0 as u32 >= opts.breaker.failure_threshold);
+        assert!(burst.1 >= burst.0 as u32 * (1 + opts.max_retries));
+        let sat = SoakPlan::saturation_only(9, &opts);
+        assert_eq!(sat.phases.len(), 1);
+        assert!(matches!(
+            sat.phases[0].fault,
+            Some(RuntimeFault::StallWave { .. })
+        ));
     }
 
     #[test]

@@ -26,9 +26,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use xtwig_core::estimate::{
-    EstimateOptions, EstimateReport, EstimateRequest, Estimator, Exhaustion, Explain, Provenance,
-    QueryTelemetry,
+    earliest_deadline, EstimateOptions, EstimateReport, EstimateRequest, Estimator, Exhaustion,
+    Explain, Provenance, QueryTelemetry,
 };
+use xtwig_core::serve::runtime::{BreakerConfig, CircuitBreaker};
 use xtwig_core::telemetry::{self, Span, Stage};
 use xtwig_core::{coarse_count_bound, CompiledSynopsis, Synopsis};
 use xtwig_markov::{MarkovOptions, MarkovPaths};
@@ -73,6 +74,9 @@ pub enum TierFailure {
     Exhausted(Exhaustion),
     /// The tier returned NaN, a negative value, or an infinity.
     NonFinite,
+    /// The tier's circuit breaker was open: the attempt was skipped
+    /// without running (or charging the deadline budget) at all.
+    ShortCircuited,
 }
 
 impl TierFailure {
@@ -83,6 +87,7 @@ impl TierFailure {
             TierFailure::Exhausted(Exhaustion::Deadline) => "deadline exceeded",
             TierFailure::Exhausted(Exhaustion::Work) => "work limit exhausted",
             TierFailure::NonFinite => "non-finite result",
+            TierFailure::ShortCircuited => "breaker open",
         }
     }
 }
@@ -194,6 +199,60 @@ pub enum InjectedFault {
     StallXsketch,
 }
 
+/// One circuit breaker per fallback tier, shared across every request a
+/// serving runtime handles. A tier whose breaker is open is skipped
+/// (recorded as [`TierFailure::ShortCircuited`]) so a persistently
+/// failing tier stops burning each request's deadline budget; the
+/// half-open probe mechanism re-admits it once it recovers.
+#[derive(Debug)]
+pub struct TierBreakers {
+    xsketch: CircuitBreaker,
+    markov: CircuitBreaker,
+    label_count: CircuitBreaker,
+}
+
+impl TierBreakers {
+    /// Three closed breakers with the same tuning.
+    pub fn new(config: BreakerConfig) -> TierBreakers {
+        TierBreakers {
+            xsketch: CircuitBreaker::new(config),
+            markov: CircuitBreaker::new(config),
+            label_count: CircuitBreaker::new(config),
+        }
+    }
+
+    /// The breaker guarding `tier`.
+    pub fn get(&self, tier: Tier) -> &CircuitBreaker {
+        match tier {
+            Tier::Xsketch => &self.xsketch,
+            Tier::Markov => &self.markov,
+            Tier::LabelCount => &self.label_count,
+        }
+    }
+}
+
+impl Default for TierBreakers {
+    fn default() -> TierBreakers {
+        TierBreakers::new(BreakerConfig::default())
+    }
+}
+
+/// Per-request controls layered over a [`GuardedEstimator`]'s policy by
+/// the serving runtime: a request deadline that can only *tighten* the
+/// policy budget, shared per-tier breakers, and an optional fault
+/// override for the soak harness (takes precedence over the
+/// estimator-level fault when set).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainControls<'b> {
+    /// Absolute per-request deadline; combined with the policy's
+    /// time budget via [`earliest_deadline`].
+    pub deadline: Option<Instant>,
+    /// Shared per-tier circuit breakers (`None` = no breaking).
+    pub breakers: Option<&'b TierBreakers>,
+    /// Fault override for this request only.
+    pub fault: Option<InjectedFault>,
+}
+
 /// Derives the first-order Markov model implied by a synopsis: per-tag
 /// extent sums and per-label-pair edge child counts are exactly the tag
 /// and transition tables a document scan would produce.
@@ -286,40 +345,106 @@ impl<'a> GuardedEstimator<'a> {
     /// The chain implementation: runs the tiers in order, producing both
     /// the legacy [`EstimateOutcome`] and the unified [`EstimateReport`].
     fn serve(&self, q: &TwigQuery, explain: bool) -> (EstimateOutcome, EstimateReport) {
+        self.serve_controlled(q, explain, &ChainControls::default())
+    }
+
+    /// Serves `q` with per-request [`ChainControls`]: the request
+    /// deadline is combined with the policy's budget via
+    /// [`earliest_deadline`] (a request can only shrink its budget),
+    /// each tier is gated by its shared circuit breaker (an open breaker
+    /// records [`TierFailure::ShortCircuited`] without running the
+    /// tier), and a per-request fault override takes precedence over the
+    /// estimator-level one. This is the serving runtime's entry point;
+    /// single-query callers without controls should use the
+    /// [`Estimator`] trait.
+    pub fn estimate_controlled(
+        &self,
+        q: &TwigQuery,
+        explain: bool,
+        controls: &ChainControls<'_>,
+    ) -> (EstimateOutcome, EstimateReport) {
+        self.serve_controlled(q, explain, controls)
+    }
+
+    /// Whether `tier` may run under `controls`' breakers.
+    fn acquire(&self, controls: &ChainControls<'_>, tier: Tier) -> bool {
+        match controls.breakers {
+            Some(b) => b.get(tier).try_acquire(),
+            None => true,
+        }
+    }
+
+    /// Feeds one attempt result into `tier`'s breaker, if any.
+    fn record_tier(&self, controls: &ChainControls<'_>, tier: Tier, ok: bool) {
+        if let Some(b) = controls.breakers {
+            let breaker = b.get(tier);
+            if ok {
+                breaker.record_success();
+            } else {
+                breaker.record_failure();
+            }
+        }
+    }
+
+    fn serve_controlled(
+        &self,
+        q: &TwigQuery,
+        explain: bool,
+        controls: &ChainControls<'_>,
+    ) -> (EstimateOutcome, EstimateReport) {
         let t_total = Instant::now();
         let tg = telemetry::global();
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         tg.guarded_queries.incr();
-        let deadline = self.policy.time_budget.map(|b| Instant::now() + b);
+        let policy_deadline = self.policy.time_budget.map(|b| Instant::now() + b);
+        let deadline = earliest_deadline(policy_deadline, controls.deadline);
+        let fault = controls.fault.or(self.fault);
         let mut attempts: Vec<TierAttempt> = Vec::new();
 
-        // --- Tier 1: XSKETCH under budget --------------------------------
-        let tier1_failure = match self.run_xsketch(q, deadline, explain) {
-            Ok(rep) => {
-                attempts.push(TierAttempt {
-                    tier: Tier::Xsketch,
-                    failure: None,
-                });
-                let clamped = rep.provenance.clamped > 0;
-                let outcome = self.outcome(rep.estimate, Tier::Xsketch, clamped, attempts);
-                let report = tier1_report(rep, &outcome, t_total);
-                return (outcome, report);
-            }
-            Err(f) => {
-                self.note_failure(f);
-                attempts.push(TierAttempt {
-                    tier: Tier::Xsketch,
-                    failure: Some(f),
-                });
-                f
+        // --- Tier 1: XSKETCH under budget, gated by its breaker ----------
+        let tier1_failure = if !self.acquire(controls, Tier::Xsketch) {
+            attempts.push(TierAttempt {
+                tier: Tier::Xsketch,
+                failure: Some(TierFailure::ShortCircuited),
+            });
+            TierFailure::ShortCircuited
+        } else {
+            match self.run_xsketch(q, deadline, explain, fault) {
+                Ok(rep) => {
+                    self.record_tier(controls, Tier::Xsketch, true);
+                    attempts.push(TierAttempt {
+                        tier: Tier::Xsketch,
+                        failure: None,
+                    });
+                    let clamped = rep.provenance.clamped > 0;
+                    let outcome = self.outcome(rep.estimate, Tier::Xsketch, clamped, attempts);
+                    let report = tier1_report(rep, &outcome, t_total);
+                    return (outcome, report);
+                }
+                Err(f) => {
+                    self.record_tier(controls, Tier::Xsketch, false);
+                    self.note_failure(f);
+                    attempts.push(TierAttempt {
+                        tier: Tier::Xsketch,
+                        failure: Some(f),
+                    });
+                    f
+                }
             }
         };
 
         // --- Fallback tiers, under the fallback span/latency -------------
         let t_fallback = Instant::now();
         let span = Span::enter(Stage::Fallback);
-        let (value, tier) = match self.run_simple(Tier::Markov, || self.markov.estimate_twig(q)) {
-            // --- Tier 2: Markov ------------------------------------------
+        // --- Tier 2: Markov ----------------------------------------------
+        let markov_result = if !self.acquire(controls, Tier::Markov) {
+            TierResult::Failed(TierFailure::ShortCircuited)
+        } else {
+            let r = self.run_simple(Tier::Markov, || self.markov.estimate_twig(q), fault);
+            self.record_tier(controls, Tier::Markov, matches!(r, TierResult::Ok(_)));
+            r
+        };
+        let (value, tier) = match markov_result {
             TierResult::Ok(v) => {
                 attempts.push(TierAttempt {
                     tier: Tier::Markov,
@@ -336,9 +461,18 @@ impl<'a> GuardedEstimator<'a> {
                     failure: Some(f),
                 });
                 // --- Tier 3: label-count bound ---------------------------
-                let (value, failure) = match self
-                    .run_simple(Tier::LabelCount, || coarse_count_bound(self.synopsis, q))
-                {
+                let lc_result = if !self.acquire(controls, Tier::LabelCount) {
+                    TierResult::Failed(TierFailure::ShortCircuited)
+                } else {
+                    let r = self.run_simple(
+                        Tier::LabelCount,
+                        || coarse_count_bound(self.synopsis, q),
+                        fault,
+                    );
+                    self.record_tier(controls, Tier::LabelCount, matches!(r, TierResult::Ok(_)));
+                    r
+                };
+                let (value, failure) = match lc_result {
                     TierResult::Ok(v) => (v, None),
                     // The end of the chain: a failing last tier serves 0.0
                     // rather than propagating anything.
@@ -401,6 +535,8 @@ impl<'a> GuardedEstimator<'a> {
                 self.counters.work_trips.fetch_add(1, Ordering::Relaxed);
             }
             TierFailure::NonFinite => {}
+            // Short circuits were counted by the breaker at acquisition.
+            TierFailure::ShortCircuited => {}
         }
     }
 
@@ -409,6 +545,7 @@ impl<'a> GuardedEstimator<'a> {
         q: &TwigQuery,
         deadline: Option<Instant>,
         explain: bool,
+        fault: Option<InjectedFault>,
     ) -> Result<EstimateReport, TierFailure> {
         let opts = self
             .policy
@@ -418,7 +555,6 @@ impl<'a> GuardedEstimator<'a> {
             .work_limit(self.policy.work_limit)
             .explain(explain)
             .build();
-        let fault = self.fault;
         let cs = &self.compiled;
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             match fault {
@@ -461,8 +597,12 @@ impl<'a> GuardedEstimator<'a> {
         }
     }
 
-    fn run_simple(&self, tier: Tier, f: impl Fn() -> f64) -> TierResult {
-        let fault = self.fault;
+    fn run_simple(
+        &self,
+        tier: Tier,
+        f: impl Fn() -> f64,
+        fault: Option<InjectedFault>,
+    ) -> TierResult {
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             match fault {
                 Some(InjectedFault::PanicIn(t)) if t == tier => {
@@ -752,6 +892,125 @@ mod tests {
         assert_eq!(explain.tier_path, vec!["xsketch: ok".to_string()]);
         let sum: f64 = explain.embeddings.iter().map(|c| c.contribution).sum();
         assert!((sum - rep.estimate).abs() <= 1e-9 * rep.estimate.max(1.0));
+    }
+
+    #[test]
+    fn breaker_opens_after_repeated_tier_one_panics_and_short_circuits() {
+        let (_d, s) = setup();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let g = GuardedEstimator::new(&s, GuardPolicy::default());
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        let breakers = TierBreakers::new(xtwig_core::BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(3600),
+        });
+        let faulty = ChainControls {
+            breakers: Some(&breakers),
+            fault: Some(InjectedFault::PanicIn(Tier::Xsketch)),
+            ..Default::default()
+        };
+        for _ in 0..3 {
+            let (out, _) = g.estimate_controlled(&q, false, &faulty);
+            assert_eq!(out.attempts[0].failure, Some(TierFailure::Panicked));
+        }
+        assert_eq!(
+            breakers.get(Tier::Xsketch).state(),
+            xtwig_core::BreakerState::Open
+        );
+        // Healthy request while the breaker is open: tier 1 is skipped
+        // without running, and the fallback still answers.
+        let healthy = ChainControls {
+            breakers: Some(&breakers),
+            ..Default::default()
+        };
+        let (out, rep) = g.estimate_controlled(&q, true, &healthy);
+        std::panic::set_hook(prev);
+        assert_eq!(out.attempts[0].failure, Some(TierFailure::ShortCircuited));
+        assert_eq!(out.tier, Tier::Markov);
+        assert!(rep.provenance.degraded);
+        let explain = rep.explain.expect("explain was requested");
+        assert_eq!(explain.tier_path[0], "xsketch: breaker open");
+    }
+
+    #[test]
+    fn half_open_probe_recloses_the_breaker() {
+        let (_d, s) = setup();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let g = GuardedEstimator::new(&s, GuardPolicy::default());
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        let breakers = TierBreakers::new(xtwig_core::BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::ZERO,
+        });
+        let faulty = ChainControls {
+            breakers: Some(&breakers),
+            fault: Some(InjectedFault::PanicIn(Tier::Xsketch)),
+            ..Default::default()
+        };
+        g.estimate_controlled(&q, false, &faulty);
+        std::panic::set_hook(prev);
+        assert_eq!(
+            breakers.get(Tier::Xsketch).state(),
+            xtwig_core::BreakerState::Open
+        );
+        // Zero cooldown: the next healthy request is the probe and
+        // re-closes the breaker; tier 1 serves again.
+        let healthy = ChainControls {
+            breakers: Some(&breakers),
+            ..Default::default()
+        };
+        let (out, _) = g.estimate_controlled(&q, false, &healthy);
+        assert_eq!(out.tier, Tier::Xsketch);
+        assert_eq!(
+            breakers.get(Tier::Xsketch).state(),
+            xtwig_core::BreakerState::Closed
+        );
+        let (opens, closes, _) = breakers.get(Tier::Xsketch).transitions();
+        assert_eq!((opens, closes), (1, 1));
+    }
+
+    #[test]
+    fn request_deadline_tightens_the_policy_budget() {
+        let (_d, s) = setup();
+        // Policy is generous; the *request* deadline is already expired,
+        // so tier 1 must trip on it and the chain must degrade.
+        let policy = GuardPolicy {
+            time_budget: Some(Duration::from_secs(600)),
+            ..Default::default()
+        };
+        let g = GuardedEstimator::new(&s, policy);
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        let controls = ChainControls {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let (out, _) = g.estimate_controlled(&q, false, &controls);
+        assert_eq!(
+            out.attempts[0].failure,
+            Some(TierFailure::Exhausted(Exhaustion::Deadline))
+        );
+        assert!(out.degraded);
+        assert!(out.estimate.is_finite() && out.estimate >= 0.0);
+    }
+
+    #[test]
+    fn controls_fault_overrides_estimator_fault() {
+        let (_d, s) = setup();
+        let g = GuardedEstimator::new(&s, GuardPolicy::default())
+            .with_fault(InjectedFault::PoisonIn(Tier::Xsketch));
+        let q = parse_twig("for $t0 in //author, $t1 in $t0/paper").unwrap();
+        // The per-request override redirects the poison to Markov; tier 1
+        // still fails (its own estimator-level fault is replaced, not
+        // stacked), proving precedence.
+        let controls = ChainControls {
+            fault: Some(InjectedFault::PoisonIn(Tier::Markov)),
+            ..Default::default()
+        };
+        let (out, _) = g.estimate_controlled(&q, false, &controls);
+        assert_eq!(out.attempts[0].failure, None, "tier 1 healthy again");
+        assert_eq!(out.tier, Tier::Xsketch);
     }
 
     #[test]

@@ -20,6 +20,7 @@ mod estimator;
 pub mod faults;
 mod generator;
 pub mod guarded;
+pub mod runtime;
 mod sweep;
 
 pub use error::{avg_relative_error, ErrorReport};
@@ -27,14 +28,18 @@ pub use estimator::{
     CompiledXsketchEstimator, CstEstimator, MarkovEstimator, SummaryEstimator, XsketchEstimator,
 };
 pub use faults::{
-    apply_snapshot_fault, run_fault_plan, Fault, FaultOutcome, FaultPlan, FaultReport,
+    apply_snapshot_fault, run_fault_plan, run_soak, Fault, FaultOutcome, FaultPlan, FaultReport,
+    RuntimeFault, SoakPhase, SoakPlan, SoakReport,
 };
 pub use generator::{
     generate_workload, negative_workload, workload_stats, Workload, WorkloadKind, WorkloadSpec,
     WorkloadStats,
 };
 pub use guarded::{
-    markov_from_synopsis, DegradationSnapshot, EstimateOutcome, GuardPolicy, GuardedEstimator,
-    InjectedFault, Tier, TierAttempt, TierFailure,
+    markov_from_synopsis, ChainControls, DegradationSnapshot, EstimateOutcome, GuardPolicy,
+    GuardedEstimator, InjectedFault, Tier, TierAttempt, TierBreakers, TierFailure,
+};
+pub use runtime::{
+    RuntimeOptions, RuntimeResult, RuntimeStats, ServingRuntime, TerminalProvenance,
 };
 pub use sweep::{sweep_cst, sweep_xsketch, SweepOptions, SweepPoint};

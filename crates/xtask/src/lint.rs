@@ -14,6 +14,7 @@
 //! | `lossy-cast`  | numeric `as` casts                        | estimation + histogram crates |
 //! | `indexing`    | `expr[...]` inside `for`/`while`/`loop`   | estimation + histogram crates |
 //! | `legacy-estimate` | calls to the deprecated estimation entry points | whole workspace minus shim modules |
+//! | `bare-spawn`  | `thread::spawn(`                          | core serve + workload serving paths |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/`, `src/bin/`,
 //! binary roots (`main.rs`), the vendored dependency stand-ins under
@@ -289,6 +290,27 @@ fn legacy_estimate_applies(rel: &str) -> bool {
     !SHIM_MODULES.contains(&rel) && !rel.starts_with("crates/xtask/")
 }
 
+/// Whether the `bare-spawn` rule applies: the serving paths, where
+/// every thread must live inside `std::thread::scope` so worker panics
+/// are joined, borrows stay sound, and no detached thread outlives the
+/// batch it serves. `crates/core/src/serve` covers both `serve.rs` and
+/// the `serve/` module tree (admission queue, breaker, backoff).
+fn bare_spawn_applies(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/serve") || rel.starts_with("crates/workload/src/")
+}
+
+/// Flags bare `thread::spawn` (detached threads) in the serving paths.
+/// A detached worker escapes the runtime's panic containment and can
+/// outlive the generation it borrowed; scoped spawns (`scope.spawn`)
+/// do not match the pattern and remain the sanctioned form.
+fn scan_bare_spawn(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, usize)) {
+    for (line_no, line) in masked_lines.iter().enumerate() {
+        if line.contains("thread::spawn(") {
+            emit("bare-spawn", line_no + 1);
+        }
+    }
+}
+
 /// Scans one file, appending findings.
 fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let mut masked = mask_comments_and_strings(source);
@@ -354,6 +376,10 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
 
     if legacy_estimate_applies(rel) {
         scan_legacy_estimate(&masked_lines, &mut emit);
+    }
+
+    if bare_spawn_applies(rel) {
+        scan_bare_spawn(&masked_lines, &mut emit);
     }
 }
 
@@ -869,6 +895,32 @@ mod tests {
             "fn f() { let o = g.estimate_guarded(&q); }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn bare_spawn_denied_in_serving_paths_only() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(
+            findings_in("crates/workload/src/runtime.rs", src),
+            vec![("bare-spawn".to_string(), 1)]
+        );
+        assert_eq!(
+            findings_in("crates/core/src/serve/runtime.rs", src),
+            vec![("bare-spawn".to_string(), 1)]
+        );
+        // A `use`-imported spawn is caught too.
+        assert_eq!(
+            findings_in(
+                "crates/core/src/serve.rs",
+                "use std::thread;\nfn f() { thread::spawn(|| {}); }\n"
+            ),
+            vec![("bare-spawn".to_string(), 2)]
+        );
+        // Outside the serving paths the rule does not apply.
+        assert!(findings_in("crates/datagen/src/lib.rs", src).is_empty());
+        // Scoped spawns are the sanctioned form and never match.
+        let scoped = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert!(findings_in("crates/workload/src/runtime.rs", scoped).is_empty());
     }
 
     #[test]

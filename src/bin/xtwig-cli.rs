@@ -26,9 +26,13 @@ use xtwig::core::{
     coarse_synopsis, read_snapshot, serve_reports, write_snapshot_atomic, CompiledSynopsis,
     EstimateCache, Synopsis,
 };
+use xtwig::core::{BreakerConfig, ShedPolicy};
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
 use xtwig::query::{parse_twig, selectivity, TwigQuery};
-use xtwig::workload::{GuardPolicy, GuardedEstimator};
+use xtwig::workload::{
+    run_soak, GuardPolicy, GuardedEstimator, RuntimeOptions, ServingRuntime, SoakPlan,
+    TerminalProvenance,
+};
 use xtwig::xml::{parse, write_xml, DocStats, Document};
 
 /// How a command finished when it did not error.
@@ -101,6 +105,8 @@ USAGE:
   xtwig-cli serve <file.xml> <queries.txt> [--budget BYTES] [--synopsis F]
                   [--threads N] [--deadline-ms N] [--work-limit N]
                   [--metrics-out <file.prom>]
+                  [--max-inflight N] [--queue-depth N] [--reload-on <snap>]
+                  [--soak] [--soak-profile <full|saturation>] [--soak-seed N]
   xtwig-cli build <file.xml> --out <synopsis.xtwg> [--budget BYTES]
   xtwig-cli inspect <synopsis.xtwg>
   xtwig-cli check <synopsis.xtwg | file.xml> [--budget BYTES]
@@ -122,13 +128,28 @@ statistics. Exits 3 if any member was served degraded. `--metrics-out`
 writes the process-wide metrics registry in Prometheus text format on
 exit; read it back with `xtwig-cli stats --metrics <file.prom>`.
 
+Any of --max-inflight / --queue-depth / --reload-on routes `serve`
+through the resilient runtime instead: a bounded admission queue that
+sheds overflow (shed requests exit 3), per-tier circuit breakers, and
+retry with jittered backoff under the per-request --deadline-ms budget.
+`--reload-on <snap>` hot-reloads that snapshot mid-batch without
+blocking in-flight requests; a corrupt snapshot is rejected by its CRC,
+rolled back, and exits 4. `--soak` runs the seeded concurrent
+fault-soak plan (panic bursts, hot + corrupt reloads, queue
+saturation) and exits 4 deterministically because the corrupt-reload
+rollback is part of the plan; `--soak-profile saturation` only
+saturates the queue and exits 3 deterministically via shedding. Exit 1
+from a soak run means a resilience invariant was violated.
+
 EXIT CODES:
   0  success, full-fidelity estimate
-  1  failure (I/O, parse, build errors)
+  1  failure (I/O, parse, build errors, violated soak invariant)
   2  usage error (bad flags or arguments)
   3  degraded: answered by a fallback tier, a tripped deadline/work
-     budget, or after rebuilding a corrupt snapshot
-  4  corrupt snapshot (inspect/check)
+     budget, shed by admission control, or after rebuilding a corrupt
+     snapshot
+  4  corrupt snapshot (inspect/check, a rolled-back serve --reload-on,
+     or a soak run that exercised its rollback phase)
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -414,6 +435,18 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
             xbuild(&doc, TruthSource::Exact, &build).0
         }
     };
+
+    // Any resilient-runtime flag routes the batch through the
+    // admission/retry/breaker path instead of the plain cache pipeline.
+    let runtime_mode = has_flag(args, "--soak")
+        || flag(args, "--soak-profile").is_some()
+        || flag(args, "--max-inflight").is_some()
+        || flag(args, "--queue-depth").is_some()
+        || flag(args, "--reload-on").is_some();
+    if runtime_mode {
+        return cmd_serve_runtime(args, &doc, synopsis, &queries, deadline_ms, work_limit);
+    }
+
     let compiled = CompiledSynopsis::compile(&synopsis);
     let opts = {
         let mut b = EstimateOptions::builder().work_limit(work_limit);
@@ -458,6 +491,167 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
     }
     if degraded > 0 {
         eprintln!("{degraded} of {} queries served degraded", queries.len());
+        return Ok(Outcome::Degraded);
+    }
+    Ok(Outcome::Full)
+}
+
+/// `serve` under the resilient runtime: bounded admission queue,
+/// per-tier circuit breakers, retry with jittered backoff, optional
+/// mid-batch hot reload, and the seeded fault-soak profiles.
+///
+/// Exit-code mapping (deterministic, scripts rely on it): a reload
+/// rollback — including the corrupt-reload phase of the full soak —
+/// exits 4 and takes precedence; shed or degraded requests exit 3;
+/// a violated soak invariant exits 1.
+fn cmd_serve_runtime(
+    args: &[String],
+    doc: &Document,
+    synopsis: Synopsis,
+    queries: &[TwigQuery],
+    deadline_ms: u64,
+    work_limit: u64,
+) -> Result<Outcome, CliError> {
+    let soak = has_flag(args, "--soak") || flag(args, "--soak-profile").is_some();
+    let workers: usize = parse_flag(args, "--max-inflight", 4)?;
+    // The soak profiles want a small queue and fast breaker cycle so
+    // every transition happens within one run; plain runtime serving
+    // gets production-shaped defaults.
+    let queue_depth: usize = parse_flag(args, "--queue-depth", if soak { 4 } else { 256 })?;
+    let timeout_ms = if deadline_ms > 0 {
+        deadline_ms
+    } else if soak {
+        5 // stalled soak requests must degrade quickly
+    } else {
+        0
+    };
+    let options = RuntimeOptions {
+        queue_depth,
+        workers,
+        shed_policy: ShedPolicy::RejectNew,
+        request_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        max_retries: 1,
+        breaker: if soak {
+            BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(2),
+            }
+        } else {
+            BreakerConfig::default()
+        },
+        policy: GuardPolicy {
+            work_limit,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    if soak {
+        let seed: u64 = parse_flag(args, "--soak-seed", 0xD0C5_0AB5)?;
+        let profile = flag(args, "--soak-profile").unwrap_or_else(|| "full".to_string());
+        let plan = match profile.as_str() {
+            "full" => SoakPlan::generate(seed, &options),
+            "saturation" => SoakPlan::saturation_only(seed, &options),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown --soak-profile `{other}` (full|saturation)"
+                )))
+            }
+        };
+        // Injected panics are part of the plan; silence their backtraces
+        // so the report below is the only output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = run_soak(doc, queries, &plan, options);
+        std::panic::set_hook(prev);
+        println!("{report}");
+        let full_profile = profile == "full";
+        if !report.passed(full_profile, full_profile) {
+            return Err(CliError::Failure(format!(
+                "soak invariants violated: {report}"
+            )));
+        }
+        if report.reload_rollbacks > 0 {
+            return Err(CliError::Corrupt(format!(
+                "soak rolled back {} corrupt reload(s); serving never observed them",
+                report.reload_rollbacks
+            )));
+        }
+        if report.shed > 0 || report.degraded > 0 {
+            eprintln!(
+                "{} of {} requests shed, {} degraded",
+                report.shed, report.requests, report.degraded
+            );
+            return Ok(Outcome::Degraded);
+        }
+        return Ok(Outcome::Full);
+    }
+
+    // Read the reload snapshot up front so a missing file fails fast
+    // (exit 1) instead of mid-batch; a *corrupt* file is detected by the
+    // CRC during the hot reload itself and rolls back (exit 4).
+    let reload_bytes: Option<Vec<u8>> = match flag(args, "--reload-on") {
+        Some(p) => {
+            Some(std::fs::read(&p).map_err(|e| CliError::Failure(format!("reading {p}: {e}")))?)
+        }
+        None => None,
+    };
+
+    let rt = ServingRuntime::new(synopsis, options);
+    let mut reload_outcome: Option<Result<u64, xtwig::core::SnapshotError>> = None;
+    let t0 = std::time::Instant::now();
+    let results = rt.serve_with(queries, |rt| {
+        if let Some(bytes) = &reload_bytes {
+            // Fire mid-flight: workers are already draining the queue.
+            std::thread::sleep(Duration::from_micros(200));
+            reload_outcome = Some(rt.reload_snapshot_bytes(bytes));
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    for (q, r) in queries.iter().zip(&results) {
+        let marker = match r.terminal {
+            TerminalProvenance::Full => String::new(),
+            TerminalProvenance::Degraded => match r.tier {
+                Some(tier) => format!("  [degraded: {tier}]"),
+                None => "  [degraded]".to_string(),
+            },
+            TerminalProvenance::Shed => "  [shed]".to_string(),
+        };
+        println!("{:.1}  {q}{marker}", r.report.estimate);
+    }
+    let stats = rt.stats();
+    eprintln!(
+        "served {} requests in {elapsed:?} ({} full / {} degraded / {} shed, \
+         {} retries, {workers} workers, queue depth {queue_depth}, epoch {})",
+        queries.len(),
+        stats.full,
+        stats.degraded,
+        stats.shed,
+        stats.retries,
+        rt.epoch(),
+    );
+    if let Some(out) = flag(args, "--metrics-out") {
+        let prom = telemetry::global().to_prometheus();
+        std::fs::write(&out, prom).map_err(|e| CliError::Failure(format!("writing {out}: {e}")))?;
+        eprintln!("metrics written to {out}");
+    }
+    match reload_outcome {
+        Some(Ok(epoch)) => eprintln!("hot reload installed epoch {epoch}"),
+        Some(Err(e)) => {
+            return Err(CliError::Corrupt(format!(
+                "--reload-on rolled back: {e}; serving continued on epoch {}",
+                rt.epoch()
+            )))
+        }
+        None => {}
+    }
+    if stats.shed > 0 || stats.degraded > 0 {
+        eprintln!(
+            "{} of {} requests shed or degraded",
+            stats.shed + stats.degraded,
+            queries.len()
+        );
         return Ok(Outcome::Degraded);
     }
     Ok(Outcome::Full)

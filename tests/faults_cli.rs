@@ -1,7 +1,9 @@
 //! Integration: the CLI exit-code contract under faults. Exit codes are
-//! part of the operational interface (ISSUE 2): 0 = full fidelity,
-//! 1 = failure, 2 = usage, 3 = degraded service (fallback tier, tripped
-//! budget, or snapshot recovery), 4 = corrupt snapshot.
+//! part of the operational interface (ISSUE 2, extended by ISSUE 5):
+//! 0 = full fidelity, 1 = failure, 2 = usage, 3 = degraded service
+//! (fallback tier, tripped budget, snapshot recovery, or requests shed
+//! by admission control), 4 = corrupt snapshot (inspect/check, a
+//! rolled-back `serve --reload-on`, or a soak run's rollback phase).
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -215,6 +217,182 @@ fn work_limit_degrades_to_fallback_tier() {
     assert!(err.contains("work limit exhausted"), "{err}");
     assert!(err.contains("served by tier"), "{err}");
     assert!(stdout(&out).contains("estimate:"), "{}", stdout(&out));
+}
+
+fn write_queries(dir: &Path) -> PathBuf {
+    let path = dir.join("queries.txt");
+    std::fs::write(
+        &path,
+        concat!(
+            "# twig batch\n",
+            "for $t0 in //author, $t1 in $t0/paper\n",
+            "for $t0 in //paper, $t1 in $t0/kw\n",
+        ),
+    )
+    .expect("writing queries");
+    path
+}
+
+#[test]
+fn runtime_serve_with_healthy_reload_exits_zero() {
+    let dir = temp_dir("runtime-reload");
+    let doc = write_small_doc(&dir);
+    let queries = write_queries(&dir);
+    let snap = dir.join("bib.xtwg");
+    let out = run(&[
+        "build",
+        doc.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+        "--budget",
+        "4096",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    let out = run(&[
+        "serve",
+        doc.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        "--reload-on",
+        snap.to_str().unwrap(),
+        "--max-inflight",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("hot reload installed epoch"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn runtime_serve_reload_rollback_exits_four() {
+    let dir = temp_dir("runtime-rollback");
+    let doc = write_small_doc(&dir);
+    let queries = write_queries(&dir);
+    let snap = dir.join("bib.xtwg");
+    let out = run(&[
+        "build",
+        doc.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+        "--budget",
+        "4096",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // One flipped payload byte: the reload's CRC check must reject it,
+    // roll back, keep serving on the old generation — and exit 4.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    let out = run(&[
+        "serve",
+        doc.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        "--reload-on",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("rolled back"), "{err}");
+    // Every query was still answered despite the failed reload.
+    let answers = stdout(&out)
+        .lines()
+        .filter(|l| l.contains("for $t0"))
+        .count();
+    assert_eq!(answers, 2, "{}", stdout(&out));
+
+    // A *missing* reload file is an I/O failure (1), not corruption (4).
+    let out = run(&[
+        "serve",
+        doc.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        "--reload-on",
+        dir.join("no-such.xtwg").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+}
+
+#[test]
+fn saturation_soak_sheds_and_exits_three() {
+    let dir = temp_dir("soak-saturation");
+    let doc = write_small_doc(&dir);
+    let queries = write_queries(&dir);
+    let out = run(&[
+        "serve",
+        doc.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        "--soak-profile",
+        "saturation",
+        "--queue-depth",
+        "2",
+        "--max-inflight",
+        "1",
+        "--soak-seed",
+        "7",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stdout(&out).contains("soak:"), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("0 rollbacks"),
+        "saturation never reloads: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn full_soak_rollback_phase_exits_four() {
+    let dir = temp_dir("soak-full");
+    let doc = write_small_doc(&dir);
+    let queries = write_queries(&dir);
+    let out = run(&[
+        "serve",
+        doc.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        "--soak",
+        "--soak-seed",
+        "42",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    let report = stdout(&out);
+    assert!(report.contains("1 rollbacks"), "{report}");
+    assert!(report.contains("0 escaped panics"), "{report}");
+    assert!(report.contains("bit-identical=true"), "{report}");
+    assert!(
+        stderr(&out).contains("corrupt snapshot"),
+        "{}",
+        stderr(&out)
+    );
+
+    // An unknown profile is a usage error (2).
+    let out = run(&[
+        "serve",
+        doc.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        "--soak-profile",
+        "chaos-monkey",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn help_documents_the_exit_code_contract() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let help = stdout(&out);
+    for needle in [
+        "shed by admission control",
+        "--reload-on",
+        "--soak-profile",
+        "EXIT CODES",
+        "rollback phase",
+    ] {
+        assert!(help.contains(needle), "--help missing `{needle}`:\n{help}");
+    }
 }
 
 #[test]

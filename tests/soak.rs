@@ -1,0 +1,198 @@
+//! Integration: the concurrent fault-soak acceptance test (ISSUE 5).
+//!
+//! A [`ServingRuntime`] on ≥ 4 worker threads serves a seeded
+//! [`SoakPlan`] whose phases fire runtime faults mid-flight: a
+//! breaker-tripping panic burst, a healthy recovery window, a hot
+//! snapshot reload, a corrupt reload (rolled back), and a
+//! queue-saturating stall wave against a tiny admission queue. The
+//! invariants are deterministic even though interleavings are not:
+//!
+//! * zero panics escape the runtime;
+//! * every submitted request resolves with a terminal provenance
+//!   (full / degraded / shed) and the counts match the runtime's own
+//!   telemetry;
+//! * the tier-1 circuit breaker is observed to open *and* re-close
+//!   within the run;
+//! * post-soak single-query estimates are bit-identical to a freshly
+//!   constructed estimator on the same snapshot.
+
+use std::time::Duration;
+use xtwig::core::telemetry;
+use xtwig::core::{BreakerConfig, ShedPolicy};
+use xtwig::query::{parse_twig, TwigQuery};
+use xtwig::workload::{run_soak, RuntimeOptions, ServingRuntime, SoakPlan, TerminalProvenance};
+use xtwig::xml::Document;
+
+fn doc() -> Document {
+    xtwig::xml::parse(concat!(
+        "<bib>",
+        "<conf><paper><kw/><kw/><cite/></paper><paper><kw/></paper></conf>",
+        "<conf><paper><kw/><cite/></paper></conf>",
+        "<journal><paper><kw/></paper><paper/></journal>",
+        "</bib>"
+    ))
+    .unwrap()
+}
+
+fn queries() -> Vec<TwigQuery> {
+    [
+        "for $t0 in //paper, $t1 in $t0/kw",
+        "for $t0 in //conf, $t1 in $t0/paper",
+        "for $t0 in //paper[cite], $t1 in $t0/kw",
+        "for $t0 in //journal//paper",
+        "for $t0 in //kw",
+    ]
+    .iter()
+    .map(|t| parse_twig(t).unwrap())
+    .collect()
+}
+
+/// Soak tuning: ≥ 4 workers, a deliberately small queue so the stall
+/// wave saturates it, a low breaker threshold with a short cooldown so
+/// the open → half-open → close cycle completes within the run, and a
+/// short per-request timeout so stalled requests degrade quickly.
+fn soak_options() -> RuntimeOptions {
+    RuntimeOptions {
+        queue_depth: 4,
+        shed_policy: ShedPolicy::RejectNew,
+        workers: 4,
+        request_timeout: Some(Duration::from_millis(5)),
+        max_retries: 1,
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(2),
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn concurrent_soak_holds_every_invariant() {
+    let d = doc();
+    let qs = queries();
+    let options = soak_options();
+    let plan = SoakPlan::generate(0xD0C5_0AB5, &options);
+    assert!(plan.phases.len() >= 6, "standard plan covers all phases");
+
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_soak(&d, &qs, &plan, options);
+    std::panic::set_hook(prev);
+
+    assert_eq!(report.escaped_panics, 0, "{report}");
+    assert_eq!(report.bad_estimates, 0, "{report}");
+    assert_eq!(report.telemetry_mismatches, 0, "{report}");
+    assert_eq!(
+        report.full + report.degraded + report.shed,
+        report.requests as u64,
+        "every request needs a terminal provenance: {report}"
+    );
+    assert!(
+        report.breaker_opened,
+        "burst must trip the breaker: {report}"
+    );
+    assert!(
+        report.breaker_reclosed,
+        "recovery phase must re-close it: {report}"
+    );
+    assert!(report.reloads >= 1, "mid-flight reload succeeded: {report}");
+    assert_eq!(
+        report.reload_rollbacks, 1,
+        "corrupt reload rolled back: {report}"
+    );
+    assert!(
+        report.post_soak_bit_identical,
+        "soak left residue in serving state: {report}"
+    );
+    assert!(
+        report.degraded > 0,
+        "panic burst + stall wave must degrade some requests: {report}"
+    );
+    assert!(report.passed(true, true), "{report}");
+
+    // The global telemetry registry saw at least what the runtime
+    // counted (≥, not ==: other tests in this binary share the
+    // process-wide registry).
+    let counters: std::collections::HashMap<&str, u64> =
+        telemetry::global().counters().into_iter().collect();
+    assert!(counters["runtime_breaker_open"] >= 1);
+    assert!(counters["runtime_breaker_close"] >= 1);
+    assert!(counters["runtime_reloads"] >= report.reloads);
+    assert!(counters["runtime_reload_rollbacks"] >= report.reload_rollbacks);
+    assert!(counters["runtime_admitted"] >= 1);
+}
+
+#[test]
+fn soak_is_reproducible_in_its_invariant_surface() {
+    // Two runs of the same seeded plan: interleavings differ, but the
+    // deterministic surface — request count, breaker cycle, reload and
+    // rollback counts, bit-identity — must agree exactly.
+    let d = doc();
+    let qs = queries();
+    let options = soak_options();
+    let plan = SoakPlan::generate(77, &options);
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let a = run_soak(&d, &qs, &plan, options);
+    let b = run_soak(&d, &qs, &plan, options);
+    std::panic::set_hook(prev);
+    assert_eq!(a.requests, b.requests);
+    assert_eq!(a.requests, plan.total_requests());
+    assert_eq!(a.reloads, b.reloads);
+    assert_eq!(a.reload_rollbacks, b.reload_rollbacks);
+    assert_eq!(a.breaker_opened, b.breaker_opened);
+    assert_eq!(a.breaker_reclosed, b.breaker_reclosed);
+    assert!(a.post_soak_bit_identical && b.post_soak_bit_identical);
+    assert!(a.passed(true, true) && b.passed(true, true), "{a}\n{b}");
+}
+
+#[test]
+fn saturation_profile_sheds_but_never_rolls_back() {
+    let d = doc();
+    let qs = queries();
+    let options = RuntimeOptions {
+        queue_depth: 2,
+        workers: 1,
+        ..soak_options()
+    };
+    let plan = SoakPlan::saturation_only(5, &options);
+    let report = run_soak(&d, &qs, &plan, options);
+    assert!(
+        report.shed > 0,
+        "tiny queue under stall must shed: {report}"
+    );
+    assert_eq!(report.reload_rollbacks, 0);
+    assert!(report.passed(false, false), "{report}");
+}
+
+#[test]
+fn drop_oldest_policy_sheds_queued_requests_not_new_ones() {
+    let d = doc();
+    let qs = queries();
+    let options = RuntimeOptions {
+        queue_depth: 2,
+        workers: 1,
+        shed_policy: ShedPolicy::DropOldest,
+        ..soak_options()
+    };
+    let s = xtwig::core::coarse_synopsis(&d);
+    let rt = ServingRuntime::new(s, options);
+    let many: Vec<TwigQuery> = qs.iter().cycle().take(32).cloned().collect();
+    rt.inject_fault_burst(xtwig::workload::InjectedFault::StallXsketch, 64);
+    let results = rt.serve(&many);
+    let shed: Vec<u64> = results
+        .iter()
+        .filter(|r| r.terminal == TerminalProvenance::Shed)
+        .map(|r| r.request_id)
+        .collect();
+    assert!(!shed.is_empty(), "saturation must shed");
+    // Drop-oldest sheds from the head of the queue: the very last
+    // submission is always admitted, so it can never be the one shed.
+    assert!(
+        !shed.contains(&(many.len() as u64 - 1)),
+        "freshest request survived: {shed:?}"
+    );
+    for r in &results {
+        assert!(r.report.estimate.is_finite() && r.report.estimate >= 0.0);
+    }
+}
