@@ -31,6 +31,7 @@ pub mod estimate;
 pub mod io;
 pub mod serve;
 pub mod single_path;
+pub mod sync;
 pub mod synopsis;
 pub mod telemetry;
 pub mod tsn;

@@ -25,8 +25,9 @@
 pub mod runtime;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Mutex, PoisonError};
 
 use crate::compiled::CompiledSynopsis;
 use crate::estimate::{
@@ -187,19 +188,23 @@ impl EstimateCache {
         match shard.entries.get_mut(key) {
             Some(e) if e.epoch == epoch => {
                 e.last_used = tick;
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 tg.cache_hits.incr();
                 Some((e.estimate, e.provenance))
             }
             Some(_) => {
                 shard.entries.remove(key);
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.stale.fetch_add(1, Ordering::Relaxed);
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 tg.cache_stale_evictions.incr();
                 tg.cache_misses.incr();
                 None
             }
             None => {
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 tg.cache_misses.incr();
                 None
@@ -230,6 +235,7 @@ impl EstimateCache {
                 .map(|(k, _)| k.clone());
             if let Some(v) = victim {
                 shard.entries.remove(&v);
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.lru.fetch_add(1, Ordering::Relaxed);
                 tg.cache_lru_evictions.incr();
             }
@@ -257,9 +263,13 @@ impl EstimateCache {
             )
         });
         CacheStats {
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             hits: self.hits.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             misses: self.misses.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             stale_evictions: self.stale.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             lru_evictions: self.lru.load(Ordering::Relaxed),
             entries,
         }
@@ -335,6 +345,7 @@ pub fn serve_reports(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // lint:allow(atomic-ordering): ticket draw — uniqueness comes from the RMW itself; result slots are guarded by their own Mutex
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(q) = queries.get(i) else {
                     break;

@@ -19,10 +19,10 @@
 //! rather than drawn from a global RNG.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Condvar, Mutex, PoisonError};
 use crate::telemetry;
 
 /// What the admission queue does when it is full and new work arrives.
@@ -106,17 +106,20 @@ impl<T> AdmissionQueue<T> {
         let tg = telemetry::global();
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
+            // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
             self.shed.fetch_add(1, Ordering::Relaxed);
             return Admission::Rejected(item);
         }
         let result = if inner.items.len() < self.capacity {
             inner.items.push_back(item);
+            // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
             self.admitted.fetch_add(1, Ordering::Relaxed);
             tg.runtime_admitted.incr();
             Admission::Accepted
         } else {
             match self.policy {
                 ShedPolicy::RejectNew => {
+                    // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                     self.shed.fetch_add(1, Ordering::Relaxed);
                     tg.runtime_shed_reject_new.incr();
                     Admission::Rejected(item)
@@ -124,7 +127,9 @@ impl<T> AdmissionQueue<T> {
                 ShedPolicy::DropOldest => {
                     let oldest = inner.items.pop_front();
                     inner.items.push_back(item);
+                    // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                     self.admitted.fetch_add(1, Ordering::Relaxed);
+                    // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                     self.shed.fetch_add(1, Ordering::Relaxed);
                     tg.runtime_admitted.incr();
                     tg.runtime_shed_drop_oldest.incr();
@@ -139,6 +144,7 @@ impl<T> AdmissionQueue<T> {
             }
         };
         let depth = inner.items.len() as u64;
+        // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
         self.high_water.fetch_max(depth, Ordering::Relaxed);
         tg.runtime_queue_depth.set(depth);
         drop(inner);
@@ -193,8 +199,11 @@ impl<T> AdmissionQueue<T> {
     /// `(admitted, shed, high_water_depth)` so far.
     pub fn stats(&self) -> (u64, u64, u64) {
         (
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             self.admitted.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             self.shed.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             self.high_water.load(Ordering::Relaxed),
         )
     }
@@ -317,6 +326,7 @@ impl CircuitBreaker {
                     inner.probe_in_flight = true;
                     true
                 } else {
+                    // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                     self.short_circuits.fetch_add(1, Ordering::Relaxed);
                     telemetry::global().runtime_breaker_short_circuits.incr();
                     false
@@ -324,6 +334,7 @@ impl CircuitBreaker {
             }
             BreakerState::HalfOpen => {
                 if inner.probe_in_flight {
+                    // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                     self.short_circuits.fetch_add(1, Ordering::Relaxed);
                     telemetry::global().runtime_breaker_short_circuits.incr();
                     false
@@ -344,6 +355,7 @@ impl CircuitBreaker {
             inner.state = BreakerState::Closed;
             inner.probe_in_flight = false;
             inner.opened_at = None;
+            // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
             self.closes.fetch_add(1, Ordering::Relaxed);
             telemetry::global().runtime_breaker_close.incr();
         }
@@ -360,6 +372,7 @@ impl CircuitBreaker {
                 if inner.consecutive_failures >= self.config.failure_threshold {
                     inner.state = BreakerState::Open;
                     inner.opened_at = Some(Instant::now());
+                    // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                     self.opens.fetch_add(1, Ordering::Relaxed);
                     telemetry::global().runtime_breaker_open.incr();
                 }
@@ -368,6 +381,7 @@ impl CircuitBreaker {
                 inner.state = BreakerState::Open;
                 inner.opened_at = Some(Instant::now());
                 inner.probe_in_flight = false;
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.opens.fetch_add(1, Ordering::Relaxed);
                 telemetry::global().runtime_breaker_open.incr();
             }
@@ -386,8 +400,11 @@ impl CircuitBreaker {
     /// `(opens, closes, short_circuits)` transition counters.
     pub fn transitions(&self) -> (u64, u64, u64) {
         (
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             self.opens.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             self.closes.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             self.short_circuits.load(Ordering::Relaxed),
         )
     }
@@ -511,6 +528,115 @@ mod tests {
         assert_eq!(q.capacity(), 1);
         assert_eq!(q.offer(1), Admission::Accepted);
         assert_eq!(q.offer(2), Admission::Rejected(2));
+    }
+
+    #[test]
+    fn drop_oldest_sheds_exactly_the_oldest_and_keeps_fifo() {
+        // Deterministic fairness: the survivors of DropOldest shedding
+        // are exactly the newest `capacity` items, still in FIFO order.
+        let q = AdmissionQueue::new(3, ShedPolicy::DropOldest);
+        for i in 1..=10 {
+            match q.offer(i) {
+                Admission::Accepted | Admission::AcceptedDroppedOldest(_) => {}
+                Admission::Rejected(_) => panic!("DropOldest never rejects while open"),
+            }
+        }
+        q.close();
+        assert_eq!(
+            (q.pop(), q.pop(), q.pop(), q.pop()),
+            (Some(8), Some(9), Some(10), None)
+        );
+        let (admitted, shed, high) = q.stats();
+        assert_eq!((admitted, shed, high), (10, 7, 3));
+    }
+
+    #[test]
+    fn drop_oldest_conserves_items_under_racing_producers() {
+        // Schedule-independent invariants: with racing producers every
+        // offered item is either drained or returned as a displaced
+        // oldest — none duplicated, none lost — and the queue never
+        // rejects or exceeds capacity.
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 50;
+        let q = AdmissionQueue::new(2, ShedPolicy::DropOldest);
+        let mut dropped: Vec<u64> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut displaced = Vec::new();
+                        for i in 0..PER_PRODUCER {
+                            match q.offer(p * PER_PRODUCER + i) {
+                                Admission::Accepted => {}
+                                Admission::AcceptedDroppedOldest(old) => displaced.push(old),
+                                Admission::Rejected(_) => {
+                                    panic!("DropOldest never rejects while open")
+                                }
+                            }
+                            assert!(q.len() <= q.capacity());
+                        }
+                        displaced
+                    })
+                })
+                .collect();
+            for h in handles {
+                dropped.extend(h.join().expect("producer panicked"));
+            }
+        });
+        q.close();
+        let mut seen: Vec<u64> = dropped;
+        while let Some(item) = q.pop() {
+            seen.push(item);
+        }
+        seen.sort_unstable();
+        let expected: Vec<u64> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(seen, expected, "every item exactly once");
+        let (admitted, shed, _) = q.stats();
+        assert_eq!(admitted, PRODUCERS * PER_PRODUCER);
+        assert_eq!(shed, PRODUCERS * PER_PRODUCER - 2);
+    }
+
+    #[test]
+    fn half_open_probe_is_exclusive_under_racing_acquires() {
+        // Schedule-independent invariant: once the cooldown elapses,
+        // racing callers get exactly one probe grant — no matter how
+        // the threads interleave — and everyone else short-circuits.
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::ZERO,
+        });
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        let grants: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| usize::from(b.try_acquire())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("acquirer panicked"))
+                .sum()
+        });
+        assert_eq!(grants, 1, "exactly one half-open probe may run");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A failed probe restarts the cycle: again exactly one grant.
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        let regrants: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| usize::from(b.try_acquire())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("acquirer panicked"))
+                .sum()
+        });
+        assert_eq!(regrants, 1);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        let (opens, closes, short_circuits) = b.transitions();
+        assert_eq!((opens, closes), (2, 1));
+        assert_eq!(short_circuits, 14, "7 losers per racing round");
     }
 
     #[test]

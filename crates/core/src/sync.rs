@@ -1,0 +1,41 @@
+//! Synchronization façade for the serving runtime.
+//!
+//! Every concurrent module in the serving path (`serve`,
+//! `serve::runtime`, `telemetry`, and the workload crate's
+//! `runtime`/`guarded`) imports its sync primitives from here instead
+//! of `std::sync` — enforced by the `sync-direct` rule in `xtask lint`,
+//! so model-checker coverage cannot silently rot as code is added.
+//!
+//! Under a normal build this module is a zero-cost re-export of
+//! `std::sync`. Under `RUSTFLAGS="--cfg loom"` it re-exports the
+//! vendored [loom](../../../vendor/loom/src/lib.rs) model checker's
+//! primitives instead, whose operations become schedule points inside
+//! `loom::model` runs (`crates/core/tests/loom.rs`) and degrade to
+//! `std` behaviour outside them — ordinary unit tests still pass under
+//! `--cfg loom`.
+//!
+//! Deliberately *not* in the façade: `std::thread::scope` (structured
+//! fan-out in `serve_reports`/`ServingRuntime::serve_with`), which the
+//! checker cannot model — the loom suite drives the shared-state
+//! protocols (queue, breaker, cache/epoch, counters) directly instead.
+
+#[cfg(not(loom))]
+pub use std::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard,
+    RwLockWriteGuard, TryLockError, TryLockResult,
+};
+
+#[cfg(loom)]
+pub use loom::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard,
+    RwLockWriteGuard, TryLockError, TryLockResult,
+};
+
+/// Atomic types and memory orderings (model-checked under `cfg(loom)`).
+pub mod atomic {
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+}

@@ -27,7 +27,7 @@
 //! telemetry on, off, or torn down mid-flight (property-tested in
 //! `tests/compiled_identity.rs`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of log2 latency buckets: bucket `i > 0` holds observations in
 /// `[2^(i-1), 2^i)` nanoseconds, bucket 0 holds zeros, and the top

@@ -1,0 +1,61 @@
+//! Centralized numeric conversions for the histogram substrate.
+//!
+//! The `lossy-cast` lint denies bare `as` casts throughout this crate so
+//! a silent truncation can never hide inside an estimation formula. The
+//! few conversions that are genuinely needed live here, each with its
+//! precision argument spelled out; everything else goes through the
+//! infallible `From`/`TryFrom` impls.
+
+/// Element count to `f64`. Exact below 2^53 (≈9·10^15), far above any
+/// element count a synopsis summarizes; rounds to nearest above.
+pub(crate) fn count_f64(x: u64) -> f64 {
+    // lint:allow(lossy-cast): exact below 2^53; counts are element totals far under that
+    x as f64
+}
+
+/// Signed value span to `f64`. Exact below 2^53 in magnitude; spans that
+/// large only feed range interpolation, where nearest-rounding is noise.
+pub(crate) fn span_f64(x: i64) -> f64 {
+    // lint:allow(lossy-cast): exact below 2^53 in magnitude; only interpolation consumes it
+    x as f64
+}
+
+/// Collection length to `u64`: cannot truncate on any supported target
+/// (usize is at most 64 bits), so the fallback is unreachable.
+pub(crate) fn len_u64(x: usize) -> u64 {
+    u64::try_from(x).unwrap_or(u64::MAX)
+}
+
+/// Collection length to `f64`: exact below 2^53 elements.
+pub(crate) fn len_f64(x: usize) -> f64 {
+    count_f64(len_u64(x))
+}
+
+/// Count-domain coordinate to an index: cannot truncate on any
+/// supported target (usize is at least 32 bits).
+pub(crate) fn usize_of_u32(x: u32) -> usize {
+    usize::try_from(x).unwrap_or(usize::MAX)
+}
+
+/// Index to a stored coefficient position, saturating at `u32::MAX`;
+/// transform lengths are bounded by the u32 count domain.
+pub(crate) fn u32_of_usize(x: usize) -> u32 {
+    u32::try_from(x).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip_in_range() {
+        assert_eq!(count_f64(0), 0.0);
+        assert_eq!(count_f64(1 << 53), 9007199254740992.0);
+        assert_eq!(span_f64(-5), -5.0);
+        assert_eq!(len_u64(42), 42);
+        assert_eq!(len_f64(42), 42.0);
+        assert_eq!(usize_of_u32(u32::MAX), u32::MAX as usize);
+        assert_eq!(u32_of_usize(7), 7);
+        assert_eq!(u32_of_usize(usize::MAX), u32::MAX);
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use crate::cast::count_f64;
+
 /// An exact frequency distribution over integer count vectors.
 ///
 /// This is the paper's edge distribution `f_i(C1,…,Ck)` before compression:
@@ -64,7 +66,7 @@ impl ExactDistribution {
         if self.total == 0 {
             return 0.0;
         }
-        *self.points.get(point).unwrap_or(&0) as f64 / self.total as f64
+        count_f64(*self.points.get(point).unwrap_or(&0)) / count_f64(self.total)
     }
 
     /// Exact value of `Σ_c f(c) · Π_{d ∈ mult} c_d` — the paper's
@@ -75,20 +77,23 @@ impl ExactDistribution {
         }
         let mut acc = 0.0;
         for (point, freq) in self.iter() {
-            let mut term = freq as f64;
-            for &d in mult {
-                term *= point[d] as f64;
-            }
+            // Out-of-range dimensions contribute no binding tuples.
+            let term = mult.iter().fold(count_f64(freq), |t, &d| {
+                t * point.get(d).map_or(0.0, |&c| f64::from(c))
+            });
             acc += term;
         }
-        acc / self.total as f64
+        acc / count_f64(self.total)
     }
 
     /// Exact marginal onto the given dimensions (in the given order).
     pub fn marginal(&self, keep: &[usize]) -> ExactDistribution {
         let mut out = ExactDistribution::new(keep.len());
         for (point, freq) in self.iter() {
-            let proj: Vec<u32> = keep.iter().map(|&d| point[d]).collect();
+            let proj: Vec<u32> = keep
+                .iter()
+                .map(|&d| point.get(d).copied().unwrap_or(0))
+                .collect();
             out.add_weighted(&proj, freq);
         }
         out

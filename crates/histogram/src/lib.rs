@@ -19,6 +19,7 @@
 //!   distributions, the "histograms **or wavelets**" option of §3.3, used
 //!   by the ablation benchmarks.
 
+mod cast;
 mod exact;
 mod mdhist;
 mod value_hist;

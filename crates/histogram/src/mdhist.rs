@@ -13,6 +13,7 @@
 //! of the means the least, until the byte budget is met. For large exact
 //! distributions a lexicographic pre-merge bounds the O(n²) pair scan.
 
+use crate::cast::count_f64;
 use crate::exact::ExactDistribution;
 
 /// One histogram bucket: a box in count space with its probability mass.
@@ -34,54 +35,70 @@ impl Bucket {
             fraction,
             lo: point.to_vec(),
             hi: point.to_vec(),
-            mean: point.iter().map(|&c| c as f64).collect(),
+            mean: point.iter().map(|&c| f64::from(c)).collect(),
         }
     }
 
     /// Whether `values` (one per dimension, in histogram dimension order for
     /// the listed dims) fall inside this bucket's box on those dims.
     fn contains_on(&self, dims: &[usize], values: &[f64]) -> bool {
-        dims.iter().zip(values).all(|(&d, &v)| {
-            // Half-open tolerance: bucket boxes are inclusive integer ranges.
-            v >= self.lo[d] as f64 - 0.5 && v <= self.hi[d] as f64 + 0.5
-        })
+        dims.iter()
+            .zip(values)
+            .all(|(&d, &v)| match (self.lo.get(d), self.hi.get(d)) {
+                // Half-open tolerance: bucket boxes are inclusive integer
+                // ranges.
+                (Some(&lo), Some(&hi)) => v >= f64::from(lo) - 0.5 && v <= f64::from(hi) + 0.5,
+                _ => false,
+            })
     }
 
     /// Squared distance from `values` to this bucket's box on `dims`.
     fn distance_on(&self, dims: &[usize], values: &[f64]) -> f64 {
         dims.iter()
             .zip(values)
-            .map(|(&d, &v)| {
-                let lo = self.lo[d] as f64;
-                let hi = self.hi[d] as f64;
-                let delta = if v < lo {
-                    lo - v
-                } else if v > hi {
-                    v - hi
-                } else {
-                    0.0
-                };
-                delta * delta
+            .map(|(&d, &v)| match (self.lo.get(d), self.hi.get(d)) {
+                (Some(&lo), Some(&hi)) => {
+                    let (lo, hi) = (f64::from(lo), f64::from(hi));
+                    let delta = if v < lo {
+                        lo - v
+                    } else if v > hi {
+                        v - hi
+                    } else {
+                        0.0
+                    };
+                    delta * delta
+                }
+                _ => 0.0,
             })
             .sum()
     }
 
     fn merge_with(&self, other: &Bucket) -> Bucket {
         let fraction = self.fraction + other.fraction;
-        let dims = self.lo.len();
-        let mut lo = Vec::with_capacity(dims);
-        let mut hi = Vec::with_capacity(dims);
-        let mut mean = Vec::with_capacity(dims);
-        for d in 0..dims {
-            lo.push(self.lo[d].min(other.lo[d]));
-            hi.push(self.hi[d].max(other.hi[d]));
-            let m = if fraction > 0.0 {
-                (self.fraction * self.mean[d] + other.fraction * other.mean[d]) / fraction
-            } else {
-                (self.mean[d] + other.mean[d]) / 2.0
-            };
-            mean.push(m);
-        }
+        let lo = self
+            .lo
+            .iter()
+            .zip(&other.lo)
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        let hi = self
+            .hi
+            .iter()
+            .zip(&other.hi)
+            .map(|(&a, &b)| a.max(b))
+            .collect();
+        let mean = self
+            .mean
+            .iter()
+            .zip(&other.mean)
+            .map(|(&m1, &m2)| {
+                if fraction > 0.0 {
+                    (self.fraction * m1 + other.fraction * m2) / fraction
+                } else {
+                    (m1 + m2) / 2.0
+                }
+            })
+            .collect();
         Bucket {
             fraction,
             lo,
@@ -127,10 +144,10 @@ const BYTES_PER_DIM: usize = 4;
 impl MdHistogram {
     /// Builds an exact (one bucket per distinct point) histogram.
     pub fn exact(dist: &ExactDistribution) -> MdHistogram {
-        let total = dist.total().max(1) as f64;
+        let total = count_f64(dist.total().max(1));
         let mut buckets: Vec<Bucket> = dist
             .iter()
-            .map(|(p, freq)| Bucket::from_point(p, freq as f64 / total))
+            .map(|(p, freq)| Bucket::from_point(p, count_f64(freq) / total))
             .collect();
         // Deterministic order (lexicographic on lo) so construction is
         // reproducible regardless of hash iteration order.
@@ -242,18 +259,24 @@ impl MdHistogram {
         // Quadratic greedy phase on the reduced set.
         while self.buckets.len() > max_buckets {
             let mut best = (f64::INFINITY, 0usize, 1usize);
-            for i in 0..self.buckets.len() {
-                for j in (i + 1)..self.buckets.len() {
-                    let c = self.buckets[i].merge_cost(&self.buckets[j]);
+            for (i, a) in self.buckets.iter().enumerate() {
+                for (j, b) in self.buckets.iter().enumerate().skip(i + 1) {
+                    let c = a.merge_cost(b);
                     if c < best.0 {
                         best = (c, i, j);
                     }
                 }
             }
             let (_, i, j) = best;
-            let merged = self.buckets[i].merge_with(&self.buckets[j]);
+            let merged = match (self.buckets.get(i), self.buckets.get(j)) {
+                (Some(a), Some(b)) => a.merge_with(b),
+                // Unreachable: best always names two live buckets.
+                _ => return,
+            };
             self.buckets.swap_remove(j);
-            self.buckets[i] = merged;
+            if let Some(slot) = self.buckets.get_mut(i) {
+                *slot = merged;
+            }
         }
     }
 
@@ -263,11 +286,9 @@ impl MdHistogram {
         self.buckets
             .iter()
             .map(|b| {
-                let mut term = b.fraction;
-                for &d in mult {
-                    term *= b.mean[d];
-                }
-                term
+                mult.iter().fold(b.fraction, |t, &d| {
+                    t * b.mean.get(d).copied().unwrap_or(0.0)
+                })
             })
             .sum()
     }
@@ -291,11 +312,9 @@ impl MdHistogram {
         let mut den = 0.0;
         for b in &self.buckets {
             if b.contains_on(&dims, &values) {
-                let mut term = b.fraction;
-                for &d in mult {
-                    term *= b.mean[d];
-                }
-                num += term;
+                num += mult.iter().fold(b.fraction, |t, &d| {
+                    t * b.mean.get(d).copied().unwrap_or(0.0)
+                });
                 den += b.fraction;
             }
         }
@@ -309,7 +328,10 @@ impl MdHistogram {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         match nearest {
-            Some(b) => mult.iter().map(|&d| b.mean[d]).product(),
+            Some(b) => mult
+                .iter()
+                .map(|&d| b.mean.get(d).copied().unwrap_or(0.0))
+                .product(),
             None => 0.0,
         }
     }
@@ -322,7 +344,13 @@ impl MdHistogram {
         self.buckets
             .iter()
             .filter(|b| b.fraction > 0.0)
-            .map(|b| (b.fraction, dims.iter().map(|&d| b.mean[d]).collect()))
+            .map(|b| {
+                let values = dims
+                    .iter()
+                    .filter_map(|&d| b.mean.get(d).copied())
+                    .collect();
+                (b.fraction, values)
+            })
             .collect()
     }
 
@@ -447,7 +475,10 @@ impl MdHistogram {
     pub fn positive_fraction(&self, dims: &[usize]) -> f64 {
         self.buckets
             .iter()
-            .filter(|b| dims.iter().all(|&d| b.mean[d] >= 0.5))
+            .filter(|b| {
+                dims.iter()
+                    .all(|&d| b.mean.get(d).is_some_and(|&m| m >= 0.5))
+            })
             .map(|b| b.fraction)
             .sum()
     }

@@ -5,6 +5,8 @@
 //! estimates range-predicate fractions from it (§3.1, §6.1). Buckets are
 //! equi-depth (equal mass), the standard choice for range selectivity.
 
+use crate::cast::{count_f64, len_u64, span_f64};
+
 /// A 1-D equi-depth histogram over `i64` element values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ValueHistogram {
@@ -36,59 +38,51 @@ impl ValueHistogram {
     pub fn build(mut values: Vec<i64>, max_buckets: usize) -> ValueHistogram {
         let max_buckets = max_buckets.max(1);
         values.sort_unstable();
-        let total = values.len() as u64;
+        let total = len_u64(values.len());
         if values.is_empty() {
             return ValueHistogram {
                 buckets: Vec::new(),
                 total: 0,
             };
         }
-        let per = (values.len() as f64 / max_buckets as f64).ceil() as usize;
-        let per = per.max(1);
+        let per = values.len().div_ceil(max_buckets).max(1);
         // Pass 1: runs of equal values longer than `per` become singletons.
         let mut buckets = Vec::new();
         let mut rest: Vec<i64> = Vec::with_capacity(values.len());
-        let mut i = 0;
-        while i < values.len() {
-            let mut j = i + 1;
-            while j < values.len() && values[j] == values[i] {
-                j += 1;
-            }
-            let run = j - i;
-            if run >= per && buckets.len() + 1 < max_buckets {
+        for run in values.chunk_by(|a, b| a == b) {
+            let Some(&v) = run.first() else { continue };
+            if run.len() >= per && buckets.len() + 1 < max_buckets {
                 buckets.push(VBucket {
-                    lo: values[i],
-                    hi: values[i],
-                    count: run as u64,
+                    lo: v,
+                    hi: v,
+                    count: len_u64(run.len()),
                     distinct: 1,
                 });
             } else {
-                rest.extend_from_slice(&values[i..j]);
+                rest.extend_from_slice(run);
             }
-            i = j;
         }
         // Pass 2: equi-depth over the remainder with the leftover budget.
         let remaining_buckets = max_buckets.saturating_sub(buckets.len()).max(1);
         if !rest.is_empty() {
-            let per = ((rest.len() as f64 / remaining_buckets as f64).ceil() as usize).max(1);
+            let per = rest.len().div_ceil(remaining_buckets).max(1);
             let mut i = 0;
             while i < rest.len() {
                 let mut j = (i + per).min(rest.len());
                 // Never split equal values across buckets: extend over ties.
-                while j < rest.len() && rest[j] == rest[j - 1] {
+                while j < rest.len() && rest.get(j) == rest.get(j - 1) {
                     j += 1;
                 }
-                let slice = &rest[i..j];
-                let mut distinct = 1u64;
-                for w in slice.windows(2) {
-                    if w[0] != w[1] {
-                        distinct += 1;
-                    }
-                }
+                let Some(slice) = rest.get(i..j) else { break };
+                let (Some(&lo), Some(&hi)) = (slice.first(), slice.last()) else {
+                    break;
+                };
+                let distinct =
+                    1 + len_u64(slice.windows(2).filter(|w| w.first() != w.last()).count());
                 buckets.push(VBucket {
-                    lo: slice[0],
-                    hi: slice[slice.len() - 1],
-                    count: slice.len() as u64,
+                    lo,
+                    hi,
+                    count: len_u64(slice.len()),
                     distinct,
                 });
                 i = j;
@@ -131,17 +125,17 @@ impl ValueHistogram {
                 continue;
             }
             if lo <= b.lo && b.hi <= hi {
-                covered += b.count as f64;
+                covered += count_f64(b.count);
                 continue;
             }
             // Partial overlap: interpolate on the value range.
-            let span = (b.hi - b.lo) as f64 + 1.0;
+            let span = span_f64(b.hi - b.lo) + 1.0;
             let olo = lo.max(b.lo);
             let ohi = hi.min(b.hi);
-            let overlap = (ohi - olo) as f64 + 1.0;
-            covered += b.count as f64 * (overlap / span).clamp(0.0, 1.0);
+            let overlap = span_f64(ohi - olo) + 1.0;
+            covered += count_f64(b.count) * (overlap / span).clamp(0.0, 1.0);
         }
-        (covered / self.total as f64).clamp(0.0, 1.0)
+        (covered / count_f64(self.total)).clamp(0.0, 1.0)
     }
 
     /// Minimum and maximum summarized value, if any values were recorded.

@@ -8,6 +8,7 @@
 //! [SIGMOD'99]. The ablation benchmark compares it against the bucket
 //! histograms as the per-node summarizer.
 
+use crate::cast::{count_f64, len_f64, u32_of_usize, usize_of_u32};
 use crate::exact::ExactDistribution;
 
 /// A thresholded Haar-wavelet summary of a 1-D fraction distribution over
@@ -31,18 +32,25 @@ impl WaveletSummary {
     /// Panics when `dist` is not one-dimensional.
     pub fn build(dist: &ExactDistribution, keep: usize) -> WaveletSummary {
         assert_eq!(dist.dims(), 1, "wavelet summaries are one-dimensional");
-        let max_c = dist.iter().map(|(p, _)| p[0]).max().unwrap_or(0) as usize;
-        let n = (max_c + 1).next_power_of_two();
-        let total = dist.total().max(1) as f64;
+        let max_c = dist
+            .iter()
+            .filter_map(|(p, _)| p.first().copied())
+            .max()
+            .unwrap_or(0);
+        let n = (usize_of_u32(max_c) + 1).next_power_of_two();
+        let total = count_f64(dist.total().max(1));
         let mut data = vec![0.0f64; n];
         for (p, freq) in dist.iter() {
-            data[p[0] as usize] += freq as f64 / total;
+            let Some(&c) = p.first() else { continue };
+            if let Some(slot) = data.get_mut(usize_of_u32(c)) {
+                *slot += count_f64(freq) / total;
+            }
         }
         let coeffs = haar_decompose(&mut data);
         let mut indexed: Vec<(u32, f64)> = coeffs
             .into_iter()
             .enumerate()
-            .map(|(i, c)| (i as u32, c))
+            .map(|(i, c)| (u32_of_usize(i), c))
             .filter(|&(_, c)| c != 0.0)
             .collect();
         // Threshold by normalized magnitude (L2-optimal retention).
@@ -73,13 +81,16 @@ impl WaveletSummary {
 
     /// Reconstructed fraction at count `c` (clamped to ≥ 0).
     pub fn fraction(&self, c: u32) -> f64 {
-        let c = c as usize;
+        self.fraction_at(usize_of_u32(c))
+    }
+
+    fn fraction_at(&self, c: usize) -> f64 {
         if c >= self.n {
             return 0.0;
         }
         let mut acc = 0.0;
         for &(idx, coeff) in &self.coeffs {
-            acc += coeff * haar_basis_at(self.n, idx as usize, c);
+            acc += coeff * haar_basis_at(self.n, usize_of_u32(idx), c);
         }
         acc.max(0.0)
     }
@@ -87,14 +98,12 @@ impl WaveletSummary {
     /// `Σ_c f̂(c)·c` over the reconstructed distribution — the average
     /// count, the term the estimation framework consumes.
     pub fn expectation(&self) -> f64 {
-        (0..self.n as u32)
-            .map(|c| self.fraction(c) * c as f64)
-            .sum()
+        (0..self.n).map(|c| self.fraction_at(c) * len_f64(c)).sum()
     }
 
     /// Reconstructs the full distribution (mostly for tests/inspection).
     pub fn reconstruct(&self) -> Vec<f64> {
-        (0..self.n as u32).map(|c| self.fraction(c)).collect()
+        (0..self.n).map(|c| self.fraction_at(c)).collect()
     }
 }
 
@@ -105,8 +114,8 @@ fn normalized_weight(idx: u32, c: f64) -> f64 {
     if idx == 0 {
         return f64::INFINITY; // always keep the overall average
     }
-    let level = (32 - idx.leading_zeros() - 1) as i32; // floor(log2 idx)
-    c.abs() / 2f64.powi(level).sqrt()
+    let level = 31 - idx.leading_zeros(); // floor(log2 idx), at most 31
+    c.abs() / f64::from(1u32 << level).sqrt()
 }
 
 /// In-place unnormalized Haar decomposition; returns the coefficient array
@@ -119,18 +128,19 @@ fn haar_decompose(data: &mut [f64]) -> Vec<f64> {
     let mut len = n;
     while len > 1 {
         let half = len / 2;
-        let mut avgs = vec![0.0; half];
-        for i in 0..half {
-            let a = current[2 * i];
-            let b = current[2 * i + 1];
-            avgs[i] = (a + b) / 2.0;
-            coeffs[half + i] = (a - b) / 2.0;
+        let mut avgs = Vec::with_capacity(half);
+        for (pair, detail) in current.chunks_exact(2).zip(coeffs.iter_mut().skip(half)) {
+            let a = pair.first().copied().unwrap_or(0.0);
+            let b = pair.last().copied().unwrap_or(0.0);
+            avgs.push((a + b) / 2.0);
+            *detail = (a - b) / 2.0;
         }
-        current.truncate(half);
-        current.copy_from_slice(&avgs);
+        current = avgs;
         len = half;
     }
-    coeffs[0] = current[0];
+    if let (Some(slot), Some(&avg)) = (coeffs.first_mut(), current.first()) {
+        *slot = avg;
+    }
     coeffs
 }
 
@@ -142,8 +152,8 @@ fn haar_basis_at(n: usize, idx: usize, pos: usize) -> f64 {
     }
     // idx in [2^l, 2^{l+1}) is detail coefficient k = idx - 2^l at level l,
     // where level l has 2^l functions each of support n / 2^l.
-    let l = usize::BITS as usize - 1 - idx.leading_zeros() as usize;
-    let k = idx - (1 << l);
+    let l = usize::BITS - 1 - idx.leading_zeros();
+    let k = idx - (1usize << l);
     let support = n >> l;
     let start = k * support;
     if pos < start || pos >= start + support {

@@ -23,13 +23,14 @@
 //! fault-injection harness (and tests) exercise each degradation path.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
 use xtwig_core::estimate::{
     earliest_deadline, EstimateOptions, EstimateReport, EstimateRequest, Estimator, Exhaustion,
     Explain, Provenance, QueryTelemetry,
 };
 use xtwig_core::serve::runtime::{BreakerConfig, CircuitBreaker};
+use xtwig_core::sync::atomic::{AtomicU64, Ordering};
 use xtwig_core::telemetry::{self, Span, Stage};
 use xtwig_core::{coarse_count_bound, CompiledSynopsis, Synopsis};
 use xtwig_markov::{MarkovOptions, MarkovPaths};
@@ -175,12 +176,19 @@ pub struct DegradationSnapshot {
 impl DegradationCounters {
     fn snapshot(&self) -> DegradationSnapshot {
         DegradationSnapshot {
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             queries: self.queries.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             degraded: self.degraded.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             panics: self.panics.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             deadline_trips: self.deadline_trips.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             work_trips: self.work_trips.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             served_markov: self.served_markov.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             served_label_count: self.served_label_count.load(Ordering::Relaxed),
         }
     }
@@ -394,6 +402,7 @@ impl<'a> GuardedEstimator<'a> {
     ) -> (EstimateOutcome, EstimateReport) {
         let t_total = Instant::now();
         let tg = telemetry::global();
+        // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         tg.guarded_queries.incr();
         let policy_deadline = self.policy.time_budget.map(|b| Instant::now() + b);
@@ -450,6 +459,7 @@ impl<'a> GuardedEstimator<'a> {
                     tier: Tier::Markov,
                     failure: None,
                 });
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.counters.served_markov.fetch_add(1, Ordering::Relaxed);
                 tg.tier_markov_served.incr();
                 (v, Tier::Markov)
@@ -487,6 +497,7 @@ impl<'a> GuardedEstimator<'a> {
                 });
                 self.counters
                     .served_label_count
+                    // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                     .fetch_add(1, Ordering::Relaxed);
                 tg.tier_label_count_served.incr();
                 (value, Tier::LabelCount)
@@ -507,6 +518,7 @@ impl<'a> GuardedEstimator<'a> {
         attempts: Vec<TierAttempt>,
     ) -> EstimateOutcome {
         if degraded {
+            // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
             self.counters.degraded.fetch_add(1, Ordering::Relaxed);
             telemetry::global().guarded_degraded.incr();
         }
@@ -525,13 +537,16 @@ impl<'a> GuardedEstimator<'a> {
     fn note_failure(&self, f: TierFailure) {
         match f {
             TierFailure::Panicked => {
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.counters.panics.fetch_add(1, Ordering::Relaxed);
                 telemetry::global().tier_panics.incr();
             }
             TierFailure::Exhausted(Exhaustion::Deadline) => {
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.counters.deadline_trips.fetch_add(1, Ordering::Relaxed);
             }
             TierFailure::Exhausted(Exhaustion::Work) => {
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.counters.work_trips.fetch_add(1, Ordering::Relaxed);
             }
             TierFailure::NonFinite => {}

@@ -29,9 +29,10 @@
 //! corrupt reload never installs, which *is* the rollback — the
 //! previous generation keeps serving.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
+
+use xtwig_core::sync::atomic::{AtomicU64, Ordering};
+use xtwig_core::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use xtwig_core::estimate::{
     EstimateReport, EstimateRequest, Estimator, Provenance, QueryTelemetry,
@@ -293,6 +294,7 @@ impl ServingRuntime {
                 *slot = Arc::new(Generation { synopsis, epoch });
                 self.epoch.store(epoch, Ordering::Release);
                 drop(slot);
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.counters.reloads.fetch_add(1, Ordering::Relaxed);
                 tg.runtime_reloads.incr();
                 Ok(epoch)
@@ -300,6 +302,7 @@ impl ServingRuntime {
             Err(e) => {
                 self.counters
                     .reload_rollbacks
+                    // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                     .fetch_add(1, Ordering::Relaxed);
                 tg.runtime_reload_rollbacks.incr();
                 Err(e)
@@ -319,12 +322,19 @@ impl ServingRuntime {
             shorts = shorts.saturating_add(s);
         }
         RuntimeStats {
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             submitted: self.counters.submitted.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             full: self.counters.full.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             degraded: self.counters.degraded.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             shed: self.counters.shed.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             retries: self.counters.retries.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             reloads: self.counters.reloads.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
             reload_rollbacks: self.counters.reload_rollbacks.load(Ordering::Relaxed),
             breaker_opens: opens,
             breaker_closes: closes,
@@ -369,6 +379,7 @@ impl ServingRuntime {
             }
             let driver_handle = scope.spawn(|| driver(self));
             for (i, _) in queries.iter().enumerate() {
+                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 let req = Request {
                     id: i as u64,
@@ -399,6 +410,7 @@ impl ServingRuntime {
     }
 
     fn store_shed(&self, slots: &[Mutex<Option<RuntimeResult>>], id: u64) {
+        // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
         self.counters.shed.fetch_add(1, Ordering::Relaxed);
         if let Some(slot) = slots.get(id as usize) {
             *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(self.shed_result(id));
@@ -451,12 +463,15 @@ impl ServingRuntime {
                 tg.runtime_inflight.dec();
                 match result.terminal {
                     TerminalProvenance::Full => {
+                        // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                         self.counters.full.fetch_add(1, Ordering::Relaxed);
                     }
                     TerminalProvenance::Degraded => {
+                        // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                         self.counters.degraded.fetch_add(1, Ordering::Relaxed);
                     }
                     TerminalProvenance::Shed => {
+                        // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
                         self.counters.shed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -529,6 +544,7 @@ impl ServingRuntime {
                     };
                 }
             }
+            // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
             self.counters.retries.fetch_add(1, Ordering::Relaxed);
             tg.runtime_retries.incr();
             if !delay.is_zero() {

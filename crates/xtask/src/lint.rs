@@ -15,6 +15,9 @@
 //! | `indexing`    | `expr[...]` inside `for`/`while`/`loop`   | estimation + histogram crates |
 //! | `legacy-estimate` | calls to the deprecated estimation entry points | whole workspace minus shim modules |
 //! | `bare-spawn`  | `thread::spawn(`                          | core serve + workload serving paths |
+//! | `atomic-ordering` | `Ordering::Relaxed` without a justification | sync-façade modules minus telemetry |
+//! | `lock-order`  | nested lock acquisition not in `LOCK_ORDER` | sync-façade modules |
+//! | `sync-direct` | `std::sync` instead of the `xtwig-core::sync` façade | sync-façade modules |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/`, `src/bin/`,
 //! binary roots (`main.rs`), the vendored dependency stand-ins under
@@ -43,6 +46,13 @@ use std::process::ExitCode;
 /// Default location of the committed baseline, relative to the workspace
 /// root.
 const BASELINE_PATH: &str = "lint.baseline";
+
+/// Location of the lock-order manifest, relative to the workspace root:
+/// one `outer -> inner` pair per line (comments with `#`), naming the
+/// receiver expressions of `.lock()`/`.read()`/`.write()` calls that
+/// are sanctioned to nest in that order. Any nesting not listed is a
+/// `lock-order` finding.
+const LOCK_ORDER_PATH: &str = "LOCK_ORDER";
 
 /// One reported violation.
 #[derive(Debug, Clone)]
@@ -95,6 +105,8 @@ pub fn run(args: &[String]) -> ExitCode {
     collect_rs_files(&root, &root, &mut files);
     files.sort();
 
+    let lock_order = read_lock_order(&root.join(LOCK_ORDER_PATH));
+
     let mut findings = Vec::new();
     for rel in &files {
         if !is_library_code(rel) && !legacy_estimate_applies(rel) {
@@ -108,7 +120,7 @@ pub fn run(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        scan_file(rel, &source, &mut findings);
+        scan_file(rel, &source, &lock_order, &mut findings);
     }
 
     // Tally per (rule, file) and compare against the baseline.
@@ -311,8 +323,347 @@ fn scan_bare_spawn(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, us
     }
 }
 
+/// Whether the concurrency rules (`sync-direct`, `lock-order`) apply:
+/// the modules migrated onto the `xtwig-core::sync` façade so loom can
+/// substitute its primitives under `--cfg loom`. A `std::sync` type
+/// smuggled into one of these files would silently escape the model
+/// checker. The façade module itself (`crates/core/src/sync.rs`) is the
+/// one place allowed to name `std::sync`, and is out of scope.
+fn sync_facade_applies(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/serve")
+        || rel == "crates/core/src/telemetry.rs"
+        || rel == "crates/workload/src/runtime.rs"
+        || rel == "crates/workload/src/guarded.rs"
+}
+
+/// Whether the `atomic-ordering` rule applies: the façade scope minus
+/// the telemetry module, whose whole purpose is monotonic `Relaxed`
+/// counters with no cross-thread ordering obligations.
+fn atomic_ordering_applies(rel: &str) -> bool {
+    sync_facade_applies(rel) && rel != "crates/core/src/telemetry.rs"
+}
+
+/// Flags `Ordering::Relaxed` on shared state in protocol code. Relaxed
+/// is correct only when the atomic carries no happens-before edge
+/// (pure stats counters, ticket draws); each such site must carry a
+/// `// lint:allow(atomic-ordering): <invariant>` stating why no
+/// ordering is needed. Everything else should be Acquire/Release.
+fn scan_atomic_ordering(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, usize)) {
+    for (line_no, line) in masked_lines.iter().enumerate() {
+        if line.contains("Ordering::Relaxed") {
+            emit("atomic-ordering", line_no + 1);
+        }
+    }
+}
+
+/// Flags `std::sync` in façade-scoped modules: sync primitives there
+/// must come through `crate::sync` / `xtwig_core::sync` so the loom
+/// build swaps in model-checked versions.
+fn scan_sync_direct(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, usize)) {
+    for (line_no, line) in masked_lines.iter().enumerate() {
+        if line.contains("std::sync") {
+            emit("sync-direct", line_no + 1);
+        }
+    }
+}
+
+/// Reads the `LOCK_ORDER` manifest: `outer -> inner` pairs naming
+/// receiver expressions sanctioned to nest. A missing manifest means no
+/// nesting is sanctioned anywhere.
+fn read_lock_order(path: &Path) -> Vec<(String, String)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut pairs = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((outer, inner)) = line.split_once("->") {
+            pairs.push((outer.trim().to_string(), inner.trim().to_string()));
+        }
+    }
+    pairs
+}
+
+/// Flags lock acquisitions made while another guard is live, unless the
+/// `(outer, inner)` pair is declared in the `LOCK_ORDER` manifest. Two
+/// threads nesting the same pair in opposite orders is the classic
+/// ABBA deadlock; forcing every nesting through a declared partial
+/// order makes the cycle impossible to introduce silently.
+///
+/// The detector is lexical: an acquisition is `.lock()` / `.read()` /
+/// `.write()` on a receiver expression. A guard bound with `let` stays
+/// live until its enclosing block closes or an explicit `drop(name)`;
+/// an unbound acquisition (a statement temporary like
+/// `self.slot.lock()…` used and dropped in one expression) never holds
+/// across another acquisition and is not tracked.
+fn scan_lock_order(
+    masked: &str,
+    order: &[(String, String)],
+    emit: &mut impl FnMut(&'static str, usize),
+) {
+    enum Event {
+        Acquire {
+            at: usize,
+            line: usize,
+            lock: String,
+            binds: Option<String>,
+        },
+        Release {
+            at: usize,
+            name: String,
+        },
+    }
+    let mut events: Vec<Event> = Vec::new();
+    for pat in [".lock()", ".read()", ".write()"] {
+        let mut from = 0;
+        while let Some(i) = masked[from..].find(pat) {
+            let at = from + i;
+            from = at + pat.len();
+            let Some(lock) = receiver_before(masked, at) else {
+                continue;
+            };
+            let line = masked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+            // A `let` binds the guard only when the rest of the chain
+            // preserves it (`let n = m.lock().map(|g| *g)` binds the
+            // mapped value; the guard dies with the statement).
+            let binds = let_binding_before(masked, at)
+                .filter(|_| chain_preserves_guard(masked, at + pat.len()));
+            events.push(Event::Acquire {
+                at,
+                line,
+                lock,
+                binds,
+            });
+        }
+    }
+    // `drop(name)` releases the named guard before its block closes.
+    let mut from = 0;
+    while let Some(i) = masked[from..].find("drop(") {
+        let at = from + i;
+        from = at + "drop(".len();
+        let prev = masked[..at].chars().next_back();
+        if prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            continue; // part of a longer identifier
+        }
+        let rest = &masked[at + "drop(".len()..];
+        let Some(end) = rest.find(')') else { continue };
+        let name = rest[..end].trim();
+        if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            events.push(Event::Release {
+                at,
+                name: name.to_string(),
+            });
+        }
+    }
+    events.sort_by_key(|e| match e {
+        Event::Acquire { at, .. } | Event::Release { at, .. } => *at,
+    });
+
+    // Replay the file byte-by-byte, tracking brace depth so bound guards
+    // die when their block closes. Unbound acquisitions are statement
+    // temporaries: live only until the next `;`, which still catches
+    // two locks taken inside one expression.
+    struct LiveGuard {
+        lock: String,
+        name: Option<String>,
+        depth: usize,
+    }
+    let mut stack: Vec<LiveGuard> = Vec::new();
+    let mut depth = 0usize;
+    let mut ev = events.into_iter().peekable();
+    for (pos, b) in masked.bytes().enumerate() {
+        while let Some(e) = ev.peek() {
+            let at = match e {
+                Event::Acquire { at, .. } | Event::Release { at, .. } => *at,
+            };
+            if at != pos {
+                break;
+            }
+            match ev.next() {
+                Some(Event::Acquire {
+                    line, lock, binds, ..
+                }) => {
+                    for g in &stack {
+                        let sanctioned = order.iter().any(|(o, i)| *o == g.lock && *i == lock);
+                        if !sanctioned {
+                            emit("lock-order", line);
+                        }
+                    }
+                    stack.push(LiveGuard {
+                        lock,
+                        name: binds,
+                        depth,
+                    });
+                }
+                Some(Event::Release { name, .. }) => {
+                    if let Some(i) = stack.iter().rposition(|g| g.name.as_deref() == Some(&name)) {
+                        stack.remove(i);
+                    }
+                }
+                None => break,
+            }
+        }
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                while stack.last().is_some_and(|g| g.depth > depth) {
+                    stack.pop();
+                }
+            }
+            b';' => stack.retain(|g| g.name.is_some() || g.depth < depth),
+            _ => {}
+        }
+    }
+}
+
+/// Whether the method chain following a lock acquisition hands the
+/// guard through to the end of the statement: only `?` and the
+/// `Result`-unwrapping adapters qualify. Anything else (`.map(…)`,
+/// `.len()`, a comparison) consumes the guard inside the expression.
+fn chain_preserves_guard(masked: &str, after: usize) -> bool {
+    let rest = &masked.as_bytes()[after..];
+    let mut i = 0usize;
+    loop {
+        while rest.get(i).is_some_and(u8::is_ascii_whitespace) {
+            i += 1;
+        }
+        match rest.get(i) {
+            None | Some(b';') => return true,
+            Some(b'?') => i += 1,
+            Some(b'.') => {
+                i += 1;
+                while rest.get(i).is_some_and(u8::is_ascii_whitespace) {
+                    i += 1;
+                }
+                let start = i;
+                while rest
+                    .get(i)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                {
+                    i += 1;
+                }
+                if !matches!(
+                    &masked[after + start..after + i],
+                    "unwrap" | "expect" | "unwrap_or_else"
+                ) {
+                    return false;
+                }
+                while rest.get(i).is_some_and(u8::is_ascii_whitespace) {
+                    i += 1;
+                }
+                if rest.get(i) != Some(&b'(') {
+                    return false;
+                }
+                let mut nest = 1usize;
+                i += 1;
+                while i < rest.len() && nest > 0 {
+                    match rest[i] {
+                        b'(' => nest += 1,
+                        b')' => nest -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Walks backward from the `.` of an acquisition call to recover the
+/// receiver expression: identifier/path characters, dots (including
+/// across the whitespace of a multi-line method chain), and index
+/// expressions normalized to `[]` so `self.shards[i]` and
+/// `self.shards[j]` name the same lock.
+fn receiver_before(masked: &str, dot: usize) -> Option<String> {
+    let bytes = masked.as_bytes();
+    let mut i = dot;
+    let mut out: Vec<u8> = Vec::new();
+    // Whitespace between receiver and `.` (chain broken across lines).
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    while i > 0 {
+        let c = bytes[i - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' || c == b':' {
+            out.push(c);
+            i -= 1;
+        } else if c == b']' {
+            // Skip the index expression; normalize to `[]`.
+            let mut nest = 1usize;
+            i -= 1;
+            while i > 0 && nest > 0 {
+                match bytes[i - 1] {
+                    b']' => nest += 1,
+                    b'[' => nest -= 1,
+                    _ => {}
+                }
+                i -= 1;
+            }
+            out.extend(b"][");
+        } else if c.is_ascii_whitespace() {
+            // Whitespace inside the receiver is only part of the chain
+            // when it sits against a `.` (e.g. `self\n    .inner.lock()`).
+            let mut j = i;
+            while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+            let against_dot = out.last() == Some(&b'.') || (j > 0 && bytes[j - 1] == b'.');
+            if against_dot {
+                i = j;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    out.reverse();
+    let s = String::from_utf8(out).ok()?;
+    let s = s.trim_matches(|c| c == '.' || c == ':');
+    if s.is_empty() || s.starts_with(|c: char| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(s.to_string())
+    }
+}
+
+/// If the acquisition at `at` sits in a `let` statement, returns the
+/// bound name (the guard stays live past the expression); `None` means
+/// a statement temporary, dropped at the end of its expression.
+fn let_binding_before(masked: &str, at: usize) -> Option<String> {
+    let start = masked[..at]
+        .rfind([';', '{', '}'])
+        .map_or(0, |i| i + 1);
+    let seg = &masked[start..at];
+    let li = seg.rfind("let ")?;
+    if seg[..li].ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+        return None; // part of a longer identifier
+    }
+    let rest = seg[li + "let ".len()..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
 /// Scans one file, appending findings.
-fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
+fn scan_file(
+    rel: &str,
+    source: &str,
+    lock_order: &[(String, String)],
+    findings: &mut Vec<Finding>,
+) {
     let mut masked = mask_comments_and_strings(source);
     mask_cfg_test_regions(&mut masked);
     let allows = collect_allows(source);
@@ -380,6 +731,15 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
 
     if bare_spawn_applies(rel) {
         scan_bare_spawn(&masked_lines, &mut emit);
+    }
+
+    if sync_facade_applies(rel) {
+        scan_sync_direct(&masked_lines, &mut emit);
+        scan_lock_order(&masked, lock_order, &mut emit);
+    }
+
+    if atomic_ordering_applies(rel) {
+        scan_atomic_ordering(&masked_lines, &mut emit);
     }
 }
 
@@ -760,8 +1120,16 @@ mod tests {
     use super::*;
 
     fn findings_in(rel: &str, src: &str) -> Vec<(String, usize)> {
+        findings_with_order(rel, src, &[])
+    }
+
+    fn findings_with_order(rel: &str, src: &str, order: &[(&str, &str)]) -> Vec<(String, usize)> {
+        let order: Vec<(String, String)> = order
+            .iter()
+            .map(|(o, i)| (o.to_string(), i.to_string()))
+            .collect();
         let mut out = Vec::new();
-        scan_file(rel, src, &mut out);
+        scan_file(rel, src, &order, &mut out);
         out.into_iter()
             .map(|f| (f.rule.to_string(), f.line))
             .collect()
@@ -921,6 +1289,170 @@ mod tests {
         // Scoped spawns are the sanctioned form and never match.
         let scoped = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
         assert!(findings_in("crates/workload/src/runtime.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn atomic_ordering_scope_and_allow() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        // In scope: flagged.
+        assert_eq!(
+            findings_in("crates/core/src/serve/runtime.rs", src),
+            vec![("atomic-ordering".to_string(), 1)]
+        );
+        assert_eq!(
+            findings_in("crates/workload/src/guarded.rs", src),
+            vec![("atomic-ordering".to_string(), 1)]
+        );
+        // Telemetry counters are the sanctioned Relaxed home.
+        assert!(findings_in("crates/core/src/telemetry.rs", src).is_empty());
+        // Out of scope entirely.
+        assert!(findings_in("crates/core/src/estimate/eval.rs", src).is_empty());
+        // A justified site passes.
+        let justified = "// lint:allow(atomic-ordering): monotonic stats counter\n\
+                         fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(findings_in("crates/core/src/serve/runtime.rs", justified).is_empty());
+        // Acquire/Release are always fine.
+        let ordered = "fn f(e: &AtomicU64) { e.store(1, Ordering::Release); }\n";
+        assert!(findings_in("crates/core/src/serve/runtime.rs", ordered).is_empty());
+    }
+
+    #[test]
+    fn sync_direct_denied_in_facade_scope() {
+        let src = "use std::sync::Mutex;\nfn f() {}\n";
+        assert_eq!(
+            findings_in("crates/core/src/serve.rs", src),
+            vec![("sync-direct".to_string(), 1)]
+        );
+        assert_eq!(
+            findings_in("crates/workload/src/runtime.rs", src),
+            vec![("sync-direct".to_string(), 1)]
+        );
+        // The façade itself defines the re-exports and is out of scope,
+        // as is everything not yet migrated.
+        assert!(findings_in("crates/core/src/sync.rs", src).is_empty());
+        assert!(findings_in("crates/core/src/snapshot.rs", src).is_empty());
+        // The sanctioned import paths do not match.
+        let ok = "use crate::sync::{Mutex, PoisonError};\nuse xtwig_core::sync::Arc;\n";
+        assert!(findings_in("crates/core/src/serve/runtime.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn lock_order_flags_undeclared_nesting() {
+        let src = "fn f(&self) {\n\
+                   let a = self.alpha.lock();\n\
+                   let b = self.beta.lock();\n\
+                   }\n";
+        // Undeclared nesting is flagged at the inner acquisition…
+        assert_eq!(
+            findings_in("crates/workload/src/runtime.rs", src),
+            vec![("lock-order".to_string(), 3)]
+        );
+        // …and sanctioned once the manifest declares the pair.
+        assert!(findings_with_order(
+            "crates/workload/src/runtime.rs",
+            src,
+            &[("self.alpha", "self.beta")]
+        )
+        .is_empty());
+        // The declared order is directional: B-then-A is still ABBA.
+        let flipped = "fn f(&self) {\n\
+                       let b = self.beta.lock();\n\
+                       let a = self.alpha.lock();\n\
+                       }\n";
+        assert_eq!(
+            findings_with_order(
+                "crates/workload/src/runtime.rs",
+                flipped,
+                &[("self.alpha", "self.beta")]
+            ),
+            vec![("lock-order".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn lock_order_guard_lifetimes() {
+        // A statement temporary is not live at the next acquisition.
+        let temp = "fn f(&self) {\n\
+                    let n = self.alpha.lock().map(|g| *g);\n\
+                    let b = self.beta.lock();\n\
+                    }\n";
+        assert!(findings_in("crates/workload/src/runtime.rs", temp).is_empty());
+        // An explicit drop releases a bound guard early.
+        let dropped = "fn f(&self) {\n\
+                       let a = self.alpha.lock();\n\
+                       drop(a);\n\
+                       let b = self.beta.lock();\n\
+                       }\n";
+        assert!(findings_in("crates/workload/src/runtime.rs", dropped).is_empty());
+        // A guard dies with its block.
+        let scoped = "fn f(&self) {\n\
+                      { let a = self.alpha.lock(); }\n\
+                      let b = self.beta.lock();\n\
+                      }\n";
+        assert!(findings_in("crates/workload/src/runtime.rs", scoped).is_empty());
+        // RwLock read/write and sharded receivers participate too:
+        // distinct shard indices normalize to one lock name.
+        let sharded = "fn f(&self) {\n\
+                       let g = self.generation.write();\n\
+                       let s = self.shards[self.shard_of(key)].lock();\n\
+                       }\n";
+        assert_eq!(
+            findings_in("crates/workload/src/runtime.rs", sharded),
+            vec![("lock-order".to_string(), 3)]
+        );
+        assert!(findings_with_order(
+            "crates/workload/src/runtime.rs",
+            sharded,
+            &[("self.generation", "self.shards[]")]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn lock_order_receiver_across_chain_breaks() {
+        // Multi-line method chains still recover the full receiver.
+        let src = "fn f(&self) {\n\
+                   let a = self\n\
+                       .alpha\n\
+                       .lock();\n\
+                   let b = self.beta.lock();\n\
+                   }\n";
+        assert!(findings_with_order(
+            "crates/workload/src/runtime.rs",
+            src,
+            &[("self.alpha", "self.beta")]
+        )
+        .is_empty());
+        assert_eq!(
+            findings_in("crates/workload/src/runtime.rs", src),
+            vec![("lock-order".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn lock_order_manifest_parsing() {
+        let dir = std::env::temp_dir().join("xtask-lock-order-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("LOCK_ORDER");
+        std::fs::write(
+            &path,
+            "# comment line\n\
+             self.generation -> self.fault_bursts  # trailing comment\n\
+             \n\
+             self.shards[] -> self.stats\n",
+        )
+        .unwrap();
+        assert_eq!(
+            read_lock_order(&path),
+            vec![
+                (
+                    "self.generation".to_string(),
+                    "self.fault_bursts".to_string()
+                ),
+                ("self.shards[]".to_string(), "self.stats".to_string()),
+            ]
+        );
+        assert!(read_lock_order(&dir.join("missing")).is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::time::{Duration, Instant};
 use xtwig::datagen::{xmark, XMarkConfig};
 use xtwig::prelude::*;
-use xtwig::workload::Tier;
+use xtwig::workload::{ChainControls, Tier};
 
 fn main() {
     let doc = xmark(XMarkConfig {
@@ -35,7 +35,7 @@ fn main() {
     };
     let guarded = GuardedEstimator::new(&synopsis, policy);
     let q = parse_twig("for $t0 in //open_auction, $t1 in $t0/bidder").unwrap();
-    let out = guarded.estimate_guarded(&q);
+    let (out, _) = guarded.estimate_controlled(&q, false, &ChainControls::default());
     let truth = selectivity(&doc, &q);
     println!(
         "\nhealthy query: estimate {:.1} (exact {truth}) served by {} tier, degraded: {}",
@@ -67,7 +67,7 @@ fn main() {
     let guarded = GuardedEstimator::new(&deep_syn, tight);
     let deep_q = parse_twig("for $t0 in //a, $t1 in $t0//a, $t2 in $t1//a").unwrap();
     let t0 = Instant::now();
-    let out = guarded.estimate_guarded(&deep_q);
+    let (out, _) = guarded.estimate_controlled(&deep_q, false, &ChainControls::default());
     let elapsed = t0.elapsed();
     println!("\ndeep twig under a 1 ms deadline ({elapsed:?} wall):");
     for a in &out.attempts {
@@ -106,7 +106,8 @@ fn main() {
         Err(e) => println!("corrupted snapshot rejected: {e}"),
     }
     let recovered = coarse_synopsis(&doc); // rebuild, as the CLI does
-    let after = GuardedEstimator::new(&recovered, GuardPolicy::default()).estimate_guarded(&q);
+    let after = GuardedEstimator::new(&recovered, GuardPolicy::default())
+        .estimate(&EstimateRequest::new(&q));
     println!(
         "recovered estimate {:.1} (exact {truth}) — service never observed a bad synopsis",
         after.estimate

@@ -46,8 +46,9 @@ fn main() {
         ("documentaries (type=4)", &documentary),
     ] {
         let truth = selectivity(&doc, q);
-        let c = estimate_selectivity(&coarse, q, &opts);
-        let r = estimate_selectivity(&refined, q, &opts);
+        let req = EstimateRequest::with_options(q, opts);
+        let c = InterpretedEstimator::new(&coarse).estimate(&req).estimate;
+        let r = InterpretedEstimator::new(&refined).estimate(&req).estimate;
         println!("{name:<36}{truth:>10}{c:>14.0}{r:>14.0}");
     }
     println!();

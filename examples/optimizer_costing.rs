@@ -35,14 +35,19 @@ fn main() {
     let branches = ["bidder", "annotation", "interval/start", "seller"];
     println!("\nbranch fan-out estimates under //open_auction:");
     let base = parse_twig("for $t0 in //open_auction").unwrap();
-    let base_est = estimate_selectivity(&synopsis, &base, &opts);
+    let estimator = InterpretedEstimator::new(&synopsis);
+    let base_est = estimator
+        .estimate(&EstimateRequest::with_options(&base, opts))
+        .estimate;
     let base_truth = selectivity(&doc, &base) as f64;
     println!("  |//open_auction| = {base_truth} (est {base_est:.1})");
 
     let mut ranked: Vec<(f64, f64, &str)> = Vec::new();
     for b in branches {
         let q = parse_twig(&format!("for $t0 in //open_auction, $t1 in $t0/{b}")).unwrap();
-        let est = estimate_selectivity(&synopsis, &q, &opts);
+        let est = estimator
+            .estimate(&EstimateRequest::with_options(&q, opts))
+            .estimate;
         let truth = selectivity(&doc, &q) as f64;
         ranked.push((est / base_est.max(1.0), truth / base_truth.max(1.0), b));
     }

@@ -55,7 +55,10 @@ fn main() {
         qs.iter()
             .map(|q| {
                 let t = selectivity(&doc, q) as f64;
-                (estimate_selectivity(s, q, &e) - t).abs() / t.max(1.0)
+                let est = InterpretedEstimator::new(s)
+                    .estimate(&EstimateRequest::with_options(q, e))
+                    .estimate;
+                (est - t).abs() / t.max(1.0)
             })
             .sum::<f64>()
             / qs.len() as f64

@@ -43,12 +43,13 @@ fn main() {
     // default histograms.
     let coarse = coarse_synopsis(&doc);
     let opts = EstimateOptions::default();
+    let req = EstimateRequest::with_options(&query, opts);
     println!(
         "coarse synopsis:  {} nodes, {} edges, {} bytes -> estimate {:.2}",
         coarse.node_count(),
         coarse.edge_count(),
         coarse.size_bytes(),
-        estimate_selectivity(&coarse, &query, &opts)
+        InterpretedEstimator::new(&coarse).estimate(&req).estimate
     );
 
     // XBUILD: refine within a budget, scoring refinements on sampled
@@ -68,6 +69,6 @@ fn main() {
     for r in trace.rounds.iter().take(5) {
         println!("  applied {:?} -> {} bytes", r.applied, r.size_bytes);
     }
-    let est = estimate_selectivity(&synopsis, &query, &opts);
+    let est = InterpretedEstimator::new(&synopsis).estimate(&req).estimate;
     println!("estimate: {est:.2} (truth {truth})");
 }

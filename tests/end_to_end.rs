@@ -3,7 +3,7 @@
 
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
 use xtwig::core::estimate::EstimateOptions;
-use xtwig::core::{coarse_synopsis, estimate_selectivity};
+use xtwig::core::{coarse_synopsis, EstimateRequest, Estimator, InterpretedEstimator};
 use xtwig::datagen::Dataset;
 use xtwig::workload::{
     avg_relative_error, generate_workload, WorkloadKind, WorkloadSpec, XsketchEstimator,
@@ -80,8 +80,10 @@ fn estimates_are_finite_and_nonnegative_across_workloads() {
             ..Default::default()
         };
         let w = generate_workload(&doc, &spec);
+        let estimator = InterpretedEstimator::new(&s);
         for q in &w.queries {
-            let e = estimate_selectivity(&s, q, &EstimateOptions::default());
+            let req = EstimateRequest::with_options(q, EstimateOptions::default());
+            let e = estimator.estimate(&req).estimate;
             assert!(e.is_finite() && e >= 0.0, "query {q} -> {e}");
         }
     }

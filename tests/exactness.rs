@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use xtwig::core::estimate::EstimateOptions;
 use xtwig::core::synopsis::{DimKind, ScopeDim};
-use xtwig::core::{coarse_synopsis, estimate_selectivity};
+use xtwig::core::{coarse_synopsis, EstimateRequest, Estimator, InterpretedEstimator};
 use xtwig::query::{enumerate_bindings, parse_twig, selectivity, PathExpr, TwigQuery};
 use xtwig::xml::{Document, DocumentBuilder};
 
@@ -90,7 +90,9 @@ proptest! {
         ] {
             let q = parse_twig(text).unwrap();
             let truth = selectivity(&doc, &q) as f64;
-            let est = estimate_selectivity(&s, &q, &opts);
+            let est = InterpretedEstimator::new(&s)
+                .estimate(&EstimateRequest::with_options(&q, opts))
+                .estimate;
             prop_assert!(
                 (est - truth).abs() < 1e-6 * truth.max(1.0),
                 "{text}: est {est} truth {truth}"
@@ -119,7 +121,9 @@ proptest! {
         for text in ["for $t0 in //a, $t1 in $t0/b", "for $t0 in //b, $t1 in $t0/d"] {
             let q = parse_twig(text).unwrap();
             let truth = selectivity(&doc, &q) as f64;
-            let est = estimate_selectivity(&s, &q, &opts);
+            let est = InterpretedEstimator::new(&s)
+                .estimate(&EstimateRequest::with_options(&q, opts))
+                .estimate;
             prop_assert!((est - truth).abs() < 1e-6 * truth.max(1.0), "{text}: {est} vs {truth}");
         }
     }

@@ -4,7 +4,7 @@
 
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
 use xtwig::core::estimate::EstimateOptions;
-use xtwig::core::{estimate_selectivity, load_synopsis, save_synopsis};
+use xtwig::core::{load_synopsis, save_synopsis, EstimateRequest, Estimator, InterpretedEstimator};
 use xtwig::datagen::{imdb, ImdbConfig};
 use xtwig::workload::{generate_workload, WorkloadKind, WorkloadSpec};
 
@@ -39,9 +39,12 @@ fn snapshot_preserves_workload_estimates() {
             ..Default::default()
         };
         let w = generate_workload(&doc, &spec);
+        let built = InterpretedEstimator::new(&synopsis);
+        let reloaded = InterpretedEstimator::new(&loaded);
         for q in &w.queries {
-            let a = estimate_selectivity(&synopsis, q, &opts);
-            let b = estimate_selectivity(&loaded, q, &opts);
+            let req = EstimateRequest::with_options(q, opts);
+            let a = built.estimate(&req).estimate;
+            let b = reloaded.estimate(&req).estimate;
             assert!(
                 (a - b).abs() <= 1e-9 * a.abs().max(1.0),
                 "estimates diverged after reload for {q}: {a} vs {b}"

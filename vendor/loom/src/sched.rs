@@ -1,0 +1,357 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! Model threads are real OS threads serialized by a baton: a shared
+//! [`State`] names the one thread allowed to run (`current`), and every
+//! yield point makes a *decision* — which runnable thread runs next —
+//! that is appended to the iteration's trace. Replaying a trace prefix
+//! and diverging at its last decision gives depth-first exploration of
+//! the whole schedule tree; alternatives that would exceed the
+//! preemption bound are pruned (CHESS-style iterative context
+//! bounding).
+//!
+//! Threads *block* (on a mutex, rwlock, condvar, or join) by marking
+//! themselves non-runnable before the decision; if a decision ever
+//! finds no runnable thread while unfinished threads remain, the
+//! iteration deadlocked and the checker panics with the fact.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Process-unique ids for model-visible resources. Only compared within
+/// one iteration, so cross-iteration growth is harmless.
+static NEXT_RESOURCE: AtomicUsize = AtomicUsize::new(0);
+
+pub(crate) fn new_resource_id() -> usize {
+    NEXT_RESOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// What a blocked thread is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Resource {
+    /// A mutex (by resource id).
+    Lock(usize),
+    /// A rwlock (by resource id).
+    Rw(usize),
+    /// A condvar (by resource id).
+    Cond(usize),
+    /// Completion of a thread (by thread id).
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    Blocked(Resource),
+    Finished,
+}
+
+/// One scheduling decision. `runnable` is in canonical order: the
+/// previously running thread first when it is still runnable (index 0 =
+/// "keep running, no preemption"), then the rest ascending by id.
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    runnable: Vec<usize>,
+    index: usize,
+    prev_runnable: bool,
+}
+
+impl Decision {
+    /// Whether this decision preempted a thread that could have kept
+    /// running — the quantity the exploration bound limits.
+    fn preemptive(&self) -> bool {
+        self.prev_runnable && self.index > 0
+    }
+}
+
+struct State {
+    threads: Vec<Run>,
+    current: usize,
+    replay: Vec<Decision>,
+    trace: Vec<Decision>,
+    deadlocked: bool,
+    failed: bool,
+}
+
+/// One iteration's scheduler. See module docs.
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's scheduler context, when inside a model run.
+pub(crate) fn context() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Yield point for the calling thread; no-op outside a model run.
+pub(crate) fn yield_now() {
+    if let Some((sched, me)) = context() {
+        sched.yield_point(me);
+    }
+}
+
+impl Scheduler {
+    pub(crate) fn new(replay: Vec<Decision>, _preemption_bound: usize) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: vec![Run::Runnable], // thread 0 = root
+                current: 0,
+                replay,
+                trace: Vec::new(),
+                deadlocked: false,
+                failed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends the next decision and installs the chosen thread as
+    /// `current`. Panics (and flags every waiter) on deadlock.
+    fn decide(&self, st: &mut State) {
+        let prev = st.current;
+        let mut runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Run::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|r| matches!(r, Run::Finished)) {
+                return;
+            }
+            st.deadlocked = true;
+            self.cv.notify_all();
+            panic!(
+                "loom: deadlock — every live thread is blocked: {:?}",
+                st.threads
+            );
+        }
+        let prev_runnable = runnable.contains(&prev);
+        if prev_runnable {
+            runnable.retain(|&t| t != prev);
+            runnable.insert(0, prev);
+        }
+        let i = st.trace.len();
+        let index = if i < st.replay.len() {
+            assert_eq!(
+                st.replay[i].runnable, runnable,
+                "loom: nondeterministic replay at decision {i} — the model \
+                 closure must be deterministic given the schedule"
+            );
+            st.replay[i].index
+        } else {
+            0
+        };
+        st.current = runnable[index];
+        st.trace.push(Decision {
+            runnable,
+            index,
+            prev_runnable,
+        });
+    }
+
+    fn wait_until_current(&self, me: usize, mut st: MutexGuard<'_, State>) {
+        loop {
+            // Checked before the current-thread test: once an iteration
+            // deadlocks, every parked thread must fail with the fact
+            // even if finish-time cleanup handed it the baton.
+            assert!(
+                !st.deadlocked,
+                "loom: deadlock — every live thread is blocked"
+            );
+            if st.current == me {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// One schedule point: decide who runs next, hand over the baton,
+    /// and return once this thread is scheduled again.
+    pub(crate) fn yield_point(self: &Arc<Self>, me: usize) {
+        let mut st = self.lock_state();
+        self.decide(&mut st);
+        self.cv.notify_all();
+        self.wait_until_current(me, st);
+    }
+
+    /// Blocks this thread on `r` (optionally releasing waiters of
+    /// `also_unblock` in the same step — the condvar wait's atomic
+    /// "unlock then sleep") and returns once unblocked *and* scheduled.
+    pub(crate) fn block(self: &Arc<Self>, me: usize, r: Resource, also_unblock: Option<Resource>) {
+        let mut st = self.lock_state();
+        st.threads[me] = Run::Blocked(r);
+        if let Some(u) = also_unblock {
+            Self::unblock_locked(&mut st, u, usize::MAX);
+        }
+        self.decide(&mut st);
+        self.cv.notify_all();
+        self.wait_until_current(me, st);
+    }
+
+    fn unblock_locked(st: &mut State, r: Resource, limit: usize) {
+        let mut left = limit;
+        for t in st.threads.iter_mut() {
+            if left == 0 {
+                break;
+            }
+            if *t == Run::Blocked(r) {
+                *t = Run::Runnable;
+                left -= 1;
+            }
+        }
+    }
+
+    /// Makes up to `limit` threads blocked on `r` runnable again. Does
+    /// not yield — callers follow with [`yield_point`](Self::yield_point)
+    /// where a schedule point is wanted.
+    pub(crate) fn unblock(&self, r: Resource, limit: usize) {
+        let mut st = self.lock_state();
+        Self::unblock_locked(&mut st, r, limit);
+    }
+
+    /// Registers a new model thread, returning its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(Run::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Blocks the caller until `tid` finishes (model-side join).
+    pub(crate) fn join_wait(self: &Arc<Self>, me: usize, tid: usize) {
+        let mut st = self.lock_state();
+        if matches!(st.threads[tid], Run::Finished) {
+            return;
+        }
+        st.threads[me] = Run::Blocked(Resource::Join(tid));
+        self.decide(&mut st);
+        self.cv.notify_all();
+        self.wait_until_current(me, st);
+    }
+
+    /// Marks `tid` finished, wakes its joiners, and passes the baton.
+    pub(crate) fn finish(self: &Arc<Self>, tid: usize, failed: bool) {
+        let mut st = self.lock_state();
+        st.threads[tid] = Run::Finished;
+        st.failed |= failed;
+        Self::unblock_locked(&mut st, Resource::Join(tid), usize::MAX);
+        if st.current == tid {
+            self.decide(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait_all_finished(&self) {
+        let mut st = self.lock_state();
+        loop {
+            assert!(
+                !st.deadlocked,
+                "loom: deadlock — every live thread is blocked"
+            );
+            if st.threads.iter().all(|r| matches!(r, Run::Finished)) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// This iteration's decision trace (call after the run completes).
+    pub(crate) fn take_trace(&self) -> Vec<Decision> {
+        std::mem::take(&mut self.lock_state().trace)
+    }
+}
+
+/// Runs one iteration: installs the root context, executes the closure,
+/// waits for every spawned thread, and propagates any failure.
+pub(crate) fn run_root<F: Fn()>(sched: &Arc<Scheduler>, f: &F, iteration: usize) {
+    CTX.with(|c| {
+        let mut ctx = c.borrow_mut();
+        assert!(
+            ctx.is_none(),
+            "loom: nested model() calls are not supported"
+        );
+        *ctx = Some((Arc::clone(sched), 0));
+    });
+    let result = catch_unwind(AssertUnwindSafe(f));
+    sched.finish(0, result.is_err());
+    // Even on a root panic, let already-spawned threads drain so their
+    // OS threads do not linger into the next iteration.
+    let drain = catch_unwind(AssertUnwindSafe(|| sched.wait_all_finished()));
+    CTX.with(|c| *c.borrow_mut() = None);
+    if let Err(payload) = result {
+        eprintln!("loom: failing schedule found on iteration {iteration}");
+        resume_unwind(payload);
+    }
+    if let Err(payload) = drain {
+        eprintln!("loom: failing schedule found on iteration {iteration}");
+        resume_unwind(payload);
+    }
+    if sched.lock_state().failed {
+        panic!("loom: a model thread panicked on iteration {iteration} (see output above)");
+    }
+}
+
+/// Spawns a model thread participating in the schedule; used by
+/// [`crate::thread::spawn`] when a model run is active.
+pub(crate) fn spawn_model<F, T>(
+    sched: &Arc<Scheduler>,
+    me: usize,
+    f: F,
+) -> (usize, std::thread::JoinHandle<T>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = sched.register_thread();
+    let s2 = Arc::clone(sched);
+    let handle = std::thread::spawn(move || {
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&s2), tid)));
+        {
+            let st = s2.lock_state();
+            s2.wait_until_current(tid, st);
+        }
+        let result = catch_unwind(AssertUnwindSafe(f));
+        let failed = result.is_err();
+        // Tolerate a poisoned scheduler (deadlock elsewhere): finishing
+        // is best-effort once the iteration is already failing.
+        let _ = catch_unwind(AssertUnwindSafe(|| s2.finish(tid, failed)));
+        CTX.with(|c| *c.borrow_mut() = None);
+        match result {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    });
+    // Spawning is itself a schedule point: the child may run first.
+    sched.yield_point(me);
+    (tid, handle)
+}
+
+/// Computes the next schedule to explore from a completed trace, or
+/// `None` when the (preemption-bounded) space is exhausted: depth-first
+/// backtracking to the deepest decision with an unexplored alternative.
+pub(crate) fn next_schedule(mut trace: Vec<Decision>, bound: usize) -> Option<Vec<Decision>> {
+    loop {
+        let last = trace.pop()?;
+        let used: usize = trace.iter().filter(|d| d.preemptive()).count();
+        let mut index = last.index + 1;
+        while index < last.runnable.len() {
+            let preemptive = last.prev_runnable && index > 0;
+            if !preemptive || used < bound {
+                trace.push(Decision { index, ..last });
+                return Some(trace);
+            }
+            index += 1;
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Model-checked synchronization primitives, API-compatible with the
+//! `std::sync` subset the workspace uses.
+//!
+//! Inside a [`crate::model`] run every operation is a schedule point;
+//! blocking operations park the thread in the scheduler (never in the
+//! underlying `std` primitive), so the checker sees exactly which
+//! thread waits on what and can detect deadlocks. Outside a model run
+//! everything degrades to plain `std` behaviour.
+
+use crate::sched::{self, Resource};
+
+pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult};
+
+/// Mutual exclusion with scheduler-visible blocking.
+pub struct Mutex<T: ?Sized> {
+    id: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a schedule point.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    std: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: sched::new_resource_id(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, parking in the scheduler while contended.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((sched, me)) = sched::context() {
+            loop {
+                sched.yield_point(me);
+                match self.inner.try_lock() {
+                    Ok(g) => return Ok(self.guard(g)),
+                    Err(TryLockError::Poisoned(p)) => {
+                        return Err(PoisonError::new(self.guard(p.into_inner())));
+                    }
+                    Err(TryLockError::WouldBlock) => {
+                        sched.block(me, Resource::Lock(self.id), None);
+                    }
+                }
+            }
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(self.guard(g)),
+            Err(p) => Err(PoisonError::new(self.guard(p.into_inner()))),
+        }
+    }
+
+    fn guard<'a>(&'a self, std: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard {
+            lock: self,
+            std: Some(std),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_deref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_deref_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.std.take().is_some() {
+            if let Some((sched, me)) = sched::context() {
+                sched.unblock(Resource::Lock(self.lock.id), usize::MAX);
+                sched.yield_point(me);
+            }
+        }
+    }
+}
+
+/// Condition variable whose waiters park in the scheduler during a
+/// model run, preserving lost-wakeup semantics (a notify with no
+/// waiter is dropped, exactly as in `std`).
+pub struct Condvar {
+    id: usize,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar {
+            id: sched::new_resource_id(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard` and waits for a notification, then
+    /// reacquires the mutex.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if let Some((sched, me)) = sched::context() {
+            let lock = guard.lock;
+            // Drop the std guard without a schedule point: the release
+            // and the sleep must be one atomic step, so the waking of
+            // lock waiters happens inside the same scheduler decision.
+            drop(guard.std.take());
+            std::mem::forget(guard);
+            sched.block(me, Resource::Cond(self.id), Some(Resource::Lock(lock.id)));
+            return lock.lock();
+        }
+        let lock = guard.lock;
+        let std = guard.std.take().expect("guard already released");
+        std::mem::forget(guard);
+        match self.inner.wait(std) {
+            Ok(g) => Ok(lock.guard(g)),
+            Err(p) => Err(PoisonError::new(lock.guard(p.into_inner()))),
+        }
+    }
+
+    /// Wakes one waiter, if any.
+    pub fn notify_one(&self) {
+        if let Some((sched, me)) = sched::context() {
+            sched.unblock(Resource::Cond(self.id), 1);
+            sched.yield_point(me);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if let Some((sched, me)) = sched::context() {
+            sched.unblock(Resource::Cond(self.id), usize::MAX);
+            sched.yield_point(me);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+/// Reader-writer lock with scheduler-visible blocking.
+pub struct RwLock<T: ?Sized> {
+    id: usize,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    std: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    std: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            id: sched::new_resource_id(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if let Some((sched, me)) = sched::context() {
+            loop {
+                sched.yield_point(me);
+                match self.inner.try_read() {
+                    Ok(g) => {
+                        return Ok(RwLockReadGuard {
+                            lock: self,
+                            std: Some(g),
+                        })
+                    }
+                    Err(TryLockError::Poisoned(p)) => {
+                        return Err(PoisonError::new(RwLockReadGuard {
+                            lock: self,
+                            std: Some(p.into_inner()),
+                        }));
+                    }
+                    Err(TryLockError::WouldBlock) => {
+                        sched.block(me, Resource::Rw(self.id), None);
+                    }
+                }
+            }
+        }
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                lock: self,
+                std: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                lock: self,
+                std: Some(p.into_inner()),
+            })),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if let Some((sched, me)) = sched::context() {
+            loop {
+                sched.yield_point(me);
+                match self.inner.try_write() {
+                    Ok(g) => {
+                        return Ok(RwLockWriteGuard {
+                            lock: self,
+                            std: Some(g),
+                        })
+                    }
+                    Err(TryLockError::Poisoned(p)) => {
+                        return Err(PoisonError::new(RwLockWriteGuard {
+                            lock: self,
+                            std: Some(p.into_inner()),
+                        }));
+                    }
+                    Err(TryLockError::WouldBlock) => {
+                        sched.block(me, Resource::Rw(self.id), None);
+                    }
+                }
+            }
+        }
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                lock: self,
+                std: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                lock: self,
+                std: Some(p.into_inner()),
+            })),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_deref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.std.take().is_some() {
+            if let Some((sched, me)) = sched::context() {
+                sched.unblock(Resource::Rw(self.lock.id), usize::MAX);
+                sched.yield_point(me);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_deref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_deref_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.std.take().is_some() {
+            if let Some((sched, me)) = sched::context() {
+                sched.unblock(Resource::Rw(self.lock.id), usize::MAX);
+                sched.yield_point(me);
+            }
+        }
+    }
+}
+
+/// Atomic types whose every operation is a schedule point.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    /// Memory fence — a bare schedule point under the sequentially
+    /// consistent model.
+    pub fn fence(_order: Ordering) {
+        crate::sched::yield_now();
+    }
+
+    macro_rules! model_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $int:ty) => {
+            $(#[$doc])*
+            ///
+            /// All orderings are modeled as `SeqCst` (see the crate docs'
+            /// fidelity caveats); `compare_exchange_weak` never fails
+            /// spuriously, so CAS retry loops stay finite under
+            /// exploration.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic (usable in `const`/`static`).
+                pub const fn new(value: $int) -> $name {
+                    $name { inner: <$std>::new(value) }
+                }
+
+                /// Loads the value.
+                pub fn load(&self, _order: Ordering) -> $int {
+                    crate::sched::yield_now();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Stores a value.
+                pub fn store(&self, value: $int, _order: Ordering) {
+                    crate::sched::yield_now();
+                    self.inner.store(value, Ordering::SeqCst)
+                }
+
+                /// Swaps in a value, returning the previous one.
+                pub fn swap(&self, value: $int, _order: Ordering) -> $int {
+                    crate::sched::yield_now();
+                    self.inner.swap(value, Ordering::SeqCst)
+                }
+
+                /// Wrapping add, returning the previous value.
+                pub fn fetch_add(&self, value: $int, _order: Ordering) -> $int {
+                    crate::sched::yield_now();
+                    self.inner.fetch_add(value, Ordering::SeqCst)
+                }
+
+                /// Wrapping subtract, returning the previous value.
+                pub fn fetch_sub(&self, value: $int, _order: Ordering) -> $int {
+                    crate::sched::yield_now();
+                    self.inner.fetch_sub(value, Ordering::SeqCst)
+                }
+
+                /// Maximum, returning the previous value.
+                pub fn fetch_max(&self, value: $int, _order: Ordering) -> $int {
+                    crate::sched::yield_now();
+                    self.inner.fetch_max(value, Ordering::SeqCst)
+                }
+
+                /// Minimum, returning the previous value.
+                pub fn fetch_min(&self, value: $int, _order: Ordering) -> $int {
+                    crate::sched::yield_now();
+                    self.inner.fetch_min(value, Ordering::SeqCst)
+                }
+
+                /// Compare-and-swap; `Err` carries the actual value.
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$int, $int> {
+                    crate::sched::yield_now();
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Like [`Self::compare_exchange`]; modeled without
+                /// spurious failures.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// Schedule-point-instrumented `AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    model_atomic!(
+        /// Schedule-point-instrumented `AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    model_atomic!(
+        /// Schedule-point-instrumented `AtomicU32`.
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+}

@@ -1,0 +1,70 @@
+//! Model-checked threads.
+//!
+//! [`spawn`] inside a [`crate::model`] run registers the thread with
+//! the scheduler (spawning is itself a schedule point, so the child may
+//! run before the parent's next instruction); outside a run it is plain
+//! `std::thread::spawn`.
+
+use std::sync::Arc;
+
+use crate::sched::{self, Scheduler};
+
+/// Handle to a spawned thread; [`join`](JoinHandle::join) is a blocking
+/// schedule point in a model run.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    model: Option<(Arc<Scheduler>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result (`Err`
+    /// carries the panic payload, as in `std`).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((sched, tid)) = &self.model {
+            if let Some((_, me)) = sched::context() {
+                sched.join_wait(me, *tid);
+            }
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawns a thread, model-scheduled when a model run is active.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::context() {
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            model: None,
+        },
+        Some((sched, me)) => {
+            let (tid, inner) = sched::spawn_model(&sched, me, f);
+            JoinHandle {
+                inner,
+                model: Some((sched, tid)),
+            }
+        }
+    }
+}
+
+/// Schedule point in a model run; `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    if sched::context().is_some() {
+        sched::yield_now();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// In a model run time is instantaneous, so sleeping is just a schedule
+/// point; outside it is a real `std::thread::sleep`.
+pub fn sleep(dur: std::time::Duration) {
+    if sched::context().is_some() {
+        sched::yield_now();
+    } else {
+        std::thread::sleep(dur);
+    }
+}
