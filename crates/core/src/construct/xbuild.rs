@@ -16,7 +16,7 @@ use crate::coarse::coarse_synopsis;
 use crate::compiled::CompiledSynopsis;
 use crate::construct::refine::{best_expand_dim_with, best_value_expand, Refinement};
 use crate::construct::sample::sample_region_workload;
-use crate::estimate::{estimate_selectivity, EstimateOptions};
+use crate::estimate::{EstimateOptions, EstimateRequest, Estimator, InterpretedEstimator};
 use crate::synopsis::{SynId, Synopsis};
 use crate::telemetry;
 use rand::rngs::StdRng;
@@ -38,7 +38,11 @@ impl TruthSource<'_> {
     fn truth(&self, doc: &Document, q: &TwigQuery, opts: &EstimateOptions) -> f64 {
         match self {
             TruthSource::Exact => selectivity(doc, q) as f64,
-            TruthSource::Reference(r) => estimate_selectivity(r, q, opts),
+            TruthSource::Reference(r) => {
+                InterpretedEstimator::new(r)
+                    .estimate(&EstimateRequest::with_options(q, *opts))
+                    .estimate
+            }
         }
     }
 }
@@ -515,6 +519,7 @@ fn gen_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimate::estimate_selectivity;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use xtwig_xml::DocumentBuilder;

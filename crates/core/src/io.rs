@@ -28,6 +28,8 @@
 //! file plus `rename`, so a crash mid-write never leaves a torn snapshot
 //! at the destination path.
 
+pub mod wal;
+
 use crate::synopsis::{
     DimKind, EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, SynopsisNode, ValueBuckets,
     ValueSummary,
@@ -62,6 +64,12 @@ pub enum SnapshotError {
         path: String,
     },
     /// The snapshot is zero bytes long.
+    ///
+    /// Legacy variant: since the incremental-maintenance work, zero-length
+    /// and header-only inputs surface as [`SnapshotError::Truncated`] with
+    /// exact expected/actual lengths (a zero-length file at a snapshot
+    /// path is a torn write, not a distinct corruption mode). Kept so
+    /// existing matches keep compiling.
     Empty {
         /// Path involved, when reading from disk.
         path: Option<String>,
@@ -372,10 +380,21 @@ impl<'a> R<'a> {
 /// Deserializes a snapshot produced by [`save_synopsis`] (either format
 /// version). The returned synopsis is estimation-only (no extents).
 pub fn load_synopsis(bytes: &[u8]) -> Result<Synopsis, SnapshotError> {
-    if bytes.is_empty() {
-        return Err(SnapshotError::Empty { path: None });
+    if bytes.len() < 8 {
+        // Too short to even carry magic + version. A prefix of the magic
+        // (including zero bytes) is a torn write of our own format —
+        // report exact lengths; anything else is foreign data.
+        let n = bytes.len().min(4);
+        return if bytes[..n] == MAGIC[..n] {
+            Err(SnapshotError::Truncated {
+                expected: HEADER_LEN,
+                actual: bytes.len(),
+            })
+        } else {
+            Err(SnapshotError::NotASnapshot)
+        };
     }
-    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+    if &bytes[..4] != MAGIC {
         return Err(SnapshotError::NotASnapshot);
     }
     let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
@@ -413,7 +432,17 @@ pub fn load_synopsis(bytes: &[u8]) -> Result<Synopsis, SnapshotError> {
             }
             decode_payload(payload, HEADER_LEN)
         }
-        LEGACY_VERSION => decode_payload(&bytes[8..], 8),
+        LEGACY_VERSION => {
+            if bytes.len() == 8 {
+                // Header-only v1 file: a torn write stopped before the
+                // first payload byte (the 4-byte label count).
+                return Err(SnapshotError::Truncated {
+                    expected: 12,
+                    actual: 8,
+                });
+            }
+            decode_payload(&bytes[8..], 8)
+        }
         other => Err(SnapshotError::UnsupportedVersion { version: other }),
     }
 }
@@ -593,17 +622,13 @@ pub fn read_snapshot(path: &Path) -> Result<Synopsis, SnapshotError> {
     if meta.is_dir() {
         return Err(SnapshotError::IsDirectory { path: shown });
     }
-    if meta.len() == 0 {
-        return Err(SnapshotError::Empty { path: Some(shown) });
-    }
     let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io {
         path: shown.clone(),
         cause: e.to_string(),
     })?;
-    match load_synopsis(&bytes) {
-        Err(SnapshotError::Empty { path: None }) => Err(SnapshotError::Empty { path: Some(shown) }),
-        other => other,
-    }
+    // Zero-length and header-only files surface as `Truncated` with the
+    // exact expected/actual byte counts (see `load_synopsis`).
+    load_synopsis(&bytes)
 }
 
 /// Serializes `s` and writes it to `path` crash-safely: the bytes go to
@@ -612,6 +637,18 @@ pub fn read_snapshot(path: &Path) -> Result<Synopsis, SnapshotError> {
 /// or the new one — never a torn file. Returns the snapshot size in
 /// bytes.
 pub fn write_snapshot_atomic(path: &Path, s: &Synopsis) -> Result<usize, SnapshotError> {
+    let bytes = save_synopsis(s);
+    write_bytes_atomic(path, &bytes)?;
+    Ok(bytes.len())
+}
+
+/// Writes `bytes` to `path` with the tmp+rename+fsync discipline shared
+/// by every durable artifact (snapshots, WAL resets, journaled
+/// documents): the payload goes to a temporary sibling which is fsynced
+/// and renamed over the destination, then the parent directory is
+/// fsynced so the rename itself persists. A crash at any point leaves
+/// either the old file or the new one — never a torn mix.
+pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
     let shown = path.display().to_string();
     let io_err = |e: std::io::Error| SnapshotError::Io {
         path: shown.clone(),
@@ -620,14 +657,16 @@ pub fn write_snapshot_atomic(path: &Path, s: &Synopsis) -> Result<usize, Snapsho
     if path.is_dir() {
         return Err(SnapshotError::IsDirectory { path: shown });
     }
-    let bytes = save_synopsis(s);
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     {
         use std::io::Write as _;
+        // This IS the atomic helper — the tmp file is fsynced and
+        // renamed over the destination below.
+        // lint:allow(wal-fsync): atomic-helper tmp-file write
         let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
-        f.write_all(&bytes).map_err(io_err)?;
+        f.write_all(bytes).map_err(io_err)?;
         f.sync_all().map_err(io_err)?;
     }
     if let Err(e) = std::fs::rename(&tmp, path) {
@@ -640,7 +679,7 @@ pub fn write_snapshot_atomic(path: &Path, s: &Synopsis) -> Result<usize, Snapsho
             let _ = d.sync_all();
         }
     }
-    Ok(bytes.len())
+    Ok(())
 }
 
 #[cfg(test)]
@@ -733,10 +772,37 @@ mod tests {
             load_synopsis(&bad),
             Err(SnapshotError::TrailingBytes { extra: 1 })
         ));
-        // Empty input.
+        // Empty input: a zero-length snapshot is a torn write with exact
+        // expected/actual lengths.
         assert!(matches!(
             load_synopsis(&[]),
-            Err(SnapshotError::Empty { path: None })
+            Err(SnapshotError::Truncated {
+                expected: HEADER_LEN,
+                actual: 0
+            })
+        ));
+        // Magic-prefix fragments are truncations of our own format;
+        // foreign bytes are not.
+        assert!(matches!(
+            load_synopsis(b"XTW"),
+            Err(SnapshotError::Truncated {
+                expected: HEADER_LEN,
+                actual: 3
+            })
+        ));
+        assert!(matches!(
+            load_synopsis(b"nope"),
+            Err(SnapshotError::NotASnapshot)
+        ));
+        // Header-only v1 file.
+        let mut v1_hdr = MAGIC.to_vec();
+        v1_hdr.extend_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            load_synopsis(&v1_hdr),
+            Err(SnapshotError::Truncated {
+                expected: 12,
+                actual: 8
+            })
         ));
     }
 
@@ -818,12 +884,15 @@ mod tests {
             read_snapshot(&dir),
             Err(SnapshotError::IsDirectory { .. })
         ));
-        // Zero-length file.
+        // Zero-length file: typed truncation with exact lengths.
         let empty = dir.join("empty.xtwg");
         std::fs::write(&empty, b"").unwrap();
         assert!(matches!(
             read_snapshot(&empty),
-            Err(SnapshotError::Empty { path: Some(_) })
+            Err(SnapshotError::Truncated {
+                expected: HEADER_LEN,
+                actual: 0
+            })
         ));
         // Missing file.
         assert!(matches!(

@@ -39,7 +39,10 @@ pub mod validate;
 
 pub use coarse::coarse_synopsis;
 pub use compiled::{CompiledHistogram, CompiledSynopsis};
-pub use construct::{xbuild, BuildOptions, BuildTrace, Refinement, TruthSource};
+pub use construct::{
+    delta_xbuild, drift_refine, xbuild, BuildOptions, BuildTrace, DeltaBuildOptions,
+    DeltaBuildOutcome, DeltaBuildReport, DriftMeter, Refinement, TruthSource,
+};
 pub use describe::describe;
 pub use estimate::{
     coarse_count_bound, earliest_deadline, estimate_selectivity, estimate_selectivity_bounded,
@@ -47,9 +50,12 @@ pub use estimate::{
     EstimateOptionsBuilder, EstimateReport, EstimateRequest, Estimator, Exhaustion, Explain,
     InterpretedEstimator, Provenance, QueryTelemetry,
 };
+pub use io::wal::{
+    decode_delta, encode_delta, parse_wal, read_wal, TornTail, WalReplay, WalWriter,
+};
 pub use io::{
-    load_synopsis, read_snapshot, save_synopsis, snapshot_checksum, write_snapshot_atomic,
-    SnapshotError,
+    load_synopsis, read_snapshot, save_synopsis, snapshot_checksum, write_bytes_atomic,
+    write_snapshot_atomic, SnapshotError,
 };
 pub use serve::runtime::{
     Admission, AdmissionQueue, BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker,

@@ -995,6 +995,104 @@ impl Synopsis {
         }
     }
 
+    /// Rewrites the element partition in place after a document delta.
+    ///
+    /// The group structure survives — node ids, histogram scopes and byte
+    /// budgets are untouched — while extents, counts, the element map,
+    /// root, max depth, the label index and every edge incident to an
+    /// `affected` group are recomputed against the new document. Groups
+    /// referenced by `assignment` at or past the current node count are
+    /// appended with empty histograms, exactly as [`from_partition`]
+    /// seeds them. Group labels are re-interned by *name*: the rebuilt
+    /// arena assigns [`LabelId`]s in its own first-occurrence order, so
+    /// the old ids may not line up.
+    ///
+    /// Callers (delta-XBUILD in `construct::delta`) must rebuild the
+    /// histograms and value summaries of affected groups afterwards —
+    /// this method only restores the structural invariants that
+    /// [`check_invariants`] verifies.
+    ///
+    /// # Panics
+    /// Panics when `assignment` does not cover `doc`, mixes labels
+    /// within a group, or leaves any group empty (delta-XBUILD falls
+    /// back to a full rebuild before that can happen).
+    ///
+    /// [`from_partition`]: Synopsis::from_partition
+    /// [`check_invariants`]: Synopsis::check_invariants
+    pub(crate) fn reset_partition(
+        &mut self,
+        doc: &Document,
+        assignment: &[u32],
+        affected: &[SynId],
+    ) {
+        assert_eq!(
+            assignment.len(),
+            doc.len(),
+            "assignment must cover the document"
+        );
+        let group_count = assignment
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let old_len = self.nodes.len();
+        assert!(group_count >= old_len, "assignment drops existing groups");
+        // Re-intern surviving group labels by name against the new
+        // document's table.
+        let old_names: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| self.labels.name(n.label).to_owned())
+            .collect();
+        self.labels = doc.labels().clone();
+        for (g, name) in old_names.iter().enumerate() {
+            if let Some(l) = self.labels.get(name) {
+                self.nodes[g].label = l;
+            }
+            // A tag absent from the new document means the group must be
+            // empty; the emptiness assert below rejects that.
+        }
+        for n in &mut self.nodes {
+            n.extent.clear();
+        }
+        for _ in old_len..group_count {
+            self.nodes.push(SynopsisNode {
+                label: LabelId(0),
+                extent: Vec::new(),
+                count: 0,
+            });
+            self.edge_hists.push(EdgeHistogram {
+                scope: Vec::new(),
+                hist: MdHistogram::exact(&ExactDistribution::new(0)),
+                value_buckets: Vec::new(),
+                budget_bytes: 0,
+                distinct_points: 0,
+            });
+            self.value_summaries.push(None);
+        }
+        let mut seen = vec![false; group_count];
+        for e in doc.nodes() {
+            let g = assignment[e.index()] as usize;
+            if !seen[g] {
+                seen[g] = true;
+                if g >= old_len {
+                    self.nodes[g].label = doc.label(e);
+                }
+            }
+            assert_eq!(self.nodes[g].label, doc.label(e), "group {g} mixes labels");
+            self.nodes[g].extent.push(e);
+        }
+        assert!(seen.iter().all(|&s| s), "empty partition group");
+        for n in &mut self.nodes {
+            n.count = n.extent.len() as u64;
+        }
+        self.elem_to_node = assignment.to_vec();
+        self.root = SynId(assignment[doc.root().index()]);
+        self.max_depth = doc.nodes().map(|n| doc.depth(n)).max().unwrap_or(0);
+        self.rebuild_label_index();
+        self.recompute_incident_edges(doc, affected);
+    }
+
     /// Assembles an estimation-only synopsis from deserialized parts
     /// (extents and the element map are empty — splitting and rebuilding
     /// are unavailable on such a synopsis).

@@ -289,10 +289,36 @@ pub struct Telemetry {
     /// Hot reloads rejected (corrupt snapshot) and rolled back to the
     /// previous generation.
     pub runtime_reload_rollbacks: Counter,
+    /// Deltas applied through incremental synopsis maintenance.
+    pub ingest_deltas_applied: Counter,
+    /// Delta records appended to the write-ahead log (fsynced).
+    pub ingest_wal_appends: Counter,
+    /// Checkpoints taken (document + synopsis re-derived and the WAL
+    /// rotated under a new generation).
+    pub ingest_checkpoints: Counter,
+    /// Store recoveries (open of an existing store).
+    pub ingest_recoveries: Counter,
+    /// WAL delta records replayed during recovery.
+    pub ingest_replayed_records: Counter,
+    /// Torn WAL tails detected (and truncated) during recovery.
+    pub ingest_torn_tails: Counter,
+    /// Delta applications that fell back to a full partition rebuild
+    /// (a group emptied out).
+    pub ingest_full_rebuilds: Counter,
+    /// Drift-triggered budgeted re-refinements that installed.
+    pub drift_refinements: Counter,
+    /// Drift-triggered re-refinements rejected (invalid or over budget)
+    /// and rolled back while the maintained synopsis kept serving.
+    pub drift_refine_rollbacks: Counter,
     /// Requests currently queued in the serving runtime (gauge).
     pub runtime_queue_depth: Gauge,
     /// Requests currently being served by runtime workers (gauge).
     pub runtime_inflight: Gauge,
+    /// Accumulated per-edge drift since the last refinement, in
+    /// milli-units (gauge; `drift × 1000` truncated).
+    pub drift_total_milli: Gauge,
+    /// Delta records in the current WAL generation (gauge).
+    pub ingest_wal_records: Gauge,
     /// Wall-clock of query parsing (CLI surface).
     pub parse_latency: LatencyHistogram,
     /// Wall-clock of maximal-twig expansion + embedding enumeration.
@@ -347,8 +373,19 @@ impl Telemetry {
             runtime_breaker_short_circuits: Counter::new(),
             runtime_reloads: Counter::new(),
             runtime_reload_rollbacks: Counter::new(),
+            ingest_deltas_applied: Counter::new(),
+            ingest_wal_appends: Counter::new(),
+            ingest_checkpoints: Counter::new(),
+            ingest_recoveries: Counter::new(),
+            ingest_replayed_records: Counter::new(),
+            ingest_torn_tails: Counter::new(),
+            ingest_full_rebuilds: Counter::new(),
+            drift_refinements: Counter::new(),
+            drift_refine_rollbacks: Counter::new(),
             runtime_queue_depth: Gauge::new(),
             runtime_inflight: Gauge::new(),
+            drift_total_milli: Gauge::new(),
+            ingest_wal_records: Gauge::new(),
             parse_latency: LatencyHistogram::new(),
             expand_latency: LatencyHistogram::new(),
             treeparse_latency: LatencyHistogram::new(),
@@ -420,6 +457,18 @@ impl Telemetry {
                 "runtime_reload_rollbacks",
                 self.runtime_reload_rollbacks.get(),
             ),
+            ("ingest_deltas_applied", self.ingest_deltas_applied.get()),
+            ("ingest_wal_appends", self.ingest_wal_appends.get()),
+            ("ingest_checkpoints", self.ingest_checkpoints.get()),
+            ("ingest_recoveries", self.ingest_recoveries.get()),
+            (
+                "ingest_replayed_records",
+                self.ingest_replayed_records.get(),
+            ),
+            ("ingest_torn_tails", self.ingest_torn_tails.get()),
+            ("ingest_full_rebuilds", self.ingest_full_rebuilds.get()),
+            ("drift_refinements", self.drift_refinements.get()),
+            ("drift_refine_rollbacks", self.drift_refine_rollbacks.get()),
         ]
     }
 
@@ -428,6 +477,8 @@ impl Telemetry {
         vec![
             ("runtime_queue_depth", self.runtime_queue_depth.get()),
             ("runtime_inflight", self.runtime_inflight.get()),
+            ("drift_total_milli", self.drift_total_milli.get()),
+            ("ingest_wal_records", self.ingest_wal_records.get()),
         ]
     }
 

@@ -12,8 +12,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use xtwig_core::coarse_synopsis;
 use xtwig_core::construct::Refinement;
-use xtwig_core::estimate::{estimate_selectivity, EstimateOptions};
+use xtwig_core::estimate::{EstimateOptions, EstimateRequest, Estimator};
 use xtwig_core::synopsis::{DimKind, ScopeDim, SynId, ValueSource};
+use xtwig_core::InterpretedEstimator;
 use xtwig_query::{parse_twig, selectivity};
 use xtwig_xml::{Document, DocumentBuilder};
 
@@ -144,7 +145,9 @@ fn fuzz_refinements(doc: &Document, seed: u64, steps: usize) -> Result<(), TestC
         "for $t0 in //e",
     ] {
         let q = parse_twig(text).unwrap();
-        let est = estimate_selectivity(&s, &q, &opts);
+        let est = InterpretedEstimator::new(&s)
+            .estimate(&EstimateRequest::with_options(&q, opts))
+            .estimate;
         prop_assert!(est.is_finite() && est >= 0.0, "{text}: {est}");
     }
     // Note: exactness assertions are deliberately absent here. These

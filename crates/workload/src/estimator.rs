@@ -1,7 +1,7 @@
 //! A common interface over the two summarization techniques.
 
-use xtwig_core::estimate::EstimateOptions;
-use xtwig_core::{CompiledSynopsis, Synopsis};
+use xtwig_core::estimate::{EstimateOptions, EstimateRequest, Estimator};
+use xtwig_core::{CompiledSynopsis, InterpretedEstimator, Synopsis};
 use xtwig_cst::Cst;
 use xtwig_markov::MarkovPaths;
 use xtwig_query::TwigQuery;
@@ -32,7 +32,9 @@ pub struct XsketchEstimator<'a> {
 
 impl SummaryEstimator for XsketchEstimator<'_> {
     fn estimate(&self, q: &TwigQuery) -> f64 {
-        xtwig_core::estimate_selectivity(self.synopsis, q, &self.opts)
+        InterpretedEstimator::new(self.synopsis)
+            .estimate(&EstimateRequest::with_options(q, self.opts))
+            .estimate
     }
 
     fn size_bytes(&self) -> usize {

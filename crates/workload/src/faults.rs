@@ -19,7 +19,9 @@ use xtwig_query::TwigQuery;
 use xtwig_xml::Document;
 
 use crate::guarded::{GuardPolicy, GuardedEstimator, InjectedFault, Tier};
+use crate::ingest::{run_ingest_soak, IngestOptions, IngestSoakReport};
 use crate::runtime::{RuntimeOptions, RuntimeStats, ServingRuntime, TerminalProvenance};
+use xtwig_core::construct::DeltaBuildOptions;
 
 /// One injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -332,15 +334,15 @@ fn run_one_fault(
     for q in queries {
         outcome.queries += 1;
         let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            estimator.estimate_guarded(q)
+            Estimator::estimate(&estimator, &EstimateRequest::new(q))
         }));
         match served {
             Err(_) => outcome.panics += 1,
-            Ok(out) => {
-                if out.degraded {
+            Ok(report) => {
+                if report.provenance.degraded {
                     outcome.degraded += 1;
                 }
-                if !out.estimate.is_finite() || out.estimate < 0.0 {
+                if !report.estimate.is_finite() || report.estimate < 0.0 {
                     outcome.bad_estimates += 1;
                 }
             }
@@ -377,6 +379,14 @@ pub enum RuntimeFault {
         /// Attempts stalled.
         count: u32,
     },
+    /// A concurrent delta-ingest stream with `kills` simulated crashes
+    /// (kill-and-recover at cycling WAL/checkpoint points) runs while
+    /// the phase's requests serve; every recovered synopsis is hot-
+    /// reloaded into the runtime (valid reloads only — no rollbacks).
+    MutationReload {
+        /// Simulated ingest crashes that must fire during the phase.
+        kills: u32,
+    },
 }
 
 impl std::fmt::Display for RuntimeFault {
@@ -388,6 +398,9 @@ impl std::fmt::Display for RuntimeFault {
                 write!(f, "panic burst of {count} in {tier} tier")
             }
             RuntimeFault::StallWave { count } => write!(f, "stall wave of {count}"),
+            RuntimeFault::MutationReload { kills } => {
+                write!(f, "mutation stream with {kills} kill/recover cycles")
+            }
         }
     }
 }
@@ -469,6 +482,13 @@ impl SoakPlan {
                     count: wave_requests as u32 * attempts_per_request,
                 }),
             },
+            SoakPhase {
+                label: "reload-under-mutation",
+                requests: 16 + rng.random_range(0..16usize),
+                fault: Some(RuntimeFault::MutationReload {
+                    kills: 50 + rng.random_range(0..8u32),
+                }),
+            },
         ];
         SoakPlan { seed, phases }
     }
@@ -529,8 +549,18 @@ pub struct SoakReport {
     /// Corrupt reloads rolled back.
     pub reload_rollbacks: u64,
     /// Whether post-soak single-query estimates were bit-identical to a
-    /// freshly constructed estimator on the same snapshot.
+    /// freshly constructed estimator on the same snapshot (the last
+    /// published generation, when a mutation phase ran).
     pub post_soak_bit_identical: bool,
+    /// Ingest kill/recover cycles that fired during mutation phases.
+    pub ingest_kills: u64,
+    /// Ingest invariant violations (failed recoveries, torn states,
+    /// fsck failures, rejected publishes — must be 0).
+    pub ingest_failures: u64,
+    /// Checkpoints committed by the mutation stream.
+    pub ingest_checkpoints: u64,
+    /// Drift-triggered refinements installed by the mutation stream.
+    pub ingest_refinements: u64,
     /// Final runtime counters.
     pub stats: RuntimeStats,
 }
@@ -551,6 +581,7 @@ impl SoakReport {
             && self.post_soak_bit_identical
             && (!require_breaker_cycle || (self.breaker_opened && self.breaker_reclosed))
             && (!require_rollback || self.reload_rollbacks > 0)
+            && self.ingest_failures == 0
     }
 }
 
@@ -560,7 +591,9 @@ impl std::fmt::Display for SoakReport {
             f,
             "soak: {} phases, {} requests ({} full / {} degraded / {} shed), \
              {} escaped panics, {} bad estimates, {} telemetry mismatches, \
-             breaker open={} reclose={}, {} reloads, {} rollbacks, bit-identical={}",
+             breaker open={} reclose={}, {} reloads, {} rollbacks, \
+             {} ingest kills ({} failures, {} checkpoints, {} refinements), \
+             bit-identical={}",
             self.phases,
             self.requests,
             self.full,
@@ -573,6 +606,10 @@ impl std::fmt::Display for SoakReport {
             self.breaker_reclosed,
             self.reloads,
             self.reload_rollbacks,
+            self.ingest_kills,
+            self.ingest_failures,
+            self.ingest_checkpoints,
+            self.ingest_refinements,
             self.post_soak_bit_identical
         )
     }
@@ -619,11 +656,19 @@ pub fn run_soak(
         reloads: 0,
         reload_rollbacks: 0,
         post_soak_bit_identical: true,
+        ingest_kills: 0,
+        ingest_failures: 0,
+        ingest_checkpoints: 0,
+        ingest_refinements: 0,
         stats: rt.stats(),
     };
     if queries.is_empty() {
         return report;
     }
+
+    // The snapshot post-soak queries are compared against: the original
+    // until a mutation phase publishes newer generations.
+    let mut reference = snapshot.clone();
 
     for phase in &plan.phases {
         let batch: Vec<TwigQuery> = queries
@@ -647,6 +692,11 @@ pub fn run_soak(
             Some(RuntimeFault::CorruptReload) => Some(corrupt_copy(&snapshot)),
             _ => None,
         };
+        let mutation_kills = match phase.fault {
+            Some(RuntimeFault::MutationReload { kills }) => Some(kills),
+            _ => None,
+        };
+        let mut mutation_outcome: Option<Result<IngestSoakReport, ()>> = None;
         let before = rt.stats();
         let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             rt.serve_with(&batch, |rt| {
@@ -656,8 +706,47 @@ pub fn run_soak(
                     std::thread::sleep(Duration::from_micros(200));
                     let _ = rt.reload_snapshot_bytes(bytes);
                 }
+                if let Some(kills) = mutation_kills {
+                    // The concurrent delta stream: kill-and-recover
+                    // ingest cycles, each recovery hot-reloaded into the
+                    // runtime while this phase's queries are in flight.
+                    let dir = std::env::temp_dir().join(format!(
+                        "xtwig-soak-mutation-{}-{}",
+                        std::process::id(),
+                        plan.seed
+                    ));
+                    let opts = IngestOptions {
+                        delta: DeltaBuildOptions {
+                            drift_threshold: 0.5,
+                            ..Default::default()
+                        },
+                        checkpoint_every: 4,
+                        ..Default::default()
+                    };
+                    let outcome =
+                        run_ingest_soak(doc, &dir, plan.seed, u64::from(kills), &opts, Some(rt))
+                            .map_err(|_| ());
+                    let _ = std::fs::remove_dir_all(&dir);
+                    mutation_outcome = Some(outcome);
+                }
             })
         }));
+        match mutation_outcome {
+            Some(Ok(rep)) => {
+                report.ingest_kills += rep.kills;
+                report.ingest_checkpoints += rep.checkpoints;
+                report.ingest_refinements += rep.refinements;
+                report.ingest_failures += rep.recovery_failures
+                    + rep.state_mismatches
+                    + rep.fsck_failures
+                    + rep.publish_failures;
+                // Post-soak queries must match the surviving generation,
+                // which is now the mutation stream's final state.
+                reference = rep.final_snapshot;
+            }
+            Some(Err(())) => report.ingest_failures += 1,
+            None => {}
+        }
         match served {
             Err(_) => report.escaped_panics += 1,
             Ok(results) => {
@@ -705,7 +794,7 @@ pub fn run_soak(
     // Post-soak bit-identity: the runtime's current generation must
     // estimate exactly like a fresh estimator built from the same
     // snapshot — the soak left no residue in the serving state.
-    match load_synopsis(&snapshot) {
+    match load_synopsis(&reference) {
         Ok(fresh_syn) => {
             let fresh = GuardedEstimator::new(&fresh_syn, rt.options().policy);
             for q in queries {

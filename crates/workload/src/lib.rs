@@ -20,6 +20,7 @@ mod estimator;
 pub mod faults;
 mod generator;
 pub mod guarded;
+pub mod ingest;
 pub mod runtime;
 mod sweep;
 
@@ -35,6 +36,11 @@ pub use generator::{
     generate_workload, negative_workload, workload_stats, Workload, WorkloadKind, WorkloadSpec,
     WorkloadStats,
 };
+pub use ingest::{
+    random_delta, run_ingest_soak, CheckpointKind, CrashPoint, IngestError, IngestOptions,
+    IngestReport, IngestSoakReport, IngestStats, IngestStore, RecoveryReport, CRASH_POINTS,
+};
+
 pub use guarded::{
     markov_from_synopsis, ChainControls, DegradationSnapshot, EstimateOutcome, GuardPolicy,
     GuardedEstimator, InjectedFault, Tier, TierAttempt, TierBreakers, TierFailure,

@@ -3,7 +3,8 @@
 use crate::error::avg_relative_error;
 use crate::generator::Workload;
 use xtwig_core::construct::{xbuild_from, BuildOptions, TruthSource};
-use xtwig_core::{coarse_synopsis, estimate_selectivity};
+use xtwig_core::estimate::{EstimateRequest, Estimator};
+use xtwig_core::{coarse_synopsis, InterpretedEstimator};
 use xtwig_cst::{Cst, CstOptions};
 use xtwig_xml::Document;
 
@@ -60,10 +61,15 @@ fn score_point(
     budget: usize,
     opts: &SweepOptions,
 ) -> SweepPoint {
+    let estimator = InterpretedEstimator::new(s);
     let estimates: Vec<f64> = workload
         .queries
         .iter()
-        .map(|q| estimate_selectivity(s, q, &opts.build.estimate))
+        .map(|q| {
+            estimator
+                .estimate(&EstimateRequest::with_options(q, opts.build.estimate))
+                .estimate
+        })
         .collect();
     SweepPoint {
         budget_bytes: budget,

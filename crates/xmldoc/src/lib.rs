@@ -16,15 +16,21 @@
 //! evaluation, plus document statistics ([`DocStats`]) used by Table 1.
 
 mod builder;
+mod delta;
 mod document;
 mod labels;
 mod parser;
+mod parser_stream;
 mod stats;
 mod writer;
 
 pub use builder::DocumentBuilder;
+pub use delta::{apply_delta, AppliedDelta, Delta, DeltaError, DeltaOp};
 pub use document::{Document, ElementData, NodeId};
 pub use labels::{LabelId, LabelTable};
 pub use parser::{parse, ParseError};
+pub use parser_stream::{
+    parse_reader, parse_stream, StreamError, StreamErrorKind, StreamLimits, StreamParser, XmlEvent,
+};
 pub use stats::DocStats;
 pub use writer::write_xml;

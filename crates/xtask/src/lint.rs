@@ -18,6 +18,7 @@
 //! | `atomic-ordering` | `Ordering::Relaxed` without a justification | sync-façade modules minus telemetry |
 //! | `lock-order`  | nested lock acquisition not in `LOCK_ORDER` | sync-façade modules |
 //! | `sync-direct` | `std::sync` instead of the `xtwig-core::sync` façade | sync-façade modules |
+//! | `wal-fsync`   | bare `File::create` / `OpenOptions` instead of the atomic write helpers | durable-I/O modules |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/`, `src/bin/`,
 //! binary roots (`main.rs`), the vendored dependency stand-ins under
@@ -367,6 +368,29 @@ fn scan_sync_direct(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, u
     }
 }
 
+/// Whether the `wal-fsync` rule applies: the durable-artifact modules
+/// (snapshot and WAL I/O under `crates/core/src/io`), where every file
+/// creation must go through the tmp+fsync+rename helpers so a crash at
+/// any point leaves either the old file or the new one — never a torn
+/// snapshot or journal.
+fn wal_fsync_applies(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/io")
+}
+
+/// Flags direct file-creation APIs (`File::create`, `OpenOptions::new`)
+/// in the durable-I/O modules: writes to snapshot/`.wal` paths must use
+/// `write_bytes_atomic` (or a helper built on it). The reviewed
+/// exceptions — the atomic helper's own tmp-file write and append-mode
+/// journal opens that never truncate — carry
+/// `// lint:allow(wal-fsync): <reason>`.
+fn scan_wal_fsync(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, usize)) {
+    for (line_no, line) in masked_lines.iter().enumerate() {
+        if line.contains("File::create(") || line.contains("OpenOptions::new()") {
+            emit("wal-fsync", line_no + 1);
+        }
+    }
+}
+
 /// Reads the `LOCK_ORDER` manifest: `outer -> inner` pairs naming
 /// receiver expressions sanctioned to nest. A missing manifest means no
 /// nesting is sanctioned anywhere.
@@ -636,9 +660,7 @@ fn receiver_before(masked: &str, dot: usize) -> Option<String> {
 /// bound name (the guard stays live past the expression); `None` means
 /// a statement temporary, dropped at the end of its expression.
 fn let_binding_before(masked: &str, at: usize) -> Option<String> {
-    let start = masked[..at]
-        .rfind([';', '{', '}'])
-        .map_or(0, |i| i + 1);
+    let start = masked[..at].rfind([';', '{', '}']).map_or(0, |i| i + 1);
     let seg = &masked[start..at];
     let li = seg.rfind("let ")?;
     if seg[..li].ends_with(|c: char| c.is_alphanumeric() || c == '_') {
@@ -736,6 +758,10 @@ fn scan_file(
     if sync_facade_applies(rel) {
         scan_sync_direct(&masked_lines, &mut emit);
         scan_lock_order(&masked, lock_order, &mut emit);
+    }
+
+    if wal_fsync_applies(rel) {
+        scan_wal_fsync(&masked_lines, &mut emit);
     }
 
     if atomic_ordering_applies(rel) {
@@ -1334,6 +1360,34 @@ mod tests {
         // The sanctioned import paths do not match.
         let ok = "use crate::sync::{Mutex, PoisonError};\nuse xtwig_core::sync::Arc;\n";
         assert!(findings_in("crates/core/src/serve/runtime.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn wal_fsync_denied_in_durable_io_scope() {
+        let create = "fn f() { let f = std::fs::File::create(path)?; }\n";
+        let open = "fn f() { let f = std::fs::OpenOptions::new().append(true).open(p)?; }\n";
+        // In scope: both the snapshot module and the WAL module.
+        assert_eq!(
+            findings_in("crates/core/src/io.rs", create),
+            vec![("wal-fsync".to_string(), 1)]
+        );
+        assert_eq!(
+            findings_in("crates/core/src/io/wal.rs", open),
+            vec![("wal-fsync".to_string(), 1)]
+        );
+        // Out of scope: file creation elsewhere is not a durability bug.
+        assert!(findings_in("crates/workload/src/ingest.rs", create).is_empty());
+        assert!(findings_in("crates/datagen/src/lib.rs", open).is_empty());
+        // The sanctioned path never matches.
+        let atomic = "fn f() { write_bytes_atomic(path, &bytes)?; }\n";
+        assert!(findings_in("crates/core/src/io.rs", atomic).is_empty());
+        // A justified site passes.
+        let justified = "// lint:allow(wal-fsync): tmp file of the atomic helper itself\n\
+                         fn f() { let f = std::fs::File::create(tmp)?; }\n";
+        assert!(findings_in("crates/core/src/io.rs", justified).is_empty());
+        // Test modules inside the scope are masked like everywhere else.
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { std::fs::File::create(p); }\n}\n";
+        assert!(findings_in("crates/core/src/io/wal.rs", in_test).is_empty());
     }
 
     #[test]

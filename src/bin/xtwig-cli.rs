@@ -6,6 +6,7 @@
 //! xtwig-cli stats <file.xml>                                     # Table-1-style stats
 //! xtwig-cli eval <file.xml> <twig-query>                         # exact selectivity
 //! xtwig-cli estimate <file.xml> <twig-query> [--budget BYTES]    # build + estimate
+//! xtwig-cli ingest <dir> --init <file.xml> | --mutate N          # live store
 //! ```
 //!
 //! Twig queries use the paper's notation, e.g.
@@ -16,6 +17,8 @@
 //! answer was served degraded (fallback tier, tripped budget, or a
 //! snapshot recovered by rebuilding), `4` corrupt snapshot.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -30,8 +33,8 @@ use xtwig::core::{BreakerConfig, ShedPolicy};
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
 use xtwig::query::{parse_twig, selectivity, TwigQuery};
 use xtwig::workload::{
-    run_soak, GuardPolicy, GuardedEstimator, RuntimeOptions, ServingRuntime, SoakPlan,
-    TerminalProvenance,
+    random_delta, run_soak, CrashPoint, GuardPolicy, GuardedEstimator, IngestError, IngestOptions,
+    IngestStore, RuntimeOptions, ServingRuntime, SoakPlan, TerminalProvenance, CRASH_POINTS,
 };
 use xtwig::xml::{parse, write_xml, DocStats, Document};
 
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -108,6 +112,10 @@ USAGE:
                   [--max-inflight N] [--queue-depth N] [--reload-on <snap>]
                   [--soak] [--soak-profile <full|saturation>] [--soak-seed N]
   xtwig-cli build <file.xml> --out <synopsis.xtwg> [--budget BYTES]
+  xtwig-cli ingest <store-dir> --init <file.xml>
+  xtwig-cli ingest <store-dir> [--status] [--mutate N] [--seed S]
+                   [--crash-after K] [--crash-point <site>]
+                   [--checkpoint-every N] [--drift-threshold X]
   xtwig-cli inspect <synopsis.xtwg>
   xtwig-cli check <synopsis.xtwg | file.xml> [--budget BYTES]
 
@@ -141,15 +149,31 @@ rollback is part of the plan; `--soak-profile saturation` only
 saturates the queue and exits 3 deterministically via shedding. Exit 1
 from a soak run means a resilience invariant was violated.
 
+`ingest` maintains a live document store: `--init` seeds it from an XML
+file; every later invocation opens it through crash recovery (replaying
+the delta WAL onto the committed checkpoint, truncating torn tails),
+then applies `--mutate N` seeded random deltas through the incremental
+delta-XBUILD path with drift-triggered refined checkpoints. The
+recovery outcome maps onto the exit codes: 0 when the recovered state
+byte-matched the checkpoint snapshot and fsck passes, 3 when recovery
+had to rebuild from the document or a refinement fell back to coarse,
+4 when the recovered synopsis fails fsck. `--crash-after K` arms a
+simulated kill at the K-th delta's `--crash-point` site (one of
+before-wal-append, after-wal-append, torn-wal-append,
+after-checkpoint-files, after-current-flip); the process stops there
+with exit 1 exactly as a kill -9 would, and the next invocation must
+recover cleanly.
+
 EXIT CODES:
   0  success, full-fidelity estimate
   1  failure (I/O, parse, build errors, violated soak invariant)
   2  usage error (bad flags or arguments)
   3  degraded: answered by a fallback tier, a tripped deadline/work
-     budget, shed by admission control, or after rebuilding a corrupt
-     snapshot
+     budget, shed by admission control, after rebuilding a corrupt
+     snapshot, or an ingest recovery that had to rebuild
   4  corrupt snapshot (inspect/check, a rolled-back serve --reload-on,
-     or a soak run that exercised its rollback phase)
+     a soak run that exercised its rollback phase, or an ingest store
+     whose recovered synopsis fails fsck)
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -339,6 +363,157 @@ fn cmd_build(args: &[String]) -> Result<Outcome, CliError> {
         trace.rounds.len(),
         t0.elapsed(),
     );
+    Ok(Outcome::Full)
+}
+
+/// Parses a `--crash-point` name against the kill sites' kebab-case
+/// display names.
+fn parse_crash_point(name: &str) -> Result<CrashPoint, CliError> {
+    CRASH_POINTS
+        .iter()
+        .copied()
+        .find(|p| p.to_string() == name)
+        .ok_or_else(|| {
+            let known: Vec<String> = CRASH_POINTS.iter().map(|p| p.to_string()).collect();
+            CliError::Usage(format!(
+                "unknown --crash-point `{name}` (one of: {})",
+                known.join(", ")
+            ))
+        })
+}
+
+/// Ingest tuning shared by every `ingest` invocation. The refinement
+/// budgets stay at their defaults so recovery re-derives checkpoints
+/// verbatim; `--checkpoint-every` / `--drift-threshold` only steer when
+/// *new* checkpoints are taken and are safe to vary between runs.
+fn ingest_options(args: &[String]) -> Result<IngestOptions, CliError> {
+    let defaults = IngestOptions::default();
+    let checkpoint_every: usize = parse_flag(args, "--checkpoint-every", 8)?;
+    let drift: f64 = parse_flag(args, "--drift-threshold", defaults.delta.drift_threshold)?;
+    let mut options = defaults;
+    options.checkpoint_every = checkpoint_every;
+    options.delta.drift_threshold = drift;
+    Ok(options)
+}
+
+/// `ingest`: a crash-safe live-document store. `--init` creates it;
+/// everything else opens it through recovery, optionally mutates it,
+/// and reports status. The exit code is the recovery verdict: 0 clean,
+/// 3 degraded (rebuilt or refine fallback), 4 fsck failure, 1 on a
+/// simulated `--crash-after` kill.
+fn cmd_ingest(args: &[String]) -> Result<Outcome, CliError> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("ingest needs a store directory".into()))?
+        .clone();
+    let dir = Path::new(&dir);
+    let options = ingest_options(args)?;
+    // Validate up front so a typo'd kill site is a usage error even
+    // when no mutation (or no `--crash-after`) would ever arm it.
+    let crash_point = match flag(args, "--crash-point") {
+        Some(name) => parse_crash_point(&name)?,
+        None => CrashPoint::AfterWalAppend,
+    };
+
+    if let Some(init) = flag(args, "--init") {
+        let doc = load(&init)?;
+        let store =
+            IngestStore::create(dir, doc, options).map_err(|e| CliError::Failure(e.to_string()))?;
+        store
+            .fsck()
+            .map_err(|r| CliError::Corrupt(format!("{}: {r}", dir.display())))?;
+        println!(
+            "store created at {}: generation {}, {} elements, synopsis {} bytes",
+            dir.display(),
+            store.generation(),
+            store.doc().len(),
+            store.snapshot_bytes().len(),
+        );
+        return Ok(Outcome::Full);
+    }
+
+    // Every non-init invocation opens through recovery — the same path
+    // a restart after a real kill takes.
+    let mut store = IngestStore::open(dir, options).map_err(|e| match e {
+        IngestError::Snapshot { .. } => CliError::Corrupt(e.to_string()),
+        other => CliError::Failure(other.to_string()),
+    })?;
+    let recovery = store.last_recovery().cloned();
+    if let Some(rec) = &recovery {
+        println!(
+            "recovered generation {} ({} checkpoint): {} WAL record(s) replayed{}{}{}",
+            rec.generation,
+            rec.kind,
+            rec.replayed,
+            if rec.torn_tail {
+                ", torn tail truncated"
+            } else {
+                ""
+            },
+            if rec.rebuilt_snapshot {
+                ", snapshot rebuilt from document"
+            } else {
+                ""
+            },
+            if rec.refine_fallback {
+                ", refinement fell back to coarse"
+            } else {
+                ""
+            },
+        );
+    }
+
+    let mutate: usize = parse_flag(args, "--mutate", 0)?;
+    if mutate > 0 {
+        let seed: u64 = parse_flag(args, "--seed", 1)?;
+        let crash_after: usize = parse_flag(args, "--crash-after", 0)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 1..=mutate {
+            if crash_after > 0 && i == crash_after {
+                store.set_crash(Some(crash_point));
+            }
+            let delta = random_delta(store.doc(), &mut rng);
+            match store.ingest(&delta) {
+                Ok(report) => {
+                    if let Some(kind) = report.checkpoint {
+                        println!("delta {i}/{mutate}: {kind} checkpoint committed");
+                    }
+                }
+                Err(IngestError::Crash(point)) => {
+                    eprintln!(
+                        "simulated crash at {point} (delta {i}/{mutate}); \
+                         on-disk state is whatever was durable — re-open to recover"
+                    );
+                    return Err(CliError::Failure(format!("killed at {point}")));
+                }
+                Err(e) => return Err(CliError::Failure(e.to_string())),
+            }
+        }
+        let stats = store.stats();
+        println!(
+            "applied {mutate} delta(s): {} WAL append(s), {} checkpoint(s), \
+             {} refinement(s), {} rollback(s)",
+            stats.wal_appends, stats.checkpoints, stats.refinements, stats.refine_rollbacks,
+        );
+    }
+
+    store
+        .fsck()
+        .map_err(|r| CliError::Corrupt(format!("{}: {r}", dir.display())))?;
+    println!(
+        "generation {}, {} delta(s) since checkpoint, drift {:.3}, \
+         {} elements, synopsis {} bytes — fsck clean",
+        store.generation(),
+        store.since_checkpoint(),
+        store.drift_total(),
+        store.doc().len(),
+        store.snapshot_bytes().len(),
+    );
+    if recovery.as_ref().is_some_and(|r| !r.clean()) {
+        eprintln!("recovery was degraded (see above)");
+        return Ok(Outcome::Degraded);
+    }
     Ok(Outcome::Full)
 }
 

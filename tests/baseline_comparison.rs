@@ -2,7 +2,8 @@
 //! correlated data, Twig XSKETCHes beat CSTs at matched storage budgets.
 
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
-use xtwig::core::estimate::EstimateOptions;
+use xtwig::core::estimate::{EstimateOptions, EstimateRequest, Estimator};
+use xtwig::core::InterpretedEstimator;
 use xtwig::cst::{Cst, CstOptions};
 use xtwig::datagen::{imdb, ImdbConfig};
 use xtwig::workload::{
@@ -79,7 +80,12 @@ fn both_techniques_are_exact_on_unambiguous_single_paths() {
             ..Default::default()
         },
     );
-    let xs = xtwig::core::estimate_selectivity(&s, &q, &EstimateOptions::default());
+    let xs = InterpretedEstimator::new(&s)
+        .estimate(&EstimateRequest::with_options(
+            &q,
+            EstimateOptions::default(),
+        ))
+        .estimate;
     let ce = xtwig::cst::estimate_twig(&cst, &q);
     assert!((xs - truth).abs() < 1e-6, "xsketch {xs} vs {truth}");
     assert!((ce - truth).abs() < 1e-6, "cst {ce} vs {truth}");

@@ -5,8 +5,8 @@
 //! accuracy (rather than only when unit-level behaviour breaks).
 
 use xtwig::core::construct::{xbuild_from, BuildOptions, TruthSource};
-use xtwig::core::estimate::EstimateOptions;
-use xtwig::core::{coarse_synopsis, estimate_selectivity};
+use xtwig::core::estimate::{EstimateOptions, EstimateRequest, Estimator};
+use xtwig::core::{coarse_synopsis, InterpretedEstimator};
 use xtwig::datagen::Dataset;
 use xtwig::workload::{avg_relative_error, generate_workload, WorkloadKind, WorkloadSpec};
 
@@ -23,10 +23,15 @@ fn built_error(ds: Dataset, kind: WorkloadKind, extra_budget: usize) -> (f64, f6
     let coarse = coarse_synopsis(&doc);
     let opts = EstimateOptions::default();
     let score = |s: &xtwig::core::Synopsis| {
+        let estimator = InterpretedEstimator::new(s);
         let est: Vec<f64> = w
             .queries
             .iter()
-            .map(|q| estimate_selectivity(s, q, &opts))
+            .map(|q| {
+                estimator
+                    .estimate(&EstimateRequest::with_options(q, opts))
+                    .estimate
+            })
             .collect();
         avg_relative_error(&est, &truths).avg_rel_error
     };

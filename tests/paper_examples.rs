@@ -1,9 +1,11 @@
 //! Every concrete number the paper states, checked end-to-end through
 //! the public facade.
 
-use xtwig::core::estimate::{estimate_embedding, Embedding, EstimateOptions};
+use xtwig::core::estimate::{
+    estimate_embedding, Embedding, EstimateOptions, EstimateRequest, Estimator,
+};
 use xtwig::core::synopsis::{DimKind, ScopeDim};
-use xtwig::core::{coarse_synopsis, estimate_selectivity};
+use xtwig::core::{coarse_synopsis, InterpretedEstimator};
 use xtwig::datagen::{bibliography, figure4_a, figure4_b, worked_example};
 use xtwig::query::{parse_twig, selectivity};
 
@@ -155,6 +157,11 @@ fn section1_movie_query_parses_and_runs() {
     let doc = b.finish();
     assert_eq!(selectivity(&doc, &q), 30);
     let s = coarse_synopsis(&doc);
-    let est = estimate_selectivity(&s, &q, &EstimateOptions::default());
+    let est = InterpretedEstimator::new(&s)
+        .estimate(&EstimateRequest::with_options(
+            &q,
+            EstimateOptions::default(),
+        ))
+        .estimate;
     assert!((est - 30.0).abs() < 1e-9, "{est}");
 }

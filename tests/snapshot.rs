@@ -1,12 +1,22 @@
 //! Integration: a built synopsis survives a save/load cycle and keeps
 //! answering workloads identically — the build-once / estimate-anywhere
-//! deployment an optimizer needs.
+//! deployment an optimizer needs. Torn-write coverage rides along:
+//! every strict prefix of a v2 snapshot, a v1 snapshot, or a delta WAL
+//! must surface as [`SnapshotError::Truncated`] with exact lengths (or,
+//! for the WAL, as replayable data with a located torn tail) — never a
+//! panic and never a silently half-loaded synopsis.
 
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
 use xtwig::core::estimate::EstimateOptions;
-use xtwig::core::{load_synopsis, save_synopsis, EstimateRequest, Estimator, InterpretedEstimator};
+use xtwig::core::io::wal::{WAL_FRAME_LEN, WAL_HEADER_LEN};
+use xtwig::core::io::HEADER_LEN;
+use xtwig::core::{
+    encode_delta, load_synopsis, parse_wal, save_synopsis, EstimateRequest, Estimator,
+    InterpretedEstimator, SnapshotError, WalWriter,
+};
 use xtwig::datagen::{imdb, ImdbConfig};
 use xtwig::workload::{generate_workload, WorkloadKind, WorkloadSpec};
+use xtwig::xml::{Delta, NodeId};
 
 #[test]
 fn snapshot_preserves_workload_estimates() {
@@ -59,4 +69,132 @@ fn snapshot_preserves_workload_estimates() {
         "snapshot {} bytes",
         bytes.len()
     );
+}
+
+/// A small built synopsis serialized to v2 snapshot bytes.
+fn v2_bytes() -> Vec<u8> {
+    let doc = imdb(ImdbConfig {
+        movies: 20,
+        seed: 7,
+    });
+    let (synopsis, _) = xbuild(
+        &doc,
+        TruthSource::Exact,
+        &BuildOptions {
+            budget_bytes: 2000,
+            max_rounds: 10,
+            ..Default::default()
+        },
+    );
+    save_synopsis(&synopsis)
+}
+
+#[test]
+fn every_v2_prefix_reports_truncated_with_exact_lengths() {
+    let bytes = v2_bytes();
+    for cut in 0..bytes.len() {
+        let err = load_synopsis(&bytes[..cut]).expect_err("a strict prefix must not load");
+        match err {
+            SnapshotError::Truncated { expected, actual } => {
+                assert_eq!(actual, cut, "actual must be the bytes present");
+                // Short cuts are measured against the header; past the
+                // header, against the full header+payload promise.
+                let promised = if cut < HEADER_LEN {
+                    HEADER_LEN
+                } else {
+                    bytes.len()
+                };
+                assert_eq!(expected, promised, "cut at {cut}");
+            }
+            other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+        }
+    }
+    assert!(load_synopsis(&bytes).is_ok(), "the full image still loads");
+}
+
+#[test]
+fn v1_header_only_and_payload_truncations_are_typed() {
+    // The v1 format is magic + version + the same payload, without the
+    // length/checksum header — synthesize one from a v2 image.
+    let v2 = v2_bytes();
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(b"XTWG");
+    v1.extend_from_slice(&1u32.to_le_bytes());
+    v1.extend_from_slice(&v2[HEADER_LEN..]);
+    assert!(load_synopsis(&v1).is_ok(), "synthesized v1 image loads");
+
+    // Header-only: the torn write stopped before the label count.
+    assert!(matches!(
+        load_synopsis(&v1[..8]),
+        Err(SnapshotError::Truncated {
+            expected: 12,
+            actual: 8
+        })
+    ));
+    // Mid-payload cuts have no length header to compare against, but
+    // must still fail with a typed error — never load partially.
+    for cut in [9, 12, v1.len() / 2, v1.len() - 1] {
+        assert!(
+            load_synopsis(&v1[..cut]).is_err(),
+            "v1 prefix of {cut} bytes must not load"
+        );
+    }
+}
+
+#[test]
+fn wal_truncations_are_torn_tails_never_silent_loss() {
+    let dir = std::env::temp_dir().join(format!("xtwig-snapshot-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.wal");
+    let mut w = WalWriter::create(&path).unwrap();
+    let mut d1 = Delta::new();
+    d1.modify(NodeId(1), Some(42));
+    let mut d2 = Delta::new();
+    d2.delete(NodeId(2));
+    let p1 = encode_delta(&d1);
+    let p2 = encode_delta(&d2);
+    w.append(&p1).unwrap();
+    w.append(&p2).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The intact journal replays both records with no tail.
+    let full = parse_wal(&bytes).unwrap();
+    assert_eq!(full.records, vec![p1.clone(), p2.clone()]);
+    assert!(full.torn.is_none());
+
+    // Header truncations: exact lengths, like the snapshot formats.
+    for cut in 0..WAL_HEADER_LEN {
+        assert!(
+            matches!(
+                parse_wal(&bytes[..cut]),
+                Err(SnapshotError::Truncated { expected, actual })
+                    if expected == WAL_HEADER_LEN && actual == cut
+            ),
+            "WAL prefix of {cut} bytes"
+        );
+    }
+
+    // Every cut inside the record area replays the durable prefix and
+    // reports the partial frame as a located torn tail — data, not an
+    // error, because truncating it is the recovery contract.
+    let first_frame_end = WAL_HEADER_LEN + WAL_FRAME_LEN + p1.len();
+    for cut in WAL_HEADER_LEN + 1..bytes.len() {
+        let replay = parse_wal(&bytes[..cut]).expect("torn tails are data");
+        if cut == first_frame_end {
+            // The cut landed exactly on a frame boundary: a complete
+            // one-record journal, no tail at all.
+            assert_eq!(replay.records, vec![p1.clone()]);
+            assert!(replay.torn.is_none());
+            continue;
+        }
+        let torn = replay.torn.expect("a mid-frame cut must report its tail");
+        if cut < first_frame_end {
+            assert!(replay.records.is_empty(), "cut at {cut}");
+            assert_eq!(torn.offset, WAL_HEADER_LEN as u64);
+        } else {
+            assert_eq!(replay.records, vec![p1.clone()], "cut at {cut}");
+            assert_eq!(torn.offset, first_frame_end as u64);
+        }
+    }
 }

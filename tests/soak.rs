@@ -14,7 +14,11 @@
 //! * the tier-1 circuit breaker is observed to open *and* re-close
 //!   within the run;
 //! * post-soak single-query estimates are bit-identical to a freshly
-//!   constructed estimator on the same snapshot.
+//!   constructed estimator on the same snapshot;
+//! * the `reload-under-mutation` phase runs a concurrent delta-ingest
+//!   stream with ≥ 50 mid-flight kill/recover cycles: every recovery is
+//!   fsck-clean and lands on the pre- or post-delta state (never torn),
+//!   and each recovered synopsis hot-reloads into the serving runtime.
 
 use std::time::Duration;
 use xtwig::core::telemetry;
@@ -73,6 +77,12 @@ fn concurrent_soak_holds_every_invariant() {
     let options = soak_options();
     let plan = SoakPlan::generate(0xD0C5_0AB5, &options);
     assert!(plan.phases.len() >= 6, "standard plan covers all phases");
+    assert!(
+        plan.phases
+            .iter()
+            .any(|p| p.label == "reload-under-mutation"),
+        "plan includes the mutation phase"
+    );
 
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
@@ -107,6 +117,18 @@ fn concurrent_soak_holds_every_invariant() {
     assert!(
         report.degraded > 0,
         "panic burst + stall wave must degrade some requests: {report}"
+    );
+    assert!(
+        report.ingest_kills >= 50,
+        "mutation phase must fire ≥ 50 kill/recover cycles: {report}"
+    );
+    assert_eq!(
+        report.ingest_failures, 0,
+        "every recovery fsck-clean and pre- or post-delta: {report}"
+    );
+    assert!(
+        report.ingest_checkpoints > 0,
+        "mutation stream must commit checkpoints: {report}"
     );
     assert!(report.passed(true, true), "{report}");
 
