@@ -10,7 +10,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use xtwig_core::construct::{xbuild, BuildOptions, TruthSource};
-use xtwig_core::estimate_selectivity;
+use xtwig_core::{EstimateRequest, Estimator, InterpretedEstimator};
 use xtwig_cst::{estimate_twig, Cst, CstOptions};
 use xtwig_datagen::{imdb, ImdbConfig};
 use xtwig_query::selectivity;
@@ -38,12 +38,13 @@ fn bench_estimation(c: &mut Criterion) {
     let (synopsis, _) = xbuild(&doc, TruthSource::Exact, &build);
     let cst = Cst::build(&doc, CstOptions::default());
 
+    let est = InterpretedEstimator::new(&synopsis);
     let mut g = c.benchmark_group("estimation");
     g.bench_function("xsketch_estimate_20q", |b| {
         b.iter(|| {
             let mut acc = 0.0;
             for q in &w.queries {
-                acc += estimate_selectivity(black_box(&synopsis), q, &Default::default());
+                acc += black_box(&est).estimate(&EstimateRequest::new(q)).estimate;
             }
             acc
         })

@@ -19,7 +19,7 @@ use xtwig_bench::{pct, row, BenchConfig};
 use xtwig_core::construct::{xbuild, BuildOptions, TruthSource};
 use xtwig_core::estimate::EstimateOptions;
 use xtwig_core::synopsis::{DimKind, ScopeDim};
-use xtwig_core::{coarse_synopsis, estimate_selectivity};
+use xtwig_core::{coarse_synopsis, EstimateRequest, Estimator, InterpretedEstimator};
 use xtwig_datagen::{imdb, Dataset, ImdbConfig};
 use xtwig_histogram::{MdHistogram, WaveletSummary};
 use xtwig_workload::{avg_relative_error, generate_workload, WorkloadKind, WorkloadSpec};
@@ -75,7 +75,9 @@ fn scope_vs_resolution() {
     ] {
         let mut s = s0.clone();
         s.set_edge_hist(&doc, movie, scope, budget);
-        let est = estimate_selectivity(&s, &q, &opts);
+        let est = InterpretedEstimator::new(&s)
+            .estimate(&EstimateRequest::with_options(&q, opts))
+            .estimate;
         let err = (est - truth).abs() / truth;
         println!("{name:<44}{est:>12.0}{:>12}", pct(err));
         row(&[
@@ -102,7 +104,11 @@ fn build_and_score(
     let est: Vec<f64> = w
         .queries
         .iter()
-        .map(|q| estimate_selectivity(&s, q, &build.estimate))
+        .map(|q| {
+            InterpretedEstimator::new(&s)
+                .estimate(&EstimateRequest::with_options(q, build.estimate))
+                .estimate
+        })
         .collect();
     let truths: Vec<f64> = w.truths.iter().map(|&t| t as f64).collect();
     (
@@ -212,7 +218,11 @@ fn truth_source(cfg: &BenchConfig) {
         let est: Vec<f64> = w
             .queries
             .iter()
-            .map(|q| estimate_selectivity(s, q, &EstimateOptions::default()))
+            .map(|q| {
+                InterpretedEstimator::new(s)
+                    .estimate(&EstimateRequest::new(q))
+                    .estimate
+            })
             .collect();
         let err = avg_relative_error(&est, &truths).avg_rel_error;
         println!(

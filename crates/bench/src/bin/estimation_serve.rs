@@ -24,8 +24,8 @@ use std::time::Instant;
 use xtwig_bench::BenchConfig;
 use xtwig_core::construct::BuildOptions;
 use xtwig_core::{
-    estimate_selectivity, serve_reports, xbuild, CompiledSynopsis, EstimateCache, EstimateOptions,
-    TruthSource,
+    serve_reports, xbuild, CompiledSynopsis, EstimateCache, EstimateOptions, EstimateRequest,
+    Estimator, InterpretedEstimator, TruthSource,
 };
 use xtwig_datagen::Dataset;
 use xtwig_workload::{generate_workload, WorkloadKind, WorkloadSpec};
@@ -92,6 +92,7 @@ fn main() {
         }
         let opts = EstimateOptions::default();
         let cs = CompiledSynopsis::compile(&s);
+        let interp = InterpretedEstimator::new(&s);
 
         // --- single-query speedup + bit-identity -----------------------
         // The speedup subset keeps the repeat loop affordable while the
@@ -99,8 +100,12 @@ fn main() {
         let subset: Vec<_> = w.queries.iter().take(64).cloned().collect();
         let mut mismatches = 0usize;
         for q in &subset {
-            let a = estimate_selectivity(&s, q, &opts);
-            let b = cs.estimate_selectivity(q, &opts);
+            let a = interp
+                .estimate(&EstimateRequest::with_options(q, opts))
+                .estimate;
+            let b = cs
+                .estimate(&EstimateRequest::with_options(q, opts))
+                .estimate;
             if a.to_bits() != b.to_bits() {
                 eprintln!(
                     "MISMATCH {}: interpreted {a} vs compiled {b} for {q}",
@@ -117,14 +122,21 @@ fn main() {
         let t0 = Instant::now();
         for _ in 0..repeats {
             for q in &subset {
-                std::hint::black_box(estimate_selectivity(&s, q, &opts));
+                std::hint::black_box(
+                    interp
+                        .estimate(&EstimateRequest::with_options(q, opts))
+                        .estimate,
+                );
             }
         }
         let interp_secs = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
         for _ in 0..repeats {
             for q in &subset {
-                std::hint::black_box(cs.estimate_selectivity(q, &opts));
+                std::hint::black_box(
+                    cs.estimate(&EstimateRequest::with_options(q, opts))
+                        .estimate,
+                );
             }
         }
         let compiled_secs = t1.elapsed().as_secs_f64();

@@ -7,7 +7,7 @@
 use xtwig_bench::row;
 use xtwig_core::estimate::EstimateOptions;
 use xtwig_core::synopsis::{DimKind, ScopeDim};
-use xtwig_core::{coarse_synopsis, estimate_selectivity};
+use xtwig_core::{coarse_synopsis, EstimateRequest, Estimator, InterpretedEstimator};
 use xtwig_cst::{estimate_twig, Cst, CstOptions};
 use xtwig_datagen::{figure4_a, figure4_b};
 use xtwig_query::{parse_twig, selectivity};
@@ -29,7 +29,9 @@ fn main() {
         let coarse_scopeless = {
             let mut s0 = s.clone();
             s0.set_edge_hist(&doc, a, vec![], 8);
-            estimate_selectivity(&s0, &q, &opts)
+            InterpretedEstimator::new(&s0)
+                .estimate(&EstimateRequest::with_options(&q, opts))
+                .estimate
         };
 
         // Twig XSKETCH: 2-D edge histogram f_A(b, c) -> exact.
@@ -52,7 +54,9 @@ fn main() {
             ],
             4096,
         );
-        let twig_est = estimate_selectivity(&s, &q, &opts);
+        let twig_est = InterpretedEstimator::new(&s)
+            .estimate(&EstimateRequest::with_options(&q, opts))
+            .estimate;
 
         let cst = Cst::build(&doc, CstOptions::default());
         let cst_est = estimate_twig(&cst, &q);

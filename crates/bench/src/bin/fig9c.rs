@@ -10,7 +10,7 @@
 
 use xtwig_bench::{kb, row, BenchConfig};
 use xtwig_core::construct::{xbuild_from, BuildOptions, TruthSource};
-use xtwig_core::{coarse_synopsis, estimate_selectivity};
+use xtwig_core::{coarse_synopsis, EstimateRequest, Estimator, InterpretedEstimator};
 use xtwig_cst::{estimate_twig, Cst, CstOptions};
 use xtwig_datagen::Dataset;
 use xtwig_workload::{avg_relative_error, generate_workload, WorkloadKind, WorkloadSpec};
@@ -51,7 +51,11 @@ fn main() {
             let xsk: Vec<f64> = w
                 .queries
                 .iter()
-                .map(|q| estimate_selectivity(&synopsis, q, &Default::default()))
+                .map(|q| {
+                    InterpretedEstimator::new(&synopsis)
+                        .estimate(&EstimateRequest::new(q))
+                        .estimate
+                })
                 .collect();
             // CST at the same budget.
             let cst = Cst::build(

@@ -5,7 +5,7 @@
 
 use xtwig_bench::{row, BenchConfig};
 use xtwig_core::construct::{xbuild, BuildOptions, TruthSource};
-use xtwig_core::estimate_selectivity;
+use xtwig_core::{EstimateRequest, Estimator, InterpretedEstimator};
 use xtwig_datagen::Dataset;
 use xtwig_workload::{negative_workload, WorkloadSpec};
 
@@ -34,7 +34,11 @@ fn main() {
         let (synopsis, _) = xbuild(&doc, TruthSource::Exact, &build);
         let estimates: Vec<f64> = neg
             .iter()
-            .map(|q| estimate_selectivity(&synopsis, q, &Default::default()))
+            .map(|q| {
+                InterpretedEstimator::new(&synopsis)
+                    .estimate(&EstimateRequest::new(q))
+                    .estimate
+            })
             .collect();
         let avg = estimates.iter().sum::<f64>() / estimates.len().max(1) as f64;
         let max = estimates.iter().cloned().fold(0.0f64, f64::max);

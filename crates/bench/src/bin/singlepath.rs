@@ -10,8 +10,8 @@
 
 use xtwig_bench::{pct, row, BenchConfig};
 use xtwig_core::construct::{xbuild, BuildOptions, TruthSource};
-use xtwig_core::estimate_selectivity;
 use xtwig_core::single_path::estimate_path_count;
+use xtwig_core::{EstimateRequest, Estimator, InterpretedEstimator};
 use xtwig_datagen::Dataset;
 use xtwig_query::TwigQuery;
 use xtwig_workload::{avg_relative_error, generate_workload, WorkloadKind, WorkloadSpec};
@@ -46,7 +46,11 @@ fn main() {
         let truths: Vec<f64> = w.truths.iter().map(|&t| t as f64).collect();
         let twig_est: Vec<f64> = chains
             .iter()
-            .map(|q| estimate_selectivity(&synopsis, q, &Default::default()))
+            .map(|q| {
+                InterpretedEstimator::new(&synopsis)
+                    .estimate(&EstimateRequest::new(q))
+                    .estimate
+            })
             .collect();
         let sp_est: Vec<f64> = chains
             .iter()

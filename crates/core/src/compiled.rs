@@ -48,8 +48,10 @@ use crate::estimate::api::{
     self, AssumptionCounts, EstimateReport, EstimateRequest, Estimator, Explain, Provenance,
     QueryTelemetry,
 };
+use crate::estimate::arena::{self, EvalArena};
 use crate::estimate::embedding::{enumerate_embeddings_metered, Embedding};
-use crate::estimate::guard::Meter;
+use crate::estimate::guard::{EvalStats, Meter};
+use crate::estimate::kernel;
 use crate::estimate::{coarse_count_bound, BoundedEstimate, EstimateOptions};
 use crate::synopsis::{DimKind, SynId, Synopsis, ValueSource};
 use crate::telemetry::{self, Span, Stage};
@@ -97,6 +99,16 @@ pub struct CompiledHistogram {
     vb_lo: Vec<i64>,
     /// Flattened value-bucket upper bounds.
     vb_hi: Vec<i64>,
+    /// Dimension-major (transposed) lower box bounds, pre-converted to
+    /// `f64`: dimension `d`'s contiguous lane is
+    /// `lo_t[d * buckets ..][.. buckets]`. The bucket-selection and
+    /// box-distance kernels stream these lanes with unit stride, which
+    /// is what lets LLVM vectorize them (see `estimate::kernel`);
+    /// `u32 → f64` is exact, so the values equal `lo[b*dims+d] as f64`
+    /// bit-for-bit.
+    lo_t: Vec<f64>,
+    /// Dimension-major (transposed) upper box bounds as `f64`.
+    hi_t: Vec<f64>,
     /// Precomputed marginal expectation `Σ_b frac[b] · mean[b][d]` per
     /// dimension — the `E[C_d]` an AVI-style consumer reads in O(1).
     dim_expectation: Vec<f64>,
@@ -132,12 +144,33 @@ impl CompiledHistogram {
                 None => vb_span.push(None),
             }
         }
+        // Dimension-major transposes of the bound/mean rows. The row-major
+        // arrays stay the source of truth for per-bucket reads (one cache
+        // line per visited bucket); the transposes feed the vectorized
+        // whole-column kernels.
+        let nb = frac.len();
+        let mut lo_t = vec![0.0f64; dims * nb];
+        let mut hi_t = vec![0.0f64; dims * nb];
+        let mut mean_t = vec![0.0f64; dims * nb];
+        for b in 0..nb {
+            let row = b * dims;
+            for d in 0..dims {
+                lo_t[d * nb + b] = f64::from(lo[row + d]);
+                hi_t[d * nb + b] = f64::from(hi[row + d]);
+                mean_t[d * nb + b] = mean[row + d];
+            }
+        }
+        // Expectation per dimension as a two-pass kernel: vectorized
+        // elementwise products, then an order-preserving left fold — the
+        // same multiply-then-add sequence (in the same bucket order) as
+        // the scalar `Σ_b frac[b]·mean[b][d]`, so the result is
+        // bit-identical to the historical per-bucket loop.
+        let mut prod = vec![0.0f64; nb];
         let dim_expectation = (0..dims)
             .map(|d| {
-                buckets
-                    .iter()
-                    .map(|b| b.fraction * b.mean.get(d).copied().unwrap_or(0.0))
-                    .sum()
+                let lane = d * nb;
+                kernel::mul_into(&frac, &mean_t[lane..lane + nb], &mut prod);
+                kernel::sum_seq(&prod)
             })
             .collect();
         CompiledHistogram {
@@ -152,6 +185,8 @@ impl CompiledHistogram {
             vb_span,
             vb_lo,
             vb_hi,
+            lo_t,
+            hi_t,
             dim_expectation,
             total_mass: h.hist.total_mass(),
         }
@@ -225,31 +260,45 @@ impl CompiledHistogram {
         share
     }
 
-    /// Mirror of `Bucket::contains_on` for bucket `b`.
-    #[inline]
-    fn contains_on(&self, b: usize, cond: &[(usize, f64)]) -> bool {
-        let row = b * self.dims;
-        cond.iter()
-            .all(|&(d, v)| v >= self.lo[row + d] as f64 - 0.5 && v <= self.hi[row + d] as f64 + 0.5)
+    /// Vectorized mirror of `Bucket::contains_on` over **all** buckets
+    /// at once: `mask[b] &= cond is inside bucket b's box`, one
+    /// dimension-major lane pass per conditioning pair. The compare
+    /// arithmetic (`v >= lo - 0.5 && v <= hi + 0.5` on exactly-converted
+    /// `f64` bounds) is the scalar test's, so the surviving bucket set is
+    /// identical.
+    fn contains_mask(&self, cond: &[(usize, f64)], mask: &mut [u8]) {
+        let nb = self.frac.len();
+        kernel::positive_mask(&self.frac, mask);
+        for &(d, v) in cond {
+            let lane = d * nb;
+            kernel::range_mask_and(
+                v,
+                &self.lo_t[lane..lane + nb],
+                &self.hi_t[lane..lane + nb],
+                mask,
+            );
+        }
     }
 
-    /// Mirror of `Bucket::distance_on` for bucket `b`.
-    fn distance_on(&self, b: usize, cond: &[(usize, f64)]) -> f64 {
-        let row = b * self.dims;
-        cond.iter()
-            .map(|&(d, v)| {
-                let lo = self.lo[row + d] as f64;
-                let hi = self.hi[row + d] as f64;
-                let delta = if v < lo {
-                    lo - v
-                } else if v > hi {
-                    v - hi
-                } else {
-                    0.0
-                };
-                delta * delta
-            })
-            .sum()
+    /// Vectorized mirror of `Bucket::distance_on` over all buckets:
+    /// `dist[b] = Σ_cond axial-distance²`, accumulated per conditioning
+    /// pair in `cond` order — the same add sequence per bucket as the
+    /// scalar per-dimension sum, so distances are bit-identical (see
+    /// `kernel::sq_distance_add` for the branch-free equivalence).
+    fn distance_fill(&self, cond: &[(usize, f64)], dist: &mut [f64]) {
+        let nb = self.frac.len();
+        for d in dist.iter_mut() {
+            *d = 0.0;
+        }
+        for &(d, v) in cond {
+            let lane = d * nb;
+            kernel::sq_distance_add(
+                v,
+                &self.lo_t[lane..lane + nb],
+                &self.hi_t[lane..lane + nb],
+                dist,
+            );
+        }
     }
 
     /// Per-bucket weight from matched value predicates — the compiled
@@ -404,23 +453,46 @@ impl<'a> CompiledSynopsis<'a> {
         opts: &EstimateOptions,
         meter: &mut Meter,
     ) -> Arc<ExpandedQuery> {
-        self.expand_inner(query, opts, meter).0
+        arena::with_scratch(|ar| self.expand_inner(query, opts, meter, &mut ar.key_buf).0)
     }
 
-    /// [`CompiledSynopsis::expand`] plus whether the memo answered.
-    fn expand_inner(
+    /// [`CompiledSynopsis::expand`] plus whether the memo answered —
+    /// the batch scheduler needs the flag to carry accurate `memo_hit`
+    /// provenance through plan reuse and work splitting.
+    pub(crate) fn expand_tracked(
         &self,
         query: &TwigQuery,
         opts: &EstimateOptions,
         meter: &mut Meter,
     ) -> (Arc<ExpandedQuery>, bool) {
-        let key = format!(
+        arena::with_scratch(|ar| self.expand_inner(query, opts, meter, &mut ar.key_buf))
+    }
+
+    /// [`CompiledSynopsis::expand`] plus whether the memo answered.
+    ///
+    /// `key_buf` is a reusable buffer for the memo key: on the
+    /// steady-state hit path the key is formatted into retained capacity
+    /// and looked up as `&str` (the map borrows `String` keys as `str`),
+    /// so a memo hit performs **zero** heap allocations. Only a cold
+    /// miss materializes an owned key for insertion.
+    fn expand_inner(
+        &self,
+        query: &TwigQuery,
+        opts: &EstimateOptions,
+        meter: &mut Meter,
+        key_buf: &mut String,
+    ) -> (Arc<ExpandedQuery>, bool) {
+        use std::fmt::Write as _;
+        key_buf.clear();
+        // Writing into a String is infallible.
+        let _ = write!(
+            key_buf,
             "{query}\u{1}{}\u{1}{}",
             opts.max_embeddings, opts.max_descendant_len
         );
         {
             let memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Some(hit) = memo.get(&key) {
+            if let Some(hit) = memo.get(key_buf.as_str()) {
                 self.memo_hits.fetch_add(1, Ordering::Relaxed);
                 telemetry::global().expansion_memo_hits.incr();
                 return (Arc::clone(hit), true);
@@ -436,7 +508,7 @@ impl<'a> CompiledSynopsis<'a> {
             if memo.len() >= EXPANSION_MEMO_CAP {
                 memo.clear();
             }
-            memo.insert(key, Arc::clone(&expanded));
+            memo.insert(key_buf.clone(), Arc::clone(&expanded));
         }
         (expanded, false)
     }
@@ -476,16 +548,69 @@ impl<'a> CompiledSynopsis<'a> {
     /// the shared clamping loop, one telemetry flush — numerically the
     /// historical `estimate_selectivity_bounded`, bit for bit.
     pub fn estimate_report(&self, query: &TwigQuery, opts: &EstimateOptions) -> EstimateReport {
-        let t_total = Instant::now();
-        let mut meter = Meter::from_options(opts);
+        arena::with_scratch(|ar| {
+            let t_total = Instant::now();
+            let mut meter = Meter::from_options(opts);
 
-        let mut expand_span = Span::enter(Stage::Expand);
-        let (expanded, memo_hit) = self.expand_inner(query, opts, &mut meter);
-        let expand_ns = api::elapsed_ns(t_total);
-        let expand_work = meter.work_done();
-        expand_span.add_work(expand_work);
-        expand_span.exit();
+            let mut expand_span = Span::enter(Stage::Expand);
+            let (expanded, memo_hit) = self.expand_inner(query, opts, &mut meter, &mut ar.key_buf);
+            let expand_ns = api::elapsed_ns(t_total);
+            let expand_work = meter.work_done();
+            expand_span.add_work(expand_work);
+            expand_span.exit();
 
+            self.report_from_plan(
+                query,
+                opts,
+                &expanded,
+                memo_hit,
+                meter,
+                t_total,
+                expand_ns,
+                expand_work,
+                ar,
+            )
+        })
+    }
+
+    /// Estimates `query` against an already-expanded plan, skipping
+    /// expansion and the memo entirely. This is the batch plan-reuse
+    /// entry point: [`crate::serve::serve_reports`] expands each distinct
+    /// twig signature once per batch and evaluates every member of the
+    /// group against the shared plan. Numerically identical to
+    /// [`CompiledSynopsis::estimate_report`] on the same plan —
+    /// TREEPARSE is deterministic given the plan and options — with
+    /// `memo_hit` provenance supplied by the caller.
+    pub fn estimate_report_with_plan(
+        &self,
+        query: &TwigQuery,
+        opts: &EstimateOptions,
+        plan: &ExpandedQuery,
+        memo_hit: bool,
+    ) -> EstimateReport {
+        arena::with_scratch(|ar| {
+            let t_total = Instant::now();
+            let meter = Meter::from_options(opts);
+            self.report_from_plan(query, opts, plan, memo_hit, meter, t_total, 0, 0, ar)
+        })
+    }
+
+    /// The evaluation tail shared by every compiled entry point:
+    /// TREEPARSE over `expanded` under `meter`, the canonical clamping
+    /// loop, provenance/telemetry/explain assembly.
+    #[allow(clippy::too_many_arguments)]
+    fn report_from_plan(
+        &self,
+        query: &TwigQuery,
+        opts: &EstimateOptions,
+        expanded: &ExpandedQuery,
+        memo_hit: bool,
+        mut meter: Meter,
+        t_total: Instant,
+        expand_ns: u64,
+        expand_work: u64,
+        ar: &mut EvalArena,
+    ) -> EstimateReport {
         let t_eval = Instant::now();
         let mut eval_span = Span::enter(Stage::TreeParse);
         let acc = api::sum_embeddings(
@@ -493,7 +618,7 @@ impl<'a> CompiledSynopsis<'a> {
             opts.explain,
             |i| match (expanded.embeddings.get(i), expanded.needs.get(i)) {
                 (Some(e), Some(needs)) => {
-                    let v = self.estimate_embedding_metered(e, needs, &mut meter);
+                    let v = self.estimate_embedding_metered(e, needs, &mut meter, ar);
                     (v, meter.exhaustion())
                 }
                 _ => (0.0, None),
@@ -578,29 +703,111 @@ impl<'a> CompiledSynopsis<'a> {
     }
 
     /// Estimates one embedding whose `needs` lists were computed by
-    /// [`CompiledSynopsis::compute_needs`].
+    /// [`CompiledSynopsis::compute_needs`]. Scratch lives in `ar`; the
+    /// recursion's stack discipline leaves every lane at its entry
+    /// length on return.
     fn estimate_embedding_metered(
         &self,
         emb: &Embedding,
         needs: &[Vec<(SynId, SynId)>],
         meter: &mut Meter,
+        ar: &mut EvalArena,
     ) -> f64 {
         if emb.nodes.is_empty() {
             return 0.0;
         }
-        let mut env: Vec<((SynId, SynId), f64)> = Vec::new();
-        emb.root_count * self.eval_node(emb, needs, 0, &mut env, meter)
+        emb.root_count * self.eval_node(emb, needs, 0, ar, meter)
+    }
+
+    /// Evaluates a single embedding of an expanded plan under its own
+    /// meter — the unit of work the batch scheduler hands out when it
+    /// splits a heavy unguarded query across workers (see
+    /// [`crate::serve::serve_reports`]).
+    pub(crate) fn eval_one_embedding(
+        &self,
+        expanded: &ExpandedQuery,
+        i: usize,
+        meter: &mut Meter,
+    ) -> f64 {
+        arena::with_scratch(
+            |ar| match (expanded.embeddings.get(i), expanded.needs.get(i)) {
+                (Some(e), Some(needs)) => self.estimate_embedding_metered(e, needs, meter, ar),
+                _ => 0.0,
+            },
+        )
+    }
+
+    /// Assembles the report for a work-split evaluation: per-embedding
+    /// contributions were computed out-of-band (in parallel, each under
+    /// an unlimited meter — splitting only happens for unguarded
+    /// queries, where no meter can trip), and are folded here through
+    /// the *same* sequential clamping loop (`api::sum_embeddings`, in
+    /// embedding order) as the single-threaded path, so the total is
+    /// bit-identical. `stats`/`work` are the merged per-worker meter
+    /// tallies (saturating integer sums — order-insensitive).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn report_from_split(
+        &self,
+        query: &TwigQuery,
+        opts: &EstimateOptions,
+        expanded: &ExpandedQuery,
+        memo_hit: bool,
+        contribs: &[f64],
+        stats: EvalStats,
+        work: u64,
+        timings: QueryTelemetry,
+    ) -> EstimateReport {
+        let acc = api::sum_embeddings(
+            expanded.embeddings.len(),
+            opts.explain,
+            |i| (contribs.get(i).copied().unwrap_or(0.0), None),
+            || coarse_count_bound(self.source, query),
+            |i| {
+                expanded
+                    .embeddings
+                    .get(i)
+                    .map_or_else(String::new, |e| api::render_embedding(self.source, e))
+            },
+        );
+        let mut provenance = Provenance::new("xsketch-compiled");
+        provenance.exhaustion = None;
+        provenance.embeddings = acc.evaluated;
+        provenance.work = work;
+        provenance.clamped = acc.clamped;
+        provenance.memo_hit = Some(memo_hit);
+        provenance.degraded = acc.clamped > 0;
+        let telemetry = api::flush_query_telemetry(stats, None, provenance.degraded, timings);
+        let explain = acc.contributions.map(|embeddings| Explain {
+            expanded: expanded.embeddings.len(),
+            embeddings,
+            assumptions: AssumptionCounts {
+                forward_uniformity: stats.uniformity_applications,
+                conditioning: stats.conditioning_applications,
+            },
+            final_clamp: acc.final_clamp,
+            tier_path: Vec::new(),
+        });
+        EstimateReport {
+            estimate: acc.total,
+            provenance,
+            telemetry,
+            explain,
+        }
     }
 
     /// Compiled TREEPARSE node evaluation — an operation-for-operation
     /// mirror of the interpreted `eval_node`, iterating the SoA bucket
-    /// rows directly instead of materializing support lists.
+    /// rows directly instead of materializing support lists. All
+    /// per-frame scratch (value conditions, enumerated dimensions,
+    /// conditioning pairs, child dimension slots, bucket masks) lives in
+    /// the arena's typed lanes; the frame truncates them back on exit,
+    /// so steady-state evaluation performs zero heap allocations.
     fn eval_node(
         &self,
         emb: &Embedding,
         needs: &[Vec<(SynId, SynId)>],
         i: usize,
-        env: &mut Vec<((SynId, SynId), f64)>,
+        ar: &mut EvalArena,
         meter: &mut Meter,
     ) -> f64 {
         let Some(node) = emb.nodes.get(i) else {
@@ -613,11 +820,11 @@ impl<'a> CompiledSynopsis<'a> {
 
         // --- Predicate factors -------------------------------------------
         let mut factor = node.branch_fraction;
-        let mut value_conds: Vec<(usize, i64, i64)> = Vec::new();
+        let vc_start = ar.value_conds.len();
         if let Some((lo, hi)) = node.value_range {
             match ch.value_dim_of(syn, ValueSource::OwnValue) {
                 Some(di) if ch.vb_span.get(di).is_some_and(Option::is_some) => {
-                    value_conds.push((di, lo, hi));
+                    ar.value_conds.push((di, lo, hi));
                 }
                 _ => factor *= self.source.value_fraction(syn, lo, hi),
             }
@@ -625,24 +832,27 @@ impl<'a> CompiledSynopsis<'a> {
         for bv in &node.branch_values {
             match ch.value_dim_of(syn, ValueSource::ChildValue(bv.child)) {
                 Some(di) if ch.vb_span.get(di).is_some_and(Option::is_some) => {
-                    value_conds.push((di, bv.range.0, bv.range.1));
+                    ar.value_conds.push((di, bv.range.0, bv.range.1));
                 }
                 _ => factor *= bv.fallback,
             }
         }
+        let vc_end = ar.value_conds.len();
         if factor == 0.0 {
+            ar.value_conds.truncate(vc_start);
             return 0.0;
         }
-        if node.children.is_empty() && value_conds.is_empty() {
+        if node.children.is_empty() && vc_start == vc_end {
+            ar.value_conds.truncate(vc_start);
             return factor;
         }
 
         // --- TREEPARSE classification -------------------------------------
-        let child_edges: Vec<(SynId, SynId)> = node
-            .children
-            .iter()
-            .filter_map(|&c| emb.nodes.get(c).map(|cn| (syn, cn.syn)))
-            .collect();
+        let is_child_edge = |edge: (SynId, SynId)| -> bool {
+            node.children
+                .iter()
+                .any(|&c| emb.nodes.get(c).is_some_and(|cn| (syn, cn.syn) == edge))
+        };
         let needs_below = |edge: &(SynId, SynId)| -> bool {
             node.children.iter().any(|&c| {
                 needs
@@ -650,119 +860,134 @@ impl<'a> CompiledSynopsis<'a> {
                     .is_some_and(|set| set.binary_search(edge).is_ok())
             })
         };
-        let enum_dims: Vec<usize> = (0..ch.dims)
-            .filter(|&d| {
-                ch.dim_kind[d] == DimKind::Forward
-                    && ch.dim_parent[d] == syn
-                    && (child_edges.contains(&ch.edge_key(d)) || needs_below(&ch.edge_key(d)))
-            })
-            .collect();
-        let cond: Vec<(usize, f64)> = (0..ch.dims)
-            .filter(|&d| ch.dim_kind[d] == DimKind::Backward)
-            .filter_map(|d| {
-                env.iter()
-                    .rev()
-                    .find(|(key, _)| *key == ch.edge_key(d))
-                    .map(|&(_, v)| (d, v))
-            })
-            .collect();
-        if !cond.is_empty() {
+        let ed_start = ar.enum_dims.len();
+        for d in 0..ch.dims {
+            if ch.dim_kind[d] == DimKind::Forward && ch.dim_parent[d] == syn {
+                let key = ch.edge_key(d);
+                if is_child_edge(key) || needs_below(&key) {
+                    ar.enum_dims.push(d);
+                }
+            }
+        }
+        let ed_end = ar.enum_dims.len();
+        let cd_start = ar.cond.len();
+        for d in 0..ch.dims {
+            if ch.dim_kind[d] == DimKind::Backward {
+                let key = ch.edge_key(d);
+                if let Some(&(_, v)) = ar.env.iter().rev().find(|(k, _)| *k == key) {
+                    ar.cond.push((d, v));
+                }
+            }
+        }
+        let cd_end = ar.cond.len();
+        if cd_end > cd_start {
             // Correlation-Scope Independence fires — same site as the
             // interpreted evaluator, so the counts agree. (Observational.)
             meter.note_conditioning();
         }
-        let child_dim: Vec<Option<usize>> = node
-            .children
-            .iter()
-            .map(|&c| {
-                let child_syn = emb.nodes.get(c).map(|cn| cn.syn);
-                enum_dims
-                    .iter()
-                    .position(|&di| Some(ch.dim_child[di]) == child_syn && ch.dim_parent[di] == syn)
-            })
-            .collect();
+        let cdim_start = ar.child_dim.len();
+        for &c in &node.children {
+            let child_syn = emb.nodes.get(c).map(|cn| cn.syn);
+            let pos = ar.enum_dims[ed_start..ed_end]
+                .iter()
+                .position(|&di| Some(ch.dim_child[di]) == child_syn && ch.dim_parent[di] == syn);
+            ar.child_dim.push(pos);
+        }
+
+        let frame = Frame {
+            ed: (ed_start, ed_end),
+            cdim: cdim_start,
+        };
 
         // --- Evaluation ----------------------------------------------------
         // The interpreted path materializes a support list
         // (`conditional_support_weighted`) and loops over it; here the
         // bucket rows are visited in place with the same masses in the
-        // same order, through `visit`.
+        // same order, through `visit_bucket`.
         let mut acc = 0.0;
-        {
-            // Returns `false` when the meter trips, so loops below stop
-            // exactly where the interpreted support loop breaks.
-            let mut visit = |mass: f64, bucket: Option<usize>| -> bool {
-                if !meter.proceed(1) {
-                    return false;
-                }
-                meter.note_bucket();
-                if mass == 0.0 {
-                    return true;
-                }
-                let env_base = env.len();
-                if let Some(b) = bucket {
-                    let row = b * ch.dims;
-                    for &di in &enum_dims {
-                        env.push((ch.edge_key(di), ch.mean[row + di]));
-                    }
-                }
-                let mut term = mass;
-                for (&c, dim) in node.children.iter().zip(child_dim.iter()) {
-                    let sub = self.eval_node(emb, needs, c, env, meter);
-                    let mult = match (bucket, dim) {
-                        (Some(b), Some(j)) => match enum_dims.get(*j) {
-                            Some(&di) => ch.mean[b * ch.dims + di],
-                            None => 0.0,
-                        },
-                        _ => match emb.nodes.get(c) {
-                            Some(child) => {
-                                meter.note_uniformity();
-                                self.avg_children(syn, child.syn)
-                            }
-                            None => 0.0,
-                        },
-                    };
-                    term *= mult * sub;
-                    if term == 0.0 {
-                        break;
-                    }
-                }
-                env.truncate(env_base);
-                acc += term;
-                true
-            };
-
-            if enum_dims.is_empty() && value_conds.is_empty() {
-                // Mirror of the `vec![(1.0, Vec::new())]` special case.
-                visit(1.0, None);
-            } else if cond.is_empty() {
-                if enum_dims.is_empty() {
-                    // Scalar collapse: sum the weighted masses, emit once.
-                    let total: f64 = (0..ch.bucket_count())
+        let nb = ch.bucket_count();
+        if ed_start == ed_end && vc_start == vc_end {
+            // Mirror of the `vec![(1.0, Vec::new())]` special case.
+            self.visit_bucket(emb, needs, i, frame, 1.0, None, ar, meter, &mut acc);
+        } else if cd_start == cd_end {
+            if ed_start == ed_end {
+                // Scalar collapse: sum the weighted masses, emit once.
+                let total: f64 = {
+                    let vc = &ar.value_conds[vc_start..vc_end];
+                    (0..nb)
                         .filter(|&b| ch.frac[b] > 0.0)
-                        .map(|b| ch.frac[b] * ch.value_weight(b, &value_conds))
-                        .sum();
-                    visit(total, None);
+                        .map(|b| ch.frac[b] * ch.value_weight(b, vc))
+                        .sum()
+                };
+                self.visit_bucket(emb, needs, i, frame, total, None, ar, meter, &mut acc);
+            } else {
+                for b in 0..nb {
+                    if ch.frac[b] > 0.0 {
+                        let w = {
+                            let vc = &ar.value_conds[vc_start..vc_end];
+                            ch.frac[b] * ch.value_weight(b, vc)
+                        };
+                        if !self.visit_bucket(emb, needs, i, frame, w, Some(b), ar, meter, &mut acc)
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+        } else {
+            // Conditional branch: select compatible buckets with the
+            // vectorized whole-column mask (pass one), then emit the
+            // survivors in bucket order (pass two) — same filter and
+            // renormalization as the interpreted path, with the
+            // nearest-bucket first-minimum fallback on holes.
+            let mask_start = ar.mask.len();
+            ar.mask.resize(mask_start + nb, 0);
+            {
+                let (cond, mask) = (&ar.cond[cd_start..cd_end], &mut ar.mask[mask_start..]);
+                ch.contains_mask(cond, mask);
+            }
+            let any_selected = ar.mask[mask_start..].iter().any(|&m| m != 0);
+            if any_selected {
+                let den = kernel::masked_sum_seq(&ch.frac, &ar.mask[mask_start..]);
+                if ed_start == ed_end {
+                    let total: f64 = {
+                        let vc = &ar.value_conds[vc_start..vc_end];
+                        let mask = &ar.mask[mask_start..];
+                        (0..nb)
+                            .filter(|&b| mask.get(b).copied().unwrap_or(0) != 0)
+                            .map(|b| ch.frac[b] / den * ch.value_weight(b, vc))
+                            .sum()
+                    };
+                    self.visit_bucket(emb, needs, i, frame, total, None, ar, meter, &mut acc);
                 } else {
-                    for b in 0..ch.bucket_count() {
-                        if ch.frac[b] > 0.0
-                            && !visit(ch.frac[b] * ch.value_weight(b, &value_conds), Some(b))
+                    for b in 0..nb {
+                        if ar.mask.get(mask_start + b).copied().unwrap_or(0) == 0 {
+                            continue;
+                        }
+                        let w = {
+                            let vc = &ar.value_conds[vc_start..vc_end];
+                            ch.frac[b] / den * ch.value_weight(b, vc)
+                        };
+                        if !self.visit_bucket(emb, needs, i, frame, w, Some(b), ar, meter, &mut acc)
                         {
                             break;
                         }
                     }
                 }
             } else {
-                // Conditional branch: select compatible buckets, falling
-                // back to the nearest bucket on holes — same filter and
-                // first-minimum semantics as the interpreted path.
-                let selected: Vec<usize> = (0..ch.bucket_count())
-                    .filter(|&b| ch.frac[b] > 0.0 && ch.contains_on(b, &cond))
-                    .collect();
-                let (selected, den) = if selected.is_empty() {
-                    let mut best: Option<(f64, usize)> = None;
-                    for b in (0..ch.bucket_count()).filter(|&b| ch.frac[b] > 0.0) {
-                        let d = ch.distance_on(b, &cond);
+                // Nearest-bucket fallback: vectorized distances, then a
+                // sequential first-minimum scan (ties keep the earliest
+                // bucket, as the interpreted path does).
+                let dist_start = ar.scratch.len();
+                ar.scratch.resize(dist_start + nb, 0.0);
+                {
+                    let (cond, dist) = (&ar.cond[cd_start..cd_end], &mut ar.scratch[dist_start..]);
+                    ch.distance_fill(cond, dist);
+                }
+                let mut best: Option<(f64, usize)> = None;
+                for b in 0..nb {
+                    if ch.frac[b] > 0.0 {
+                        let d = ar.scratch[dist_start + b];
                         let better = match best {
                             None => true,
                             Some((bd, _)) => {
@@ -774,35 +999,109 @@ impl<'a> CompiledSynopsis<'a> {
                             best = Some((d, b));
                         }
                     }
-                    match best {
-                        Some((_, b)) => (vec![b], ch.frac[b]),
-                        None => (Vec::new(), 0.0),
-                    }
-                } else {
-                    let den = selected.iter().map(|&b| ch.frac[b]).sum::<f64>();
-                    (selected, den)
-                };
-                if enum_dims.is_empty() {
-                    let total: f64 = selected
-                        .iter()
-                        .map(|&b| ch.frac[b] / den * ch.value_weight(b, &value_conds))
-                        .sum();
-                    // An empty selection yields an empty support list on
-                    // the interpreted path (no entries at all).
-                    if !selected.is_empty() {
-                        visit(total, None);
-                    }
-                } else {
-                    for &b in &selected {
-                        if !visit(ch.frac[b] / den * ch.value_weight(b, &value_conds), Some(b)) {
-                            break;
-                        }
-                    }
                 }
+                ar.scratch.truncate(dist_start);
+                if let Some((_, b)) = best {
+                    let den = ch.frac[b];
+                    let w = {
+                        let vc = &ar.value_conds[vc_start..vc_end];
+                        ch.frac[b] / den * ch.value_weight(b, vc)
+                    };
+                    // A single-bucket selection: the scalar-collapse sum
+                    // over one element equals the element itself.
+                    let bucket = if ed_start == ed_end { None } else { Some(b) };
+                    self.visit_bucket(emb, needs, i, frame, w, bucket, ar, meter, &mut acc);
+                }
+                // An empty selection (no massy bucket at all) yields an
+                // empty support list on the interpreted path: emit nothing.
             }
+            ar.mask.truncate(mask_start);
         }
+
+        // --- Frame release -------------------------------------------------
+        ar.child_dim.truncate(cdim_start);
+        ar.cond.truncate(cd_start);
+        ar.enum_dims.truncate(ed_start);
+        ar.value_conds.truncate(vc_start);
         factor * acc
     }
+
+    /// One support-list entry of `eval_node`'s frame: charge the meter,
+    /// extend the environment with the bucket's enumerated means, recurse
+    /// into the children, fold the term. Returns `false` when the meter
+    /// trips, so the bucket loops stop exactly where the interpreted
+    /// support loop breaks.
+    #[allow(clippy::too_many_arguments)]
+    fn visit_bucket(
+        &self,
+        emb: &Embedding,
+        needs: &[Vec<(SynId, SynId)>],
+        i: usize,
+        frame: Frame,
+        mass: f64,
+        bucket: Option<usize>,
+        ar: &mut EvalArena,
+        meter: &mut Meter,
+        acc: &mut f64,
+    ) -> bool {
+        if !meter.proceed(1) {
+            return false;
+        }
+        meter.note_bucket();
+        if mass == 0.0 {
+            return true;
+        }
+        let Some(node) = emb.nodes.get(i) else {
+            return true;
+        };
+        let syn = node.syn;
+        let Some(ch) = self.hists.get(syn.index()) else {
+            return true;
+        };
+        let env_base = ar.env.len();
+        if let Some(b) = bucket {
+            let row = b * ch.dims;
+            for k in frame.ed.0..frame.ed.1 {
+                let di = ar.enum_dims[k];
+                ar.env.push((ch.edge_key(di), ch.mean[row + di]));
+            }
+        }
+        let mut term = mass;
+        for (j, &c) in node.children.iter().enumerate() {
+            let sub = self.eval_node(emb, needs, c, ar, meter);
+            let dim = ar.child_dim.get(frame.cdim + j).copied().flatten();
+            let mult = match (bucket, dim) {
+                (Some(b), Some(slot)) => match ar.enum_dims.get(frame.ed.0 + slot) {
+                    Some(&di) => ch.mean[b * ch.dims + di],
+                    None => 0.0,
+                },
+                _ => match emb.nodes.get(c) {
+                    Some(child) => {
+                        meter.note_uniformity();
+                        self.avg_children(syn, child.syn)
+                    }
+                    None => 0.0,
+                },
+            };
+            term *= mult * sub;
+            if term == 0.0 {
+                break;
+            }
+        }
+        ar.env.truncate(env_base);
+        *acc += term;
+        true
+    }
+}
+
+/// Lane ranges of one `eval_node` frame inside the arena: the frame's
+/// enumerated dimensions (`enum_dims[ed.0..ed.1]`) and the start of its
+/// per-child dimension slots in `child_dim`. `Copy`, so `visit_bucket`
+/// can carry it across recursive calls that re-borrow the whole arena.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    ed: (usize, usize),
+    cdim: usize,
 }
 
 impl Estimator for CompiledSynopsis<'_> {

@@ -48,14 +48,18 @@ pub struct Embedding {
 impl Embedding {
     /// Creates an embedding with the given root binding.
     pub fn with_root(syn: SynId, root_count: f64) -> Embedding {
+        // Embeddings are plan data: built once per expansion-memo miss,
+        // stored behind the memo's `Arc`, and only *read* per query —
+        // not arena material.
         Embedding {
+            // lint:allow(hot-alloc)
             nodes: vec![EmbNode {
                 syn,
                 parent: None,
-                children: Vec::new(),
+                children: Vec::new(), // lint:allow(hot-alloc): memo-stored plan
                 value_range: None,
                 branch_fraction: 1.0,
-                branch_values: Vec::new(),
+                branch_values: Vec::new(), // lint:allow(hot-alloc): memo-stored plan
             }],
             root_count,
         }
@@ -73,10 +77,10 @@ impl Embedding {
         self.nodes.push(EmbNode {
             syn,
             parent: Some(parent),
-            children: Vec::new(),
+            children: Vec::new(), // lint:allow(hot-alloc): memo-stored plan
             value_range,
             branch_fraction,
-            branch_values: Vec::new(),
+            branch_values: Vec::new(), // lint:allow(hot-alloc): memo-stored plan
         });
         if let Some(p) = self.nodes.get_mut(parent) {
             p.children.push(idx);
@@ -117,6 +121,10 @@ pub fn enumerate_embeddings_metered(
     meter: &mut Meter,
 ) -> Vec<Embedding> {
     let root_chains = expand_path_absolute_metered(s, query.path(query.root()), opts, meter);
+    // This whole function is the cold memo-miss path: the embedding list
+    // it builds is stored behind the memo's `Arc` and reused by every
+    // subsequent query with the same fingerprint.
+    // lint:allow(hot-alloc)
     let mut out: Vec<Embedding> = Vec::new();
     for chain in &root_chains {
         if meter.exhaustion().is_some() {
@@ -134,7 +142,7 @@ pub fn enumerate_embeddings_metered(
             root.branch_values = head.branch_values.clone();
         }
         let anchor = if chain.nodes.len() > 1 {
-            let tail: Vec<_> = chain.nodes.iter().skip(1).cloned().collect();
+            let tail: Vec<_> = chain.nodes.iter().skip(1).cloned().collect(); // lint:allow(hot-alloc): cold memo-miss path
             emb.push_chain(0, &Chain { nodes: tail })
         } else {
             0
@@ -195,14 +203,14 @@ fn attach_children(
             // Queue t's own children anchored at the chain end, ahead of
             // the remaining siblings.
             let mut next: Vec<(TwigNodeRef, usize)> =
-                query.children(t).iter().map(|&c| (c, end)).collect();
+                query.children(t).iter().map(|&c| (c, end)).collect(); // lint:allow(hot-alloc): cold memo-miss path
             next.extend_from_slice(rest);
             rec(s, query, opts, e, &next, out, meter);
         }
     }
 
     let pending: Vec<(TwigNodeRef, usize)> =
-        query.children(t).iter().map(|&c| (c, anchor)).collect();
+        query.children(t).iter().map(|&c| (c, anchor)).collect(); // lint:allow(hot-alloc): cold memo-miss path
     rec(s, query, opts, emb, &pending, out, meter);
 }
 

@@ -23,13 +23,10 @@
 //! set to the ancestor chain, which is the context a depth-first product
 //! evaluation can condition on.
 
+use crate::estimate::arena::{self, EvalArena, FrameBufs};
 use crate::estimate::embedding::Embedding;
 use crate::estimate::guard::Meter;
 use crate::synopsis::{DimKind, SynId, Synopsis, ValueSource};
-use std::collections::HashSet;
-
-/// An enumerated-value environment along the current ancestor chain.
-type Env = Vec<((SynId, SynId), f64)>;
 
 /// Estimates the selectivity of one maximal twig embedding.
 pub fn estimate_embedding(s: &Synopsis, emb: &Embedding) -> f64 {
@@ -44,30 +41,37 @@ pub fn estimate_embedding_metered(s: &Synopsis, emb: &Embedding, meter: &mut Met
         return 0.0;
     }
     let needs = compute_needs(s, emb);
-    let mut env: Env = Vec::new();
-    emb.root_count * eval_node(s, emb, &needs, 0, &mut env, meter)
+    arena::with_scratch(|ar| emb.root_count * eval_node(s, emb, &needs, 0, ar, meter))
 }
 
 /// `needs[i]`: edges that appear as backward dimensions of histograms in
 /// the subtree rooted at `i` (including `i` itself) — ancestors must
 /// enumerate these when they can, so descendants can condition on them.
-fn compute_needs(s: &Synopsis, emb: &Embedding) -> Vec<HashSet<(SynId, SynId)>> {
-    let mut needs: Vec<HashSet<(SynId, SynId)>> = vec![HashSet::new(); emb.nodes.len()];
+/// Sets are sorted, deduplicated `Vec`s, queried by binary search — the
+/// same representation (and iteration order) as the compiled pre-pass.
+fn compute_needs(s: &Synopsis, emb: &Embedding) -> Vec<Vec<(SynId, SynId)>> {
+    // Per-embedding sets outlive the whole frame stack (every ancestor
+    // queries its descendants' sets), so they cannot live in the
+    // arena's stack-disciplined lanes.
+    // lint:allow(hot-alloc)
+    let mut needs: Vec<Vec<(SynId, SynId)>> = vec![Vec::new(); emb.nodes.len()];
     // Children always follow parents in index order, so a reverse sweep
     // sees every child before its parent.
     for (i, node) in emb.nodes.iter().enumerate().rev() {
         let hist = s.edge_hist(node.syn);
-        let mut set: HashSet<(SynId, SynId)> = hist
+        let mut set: Vec<(SynId, SynId)> = hist
             .scope
             .iter()
             .filter(|d| d.kind == DimKind::Backward)
             .map(|d| d.edge_key())
-            .collect();
+            .collect(); // lint:allow(hot-alloc): ditto — stored into `needs[i]`
         for &c in &node.children {
             if let Some(below) = needs.get(c) {
                 set.extend(below.iter().copied());
             }
         }
+        set.sort_unstable();
+        set.dedup();
         if let Some(slot) = needs.get_mut(i) {
             *slot = set;
         }
@@ -76,13 +80,21 @@ fn compute_needs(s: &Synopsis, emb: &Embedding) -> Vec<HashSet<(SynId, SynId)>> 
 }
 
 /// Expected number of binding tuples for the subtree rooted at embedding
-/// node `i`, per element of its synopsis node, conditioned on `env`.
+/// node `i`, per element of its synopsis node, conditioned on the
+/// enumerated-value environment in `ar.env`.
+///
+/// Frame-local classification buffers are *taken* out of the arena's
+/// recycled pool rather than borrowed in place: the histogram's support
+/// visitor holds `cond`/`enum_dims` slices across bucket callbacks that
+/// recurse and re-borrow the arena mutably, which in-place lane borrows
+/// cannot express safely. The buffers go back (cleared, capacity kept)
+/// on every exit path, so steady state allocates nothing.
 fn eval_node(
     s: &Synopsis,
     emb: &Embedding,
-    needs: &[HashSet<(SynId, SynId)>],
+    needs: &[Vec<(SynId, SynId)>],
     i: usize,
-    env: &mut Env,
+    ar: &mut EvalArena,
     meter: &mut Meter,
 ) -> f64 {
     let Some(node) = emb.nodes.get(i) else {
@@ -90,6 +102,7 @@ fn eval_node(
     };
     let syn = node.syn;
     let hist = s.edge_hist(syn);
+    let mut f: FrameBufs = ar.pop_frame();
 
     // --- Predicate factors -------------------------------------------
     let mut factor = node.branch_fraction;
@@ -99,88 +112,86 @@ fn eval_node(
     // surviving count distribution is the conditional one. Unmatched
     // predicates fall back to an independent fraction (the prototype's
     // behaviour).
-    let mut value_conds: Vec<(usize, i64, i64)> = Vec::new(); // (dim, lo, hi)
     if let Some((lo, hi)) = node.value_range {
         match hist.value_dim_of(syn, ValueSource::OwnValue) {
-            Some(di) if hist.value_buckets[di].is_some() => value_conds.push((di, lo, hi)),
+            Some(di) if hist.value_buckets[di].is_some() => f.value_conds.push((di, lo, hi)),
             _ => factor *= s.value_fraction(syn, lo, hi),
         }
     }
     for bv in &node.branch_values {
         match hist.value_dim_of(syn, ValueSource::ChildValue(bv.child)) {
             Some(di) if hist.value_buckets.get(di).is_some_and(Option::is_some) => {
-                value_conds.push((di, bv.range.0, bv.range.1));
+                f.value_conds.push((di, bv.range.0, bv.range.1));
             }
             _ => factor *= bv.fallback,
         }
     }
     if factor == 0.0 {
+        ar.push_frame(f);
         return 0.0;
     }
-    if node.children.is_empty() && value_conds.is_empty() {
+    if node.children.is_empty() && f.value_conds.is_empty() {
+        ar.push_frame(f);
         return factor;
     }
 
     // --- TREEPARSE classification -------------------------------------
-    let child_edges: Vec<(SynId, SynId)> = node
-        .children
-        .iter()
-        .map(|&c| (syn, emb.nodes[c].syn))
-        .collect();
-    let needs_below: HashSet<(SynId, SynId)> = node
-        .children
-        .iter()
-        .flat_map(|&c| needs[c].iter().copied())
-        .collect();
-    // E_i: forward dims to enumerate jointly.
-    let enum_dims: Vec<usize> = hist
-        .scope
-        .iter()
-        .enumerate()
-        .filter(|(_, d)| {
-            d.kind == DimKind::Forward
-                && d.parent == syn
-                && (child_edges.contains(&d.edge_key()) || needs_below.contains(&d.edge_key()))
+    let is_child_edge = |edge: (SynId, SynId)| -> bool {
+        node.children
+            .iter()
+            .any(|&c| emb.nodes.get(c).is_some_and(|cn| (syn, cn.syn) == edge))
+    };
+    let needs_below = |edge: &(SynId, SynId)| -> bool {
+        node.children.iter().any(|&c| {
+            needs
+                .get(c)
+                .is_some_and(|set| set.binary_search(edge).is_ok())
         })
-        .map(|(di, _)| di)
-        .collect();
+    };
+    // E_i: forward dims to enumerate jointly.
+    for (di, d) in hist.scope.iter().enumerate() {
+        if d.kind == DimKind::Forward && d.parent == syn {
+            let key = d.edge_key();
+            if is_child_edge(key) || needs_below(&key) {
+                f.enum_dims.push(di);
+            }
+        }
+    }
     // D_i: backward dims with an enumerated ancestor value in `env`
     // (latest binding wins, handling repeated synopsis nodes on a chain).
-    let cond: Vec<(usize, f64)> = hist
-        .scope
-        .iter()
-        .enumerate()
-        .filter(|(_, d)| d.kind == DimKind::Backward)
-        .filter_map(|(di, d)| {
-            env.iter()
-                .rev()
-                .find(|(key, _)| *key == d.edge_key())
-                .map(|&(_, v)| (di, v))
-        })
-        .collect();
-    if !cond.is_empty() {
+    for (di, d) in hist.scope.iter().enumerate() {
+        if d.kind == DimKind::Backward {
+            let key = d.edge_key();
+            if let Some(&(_, v)) = ar.env.iter().rev().find(|(k, _)| *k == key) {
+                f.cond.push((di, v));
+            }
+        }
+    }
+    if !f.cond.is_empty() {
         // Correlation-Scope Independence fires: this node's histogram is
         // conditioned on enumerated ancestor counts. (Observational.)
         meter.note_conditioning();
     }
 
     // Map each child to the enumerated dim covering its edge, if any.
-    let child_dim: Vec<Option<usize>> = node
-        .children
-        .iter()
-        .map(|&c| {
-            enum_dims
-                .iter()
-                .position(|&di| hist.scope[di].edge_key() == (syn, emb.nodes[c].syn))
-        })
-        .collect();
+    for &c in &node.children {
+        let child_syn = emb.nodes.get(c).map(|cn| cn.syn);
+        let pos = f.enum_dims.iter().position(|&di| {
+            child_syn.is_some_and(|cs| {
+                hist.scope
+                    .get(di)
+                    .is_some_and(|d| d.edge_key() == (syn, cs))
+            })
+        });
+        f.child_dim.push(pos);
+    }
 
     // --- Evaluation ----------------------------------------------------
     // Per-bucket weight from the matched value predicates: the share of
     // the bucket's elements whose value dimension(s) survive the ranges.
     let weight = |b: &xtwig_histogram::Bucket| -> f64 {
         let mut w = 1.0;
-        for &(di, lo, hi) in &value_conds {
+        for &(di, lo, hi) in &f.value_conds {
             // `value_conds` only records dims verified to carry buckets.
             let Some(Some(vb)) = hist.value_buckets.get(di) else {
                 continue;
@@ -208,19 +219,19 @@ fn eval_node(
         if mass == 0.0 {
             return true;
         }
-        let env_base = env.len();
+        let env_base = ar.env.len();
         if let Some(b) = bucket {
-            for &di in &enum_dims {
+            for &di in &f.enum_dims {
                 if let (Some(dim), Some(&val)) = (hist.scope.get(di), b.mean.get(di)) {
-                    env.push((dim.edge_key(), val));
+                    ar.env.push((dim.edge_key(), val));
                 }
             }
         }
         let mut term = mass;
-        for (&c, dim) in node.children.iter().zip(child_dim.iter()) {
-            let sub = eval_node(s, emb, needs, c, env, meter);
+        for (&c, dim) in node.children.iter().zip(f.child_dim.iter()) {
+            let sub = eval_node(s, emb, needs, c, ar, meter);
             let enumerated = match (bucket, dim) {
-                (Some(b), Some(j)) => enum_dims.get(*j).and_then(|&di| b.mean.get(di)).copied(),
+                (Some(b), Some(j)) => f.enum_dims.get(*j).and_then(|&di| b.mean.get(di)).copied(),
                 _ => None,
             };
             let mult = match enumerated {
@@ -239,16 +250,17 @@ fn eval_node(
                 break;
             }
         }
-        env.truncate(env_base);
+        ar.env.truncate(env_base);
         acc += term;
         true
     };
-    if enum_dims.is_empty() && value_conds.is_empty() {
+    if f.enum_dims.is_empty() && f.value_conds.is_empty() {
         body(1.0, None);
     } else {
         hist.hist
-            .visit_conditional_support_weighted(&cond, &enum_dims, &weight, &mut body);
+            .visit_conditional_support_weighted(&f.cond, &f.enum_dims, &weight, &mut body);
     }
+    ar.push_frame(f);
     factor * acc
 }
 

@@ -60,6 +60,25 @@ pub struct EvalStats {
     pub conditioning_applications: u64,
 }
 
+impl EvalStats {
+    /// Field-wise saturating sum. Merging per-worker tallies from a
+    /// split evaluation must never wrap a counter; and because every
+    /// field is a plain integer sum, the merge is order-insensitive —
+    /// workers can be combined in any order and agree with the
+    /// single-threaded tally.
+    pub fn merged(&self, other: &EvalStats) -> EvalStats {
+        EvalStats {
+            buckets_visited: self.buckets_visited.saturating_add(other.buckets_visited),
+            uniformity_applications: self
+                .uniformity_applications
+                .saturating_add(other.uniformity_applications),
+            conditioning_applications: self
+                .conditioning_applications
+                .saturating_add(other.conditioning_applications),
+        }
+    }
+}
+
 /// A cooperative budget meter threaded through path expansion, embedding
 /// enumeration, and TREEPARSE evaluation.
 ///

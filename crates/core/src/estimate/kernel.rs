@@ -1,0 +1,247 @@
+//! Branch-light, auto-vectorizable bucket-loop kernels for TREEPARSE.
+//!
+//! The compiled synopsis stores histograms in struct-of-arrays form
+//! precisely so the per-bucket work of TREEPARSE — selection masks,
+//! box distances, expectation products — can run as tight loops over
+//! contiguous `f64` lanes that LLVM turns into packed SIMD (`cmppd` /
+//! `maxpd` / `mulpd` and their AVX forms). This module holds those
+//! loops, and nothing else: it is deliberately **dependency-free**
+//! (only `core`/`std` float ops) so the codegen smoke test in
+//! `crates/core/tests/vectorize_smoke.rs` can compile it standalone
+//! with `rustc -C opt-level=3 --emit=asm` and assert the packed
+//! instructions are really there.
+//!
+//! ## Bit-identity discipline
+//!
+//! Floating-point addition is not associative, so vectorization must
+//! never touch accumulation order. Every kernel here is therefore one
+//! of two shapes:
+//!
+//! * **Elementwise** (`positive_mask`, `range_mask_and`,
+//!   `sq_distance_add`, `mul_into`): independent per-bucket values with
+//!   no cross-lane reduction — freely vectorizable.
+//! * **Sequential reduction** (`sum_seq`, `masked_sum_seq`): a plain
+//!   left fold in bucket order, intentionally *not* reassociated. These
+//!   exist so callers don't hand-roll the loop differently twice.
+//!
+//! The branchy scalar reference implementations live in [`scalar`];
+//! unit tests assert the two agree **bit-for-bit** on every input
+//! class that matters (NaN, ±0.0, infinities, subnormals included).
+//! The elementwise kernels replace per-element `if` chains with
+//! `max`/compare arithmetic whose IEEE-754 results are provably equal
+//! to the branchy forms (see the per-function comments), which is what
+//! makes them vectorizable in the first place.
+
+/// `mask[b] = frac[b] > 0.0` — the "bucket carries mass" pre-filter.
+/// Comparisons with NaN are false, matching the scalar filter.
+pub fn positive_mask(frac: &[f64], mask: &mut [u8]) {
+    let n = frac.len().min(mask.len());
+    let (frac, mask) = (&frac[..n], &mut mask[..n]);
+    mask.iter_mut()
+        .zip(frac)
+        .for_each(|(m, &f)| *m = u8::from(f > 0.0));
+}
+
+/// `mask[b] &= lo[b] - 0.5 <= v <= hi[b] + 0.5` — one backward
+/// conditioning dimension of the bucket-selection test, over the
+/// dimension-major (transposed) bound lanes. The half-open slack and
+/// the comparison directions are exactly `Bucket::contains_on`'s; a
+/// NaN `v` fails both compares, as it fails the branchy test.
+pub fn range_mask_and(v: f64, lo: &[f64], hi: &[f64], mask: &mut [u8]) {
+    let n = lo.len().min(hi.len()).min(mask.len());
+    let (lo, hi, mask) = (&lo[..n], &hi[..n], &mut mask[..n]);
+    mask.iter_mut()
+        .zip(lo.iter().zip(hi))
+        .for_each(|(m, (&l, &h))| *m &= u8::from(v >= l - 0.5) & u8::from(v <= h + 0.5));
+}
+
+/// `dist[b] += delta² ` where `delta` is `v`'s axial distance to the
+/// box `[lo[b], hi[b]]` — one dimension of `Bucket::distance_on`.
+///
+/// The branch-free form `(lo-v).max(0.0) + (v-hi).max(0.0)` equals the
+/// branchy `if v < lo { lo - v } else if v > hi { v - hi } else { 0.0 }`
+/// bit-for-bit: exactly one side can be positive (`lo <= hi`), the
+/// other side is `(negative).max(0.0) = 0.0`, and `x + 0.0 = x` for
+/// every non-negative `x`. A NaN `v` yields `NaN.max(0.0) = 0.0` on
+/// both sides, matching the branchy form's fall-through to `0.0`.
+pub fn sq_distance_add(v: f64, lo: &[f64], hi: &[f64], dist: &mut [f64]) {
+    let n = lo.len().min(hi.len()).min(dist.len());
+    let (lo, hi, dist) = (&lo[..n], &hi[..n], &mut dist[..n]);
+    dist.iter_mut()
+        .zip(lo.iter().zip(hi))
+        .for_each(|(d, (&l, &h))| {
+            let below = (l - v).max(0.0);
+            let above = (v - h).max(0.0);
+            let delta = below + above;
+            *d += delta * delta;
+        });
+}
+
+/// `out[b] = a[b] * b_[b]` — elementwise product (pass one of an
+/// order-preserving expectation: multiply vectorized, then reduce with
+/// [`sum_seq`]).
+pub fn mul_into(a: &[f64], b_: &[f64], out: &mut [f64]) {
+    let n = a.len().min(b_.len()).min(out.len());
+    let (a, b_, out) = (&a[..n], &b_[..n], &mut out[..n]);
+    out.iter_mut()
+        .zip(a.iter().zip(b_))
+        .for_each(|(o, (&x, &y))| *o = x * y);
+}
+
+/// Strict left-to-right sum — the order-preserving reduction pass.
+/// Deliberately a scalar chain: reassociating it would change results.
+pub fn sum_seq(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, &x| acc + x)
+}
+
+/// Left-to-right sum of `frac[b]` over set mask bytes — the selected
+/// denominator `Σ frac[b]`, in the same order the scalar filter loop
+/// added them.
+pub fn masked_sum_seq(frac: &[f64], mask: &[u8]) -> f64 {
+    let n = frac.len().min(mask.len());
+    frac[..n]
+        .iter()
+        .zip(&mask[..n])
+        .fold(0.0, |acc, (&f, &m)| if m != 0 { acc + f } else { acc })
+}
+
+/// Branchy scalar reference forms, kept for the bit-identity tests and
+/// as executable documentation of what the vectorized loops compute.
+pub mod scalar {
+    /// Reference [`super::positive_mask`].
+    pub fn positive_mask(frac: &[f64], mask: &mut [u8]) {
+        for (m, &f) in mask.iter_mut().zip(frac) {
+            *m = if f > 0.0 { 1 } else { 0 };
+        }
+    }
+
+    /// Reference [`super::range_mask_and`], phrased like
+    /// `Bucket::contains_on`.
+    pub fn range_mask_and(v: f64, lo: &[f64], hi: &[f64], mask: &mut [u8]) {
+        for (m, (&l, &h)) in mask.iter_mut().zip(lo.iter().zip(hi)) {
+            if !(v >= l - 0.5 && v <= h + 0.5) {
+                *m = 0;
+            }
+        }
+    }
+
+    /// Reference [`super::sq_distance_add`], phrased like
+    /// `Bucket::distance_on`.
+    pub fn sq_distance_add(v: f64, lo: &[f64], hi: &[f64], dist: &mut [f64]) {
+        for (d, (&l, &h)) in dist.iter_mut().zip(lo.iter().zip(hi)) {
+            let delta = if v < l {
+                l - v
+            } else if v > h {
+                v - h
+            } else {
+                0.0
+            };
+            *d += delta * delta;
+        }
+    }
+
+    /// Reference [`super::mul_into`].
+    pub fn mul_into(a: &[f64], b_: &[f64], out: &mut [f64]) {
+        for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b_)) {
+            *o = x * y;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adversarial float inputs: signed zeros, NaN, infinities,
+    /// subnormals, and plain values around the bucket bounds.
+    fn probes() -> Vec<f64> {
+        vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.5,
+            3.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE / 2.0,
+            1e308,
+            -1e308,
+        ]
+    }
+
+    #[test]
+    fn positive_mask_matches_scalar() {
+        let frac = probes();
+        let mut a = vec![0u8; frac.len()];
+        let mut b = vec![0u8; frac.len()];
+        positive_mask(&frac, &mut a);
+        scalar::positive_mask(&frac, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_mask_matches_scalar() {
+        let lo: Vec<f64> = vec![0.0, 1.0, 2.0, 5.0, 0.0, 3.0];
+        let hi: Vec<f64> = vec![0.0, 4.0, 2.0, 9.0, 100.0, 3.0];
+        for v in probes() {
+            let mut a = vec![1u8; lo.len()];
+            let mut b = vec![1u8; lo.len()];
+            range_mask_and(v, &lo, &hi, &mut a);
+            scalar::range_mask_and(v, &lo, &hi, &mut b);
+            assert_eq!(a, b, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn sq_distance_matches_scalar_bitwise() {
+        let lo: Vec<f64> = vec![0.0, 1.0, 2.0, 5.0, 0.0, 3.0];
+        let hi: Vec<f64> = vec![0.0, 4.0, 2.0, 9.0, 100.0, 3.0];
+        for v in probes() {
+            let mut a = vec![0.25f64; lo.len()];
+            let mut b = vec![0.25f64; lo.len()];
+            sq_distance_add(v, &lo, &hi, &mut a);
+            scalar::sq_distance_add(v, &lo, &hi, &mut b);
+            let ab: Vec<u64> = a.iter().map(|x| x.to_bits()).collect();
+            let bb: Vec<u64> = b.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(ab, bb, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn mul_into_matches_scalar_bitwise() {
+        let a = probes();
+        let b: Vec<f64> = probes().into_iter().rev().collect();
+        let mut x = vec![0.0f64; a.len()];
+        let mut y = vec![0.0f64; a.len()];
+        mul_into(&a, &b, &mut x);
+        scalar::mul_into(&a, &b, &mut y);
+        let xb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb);
+    }
+
+    #[test]
+    fn sums_are_left_folds() {
+        let xs = vec![1e16, 1.0, -1e16, 1.0];
+        // Order-sensitive on purpose: a reassociated sum would differ.
+        let expect: f64 = ((1e16 + 1.0) + -1e16) + 1.0;
+        assert_eq!(sum_seq(&xs).to_bits(), expect.to_bits());
+        let mask = vec![1u8, 0, 1, 1];
+        let expect_masked: f64 = (1e16 + -1e16) + 1.0;
+        assert_eq!(
+            masked_sum_seq(&xs, &mask).to_bits(),
+            expect_masked.to_bits()
+        );
+    }
+
+    #[test]
+    fn length_mismatch_uses_common_prefix() {
+        let frac = vec![1.0, -1.0, 2.0];
+        let mut mask = vec![0u8; 2];
+        positive_mask(&frac, &mut mask);
+        assert_eq!(mask, vec![1, 0]);
+    }
+}

@@ -21,15 +21,18 @@
 //!    estimator.
 
 pub mod api;
+pub mod arena;
 pub mod embedding;
 pub mod eval;
 pub mod expand;
 pub mod guard;
+pub mod kernel;
 
 pub use api::{
     AssumptionCounts, EmbeddingContribution, EstimateReport, EstimateRequest, Estimator, Explain,
     InterpretedEstimator, Provenance, QueryTelemetry,
 };
+pub use arena::EvalArena;
 pub use embedding::{enumerate_embeddings, enumerate_embeddings_metered, EmbNode, Embedding};
 pub use eval::{estimate_embedding, estimate_embedding_metered};
 pub use guard::{earliest_deadline, EvalStats, Exhaustion, Meter};

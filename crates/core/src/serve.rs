@@ -25,13 +25,21 @@
 pub mod runtime;
 
 use std::collections::HashMap;
+// The plan handles below are the `Arc<ExpandedQuery>`s minted by the
+// expansion memo in `compiled.rs`, which lives outside the loom-modeled
+// façade scope — the type must match, so this one import bypasses
+// `crate::sync` (where `Arc` would be loom's under `--cfg loom`).
+// lint:allow(sync-direct)
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{Mutex, PoisonError};
 
-use crate::compiled::CompiledSynopsis;
+use crate::compiled::{CompiledSynopsis, ExpandedQuery};
+use crate::estimate::api::elapsed_ns;
 use crate::estimate::{
-    BoundedEstimate, EstimateOptions, EstimateReport, Provenance, QueryTelemetry,
+    BoundedEstimate, EstimateOptions, EstimateReport, EvalStats, Meter, Provenance, QueryTelemetry,
 };
 use crate::telemetry;
 use xtwig_query::TwigQuery;
@@ -292,6 +300,49 @@ fn cached_report(estimate: BoundedEstimate, original: Provenance) -> EstimateRep
     }
 }
 
+/// Minimum number of embeddings before an unguarded (no deadline, no
+/// work limit) query is *split*: its embeddings fanned out across the
+/// batch's workers instead of evaluated by one thread. Override with
+/// the `XTWIG_SPLIT_THRESHOLD` environment variable (read per batch;
+/// zero or unparsable falls back to the default).
+///
+/// The default is deliberately high: a split pays one thread scope plus
+/// a stats merge per query, which only amortizes when a single heavy
+/// query would otherwise serialize its batch — the XMark cold-batch
+/// anomaly (DESIGN.md §8), where one ~25 ms descendant-chain query
+/// (`//parlist/listitem/parlist/listitem/text`, hundreds of
+/// embeddings) pinned `batch_cold_qps` an order of magnitude below the
+/// other datasets while its batchmates' workers sat idle.
+const SPLIT_THRESHOLD_DEFAULT: usize = 64;
+
+/// The effective split threshold for this batch.
+fn split_threshold() -> usize {
+    std::env::var("XTWIG_SPLIT_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(SPLIT_THRESHOLD_DEFAULT)
+}
+
+/// One fingerprint group deferred by the batch pass for
+/// embedding-level work splitting (tentpole fix for the cold-batch
+/// anomaly): the plan is already expanded; evaluation happens across
+/// all workers after the light groups drain.
+struct HeavyGroup {
+    /// Index into the batch's group list.
+    group: usize,
+    /// The expanded plan (shared with the memo).
+    plan: Arc<ExpandedQuery>,
+    /// Whether the expansion memo answered.
+    memo_hit: bool,
+    /// Wall-clock of the expansion stage, ns.
+    expand_ns: u64,
+    /// Meter work charged by the expansion stage.
+    expand_work: u64,
+    /// When this group's service started (for total_ns).
+    started: Instant,
+}
+
 /// Estimates a batch of queries over the compiled synopsis, optionally
 /// through an [`EstimateCache`], running members on up to `threads`
 /// scoped worker threads (`0` or `1` = inline on the caller). This is
@@ -306,6 +357,28 @@ fn cached_report(estimate: BoundedEstimate, original: Provenance) -> EstimateRep
 /// cannot starve its batch. Degraded results (tripped meter) are
 /// returned but never cached.
 ///
+/// ## Plan reuse
+///
+/// Members are grouped by query fingerprint before scheduling: each
+/// distinct twig signature is expanded and evaluated **once** per
+/// batch, and its groupmates are served either an honest cache hit
+/// (the representative's insert warms the cache) or the
+/// representative's report verbatim — TREEPARSE is deterministic given
+/// the plan and options, so recomputing the same fingerprint could
+/// only reproduce the same bits.
+///
+/// ## Work splitting
+///
+/// With multiple workers and *unguarded* options (no deadline, no work
+/// limit — the meter provably never trips, so per-embedding
+/// evaluations are independent), a group whose plan has at least
+/// [`SPLIT_THRESHOLD_DEFAULT`] embeddings is deferred: its embeddings
+/// are ticket-drawn across every worker, then folded through the same
+/// sequential clamping loop in embedding order, which keeps the total
+/// bit-identical to the single-threaded evaluation. Guarded queries
+/// never split — a meter's early-exit point depends on evaluation
+/// order, which splitting would change.
+///
 /// When `opts.explain` is set, cache *reads* are bypassed (a hit has no
 /// embeddings to explain) but full-fidelity results are still inserted,
 /// so an explain pass warms the cache for later plain requests.
@@ -316,61 +389,260 @@ pub fn serve_reports(
     cache: Option<&EstimateCache>,
     threads: usize,
 ) -> Vec<EstimateReport> {
-    let run_one = |q: &TwigQuery| -> EstimateReport {
-        let fingerprint = q.to_string();
-        if let Some(c) = cache {
-            if !opts.explain {
-                if let Some((hit, prov)) = c.get(&fingerprint, cs.epoch()) {
-                    return cached_report(hit, prov);
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    let tg = telemetry::global();
+    let epoch = cs.epoch();
+
+    // --- Group members by fingerprint --------------------------------
+    let fingerprints: Vec<String> = queries.iter().map(ToString::to_string).collect();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut group_of: HashMap<&str, usize> = HashMap::new();
+        for (i, fp) in fingerprints.iter().enumerate() {
+            match group_of.get(fp.as_str()) {
+                Some(&g) => {
+                    if let Some(members) = groups.get_mut(g) {
+                        members.push(i);
+                    }
+                }
+                None => {
+                    group_of.insert(fp, groups.len());
+                    groups.push(vec![i]);
                 }
             }
         }
-        let rep = cs.estimate_report(q, opts);
-        if let Some(c) = cache {
-            if rep.provenance.exhaustion.is_none() {
-                c.insert(&fingerprint, cs.epoch(), rep.bounded(), rep.provenance);
-            }
-        }
-        rep
-    };
-
-    if threads <= 1 || queries.len() <= 1 {
-        return queries.iter().map(run_one).collect();
     }
 
-    let workers = threads.min(queries.len());
-    let slots: Vec<Mutex<Option<EstimateReport>>> =
-        queries.iter().map(|_| Mutex::new(None)).collect();
+    let try_cache = |fp: &str| -> Option<EstimateReport> {
+        let c = cache?;
+        if opts.explain {
+            return None;
+        }
+        c.get(fp, epoch).map(|(hit, prov)| cached_report(hit, prov))
+    };
+    let cache_insert = |fp: &str, rep: &EstimateReport| {
+        if let Some(c) = cache {
+            if rep.provenance.exhaustion.is_none() {
+                c.insert(fp, epoch, rep.bounded(), rep.provenance);
+            }
+        }
+    };
+    // Serves one group's representative without splitting.
+    let run_rep = |q: &TwigQuery, fp: &str| -> EstimateReport {
+        if let Some(hit) = try_cache(fp) {
+            return hit;
+        }
+        let rep = cs.estimate_report(q, opts);
+        cache_insert(fp, &rep);
+        rep
+    };
+    // Serves a non-representative member: an honest cache hit when
+    // possible (the representative's insert warmed the cache),
+    // otherwise the groupmate's report verbatim.
+    let fill_member = |rep: &EstimateReport, fp: &str| -> EstimateReport {
+        if let Some(hit) = try_cache(fp) {
+            return hit;
+        }
+        tg.batch_plan_reuses.incr();
+        rep.clone()
+    };
+
+    // --- Inline path ---------------------------------------------------
+    let mut slots: Vec<Option<EstimateReport>> = queries.iter().map(|_| None).collect();
+    if threads <= 1 || queries.len() <= 1 {
+        for members in &groups {
+            let Some(&rep_idx) = members.first() else {
+                continue;
+            };
+            let (Some(q), Some(fp)) = (queries.get(rep_idx), fingerprints.get(rep_idx)) else {
+                continue;
+            };
+            let rep = run_rep(q, fp);
+            for &m in members.iter().skip(1) {
+                let filled = fingerprints.get(m).map(|mfp| fill_member(&rep, mfp));
+                if let Some(slot) = slots.get_mut(m) {
+                    *slot = filled;
+                }
+            }
+            if let Some(slot) = slots.get_mut(rep_idx) {
+                *slot = Some(rep);
+            }
+        }
+        return finish(slots);
+    }
+
+    // --- Parallel path: light groups, heavy groups deferred ------------
+    let splittable = opts.deadline.is_none() && opts.work_limit == 0;
+    let threshold = split_threshold();
+    let workers = threads.min(groups.len());
+    let shared: Vec<Mutex<Option<EstimateReport>>> = slots.drain(..).map(Mutex::new).collect();
+    let heavy: Mutex<Vec<HeavyGroup>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            scope.spawn(|| 'groups: loop {
                 // lint:allow(atomic-ordering): ticket draw — uniqueness comes from the RMW itself; result slots are guarded by their own Mutex
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(q) = queries.get(i) else {
+                let g = next.fetch_add(1, Ordering::Relaxed);
+                let Some(members) = groups.get(g) else {
                     break;
                 };
-                let rep = run_one(q);
-                if let Some(slot) = slots.get(i) {
+                let Some(&rep_idx) = members.first() else {
+                    continue;
+                };
+                let (Some(q), Some(fp)) = (queries.get(rep_idx), fingerprints.get(rep_idx)) else {
+                    continue;
+                };
+                let rep = 'rep: {
+                    if let Some(hit) = try_cache(fp) {
+                        break 'rep hit;
+                    }
+                    if splittable {
+                        // Expand first (memoized) to see the plan size;
+                        // heavy plans are deferred for splitting.
+                        let started = Instant::now();
+                        let mut meter = Meter::from_options(opts);
+                        let (plan, memo_hit) = cs.expand_tracked(q, opts, &mut meter);
+                        let expand_ns = elapsed_ns(started);
+                        if plan.embeddings.len() >= threshold {
+                            heavy
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .push(HeavyGroup {
+                                    group: g,
+                                    plan,
+                                    memo_hit,
+                                    expand_ns,
+                                    expand_work: meter.work_done(),
+                                    started,
+                                });
+                            continue 'groups; // members filled after the scope
+                        }
+                        let rep = cs.estimate_report_with_plan(q, opts, &plan, memo_hit);
+                        cache_insert(fp, &rep);
+                        break 'rep rep;
+                    }
+                    // Guarded queries take the historical single-query
+                    // path: one meter across expansion + evaluation.
+                    let rep = cs.estimate_report(q, opts);
+                    cache_insert(fp, &rep);
+                    rep
+                };
+                for &m in members.iter().skip(1) {
+                    if let (Some(slot), Some(mfp)) = (shared.get(m), fingerprints.get(m)) {
+                        *slot.lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some(fill_member(&rep, mfp));
+                    }
+                }
+                if let Some(slot) = shared.get(rep_idx) {
                     *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(rep);
                 }
             });
         }
     });
+
+    // --- Heavy groups: split each plan's embeddings across workers -----
+    for h in heavy.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        let Some(members) = groups.get(h.group) else {
+            continue;
+        };
+        let Some(&rep_idx) = members.first() else {
+            continue;
+        };
+        let (Some(q), Some(fp)) = (queries.get(rep_idx), fingerprints.get(rep_idx)) else {
+            continue;
+        };
+        tg.batch_splits.incr();
+        let n = h.plan.embeddings.len();
+        let contribs: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
+        let totals: Mutex<(EvalStats, u64)> = Mutex::new((EvalStats::default(), 0));
+        let draw = AtomicUsize::new(0);
+        let eval_started = Instant::now();
+        let eval_workers = threads.min(n).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..eval_workers {
+                scope.spawn(|| {
+                    // Unlimited by construction: only unguarded groups
+                    // split, so no meter can trip mid-embedding and the
+                    // per-embedding results are order-independent.
+                    let mut meter = Meter::unlimited();
+                    loop {
+                        // lint:allow(atomic-ordering): ticket draw — uniqueness comes from the RMW itself; result slots are guarded by their own Mutex
+                        let i = draw.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let v = cs.eval_one_embedding(&h.plan, i, &mut meter);
+                        if let Some(slot) = contribs.get(i) {
+                            *slot.lock().unwrap_or_else(PoisonError::into_inner) = v;
+                        }
+                    }
+                    let mut t = totals.lock().unwrap_or_else(PoisonError::into_inner);
+                    t.0 = t.0.merged(&meter.stats());
+                    t.1 = t.1.saturating_add(meter.work_done());
+                });
+            }
+        });
+        let eval_ns = elapsed_ns(eval_started);
+        let contribs: Vec<f64> = contribs
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        let (stats, eval_work) = totals.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let timings = QueryTelemetry {
+            expand_ns: h.expand_ns,
+            eval_ns,
+            total_ns: elapsed_ns(h.started),
+            expand_work: h.expand_work,
+            eval_work,
+            buckets_visited: stats.buckets_visited,
+        };
+        let rep = cs.report_from_split(
+            q,
+            opts,
+            &h.plan,
+            h.memo_hit,
+            &contribs,
+            stats,
+            h.expand_work.saturating_add(eval_work),
+            timings,
+        );
+        cache_insert(fp, &rep);
+        for &m in members.iter().skip(1) {
+            if let (Some(slot), Some(mfp)) = (shared.get(m), fingerprints.get(m)) {
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(fill_member(&rep, mfp));
+            }
+        }
+        if let Some(slot) = shared.get(rep_idx) {
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(rep);
+        }
+    }
+
+    finish(
+        shared
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect(),
+    )
+}
+
+/// Unwraps the batch's result slots, substituting a clamped zero report
+/// for any member a worker failed to fill (unreachable in practice —
+/// every group either completes or defers and completes).
+fn finish(slots: Vec<Option<EstimateReport>>) -> Vec<EstimateReport> {
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(PoisonError::into_inner)
-                .unwrap_or_else(|| EstimateReport {
-                    estimate: 0.0,
-                    provenance: Provenance {
-                        clamped: 1,
-                        ..Provenance::new("xsketch-compiled")
-                    },
-                    telemetry: QueryTelemetry::default(),
-                    explain: None,
-                })
+            slot.unwrap_or_else(|| EstimateReport {
+                estimate: 0.0,
+                provenance: Provenance {
+                    clamped: 1,
+                    ..Provenance::new("xsketch-compiled")
+                },
+                telemetry: QueryTelemetry::default(),
+                explain: None,
+            })
         })
         .collect()
 }

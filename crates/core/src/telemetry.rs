@@ -270,6 +270,12 @@ pub struct Telemetry {
     pub xbuild_candidates_scored: Counter,
     /// Queries estimated (any path: interpreted, compiled, batched).
     pub queries_estimated: Counter,
+    /// Batch members served from a groupmate's evaluation (same twig
+    /// fingerprint in one batch: one lowered plan, one evaluation).
+    pub batch_plan_reuses: Counter,
+    /// Heavy unguarded queries whose embeddings were split across the
+    /// batch's workers instead of evaluated by one.
+    pub batch_splits: Counter,
     /// Requests admitted into the serving runtime's work queue.
     pub runtime_admitted: Counter,
     /// Requests shed at admission under the reject-new policy.
@@ -364,6 +370,8 @@ impl Telemetry {
             xbuild_rounds: Counter::new(),
             xbuild_candidates_scored: Counter::new(),
             queries_estimated: Counter::new(),
+            batch_plan_reuses: Counter::new(),
+            batch_splits: Counter::new(),
             runtime_admitted: Counter::new(),
             runtime_shed_reject_new: Counter::new(),
             runtime_shed_drop_oldest: Counter::new(),
@@ -436,6 +444,8 @@ impl Telemetry {
                 self.xbuild_candidates_scored.get(),
             ),
             ("queries_estimated", self.queries_estimated.get()),
+            ("batch_plan_reuses", self.batch_plan_reuses.get()),
+            ("batch_splits", self.batch_splits.get()),
             ("runtime_admitted", self.runtime_admitted.get()),
             (
                 "runtime_shed_reject_new",

@@ -14,6 +14,7 @@
 //! | `lossy-cast`  | numeric `as` casts                        | estimation + histogram crates |
 //! | `indexing`    | `expr[...]` inside `for`/`while`/`loop`   | estimation + histogram crates |
 //! | `legacy-estimate` | calls to the deprecated estimation entry points | whole workspace minus shim modules |
+//! | `hot-alloc`   | `Vec::new` / `vec!` / `.collect(` on the TREEPARSE hot path | estimate eval + embedding modules |
 //! | `bare-spawn`  | `thread::spawn(`                          | core serve + workload serving paths |
 //! | `atomic-ordering` | `Ordering::Relaxed` without a justification | sync-façade modules minus telemetry |
 //! | `lock-order`  | nested lock acquisition not in `LOCK_ORDER` | sync-façade modules |
@@ -301,6 +302,45 @@ fn legacy_estimate_applies(rel: &str) -> bool {
         "crates/workload/src/guarded.rs",
     ];
     !SHIM_MODULES.contains(&rel) && !rel.starts_with("crates/xtask/")
+}
+
+/// Whether the `hot-alloc` rule applies: the per-query TREEPARSE hot
+/// path, where every buffer must come from the [`EvalArena`] scratch
+/// lanes / frame pool so steady-state serving performs zero heap
+/// allocations (proven by `tests/alloc_zero.rs`, enforced by the CI
+/// `alloc-zero` job). Cold paths that are *stored* rather than
+/// per-query (memoized embedding plans, one-time setup) carry a
+/// `// lint:allow(hot-alloc): <reason>`.
+fn hot_alloc_applies(rel: &str) -> bool {
+    rel == "crates/core/src/estimate/eval.rs" || rel == "crates/core/src/estimate/embedding.rs"
+}
+
+/// Flags allocation idioms on the TREEPARSE hot path: `Vec::new(`,
+/// `vec!`, and `.collect(` all acquire from the global allocator per
+/// call, which the arena rework exists to eliminate. `Vec::with_capacity`
+/// is deliberately included via neither pattern — it does not appear on
+/// the hot path today, and a capacity hint does not make a per-query
+/// allocation acceptable, so new code should route through the arena
+/// either way.
+fn scan_hot_alloc(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, usize)) {
+    for (line_no, line) in masked_lines.iter().enumerate() {
+        for pat in ["Vec::new(", "vec!", ".collect("] {
+            let mut at = 0;
+            while let Some(i) = line[at..].find(pat) {
+                let abs = at + i;
+                at = abs + pat.len();
+                // `vec!` must not be glued to a longer identifier
+                // (`my_vec!`); the other patterns carry their own
+                // boundary (`::` / `.`).
+                let prev = line[..abs].chars().next_back();
+                let glued = pat.starts_with(|c: char| c.is_alphanumeric())
+                    && prev.is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if !glued {
+                    emit("hot-alloc", line_no + 1);
+                }
+            }
+        }
+    }
 }
 
 /// Whether the `bare-spawn` rule applies: the serving paths, where
@@ -749,6 +789,10 @@ fn scan_file(
 
     if legacy_estimate_applies(rel) {
         scan_legacy_estimate(&masked_lines, &mut emit);
+    }
+
+    if hot_alloc_applies(rel) {
+        scan_hot_alloc(&masked_lines, &mut emit);
     }
 
     if bare_spawn_applies(rel) {
@@ -1289,6 +1333,45 @@ mod tests {
             "fn f() { let o = g.estimate_guarded(&q); }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_denied_on_the_treeparse_hot_path_only() {
+        let src = "fn f() { let v: Vec<u32> = Vec::new();\n\
+                   let w = vec![1, 2];\n\
+                   let c: Vec<u32> = w.iter().copied().collect(); }\n";
+        assert_eq!(
+            findings_in("crates/core/src/estimate/eval.rs", src),
+            vec![
+                ("hot-alloc".to_string(), 1),
+                ("hot-alloc".to_string(), 2),
+                ("hot-alloc".to_string(), 3)
+            ]
+        );
+        assert_eq!(
+            findings_in("crates/core/src/estimate/embedding.rs", src),
+            vec![
+                ("hot-alloc".to_string(), 1),
+                ("hot-alloc".to_string(), 2),
+                ("hot-alloc".to_string(), 3)
+            ]
+        );
+        // Out of scope: cold modules allocate freely.
+        assert!(findings_in("crates/core/src/estimate/expand.rs", src).is_empty());
+        assert!(findings_in("crates/core/src/compiled.rs", src).is_empty());
+        // A reviewed cold-path site passes with a justification.
+        let justified = "// lint:allow(hot-alloc): memo-stored plan, built once per cold miss\n\
+                         fn f() -> Vec<u32> { (0..3).collect() }\n";
+        assert!(findings_in("crates/core/src/estimate/eval.rs", justified).is_empty());
+        // `vec!` glued to a longer identifier is not ours.
+        assert!(findings_in(
+            "crates/core/src/estimate/eval.rs",
+            "fn f() { my_vec!(1); }\n"
+        )
+        .is_empty());
+        // Test modules inside the scope are masked like everywhere else.
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { let v = vec![1]; }\n}\n";
+        assert!(findings_in("crates/core/src/estimate/eval.rs", in_test).is_empty());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Workspace automation entry point (`cargo run -p xtask -- <command>`).
 
+mod bench;
 mod lint;
 
 use std::process::ExitCode;
@@ -9,18 +10,24 @@ xtask — workspace automation
 
 USAGE:
   cargo run -p xtask -- lint [--update-baseline] [--baseline FILE]
+  cargo run -p xtask -- bench-check [--current FILE] [--baseline FILE]
+                                    [--update-baseline]
 
 COMMANDS:
-  lint   source-level static analysis over the workspace: denies
-         panic-prone patterns in library code (see xtask/src/lint.rs for
-         the rule table, `// lint:allow(<rule>)` for the escape hatch,
-         and lint.baseline for grandfathered findings)
+  lint         source-level static analysis over the workspace: denies
+               panic-prone patterns in library code (see xtask/src/lint.rs
+               for the rule table, `// lint:allow(<rule>)` for the escape
+               hatch, and lint.baseline for grandfathered findings)
+  bench-check  perf ratchet: compares BENCH_estimation.json against the
+               committed ci/bench_baseline.json and fails on regressions
+               past the tolerance band (see xtask/src/bench.rs)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint::run(&args[1..]),
+        Some("bench-check") => bench::run(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS

@@ -18,9 +18,11 @@ use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
 use xtwig::core::estimate::EstimateOptions;
 use xtwig::core::synopsis::{DimKind, ScopeDim};
 use xtwig::core::{
-    coarse_synopsis, estimate_many, estimate_selectivity_bounded, CompiledSynopsis, EstimateCache,
+    coarse_synopsis, serve_reports, CompiledSynopsis, EstimateCache, EstimateRequest, Estimator,
+    InterpretedEstimator,
 };
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
+use xtwig::query::TwigQuery;
 use xtwig::workload::{generate_workload, WorkloadKind, WorkloadSpec};
 
 proptest! {
@@ -60,8 +62,9 @@ proptest! {
         let w = generate_workload(&doc, &spec);
         let eopts = EstimateOptions::default();
         let cs = CompiledSynopsis::compile(&s);
+        let est = InterpretedEstimator::new(&s);
         for q in &w.queries {
-            let interp = estimate_selectivity_bounded(&s, q, &eopts);
+            let interp = est.estimate(&EstimateRequest::with_options(q, eopts)).bounded();
             let compiled = cs.estimate_selectivity_bounded(q, &eopts);
             prop_assert_eq!(
                 interp.estimate.to_bits(),
@@ -77,10 +80,10 @@ proptest! {
         // The batched path with a cache must serve the same numbers —
         // cold (computing + inserting) and warm (cache hits).
         let cache = EstimateCache::new(256);
-        let cold = estimate_many(&cs, &w.queries, &eopts, Some(&cache), 4);
-        let warm = estimate_many(&cs, &w.queries, &eopts, Some(&cache), 4);
+        let cold = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 4);
+        let warm = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 4);
         for ((q, a), b) in w.queries.iter().zip(&cold).zip(&warm) {
-            let interp = estimate_selectivity_bounded(&s, q, &eopts);
+            let interp = est.estimate(&EstimateRequest::with_options(q, eopts)).bounded();
             prop_assert_eq!(interp.estimate.to_bits(), a.estimate.to_bits());
             prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
         }
@@ -112,6 +115,99 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Batch plan reuse and degraded (budget-exhausted) serving are
+    /// still the interpreted computation, bit for bit, on all three
+    /// paper generators. Duplicating every query in a batch forces the
+    /// later members of each fingerprint group through the reuse path;
+    /// a tight work limit forces the guarded path to trip its meter at
+    /// the same point in both representations.
+    #[test]
+    fn reused_plans_and_degraded_results_are_bit_identical(
+        which in 0usize..3,
+        seed in 0u64..10_000,
+        work_limit in 8u64..600,
+    ) {
+        let doc = match which {
+            0 => xmark(XMarkConfig { scale: 0.01, seed }),
+            1 => imdb(ImdbConfig::scaled(0.01, seed)),
+            _ => sprot(SprotConfig::scaled(0.01, seed)),
+        };
+        let coarse = coarse_synopsis(&doc);
+        let opts = BuildOptions {
+            budget_bytes: coarse.size_bytes() + 700,
+            refinements_per_round: 3,
+            max_rounds: 15,
+            seed,
+            ..Default::default()
+        };
+        let (s, _) = xbuild(&doc, TruthSource::Exact, &opts);
+        let w = generate_workload(&doc, &WorkloadSpec {
+            queries: 10,
+            kind: WorkloadKind::Branching,
+            seed,
+            ..Default::default()
+        });
+        let cs = CompiledSynopsis::compile(&s);
+        let est = InterpretedEstimator::new(&s);
+        let eopts = EstimateOptions::default();
+
+        // Duplicate every query: within one batch the duplicates land in
+        // the same fingerprint group and receive the leader's report
+        // instead of re-lowering and re-evaluating the plan.
+        let mut batch: Vec<TwigQuery> = Vec::new();
+        for q in &w.queries {
+            batch.push(q.clone());
+            batch.push(q.clone());
+        }
+        let reuses_before = xtwig::core::telemetry::global().batch_plan_reuses.get();
+        let got = serve_reports(&cs, &batch, &eopts, None, 4);
+        prop_assert_eq!(got.len(), batch.len());
+        for (q, r) in batch.iter().zip(&got) {
+            let interp = est.estimate(&EstimateRequest::with_options(q, eopts));
+            prop_assert_eq!(
+                interp.estimate.to_bits(),
+                r.estimate.to_bits(),
+                "plan-reuse batch diverged on {}: interpreted {} vs served {}",
+                q,
+                interp.estimate,
+                r.estimate
+            );
+            prop_assert_eq!(interp.provenance.exhaustion, r.provenance.exhaustion);
+        }
+        // Each duplicated query must have reused its group leader's
+        // plan. (`>=`: other suites in this binary may bump the global
+        // counter concurrently, but only upward.)
+        let reuses_after = xtwig::core::telemetry::global().batch_plan_reuses.get();
+        prop_assert!(
+            reuses_after >= reuses_before + w.queries.len() as u64,
+            "expected at least {} plan reuses, counter moved {} -> {}",
+            w.queries.len(),
+            reuses_before,
+            reuses_after
+        );
+
+        // Degraded serving: a tight work limit makes both
+        // representations trip the meter at the same operation, so even
+        // partial (exhausted) estimates agree to the bit.
+        let tight = eopts.to_builder().work_limit(work_limit).build();
+        let degraded = serve_reports(&cs, &w.queries, &tight, None, 4);
+        for (q, r) in w.queries.iter().zip(&degraded) {
+            let interp = est.estimate(&EstimateRequest::with_options(q, tight));
+            prop_assert_eq!(
+                interp.estimate.to_bits(),
+                r.estimate.to_bits(),
+                "degraded path diverged on {} (work_limit {})",
+                q,
+                work_limit
+            );
+            prop_assert_eq!(interp.provenance.exhaustion, r.provenance.exhaustion);
+        }
+    }
+}
+
 /// Refine → recompile → epoch bump → stale entries never served.
 #[test]
 fn refinement_bumps_epoch_and_invalidates_cache() {
@@ -138,9 +234,9 @@ fn refinement_bumps_epoch_and_invalidates_cache() {
     {
         let cs = CompiledSynopsis::compile(&s);
         old_epoch = cs.epoch();
-        old_results = estimate_many(&cs, &w.queries, &eopts, Some(&cache), 2);
+        old_results = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 2);
         // Entries are resident and served at this epoch.
-        let again = estimate_many(&cs, &w.queries, &eopts, Some(&cache), 2);
+        let again = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 2);
         for (a, b) in old_results.iter().zip(&again) {
             assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
         }
@@ -172,7 +268,7 @@ fn refinement_bumps_epoch_and_invalidates_cache() {
     // Every lookup at the new epoch misses (stale entries evicted, never
     // served), and the batch repopulates the cache at the new epoch.
     let hits_before = cache.stats().hits;
-    let fresh = estimate_many(&cs, &w.queries, &eopts, Some(&cache), 2);
+    let fresh = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 2);
     let stats = cache.stats();
     assert_eq!(
         stats.hits, hits_before,
@@ -182,7 +278,9 @@ fn refinement_bumps_epoch_and_invalidates_cache() {
     // The fresh results are the interpreted truth for the refined
     // synopsis, not the cached numbers of the old generation.
     for (q, b) in w.queries.iter().zip(&fresh) {
-        let interp = estimate_selectivity_bounded(&s, q, &eopts);
+        let interp = InterpretedEstimator::new(&s)
+            .estimate(&EstimateRequest::with_options(q, eopts))
+            .bounded();
         assert_eq!(interp.estimate.to_bits(), b.estimate.to_bits());
     }
 }

@@ -7,7 +7,9 @@
 
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
-use xtwig::core::{coarse_synopsis, load_synopsis, save_synopsis};
+use xtwig::core::{
+    coarse_synopsis, load_synopsis, save_synopsis, EstimateOptions, EstimateRequest, Estimator,
+};
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
 use xtwig::query::{parse_twig, TwigQuery};
 use xtwig::workload::{
@@ -146,11 +148,18 @@ fn one_ms_deadline_on_deep_twig_degrades_within_budget() {
     };
     let g = GuardedEstimator::new(&s, policy);
     let start = Instant::now();
-    let out = g.estimate_guarded(&q);
+    let out = g.estimate(&EstimateRequest::new(&q));
     let elapsed = start.elapsed();
 
-    assert!(out.degraded, "deep twig should exceed a 1 ms deadline");
-    assert_ne!(out.tier, Tier::Xsketch, "a lower tier must serve");
+    assert!(
+        out.provenance.degraded,
+        "deep twig should exceed a 1 ms deadline"
+    );
+    assert_ne!(
+        out.provenance.tier,
+        Some(Tier::Xsketch.name()),
+        "a lower tier must serve"
+    );
     assert!(out.estimate.is_finite() && out.estimate >= 0.0);
     assert!(
         elapsed < Duration::from_millis(500),
@@ -177,9 +186,9 @@ fn unbudgeted_deep_twig_still_terminates_exactly() {
     let s = coarse_synopsis(&doc);
     let q = parse_twig("for $t0 in //a, $t1 in $t0//a").unwrap();
     let g = GuardedEstimator::new(&s, GuardPolicy::default());
-    let out = g.estimate_guarded(&q);
-    assert_eq!(out.tier, Tier::Xsketch);
-    assert!(!out.degraded);
+    let out = g.estimate(&EstimateRequest::new(&q));
+    assert_eq!(out.provenance.tier, Some(Tier::Xsketch.name()));
+    assert!(!out.provenance.degraded);
     assert!(out.estimate.is_finite() && out.estimate >= 0.0);
 }
 
@@ -212,7 +221,7 @@ fn injected_panics_never_escape_the_chain() {
         for (tier, policy, expect_panics) in cases {
             let g = GuardedEstimator::new(&s, policy).with_fault(InjectedFault::PanicIn(tier));
             for q in &qs {
-                let out = g.estimate_guarded(q);
+                let out = g.estimate(&EstimateRequest::new(q));
                 assert!(
                     out.estimate.is_finite() && out.estimate >= 0.0,
                     "panic in {tier} leaked a bad estimate"
@@ -283,12 +292,17 @@ proptest! {
             g = g.with_fault(fault);
         }
         let q = &queries()[qpick];
-        let out = quietly(|| g.estimate_guarded(q));
+        let req = EstimateRequest::with_options(
+            q,
+            EstimateOptions::builder().explain(true).build(),
+        );
+        let out = quietly(|| g.estimate(&req));
         prop_assert!(
             out.estimate.is_finite() && out.estimate >= 0.0,
             "fault {fault_kind} produced {}",
             out.estimate
         );
-        prop_assert!(!out.attempts.is_empty());
+        // The tier trail replaces the legacy outcome's attempt list.
+        prop_assert!(out.explain.as_ref().is_some_and(|e| !e.tier_path.is_empty()));
     }
 }
