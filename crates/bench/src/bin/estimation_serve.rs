@@ -11,7 +11,7 @@
 //! * **serve latency** — per-query p50/p95/p99 over the compiled path,
 //!   plus per-stage breakdowns (expansion vs. TREEPARSE evaluation)
 //!   taken from each [`xtwig_core::EstimateReport`]'s query telemetry;
-//! * **batch throughput** — `serve_reports` QPS on scoped threads with
+//! * **batch throughput** — `BatchServer` QPS on scoped threads with
 //!   the sharded estimate cache, cold then warm, plus the cache hit-rate.
 //!
 //! Environment: the usual `XTWIG_SCALE` / `XTWIG_QUERIES`, plus
@@ -20,12 +20,14 @@
 //! not faster than interpreted (CI sets it). Estimate disagreement
 //! always fails the run.
 
+use std::sync::Arc;
 use std::time::Instant;
 use xtwig_bench::BenchConfig;
 use xtwig_core::construct::BuildOptions;
 use xtwig_core::{
-    serve_reports, xbuild, CompiledSynopsis, EstimateCache, EstimateOptions, EstimateRequest,
-    Estimator, InterpretedEstimator, TruthSource,
+    load_compiled_arena, load_synopsis, save_synopsis, save_synopsis_v3, xbuild, AlignedBytes,
+    BatchServer, CatalogOptions, CompiledSynopsis, EstimateCache, EstimateOptions, EstimateRequest,
+    Estimator, InterpretedEstimator, SnapshotCatalog, TruthSource,
 };
 use xtwig_datagen::Dataset;
 use xtwig_workload::{generate_workload, WorkloadKind, WorkloadSpec};
@@ -47,6 +49,10 @@ struct DatasetReport {
     batch_cold_qps: f64,
     batch_warm_qps: f64,
     cache_hit_rate: f64,
+    v2_parse_compile_us: f64,
+    v3_page_in_us: f64,
+    cold_load_speedup: f64,
+    multi_tenant_qps: f64,
     mismatches: usize,
 }
 
@@ -168,10 +174,18 @@ fn main() {
             .unwrap_or(1);
         let cache = EstimateCache::new(4096);
         let tb = Instant::now();
-        let cold = serve_reports(&cs, &w.queries, &opts, Some(&cache), threads);
+        let cold = BatchServer::new(&cs)
+            .with_cache(&cache)
+            .with_options(opts)
+            .with_threads(threads)
+            .serve(&w.queries);
         let cold_secs = tb.elapsed().as_secs_f64();
         let tw = Instant::now();
-        let warm = serve_reports(&cs, &w.queries, &opts, Some(&cache), threads);
+        let warm = BatchServer::new(&cs)
+            .with_cache(&cache)
+            .with_options(opts)
+            .with_threads(threads)
+            .serve(&w.queries);
         let warm_secs = tw.elapsed().as_secs_f64();
         for (a, b) in cold.iter().zip(&warm) {
             if a.estimate.to_bits() != b.estimate.to_bits() {
@@ -180,6 +194,75 @@ fn main() {
             }
         }
         let stats = cache.stats();
+
+        // --- cold page-in: v2 parse-and-compile vs v3 zero-copy --------
+        // The cost a catalog pays the first time a tenant's document is
+        // touched. v2 deserializes every bucket then compiles the SoA
+        // lanes; v3 validates the header + table + META CRCs and carves
+        // lane views straight into an already-established arena mapping
+        // (with mmap the mapping itself is O(1); `AlignedBytes` is the
+        // portable stand-in, so its one-time copy is kept outside the
+        // timed region).
+        let v2_bytes = save_synopsis(&s);
+        let v3_bytes = save_synopsis_v3(&s);
+        let arena = Arc::new(AlignedBytes::from_bytes(&v3_bytes));
+        let page_iters = 25usize;
+        let mut v2_us: Vec<f64> = Vec::with_capacity(page_iters);
+        let mut v3_us: Vec<f64> = Vec::with_capacity(page_iters);
+        for _ in 0..page_iters {
+            let t = Instant::now();
+            let syn = load_synopsis(&v2_bytes).expect("v2 snapshot loads");
+            let compiled = CompiledSynopsis::compile(&syn);
+            std::hint::black_box(&compiled);
+            v2_us.push(t.elapsed().as_secs_f64() * 1e6);
+            drop(compiled);
+            let t = Instant::now();
+            let mapped = load_compiled_arena(Arc::clone(&arena)).expect("v3 snapshot loads");
+            std::hint::black_box(&mapped);
+            v3_us.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        v2_us.sort_by(f64::total_cmp);
+        v3_us.sort_by(f64::total_cmp);
+        let v2_parse_compile_us = percentile(&v2_us, 0.50);
+        let v3_page_in_us = percentile(&v3_us, 0.50);
+        let cold_load_speedup = v2_parse_compile_us / v3_page_in_us.max(1e-9);
+
+        // --- multi-tenant catalog throughput ---------------------------
+        // Four resident tenants served concurrently through the catalog
+        // front door (admission + per-document cache partitions on top
+        // of the same compiled path).
+        let tenants = 4usize;
+        let cat_dir = std::env::temp_dir().join(format!(
+            "xtwig-bench-catalog-{}-{}",
+            std::process::id(),
+            ds.name()
+        ));
+        let _ = std::fs::remove_dir_all(&cat_dir);
+        let catalog = SnapshotCatalog::open(&cat_dir, CatalogOptions::default());
+        for t in 0..tenants {
+            let name = format!("tenant-{t}");
+            catalog.publish(&name, "main", &s).expect("publish");
+            catalog.warm(&name, "main").expect("warm");
+        }
+        let tm = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..tenants {
+                let catalog = &catalog;
+                let w = &w;
+                let opts = &opts;
+                scope.spawn(move || {
+                    let name = format!("tenant-{t}");
+                    std::hint::black_box(
+                        catalog
+                            .serve(&name, "main", &w.queries, opts)
+                            .expect("tenant serve"),
+                    );
+                });
+            }
+        });
+        let mt_secs = tm.elapsed().as_secs_f64();
+        let multi_tenant_qps = (tenants * w.queries.len()) as f64 / mt_secs.max(1e-9);
+        let _ = std::fs::remove_dir_all(&cat_dir);
 
         let rep = DatasetReport {
             name: ds.name().to_string(),
@@ -197,12 +280,17 @@ fn main() {
             batch_cold_qps: w.queries.len() as f64 / cold_secs.max(1e-9),
             batch_warm_qps: w.queries.len() as f64 / warm_secs.max(1e-9),
             cache_hit_rate: stats.hit_rate(),
+            v2_parse_compile_us,
+            v3_page_in_us,
+            cold_load_speedup,
+            multi_tenant_qps,
             mismatches,
         };
         println!(
             "## {}: speedup {:.2}x ({:.0} -> {:.0} qps), p50 {:.1}us p95 {:.1}us p99 {:.1}us \
              (expand p50 {:.1}us / eval p50 {:.1}us), batch {:.0} -> {:.0} qps warm, \
-             hit-rate {:.2}, mismatches {}",
+             hit-rate {:.2}, page-in {:.1}us vs {:.1}us ({:.0}x), {:.0} qps multi-tenant, \
+             mismatches {}",
             rep.name,
             rep.speedup,
             rep.interpreted_qps,
@@ -215,6 +303,10 @@ fn main() {
             rep.batch_cold_qps,
             rep.batch_warm_qps,
             rep.cache_hit_rate,
+            rep.v2_parse_compile_us,
+            rep.v3_page_in_us,
+            rep.cold_load_speedup,
+            rep.multi_tenant_qps,
             rep.mismatches,
         );
         reports.push(rep);
@@ -229,7 +321,10 @@ fn main() {
              \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"expand_us_p50\": {:.2}, \
              \"expand_us_p95\": {:.2}, \"eval_us_p50\": {:.2}, \"eval_us_p95\": {:.2}, \
              \"batch_cold_qps\": {:.1}, \
-             \"batch_warm_qps\": {:.1}, \"cache_hit_rate\": {:.4}, \"mismatches\": {}}}{}\n",
+             \"batch_warm_qps\": {:.1}, \"cache_hit_rate\": {:.4}, \
+             \"v2_parse_compile_us\": {:.2}, \"v3_page_in_us\": {:.2}, \
+             \"cold_load_speedup\": {:.1}, \"multi_tenant_qps\": {:.1}, \
+             \"mismatches\": {}}}{}\n",
             r.name,
             r.queries,
             r.interpreted_qps,
@@ -245,6 +340,10 @@ fn main() {
             r.batch_cold_qps,
             r.batch_warm_qps,
             r.cache_hit_rate,
+            r.v2_parse_compile_us,
+            r.v3_page_in_us,
+            r.cold_load_speedup,
+            r.multi_tenant_qps,
             r.mismatches,
             if i + 1 < reports.len() { "," } else { "" },
         ));
@@ -258,9 +357,19 @@ fn main() {
     } else {
         0.0
     };
+    let min_cold_load_speedup = reports
+        .iter()
+        .map(|r| r.cold_load_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let min_cold_load_speedup = if min_cold_load_speedup.is_finite() {
+        min_cold_load_speedup
+    } else {
+        0.0
+    };
     json.push_str(&format!(
-        "  ],\n  \"min_speedup\": {:.3},\n  \"total_mismatches\": {}\n}}\n",
-        min_speedup, total_mismatches
+        "  ],\n  \"min_speedup\": {:.3},\n  \"min_cold_load_speedup\": {:.1},\n  \
+         \"total_mismatches\": {}\n}}\n",
+        min_speedup, min_cold_load_speedup, total_mismatches
     ));
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");
@@ -274,6 +383,22 @@ fn main() {
     }
     if enforce_speedup && min_speedup < 1.0 {
         eprintln!("FAIL: compiled estimation slower than interpreted ({min_speedup:.2}x)");
+        std::process::exit(1);
+    }
+    // The v3 arena exists to make cold tenants cheap. The page-in cost
+    // is O(synopsis structure) — nodes, edges, scope dims — while v2
+    // parse-and-compile is O(full payload) including every bucket cell
+    // and the transpose precomputation, so the advantage grows with the
+    // bucket-to-node ratio. At this bench's toy scale the synopses are
+    // structure-dominated and the measured ratio sits near 2.5-3x; this
+    // hard gate is a 1.5x backstop against losing the zero-copy path
+    // outright, while the per-dataset `cold_load_speedup` ratchet in
+    // `xtask bench-check` (baseline x 0.75) guards the real value.
+    if enforce_speedup && min_cold_load_speedup < 1.5 {
+        eprintln!(
+            "FAIL: v3 cold page-in only {min_cold_load_speedup:.1}x faster than \
+             v2 parse-and-compile (need >= 1.5x at bench scale)"
+        );
         std::process::exit(1);
     }
 }

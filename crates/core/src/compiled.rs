@@ -42,7 +42,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::io::pod::{AlignedBytes, Lane};
 
 use crate::estimate::api::{
     self, AssumptionCounts, EstimateReport, EstimateRequest, Estimator, Explain, Provenance,
@@ -74,31 +76,36 @@ const EXPANSION_MEMO_CAP: usize = 4096;
 /// Scope dimension `d` is described by `dim_parent[d]`, `dim_child[d]`,
 /// `dim_kind[d]`, with value-bucket boundaries (when `d` is a value
 /// dimension) at `vb_lo[vb_span[d].0 ..][..vb_span[d].1]`.
+/// The bucket-level columns are [`Lane`]s: owned vectors when compiled
+/// from a live [`Synopsis`], zero-copy views into a snapshot arena when
+/// loaded from a v3 file (see [`crate::io::v3`]). Deref makes the two
+/// indistinguishable to the evaluator, so mapped and owned estimates
+/// are bit-identical by construction.
 #[derive(Debug, Clone)]
 pub struct CompiledHistogram {
     /// Number of scope dimensions.
-    dims: usize,
+    pub(crate) dims: usize,
     /// Parent endpoint of each scope dimension's edge.
-    dim_parent: Vec<SynId>,
+    pub(crate) dim_parent: Vec<SynId>,
     /// Child endpoint (or value source) of each scope dimension's edge.
-    dim_child: Vec<SynId>,
+    pub(crate) dim_child: Vec<SynId>,
     /// Kind of each scope dimension.
-    dim_kind: Vec<DimKind>,
+    pub(crate) dim_kind: Vec<DimKind>,
     /// Per-bucket probability mass.
-    frac: Vec<f64>,
+    pub(crate) frac: Lane<f64>,
     /// Bucket-major inclusive lower box bounds (`buckets × dims`).
-    lo: Vec<u32>,
+    pub(crate) lo: Lane<u32>,
     /// Bucket-major inclusive upper box bounds (`buckets × dims`).
-    hi: Vec<u32>,
+    pub(crate) hi: Lane<u32>,
     /// Bucket-major mass-weighted means (`buckets × dims`).
-    mean: Vec<f64>,
+    pub(crate) mean: Lane<f64>,
     /// Per-dimension `(start, len)` span into `vb_lo`/`vb_hi`, `None`
     /// for dimensions without value buckets.
-    vb_span: Vec<Option<(usize, usize)>>,
+    pub(crate) vb_span: Vec<Option<(usize, usize)>>,
     /// Flattened value-bucket lower bounds.
-    vb_lo: Vec<i64>,
+    pub(crate) vb_lo: Lane<i64>,
     /// Flattened value-bucket upper bounds.
-    vb_hi: Vec<i64>,
+    pub(crate) vb_hi: Lane<i64>,
     /// Dimension-major (transposed) lower box bounds, pre-converted to
     /// `f64`: dimension `d`'s contiguous lane is
     /// `lo_t[d * buckets ..][.. buckets]`. The bucket-selection and
@@ -106,14 +113,14 @@ pub struct CompiledHistogram {
     /// is what lets LLVM vectorize them (see `estimate::kernel`);
     /// `u32 → f64` is exact, so the values equal `lo[b*dims+d] as f64`
     /// bit-for-bit.
-    lo_t: Vec<f64>,
+    pub(crate) lo_t: Lane<f64>,
     /// Dimension-major (transposed) upper box bounds as `f64`.
-    hi_t: Vec<f64>,
+    pub(crate) hi_t: Lane<f64>,
     /// Precomputed marginal expectation `Σ_b frac[b] · mean[b][d]` per
     /// dimension — the `E[C_d]` an AVI-style consumer reads in O(1).
-    dim_expectation: Vec<f64>,
+    pub(crate) dim_expectation: Vec<f64>,
     /// Precomputed total probability mass `Σ_b frac[b]`.
-    total_mass: f64,
+    pub(crate) total_mass: f64,
 }
 
 impl CompiledHistogram {
@@ -178,15 +185,15 @@ impl CompiledHistogram {
             dim_parent: h.scope.iter().map(|d| d.parent).collect(),
             dim_child: h.scope.iter().map(|d| d.child).collect(),
             dim_kind: h.scope.iter().map(|d| d.kind).collect(),
-            frac,
-            lo,
-            hi,
-            mean,
+            frac: frac.into(),
+            lo: lo.into(),
+            hi: hi.into(),
+            mean: mean.into(),
             vb_span,
-            vb_lo,
-            vb_hi,
-            lo_t,
-            hi_t,
+            vb_lo: vb_lo.into(),
+            vb_hi: vb_hi.into(),
+            lo_t: lo_t.into(),
+            hi_t: hi_t.into(),
             dim_expectation,
             total_mass: h.hist.total_mass(),
         }
@@ -330,22 +337,72 @@ pub struct ExpandedQuery {
     pub needs: Vec<Vec<Vec<(SynId, SynId)>>>,
 }
 
+/// Where a compiled synopsis gets its interpreted-path [`Synopsis`]
+/// from: a caller-owned borrow (the `compile` path) or a lazily decoded
+/// copy of a v3 snapshot's `SYNOPSIS` section (the zero-copy load
+/// path). The lazy variant is what lets a v3 load skip payload
+/// decoding entirely until a cold path (expansion, value-summary
+/// fallback, coarse bound) first asks for the graph.
+enum SourceRef<'a> {
+    /// Borrowed from the caller; lives at least as long as `'a`.
+    Borrowed(&'a Synopsis),
+    /// Decoded on first use from the mapped arena (boxed: the lazy
+    /// state is ~300 bytes and only the load path carries it).
+    Lazy(Box<LazySource>),
+}
+
+/// The lazy half of [`SourceRef`]: the arena window holding the v3
+/// `SYNOPSIS` section (a v1/v2 payload, CRC-covered in the section
+/// table) plus the decode-once cell.
+struct LazySource {
+    backing: Arc<AlignedBytes>,
+    /// Byte offset of the section within the arena.
+    off: usize,
+    /// Section length in bytes.
+    len: usize,
+    cell: OnceLock<Synopsis>,
+}
+
+impl LazySource {
+    /// Decodes the section on first call; later calls return the cached
+    /// synopsis. A decode failure is unreachable for writer-produced
+    /// snapshots (the section is a verbatim `save_payload` image), but
+    /// degrades to an empty synopsis rather than panicking.
+    fn get(&self) -> &Synopsis {
+        self.cell.get_or_init(|| {
+            let bytes = self
+                .backing
+                .bytes()
+                .get(self.off..self.off.saturating_add(self.len))
+                .unwrap_or(&[]);
+            crate::io::decode_payload(bytes, self.off)
+                .unwrap_or_else(|_| Synopsis::empty_estimation_only())
+        })
+    }
+}
+
 /// The compiled synopsis: flat arrays plus a borrow of the source
 /// [`Synopsis`] for the cold paths (expansion walks the synopsis graph;
 /// value-summary fallbacks and the coarse count bound stay interpreted).
+///
+/// Two provenances share this one type: [`CompiledSynopsis::compile`]
+/// lowers a live synopsis into owned arrays (`'a` borrows the source),
+/// while [`crate::io::v3::load_compiled_snapshot`] builds a
+/// `CompiledSynopsis<'static>` whose bucket columns are zero-copy views
+/// into the snapshot arena and whose source synopsis decodes lazily.
 pub struct CompiledSynopsis<'a> {
-    source: &'a Synopsis,
+    source: SourceRef<'a>,
     epoch: u64,
     /// Extent sizes per node.
-    counts: Vec<u64>,
+    pub(crate) counts: Vec<u64>,
     /// CSR row offsets into `edge_child` / `edge_avg` (`nodes + 1`).
-    edge_off: Vec<usize>,
+    pub(crate) edge_off: Vec<usize>,
     /// Child endpoints, sorted per parent.
-    edge_child: Vec<SynId>,
+    pub(crate) edge_child: Vec<SynId>,
     /// Precomputed Forward Uniformity averages `child_count/|u|`.
-    edge_avg: Vec<f64>,
+    pub(crate) edge_avg: Vec<f64>,
     /// Per-node compiled histograms.
-    hists: Vec<CompiledHistogram>,
+    pub(crate) hists: Vec<CompiledHistogram>,
     /// Memoized expansions keyed by `(query, expansion options)`.
     memo: Mutex<HashMap<String, Arc<ExpandedQuery>>>,
     memo_hits: AtomicU64,
@@ -384,7 +441,7 @@ impl<'a> CompiledSynopsis<'a> {
             .map(|id| CompiledHistogram::compile(s, id))
             .collect();
         CompiledSynopsis {
-            source: s,
+            source: SourceRef::Borrowed(s),
             epoch: EPOCH.fetch_add(1, Ordering::Relaxed),
             counts,
             edge_off,
@@ -397,9 +454,51 @@ impl<'a> CompiledSynopsis<'a> {
         }
     }
 
-    /// The synopsis this compilation was lowered from.
-    pub fn source(&self) -> &'a Synopsis {
-        self.source
+    /// Assembles a compiled synopsis from parts decoded out of a v3
+    /// snapshot arena: structure arrays are owned (O(nodes + edges)),
+    /// histogram bucket columns are zero-copy [`Lane`] views into
+    /// `backing`, and the interpreted-path synopsis decodes lazily from
+    /// the arena window `[syn_off, syn_off + syn_len)`. Draws a fresh
+    /// epoch, exactly like a recompilation, so downstream caches treat
+    /// the load as a new generation.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_loaded_parts(
+        backing: Arc<AlignedBytes>,
+        syn_off: usize,
+        syn_len: usize,
+        counts: Vec<u64>,
+        edge_off: Vec<usize>,
+        edge_child: Vec<SynId>,
+        edge_avg: Vec<f64>,
+        hists: Vec<CompiledHistogram>,
+    ) -> CompiledSynopsis<'static> {
+        CompiledSynopsis {
+            source: SourceRef::Lazy(Box::new(LazySource {
+                backing,
+                off: syn_off,
+                len: syn_len,
+                cell: OnceLock::new(),
+            })),
+            epoch: EPOCH.fetch_add(1, Ordering::Relaxed),
+            counts,
+            edge_off,
+            edge_child,
+            edge_avg,
+            hists,
+            memo: Mutex::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The synopsis this compilation was lowered from. For a
+    /// zero-copy-loaded synopsis this decodes the snapshot's `SYNOPSIS`
+    /// section on first use (the cold paths are the only consumers).
+    pub fn source(&self) -> &Synopsis {
+        match &self.source {
+            SourceRef::Borrowed(s) => s,
+            SourceRef::Lazy(l) => l.get(),
+        }
     }
 
     /// The process-unique epoch of this compilation. Monotonically
@@ -500,7 +599,7 @@ impl<'a> CompiledSynopsis<'a> {
         }
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
         telemetry::global().expansion_memo_misses.incr();
-        let embeddings = enumerate_embeddings_metered(self.source, query, opts, meter);
+        let embeddings = enumerate_embeddings_metered(self.source(), query, opts, meter);
         let needs = embeddings.iter().map(|e| self.compute_needs(e)).collect();
         let expanded = Arc::new(ExpandedQuery { embeddings, needs });
         if meter.exhaustion().is_none() {
@@ -623,12 +722,12 @@ impl<'a> CompiledSynopsis<'a> {
                 }
                 _ => (0.0, None),
             },
-            || coarse_count_bound(self.source, query),
+            || coarse_count_bound(self.source(), query),
             |i| {
                 expanded
                     .embeddings
                     .get(i)
-                    .map_or_else(String::new, |e| api::render_embedding(self.source, e))
+                    .map_or_else(String::new, |e| api::render_embedding(self.source(), e))
             },
         );
         let eval_ns = api::elapsed_ns(t_eval);
@@ -761,12 +860,12 @@ impl<'a> CompiledSynopsis<'a> {
             expanded.embeddings.len(),
             opts.explain,
             |i| (contribs.get(i).copied().unwrap_or(0.0), None),
-            || coarse_count_bound(self.source, query),
+            || coarse_count_bound(self.source(), query),
             |i| {
                 expanded
                     .embeddings
                     .get(i)
-                    .map_or_else(String::new, |e| api::render_embedding(self.source, e))
+                    .map_or_else(String::new, |e| api::render_embedding(self.source(), e))
             },
         );
         let mut provenance = Provenance::new("xsketch-compiled");
@@ -826,7 +925,7 @@ impl<'a> CompiledSynopsis<'a> {
                 Some(di) if ch.vb_span.get(di).is_some_and(Option::is_some) => {
                     ar.value_conds.push((di, lo, hi));
                 }
-                _ => factor *= self.source.value_fraction(syn, lo, hi),
+                _ => factor *= self.source().value_fraction(syn, lo, hi),
             }
         }
         for bv in &node.branch_values {

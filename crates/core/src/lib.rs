@@ -50,6 +50,11 @@ pub use estimate::{
     EstimateOptionsBuilder, EstimateReport, EstimateRequest, Estimator, Exhaustion, Explain,
     InterpretedEstimator, Provenance, QueryTelemetry,
 };
+pub use io::pod::{AlignedBytes, Lane};
+pub use io::v3::{
+    load_compiled_arena, load_compiled_snapshot, read_compiled_snapshot, save_synopsis_v3,
+    verify_snapshot_v3, write_snapshot_v3,
+};
 pub use io::wal::{
     decode_delta, encode_delta, parse_wal, read_wal, TornTail, WalReplay, WalWriter,
 };
@@ -61,7 +66,10 @@ pub use serve::runtime::{
     Admission, AdmissionQueue, BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker,
     ShedPolicy,
 };
-pub use serve::{estimate_many, serve_reports, CacheStats, EstimateCache};
+pub use serve::{
+    estimate_many, serve_reports, BatchServer, CacheStats, CatalogError, CatalogOptions,
+    CatalogOptionsBuilder, CatalogStats, EstimateCache, SnapshotCatalog,
+};
 pub use synopsis::{EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, ValueSummary};
 pub use tsn::twig_stable_neighborhood;
 pub use validate::{fsck, validate, FsckIssue, FsckReport};

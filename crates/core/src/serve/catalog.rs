@@ -1,0 +1,942 @@
+//! The multi-tenant snapshot catalog: the serving tier's front door.
+//!
+//! A [`SnapshotCatalog`] maps `(tenant, document)` keys to snapshot
+//! files under a root directory (`<root>/<tenant>/<document>.xtwg`,
+//! format v3) and serves estimates from them with:
+//!
+//! * **Zero-copy fault-in** — a cold document is loaded through
+//!   [`read_compiled_snapshot`]: header + CRC validation and an
+//!   O(structure) metadata decode, with every bucket lane referenced
+//!   in place in the aligned arena. No bucket payload is deserialized.
+//! * **Consistent-hash shard assignment** —
+//!   [`shard_for`](SnapshotCatalog::shard_for) maps each key onto a
+//!   fixed ring of virtual nodes, so a fleet of catalog processes can
+//!   agree on document placement with minimal movement when the shard
+//!   count changes. A single process simply owns every shard.
+//! * **Per-tenant admission quotas** — at most
+//!   [`CatalogOptions::tenant_quota`] requests of one tenant in
+//!   flight; excess is shed with [`CatalogError::QuotaExceeded`]
+//!   before it can queue behind another tenant's work.
+//! * **Per-tenant circuit breakers** — serving failures (injected
+//!   faults, corrupt snapshots) trip only the failing tenant's
+//!   [`CircuitBreaker`]; other tenants keep full service. This is the
+//!   isolation property the multi-tenant soak phase asserts.
+//! * **Cold-tenant eviction** — at most
+//!   [`CatalogOptions::max_resident`] documents stay resident; the
+//!   least-recently-used one is dropped to make room, and a later
+//!   request simply faults it back in.
+//!
+//! Single-document mode is the degenerate one-tenant catalog: publish
+//! one document and serve it. The per-document [`EstimateCache`]
+//! partitions come for free from the epoch scheme — every fault-in
+//! mints a fresh compile epoch, so a republished document's partition
+//! self-invalidates without a flush protocol.
+//!
+//! ## Lock discipline
+//!
+//! The catalog never holds two locks at once (the repo's `LOCK_ORDER`
+//! manifest sanctions no nestings): map guards are block-scoped and
+//! die before any slot lock is taken, and eviction selects its victim
+//! from atomics under the map guard, then locks the victim only after
+//! the guard is dead. A document's slot mutex is held across its disk
+//! load on purpose — that is what collapses a cold-tenant stampede
+//! into exactly one load.
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex, PoisonError};
+
+use super::cache::EstimateCache;
+use super::runtime::{splitmix64, BreakerConfig, BreakerState, CircuitBreaker};
+use super::BatchServer;
+use crate::compiled::CompiledSynopsis;
+use crate::estimate::{BoundedEstimate, EstimateOptions, EstimateReport};
+use crate::io::v3::{read_compiled_snapshot, write_snapshot_v3};
+use crate::io::SnapshotError;
+use crate::synopsis::Synopsis;
+use xtwig_query::TwigQuery;
+
+/// Why a catalog request was not served.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// The tenant or document name is not a safe path component
+    /// (ASCII alphanumerics plus `-`, `_`, `.`; at most 128 bytes; not
+    /// `.` or `..`).
+    InvalidKey {
+        /// The offending name.
+        key: String,
+    },
+    /// No snapshot has been published under this `(tenant, document)`.
+    UnknownDocument {
+        /// Tenant name.
+        tenant: String,
+        /// Document name.
+        document: String,
+    },
+    /// The tenant already has `tenant_quota` requests in flight.
+    QuotaExceeded {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// The tenant's circuit breaker is open; the request was shed
+    /// without touching the document.
+    BreakerOpen {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Serving panicked (fault injection, or a genuine bug); the
+    /// panic was contained and charged to the tenant's breaker.
+    Faulted {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// The snapshot file exists but could not be loaded.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::InvalidKey { key } => {
+                write!(f, "invalid tenant/document name {key:?}")
+            }
+            CatalogError::UnknownDocument { tenant, document } => {
+                write!(f, "no snapshot published for {tenant}:{document}")
+            }
+            CatalogError::QuotaExceeded { tenant } => {
+                write!(f, "tenant {tenant} is at its admission quota")
+            }
+            CatalogError::BreakerOpen { tenant } => {
+                write!(f, "tenant {tenant}'s circuit breaker is open")
+            }
+            CatalogError::Faulted { tenant } => {
+                write!(f, "serving for tenant {tenant} panicked; fault contained")
+            }
+            CatalogError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<SnapshotError> for CatalogError {
+    fn from(e: SnapshotError) -> CatalogError {
+        CatalogError::Snapshot(e)
+    }
+}
+
+/// Catalog tuning. `#[non_exhaustive]`: construct through
+/// [`CatalogOptions::default`] or [`CatalogOptions::builder`] so
+/// future knobs are not breaking changes.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct CatalogOptions {
+    /// Logical shards on the consistent-hash ring.
+    pub shards: usize,
+    /// Virtual nodes per shard on the ring — more replicas smooth the
+    /// key distribution at the cost of a larger (still tiny) ring.
+    pub replicas: usize,
+    /// Maximum resident (faulted-in) documents; `0` = unlimited. The
+    /// least-recently-used document is evicted to admit a cold one.
+    pub max_resident: usize,
+    /// Maximum in-flight requests per tenant; `0` = unlimited.
+    pub tenant_quota: usize,
+    /// Capacity of each document's private [`EstimateCache`]
+    /// partition; `0` disables caching.
+    pub cache_entries: usize,
+    /// Tuning for each tenant's circuit breaker.
+    pub breaker: BreakerConfig,
+    /// Worker threads per served batch (`0` or `1` = inline).
+    pub threads: usize,
+}
+
+impl Default for CatalogOptions {
+    fn default() -> CatalogOptions {
+        CatalogOptions {
+            shards: 16,
+            replicas: 32,
+            max_resident: 64,
+            tenant_quota: 0,
+            cache_entries: 1024,
+            breaker: BreakerConfig::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl CatalogOptions {
+    /// A builder seeded with the defaults.
+    pub fn builder() -> CatalogOptionsBuilder {
+        CatalogOptionsBuilder {
+            opts: CatalogOptions::default(),
+        }
+    }
+
+    /// A builder seeded with this value (for tweaking a base config).
+    pub fn to_builder(self) -> CatalogOptionsBuilder {
+        CatalogOptionsBuilder { opts: self }
+    }
+}
+
+/// Builder for [`CatalogOptions`].
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogOptionsBuilder {
+    opts: CatalogOptions,
+}
+
+impl CatalogOptionsBuilder {
+    /// Sets the logical shard count (clamped to at least 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.opts.shards = n.max(1);
+        self
+    }
+
+    /// Sets the virtual nodes per shard (clamped to at least 1).
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.opts.replicas = n.max(1);
+        self
+    }
+
+    /// Sets the resident-document cap (`0` = unlimited).
+    pub fn max_resident(mut self, n: usize) -> Self {
+        self.opts.max_resident = n;
+        self
+    }
+
+    /// Sets the per-tenant in-flight quota (`0` = unlimited).
+    pub fn tenant_quota(mut self, n: usize) -> Self {
+        self.opts.tenant_quota = n;
+        self
+    }
+
+    /// Sets each document's cache-partition capacity (`0` = uncached).
+    pub fn cache_entries(mut self, n: usize) -> Self {
+        self.opts.cache_entries = n;
+        self
+    }
+
+    /// Sets the per-tenant breaker tuning.
+    pub fn breaker(mut self, config: BreakerConfig) -> Self {
+        self.opts.breaker = config;
+        self
+    }
+
+    /// Sets the per-batch worker thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.opts.threads = n;
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> CatalogOptions {
+        self.opts
+    }
+}
+
+/// Point-in-time catalog counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CatalogStats {
+    /// Documents faulted in from disk (cold loads).
+    pub cold_loads: u64,
+    /// Requests served from an already-resident document.
+    pub warm_hits: u64,
+    /// Documents evicted to respect `max_resident`.
+    pub evictions: u64,
+    /// Requests shed at the tenant admission quota.
+    pub quota_sheds: u64,
+    /// Requests shed by an open tenant breaker.
+    pub breaker_sheds: u64,
+    /// Serving panics contained and charged to a breaker.
+    pub faults: u64,
+    /// Documents currently resident.
+    pub resident: usize,
+    /// Tenants with breaker/quota state.
+    pub tenants: usize,
+    /// `(tenant, document)` slots known to this catalog process.
+    pub documents: usize,
+}
+
+/// A resident document: the zero-copy compiled synopsis plus its
+/// private cache partition.
+#[derive(Debug)]
+struct LoadedDoc {
+    compiled: CompiledSynopsis<'static>,
+    cache: EstimateCache,
+}
+
+/// One `(tenant, document)` slot. The mutex serializes fault-in (a
+/// cold stampede performs exactly one disk load); the atomics let the
+/// eviction scan pick a victim without locking every slot.
+#[derive(Debug)]
+struct DocSlot {
+    loaded: Mutex<Option<Arc<LoadedDoc>>>,
+    /// Catalog-clock stamp of the last serve (LRU eviction order).
+    last_used: AtomicU64,
+    /// Mirror of `loaded.is_some()` (`0`/`1`), readable without the
+    /// lock. `AtomicUsize` rather than `AtomicBool` because the loom
+    /// façade only models the integer atomics.
+    is_loaded: AtomicUsize,
+}
+
+/// Per-tenant admission and failure-isolation state.
+#[derive(Debug)]
+struct TenantState {
+    breaker: CircuitBreaker,
+    inflight: AtomicUsize,
+}
+
+/// RAII decrement for the tenant in-flight counter.
+struct InflightGuard<'a> {
+    state: &'a TenantState,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        // lint:allow(atomic-ordering): advisory admission counter; quota is a soft bound
+        self.state.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Fault-injection hook: given `(tenant, document)`, return `true` to
+/// make that serve panic inside the catalog's containment boundary.
+/// Used by the soak harness to prove per-tenant breaker isolation.
+pub type FaultHook = Box<dyn Fn(&str, &str) -> bool + Send + Sync>;
+
+/// A multi-tenant catalog of v3 snapshots under one root directory.
+///
+/// ```no_run
+/// use xtwig_core::{CatalogOptions, EstimateOptions, SnapshotCatalog};
+///
+/// let catalog = SnapshotCatalog::open("/var/lib/xtwig", CatalogOptions::default());
+/// # let synopsis: xtwig_core::Synopsis = unimplemented!();
+/// # let queries: Vec<xtwig_query::TwigQuery> = vec![];
+/// catalog.publish("acme", "orders", &synopsis).unwrap();
+/// let reports = catalog
+///     .serve("acme", "orders", &queries, &EstimateOptions::default())
+///     .unwrap();
+/// ```
+pub struct SnapshotCatalog {
+    root: PathBuf,
+    options: CatalogOptions,
+    /// Consistent-hash ring: sorted `(point, shard)` virtual nodes.
+    ring: Vec<(u64, usize)>,
+    docs: Mutex<HashMap<(String, String), Arc<DocSlot>>>,
+    tenants: Mutex<HashMap<String, Arc<TenantState>>>,
+    /// Logical clock for LRU stamps.
+    tick: AtomicU64,
+    /// Resident-document count (soft bound; see `evict_for_space`).
+    resident: AtomicUsize,
+    cold_loads: AtomicU64,
+    warm_hits: AtomicU64,
+    evictions: AtomicU64,
+    quota_sheds: AtomicU64,
+    breaker_sheds: AtomicU64,
+    faults: AtomicU64,
+    fault_hook: Mutex<Option<FaultHook>>,
+}
+
+impl std::fmt::Debug for SnapshotCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCatalog")
+            .field("root", &self.root)
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Whether `k` is safe to embed as a path component.
+fn valid_key(k: &str) -> bool {
+    !k.is_empty()
+        && k.len() <= 128
+        && k != "."
+        && k != ".."
+        && k.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+/// Deterministic FNV-1a over the key bytes (same constants as the
+/// estimate cache's shard hash — reproducible across runs by design).
+fn fnv1a(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so ("ab", "c") and ("a", "bc") hash apart.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SnapshotCatalog {
+    /// Opens a catalog rooted at `root`. The directory need not exist
+    /// yet — [`publish`](SnapshotCatalog::publish) creates it — and no
+    /// I/O happens here; documents are discovered lazily on first
+    /// request.
+    pub fn open(root: impl Into<PathBuf>, options: CatalogOptions) -> SnapshotCatalog {
+        let shards = options.shards.max(1);
+        let replicas = options.replicas.max(1);
+        let mut ring = Vec::with_capacity(shards.saturating_mul(replicas));
+        for s in 0..shards {
+            for r in 0..replicas {
+                let point = splitmix64(((s as u64) << 32) | r as u64);
+                ring.push((point, s));
+            }
+        }
+        ring.sort_unstable();
+        SnapshotCatalog {
+            root: root.into(),
+            options,
+            ring,
+            docs: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            cold_loads: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            quota_sheds: AtomicU64::new(0),
+            breaker_sheds: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            fault_hook: Mutex::new(None),
+        }
+    }
+
+    /// The catalog root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The options this catalog was opened with.
+    pub fn options(&self) -> &CatalogOptions {
+        &self.options
+    }
+
+    /// The snapshot path for a `(tenant, document)` key.
+    pub fn path_for(&self, tenant: &str, document: &str) -> PathBuf {
+        self.root.join(tenant).join(format!("{document}.xtwg"))
+    }
+
+    /// The consistent-hash shard owning `(tenant, document)`.
+    ///
+    /// Deterministic across processes and runs: every catalog opened
+    /// with the same `shards`/`replicas` maps every key to the same
+    /// shard, which is what lets a fleet route without coordination.
+    pub fn shard_for(&self, tenant: &str, document: &str) -> usize {
+        let h = fnv1a(&[tenant, document]);
+        let i = self.ring.partition_point(|&(point, _)| point < h);
+        match self.ring.get(i).or_else(|| self.ring.first()) {
+            Some(&(_, shard)) => shard,
+            None => 0,
+        }
+    }
+
+    /// Serializes `s` as a v3 snapshot, atomically installs it at the
+    /// key's path (creating directories as needed), and invalidates
+    /// any resident copy so the next request faults the new bytes in.
+    /// Returns the snapshot size in bytes.
+    pub fn publish(&self, tenant: &str, document: &str, s: &Synopsis) -> Result<u64, CatalogError> {
+        self.check_keys(tenant, document)?;
+        let dir = self.root.join(tenant);
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            CatalogError::Snapshot(SnapshotError::Io {
+                path: dir.display().to_string(),
+                cause: e.to_string(),
+            })
+        })?;
+        let n = write_snapshot_v3(&self.path_for(tenant, document), s)?;
+        self.invalidate(tenant, document);
+        Ok(n as u64)
+    }
+
+    /// Drops the resident copy of a document, if any. The snapshot
+    /// file is untouched; the next request faults it back in.
+    pub fn invalidate(&self, tenant: &str, document: &str) {
+        let slot = self.doc_slot(tenant, document);
+        let mut loaded = slot.loaded.lock().unwrap_or_else(PoisonError::into_inner);
+        if loaded.take().is_some() {
+            // lint:allow(atomic-ordering): mirror of the slot state just changed under its own lock
+            slot.is_loaded.store(0, Ordering::Relaxed);
+            // lint:allow(atomic-ordering): advisory residency count; max_resident is a soft bound
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Faults a document in ahead of traffic (no quota or breaker
+    /// involvement). A no-op if it is already resident.
+    pub fn warm(&self, tenant: &str, document: &str) -> Result<(), CatalogError> {
+        self.check_keys(tenant, document)?;
+        let slot = self.doc_slot(tenant, document);
+        self.fault_in(&slot, tenant, document).map(|_| ())
+    }
+
+    /// Serves a batch of queries for one `(tenant, document)`,
+    /// returning full-fidelity reports in input order.
+    ///
+    /// Admission order: quota (before any work), then the tenant's
+    /// breaker, then fault-in, then the batch itself. A serving panic
+    /// is contained, reported as [`CatalogError::Faulted`], and
+    /// charged to the tenant's breaker — after
+    /// [`BreakerConfig::failure_threshold`] consecutive faults the
+    /// tenant is shed at admission while every other tenant keeps
+    /// full, un-degraded service.
+    pub fn serve(
+        &self,
+        tenant: &str,
+        document: &str,
+        queries: &[TwigQuery],
+        opts: &EstimateOptions,
+    ) -> Result<Vec<EstimateReport>, CatalogError> {
+        self.check_keys(tenant, document)?;
+        let ts = self.tenant_state(tenant);
+
+        // Quota first: shed before consuming any shared resource.
+        let inflight = ts
+            .inflight
+            // lint:allow(atomic-ordering): advisory admission counter; quota is a soft bound
+            .fetch_add(1, Ordering::Relaxed)
+            .saturating_add(1);
+        let _inflight = InflightGuard { state: &ts };
+        let quota = self.options.tenant_quota;
+        if quota != 0 && inflight > quota {
+            // lint:allow(atomic-ordering): monotonic stats counter
+            self.quota_sheds.fetch_add(1, Ordering::Relaxed);
+            return Err(CatalogError::QuotaExceeded {
+                tenant: tenant.to_owned(),
+            });
+        }
+
+        if !ts.breaker.try_acquire() {
+            // lint:allow(atomic-ordering): monotonic stats counter
+            self.breaker_sheds.fetch_add(1, Ordering::Relaxed);
+            return Err(CatalogError::BreakerOpen {
+                tenant: tenant.to_owned(),
+            });
+        }
+
+        // From here on the breaker granted the attempt (possibly as
+        // the half-open probe), so every exit must record an outcome.
+        let result = self.serve_admitted(tenant, document, queries, opts);
+        match result {
+            Ok(_) => ts.breaker.record_success(),
+            Err(_) => ts.breaker.record_failure(),
+        }
+        result
+    }
+
+    /// Serves a batch, returning only the [`BoundedEstimate`]
+    /// projection (bit-identical to the corresponding
+    /// [`serve`](SnapshotCatalog::serve) reports).
+    pub fn estimate(
+        &self,
+        tenant: &str,
+        document: &str,
+        queries: &[TwigQuery],
+        opts: &EstimateOptions,
+    ) -> Result<Vec<BoundedEstimate>, CatalogError> {
+        Ok(self
+            .serve(tenant, document, queries, opts)?
+            .iter()
+            .map(EstimateReport::bounded)
+            .collect())
+    }
+
+    /// The post-admission serve path: fault-in plus the contained
+    /// batch run. Split out so `serve` can pair every admission with
+    /// exactly one breaker outcome.
+    fn serve_admitted(
+        &self,
+        tenant: &str,
+        document: &str,
+        queries: &[TwigQuery],
+        opts: &EstimateOptions,
+    ) -> Result<Vec<EstimateReport>, CatalogError> {
+        let slot = self.doc_slot(tenant, document);
+        let doc = self.fault_in(&slot, tenant, document)?;
+        let fire = {
+            let hook = self
+                .fault_hook
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            hook.as_ref().is_some_and(|h| h(tenant, document))
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            assert!(!fire, "injected fault for tenant {tenant}");
+            BatchServer::new(&doc.compiled)
+                .with_cache(&doc.cache)
+                .with_options(*opts)
+                .with_threads(self.options.threads)
+                .serve(queries)
+        }));
+        match outcome {
+            Ok(reports) => Ok(reports),
+            Err(_) => {
+                // lint:allow(atomic-ordering): monotonic stats counter
+                self.faults.fetch_add(1, Ordering::Relaxed);
+                Err(CatalogError::Faulted {
+                    tenant: tenant.to_owned(),
+                })
+            }
+        }
+    }
+
+    /// Installs (or clears) the fault-injection hook. Soak/test
+    /// surface: a hook returning `true` makes that serve panic inside
+    /// the containment boundary, exactly as a serving bug would.
+    pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
+        *self
+            .fault_hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = hook;
+    }
+
+    /// The current state of a tenant's breaker, if the tenant has been
+    /// seen by this catalog.
+    pub fn breaker_state(&self, tenant: &str) -> Option<BreakerState> {
+        let ts = {
+            let map = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            map.get(tenant).cloned()
+        };
+        ts.map(|t| t.breaker.state())
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> CatalogStats {
+        let documents = {
+            let map = self.docs.lock().unwrap_or_else(PoisonError::into_inner);
+            map.len()
+        };
+        let tenants = {
+            let map = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            map.len()
+        };
+        CatalogStats {
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
+            cold_loads: self.cold_loads.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
+            evictions: self.evictions.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
+            quota_sheds: self.quota_sheds.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
+            breaker_sheds: self.breaker_sheds.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
+            faults: self.faults.load(Ordering::Relaxed),
+            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
+            resident: self.resident.load(Ordering::Relaxed),
+            tenants,
+            documents,
+        }
+    }
+
+    /// Validates both key components.
+    fn check_keys(&self, tenant: &str, document: &str) -> Result<(), CatalogError> {
+        for k in [tenant, document] {
+            if !valid_key(k) {
+                return Err(CatalogError::InvalidKey { key: k.to_owned() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Gets or creates the tenant's admission/breaker state.
+    fn tenant_state(&self, tenant: &str) -> Arc<TenantState> {
+        let mut map = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(tenant.to_owned()).or_insert_with(|| {
+            Arc::new(TenantState {
+                breaker: CircuitBreaker::new(self.options.breaker),
+                inflight: AtomicUsize::new(0),
+            })
+        }))
+    }
+
+    /// Gets or creates the `(tenant, document)` slot.
+    fn doc_slot(&self, tenant: &str, document: &str) -> Arc<DocSlot> {
+        let mut map = self.docs.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(
+            map.entry((tenant.to_owned(), document.to_owned()))
+                .or_insert_with(|| {
+                    Arc::new(DocSlot {
+                        loaded: Mutex::new(None),
+                        last_used: AtomicU64::new(0),
+                        is_loaded: AtomicUsize::new(0),
+                    })
+                }),
+        )
+    }
+
+    /// Returns the resident document for `slot`, faulting it in from
+    /// disk if cold. The slot mutex is held across the load, so a
+    /// stampede of cold requests performs exactly one disk read; the
+    /// latecomers block briefly and then share the `Arc`.
+    fn fault_in(
+        &self,
+        slot: &Arc<DocSlot>,
+        tenant: &str,
+        document: &str,
+    ) -> Result<Arc<LoadedDoc>, CatalogError> {
+        // lint:allow(atomic-ordering): LRU stamp; eviction order is advisory
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+        {
+            let loaded = slot.loaded.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(doc) = loaded.as_ref() {
+                // lint:allow(atomic-ordering): LRU stamp; eviction order is advisory
+                slot.last_used.store(stamp, Ordering::Relaxed);
+                // lint:allow(atomic-ordering): monotonic stats counter
+                self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(doc));
+            }
+        }
+
+        // Make room before (not while) holding the slot lock, so no
+        // two slot mutexes are ever held together.
+        self.evict_for_space();
+
+        let mut loaded = slot.loaded.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(doc) = loaded.as_ref() {
+            // A racing loader won between our fast path and here.
+            // lint:allow(atomic-ordering): LRU stamp; eviction order is advisory
+            slot.last_used.store(stamp, Ordering::Relaxed);
+            return Ok(Arc::clone(doc));
+        }
+        let path = self.path_for(tenant, document);
+        if !path.is_file() {
+            return Err(CatalogError::UnknownDocument {
+                tenant: tenant.to_owned(),
+                document: document.to_owned(),
+            });
+        }
+        let compiled = read_compiled_snapshot(&path)?;
+        let doc = Arc::new(LoadedDoc {
+            compiled,
+            cache: EstimateCache::new(self.options.cache_entries),
+        });
+        *loaded = Some(Arc::clone(&doc));
+        // lint:allow(atomic-ordering): mirror of the slot state just changed under its own lock
+        slot.is_loaded.store(1, Ordering::Relaxed);
+        // lint:allow(atomic-ordering): LRU stamp; eviction order is advisory
+        slot.last_used.store(stamp, Ordering::Relaxed);
+        // lint:allow(atomic-ordering): advisory residency count; max_resident is a soft bound
+        self.resident.fetch_add(1, Ordering::Relaxed);
+        // lint:allow(atomic-ordering): monotonic stats counter
+        self.cold_loads.fetch_add(1, Ordering::Relaxed);
+        Ok(doc)
+    }
+
+    /// Evicts least-recently-used documents until a cold load would
+    /// fit under `max_resident`. Holds no lock while locking a victim
+    /// (the candidate scan reads only atomics under the map guard), so
+    /// eviction can never deadlock against a concurrent fault-in.
+    /// `max_resident` is a soft bound: concurrent loads may briefly
+    /// overshoot it, and the next fault-in pulls it back down.
+    fn evict_for_space(&self) {
+        let max = self.options.max_resident;
+        if max == 0 {
+            return;
+        }
+        // lint:allow(atomic-ordering): advisory residency count; max_resident is a soft bound
+        while self.resident.load(Ordering::Relaxed) >= max {
+            let victim: Option<Arc<DocSlot>> = {
+                let map = self.docs.lock().unwrap_or_else(PoisonError::into_inner);
+                map.values()
+                    // lint:allow(atomic-ordering): lock-free residency mirror; a stale read just retries
+                    .filter(|s| s.is_loaded.load(Ordering::Relaxed) != 0)
+                    // lint:allow(atomic-ordering): LRU stamp; eviction order is advisory
+                    .min_by_key(|s| s.last_used.load(Ordering::Relaxed))
+                    .map(Arc::clone)
+            };
+            let Some(v) = victim else {
+                // Counter says resident but no loaded slot is visible:
+                // a racing invalidate got there first. Nothing to do.
+                return;
+            };
+            let mut loaded = v.loaded.lock().unwrap_or_else(PoisonError::into_inner);
+            if loaded.take().is_some() {
+                // lint:allow(atomic-ordering): mirror of the slot state just changed under its own lock
+                v.is_loaded.store(0, Ordering::Relaxed);
+                // lint:allow(atomic-ordering): advisory residency count; max_resident is a soft bound
+                self.resident.fetch_sub(1, Ordering::Relaxed);
+                // lint:allow(atomic-ordering): monotonic stats counter
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::coarse_synopsis;
+    use xtwig_query::parse_twig;
+    use xtwig_xml::parse;
+
+    fn sample_synopsis(extra_papers: usize) -> Synopsis {
+        let mut xml = String::from("<bib><conf>");
+        for _ in 0..=extra_papers {
+            xml.push_str("<paper><kw/></paper>");
+        }
+        xml.push_str("</conf></bib>");
+        coarse_synopsis(&parse(&xml).unwrap())
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xtwig-catalog-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn publish_then_serve_roundtrips() {
+        let dir = tempdir("roundtrip");
+        let catalog = SnapshotCatalog::open(&dir, CatalogOptions::default());
+        let s = sample_synopsis(1);
+        catalog.publish("acme", "orders", &s).unwrap();
+        let q = vec![parse_twig("for $t0 in //paper, $t1 in $t0/kw").unwrap()];
+        let opts = EstimateOptions::default();
+        let served = catalog.serve("acme", "orders", &q, &opts).unwrap();
+        // Bit-identical to estimating over the same synopsis directly.
+        let cs = CompiledSynopsis::compile(&s);
+        let direct = BatchServer::new(&cs).serve(&q);
+        assert_eq!(
+            served[0].estimate.to_bits(),
+            direct[0].estimate.to_bits(),
+            "catalog serve must match direct compiled estimation"
+        );
+        let stats = catalog.stats();
+        assert_eq!(stats.cold_loads, 1);
+        assert_eq!(stats.resident, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_document_is_typed() {
+        let dir = tempdir("unknown");
+        let catalog = SnapshotCatalog::open(&dir, CatalogOptions::default());
+        let q = vec![parse_twig("for $t0 in //paper").unwrap()];
+        let err = catalog
+            .serve("ghost", "nothing", &q, &EstimateOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::UnknownDocument { .. }), "{err}");
+        // Path-escaping keys are refused before touching the fs.
+        let err = catalog
+            .serve("../evil", "x", &q, &EstimateOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidKey { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_max_resident() {
+        let dir = tempdir("evict");
+        let options = CatalogOptions::builder().max_resident(2).build();
+        let catalog = SnapshotCatalog::open(&dir, options);
+        let s = sample_synopsis(0);
+        for doc in ["a", "b", "c"] {
+            catalog.publish("t", doc, &s).unwrap();
+            catalog.warm("t", doc).unwrap();
+        }
+        let stats = catalog.stats();
+        assert!(stats.resident <= 2, "{stats:?}");
+        assert!(stats.evictions >= 1, "{stats:?}");
+        // The evicted document faults back in transparently.
+        let q = vec![parse_twig("for $t0 in //paper").unwrap()];
+        catalog
+            .serve("t", "a", &q, &EstimateOptions::default())
+            .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faults_open_only_the_victims_breaker() {
+        let dir = tempdir("isolation");
+        let options = CatalogOptions::builder()
+            .breaker(BreakerConfig {
+                failure_threshold: 3,
+                cooldown: std::time::Duration::from_secs(60),
+            })
+            .build();
+        let catalog = SnapshotCatalog::open(&dir, options);
+        let s = sample_synopsis(1);
+        catalog.publish("victim", "d", &s).unwrap();
+        catalog.publish("healthy", "d", &s).unwrap();
+        catalog.set_fault_hook(Some(Box::new(|tenant, _| tenant == "victim")));
+        let q = vec![parse_twig("for $t0 in //paper").unwrap()];
+        let opts = EstimateOptions::default();
+        // Quiet the expected injected panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for _ in 0..3 {
+            let err = catalog.serve("victim", "d", &q, &opts).unwrap_err();
+            assert!(matches!(err, CatalogError::Faulted { .. }), "{err}");
+        }
+        std::panic::set_hook(prev);
+        // Victim now shed at admission; healthy tenant unaffected.
+        let err = catalog.serve("victim", "d", &q, &opts).unwrap_err();
+        assert!(matches!(err, CatalogError::BreakerOpen { .. }), "{err}");
+        assert_eq!(catalog.breaker_state("victim"), Some(BreakerState::Open));
+        let ok = catalog.serve("healthy", "d", &q, &opts).unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(ok[0].provenance.exhaustion.is_none());
+        assert_eq!(catalog.breaker_state("healthy"), Some(BreakerState::Closed));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quota_sheds_excess_inflight() {
+        let dir = tempdir("quota");
+        let options = CatalogOptions::builder().tenant_quota(1).build();
+        let catalog = SnapshotCatalog::open(&dir, options);
+        let s = sample_synopsis(0);
+        catalog.publish("t", "d", &s).unwrap();
+        let q = vec![parse_twig("for $t0 in //paper").unwrap()];
+        let opts = EstimateOptions::default();
+        // Sequential requests each fit the quota of one.
+        catalog.serve("t", "d", &q, &opts).unwrap();
+        catalog.serve("t", "d", &q, &opts).unwrap();
+        // Concurrent requests contend for the single slot: with the
+        // hook holding one serve open, the second must shed.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let entered = Arc::new(std::sync::Barrier::new(2));
+        {
+            let (gate, entered) = (Arc::clone(&gate), Arc::clone(&entered));
+            catalog.set_fault_hook(Some(Box::new(move |_, _| {
+                entered.wait();
+                gate.wait();
+                false
+            })));
+        }
+        std::thread::scope(|scope| {
+            let slow = scope.spawn(|| catalog.serve("t", "d", &q, &opts));
+            entered.wait(); // first request is inside the hook, quota slot taken
+            let shed = catalog.serve("t", "d", &q, &opts).unwrap_err();
+            assert!(matches!(shed, CatalogError::QuotaExceeded { .. }), "{shed}");
+            gate.wait(); // release the first request
+            slow.join().unwrap().unwrap();
+        });
+        assert!(catalog.stats().quota_sheds >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_spread() {
+        let dir = tempdir("shards");
+        let options = CatalogOptions::builder().shards(8).replicas(16).build();
+        let a = SnapshotCatalog::open(&dir, options);
+        let b = SnapshotCatalog::open(&dir, options);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256 {
+            let doc = format!("doc{i}");
+            let sa = a.shard_for("tenant", &doc);
+            assert_eq!(sa, b.shard_for("tenant", &doc), "placement must agree");
+            assert!(sa < 8);
+            seen.insert(sa);
+        }
+        assert!(seen.len() >= 6, "256 keys should hit most of 8 shards");
+    }
+}

@@ -1,28 +1,35 @@
-//! Batched serving on top of the compiled synopsis: a sharded,
-//! epoch-invalidated estimate cache plus [`serve_reports`] (and its
-//! legacy projection [`estimate_many`]), which fans a batch of queries
-//! out over scoped worker threads with every member still running under
-//! its own [`Meter`](crate::estimate::Meter) deadline/work-budget
-//! guard.
+//! The serving tier: batched estimation over a compiled synopsis, the
+//! sharded epoch-invalidated [`EstimateCache`], the single-document
+//! [`ServingRuntime`](runtime) admission/reload stack, and the
+//! multi-tenant [`SnapshotCatalog`] front door.
 //!
-//! ## Cache semantics
+//! The serving API is handle-based: construct a [`BatchServer`] over a
+//! [`CompiledSynopsis`] (optionally wiring in a cache, options, and a
+//! worker count), then call [`BatchServer::serve`] per batch. The
+//! historical free functions [`serve_reports`] and [`estimate_many`]
+//! remain as thin shims over the handle.
 //!
-//! Entries are keyed by the query *fingerprint* — its canonical
-//! [`Display`] rendering, which round-trips through the parser — and
-//! stamped with the [`CompiledSynopsis::epoch`] they were computed
-//! under. A lookup presents the current epoch; an entry stamped with any
-//! other epoch is treated as a miss and evicted on sight. Because epochs
-//! are process-unique and monotone, refining the synopsis and
-//! recompiling invalidates every cached estimate at once without a flush
-//! protocol, and an entry can never be served across synopsis
-//! generations.
+//! Layering, bottom-up:
 //!
-//! Only *full-fidelity* results are cached: an estimate whose meter
-//! tripped (deadline or work exhaustion) is returned to the caller but
-//! never inserted, so a transient overload cannot freeze degraded
-//! numbers into the cache.
+//! * [`cache`] — the fingerprint-keyed, epoch-stamped estimate cache.
+//! * [`BatchServer`] (this module) — fans a batch of queries out over
+//!   scoped worker threads with every member still running under its
+//!   own [`Meter`](crate::estimate::Meter) deadline/work-budget guard,
+//!   with per-fingerprint plan reuse and heavy-plan work splitting.
+//! * [`runtime`] — admission control, circuit breaking, retry/backoff,
+//!   and atomic snapshot reload for one document.
+//! * [`catalog`] — the multi-tenant snapshot catalog: `(tenant,
+//!   document)`-keyed zero-copy fault-in, consistent-hash shard
+//!   assignment, per-tenant quotas and breakers, cold-tenant eviction.
 
+pub mod cache;
+pub mod catalog;
 pub mod runtime;
+
+pub use cache::{CacheStats, EstimateCache};
+pub use catalog::{
+    CatalogError, CatalogOptions, CatalogOptionsBuilder, CatalogStats, SnapshotCatalog,
+};
 
 use std::collections::HashMap;
 // The plan handles below are the `Arc<ExpandedQuery>`s minted by the
@@ -33,7 +40,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::{Mutex, PoisonError};
 
 use crate::compiled::{CompiledSynopsis, ExpandedQuery};
@@ -42,263 +49,8 @@ use crate::estimate::{
     BoundedEstimate, EstimateOptions, EstimateReport, EvalStats, Meter, Provenance, QueryTelemetry,
 };
 use crate::telemetry;
+use cache::cached_report;
 use xtwig_query::TwigQuery;
-
-/// Number of independently locked shards. A power of two so the shard
-/// index is a mask of the fingerprint hash; 16 keeps lock contention
-/// negligible at the batch parallelism we run (≤ available cores).
-const SHARD_COUNT: usize = 16;
-
-/// One cached estimate with its provenance.
-#[derive(Debug, Clone)]
-struct Entry {
-    /// Synopsis epoch this estimate was computed under.
-    epoch: u64,
-    /// The cached full-fidelity result.
-    estimate: BoundedEstimate,
-    /// The provenance of the original computation — threading it through
-    /// the cache keeps a served hit distinguishable from a fresh run
-    /// (e.g. a clamped-but-complete "degraded-adjacent" result keeps its
-    /// `clamped` count and gains `cached: true` on the way out).
-    provenance: Provenance,
-    /// Logical timestamp of the last hit (for LRU eviction).
-    last_used: u64,
-}
-
-/// One shard: a fingerprint-keyed map plus its logical clock.
-#[derive(Debug, Default)]
-struct Shard {
-    entries: HashMap<String, Entry>,
-    tick: u64,
-}
-
-/// Aggregate cache counters, cheap enough to read per batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Lookups answered from the cache at the current epoch.
-    pub hits: u64,
-    /// Lookups that had to compute (includes stale evictions).
-    pub misses: u64,
-    /// Entries evicted because their epoch no longer matched.
-    pub stale_evictions: u64,
-    /// Entries evicted to make room for an insert into a full shard.
-    pub lru_evictions: u64,
-    /// Entries currently resident across all shards.
-    pub entries: usize,
-}
-
-impl CacheStats {
-    /// Hit rate in `[0, 1]`; `0.0` when no lookups happened.
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits.saturating_add(self.misses);
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-
-    /// Combines two snapshots field-by-field, saturating instead of
-    /// overflowing — merging stats from long-lived shards (or several
-    /// caches) must never wrap a counter back toward zero.
-    pub fn merged(&self, other: &CacheStats) -> CacheStats {
-        CacheStats {
-            hits: self.hits.saturating_add(other.hits),
-            misses: self.misses.saturating_add(other.misses),
-            stale_evictions: self.stale_evictions.saturating_add(other.stale_evictions),
-            lru_evictions: self.lru_evictions.saturating_add(other.lru_evictions),
-            entries: self.entries.saturating_add(other.entries),
-        }
-    }
-}
-
-/// A sharded, LRU-evicting, epoch-invalidated estimate cache.
-///
-/// Thread-safe: shards are individually mutex-guarded and counters are
-/// atomic, so a scoped-thread batch can probe it concurrently.
-#[derive(Debug)]
-pub struct EstimateCache {
-    shards: Vec<Mutex<Shard>>,
-    /// Per-shard entry capacity; the least-recently used entry is
-    /// evicted when a full shard takes an insert.
-    shard_capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    stale: AtomicU64,
-    lru: AtomicU64,
-}
-
-impl EstimateCache {
-    /// A cache holding at most `capacity` entries (rounded up to a
-    /// multiple of the shard count; minimum one entry per shard).
-    /// `capacity == 0` yields a *disabled* cache: every lookup misses
-    /// without touching counters and inserts are dropped, rather than
-    /// panicking or dividing by zero.
-    pub fn new(capacity: usize) -> EstimateCache {
-        EstimateCache::with_shards(capacity, SHARD_COUNT)
-    }
-
-    /// Like [`new`](EstimateCache::new) but with an explicit shard
-    /// count (rounded up to a power of two so shard selection stays a
-    /// mask). Zero capacity *or* zero shards disables the cache — a
-    /// valid configuration for "serve uncached" paths — instead of
-    /// constructing a cache that would panic on first use.
-    pub fn with_shards(capacity: usize, shards: usize) -> EstimateCache {
-        let (shards, shard_capacity) = if capacity == 0 || shards == 0 {
-            (0, 0)
-        } else {
-            let shards = shards.next_power_of_two();
-            (shards, capacity.div_ceil(shards).max(1))
-        };
-        EstimateCache {
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
-            shard_capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            stale: AtomicU64::new(0),
-            lru: AtomicU64::new(0),
-        }
-    }
-
-    /// Whether this cache can hold entries. A disabled cache (zero
-    /// capacity or zero shards) behaves as a universal miss.
-    pub fn is_enabled(&self) -> bool {
-        !self.shards.is_empty()
-    }
-
-    /// Deterministic FNV-1a over the fingerprint bytes. `HashMap`'s
-    /// default hasher is randomly seeded per process; shard selection
-    /// must not be, so runs are reproducible. Callers guard against an
-    /// empty (disabled) shard vector before indexing.
-    fn shard_of(&self, key: &str) -> usize {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in key.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        (h as usize) & (self.shards.len() - 1)
-    }
-
-    /// Looks up `key` at `epoch`, returning the cached estimate together
-    /// with the provenance of the computation that produced it. A hit
-    /// refreshes the entry's LRU stamp; an entry stamped with a
-    /// different epoch is evicted and counted as both stale and a miss.
-    pub fn get(&self, key: &str, epoch: u64) -> Option<(BoundedEstimate, Provenance)> {
-        if !self.is_enabled() {
-            return None;
-        }
-        let tg = telemetry::global();
-        let mut shard = self.shards[self.shard_of(key)]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        shard.tick += 1;
-        let tick = shard.tick;
-        match shard.entries.get_mut(key) {
-            Some(e) if e.epoch == epoch => {
-                e.last_used = tick;
-                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                tg.cache_hits.incr();
-                Some((e.estimate, e.provenance))
-            }
-            Some(_) => {
-                shard.entries.remove(key);
-                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
-                self.stale.fetch_add(1, Ordering::Relaxed);
-                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                tg.cache_stale_evictions.incr();
-                tg.cache_misses.incr();
-                None
-            }
-            None => {
-                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                tg.cache_misses.incr();
-                None
-            }
-        }
-    }
-
-    /// Inserts `estimate` (with the `provenance` of its computation)
-    /// under `key` at `epoch`, evicting the shard's least-recently-used
-    /// entry if it is full. The O(shard-size) LRU scan is deliberate:
-    /// shards are small (capacity/16) and an intrusive list is not worth
-    /// the complexity at this scale.
-    pub fn insert(&self, key: &str, epoch: u64, estimate: BoundedEstimate, provenance: Provenance) {
-        if !self.is_enabled() {
-            return;
-        }
-        let tg = telemetry::global();
-        let mut shard = self.shards[self.shard_of(key)]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        shard.tick += 1;
-        let tick = shard.tick;
-        if shard.entries.len() >= self.shard_capacity && !shard.entries.contains_key(key) {
-            let victim = shard
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone());
-            if let Some(v) = victim {
-                shard.entries.remove(&v);
-                // lint:allow(atomic-ordering): monotonic stats counter; nothing is ordered against it
-                self.lru.fetch_add(1, Ordering::Relaxed);
-                tg.cache_lru_evictions.incr();
-            }
-        }
-        tg.cache_inserts.incr();
-        shard.entries.insert(
-            key.to_owned(),
-            Entry {
-                epoch,
-                estimate,
-                provenance,
-                last_used: tick,
-            },
-        );
-    }
-
-    /// Current aggregate counters.
-    pub fn stats(&self) -> CacheStats {
-        let entries = self.shards.iter().fold(0usize, |acc, s| {
-            acc.saturating_add(
-                s.lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .entries
-                    .len(),
-            )
-        });
-        CacheStats {
-            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
-            hits: self.hits.load(Ordering::Relaxed),
-            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
-            misses: self.misses.load(Ordering::Relaxed),
-            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
-            stale_evictions: self.stale.load(Ordering::Relaxed),
-            // lint:allow(atomic-ordering): point-in-time stats snapshot; torn reads across counters are acceptable
-            lru_evictions: self.lru.load(Ordering::Relaxed),
-            entries,
-        }
-    }
-}
-
-/// Builds the report served for a cache hit: the stored estimate and
-/// the provenance of its *original* computation, re-marked as `cached`.
-/// Timings/telemetry are zeroed — the cache did no per-stage work — and
-/// there is no explain (the embeddings were not re-enumerated).
-fn cached_report(estimate: BoundedEstimate, original: Provenance) -> EstimateReport {
-    EstimateReport {
-        estimate: estimate.estimate,
-        provenance: Provenance {
-            cached: true,
-            ..original
-        },
-        telemetry: QueryTelemetry::default(),
-        explain: None,
-    }
-}
 
 /// Minimum number of embeddings before an unguarded (no deadline, no
 /// work limit) query is *split*: its embeddings fanned out across the
@@ -343,46 +95,124 @@ struct HeavyGroup {
     started: Instant,
 }
 
-/// Estimates a batch of queries over the compiled synopsis, optionally
-/// through an [`EstimateCache`], running members on up to `threads`
-/// scoped worker threads (`0` or `1` = inline on the caller). This is
-/// the full-fidelity batch surface: each result is an
-/// [`EstimateReport`] carrying provenance (including `cached` and the
-/// original computation's exhaustion/clamp counts on cache hits) and
-/// per-stage telemetry.
+/// A configured batch-serving handle over one compiled synopsis.
 ///
-/// Results come back in input order. Each member runs under its own
-/// [`Meter`](crate::estimate::Meter) built from `opts`, so a deadline or
-/// work limit bounds every query individually — one pathological twig
-/// cannot starve its batch. Degraded results (tripped meter) are
-/// returned but never cached.
+/// This is the primary serving surface: build one per (synopsis,
+/// cache, options, parallelism) configuration and call
+/// [`serve`](BatchServer::serve) per batch. The handle borrows its
+/// synopsis and cache and copies its options, so it is `Copy` — cheap
+/// to hand to scoped worker threads or reconfigure per request.
 ///
-/// ## Plan reuse
+/// ```
+/// use xtwig_core::{coarse_synopsis, BatchServer, CompiledSynopsis, EstimateCache};
+/// use xtwig_query::parse_twig;
 ///
-/// Members are grouped by query fingerprint before scheduling: each
-/// distinct twig signature is expanded and evaluated **once** per
-/// batch, and its groupmates are served either an honest cache hit
-/// (the representative's insert warms the cache) or the
-/// representative's report verbatim — TREEPARSE is deterministic given
-/// the plan and options, so recomputing the same fingerprint could
-/// only reproduce the same bits.
-///
-/// ## Work splitting
-///
-/// With multiple workers and *unguarded* options (no deadline, no work
-/// limit — the meter provably never trips, so per-embedding
-/// evaluations are independent), a group whose plan has at least
-/// [`SPLIT_THRESHOLD_DEFAULT`] embeddings is deferred: its embeddings
-/// are ticket-drawn across every worker, then folded through the same
-/// sequential clamping loop in embedding order, which keeps the total
-/// bit-identical to the single-threaded evaluation. Guarded queries
-/// never split — a meter's early-exit point depends on evaluation
-/// order, which splitting would change.
-///
-/// When `opts.explain` is set, cache *reads* are bypassed (a hit has no
-/// embeddings to explain) but full-fidelity results are still inserted,
-/// so an explain pass warms the cache for later plain requests.
-pub fn serve_reports(
+/// let doc = xtwig_xml::parse("<a><b/><b/></a>").unwrap();
+/// let s = coarse_synopsis(&doc);
+/// let cs = CompiledSynopsis::compile(&s);
+/// let cache = EstimateCache::new(1024);
+/// let server = BatchServer::new(&cs).with_cache(&cache).with_threads(4);
+/// let queries = vec![parse_twig("for $t0 in //b").unwrap()];
+/// let reports = server.serve(&queries);
+/// assert_eq!(reports.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchServer<'a, 'syn> {
+    cs: &'a CompiledSynopsis<'syn>,
+    cache: Option<&'a EstimateCache>,
+    options: EstimateOptions,
+    threads: usize,
+}
+
+impl<'a, 'syn> BatchServer<'a, 'syn> {
+    /// A handle over `cs` with no cache, default [`EstimateOptions`],
+    /// and inline (single-threaded) execution.
+    pub fn new(cs: &'a CompiledSynopsis<'syn>) -> BatchServer<'a, 'syn> {
+        BatchServer {
+            cs,
+            cache: None,
+            options: EstimateOptions::default(),
+            threads: 1,
+        }
+    }
+
+    /// Serves through `cache` (epoch-checked; degraded results are
+    /// never inserted).
+    pub fn with_cache(self, cache: &'a EstimateCache) -> BatchServer<'a, 'syn> {
+        BatchServer {
+            cache: Some(cache),
+            ..self
+        }
+    }
+
+    /// Serves under `options` — each batch member gets its own
+    /// [`Meter`](crate::estimate::Meter) built from them.
+    pub fn with_options(self, options: EstimateOptions) -> BatchServer<'a, 'syn> {
+        BatchServer { options, ..self }
+    }
+
+    /// Fans batches out over up to `threads` scoped worker threads
+    /// (`0` or `1` = inline on the caller).
+    pub fn with_threads(self, threads: usize) -> BatchServer<'a, 'syn> {
+        BatchServer { threads, ..self }
+    }
+
+    /// The compiled synopsis this handle serves from.
+    pub fn synopsis(&self) -> &'a CompiledSynopsis<'syn> {
+        self.cs
+    }
+
+    /// Estimates a batch of queries, returning full-fidelity
+    /// [`EstimateReport`]s in input order.
+    ///
+    /// Each member runs under its own meter built from the handle's
+    /// options, so a deadline or work limit bounds every query
+    /// individually — one pathological twig cannot starve its batch.
+    /// Degraded results (tripped meter) are returned but never cached.
+    ///
+    /// ## Plan reuse
+    ///
+    /// Members are grouped by query fingerprint before scheduling: each
+    /// distinct twig signature is expanded and evaluated **once** per
+    /// batch, and its groupmates are served either an honest cache hit
+    /// (the representative's insert warms the cache) or the
+    /// representative's report verbatim — TREEPARSE is deterministic
+    /// given the plan and options, so recomputing the same fingerprint
+    /// could only reproduce the same bits.
+    ///
+    /// ## Work splitting
+    ///
+    /// With multiple workers and *unguarded* options (no deadline, no
+    /// work limit — the meter provably never trips, so per-embedding
+    /// evaluations are independent), a group whose plan has at least
+    /// [`SPLIT_THRESHOLD_DEFAULT`] embeddings is deferred: its
+    /// embeddings are ticket-drawn across every worker, then folded
+    /// through the same sequential clamping loop in embedding order,
+    /// which keeps the total bit-identical to the single-threaded
+    /// evaluation. Guarded queries never split — a meter's early-exit
+    /// point depends on evaluation order, which splitting would change.
+    ///
+    /// When the options request an explain, cache *reads* are bypassed
+    /// (a hit has no embeddings to explain) but full-fidelity results
+    /// are still inserted, so an explain pass warms the cache for later
+    /// plain requests.
+    pub fn serve(&self, queries: &[TwigQuery]) -> Vec<EstimateReport> {
+        serve_batch(self.cs, queries, &self.options, self.cache, self.threads)
+    }
+
+    /// Estimates a batch, returning only the [`BoundedEstimate`]
+    /// projection of each result (bit-identical to the corresponding
+    /// [`serve`](BatchServer::serve) reports).
+    pub fn estimate(&self, queries: &[TwigQuery]) -> Vec<BoundedEstimate> {
+        self.serve(queries)
+            .iter()
+            .map(EstimateReport::bounded)
+            .collect()
+    }
+}
+
+/// The batch engine behind [`BatchServer::serve`].
+fn serve_batch(
     cs: &CompiledSynopsis<'_>,
     queries: &[TwigQuery],
     opts: &EstimateOptions,
@@ -647,13 +477,38 @@ fn finish(slots: Vec<Option<EstimateReport>>) -> Vec<EstimateReport> {
         .collect()
 }
 
+/// Estimates a batch of queries over the compiled synopsis, optionally
+/// through an [`EstimateCache`], running members on up to `threads`
+/// scoped worker threads.
+///
+/// **Deprecated surface.** This is a thin shim over
+/// [`BatchServer::serve`], kept for callers that predate the
+/// handle-based serving API; the results are bit-identical. New code
+/// should construct a [`BatchServer`] once and serve through it.
+pub fn serve_reports(
+    cs: &CompiledSynopsis<'_>,
+    queries: &[TwigQuery],
+    opts: &EstimateOptions,
+    cache: Option<&EstimateCache>,
+    threads: usize,
+) -> Vec<EstimateReport> {
+    let mut server = BatchServer::new(cs)
+        .with_options(*opts)
+        .with_threads(threads);
+    if let Some(c) = cache {
+        server = server.with_cache(c);
+    }
+    server.serve(queries)
+}
+
 /// Estimates a batch of queries, returning only the legacy
 /// [`BoundedEstimate`] projection of each result.
 ///
-/// **Deprecated surface.** This is a thin shim over [`serve_reports`],
-/// kept for callers that predate the unified [`Estimator`] API; the
-/// projection is bit-identical to what this function always returned.
-/// New code should call [`serve_reports`] (or the
+/// **Deprecated surface.** This is a thin shim over
+/// [`BatchServer::estimate`], kept for callers that predate the unified
+/// [`Estimator`](crate::estimate::Estimator) API; the projection is
+/// bit-identical to what this function always returned. New code
+/// should construct a [`BatchServer`] (or use the
 /// [`Estimator`](crate::estimate::Estimator) trait for single queries)
 /// and read provenance from the report. `xtask lint` rule
 /// `legacy-estimate` ratchets remaining callers.
@@ -700,15 +555,15 @@ mod tests {
         let (doc, queries) = setup();
         let s = coarse_synopsis(&doc);
         let cs = CompiledSynopsis::compile(&s);
-        let opts = EstimateOptions::default();
         let cache = EstimateCache::new(64);
-        let serial = estimate_many(&cs, &queries, &opts, None, 1);
-        let batched = estimate_many(&cs, &queries, &opts, Some(&cache), 4);
+        let serial = BatchServer::new(&cs).estimate(&queries);
+        let parallel = BatchServer::new(&cs).with_cache(&cache).with_threads(4);
+        let batched = parallel.estimate(&queries);
         for (a, b) in serial.iter().zip(&batched) {
             assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
         }
         // Second pass: everything answered from cache.
-        let again = estimate_many(&cs, &queries, &opts, Some(&cache), 4);
+        let again = parallel.estimate(&queries);
         for (a, b) in batched.iter().zip(&again) {
             assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
         }
@@ -718,14 +573,29 @@ mod tests {
     }
 
     #[test]
-    fn cache_hits_carry_original_provenance() {
+    fn shims_match_the_handle_bit_for_bit() {
         let (doc, queries) = setup();
         let s = coarse_synopsis(&doc);
         let cs = CompiledSynopsis::compile(&s);
         let opts = EstimateOptions::default();
+        let via_handle = BatchServer::new(&cs).serve(&queries);
+        let via_shim = serve_reports(&cs, &queries, &opts, None, 1);
+        let via_legacy = estimate_many(&cs, &queries, &opts, None, 1);
+        for ((a, b), c) in via_handle.iter().zip(&via_shim).zip(&via_legacy) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            assert_eq!(a.estimate.to_bits(), c.estimate.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_hits_carry_original_provenance() {
+        let (doc, queries) = setup();
+        let s = coarse_synopsis(&doc);
+        let cs = CompiledSynopsis::compile(&s);
         let cache = EstimateCache::new(64);
-        let cold = serve_reports(&cs, &queries[..1], &opts, Some(&cache), 1);
-        let warm = serve_reports(&cs, &queries[..1], &opts, Some(&cache), 1);
+        let server = BatchServer::new(&cs).with_cache(&cache);
+        let cold = server.serve(&queries[..1]);
+        let warm = server.serve(&queries[..1]);
         assert!(!cold[0].provenance.cached);
         assert!(warm[0].provenance.cached, "second pass must be a hit");
         // The hit keeps the original computation's outcome fields, so a
@@ -746,80 +616,18 @@ mod tests {
         let cs = CompiledSynopsis::compile(&s);
         let cache = EstimateCache::new(64);
         let explain_opts = EstimateOptions::builder().explain(true).build();
-        let a = serve_reports(&cs, &queries[..1], &explain_opts, Some(&cache), 1);
-        let b = serve_reports(&cs, &queries[..1], &explain_opts, Some(&cache), 1);
+        let explain_server = BatchServer::new(&cs)
+            .with_options(explain_opts)
+            .with_cache(&cache);
+        let a = explain_server.serve(&queries[..1]);
+        let b = explain_server.serve(&queries[..1]);
         assert!(a[0].explain.is_some() && b[0].explain.is_some());
         assert!(!b[0].provenance.cached, "explain always recomputes");
         // ... but the explain pass still inserted, so a plain request hits.
-        let plain = serve_reports(
-            &cs,
-            &queries[..1],
-            &EstimateOptions::default(),
-            Some(&cache),
-            1,
-        );
+        let plain = BatchServer::new(&cs)
+            .with_cache(&cache)
+            .serve(&queries[..1]);
         assert!(plain[0].provenance.cached);
-    }
-
-    #[test]
-    fn stale_epoch_is_never_served() {
-        let (doc, _) = setup();
-        let s = coarse_synopsis(&doc);
-        let old = CompiledSynopsis::compile(&s);
-        let new = CompiledSynopsis::compile(&s);
-        let cache = EstimateCache::new(8);
-        let sentinel = BoundedEstimate {
-            estimate: 1234.5,
-            exhaustion: None,
-            embeddings: 1,
-            work: 1,
-            clamped: 0,
-        };
-        cache.insert(
-            "q",
-            old.epoch(),
-            sentinel,
-            Provenance::new("xsketch-compiled"),
-        );
-        assert!(cache.get("q", old.epoch()).is_some());
-        // Same key at the fresh epoch: stale entry evicted, not served.
-        assert!(cache.get("q", new.epoch()).is_none());
-        assert!(cache.get("q", old.epoch()).is_none(), "evicted on sight");
-        let stats = cache.stats();
-        assert_eq!(stats.stale_evictions, 1);
-    }
-
-    #[test]
-    fn lru_eviction_keeps_recent_entries() {
-        let cache = EstimateCache::new(SHARD_COUNT); // capacity 1 per shard
-        let b = BoundedEstimate {
-            estimate: 1.0,
-            exhaustion: None,
-            embeddings: 1,
-            work: 1,
-            clamped: 0,
-        };
-        // Two keys in the same shard: the second insert evicts the first.
-        let (mut k1, mut k2) = (None, None);
-        for i in 0..1000 {
-            let k = format!("q{i}");
-            let shard = cache.shard_of(&k);
-            if shard == 0 {
-                if k1.is_none() {
-                    k1 = Some(k);
-                } else if k2.is_none() {
-                    k2 = Some(k);
-                    break;
-                }
-            }
-        }
-        let (k1, k2) = (k1.unwrap(), k2.unwrap());
-        let prov = Provenance::new("xsketch-compiled");
-        cache.insert(&k1, 1, b, prov);
-        cache.insert(&k2, 1, b, prov);
-        assert!(cache.get(&k1, 1).is_none(), "LRU victim");
-        assert!(cache.get(&k2, 1).is_some());
-        assert_eq!(cache.stats().lru_evictions, 1);
     }
 
     #[test]
@@ -832,7 +640,10 @@ mod tests {
             work_limit: 1,
             ..Default::default()
         };
-        let out = estimate_many(&cs, &queries[..1], &tight, Some(&cache), 1);
+        let out = BatchServer::new(&cs)
+            .with_options(tight)
+            .with_cache(&cache)
+            .estimate(&queries[..1]);
         assert!(out[0].exhaustion.is_some());
         assert_eq!(cache.stats().entries, 0, "degraded result must not stick");
     }

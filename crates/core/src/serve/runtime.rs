@@ -440,7 +440,7 @@ impl Default for BackoffPolicy {
 
 /// SplitMix64: a tiny, high-quality mixing function — enough for
 /// backoff jitter without dragging in an RNG dependency.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -14,7 +14,11 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::Duration;
 use xtwig_core::estimate::{EstimateRequest, Estimator};
-use xtwig_core::{coarse_synopsis, load_synopsis, save_synopsis, SnapshotError, Synopsis};
+use xtwig_core::{
+    coarse_synopsis, load_synopsis, save_synopsis, BatchServer, BreakerConfig, CatalogError,
+    CatalogOptions, CatalogStats, CompiledSynopsis, EstimateOptions, SnapshotCatalog,
+    SnapshotError, Synopsis,
+};
 use xtwig_query::TwigQuery;
 use xtwig_xml::Document;
 
@@ -811,6 +815,303 @@ pub fn run_soak(
     report
 }
 
+/// Knobs for the multi-tenant catalog soak. Defaults are sized so the
+/// run finishes in seconds while still forcing a cold stampede, an
+/// eviction pass, and a full breaker open → shed → recover cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogSoakOptions {
+    /// Tenants published into the catalog (≥ 3: one stampede target,
+    /// one breaker victim, at least one healthy bystander).
+    pub tenants: usize,
+    /// Threads racing the cold-tenant stampede.
+    pub stampede_threads: usize,
+    /// Serve calls per healthy tenant during the victim's panic burst.
+    pub requests_per_tenant: usize,
+    /// Catalog configuration (quota, breaker, residency bound, …).
+    pub catalog: CatalogOptions,
+}
+
+impl Default for CatalogSoakOptions {
+    fn default() -> CatalogSoakOptions {
+        CatalogSoakOptions {
+            tenants: 4,
+            stampede_threads: 8,
+            requests_per_tenant: 8,
+            catalog: CatalogOptions::builder()
+                .max_resident(2)
+                .breaker(BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown: Duration::from_millis(50),
+                })
+                .build(),
+        }
+    }
+}
+
+/// The aggregate result of [`run_catalog_soak`]. Every field feeds one
+/// of the acceptance invariants; [`MultiTenantSoakReport::passed`]
+/// checks them all.
+#[derive(Debug, Clone)]
+pub struct MultiTenantSoakReport {
+    /// Tenants published and served.
+    pub tenants: usize,
+    /// Total serve calls issued across all phases.
+    pub requests: u64,
+    /// Threads that raced the cold stampede.
+    pub stampede_threads: usize,
+    /// Disk loads observed during the stampede (must be exactly 1 —
+    /// the slot mutex collapses the herd onto one fault-in).
+    pub stampede_cold_loads: u64,
+    /// Serve calls on the victim tenant that came back
+    /// [`CatalogError::Faulted`] (must reach the breaker threshold).
+    pub victim_faults: u64,
+    /// Whether the victim's breaker was observed open after the burst.
+    pub victim_breaker_opened: bool,
+    /// Whether the victim was shed at admission while its breaker was
+    /// open ([`CatalogError::BreakerOpen`]).
+    pub victim_shed_while_open: bool,
+    /// Whether the victim served successfully again after the cooldown
+    /// (the half-open probe re-closed its breaker).
+    pub victim_recovered: bool,
+    /// Errors of any kind returned to healthy tenants during the
+    /// victim's burst (must be 0 — isolation means bystanders never
+    /// feel the victim's breaker or faults).
+    pub healthy_errors: u64,
+    /// Healthy-tenant estimates that were non-finite, negative, or not
+    /// bit-identical to a fresh single-tenant [`BatchServer`] on the
+    /// same synopsis (must be 0).
+    pub bad_estimates: u64,
+    /// Documents evicted to respect the residency bound (must be > 0
+    /// when `tenants` exceeds `max_resident`).
+    pub evictions: u64,
+    /// Final catalog counters.
+    pub stats: CatalogStats,
+}
+
+impl MultiTenantSoakReport {
+    /// Whether every acceptance invariant held.
+    pub fn passed(&self) -> bool {
+        self.stampede_cold_loads == 1
+            && self.victim_faults > 0
+            && self.victim_breaker_opened
+            && self.victim_shed_while_open
+            && self.victim_recovered
+            && self.healthy_errors == 0
+            && self.bad_estimates == 0
+            && (self.stats.resident <= self.tenants && self.evictions > 0
+                || self.tenants <= self.stats.resident)
+    }
+}
+
+impl std::fmt::Display for MultiTenantSoakReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "catalog soak: {} tenants, {} requests, stampede {} threads → {} cold loads, \
+             victim {} faults (opened={} shed={} recovered={}), \
+             {} healthy errors, {} bad estimates, {} evictions",
+            self.tenants,
+            self.requests,
+            self.stampede_threads,
+            self.stampede_cold_loads,
+            self.victim_faults,
+            self.victim_breaker_opened,
+            self.victim_shed_while_open,
+            self.victim_recovered,
+            self.healthy_errors,
+            self.bad_estimates,
+            self.evictions
+        )
+    }
+}
+
+/// Runs the multi-tenant catalog soak: publish a document per tenant
+/// into a [`SnapshotCatalog`] rooted at `dir`, then drive three
+/// phases whose invariants prove the catalog's isolation story.
+///
+/// 1. **Cold stampede** — `stampede_threads` threads race the first
+///    request to a cold tenant. The slot mutex must collapse the herd
+///    onto exactly one disk load, and every thread's reports must be
+///    bit-identical to a fresh [`BatchServer`] on the same synopsis.
+/// 2. **Victim burst** — a fault hook makes every serve for one
+///    tenant panic. The victim's breaker must open and shed it at
+///    admission, while concurrently served healthy tenants complete
+///    with zero errors and bit-identical estimates.
+/// 3. **Recovery** — after the breaker cooldown the victim's
+///    half-open probe must succeed and re-close its breaker.
+///
+/// Deterministic in its *invariants*: thread interleavings vary, but
+/// the counters checked by [`MultiTenantSoakReport::passed`] must land
+/// on the same values for any schedule.
+pub fn run_catalog_soak(
+    doc: &Document,
+    queries: &[TwigQuery],
+    dir: &std::path::Path,
+    options: &CatalogSoakOptions,
+) -> MultiTenantSoakReport {
+    let synopsis = coarse_synopsis(doc);
+    let tenants = options.tenants.max(3);
+    let catalog = SnapshotCatalog::open(dir, options.catalog);
+    let opts = EstimateOptions::default();
+    let tenant_name = |i: usize| format!("tenant-{i}");
+
+    let mut report = MultiTenantSoakReport {
+        tenants,
+        requests: 0,
+        stampede_threads: options.stampede_threads.max(2),
+        stampede_cold_loads: 0,
+        victim_faults: 0,
+        victim_breaker_opened: false,
+        victim_shed_while_open: false,
+        victim_recovered: false,
+        healthy_errors: 0,
+        bad_estimates: 0,
+        evictions: 0,
+        stats: catalog.stats(),
+    };
+    if queries.is_empty() {
+        return report;
+    }
+
+    // The bit-identity reference: a fresh single-tenant server over
+    // the same synopsis. Catalog serving must not perturb a single bit.
+    let compiled = CompiledSynopsis::compile(&synopsis);
+    let reference: Vec<f64> = BatchServer::new(&compiled)
+        .with_options(opts)
+        .serve(queries)
+        .iter()
+        .map(|r| r.estimate)
+        .collect();
+    let check_batch = |reports: &[xtwig_core::EstimateReport]| -> u64 {
+        let mut bad = 0u64;
+        for (r, want) in reports.iter().zip(&reference) {
+            if !r.estimate.is_finite() || r.estimate < 0.0 || r.estimate.to_bits() != want.to_bits()
+            {
+                bad += 1;
+            }
+        }
+        bad
+    };
+
+    // Phase 0: publish every tenant's document.
+    for i in 0..tenants {
+        if catalog.publish(&tenant_name(i), "main", &synopsis).is_err() {
+            report.healthy_errors += 1;
+            return report;
+        }
+    }
+
+    // Phase 1: cold stampede against tenant 0.
+    let before = catalog.stats();
+    let stampede_bad = std::sync::atomic::AtomicU64::new(0);
+    let stampede_errs = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..report.stampede_threads {
+            scope.spawn(
+                || match catalog.serve(&tenant_name(0), "main", queries, &opts) {
+                    Ok(reports) => {
+                        stampede_bad
+                            .fetch_add(check_batch(&reports), std::sync::atomic::Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        stampede_errs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                },
+            );
+        }
+    });
+    report.requests += report.stampede_threads as u64;
+    report.bad_estimates += stampede_bad.into_inner();
+    report.healthy_errors += stampede_errs.into_inner();
+    report.stampede_cold_loads = catalog.stats().cold_loads - before.cold_loads;
+
+    // Phase 2: panic burst on the victim while healthy tenants serve.
+    let victim = tenant_name(1);
+    {
+        let hooked = victim.clone();
+        catalog.set_fault_hook(Some(Box::new(move |tenant, _doc| tenant == hooked)));
+    }
+    let burst = options.catalog.breaker.failure_threshold as usize + 2;
+    let healthy_errs = std::sync::atomic::AtomicU64::new(0);
+    let healthy_bad = std::sync::atomic::AtomicU64::new(0);
+    let victim_faults = std::sync::atomic::AtomicU64::new(0);
+    let victim_shed = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for _ in 0..burst {
+                match catalog.serve(&victim, "main", queries, &opts) {
+                    Err(CatalogError::Faulted { .. }) => {
+                        victim_faults.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    Err(CatalogError::BreakerOpen { .. }) => {
+                        victim_shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+        });
+        for i in 2..tenants {
+            let name = tenant_name(i);
+            let healthy_errs = &healthy_errs;
+            let healthy_bad = &healthy_bad;
+            let catalog = &catalog;
+            let opts = &opts;
+            let check_batch = &check_batch;
+            scope.spawn(move || {
+                for _ in 0..options.requests_per_tenant.max(1) {
+                    match catalog.serve(&name, "main", queries, opts) {
+                        Ok(reports) => {
+                            healthy_bad.fetch_add(
+                                check_batch(&reports),
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                        }
+                        Err(_) => {
+                            healthy_errs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    report.requests +=
+        burst as u64 + (tenants - 2) as u64 * options.requests_per_tenant.max(1) as u64;
+    report.victim_faults = victim_faults.into_inner();
+    report.healthy_errors += healthy_errs.into_inner();
+    report.bad_estimates += healthy_bad.into_inner();
+    report.victim_breaker_opened =
+        catalog.breaker_state(&victim) == Some(xtwig_core::BreakerState::Open);
+    // The burst oversubscribes the threshold, so at least one call must
+    // have been shed at admission; confirm with one more while open.
+    report.victim_shed_while_open = victim_shed.into_inner() > 0
+        || matches!(
+            catalog.serve(&victim, "main", queries, &opts),
+            Err(CatalogError::BreakerOpen { .. })
+        );
+    if report.victim_shed_while_open {
+        report.requests += 1;
+    }
+
+    // Phase 3: recovery. Clear the hook, let the cooldown elapse, and
+    // the victim's half-open probe must re-close its breaker.
+    catalog.set_fault_hook(None);
+    std::thread::sleep(options.catalog.breaker.cooldown + Duration::from_millis(5));
+    match catalog.serve(&victim, "main", queries, &opts) {
+        Ok(reports) => {
+            report.victim_recovered =
+                catalog.breaker_state(&victim) == Some(xtwig_core::BreakerState::Closed);
+            report.bad_estimates += check_batch(&reports);
+        }
+        Err(_) => report.victim_recovered = false,
+    }
+    report.requests += 1;
+
+    let stats = catalog.stats();
+    report.evictions = stats.evictions;
+    report.stats = stats;
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -934,5 +1235,36 @@ mod tests {
         assert!(report.total_rejections() > 0, "{report}");
         assert_eq!(report.total_rebuilds(), report.total_rejections());
         assert!(report.total_degraded() > 0, "{report}");
+    }
+
+    #[test]
+    fn catalog_soak_passes() {
+        let d = doc();
+        let queries: Vec<TwigQuery> = [
+            "for $t0 in //author, $t1 in $t0/paper",
+            "for $t0 in //paper, $t1 in $t0/kw",
+            "for $t0 in //kw",
+        ]
+        .iter()
+        .map(|t| parse_twig(t).unwrap())
+        .collect();
+        let dir = std::env::temp_dir().join(format!("xtwig-catalog-soak-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = CatalogSoakOptions::default();
+        // The victim's injected panics are expected; keep the log quiet.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = run_catalog_soak(&d, &queries, &dir, &options);
+        std::panic::set_hook(prev);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(report.stampede_cold_loads, 1, "{report}");
+        assert_eq!(report.healthy_errors, 0, "{report}");
+        assert_eq!(report.bad_estimates, 0, "{report}");
+        assert!(report.victim_breaker_opened, "{report}");
+        assert!(report.victim_shed_while_open, "{report}");
+        assert!(report.victim_recovered, "{report}");
+        // 4 tenants > max_resident 2 ⇒ eviction churn must fire.
+        assert!(report.evictions > 0, "{report}");
+        assert!(report.passed(), "{report}");
     }
 }

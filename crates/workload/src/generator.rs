@@ -296,11 +296,10 @@ fn attach_branch_preds(
         // Attach to the last step of t's path.
         let path = q.path(t).clone();
         let mut steps = path.steps;
-        steps
-            .last_mut()
-            .expect("paths are non-empty")
-            .preds
-            .push(Pred::branch(branch));
+        let Some(last) = steps.last_mut() else {
+            continue; // paths are non-empty by construction
+        };
+        last.preds.push(Pred::branch(branch));
         replace_path(q, t, PathExpr::new(steps));
     }
 }
@@ -341,7 +340,9 @@ fn attach_value_preds(
         let Some(&(lo, hi)) = domains.get(&label) else {
             continue;
         };
-        let witness = doc.value(c).expect("valued child");
+        let Some(witness) = doc.value(c) else {
+            continue; // `c` was drawn from the valued-children filter
+        };
         let width = (((hi - lo) as f64 * 0.10).ceil() as i64).max(1);
         let start_max = (hi - width).max(lo);
         let start = if rng.random_bool(0.7) {
@@ -358,10 +359,10 @@ fn attach_value_preds(
         };
         let path = q.path(t).clone();
         let mut steps = path.steps;
-        steps
-            .last_mut()
-            .expect("paths are non-empty")
-            .preds
+        let Some(last) = steps.last_mut() else {
+            continue; // paths are non-empty by construction
+        };
+        last.preds
             .push(Pred::branch_value(PathExpr::child(doc.tag(c)), range));
         replace_path(q, t, PathExpr::new(steps));
         attached += 1;
@@ -379,7 +380,8 @@ fn replace_path(q: &mut TwigQuery, t: usize, path: PathExpr) {
     });
     let mut map = vec![0usize; q.len()];
     for i in 1..q.len() {
-        let parent = map[q.parent(i).expect("non-root")];
+        // Every i >= 1 has a parent; the root fallback is unreachable.
+        let parent = map[q.parent(i).unwrap_or(0)];
         let p = if i == t {
             path.clone()
         } else {

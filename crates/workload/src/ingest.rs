@@ -813,6 +813,20 @@ impl IngestStore {
         runtime.reload_snapshot_bytes(&self.snapshot_bytes())
     }
 
+    /// Publishes the maintained synopsis into a multi-tenant
+    /// [`SnapshotCatalog`](xtwig_core::SnapshotCatalog) as a format-v3
+    /// (zero-copy) snapshot under `(tenant, document)`, atomically
+    /// installing the file and invalidating any resident copy. Returns
+    /// the snapshot size in bytes.
+    pub fn publish_to_catalog(
+        &self,
+        catalog: &xtwig_core::SnapshotCatalog,
+        tenant: &str,
+        document: &str,
+    ) -> Result<u64, xtwig_core::CatalogError> {
+        catalog.publish(tenant, document, &self.synopsis)
+    }
+
     /// The maintained synopsis serialized as CRC-framed snapshot bytes.
     pub fn snapshot_bytes(&self) -> Vec<u8> {
         save_synopsis(&self.synopsis)

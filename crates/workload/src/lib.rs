@@ -29,8 +29,9 @@ pub use estimator::{
     CompiledXsketchEstimator, CstEstimator, MarkovEstimator, SummaryEstimator, XsketchEstimator,
 };
 pub use faults::{
-    apply_snapshot_fault, run_fault_plan, run_soak, Fault, FaultOutcome, FaultPlan, FaultReport,
-    RuntimeFault, SoakPhase, SoakPlan, SoakReport,
+    apply_snapshot_fault, run_catalog_soak, run_fault_plan, run_soak, CatalogSoakOptions, Fault,
+    FaultOutcome, FaultPlan, FaultReport, MultiTenantSoakReport, RuntimeFault, SoakPhase, SoakPlan,
+    SoakReport,
 };
 pub use generator::{
     generate_workload, negative_workload, workload_stats, Workload, WorkloadKind, WorkloadSpec,
@@ -46,6 +47,7 @@ pub use guarded::{
     GuardedEstimator, InjectedFault, Tier, TierAttempt, TierBreakers, TierFailure,
 };
 pub use runtime::{
-    RuntimeOptions, RuntimeResult, RuntimeStats, ServingRuntime, TerminalProvenance,
+    RuntimeOptions, RuntimeOptionsBuilder, RuntimeResult, RuntimeStats, ServingRuntime,
+    TerminalProvenance,
 };
 pub use sweep::{sweep_cst, sweep_xsketch, SweepOptions, SweepPoint};

@@ -61,7 +61,13 @@ pub struct Generation {
 /// Runtime tuning. Every knob has a serving-sensible default; the soak
 /// harness shrinks queue depth and breaker thresholds to force the
 /// interesting transitions within a test run.
+///
+/// `#[non_exhaustive]`: construct through [`RuntimeOptions::default`]
+/// or [`RuntimeOptions::builder`] (mirroring
+/// [`EstimateOptions::builder`](xtwig_core::EstimateOptions::builder))
+/// so future knobs are not breaking changes.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct RuntimeOptions {
     /// Bounded work-queue depth (minimum one).
     pub queue_depth: usize,
@@ -94,6 +100,82 @@ impl Default for RuntimeOptions {
             breaker: xtwig_core::BreakerConfig::default(),
             policy: GuardPolicy::default(),
         }
+    }
+}
+
+impl RuntimeOptions {
+    /// A builder seeded with the defaults.
+    pub fn builder() -> RuntimeOptionsBuilder {
+        RuntimeOptionsBuilder {
+            opts: RuntimeOptions::default(),
+        }
+    }
+
+    /// A builder seeded with this value (for tweaking a base config).
+    pub fn to_builder(self) -> RuntimeOptionsBuilder {
+        RuntimeOptionsBuilder { opts: self }
+    }
+}
+
+/// Builder for [`RuntimeOptions`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptionsBuilder {
+    opts: RuntimeOptions,
+}
+
+impl RuntimeOptionsBuilder {
+    /// Sets the bounded work-queue depth (minimum one, enforced at
+    /// queue construction).
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.opts.queue_depth = n;
+        self
+    }
+
+    /// Sets the full-queue shedding policy.
+    pub fn shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.opts.shed_policy = policy;
+        self
+    }
+
+    /// Sets the worker-thread count (minimum one, enforced at serve).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.opts.workers = n;
+        self
+    }
+
+    /// Sets or clears the per-request wall-clock budget.
+    pub fn request_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.opts.request_timeout = timeout;
+        self
+    }
+
+    /// Sets the retry budget after a degraded answer.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.opts.max_retries = n;
+        self
+    }
+
+    /// Sets the backoff schedule between retries.
+    pub fn backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.opts.backoff = backoff;
+        self
+    }
+
+    /// Sets the per-tier breaker tuning.
+    pub fn breaker(mut self, config: xtwig_core::BreakerConfig) -> Self {
+        self.opts.breaker = config;
+        self
+    }
+
+    /// Sets the guarded-chain budgets.
+    pub fn policy(mut self, policy: GuardPolicy) -> Self {
+        self.opts.policy = policy;
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> RuntimeOptions {
+        self.opts
     }
 }
 
@@ -196,6 +278,9 @@ impl RuntimeStats {
 /// [`serve_with`](ServingRuntime::serve_with) for the request path.
 pub struct ServingRuntime {
     options: RuntimeOptions,
+    /// The tenant this runtime serves (single-document runtimes inside
+    /// a multi-tenant catalog deployment; `"default"` when standalone).
+    tenant: String,
     generation: RwLock<Arc<Generation>>,
     epoch: AtomicU64,
     breakers: TierBreakers,
@@ -207,16 +292,34 @@ pub struct ServingRuntime {
 }
 
 impl ServingRuntime {
-    /// A runtime serving `synopsis` under `options`.
+    /// A runtime serving `synopsis` under `options` for the standalone
+    /// `"default"` tenant.
     pub fn new(synopsis: Synopsis, options: RuntimeOptions) -> ServingRuntime {
+        ServingRuntime::new_for_tenant("default", synopsis, options)
+    }
+
+    /// A runtime serving `synopsis` for a named tenant — the shape a
+    /// multi-tenant catalog deployment uses, where each tenant's
+    /// breaker/queue state must stay isolated in its own runtime.
+    pub fn new_for_tenant(
+        tenant: impl Into<String>,
+        synopsis: Synopsis,
+        options: RuntimeOptions,
+    ) -> ServingRuntime {
         ServingRuntime {
             breakers: TierBreakers::new(options.breaker),
             options,
+            tenant: tenant.into(),
             generation: RwLock::new(Arc::new(Generation { synopsis, epoch: 0 })),
             epoch: AtomicU64::new(0),
             fault_bursts: Mutex::new(std::collections::VecDeque::new()),
             counters: RuntimeCounters::default(),
         }
+    }
+
+    /// The tenant this runtime serves.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
     }
 
     /// The options in force.

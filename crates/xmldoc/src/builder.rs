@@ -39,7 +39,11 @@ impl DocumentBuilder {
     /// Panics when opening a second root.
     pub fn open(&mut self, tag: &str, value: Option<i64>) -> NodeId {
         let label = self.labels.intern(tag);
-        let id = u32::try_from(self.elems.len()).expect("document too large");
+        assert!(
+            u32::try_from(self.elems.len()).is_ok(),
+            "document too large"
+        );
+        let id = self.elems.len() as u32;
         let parent = match self.open.last() {
             Some(&(p, _)) => p,
             None => {
@@ -71,7 +75,7 @@ impl DocumentBuilder {
     /// # Panics
     /// Panics when no element is open.
     pub fn close(&mut self) {
-        self.open.pop().expect("close() without matching open()");
+        assert!(self.open.pop().is_some(), "close() without matching open()");
     }
 
     /// Overwrites the value of the innermost open element.

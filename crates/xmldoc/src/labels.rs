@@ -47,7 +47,11 @@ impl LabelTable {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
-        let id = LabelId(u16::try_from(self.names.len()).expect("too many distinct labels"));
+        assert!(
+            u16::try_from(self.names.len()).is_ok(),
+            "too many distinct labels"
+        );
+        let id = LabelId(self.names.len() as u16);
         self.names.push(name.to_owned());
         self.by_name.insert(name.to_owned(), id);
         id

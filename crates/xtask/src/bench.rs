@@ -13,6 +13,8 @@
 //! | per-dataset `batch_cold_qps`| ≥ baseline × 0.35           |
 //! | per-dataset `expand_us_p95` | ≤ baseline × 4.00           |
 //! | per-dataset `eval_us_p95`   | ≤ baseline × 4.00           |
+//! | per-dataset `cold_load_speedup` | ≥ baseline × 0.75       |
+//! | per-dataset `multi_tenant_qps`  | ≥ baseline × 0.35       |
 //!
 //! The bands are deliberately loose — shared CI runners jitter — while
 //! still catching the step-function regressions that matter: a lost
@@ -48,6 +50,8 @@ struct DatasetMetrics {
     batch_cold_qps: Option<f64>,
     expand_us_p95: Option<f64>,
     eval_us_p95: Option<f64>,
+    cold_load_speedup: Option<f64>,
+    multi_tenant_qps: Option<f64>,
 }
 
 /// The whole report, as far as the ratchet cares.
@@ -197,6 +201,22 @@ pub fn run(args: &[String]) -> ExitCode {
             P95_TOLERANCE,
             &mut fail,
         );
+        check_floor(
+            &base_ds.name,
+            "cold_load_speedup",
+            cur_ds.cold_load_speedup,
+            base_ds.cold_load_speedup,
+            SPEEDUP_TOLERANCE,
+            &mut fail,
+        );
+        check_floor(
+            &base_ds.name,
+            "multi_tenant_qps",
+            cur_ds.multi_tenant_qps,
+            base_ds.multi_tenant_qps,
+            COLD_QPS_TOLERANCE,
+            &mut fail,
+        );
     }
 
     if failures > 0 {
@@ -280,6 +300,8 @@ fn parse_report(text: &str) -> BenchReport {
             batch_cold_qps: extract_number(&obj, "batch_cold_qps"),
             expand_us_p95: extract_number(&obj, "expand_us_p95"),
             eval_us_p95: extract_number(&obj, "eval_us_p95"),
+            cold_load_speedup: extract_number(&obj, "cold_load_speedup"),
+            multi_tenant_qps: extract_number(&obj, "multi_tenant_qps"),
         })
         .collect();
     // Top-level fields live after the datasets array; searching the
@@ -348,7 +370,7 @@ mod tests {
     const SAMPLE: &str = r#"{
   "bench": "estimation_serve",
   "datasets": [
-    {"name": "XMark", "queries": 50, "speedup": 2.845, "expand_us_p95": 3.10, "eval_us_p95": 12.00, "batch_cold_qps": 42000.5, "mismatches": 0},
+    {"name": "XMark", "queries": 50, "speedup": 2.845, "expand_us_p95": 3.10, "eval_us_p95": 12.00, "batch_cold_qps": 42000.5, "cold_load_speedup": 3.2, "multi_tenant_qps": 91000.0, "mismatches": 0},
     {"name": "IMDB", "queries": 50, "speedup": 2.516, "expand_us_p95": 2.20, "eval_us_p95": 18.40, "batch_cold_qps": 68501.5, "mismatches": 0}
   ],
   "min_speedup": 2.516,
@@ -365,7 +387,11 @@ mod tests {
         assert_eq!(r.datasets[0].name, "XMark");
         assert_eq!(r.datasets[0].batch_cold_qps, Some(42000.5));
         assert_eq!(r.datasets[0].expand_us_p95, Some(3.10));
+        assert_eq!(r.datasets[0].cold_load_speedup, Some(3.2));
+        assert_eq!(r.datasets[0].multi_tenant_qps, Some(91000.0));
         assert_eq!(r.datasets[1].eval_us_p95, Some(18.40));
+        // Older reports predate the catalog metrics: absent, not 0.
+        assert_eq!(r.datasets[1].cold_load_speedup, None);
     }
 
     #[test]

@@ -298,7 +298,7 @@ fn legacy_estimate_applies(rel: &str) -> bool {
     const SHIM_MODULES: [&str; 4] = [
         "crates/core/src/estimate/mod.rs",
         "crates/core/src/estimate/api.rs",
-        "crates/core/src/serve.rs",
+        "crates/core/src/serve/mod.rs",
         "crates/workload/src/guarded.rs",
     ];
     !SHIM_MODULES.contains(&rel) && !rel.starts_with("crates/xtask/")
@@ -1315,7 +1315,7 @@ mod tests {
         .is_empty());
         // The shim modules may reference their own surface freely.
         assert!(findings_in(
-            "crates/core/src/serve.rs",
+            "crates/core/src/serve/mod.rs",
             "fn f() { estimate_many(&cs, &qs, &o, None, 1); }\n"
         )
         .is_empty());
@@ -1388,7 +1388,7 @@ mod tests {
         // A `use`-imported spawn is caught too.
         assert_eq!(
             findings_in(
-                "crates/core/src/serve.rs",
+                "crates/core/src/serve/mod.rs",
                 "use std::thread;\nfn f() { thread::spawn(|| {}); }\n"
             ),
             vec![("bare-spawn".to_string(), 2)]
@@ -1429,7 +1429,7 @@ mod tests {
     fn sync_direct_denied_in_facade_scope() {
         let src = "use std::sync::Mutex;\nfn f() {}\n";
         assert_eq!(
-            findings_in("crates/core/src/serve.rs", src),
+            findings_in("crates/core/src/serve/mod.rs", src),
             vec![("sync-direct".to_string(), 1)]
         );
         assert_eq!(

@@ -26,15 +26,16 @@ use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
 use xtwig::core::estimate::{EstimateOptions, EstimateRequest, Estimator};
 use xtwig::core::telemetry::{self, Span, Stage};
 use xtwig::core::{
-    coarse_synopsis, read_snapshot, serve_reports, write_snapshot_atomic, CompiledSynopsis,
-    EstimateCache, Synopsis,
+    coarse_synopsis, read_snapshot, write_snapshot_atomic, BatchServer, CatalogError,
+    CatalogOptions, CompiledSynopsis, EstimateCache, SnapshotCatalog, Synopsis,
 };
 use xtwig::core::{BreakerConfig, ShedPolicy};
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
 use xtwig::query::{parse_twig, selectivity, TwigQuery};
 use xtwig::workload::{
-    random_delta, run_soak, CrashPoint, GuardPolicy, GuardedEstimator, IngestError, IngestOptions,
-    IngestStore, RuntimeOptions, ServingRuntime, SoakPlan, TerminalProvenance, CRASH_POINTS,
+    random_delta, run_catalog_soak, run_soak, CatalogSoakOptions, CrashPoint, GuardPolicy,
+    GuardedEstimator, IngestError, IngestOptions, IngestStore, RuntimeOptions, ServingRuntime,
+    SoakPlan, TerminalProvenance, CRASH_POINTS,
 };
 use xtwig::xml::{parse, write_xml, DocStats, Document};
 
@@ -110,7 +111,12 @@ USAGE:
                   [--threads N] [--deadline-ms N] [--work-limit N]
                   [--metrics-out <file.prom>]
                   [--max-inflight N] [--queue-depth N] [--reload-on <snap>]
-                  [--soak] [--soak-profile <full|saturation>] [--soak-seed N]
+                  [--soak] [--soak-profile <full|saturation|catalog>]
+                  [--soak-seed N]
+  xtwig-cli serve <plan.txt> --catalog <dir> [--publish <file.xml>]
+                  [--budget BYTES] [--threads N] [--deadline-ms N]
+                  [--work-limit N] [--tenant-quota N] [--max-resident N]
+                  [--metrics-out <file.prom>]
   xtwig-cli build <file.xml> --out <synopsis.xtwg> [--budget BYTES]
   xtwig-cli ingest <store-dir> --init <file.xml>
   xtwig-cli ingest <store-dir> [--status] [--mutate N] [--seed S]
@@ -148,6 +154,21 @@ saturation) and exits 4 deterministically because the corrupt-reload
 rollback is part of the plan; `--soak-profile saturation` only
 saturates the queue and exits 3 deterministically via shedding. Exit 1
 from a soak run means a resilience invariant was violated.
+
+`serve --catalog <dir>` is the multi-tenant front door: snapshots live
+under `<dir>/<tenant>/<document>.xtwg` in the zero-copy v3 format and
+fault in on first use. The plan file holds one request per line,
+`tenant/document <twig-query>`; `--publish <file.xml>` builds a
+synopsis from the document and publishes it under every plan key
+first. Each tenant is admitted through its own in-flight quota
+(`--tenant-quota`, 0 = unlimited) and circuit breaker, so one tenant's
+faults or floods never degrade another's service; `--max-resident`
+bounds how many documents stay resident before cold-tenant eviction.
+Quota or breaker sheds exit 3. `--soak-profile catalog` (with the
+single-document arguments) runs the multi-tenant soak instead: a
+cold-tenant stampede that must collapse to one disk load, a panic
+burst that must open only the victim tenant's breaker while healthy
+tenants serve bit-identical estimates, and post-cooldown recovery.
 
 `ingest` maintains a live document store: `--init` seeds it from an XML
 file; every later invocation opens it through crash recovery (replaying
@@ -565,6 +586,12 @@ fn cmd_check(args: &[String]) -> Result<Outcome, CliError> {
 /// Batched serving over the compiled synopsis: one query per input
 /// line, estimated through `estimate_many` + the sharded estimate cache.
 fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
+    // `--catalog` (without a soak profile) is the multi-tenant front
+    // door: the positional argument is a serving plan, not an XML file.
+    let soak_mode = has_flag(args, "--soak") || flag(args, "--soak-profile").is_some();
+    if flag(args, "--catalog").is_some() && !soak_mode {
+        return cmd_serve_catalog(args);
+    }
     let path = args
         .first()
         .ok_or_else(|| CliError::Usage("serve needs an XML file".into()))?;
@@ -632,8 +659,12 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
     };
     let cache = EstimateCache::new(4096);
 
+    let server = BatchServer::new(&compiled)
+        .with_cache(&cache)
+        .with_options(opts)
+        .with_threads(threads);
     let t0 = std::time::Instant::now();
-    let results = serve_reports(&compiled, &queries, &opts, Some(&cache), threads);
+    let results = server.serve(&queries);
     let elapsed = t0.elapsed();
 
     let mut degraded = 0usize;
@@ -671,6 +702,162 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
     Ok(Outcome::Full)
 }
 
+/// `serve --catalog <dir>`: the multi-tenant snapshot catalog as the
+/// serving front door. The positional argument is a plan file — one
+/// request per line, `tenant/document <twig-query>` — served through
+/// per-tenant admission (quota + circuit breaker) and zero-copy v3
+/// snapshot fault-in. `--publish <file.xml>` builds a synopsis from
+/// the document and publishes it under every key in the plan first.
+///
+/// Exit codes: quota/breaker sheds exit 3; an unknown document or a
+/// contained serving fault exits 1; a corrupt snapshot exits 4.
+fn cmd_serve_catalog(args: &[String]) -> Result<Outcome, CliError> {
+    let dir = flag(args, "--catalog")
+        .ok_or_else(|| CliError::Usage("serve --catalog needs a directory".into()))?;
+    let plan_path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("serve --catalog needs a plan file".into()))?;
+    let budget: usize = parse_flag(args, "--budget", 20 * 1024)?;
+    let deadline_ms: u64 = parse_flag(args, "--deadline-ms", 0)?;
+    let work_limit: u64 = parse_flag(args, "--work-limit", 0)?;
+    let threads: usize = parse_flag(args, "--threads", 1)?;
+    let tenant_quota: usize = parse_flag(args, "--tenant-quota", 0)?;
+    let max_resident: usize = parse_flag(args, "--max-resident", 64)?;
+
+    // Parse the plan: `tenant/document <query>`, grouped per key so
+    // each document serves one batch, with output in input order.
+    type KeyedBatch = ((String, String), Vec<(usize, TwigQuery)>);
+    let text = std::fs::read_to_string(plan_path)
+        .map_err(|e| CliError::Failure(format!("reading {plan_path}: {e}")))?;
+    let mut batches: Vec<KeyedBatch> = Vec::new();
+    let mut total = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = || {
+            CliError::Usage(format!(
+                "{plan_path}:{}: expected `tenant/document <query>`",
+                lineno + 1
+            ))
+        };
+        let (key, qtext) = line.split_once(char::is_whitespace).ok_or_else(bad)?;
+        let (tenant, document) = key.split_once('/').ok_or_else(bad)?;
+        let q = parse_twig_traced(qtext.trim())
+            .map_err(|e| CliError::Usage(format!("{plan_path}:{}: {e}", lineno + 1)))?;
+        let key = (tenant.to_string(), document.to_string());
+        match batches.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, qs)) => qs.push((total, q)),
+            None => batches.push((key, vec![(total, q)])),
+        }
+        total += 1;
+    }
+    if total == 0 {
+        return Err(CliError::Usage(format!("{plan_path}: no requests")));
+    }
+
+    let catalog = SnapshotCatalog::open(
+        &dir,
+        CatalogOptions::builder()
+            .threads(threads)
+            .tenant_quota(tenant_quota)
+            .max_resident(max_resident)
+            .build(),
+    );
+
+    if let Some(xml) = flag(args, "--publish") {
+        let doc = load(&xml)?;
+        let build = BuildOptions {
+            budget_bytes: budget,
+            refinements_per_round: 4,
+            ..Default::default()
+        };
+        let synopsis = xbuild(&doc, TruthSource::Exact, &build).0;
+        for ((tenant, document), _) in &batches {
+            let n = catalog
+                .publish(tenant, document, &synopsis)
+                .map_err(|e| CliError::Failure(format!("publish {tenant}/{document}: {e}")))?;
+            eprintln!("published {tenant}/{document} ({n} bytes)");
+        }
+    }
+
+    let opts = {
+        let mut b = EstimateOptions::builder().work_limit(work_limit);
+        if deadline_ms > 0 {
+            b = b.deadline(std::time::Instant::now() + Duration::from_millis(deadline_ms));
+        }
+        b.build()
+    };
+
+    let mut lines: Vec<Option<String>> = vec![None; total];
+    let mut shed = 0usize;
+    let mut degraded = 0usize;
+    let t0 = std::time::Instant::now();
+    for ((tenant, document), members) in &batches {
+        let queries: Vec<TwigQuery> = members.iter().map(|(_, q)| q.clone()).collect();
+        match catalog.serve(tenant, document, &queries, &opts) {
+            Ok(reports) => {
+                for ((idx, q), rep) in members.iter().zip(&reports) {
+                    let mut marker = String::new();
+                    if let Some(ex) = rep.provenance.exhaustion {
+                        degraded += 1;
+                        marker = format!("  [degraded: {ex}]");
+                    }
+                    lines[*idx] = Some(format!(
+                        "{:.1}  {tenant}/{document}  {q}{marker}",
+                        rep.estimate
+                    ));
+                }
+            }
+            Err(e @ (CatalogError::QuotaExceeded { .. } | CatalogError::BreakerOpen { .. })) => {
+                shed += members.len();
+                for (idx, q) in members {
+                    lines[*idx] = Some(format!("shed  {tenant}/{document}  {q}  [{e}]"));
+                }
+            }
+            Err(CatalogError::Snapshot(e)) => {
+                return Err(match e {
+                    xtwig::core::SnapshotError::Io { .. } => CliError::Failure(e.to_string()),
+                    _ => CliError::Corrupt(format!("{tenant}/{document}: {e}")),
+                })
+            }
+            Err(e) => {
+                return Err(CliError::Failure(format!("serve {tenant}/{document}: {e}")));
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    for line in lines.into_iter().flatten() {
+        println!("{line}");
+    }
+    let stats = catalog.stats();
+    eprintln!(
+        "catalog served {total} requests over {} documents in {elapsed:?} \
+         ({:.0} qps, {threads} threads); {} cold loads / {} warm hits, \
+         {} resident, {} evictions, {} quota sheds, {} breaker sheds",
+        batches.len(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats.cold_loads,
+        stats.warm_hits,
+        stats.resident,
+        stats.evictions,
+        stats.quota_sheds,
+        stats.breaker_sheds,
+    );
+    if let Some(out) = flag(args, "--metrics-out") {
+        let prom = telemetry::global().to_prometheus();
+        std::fs::write(&out, prom).map_err(|e| CliError::Failure(format!("writing {out}: {e}")))?;
+        eprintln!("metrics written to {out}");
+    }
+    if shed > 0 || degraded > 0 {
+        eprintln!("{shed} requests shed, {degraded} served degraded");
+        return Ok(Outcome::Degraded);
+    }
+    Ok(Outcome::Full)
+}
+
 /// `serve` under the resilient runtime: bounded admission queue,
 /// per-tier circuit breakers, retry with jittered backoff, optional
 /// mid-batch hot reload, and the seeded fault-soak profiles.
@@ -700,36 +887,60 @@ fn cmd_serve_runtime(
     } else {
         0
     };
-    let options = RuntimeOptions {
-        queue_depth,
-        workers,
-        shed_policy: ShedPolicy::RejectNew,
-        request_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
-        max_retries: 1,
-        breaker: if soak {
+    let options = RuntimeOptions::builder()
+        .queue_depth(queue_depth)
+        .workers(workers)
+        .shed_policy(ShedPolicy::RejectNew)
+        .request_timeout((timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)))
+        .max_retries(1)
+        .breaker(if soak {
             BreakerConfig {
                 failure_threshold: 3,
                 cooldown: Duration::from_millis(2),
             }
         } else {
             BreakerConfig::default()
-        },
-        policy: GuardPolicy {
+        })
+        .policy(GuardPolicy {
             work_limit,
             ..Default::default()
-        },
-        ..Default::default()
-    };
+        })
+        .build();
 
     if soak {
         let seed: u64 = parse_flag(args, "--soak-seed", 0xD0C5_0AB5)?;
         let profile = flag(args, "--soak-profile").unwrap_or_else(|| "full".to_string());
+        if profile == "catalog" {
+            // The multi-tenant soak: cold-tenant stampede collapse,
+            // per-tenant breaker isolation, eviction churn, recovery.
+            let (dir, ephemeral) = match flag(args, "--catalog") {
+                Some(d) => (std::path::PathBuf::from(d), false),
+                None => (
+                    std::env::temp_dir().join(format!("xtwig-catalog-soak-{}", std::process::id())),
+                    true,
+                ),
+            };
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let report = run_catalog_soak(doc, queries, &dir, &CatalogSoakOptions::default());
+            std::panic::set_hook(prev);
+            if ephemeral {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            println!("{report}");
+            if !report.passed() {
+                return Err(CliError::Failure(format!(
+                    "catalog soak invariants violated: {report}"
+                )));
+            }
+            return Ok(Outcome::Full);
+        }
         let plan = match profile.as_str() {
             "full" => SoakPlan::generate(seed, &options),
             "saturation" => SoakPlan::saturation_only(seed, &options),
             other => {
                 return Err(CliError::Usage(format!(
-                    "unknown --soak-profile `{other}` (full|saturation)"
+                    "unknown --soak-profile `{other}` (full|saturation|catalog)"
                 )))
             }
         };

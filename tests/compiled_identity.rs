@@ -18,7 +18,7 @@ use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
 use xtwig::core::estimate::EstimateOptions;
 use xtwig::core::synopsis::{DimKind, ScopeDim};
 use xtwig::core::{
-    coarse_synopsis, serve_reports, CompiledSynopsis, EstimateCache, EstimateRequest, Estimator,
+    coarse_synopsis, BatchServer, CompiledSynopsis, EstimateCache, EstimateRequest, Estimator,
     InterpretedEstimator,
 };
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
@@ -80,8 +80,16 @@ proptest! {
         // The batched path with a cache must serve the same numbers —
         // cold (computing + inserting) and warm (cache hits).
         let cache = EstimateCache::new(256);
-        let cold = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 4);
-        let warm = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 4);
+        let cold = BatchServer::new(&cs)
+        .with_cache(&cache)
+        .with_options(eopts)
+        .with_threads(4)
+        .serve(&w.queries);
+        let warm = BatchServer::new(&cs)
+        .with_cache(&cache)
+        .with_options(eopts)
+        .with_threads(4)
+        .serve(&w.queries);
         for ((q, a), b) in w.queries.iter().zip(&cold).zip(&warm) {
             let interp = est.estimate(&EstimateRequest::with_options(q, eopts)).bounded();
             prop_assert_eq!(interp.estimate.to_bits(), a.estimate.to_bits());
@@ -163,7 +171,10 @@ proptest! {
             batch.push(q.clone());
         }
         let reuses_before = xtwig::core::telemetry::global().batch_plan_reuses.get();
-        let got = serve_reports(&cs, &batch, &eopts, None, 4);
+        let got = BatchServer::new(&cs)
+        .with_options(eopts)
+        .with_threads(4)
+        .serve(&batch);
         prop_assert_eq!(got.len(), batch.len());
         for (q, r) in batch.iter().zip(&got) {
             let interp = est.estimate(&EstimateRequest::with_options(q, eopts));
@@ -193,7 +204,10 @@ proptest! {
         // representations trip the meter at the same operation, so even
         // partial (exhausted) estimates agree to the bit.
         let tight = eopts.to_builder().work_limit(work_limit).build();
-        let degraded = serve_reports(&cs, &w.queries, &tight, None, 4);
+        let degraded = BatchServer::new(&cs)
+        .with_options(tight)
+        .with_threads(4)
+        .serve(&w.queries);
         for (q, r) in w.queries.iter().zip(&degraded) {
             let interp = est.estimate(&EstimateRequest::with_options(q, tight));
             prop_assert_eq!(
@@ -234,9 +248,17 @@ fn refinement_bumps_epoch_and_invalidates_cache() {
     {
         let cs = CompiledSynopsis::compile(&s);
         old_epoch = cs.epoch();
-        old_results = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 2);
+        old_results = BatchServer::new(&cs)
+            .with_cache(&cache)
+            .with_options(eopts)
+            .with_threads(2)
+            .serve(&w.queries);
         // Entries are resident and served at this epoch.
-        let again = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 2);
+        let again = BatchServer::new(&cs)
+            .with_cache(&cache)
+            .with_options(eopts)
+            .with_threads(2)
+            .serve(&w.queries);
         for (a, b) in old_results.iter().zip(&again) {
             assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
         }
@@ -268,7 +290,11 @@ fn refinement_bumps_epoch_and_invalidates_cache() {
     // Every lookup at the new epoch misses (stale entries evicted, never
     // served), and the batch repopulates the cache at the new epoch.
     let hits_before = cache.stats().hits;
-    let fresh = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 2);
+    let fresh = BatchServer::new(&cs)
+        .with_cache(&cache)
+        .with_options(eopts)
+        .with_threads(2)
+        .serve(&w.queries);
     let stats = cache.stats();
     assert_eq!(
         stats.hits, hits_before,

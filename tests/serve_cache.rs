@@ -5,7 +5,7 @@
 //! lookups; and merged stats must saturate instead of overflowing.
 
 use xtwig::core::estimate::{EstimateOptions, Provenance};
-use xtwig::core::{coarse_synopsis, serve_reports, CacheStats, CompiledSynopsis, EstimateCache};
+use xtwig::core::{coarse_synopsis, BatchServer, CacheStats, CompiledSynopsis, EstimateCache};
 use xtwig::query::{parse_twig, TwigQuery};
 
 fn setup() -> (xtwig::xml::Document, Vec<TwigQuery>) {
@@ -61,14 +61,25 @@ fn serving_through_a_disabled_cache_still_answers_correctly() {
     let cs = CompiledSynopsis::compile(&s);
     let opts = EstimateOptions::default();
     let disabled = EstimateCache::new(0);
-    let uncached = serve_reports(&cs, &queries, &opts, None, 2);
-    let through = serve_reports(&cs, &queries, &opts, Some(&disabled), 2);
+    let uncached = BatchServer::new(&cs)
+        .with_options(opts)
+        .with_threads(2)
+        .serve(&queries);
+    let through = BatchServer::new(&cs)
+        .with_cache(&disabled)
+        .with_options(opts)
+        .with_threads(2)
+        .serve(&queries);
     for (a, b) in uncached.iter().zip(&through) {
         assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
         assert!(!b.provenance.cached, "a disabled cache can never hit");
     }
     // Second pass: still recomputes, still correct, still no hits.
-    let again = serve_reports(&cs, &queries, &opts, Some(&disabled), 2);
+    let again = BatchServer::new(&cs)
+        .with_cache(&disabled)
+        .with_options(opts)
+        .with_threads(2)
+        .serve(&queries);
     for (a, b) in uncached.iter().zip(&again) {
         assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
         assert!(!b.provenance.cached);

@@ -1,4 +1,4 @@
-//! Forced batch work-splitting (Phase C of `serve_reports`).
+//! Forced batch work-splitting (Phase C of the `BatchServer` pipeline).
 //!
 //! This suite lives in its own test binary so it can pin
 //! `XTWIG_SPLIT_THRESHOLD=1` for the whole process without racing other
@@ -12,7 +12,7 @@
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
 use xtwig::core::estimate::EstimateOptions;
 use xtwig::core::{
-    coarse_synopsis, serve_reports, CompiledSynopsis, EstimateCache, EstimateRequest, Estimator,
+    coarse_synopsis, BatchServer, CompiledSynopsis, EstimateCache, EstimateRequest, Estimator,
     InterpretedEstimator,
 };
 use xtwig::datagen::{xmark, XMarkConfig};
@@ -65,7 +65,10 @@ fn split_evaluation_is_bit_identical_to_interpreted() {
     let eopts = EstimateOptions::default();
 
     let splits_before = xtwig::core::telemetry::global().batch_splits.get();
-    let got = serve_reports(&cs, &w.queries, &eopts, None, 4);
+    let got = BatchServer::new(&cs)
+        .with_options(eopts)
+        .with_threads(4)
+        .serve(&w.queries);
     let splits_after = xtwig::core::telemetry::global().batch_splits.get();
     assert!(
         splits_after > splits_before,
@@ -97,9 +100,17 @@ fn split_results_populate_and_reuse_the_cache() {
     let eopts = EstimateOptions::default();
 
     let cache = EstimateCache::new(256);
-    let cold = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 4);
+    let cold = BatchServer::new(&cs)
+        .with_cache(&cache)
+        .with_options(eopts)
+        .with_threads(4)
+        .serve(&w.queries);
     let hits_cold = cache.stats().hits;
-    let warm = serve_reports(&cs, &w.queries, &eopts, Some(&cache), 4);
+    let warm = BatchServer::new(&cs)
+        .with_cache(&cache)
+        .with_options(eopts)
+        .with_threads(4)
+        .serve(&w.queries);
     assert!(
         cache.stats().hits >= hits_cold + w.queries.len() as u64,
         "split-produced entries must be served from the cache on the warm pass"
@@ -128,7 +139,10 @@ fn split_groups_share_one_plan_with_duplicates() {
         batch.push(q.clone());
         batch.push(q.clone());
     }
-    let got = serve_reports(&cs, &batch, &eopts, None, 4);
+    let got = BatchServer::new(&cs)
+        .with_options(eopts)
+        .with_threads(4)
+        .serve(&batch);
     assert_eq!(got.len(), batch.len());
     for (q, r) in batch.iter().zip(&got) {
         let interp = est.estimate(&EstimateRequest::with_options(q, eopts));
@@ -153,7 +167,10 @@ fn split_with_explain_reports_every_embedding() {
         .explain(true)
         .build();
 
-    let got = serve_reports(&cs, &w.queries, &with_explain, None, 4);
+    let got = BatchServer::new(&cs)
+        .with_options(with_explain)
+        .with_threads(4)
+        .serve(&w.queries);
     for (q, r) in w.queries.iter().zip(&got) {
         let interp = est.estimate(&EstimateRequest::with_options(q, with_explain));
         assert_eq!(interp.estimate.to_bits(), r.estimate.to_bits());

@@ -8,15 +8,17 @@
 
 use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
 use xtwig::core::estimate::EstimateOptions;
+use xtwig::core::io::v3::V3_HEADER_LEN;
 use xtwig::core::io::wal::{WAL_FRAME_LEN, WAL_HEADER_LEN};
 use xtwig::core::io::HEADER_LEN;
 use xtwig::core::{
-    encode_delta, load_synopsis, parse_wal, save_synopsis, EstimateRequest, Estimator,
+    encode_delta, load_compiled_snapshot, load_synopsis, parse_wal, save_synopsis,
+    save_synopsis_v3, verify_snapshot_v3, CompiledSynopsis, EstimateRequest, Estimator,
     InterpretedEstimator, SnapshotError, WalWriter,
 };
-use xtwig::datagen::{imdb, ImdbConfig};
+use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
 use xtwig::workload::{generate_workload, WorkloadKind, WorkloadSpec};
-use xtwig::xml::{Delta, NodeId};
+use xtwig::xml::{Delta, Document, NodeId};
 
 #[test]
 fn snapshot_preserves_workload_estimates() {
@@ -139,6 +141,177 @@ fn v1_header_only_and_payload_truncations_are_typed() {
             "v1 prefix of {cut} bytes must not load"
         );
     }
+}
+
+/// The three paper datasets at toy scale — the format coverage must
+/// span generators because their synopses stress different corners
+/// (value summaries, deep recursion, wide fan-out).
+fn generator_docs() -> Vec<(&'static str, Document)> {
+    vec![
+        (
+            "xmark",
+            xmark(XMarkConfig {
+                scale: 0.002,
+                seed: 11,
+            }),
+        ),
+        (
+            "imdb",
+            imdb(ImdbConfig {
+                movies: 25,
+                seed: 7,
+            }),
+        ),
+        (
+            "sprot",
+            sprot(SprotConfig {
+                entries: 25,
+                seed: 13,
+            }),
+        ),
+    ]
+}
+
+fn build_small(doc: &Document) -> xtwig::core::Synopsis {
+    let (synopsis, _) = xbuild(
+        doc,
+        TruthSource::Exact,
+        &BuildOptions {
+            budget_bytes: 2500,
+            max_rounds: 12,
+            workload_with_values: true,
+            ..Default::default()
+        },
+    );
+    synopsis
+}
+
+#[test]
+fn v1_v2_v3_round_trip_identically_for_every_generator() {
+    for (name, doc) in generator_docs() {
+        let synopsis = build_small(&doc);
+        let v2 = save_synopsis(&synopsis);
+        let v3 = save_synopsis_v3(&synopsis);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"XTWG");
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[HEADER_LEN..]);
+
+        verify_snapshot_v3(&v3).expect("full-CRC fsck of the v3 image");
+        let from_v1 = load_synopsis(&v1).expect("v1 loads");
+        let from_v2 = load_synopsis(&v2).expect("v2 loads");
+        let from_v3 = load_synopsis(&v3).expect("v3 loads");
+
+        let spec = WorkloadSpec {
+            queries: 25,
+            kind: WorkloadKind::Branching,
+            seed: 5,
+            ..Default::default()
+        };
+        let w = generate_workload(&doc, &spec);
+        let e1 = InterpretedEstimator::new(&from_v1);
+        let e2 = InterpretedEstimator::new(&from_v2);
+        let e3 = InterpretedEstimator::new(&from_v3);
+        for q in &w.queries {
+            let req = EstimateRequest::new(q);
+            let a = e1.estimate(&req).estimate;
+            let b = e2.estimate(&req).estimate;
+            let c = e3.estimate(&req).estimate;
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name}: v1 vs v2 diverged for {q}: {a} vs {b}"
+            );
+            assert_eq!(
+                b.to_bits(),
+                c.to_bits(),
+                "{name}: v2 vs v3 diverged for {q}: {b} vs {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn v3_mapped_and_owned_estimates_are_bit_identical_for_every_generator() {
+    for (name, doc) in generator_docs() {
+        let synopsis = build_small(&doc);
+        let v3 = save_synopsis_v3(&synopsis);
+        // Mapped: lanes point straight into the arena image, no bucket
+        // deserialization. Owned: the classic parse-and-compile path.
+        let mapped = load_compiled_snapshot(&v3).expect("zero-copy load");
+        let owned_syn = load_synopsis(&v3).expect("v3 parses to a synopsis");
+        let owned = CompiledSynopsis::compile(&owned_syn);
+
+        let spec = WorkloadSpec {
+            queries: 25,
+            kind: WorkloadKind::BranchingValues,
+            seed: 23,
+            ..Default::default()
+        };
+        let w = generate_workload(&doc, &spec);
+        for q in &w.queries {
+            let req = EstimateRequest::new(q);
+            let m = mapped.estimate(&req);
+            let o = owned.estimate(&req);
+            assert_eq!(
+                m.estimate.to_bits(),
+                o.estimate.to_bits(),
+                "{name}: mapped vs owned diverged for {q}: {} vs {}",
+                m.estimate,
+                o.estimate
+            );
+            assert_eq!(
+                m.provenance.exhaustion, o.provenance.exhaustion,
+                "{name}: provenance diverged for {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_v3_prefix_reports_truncated_with_exact_lengths() {
+    let doc = imdb(ImdbConfig {
+        movies: 20,
+        seed: 7,
+    });
+    let bytes = save_synopsis_v3(&build_small(&doc));
+    for cut in 0..bytes.len() {
+        let err = load_compiled_snapshot(&bytes[..cut]).expect_err("a strict prefix must not load");
+        match err {
+            SnapshotError::Truncated { expected, actual } => {
+                assert_eq!(actual, cut, "actual must be the bytes present");
+                // Before the version is readable the loader can only
+                // promise the generic header; with the version known it
+                // promises the v3 header; with the header present it
+                // promises the arena's own total length.
+                let promised = if cut < 8 {
+                    HEADER_LEN
+                } else if cut < V3_HEADER_LEN {
+                    V3_HEADER_LEN
+                } else {
+                    bytes.len()
+                };
+                assert_eq!(expected, promised, "cut at {cut}");
+            }
+            other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+        }
+        // The interpreted loader must reject the same prefixes — v3
+        // arenas never half-load through either front door.
+        assert!(
+            load_synopsis(&bytes[..cut]).is_err(),
+            "load_synopsis accepted a {cut}-byte v3 prefix"
+        );
+    }
+    assert!(
+        load_compiled_snapshot(&bytes).is_ok(),
+        "the full image still loads"
+    );
+    let mut long = bytes.clone();
+    long.push(0);
+    assert!(matches!(
+        load_compiled_snapshot(&long),
+        Err(SnapshotError::TrailingBytes { extra: 1 })
+    ));
 }
 
 #[test]

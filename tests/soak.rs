@@ -56,18 +56,17 @@ fn queries() -> Vec<TwigQuery> {
 /// the open → half-open → close cycle completes within the run, and a
 /// short per-request timeout so stalled requests degrade quickly.
 fn soak_options() -> RuntimeOptions {
-    RuntimeOptions {
-        queue_depth: 4,
-        shed_policy: ShedPolicy::RejectNew,
-        workers: 4,
-        request_timeout: Some(Duration::from_millis(5)),
-        max_retries: 1,
-        breaker: BreakerConfig {
+    RuntimeOptions::builder()
+        .queue_depth(4)
+        .shed_policy(ShedPolicy::RejectNew)
+        .workers(4)
+        .request_timeout(Some(Duration::from_millis(5)))
+        .max_retries(1)
+        .breaker(BreakerConfig {
             failure_threshold: 3,
             cooldown: Duration::from_millis(2),
-        },
-        ..Default::default()
-    }
+        })
+        .build()
 }
 
 #[test]
@@ -172,11 +171,11 @@ fn soak_is_reproducible_in_its_invariant_surface() {
 fn saturation_profile_sheds_but_never_rolls_back() {
     let d = doc();
     let qs = queries();
-    let options = RuntimeOptions {
-        queue_depth: 2,
-        workers: 1,
-        ..soak_options()
-    };
+    let options = soak_options()
+        .to_builder()
+        .queue_depth(2)
+        .workers(1)
+        .build();
     let plan = SoakPlan::saturation_only(5, &options);
     let report = run_soak(&d, &qs, &plan, options);
     assert!(
@@ -191,12 +190,12 @@ fn saturation_profile_sheds_but_never_rolls_back() {
 fn drop_oldest_policy_sheds_queued_requests_not_new_ones() {
     let d = doc();
     let qs = queries();
-    let options = RuntimeOptions {
-        queue_depth: 2,
-        workers: 1,
-        shed_policy: ShedPolicy::DropOldest,
-        ..soak_options()
-    };
+    let options = soak_options()
+        .to_builder()
+        .queue_depth(2)
+        .workers(1)
+        .shed_policy(ShedPolicy::DropOldest)
+        .build();
     let s = xtwig::core::coarse_synopsis(&d);
     let rt = ServingRuntime::new(s, options);
     let many: Vec<TwigQuery> = qs.iter().cycle().take(32).cloned().collect();
