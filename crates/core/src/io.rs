@@ -35,6 +35,7 @@
 
 pub mod pod;
 pub mod v3;
+pub mod vfs;
 pub mod wal;
 
 use crate::synopsis::{
@@ -675,15 +676,20 @@ fn read_edge_hist(r: &mut R<'_>, node_count: usize) -> Result<EdgeHistogram, Sna
 /// mode (missing, directory, empty, unreadable) to a precise typed
 /// error.
 pub fn read_snapshot(path: &Path) -> Result<Synopsis, SnapshotError> {
+    read_snapshot_in(&vfs::StdVfs, path)
+}
+
+/// [`read_snapshot`] through an explicit [`vfs::Vfs`].
+pub fn read_snapshot_in(fs: &dyn vfs::Vfs, path: &Path) -> Result<Synopsis, SnapshotError> {
     let shown = path.display().to_string();
-    let meta = std::fs::metadata(path).map_err(|e| SnapshotError::Io {
+    let meta = fs.metadata(path).map_err(|e| SnapshotError::Io {
         path: shown.clone(),
         cause: e.to_string(),
     })?;
-    if meta.is_dir() {
+    if meta.is_dir {
         return Err(SnapshotError::IsDirectory { path: shown });
     }
-    let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io {
+    let bytes = fs.read(path).map_err(|e| SnapshotError::Io {
         path: shown.clone(),
         cause: e.to_string(),
     })?;
@@ -698,8 +704,17 @@ pub fn read_snapshot(path: &Path) -> Result<Synopsis, SnapshotError> {
 /// or the new one — never a torn file. Returns the snapshot size in
 /// bytes.
 pub fn write_snapshot_atomic(path: &Path, s: &Synopsis) -> Result<usize, SnapshotError> {
+    write_snapshot_atomic_in(&vfs::StdVfs, path, s)
+}
+
+/// [`write_snapshot_atomic`] through an explicit [`vfs::Vfs`].
+pub fn write_snapshot_atomic_in(
+    fs: &dyn vfs::Vfs,
+    path: &Path,
+    s: &Synopsis,
+) -> Result<usize, SnapshotError> {
     let bytes = save_synopsis(s);
-    write_bytes_atomic(path, &bytes)?;
+    write_bytes_atomic_in(fs, path, &bytes)?;
     Ok(bytes.len())
 }
 
@@ -710,35 +725,48 @@ pub fn write_snapshot_atomic(path: &Path, s: &Synopsis) -> Result<usize, Snapsho
 /// fsynced so the rename itself persists. A crash at any point leaves
 /// either the old file or the new one — never a torn mix.
 pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    write_bytes_atomic_in(&vfs::StdVfs, path, bytes)
+}
+
+/// [`write_bytes_atomic`] through an explicit [`vfs::Vfs`]. Every step
+/// that can fail — including the directory fsync that persists the
+/// rename — surfaces as [`SnapshotError::Io`]; a swallowed directory
+/// fsync would let "durable" publishes vanish on powercut.
+pub fn write_bytes_atomic_in(
+    fs: &dyn vfs::Vfs,
+    path: &Path,
+    bytes: &[u8],
+) -> Result<(), SnapshotError> {
     let shown = path.display().to_string();
     let io_err = |e: std::io::Error| SnapshotError::Io {
         path: shown.clone(),
         cause: e.to_string(),
     };
-    if path.is_dir() {
+    if fs.metadata(path).is_ok_and(|m| m.is_dir) {
         return Err(SnapshotError::IsDirectory { path: shown });
     }
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     {
-        use std::io::Write as _;
         // This IS the atomic helper — the tmp file is fsynced and
         // renamed over the destination below.
-        // lint:allow(wal-fsync): atomic-helper tmp-file write
-        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
-        f.write_all(bytes).map_err(io_err)?;
-        f.sync_all().map_err(io_err)?;
+        let mut f = fs.create(&tmp).map_err(io_err)?;
+        if let Err(e) = f.write_all(bytes).and_then(|()| f.sync_all()) {
+            drop(f);
+            let _ = fs.remove_file(&tmp);
+            return Err(io_err(e));
+        }
     }
-    if let Err(e) = std::fs::rename(&tmp, path) {
-        let _ = std::fs::remove_file(&tmp);
+    if let Err(e) = fs.rename(&tmp, path) {
+        let _ = fs.remove_file(&tmp);
         return Err(io_err(e));
     }
-    // Best effort: persist the rename itself.
+    // Persist the rename itself. A failure here means the publish may
+    // not survive a crash — callers must hear about it, not discover
+    // it after the powercut.
     if let Some(dir) = path.parent() {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        fs.fsync_dir(dir).map_err(io_err)?;
     }
     Ok(())
 }

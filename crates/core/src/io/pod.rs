@@ -111,9 +111,13 @@ impl AlignedBytes {
         }
     }
 
-    /// Reads the whole file at `path` into an aligned buffer.
+    /// Reads the whole file at `path` into an aligned buffer. This is
+    /// the aligned-read primitive `StdVfs::read_aligned` delegates to;
+    /// everything else should go through the [`Vfs`](super::vfs::Vfs)
+    /// boundary.
     pub fn read_file(path: &Path) -> std::io::Result<AlignedBytes> {
         use std::io::Read as _;
+        // lint:allow(vfs-direct): the StdVfs aligned-read primitive itself
         let mut f = std::fs::File::open(path)?;
         let len = f.metadata()?.len();
         let len = usize::try_from(len).map_err(|_| {

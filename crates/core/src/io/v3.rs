@@ -66,7 +66,7 @@ pub const V3_HEADER_LEN: usize = 32;
 const TABLE_ENTRY_LEN: usize = 32;
 
 /// Section ids, in file order.
-mod section {
+pub(crate) mod section {
     pub const META: u32 = 1;
     pub const FRAC: u32 = 2;
     pub const LO: u32 = 3;
@@ -223,8 +223,17 @@ fn save_compiled_v3(cs: &CompiledSynopsis<'_>, s: &Synopsis) -> Vec<u8> {
 /// rename, like [`write_snapshot_atomic`](super::write_snapshot_atomic)).
 /// Returns the snapshot size in bytes.
 pub fn write_snapshot_v3(path: &Path, s: &Synopsis) -> Result<usize, SnapshotError> {
+    write_snapshot_v3_in(&super::vfs::StdVfs, path, s)
+}
+
+/// [`write_snapshot_v3`] through an explicit [`Vfs`](super::vfs::Vfs).
+pub fn write_snapshot_v3_in(
+    fs: &dyn super::vfs::Vfs,
+    path: &Path,
+    s: &Synopsis,
+) -> Result<usize, SnapshotError> {
     let bytes = save_synopsis_v3(s);
-    super::write_bytes_atomic(path, &bytes)?;
+    super::write_bytes_atomic_in(fs, path, &bytes)?;
     Ok(bytes.len())
 }
 
@@ -234,20 +243,20 @@ pub fn write_snapshot_v3(path: &Path, s: &Synopsis) -> Result<usize, SnapshotErr
 
 /// One parsed section-table entry.
 #[derive(Clone, Copy)]
-struct Section {
-    off: usize,
-    len: usize,
+pub(crate) struct Section {
+    pub(crate) off: usize,
+    pub(crate) len: usize,
     crc: u64,
 }
 
 /// The parsed header + section table of a v3 arena, with the header,
 /// table CRC, and bounds/alignment of every section already validated.
-struct ArenaIndex {
+pub(crate) struct ArenaIndex {
     sections: [Section; 10],
 }
 
 impl ArenaIndex {
-    fn get(&self, id: u32) -> Section {
+    pub(crate) fn get(&self, id: u32) -> Section {
         // Ids are 1-based and dense; `parse` guarantees presence.
         self.sections[(id as usize).saturating_sub(1).min(9)]
     }
@@ -263,7 +272,7 @@ fn decode_err(offset: usize, message: impl Into<String>) -> SnapshotError {
 /// Validates the fixed header and section table of `bytes` (exact
 /// truncation/trailing accounting, table CRC, per-section bounds and
 /// 8-byte alignment, all ten sections present exactly once).
-fn parse_arena(bytes: &[u8]) -> Result<ArenaIndex, SnapshotError> {
+pub(crate) fn parse_arena(bytes: &[u8]) -> Result<ArenaIndex, SnapshotError> {
     if bytes.len() < 8 {
         let n = bytes.len().min(4);
         return if bytes[..n] == MAGIC[..n] {
@@ -603,22 +612,53 @@ pub fn load_compiled_snapshot(bytes: &[u8]) -> Result<CompiledSynopsis<'static>,
     load_compiled_arena(Arc::new(AlignedBytes::from_bytes(bytes)))
 }
 
+/// [`load_compiled_arena`] preceded by a full per-section CRC sweep.
+///
+/// The zero-copy load deliberately validates only header + table +
+/// `META`; the bucket columns it maps are never checksummed on the fast
+/// path. Serving surfaces that fault in snapshots from disk they do not
+/// trust (the multi-tenant catalog) use this variant instead, so a
+/// flipped bit in *any* section — including the mapped bucket payload —
+/// surfaces as a typed [`SnapshotError`] before a single estimate is
+/// computed from it.
+pub fn load_compiled_arena_verified(
+    arena: Arc<AlignedBytes>,
+) -> Result<CompiledSynopsis<'static>, SnapshotError> {
+    verify_snapshot_v3(arena.bytes())?;
+    load_compiled_arena(arena)
+}
+
 /// Reads and zero-copy-loads a v3 snapshot file, mapping filesystem
 /// failures exactly like [`read_snapshot`](super::read_snapshot).
 pub fn read_compiled_snapshot(path: &Path) -> Result<CompiledSynopsis<'static>, SnapshotError> {
+    read_compiled_snapshot_in(&super::vfs::StdVfs, path, false)
+}
+
+/// [`read_compiled_snapshot`] through an explicit [`Vfs`](super::vfs::Vfs),
+/// optionally running the full per-section CRC sweep (`verified`)
+/// before handing out mapped bucket columns.
+pub fn read_compiled_snapshot_in(
+    fs: &dyn super::vfs::Vfs,
+    path: &Path,
+    verified: bool,
+) -> Result<CompiledSynopsis<'static>, SnapshotError> {
     let shown = path.display().to_string();
-    let meta = std::fs::metadata(path).map_err(|e| SnapshotError::Io {
+    let meta = fs.metadata(path).map_err(|e| SnapshotError::Io {
         path: shown.clone(),
         cause: e.to_string(),
     })?;
-    if meta.is_dir() {
+    if meta.is_dir {
         return Err(SnapshotError::IsDirectory { path: shown });
     }
-    let arena = AlignedBytes::read_file(path).map_err(|e| SnapshotError::Io {
+    let arena = fs.read_aligned(path).map_err(|e| SnapshotError::Io {
         path: shown,
         cause: e.to_string(),
     })?;
-    load_compiled_arena(Arc::new(arena))
+    if verified {
+        load_compiled_arena_verified(Arc::new(arena))
+    } else {
+        load_compiled_arena(Arc::new(arena))
+    }
 }
 
 #[cfg(test)]
@@ -729,6 +769,71 @@ mod tests {
             bad[pos] ^= 1;
             assert!(verify_snapshot_v3(&bad).is_err(), "flip at {pos}");
         }
+    }
+
+    #[test]
+    fn every_flipped_bit_in_every_section_is_rejected_by_verified_load() {
+        // Corruption corpus for the catalog fault-in path: the plain
+        // zero-copy load validates header + table + META only, so a
+        // flipped bit in a mapped bucket column would silently skew
+        // estimates. The *verified* load must reject every single-bit
+        // flip in every section with a typed error — never serve it.
+        let s = built_synopsis();
+        let bytes = save_synopsis_v3(&s);
+        let idx = parse_arena(&bytes).unwrap();
+        let mut exercised = 0usize;
+        for (slot, &id) in section::ALL.iter().enumerate() {
+            let sec = idx.sections[slot];
+            if sec.len == 0 {
+                // Value-bucket boundary lanes may legitimately be empty
+                // for this corpus document; the non-empty majority below
+                // keeps the test from going vacuous.
+                continue;
+            }
+            exercised += 1;
+            let mut rejected = 0usize;
+            for pos in sec.off..sec.off + sec.len {
+                for bit in 0..8 {
+                    let mut bad = bytes.clone();
+                    bad[pos] ^= 1 << bit;
+                    let arena = Arc::new(AlignedBytes::from_bytes(&bad));
+                    match load_compiled_arena_verified(arena) {
+                        Err(_) => rejected += 1,
+                        Ok(_) => panic!("section {id}: flip at byte {pos} bit {bit} served"),
+                    }
+                }
+            }
+            assert_eq!(rejected, sec.len * 8, "section {id}");
+        }
+        assert!(exercised >= 8, "only {exercised} non-empty sections");
+    }
+
+    #[test]
+    fn verified_read_rejects_bucket_rot_the_fast_load_accepts() {
+        let s = built_synopsis();
+        let bytes = save_synopsis_v3(&s);
+        let idx = parse_arena(&bytes).unwrap();
+        // Flip one bit inside the fraction lane (a section the fast
+        // load never checksums) and show the split: fast load serves
+        // it, verified load refuses with a typed checksum error.
+        let sec = idx.get(section::FRAC);
+        let mut bad = bytes.clone();
+        bad[sec.off] ^= 0x10;
+        assert!(load_compiled_snapshot(&bad).is_ok());
+        let dir = std::env::temp_dir().join(format!("xtwig-v3-verified-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rot.xtwg");
+        std::fs::write(&path, &bad).unwrap();
+        let fs = super::super::vfs::StdVfs;
+        assert!(read_compiled_snapshot_in(&fs, &path, false).is_ok());
+        assert!(matches!(
+            read_compiled_snapshot_in(&fs, &path, true),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        // The pristine file passes the verified read.
+        std::fs::write(&path, &bytes).unwrap();
+        read_compiled_snapshot_in(&fs, &path, true).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -24,8 +24,9 @@
 //! serializes subtree inserts as XML (via [`write_xml`]) so journal
 //! records are self-contained and debuggable.
 
-use crate::io::{snapshot_checksum, write_bytes_atomic, SnapshotError};
-use std::io::{Seek as _, Write as _};
+use crate::io::vfs::{StdVfs, Vfs, VfsFile};
+use crate::io::{snapshot_checksum, write_bytes_atomic_in, SnapshotError};
+use crate::sync::Arc;
 use std::path::{Path, PathBuf};
 use xtwig_xml::{parse, write_xml, Delta, DeltaOp, NodeId};
 
@@ -73,7 +74,12 @@ fn io_err(path: &Path, e: std::io::Error) -> SnapshotError {
 /// version fail. A zero-length or header-only-truncated file reports
 /// [`SnapshotError::Truncated`] with exact lengths.
 pub fn read_wal(path: &Path) -> Result<WalReplay, SnapshotError> {
-    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    read_wal_in(&StdVfs, path)
+}
+
+/// [`read_wal`] through an explicit [`Vfs`].
+pub fn read_wal_in(fs: &dyn Vfs, path: &Path) -> Result<WalReplay, SnapshotError> {
+    let bytes = fs.read(path).map_err(|e| io_err(path, e))?;
     parse_wal(&bytes)
 }
 
@@ -151,30 +157,44 @@ pub fn parse_wal(bytes: &[u8]) -> Result<WalReplay, SnapshotError> {
 
 /// Append handle to a journal file. Every append is fsynced before it
 /// returns, so an acknowledged record survives a crash.
+///
+/// A failed write or fsync **poisons** the handle: durability of the
+/// bytes already handed to the OS is unknown (a torn frame may or may
+/// not have reached disk), so acknowledging — or silently retrying —
+/// later appends would reorder them after potential garbage. Every
+/// append after a failure returns a typed error carrying the original
+/// cause until the journal is re-validated via [`WalWriter::reset`] or
+/// a fresh [`WalWriter::open_append`] (both of which re-establish a
+/// clean durable prefix on disk).
 #[derive(Debug)]
 pub struct WalWriter {
-    file: std::fs::File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     records: u64,
+    poisoned: Option<String>,
 }
 
 impl WalWriter {
     /// Creates a fresh (empty) journal at `path`, atomically replacing
     /// any existing file, and opens it for appending.
     pub fn create(path: &Path) -> Result<WalWriter, SnapshotError> {
+        WalWriter::create_in(Arc::new(StdVfs), path)
+    }
+
+    /// [`WalWriter::create`] through an explicit [`Vfs`].
+    pub fn create_in(vfs: Arc<dyn Vfs>, path: &Path) -> Result<WalWriter, SnapshotError> {
         let mut header = Vec::with_capacity(WAL_HEADER_LEN);
         header.extend_from_slice(WAL_MAGIC);
         header.extend_from_slice(&WAL_VERSION.to_le_bytes());
-        write_bytes_atomic(path, &header)?;
-        // lint:allow(wal-fsync): append-only open of the header written atomically above
-        let file = std::fs::OpenOptions::new()
-            .append(true)
-            .open(path)
-            .map_err(|e| io_err(path, e))?;
+        write_bytes_atomic_in(&*vfs, path, &header)?;
+        let file = vfs.open_append(path).map_err(|e| io_err(path, e))?;
         Ok(WalWriter {
+            vfs,
             file,
             path: path.to_path_buf(),
             records: 0,
+            poisoned: None,
         })
     }
 
@@ -182,46 +202,59 @@ impl WalWriter {
     /// A torn tail from a previous crash is truncated away first, so new
     /// records always follow the durable prefix.
     pub fn open_append(path: &Path) -> Result<WalWriter, SnapshotError> {
-        if !path.exists() {
-            return WalWriter::create(path);
+        WalWriter::open_append_in(Arc::new(StdVfs), path)
+    }
+
+    /// [`WalWriter::open_append`] through an explicit [`Vfs`].
+    pub fn open_append_in(vfs: Arc<dyn Vfs>, path: &Path) -> Result<WalWriter, SnapshotError> {
+        if !vfs.exists(path) {
+            return WalWriter::create_in(vfs, path);
         }
-        let replay = read_wal(path)?;
+        let replay = read_wal_in(&*vfs, path)?;
         // Append-mode open of a validated journal; creation goes
         // through write_bytes_atomic in `create`.
-        // lint:allow(wal-fsync): append-only open, never truncates
-        let mut file = std::fs::OpenOptions::new()
-            .read(true)
-            .append(true)
-            .open(path)
-            .map_err(|e| io_err(path, e))?;
+        let mut file = vfs.open_append(path).map_err(|e| io_err(path, e))?;
         if let Some(torn) = &replay.torn {
             file.set_len(torn.offset).map_err(|e| io_err(path, e))?;
             file.sync_all().map_err(|e| io_err(path, e))?;
-            file.seek(std::io::SeekFrom::End(0))
-                .map_err(|e| io_err(path, e))?;
         }
         Ok(WalWriter {
+            vfs,
             file,
             path: path.to_path_buf(),
             records: replay.records.len() as u64,
+            poisoned: None,
         })
     }
 
     /// Appends one record and fsyncs. Returns the record's byte offset.
+    ///
+    /// After any failed append the handle is poisoned (see the type
+    /// docs) and every further call fails without touching the file.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, SnapshotError> {
-        let offset = self
-            .file
-            .metadata()
-            .map_err(|e| io_err(&self.path, e))?
-            .len();
+        if let Some(cause) = &self.poisoned {
+            return Err(SnapshotError::Io {
+                path: self.path.display().to_string(),
+                cause: format!("wal poisoned by earlier append failure: {cause}"),
+            });
+        }
+        let offset = self.file.size().map_err(|e| io_err(&self.path, e))?;
         let mut frame = Vec::with_capacity(WAL_FRAME_LEN + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&snapshot_checksum(payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.file
+        // A failed write may have persisted a torn prefix; a failed
+        // fsync leaves even a complete write of unknown durability.
+        // Either way the in-memory view and the disk no longer provably
+        // agree, so poison before surfacing the error.
+        if let Err(e) = self
+            .file
             .write_all(&frame)
-            .map_err(|e| io_err(&self.path, e))?;
-        self.file.sync_all().map_err(|e| io_err(&self.path, e))?;
+            .and_then(|()| self.file.sync_all())
+        {
+            self.poisoned = Some(e.to_string());
+            return Err(io_err(&self.path, e));
+        }
         self.records += 1;
         Ok(offset)
     }
@@ -232,10 +265,17 @@ impl WalWriter {
         self.records
     }
 
+    /// The poisoning cause, when an earlier append failed.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
     /// Atomically resets the journal to empty (after a checkpoint has
-    /// absorbed its records into the snapshot).
+    /// absorbed its records into the snapshot). This also clears a
+    /// poisoned state: the atomic rewrite replaces whatever torn bytes
+    /// the failed append may have left behind.
     pub fn reset(&mut self) -> Result<(), SnapshotError> {
-        *self = WalWriter::create(&self.path)?;
+        *self = WalWriter::create_in(Arc::clone(&self.vfs), &self.path)?;
         Ok(())
     }
 
@@ -361,6 +401,7 @@ pub fn decode_delta(bytes: &[u8]) -> Result<Delta, SnapshotError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write as _;
 
     fn temp_wal(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("xtwig-wal-test");
@@ -447,6 +488,105 @@ mod tests {
         assert_eq!(
             replay.records,
             vec![b"keep".to_vec(), b"after-recovery".to_vec()]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_after_torn_tail_is_never_replayed() {
+        // A crash can tear a frame and a later (buggy or malicious)
+        // writer could land valid-looking frames after the tear. Replay
+        // must stop at the tear: the records beyond it were never part
+        // of the durable prefix and acknowledging them would resurrect
+        // unacknowledged state.
+        let path = temp_wal("garbage-after-tear.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"durable").unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Torn frame: claims 64 payload bytes, delivers 3.
+        bytes.extend_from_slice(&64u32.to_le_bytes());
+        bytes.extend_from_slice(&snapshot_checksum(b"whatever").to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        // Followed by a frame that would verify in isolation.
+        let ghost = b"ghost-record";
+        bytes.extend_from_slice(&(ghost.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&snapshot_checksum(ghost).to_le_bytes());
+        bytes.extend_from_slice(ghost);
+        let replay = parse_wal(&bytes).unwrap();
+        assert_eq!(replay.records, vec![b"durable".to_vec()]);
+        let torn = replay.torn.expect("tear must be reported");
+        assert_eq!(torn.offset, (WAL_HEADER_LEN + WAL_FRAME_LEN + 7) as u64);
+        // Same contract through the recovery path: open_append truncates
+        // at the tear, dropping the ghost frame with the garbage.
+        std::fs::write(&path, &bytes).unwrap();
+        let mut w = WalWriter::open_append(&path).unwrap();
+        assert_eq!(w.records(), 1);
+        w.append(b"fresh").unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.torn.is_none());
+        assert_eq!(replay.records, vec![b"durable".to_vec(), b"fresh".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_writer_until_reset() {
+        use crate::io::vfs::{FaultVfs, VfsFaultPlan};
+        let path = temp_wal("poison.wal");
+        let vfs = Arc::new(FaultVfs::over_std(VfsFaultPlan {
+            fsync_error: 1000,
+            ..VfsFaultPlan::default()
+        }));
+        vfs.arm(false);
+        let mut w = WalWriter::create_in(Arc::clone(&vfs) as Arc<dyn Vfs>, &path).unwrap();
+        w.append(b"before").unwrap();
+        vfs.arm(true);
+        let err = w.append(b"doomed").unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert!(w.poisoned().is_some());
+        vfs.arm(false);
+        // The injector is gone, but the writer must not pretend the
+        // failed append never happened: durability of the torn frame is
+        // unknown, so later appends keep failing with the original cause.
+        let err = w.append(b"after").unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(w.records(), 1);
+        // Reset rewrites the journal atomically and clears the poison.
+        w.reset().unwrap();
+        assert!(w.poisoned().is_none());
+        w.append(b"recovered").unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.torn.is_none());
+        assert_eq!(replay.records, vec![b"recovered".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_write_poisons_and_recovery_sees_only_the_durable_prefix() {
+        use crate::io::vfs::{FaultVfs, VfsFaultPlan};
+        let path = temp_wal("short-write-poison.wal");
+        let vfs = Arc::new(FaultVfs::over_std(VfsFaultPlan {
+            short_write: 1000,
+            ..VfsFaultPlan::default()
+        }));
+        vfs.arm(false);
+        let mut w = WalWriter::create_in(Arc::clone(&vfs) as Arc<dyn Vfs>, &path).unwrap();
+        w.append(b"durable-one").unwrap();
+        vfs.arm(true);
+        assert!(w.append(b"torn-two").is_err());
+        assert!(w.poisoned().is_some());
+        vfs.arm(false);
+        drop(w);
+        // Recovery truncates the torn prefix the short write left.
+        let mut w = WalWriter::open_append(&path).unwrap();
+        assert_eq!(w.records(), 1);
+        w.append(b"three").unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.torn.is_none());
+        assert_eq!(
+            replay.records,
+            vec![b"durable-one".to_vec(), b"three".to_vec()]
         );
         std::fs::remove_file(&path).unwrap();
     }

@@ -52,15 +52,18 @@ pub use estimate::{
 };
 pub use io::pod::{AlignedBytes, Lane};
 pub use io::v3::{
-    load_compiled_arena, load_compiled_snapshot, read_compiled_snapshot, save_synopsis_v3,
-    verify_snapshot_v3, write_snapshot_v3,
+    load_compiled_arena, load_compiled_arena_verified, load_compiled_snapshot,
+    read_compiled_snapshot, read_compiled_snapshot_in, save_synopsis_v3, verify_snapshot_v3,
+    write_snapshot_v3, write_snapshot_v3_in,
 };
+pub use io::vfs::{FaultVfs, StdVfs, Vfs, VfsFaultPlan, VfsFile, VfsMetadata, INJECTED_PREFIX};
 pub use io::wal::{
-    decode_delta, encode_delta, parse_wal, read_wal, TornTail, WalReplay, WalWriter,
+    decode_delta, encode_delta, parse_wal, read_wal, read_wal_in, TornTail, WalReplay, WalWriter,
 };
 pub use io::{
-    load_synopsis, read_snapshot, save_synopsis, snapshot_checksum, write_bytes_atomic,
-    write_snapshot_atomic, SnapshotError,
+    load_synopsis, read_snapshot, read_snapshot_in, save_synopsis, snapshot_checksum,
+    write_bytes_atomic, write_bytes_atomic_in, write_snapshot_atomic, write_snapshot_atomic_in,
+    SnapshotError,
 };
 pub use serve::runtime::{
     Admission, AdmissionQueue, BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker,
@@ -68,7 +71,7 @@ pub use serve::runtime::{
 };
 pub use serve::{
     estimate_many, serve_reports, BatchServer, CacheStats, CatalogError, CatalogOptions,
-    CatalogOptionsBuilder, CatalogStats, EstimateCache, SnapshotCatalog,
+    CatalogOptionsBuilder, CatalogStats, EstimateCache, FaultHook, RebuildHook, SnapshotCatalog,
 };
 pub use synopsis::{EdgeHistogram, ScopeDim, SynId, Synopsis, SynopsisEdge, ValueSummary};
 pub use tsn::twig_stable_neighborhood;

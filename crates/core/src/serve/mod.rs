@@ -28,7 +28,8 @@ pub mod runtime;
 
 pub use cache::{CacheStats, EstimateCache};
 pub use catalog::{
-    CatalogError, CatalogOptions, CatalogOptionsBuilder, CatalogStats, SnapshotCatalog,
+    CatalogError, CatalogOptions, CatalogOptionsBuilder, CatalogStats, FaultHook, RebuildHook,
+    SnapshotCatalog,
 };
 
 use std::collections::HashMap;

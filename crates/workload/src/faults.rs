@@ -15,15 +15,15 @@ use rand::{RngExt, SeedableRng};
 use std::time::Duration;
 use xtwig_core::estimate::{EstimateRequest, Estimator};
 use xtwig_core::{
-    coarse_synopsis, load_synopsis, save_synopsis, BatchServer, BreakerConfig, CatalogError,
-    CatalogOptions, CatalogStats, CompiledSynopsis, EstimateOptions, SnapshotCatalog,
-    SnapshotError, Synopsis,
+    coarse_synopsis, load_synopsis, save_synopsis, BackoffPolicy, BatchServer, BreakerConfig,
+    CatalogError, CatalogOptions, CatalogStats, CompiledSynopsis, EstimateOptions, FaultVfs,
+    SnapshotCatalog, SnapshotError, Synopsis, Vfs, VfsFaultPlan,
 };
 use xtwig_query::TwigQuery;
 use xtwig_xml::Document;
 
 use crate::guarded::{GuardPolicy, GuardedEstimator, InjectedFault, Tier};
-use crate::ingest::{run_ingest_soak, IngestOptions, IngestSoakReport};
+use crate::ingest::{random_delta, run_ingest_soak, IngestOptions, IngestSoakReport, IngestStore};
 use crate::runtime::{RuntimeOptions, RuntimeStats, ServingRuntime, TerminalProvenance};
 use xtwig_core::construct::DeltaBuildOptions;
 
@@ -1112,6 +1112,380 @@ pub fn run_catalog_soak(
     report
 }
 
+// ---------------------------------------------------------------------
+// Storage chaos soak (device-level fault injection through the VFS)
+// ---------------------------------------------------------------------
+
+/// Knobs for the storage-chaos soak. Defaults match the CI acceptance
+/// bar: 50 seeded fault plans cycling write-error/ENOSPC, torn-rename,
+/// fsync-failure, transient-read, and bit-rot emphasis.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageChaosOptions {
+    /// Seeded fault plans to run (each gets a write phase and a read
+    /// phase).
+    pub plans: usize,
+    /// The master seed; plan `i` derives its own `VfsFaultPlan` seed.
+    pub seed: u64,
+    /// Deltas ingested under write-side faults per plan.
+    pub deltas_per_plan: usize,
+    /// Cold fault-ins served under read-side faults per plan.
+    pub serves_per_plan: usize,
+}
+
+impl Default for StorageChaosOptions {
+    fn default() -> StorageChaosOptions {
+        StorageChaosOptions {
+            plans: 50,
+            seed: 0xC4A05,
+            deltas_per_plan: 6,
+            serves_per_plan: 6,
+        }
+    }
+}
+
+/// The fault emphasis a chaos plan injects (one of five, cycled by plan
+/// index so every category fires many times across a default run).
+fn chaos_fault_plan(seed: u64, index: u64) -> VfsFaultPlan {
+    let s = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let base = VfsFaultPlan {
+        seed: s,
+        stall: 50,
+        stall_micros: 10,
+        ..VfsFaultPlan::default()
+    };
+    match index % 5 {
+        0 => VfsFaultPlan {
+            write_error: 200,
+            short_write: 150,
+            enospc: true,
+            ..base
+        },
+        1 => VfsFaultPlan {
+            rename_error: 300,
+            ..base
+        },
+        2 => VfsFaultPlan {
+            fsync_error: 300,
+            ..base
+        },
+        3 => VfsFaultPlan {
+            read_error: 300,
+            ..base
+        },
+        _ => VfsFaultPlan {
+            read_flip: 300,
+            ..base
+        },
+    }
+}
+
+/// The aggregate result of [`run_storage_chaos`]. The invariants are
+/// the storage fault model's acceptance bar: panics never escape, a
+/// faulted commit never publishes torn state (recovery on a clean
+/// device is fsck-clean and bit-identical to an observed durable
+/// state), and every read-side request ends correct or typed.
+#[derive(Debug, Clone, Default)]
+pub struct StorageChaosReport {
+    /// Fault plans executed.
+    pub plans: u64,
+    /// Deltas attempted under write-side faults.
+    pub write_attempts: u64,
+    /// Write-side attempts rejected with a typed error (the injector
+    /// fired inside the commit protocol).
+    pub write_faults: u64,
+    /// Panics that escaped any faulted operation (must be 0).
+    pub escaped_panics: u64,
+    /// Clean-device reopens after write chaos that failed outright
+    /// (must be 0 — the atomic commit protocol guarantees a complete
+    /// generation).
+    pub recovery_failures: u64,
+    /// Recovered stores that failed the structural fsck (must be 0).
+    pub fsck_failures: u64,
+    /// Recovered states bit-identical to no observed durable state
+    /// (must be 0 — pre- or post-delta, never a torn hybrid).
+    pub state_mismatches: u64,
+    /// Cold fault-ins attempted under read-side faults.
+    pub serves: u64,
+    /// Read-side serves that succeeded.
+    pub serve_ok: u64,
+    /// Successful serves whose estimates were not bit-identical to the
+    /// pristine reference (must be 0 — never serve garbage).
+    pub serve_mismatches: u64,
+    /// Read-side serves rejected with a typed [`CatalogError`].
+    pub serve_typed_errors: u64,
+    /// Serves rejected because the tenant was quarantined.
+    pub quarantines: u64,
+    /// Post-chaos serves (device healthy again) that failed or
+    /// mismatched (must be 0 — quarantine lifts on republish/invalidate
+    /// and recovery is bit-identical).
+    pub post_recovery_failures: u64,
+    /// Transient-read retries the catalog performed.
+    pub load_retries: u64,
+    /// Corrupt snapshots rebuilt in place from the source document.
+    pub rebuilds: u64,
+    /// Faults the injector actually fired across both phases.
+    pub injected_faults: u64,
+}
+
+impl StorageChaosReport {
+    /// Whether every storage-fault invariant held.
+    pub fn passed(&self) -> bool {
+        self.escaped_panics == 0
+            && self.recovery_failures == 0
+            && self.fsck_failures == 0
+            && self.state_mismatches == 0
+            && self.serve_mismatches == 0
+            && self.post_recovery_failures == 0
+    }
+}
+
+impl std::fmt::Display for StorageChaosReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "storage chaos: {} plans, {} injected faults, write {}/{} faulted, \
+             {} escaped panics, {} recovery failures, {} fsck failures, \
+             {} state mismatches, read {}/{} ok ({} typed, {} quarantines, \
+             {} retries, {} rebuilds), {} serve mismatches, {} post-recovery failures",
+            self.plans,
+            self.injected_faults,
+            self.write_faults,
+            self.write_attempts,
+            self.escaped_panics,
+            self.recovery_failures,
+            self.fsck_failures,
+            self.state_mismatches,
+            self.serve_ok,
+            self.serves,
+            self.serve_typed_errors,
+            self.quarantines,
+            self.load_retries,
+            self.rebuilds,
+            self.serve_mismatches,
+            self.post_recovery_failures,
+        )
+    }
+}
+
+/// Runs the storage-chaos soak: for each seeded plan, (a) drive an
+/// [`IngestStore`] commit protocol through a [`FaultVfs`] injecting
+/// write/rename/fsync faults and prove a clean-device reopen recovers
+/// fsck-clean and bit-identical to an observed durable state, then (b)
+/// drive [`SnapshotCatalog`] cold fault-ins through transient-read and
+/// bit-rot injection and prove every request ends bit-identical or
+/// typed (retried, rebuilt, or quarantined — never garbage). Scratch
+/// state lives under `dir` (wiped per plan).
+pub fn run_storage_chaos(
+    doc: &Document,
+    queries: &[TwigQuery],
+    dir: &std::path::Path,
+    options: &StorageChaosOptions,
+) -> StorageChaosReport {
+    let synopsis = coarse_synopsis(doc);
+    let mut report = StorageChaosReport::default();
+    if queries.is_empty() {
+        return report;
+    }
+
+    // The bit-identity reference for read-side serves.
+    let compiled = CompiledSynopsis::compile(&synopsis);
+    let opts = EstimateOptions::default();
+    let reference: Vec<f64> = BatchServer::new(&compiled)
+        .with_options(opts)
+        .serve(queries)
+        .iter()
+        .map(|r| r.estimate)
+        .collect();
+    let check_batch = |reports: &[xtwig_core::EstimateReport]| -> u64 {
+        let mut bad = 0u64;
+        for (r, want) in reports.iter().zip(&reference) {
+            if !r.estimate.is_finite() || r.estimate.to_bits() != want.to_bits() {
+                bad += 1;
+            }
+        }
+        bad
+    };
+
+    let ingest_opts = IngestOptions {
+        checkpoint_every: 2,
+        ..Default::default()
+    };
+
+    for i in 0..options.plans as u64 {
+        report.plans += 1;
+        let fault_plan = chaos_fault_plan(options.seed, i);
+
+        // -- Phase A: write-side chaos on the ingest commit protocol.
+        let store_dir = dir.join(format!("chaos-store-{i}"));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let vfs = std::sync::Arc::new(FaultVfs::over_std(fault_plan));
+        vfs.arm(false);
+        let created = IngestStore::create_in(
+            std::sync::Arc::clone(&vfs) as std::sync::Arc<dyn Vfs>,
+            &store_dir,
+            doc.clone(),
+            ingest_opts.clone(),
+        );
+        if let Ok(mut store) = created {
+            // Every state the protocol could legitimately recover to:
+            // the seed state plus the in-memory state after each attempt
+            // (pre-delta on a rejected append, post-delta once the WAL
+            // holds it).
+            let mut durable = vec![store.snapshot_bytes()];
+            let mut rng = StdRng::seed_from_u64(options.seed ^ i);
+            vfs.arm(true);
+            for _ in 0..options.deltas_per_plan {
+                let delta = random_delta(store.doc(), &mut rng);
+                if delta.is_empty() {
+                    continue;
+                }
+                // Shadow-apply the WAL-canonical form to know the
+                // post-delta bytes a replay would reconstruct if the
+                // append reached the log before the fault.
+                let delta = match xtwig_core::io::wal::decode_delta(
+                    &xtwig_core::io::wal::encode_delta(&delta),
+                ) {
+                    Ok(d) => d,
+                    Err(_) => continue,
+                };
+                let mut shadow = store.synopsis().clone();
+                let mut shadow_drift = xtwig_core::construct::DriftMeter::new();
+                let post_bytes = match xtwig_core::delta_xbuild(
+                    &mut shadow,
+                    store.doc(),
+                    &delta,
+                    &mut shadow_drift,
+                    &ingest_opts.delta,
+                ) {
+                    Ok(_) => save_synopsis(&shadow),
+                    Err(_) => continue, // delta does not apply; skip
+                };
+                report.write_attempts += 1;
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.ingest(&delta)));
+                match outcome {
+                    Err(_) => {
+                        report.escaped_panics += 1;
+                        break;
+                    }
+                    Ok(Err(_)) => {
+                        // Three durable states are legitimate here:
+                        // pre-delta (append rejected or torn — already
+                        // in the chain), post-delta (append landed, a
+                        // later commit step faulted — the shadow), or
+                        // the rebuilt checkpoint itself (the manifest
+                        // rename landed but its directory fsync faulted:
+                        // the flip is on disk even though the call
+                        // errored — the store's memory, which holds the
+                        // rebuilt synopsis). Memory may have diverged
+                        // from the durable chain, so stop tracking here.
+                        report.write_faults += 1;
+                        durable.push(post_bytes);
+                        durable.push(store.snapshot_bytes());
+                        break;
+                    }
+                    Ok(Ok(_)) => durable.push(store.snapshot_bytes()),
+                }
+            }
+            vfs.arm(false);
+            drop(store);
+            // The device heals; recovery must land on a durable state.
+            match IngestStore::open(&store_dir, ingest_opts.clone()) {
+                Err(_) => report.recovery_failures += 1,
+                Ok(recovered) => {
+                    if recovered.fsck().is_err() {
+                        report.fsck_failures += 1;
+                    }
+                    let bytes = recovered.snapshot_bytes();
+                    if !durable.contains(&bytes) {
+                        report.state_mismatches += 1;
+                    }
+                }
+            }
+        } else {
+            // Creation runs disarmed; a failure here is a harness bug
+            // surfaced as a recovery failure.
+            report.recovery_failures += 1;
+        }
+        report.injected_faults += vfs.injected();
+        let _ = std::fs::remove_dir_all(&store_dir);
+
+        // -- Phase B: read-side chaos on catalog fault-in.
+        let cat_dir = dir.join(format!("chaos-catalog-{i}"));
+        let _ = std::fs::remove_dir_all(&cat_dir);
+        let vfs = std::sync::Arc::new(FaultVfs::over_std(fault_plan));
+        vfs.arm(false);
+        let catalog_opts = CatalogOptions::builder()
+            .load_retries(4)
+            .backoff(BackoffPolicy {
+                base: Duration::from_micros(5),
+                cap: Duration::from_micros(100),
+                seed: options.seed ^ i,
+            })
+            .breaker(BreakerConfig {
+                // High threshold: the soak asserts on typed errors, not
+                // breaker admission (covered by the catalog soak).
+                failure_threshold: u32::MAX,
+                cooldown: Duration::from_millis(1),
+            })
+            .build();
+        let catalog = SnapshotCatalog::open_in(
+            &cat_dir,
+            catalog_opts,
+            std::sync::Arc::clone(&vfs) as std::sync::Arc<dyn Vfs>,
+        );
+        if catalog.publish("tenant", "main", &synopsis).is_err() {
+            report.post_recovery_failures += 1;
+            report.injected_faults += vfs.injected();
+            let _ = std::fs::remove_dir_all(&cat_dir);
+            continue;
+        }
+        if i % 2 == 1 {
+            // Odd plans recover corruption in place from the document.
+            let source = synopsis.clone();
+            catalog.set_rebuild_hook(Some(std::sync::Arc::new(move |_, _| Some(source.clone()))));
+        }
+        vfs.arm(true);
+        for _ in 0..options.serves_per_plan {
+            catalog.invalidate("tenant", "main");
+            report.serves += 1;
+            let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                catalog.serve("tenant", "main", queries, &opts)
+            }));
+            match served {
+                Err(_) => report.escaped_panics += 1,
+                Ok(Ok(reports)) => {
+                    report.serve_ok += 1;
+                    report.serve_mismatches += check_batch(&reports);
+                }
+                Ok(Err(e)) => {
+                    report.serve_typed_errors += 1;
+                    if matches!(e, CatalogError::Quarantined { .. }) {
+                        report.quarantines += 1;
+                    }
+                }
+            }
+        }
+        vfs.arm(false);
+        // The device heals: a republish must lift any quarantine and
+        // the next serve must be bit-identical.
+        if catalog.publish("tenant", "main", &synopsis).is_err() {
+            report.post_recovery_failures += 1;
+        } else {
+            match catalog.serve("tenant", "main", queries, &opts) {
+                Ok(reports) => report.post_recovery_failures += check_batch(&reports),
+                Err(_) => report.post_recovery_failures += 1,
+            }
+        }
+        let stats = catalog.stats();
+        report.load_retries += stats.load_retries;
+        report.rebuilds += stats.rebuilds;
+        report.injected_faults += vfs.injected();
+        let _ = std::fs::remove_dir_all(&cat_dir);
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1235,6 +1609,36 @@ mod tests {
         assert!(report.total_rejections() > 0, "{report}");
         assert_eq!(report.total_rebuilds(), report.total_rejections());
         assert!(report.total_degraded() > 0, "{report}");
+    }
+
+    #[test]
+    fn storage_chaos_passes_and_covers_both_phases() {
+        let d = doc();
+        let queries: Vec<TwigQuery> = ["for $t0 in //author, $t1 in $t0/paper", "for $t0 in //kw"]
+            .iter()
+            .map(|t| parse_twig(t).unwrap())
+            .collect();
+        let dir = std::env::temp_dir().join(format!("xtwig-storage-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = StorageChaosOptions {
+            plans: 10, // one full cycle of every fault category, twice
+            ..Default::default()
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = run_storage_chaos(&d, &queries, &dir, &options);
+        std::panic::set_hook(prev);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.plans, 10, "{report}");
+        assert!(report.injected_faults > 0, "chaos must fire: {report}");
+        assert!(report.write_faults > 0, "write-side faults: {report}");
+        assert!(
+            report.serve_typed_errors > 0,
+            "read-side typed errors: {report}"
+        );
+        assert!(report.load_retries > 0, "transient retries: {report}");
+        assert!(report.quarantines + report.rebuilds > 0, "{report}");
     }
 
     #[test]

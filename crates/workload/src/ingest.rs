@@ -49,9 +49,8 @@
 //! generation; a corrupt snapshot never installs.
 
 use std::fmt;
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -61,8 +60,11 @@ use xtwig_core::construct::{
     delta_xbuild, xbuild_from, BuildOptions, DeltaBuildOptions, DeltaBuildReport, DriftMeter,
     TruthSource,
 };
-use xtwig_core::io::wal::{decode_delta, encode_delta, read_wal, WalWriter};
-use xtwig_core::io::{save_synopsis, write_bytes_atomic, write_snapshot_atomic, SnapshotError};
+use xtwig_core::io::vfs::{StdVfs, Vfs};
+use xtwig_core::io::wal::{decode_delta, encode_delta, read_wal_in, WalWriter};
+use xtwig_core::io::{
+    save_synopsis, write_bytes_atomic_in, write_snapshot_atomic_in, SnapshotError,
+};
 use xtwig_core::telemetry;
 use xtwig_core::validate::{validate, FsckReport};
 use xtwig_core::Synopsis;
@@ -377,6 +379,7 @@ fn refine_acceptable(refined: &Synopsis, options: &IngestOptions) -> bool {
 /// A durable, crash-safe ingest store (see the module docs for the
 /// layout, commit protocol, and recovery contract).
 pub struct IngestStore {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     options: IngestOptions,
     generation: u64,
@@ -412,12 +415,24 @@ impl IngestStore {
         doc: Document,
         options: IngestOptions,
     ) -> Result<IngestStore, IngestError> {
-        fs::create_dir_all(dir).map_err(|source| IngestError::Io {
+        IngestStore::create_in(Arc::new(StdVfs), dir, doc, options)
+    }
+
+    /// [`create`](IngestStore::create) with every disk touch routed
+    /// through `vfs` — the hook the storage-chaos soak uses to inject
+    /// write/fsync/rename faults into the commit protocol.
+    pub fn create_in(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        doc: Document,
+        options: IngestOptions,
+    ) -> Result<IngestStore, IngestError> {
+        vfs.create_dir_all(dir).map_err(|source| IngestError::Io {
             path: dir.to_path_buf(),
             source,
         })?;
         let manifest = manifest_path(dir);
-        if manifest.exists() {
+        if vfs.exists(&manifest) {
             return Err(IngestError::Store(format!(
                 "{} already holds a store",
                 dir.display()
@@ -433,31 +448,33 @@ impl IngestStore {
             message: e.to_string(),
         })?;
         let (synopsis, _) = derive_synopsis(&doc, CheckpointKind::Coarse, &options);
-        write_bytes_atomic(&doc_path(dir, 0), xml.as_bytes()).map_err(|source| {
+        write_bytes_atomic_in(&*vfs, &doc_path(dir, 0), xml.as_bytes()).map_err(|source| {
             IngestError::Snapshot {
                 path: doc_path(dir, 0),
                 source,
             }
         })?;
-        write_snapshot_atomic(&snap_path(dir, 0), &synopsis).map_err(|source| {
+        write_snapshot_atomic_in(&*vfs, &snap_path(dir, 0), &synopsis).map_err(|source| {
             IngestError::Snapshot {
                 path: snap_path(dir, 0),
                 source,
             }
         })?;
-        let wal = WalWriter::create(&wal_path(dir, 0)).map_err(|source| IngestError::Snapshot {
-            path: wal_path(dir, 0),
-            source,
+        let wal = WalWriter::create_in(Arc::clone(&vfs), &wal_path(dir, 0)).map_err(|source| {
+            IngestError::Snapshot {
+                path: wal_path(dir, 0),
+                source,
+            }
         })?;
         // The manifest write is the commit point: a kill before this line
         // leaves no CURRENT, and open() reports "not a store".
-        write_bytes_atomic(&manifest, &manifest_bytes(0, CheckpointKind::Coarse)).map_err(
-            |source| IngestError::Snapshot {
+        write_bytes_atomic_in(&*vfs, &manifest, &manifest_bytes(0, CheckpointKind::Coarse))
+            .map_err(|source| IngestError::Snapshot {
                 path: manifest,
                 source,
-            },
-        )?;
+            })?;
         Ok(IngestStore {
+            vfs,
             dir: dir.to_path_buf(),
             options,
             generation: 0,
@@ -479,19 +496,33 @@ impl IngestStore {
     /// the ones the store was written with (the refined re-derivation is
     /// replayed verbatim).
     pub fn open(dir: &Path, options: IngestOptions) -> Result<IngestStore, IngestError> {
+        IngestStore::open_in(Arc::new(StdVfs), dir, options)
+    }
+
+    /// [`open`](IngestStore::open) with every disk touch routed through
+    /// `vfs`, so recovery itself can run under fault injection.
+    pub fn open_in(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        options: IngestOptions,
+    ) -> Result<IngestStore, IngestError> {
         let tg = telemetry::global();
+        let read_utf8 = |path: &Path| -> Result<String, IngestError> {
+            let bytes = vfs.read(path).map_err(|source| IngestError::Io {
+                path: path.to_path_buf(),
+                source,
+            })?;
+            String::from_utf8(bytes).map_err(|e| IngestError::Io {
+                path: path.to_path_buf(),
+                source: std::io::Error::new(std::io::ErrorKind::InvalidData, e),
+            })
+        };
         let manifest = manifest_path(dir);
-        let text = fs::read_to_string(&manifest).map_err(|source| IngestError::Io {
-            path: manifest.clone(),
-            source,
-        })?;
+        let text = read_utf8(&manifest)?;
         let (generation, kind) = parse_manifest(&text)?;
 
         let dpath = doc_path(dir, generation);
-        let xml = fs::read_to_string(&dpath).map_err(|source| IngestError::Io {
-            path: dpath.clone(),
-            source,
-        })?;
+        let xml = read_utf8(&dpath)?;
         let doc = parse(&xml).map_err(|e| IngestError::Doc {
             path: dpath,
             message: e.to_string(),
@@ -504,25 +535,28 @@ impl IngestStore {
         // authoritative either way — a corrupt or torn snapshot file
         // degrades the recovery report, never the recovered state.
         let spath = snap_path(dir, generation);
-        let (snapshot_verified, rebuilt_snapshot) = match fs::read(&spath) {
+        let (snapshot_verified, rebuilt_snapshot) = match vfs.read(&spath) {
             Ok(bytes) => (bytes == save_synopsis(&synopsis), false),
             Err(_) => (false, true),
         };
 
         let wpath = wal_path(dir, generation);
-        let replay = read_wal(&wpath).map_err(|source| IngestError::Snapshot {
+        let replay = read_wal_in(&*vfs, &wpath).map_err(|source| IngestError::Snapshot {
             path: wpath.clone(),
             source,
         })?;
         let torn_tail = replay.torn.is_some();
         // Truncates the torn tail so appends resume after the durable
         // prefix.
-        let wal = WalWriter::open_append(&wpath).map_err(|source| IngestError::Snapshot {
-            path: wpath.clone(),
-            source,
+        let wal = WalWriter::open_append_in(Arc::clone(&vfs), &wpath).map_err(|source| {
+            IngestError::Snapshot {
+                path: wpath.clone(),
+                source,
+            }
         })?;
 
         let mut store = IngestStore {
+            vfs,
             dir: dir.to_path_buf(),
             options,
             generation,
@@ -585,7 +619,7 @@ impl IngestStore {
     /// Best-effort removal of files from non-current generations (left
     /// behind by a kill between the `CURRENT` flip and cleanup).
     fn sweep_orphans(&self) {
-        let Ok(entries) = fs::read_dir(&self.dir) else {
+        let Ok(entries) = self.vfs.read_dir(&self.dir) else {
             return;
         };
         let keep = [
@@ -594,15 +628,16 @@ impl IngestStore {
             wal_path(&self.dir, self.generation),
             manifest_path(&self.dir),
         ];
-        for entry in entries.flatten() {
-            let path = entry.path();
-            let name = entry.file_name();
+        for path in entries {
+            let Some(name) = path.file_name() else {
+                continue;
+            };
             let name = name.to_string_lossy();
             let is_store_file = name.starts_with("doc-")
                 || name.starts_with("synopsis-")
                 || name.starts_with("deltas-");
             if is_store_file && !keep.contains(&path) {
-                let _ = fs::remove_file(&path);
+                let _ = self.vfs.remove_file(&path);
             }
         }
     }
@@ -743,9 +778,9 @@ impl IngestStore {
         let mut frame = Vec::with_capacity(6);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload[..payload.len().min(2)]);
-        let mut f = fs::OpenOptions::new()
-            .append(true)
-            .open(self.wal.path())
+        let mut f = self
+            .vfs
+            .open_append(self.wal.path())
             .map_err(|source| IngestError::Io {
                 path: self.wal.path().to_path_buf(),
                 source,
@@ -764,31 +799,34 @@ impl IngestStore {
     fn checkpoint(&mut self, kind: CheckpointKind, xml: &str) -> Result<(), IngestError> {
         let tg = telemetry::global();
         let next = self.generation + 1;
-        write_bytes_atomic(&doc_path(&self.dir, next), xml.as_bytes()).map_err(|source| {
-            IngestError::Snapshot {
-                path: doc_path(&self.dir, next),
-                source,
-            }
-        })?;
-        write_snapshot_atomic(&snap_path(&self.dir, next), &self.synopsis).map_err(|source| {
-            IngestError::Snapshot {
-                path: snap_path(&self.dir, next),
-                source,
-            }
-        })?;
-        let wal = WalWriter::create(&wal_path(&self.dir, next)).map_err(|source| {
-            IngestError::Snapshot {
-                path: wal_path(&self.dir, next),
-                source,
-            }
-        })?;
-        self.crash_if_armed(CrashPoint::AfterCheckpointFiles)?;
-        write_bytes_atomic(&manifest_path(&self.dir), &manifest_bytes(next, kind)).map_err(
+        write_bytes_atomic_in(&*self.vfs, &doc_path(&self.dir, next), xml.as_bytes()).map_err(
             |source| IngestError::Snapshot {
-                path: manifest_path(&self.dir),
+                path: doc_path(&self.dir, next),
                 source,
             },
         )?;
+        write_snapshot_atomic_in(&*self.vfs, &snap_path(&self.dir, next), &self.synopsis).map_err(
+            |source| IngestError::Snapshot {
+                path: snap_path(&self.dir, next),
+                source,
+            },
+        )?;
+        let wal = WalWriter::create_in(Arc::clone(&self.vfs), &wal_path(&self.dir, next)).map_err(
+            |source| IngestError::Snapshot {
+                path: wal_path(&self.dir, next),
+                source,
+            },
+        )?;
+        self.crash_if_armed(CrashPoint::AfterCheckpointFiles)?;
+        write_bytes_atomic_in(
+            &*self.vfs,
+            &manifest_path(&self.dir),
+            &manifest_bytes(next, kind),
+        )
+        .map_err(|source| IngestError::Snapshot {
+            path: manifest_path(&self.dir),
+            source,
+        })?;
         let old = self.generation;
         self.generation = next;
         self.wal = wal;
@@ -799,9 +837,9 @@ impl IngestStore {
         tg.ingest_wal_records.set(0);
         tg.drift_total_milli.set(0);
         self.crash_if_armed(CrashPoint::AfterCurrentFlip)?;
-        let _ = fs::remove_file(doc_path(&self.dir, old));
-        let _ = fs::remove_file(snap_path(&self.dir, old));
-        let _ = fs::remove_file(wal_path(&self.dir, old));
+        let _ = self.vfs.remove_file(&doc_path(&self.dir, old));
+        let _ = self.vfs.remove_file(&snap_path(&self.dir, old));
+        let _ = self.vfs.remove_file(&wal_path(&self.dir, old));
         Ok(())
     }
 
@@ -1050,7 +1088,8 @@ pub fn run_ingest_soak(
     options: &IngestOptions,
     publish_to: Option<&ServingRuntime>,
 ) -> Result<IngestSoakReport, IngestError> {
-    let _ = fs::remove_dir_all(dir);
+    // lint:allow(vfs-direct): soak-harness scratch-dir wipe, not store I/O
+    let _ = std::fs::remove_dir_all(dir);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = IngestStore::create(dir, doc.clone(), options.clone())?;
     let mut report = IngestSoakReport {
@@ -1129,7 +1168,8 @@ pub fn run_ingest_soak(
                     Err(_) => {
                         report.recovery_failures += 1;
                         // Re-seed so the soak can continue measuring.
-                        let _ = fs::remove_dir_all(dir);
+                        // lint:allow(vfs-direct): soak-harness reseed wipe
+                        let _ = std::fs::remove_dir_all(dir);
                         IngestStore::create(dir, doc.clone(), options.clone())?
                     }
                 };
@@ -1185,6 +1225,7 @@ pub fn run_ingest_soak(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn bib() -> Document {
         parse(concat!(

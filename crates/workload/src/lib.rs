@@ -29,9 +29,9 @@ pub use estimator::{
     CompiledXsketchEstimator, CstEstimator, MarkovEstimator, SummaryEstimator, XsketchEstimator,
 };
 pub use faults::{
-    apply_snapshot_fault, run_catalog_soak, run_fault_plan, run_soak, CatalogSoakOptions, Fault,
-    FaultOutcome, FaultPlan, FaultReport, MultiTenantSoakReport, RuntimeFault, SoakPhase, SoakPlan,
-    SoakReport,
+    apply_snapshot_fault, run_catalog_soak, run_fault_plan, run_soak, run_storage_chaos,
+    CatalogSoakOptions, Fault, FaultOutcome, FaultPlan, FaultReport, MultiTenantSoakReport,
+    RuntimeFault, SoakPhase, SoakPlan, SoakReport, StorageChaosOptions, StorageChaosReport,
 };
 pub use generator::{
     generate_workload, negative_workload, workload_stats, Workload, WorkloadKind, WorkloadSpec,

@@ -20,6 +20,7 @@
 //! | `lock-order`  | nested lock acquisition not in `LOCK_ORDER` | sync-façade modules |
 //! | `sync-direct` | `std::sync` instead of the `xtwig-core::sync` façade | sync-façade modules |
 //! | `wal-fsync`   | bare `File::create` / `OpenOptions` instead of the atomic write helpers | durable-I/O modules |
+//! | `vfs-direct`  | raw `std::fs` instead of the `Vfs` abstraction | durable-I/O + catalog + ingest modules, minus `io/vfs.rs` |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/`, `src/bin/`,
 //! binary roots (`main.rs`), the vendored dependency stand-ins under
@@ -431,6 +432,35 @@ fn scan_wal_fsync(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, usi
     }
 }
 
+/// Whether the `vfs-direct` rule applies: every module whose disk
+/// touches must route through the `Vfs` abstraction so the
+/// fault-injection harness can reach them — snapshot/WAL I/O under
+/// `crates/core/src/io`, the multi-tenant catalog, and the ingest
+/// store. The `StdVfs` implementation itself (`io/vfs.rs`) is the one
+/// sanctioned home for raw `std::fs`.
+fn vfs_direct_applies(rel: &str) -> bool {
+    if rel == "crates/core/src/io/vfs.rs" {
+        return false;
+    }
+    rel.starts_with("crates/core/src/io")
+        || rel == "crates/core/src/serve/catalog.rs"
+        || rel == "crates/workload/src/ingest.rs"
+}
+
+/// Flags raw `std::fs` in VFS-scoped modules: a disk touch that
+/// bypasses the `Vfs` trait is invisible to `FaultVfs`, so the chaos
+/// soak cannot prove that path survives EIO / ENOSPC / torn renames /
+/// fsync loss. Catching the `use std::fs` import is enough — without
+/// it every call spells `std::fs::` inline, which is also caught. The
+/// reviewed exceptions carry `// lint:allow(vfs-direct): <reason>`.
+fn scan_vfs_direct(masked_lines: &[&str], emit: &mut impl FnMut(&'static str, usize)) {
+    for (line_no, line) in masked_lines.iter().enumerate() {
+        if line.contains("std::fs") {
+            emit("vfs-direct", line_no + 1);
+        }
+    }
+}
+
 /// Reads the `LOCK_ORDER` manifest: `outer -> inner` pairs naming
 /// receiver expressions sanctioned to nest. A missing manifest means no
 /// nesting is sanctioned anywhere.
@@ -806,6 +836,10 @@ fn scan_file(
 
     if wal_fsync_applies(rel) {
         scan_wal_fsync(&masked_lines, &mut emit);
+    }
+
+    if vfs_direct_applies(rel) {
+        scan_vfs_direct(&masked_lines, &mut emit);
     }
 
     if atomic_ordering_applies(rel) {
@@ -1449,28 +1483,75 @@ mod tests {
     fn wal_fsync_denied_in_durable_io_scope() {
         let create = "fn f() { let f = std::fs::File::create(path)?; }\n";
         let open = "fn f() { let f = std::fs::OpenOptions::new().append(true).open(p)?; }\n";
-        // In scope: both the snapshot module and the WAL module.
+        // In scope: both the snapshot module and the WAL module. A raw
+        // `std::fs` call there also bypasses the VFS, so both rules fire.
         assert_eq!(
             findings_in("crates/core/src/io.rs", create),
-            vec![("wal-fsync".to_string(), 1)]
+            vec![("wal-fsync".to_string(), 1), ("vfs-direct".to_string(), 1)]
         );
         assert_eq!(
             findings_in("crates/core/src/io/wal.rs", open),
-            vec![("wal-fsync".to_string(), 1)]
+            vec![("wal-fsync".to_string(), 1), ("vfs-direct".to_string(), 1)]
         );
-        // Out of scope: file creation elsewhere is not a durability bug.
-        assert!(findings_in("crates/workload/src/ingest.rs", create).is_empty());
+        // Out of wal-fsync scope: file creation elsewhere is not a
+        // durability bug (the ingest store stays vfs-direct scoped).
+        assert_eq!(
+            findings_in("crates/workload/src/ingest.rs", create),
+            vec![("vfs-direct".to_string(), 1)]
+        );
         assert!(findings_in("crates/datagen/src/lib.rs", open).is_empty());
         // The sanctioned path never matches.
         let atomic = "fn f() { write_bytes_atomic(path, &bytes)?; }\n";
         assert!(findings_in("crates/core/src/io.rs", atomic).is_empty());
         // A justified site passes.
-        let justified = "// lint:allow(wal-fsync): tmp file of the atomic helper itself\n\
-                         fn f() { let f = std::fs::File::create(tmp)?; }\n";
+        let justified =
+            "// lint:allow(wal-fsync, vfs-direct): tmp file of the atomic helper itself\n\
+             fn f() { let f = std::fs::File::create(tmp)?; }\n";
         assert!(findings_in("crates/core/src/io.rs", justified).is_empty());
         // Test modules inside the scope are masked like everywhere else.
         let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { std::fs::File::create(p); }\n}\n";
         assert!(findings_in("crates/core/src/io/wal.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn vfs_direct_denied_in_storage_scope() {
+        let import = "use std::fs;\nfn f() { fs::read(p) }\n";
+        let inline = "fn f() { std::fs::remove_file(p); }\n";
+        // Every module the fault-injection harness must be able to
+        // reach: snapshot/WAL I/O, the catalog, and the ingest store.
+        for rel in [
+            "crates/core/src/io.rs",
+            "crates/core/src/io/wal.rs",
+            "crates/core/src/io/v3.rs",
+            "crates/core/src/serve/catalog.rs",
+            "crates/workload/src/ingest.rs",
+        ] {
+            assert_eq!(
+                findings_in(rel, import),
+                vec![("vfs-direct".to_string(), 1)],
+                "{rel}"
+            );
+            assert_eq!(
+                findings_in(rel, inline),
+                vec![("vfs-direct".to_string(), 1)],
+                "{rel}"
+            );
+        }
+        // The StdVfs implementation is the one sanctioned home for raw
+        // filesystem calls.
+        assert!(findings_in("crates/core/src/io/vfs.rs", inline).is_empty());
+        // Out of scope: modules that never touch durable storage.
+        assert!(findings_in("crates/datagen/src/lib.rs", import).is_empty());
+        // Routed through the abstraction: nothing to flag.
+        let routed = "fn f(vfs: &dyn Vfs) { vfs.remove_file(p); }\n";
+        assert!(findings_in("crates/workload/src/ingest.rs", routed).is_empty());
+        // A justified site passes.
+        let justified = "// lint:allow(vfs-direct): soak-harness scratch-dir wipe\n\
+                         fn f() { let _ = std::fs::remove_dir_all(dir); }\n";
+        assert!(findings_in("crates/workload/src/ingest.rs", justified).is_empty());
+        // Test modules inside the scope are masked like everywhere else.
+        let in_test = "#[cfg(test)]\nmod tests {\n    use std::fs;\n}\n";
+        assert!(findings_in("crates/core/src/serve/catalog.rs", in_test).is_empty());
     }
 
     #[test]

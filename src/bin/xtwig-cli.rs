@@ -26,16 +26,17 @@ use xtwig::core::construct::{xbuild, BuildOptions, TruthSource};
 use xtwig::core::estimate::{EstimateOptions, EstimateRequest, Estimator};
 use xtwig::core::telemetry::{self, Span, Stage};
 use xtwig::core::{
-    coarse_synopsis, read_snapshot, write_snapshot_atomic, BatchServer, CatalogError,
-    CatalogOptions, CompiledSynopsis, EstimateCache, SnapshotCatalog, Synopsis,
+    coarse_synopsis, load_synopsis, read_snapshot, verify_snapshot_v3, write_snapshot_atomic,
+    BatchServer, CatalogError, CatalogOptions, CompiledSynopsis, EstimateCache, SnapshotCatalog,
+    Synopsis,
 };
 use xtwig::core::{BreakerConfig, ShedPolicy};
 use xtwig::datagen::{imdb, sprot, xmark, ImdbConfig, SprotConfig, XMarkConfig};
 use xtwig::query::{parse_twig, selectivity, TwigQuery};
 use xtwig::workload::{
-    random_delta, run_catalog_soak, run_soak, CatalogSoakOptions, CrashPoint, GuardPolicy,
-    GuardedEstimator, IngestError, IngestOptions, IngestStore, RuntimeOptions, ServingRuntime,
-    SoakPlan, TerminalProvenance, CRASH_POINTS,
+    random_delta, run_catalog_soak, run_soak, run_storage_chaos, CatalogSoakOptions, CrashPoint,
+    GuardPolicy, GuardedEstimator, IngestError, IngestOptions, IngestStore, RuntimeOptions,
+    ServingRuntime, SoakPlan, StorageChaosOptions, TerminalProvenance, CRASH_POINTS,
 };
 use xtwig::xml::{parse, write_xml, DocStats, Document};
 
@@ -111,7 +112,7 @@ USAGE:
                   [--threads N] [--deadline-ms N] [--work-limit N]
                   [--metrics-out <file.prom>]
                   [--max-inflight N] [--queue-depth N] [--reload-on <snap>]
-                  [--soak] [--soak-profile <full|saturation|catalog>]
+                  [--soak] [--soak-profile <full|saturation|catalog|storage>]
                   [--soak-seed N]
   xtwig-cli serve <plan.txt> --catalog <dir> [--publish <file.xml>]
                   [--budget BYTES] [--threads N] [--deadline-ms N]
@@ -124,6 +125,7 @@ USAGE:
                    [--checkpoint-every N] [--drift-threshold X]
   xtwig-cli inspect <synopsis.xtwg>
   xtwig-cli check <synopsis.xtwg | file.xml> [--budget BYTES]
+  xtwig-cli check --catalog <dir>
 
 Twig query notation: for $t0 in //movie[type = 1], $t1 in $t0/actor
 
@@ -164,11 +166,28 @@ first. Each tenant is admitted through its own in-flight quota
 (`--tenant-quota`, 0 = unlimited) and circuit breaker, so one tenant's
 faults or floods never degrade another's service; `--max-resident`
 bounds how many documents stay resident before cold-tenant eviction.
-Quota or breaker sheds exit 3. `--soak-profile catalog` (with the
+Quota or breaker sheds exit 3; a tenant quarantined over a corrupt
+snapshot exits 4 (the snapshot was rejected and never served — lift
+the quarantine by republishing). `--soak-profile catalog` (with the
 single-document arguments) runs the multi-tenant soak instead: a
 cold-tenant stampede that must collapse to one disk load, a panic
 burst that must open only the victim tenant's breaker while healthy
 tenants serve bit-identical estimates, and post-cooldown recovery.
+`--soak-profile storage` runs the storage-chaos soak: seeded
+device-fault plans (write errors, ENOSPC, short writes, torn renames,
+fsync failures, transient read errors, bit-rot) injected through the
+storage VFS into the ingest commit protocol and catalog fault-in,
+asserting zero escaped panics, no torn state ever published, and
+every request ending bit-identical or typed; exits 1 on any violated
+invariant.
+
+`check --catalog <dir>` is the deep fsck for a catalog directory: it
+sweeps every `<tenant>/<document>.xtwg`, verifies every section CRC of
+the zero-copy v3 arena (the fast serving load only checks the header,
+table, and META section), decodes the embedded synopsis, and runs the
+structural fsck, printing one report line per key. Exits 4 if any
+snapshot is corrupt (after completing the sweep), 1 if any is
+unreadable or the catalog is empty.
 
 `ingest` maintains a live document store: `--init` seeds it from an XML
 file; every later invocation opens it through crash recovery (replaying
@@ -553,6 +572,9 @@ fn cmd_inspect(args: &[String]) -> Result<Outcome, CliError> {
 /// Synopsis fsck: load (or build) a synopsis and run every structural
 /// invariant check, including snapshot round-trip integrity.
 fn cmd_check(args: &[String]) -> Result<Outcome, CliError> {
+    if let Some(dir) = flag(args, "--catalog") {
+        return cmd_check_catalog(&dir);
+    }
     let path = args
         .first()
         .ok_or_else(|| CliError::Usage("check needs a snapshot or XML file".into()))?;
@@ -580,6 +602,108 @@ fn cmd_check(args: &[String]) -> Result<Outcome, CliError> {
         synopsis.edge_count(),
         synopsis.size_bytes() as f64 / 1024.0
     );
+    Ok(Outcome::Full)
+}
+
+/// `check --catalog <dir>`: deep fsck over a multi-tenant snapshot
+/// catalog. Sweeps every `<dir>/<tenant>/<document>.xtwg`, runs the
+/// full per-section CRC verification of the v3 arena, decodes the
+/// embedded synopsis, and runs the structural fsck — reporting one
+/// line per key. Any corrupt snapshot exits 4 (after the whole sweep,
+/// so the report is complete); unreadable files exit 1.
+fn cmd_check_catalog(dir: &str) -> Result<Outcome, CliError> {
+    let root = Path::new(dir);
+    let mut tenants: Vec<std::path::PathBuf> = std::fs::read_dir(root)
+        .map_err(|e| CliError::Failure(format!("reading {dir}: {e}")))?
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    tenants.sort();
+    let mut keys = 0usize;
+    let mut corrupt: Vec<String> = Vec::new();
+    let mut unreadable: Vec<String> = Vec::new();
+    for tenant_dir in &tenants {
+        let tenant = tenant_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut snaps: Vec<std::path::PathBuf> = match std::fs::read_dir(tenant_dir) {
+            Ok(entries) => entries
+                .flatten()
+                .map(|entry| entry.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "xtwg"))
+                .collect(),
+            Err(e) => {
+                println!("{tenant}: unreadable tenant directory: {e}");
+                unreadable.push(tenant.clone());
+                continue;
+            }
+        };
+        snaps.sort();
+        for snap in snaps {
+            let document = snap
+                .file_stem()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let key = format!("{tenant}/{document}");
+            keys += 1;
+            let bytes = match std::fs::read(&snap) {
+                Ok(b) => b,
+                Err(e) => {
+                    println!("{key}: unreadable: {e}");
+                    unreadable.push(key);
+                    continue;
+                }
+            };
+            // Depth 1: every section CRC (the zero-copy fast load only
+            // checks header + table + META). Depth 2: decode the
+            // embedded synopsis and run the structural fsck.
+            let deep = verify_snapshot_v3(&bytes)
+                .map_err(|e| e.to_string())
+                .and_then(|()| load_synopsis(&bytes).map_err(|e| e.to_string()))
+                .and_then(|s| {
+                    xtwig::core::fsck(&s)
+                        .map(|()| s)
+                        .map_err(|report| report.to_string())
+                });
+            match deep {
+                Ok(s) => println!(
+                    "{key}: ok ({} bytes, {} nodes / {} edges, all section CRCs verified)",
+                    bytes.len(),
+                    s.node_count(),
+                    s.edge_count()
+                ),
+                Err(e) => {
+                    println!("{key}: CORRUPT: {e}");
+                    corrupt.push(key);
+                }
+            }
+        }
+    }
+    println!(
+        "checked {keys} snapshots across {} tenants: {} corrupt, {} unreadable",
+        tenants.len(),
+        corrupt.len(),
+        unreadable.len()
+    );
+    if !corrupt.is_empty() {
+        return Err(CliError::Corrupt(format!(
+            "{} of {keys} snapshots corrupt: {}",
+            corrupt.len(),
+            corrupt.join(", ")
+        )));
+    }
+    if !unreadable.is_empty() {
+        return Err(CliError::Failure(format!(
+            "{} of {keys} snapshots unreadable: {}",
+            unreadable.len(),
+            unreadable.join(", ")
+        )));
+    }
+    if keys == 0 {
+        return Err(CliError::Failure(format!("{dir}: no snapshots found")));
+    }
     Ok(Outcome::Full)
 }
 
@@ -823,6 +947,11 @@ fn cmd_serve_catalog(args: &[String]) -> Result<Outcome, CliError> {
                     _ => CliError::Corrupt(format!("{tenant}/{document}: {e}")),
                 })
             }
+            Err(e @ CatalogError::Quarantined { .. }) => {
+                // A quarantined tenant is a corruption outcome: the
+                // snapshot was rejected and never served.
+                return Err(CliError::Corrupt(e.to_string()));
+            }
             Err(e) => {
                 return Err(CliError::Failure(format!("serve {tenant}/{document}: {e}")));
             }
@@ -935,12 +1064,36 @@ fn cmd_serve_runtime(
             }
             return Ok(Outcome::Full);
         }
+        if profile == "storage" {
+            // The storage-chaos soak: seeded device-fault plans driven
+            // through the VFS injector against the ingest commit
+            // protocol and catalog fault-in.
+            let dir =
+                std::env::temp_dir().join(format!("xtwig-storage-chaos-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let chaos = StorageChaosOptions {
+                seed,
+                ..Default::default()
+            };
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let report = run_storage_chaos(doc, queries, &dir, &chaos);
+            std::panic::set_hook(prev);
+            let _ = std::fs::remove_dir_all(&dir);
+            println!("{report}");
+            if !report.passed() {
+                return Err(CliError::Failure(format!(
+                    "storage chaos invariants violated: {report}"
+                )));
+            }
+            return Ok(Outcome::Full);
+        }
         let plan = match profile.as_str() {
             "full" => SoakPlan::generate(seed, &options),
             "saturation" => SoakPlan::saturation_only(seed, &options),
             other => {
                 return Err(CliError::Usage(format!(
-                    "unknown --soak-profile `{other}` (full|saturation|catalog)"
+                    "unknown --soak-profile `{other}` (full|saturation|catalog|storage)"
                 )))
             }
         };

@@ -379,6 +379,129 @@ fn full_soak_rollback_phase_exits_four() {
     assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
 }
 
+/// Publishes a two-tenant catalog through the CLI front door and
+/// returns `(plan, catalog-dir)`.
+fn publish_catalog(dir: &Path) -> (PathBuf, PathBuf) {
+    let doc = write_small_doc(dir);
+    let plan = dir.join("plan.txt");
+    std::fs::write(
+        &plan,
+        concat!(
+            "alpha/main for $t0 in //author, $t1 in $t0/paper\n",
+            "beta/main for $t0 in //paper, $t1 in $t0/kw\n",
+        ),
+    )
+    .expect("writing plan");
+    let cat = dir.join("cat");
+    let out = run(&[
+        "serve",
+        plan.to_str().unwrap(),
+        "--catalog",
+        cat.to_str().unwrap(),
+        "--publish",
+        doc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "publish: {}", stderr(&out));
+    (plan, cat)
+}
+
+#[test]
+fn catalog_deep_fsck_reports_every_key_and_exits_four_on_bit_rot() {
+    let dir = temp_dir("catalog-fsck");
+    let (_plan, cat) = publish_catalog(&dir);
+
+    let out = run(&["check", "--catalog", cat.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let report = stdout(&out);
+    assert!(report.contains("alpha/main: ok"), "{report}");
+    assert!(report.contains("beta/main: ok"), "{report}");
+    assert!(report.contains("all section CRCs verified"), "{report}");
+
+    // One flipped bit in one tenant's snapshot: the sweep must still
+    // finish (the healthy tenant reports ok) and exit 4.
+    let snap = cat.join("alpha").join("main.xtwg");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&snap, &bytes).unwrap();
+    let out = run(&["check", "--catalog", cat.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    let report = stdout(&out);
+    assert!(report.contains("alpha/main: CORRUPT"), "{report}");
+    assert!(report.contains("beta/main: ok"), "{report}");
+    assert!(
+        stderr(&out).contains("corrupt snapshot"),
+        "{}",
+        stderr(&out)
+    );
+
+    // A missing catalog directory is an I/O failure (1), not corruption.
+    let out = run(&["check", "--catalog", dir.join("no-such").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+}
+
+#[test]
+fn quarantined_tenant_exits_four_and_republish_lifts_it() {
+    let dir = temp_dir("catalog-quarantine");
+    let (plan, cat) = publish_catalog(&dir);
+
+    // Rot one tenant's snapshot on disk: the verified fault-in must
+    // reject it, quarantine the tenant, and exit 4 — never serve it.
+    let snap = cat.join("alpha").join("main.xtwg");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).unwrap();
+    let out = run(&[
+        "serve",
+        plan.to_str().unwrap(),
+        "--catalog",
+        cat.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    assert!(stderr(&out).contains("quarantined"), "{}", stderr(&out));
+
+    // Republishing rewrites the snapshot and lifts the quarantine.
+    let doc = dir.join("doc.xml");
+    let out = run(&[
+        "serve",
+        plan.to_str().unwrap(),
+        "--catalog",
+        cat.to_str().unwrap(),
+        "--publish",
+        doc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+}
+
+#[test]
+fn storage_chaos_soak_profile_exits_zero() {
+    let dir = temp_dir("soak-storage");
+    let doc = write_small_doc(&dir);
+    let queries = write_queries(&dir);
+    let out = run(&[
+        "serve",
+        doc.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        "--soak-profile",
+        "storage",
+        "--soak-seed",
+        "11",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}\n{}",
+        stdout(&out),
+        stderr(&out)
+    );
+    let report = stdout(&out);
+    assert!(report.contains("storage chaos: 50 plans"), "{report}");
+    assert!(report.contains("0 escaped panics"), "{report}");
+    assert!(report.contains("0 state mismatches"), "{report}");
+    assert!(report.contains("0 serve mismatches"), "{report}");
+}
+
 #[test]
 fn help_documents_the_exit_code_contract() {
     let out = run(&["--help"]);
